@@ -1,0 +1,114 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//   (a) tLSM per-run bloom filters: point-read throughput with and without
+//       (read amplification is the LSM's Fig. 6 weakness; blooms are what
+//       keep it bounded).
+//   (b) MS+EC propagation batch size: the batching knob trades master
+//       throughput against slave staleness (§C.A's asynchronous batches).
+//   (c) Chain length (replica count) under MS+SC: chain replication's write
+//       latency grows with the chain, read capacity stays at the tail.
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/datalet/lsm.h"
+
+using namespace bespokv;
+using namespace bespokv::bench;
+
+namespace {
+
+double lsm_read_qps(bool disable_bloom) {
+  DataletConfig cfg;
+  cfg.memtable_limit = 4096;  // many runs => pronounced read amplification
+  cfg.max_runs_per_level = 6;
+  cfg.lsm_disable_bloom = disable_bloom;
+  LsmDatalet d(cfg);
+  Rng rng(11);
+  for (int i = 0; i < 300'000; ++i) {
+    d.put("key" + std::to_string(rng.next_u64(150'000)), "value32bytes....................", 1);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const int kReads = 400'000;
+  int hits = 0;
+  for (int i = 0; i < kReads; ++i) {
+    // Half the probes miss: bloom filters earn their keep on misses.
+    if (d.get("key" + std::to_string(rng.next_u64(300'000))).ok()) ++hits;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
+  (void)hits;
+  return static_cast<double>(kReads) / secs / 1000.0;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation (a)", "tLSM bloom filters (400k point reads, ~50% misses)");
+  const double with_bloom = lsm_read_qps(false);
+  const double without_bloom = lsm_read_qps(true);
+  print_row("bloom on : %8.1f kQPS", with_bloom);
+  print_row("bloom off: %8.1f kQPS  (%.2fx slower)", without_bloom,
+            with_bloom / without_bloom);
+
+  print_header("Ablation (b)", "MS+EC propagation batch size (50% GET, 6 nodes)");
+  print_row("%-8s %10s %14s", "batch", "kQPS", "put-p99-us");
+  for (uint32_t batch : {1u, 8u, 64u, 256u}) {
+    BenchConfig cfg;
+    cfg.topology = Topology::kMasterSlave;
+    cfg.consistency = Consistency::kEventual;
+    cfg.nodes = 6;
+    cfg.workload.num_keys = 50'000;
+    cfg.workload.get_ratio = 0.50;
+    cfg.warmup_us = 100'000;
+    cfg.measure_us = 250'000;
+    // Assembled by hand so the batching knob reaches the controlets.
+    SimFabricOpts fopts;
+    SimFabric sim(fopts);
+    ClusterOptions copts;
+    copts.topology = cfg.topology;
+    copts.consistency = cfg.consistency;
+    copts.num_shards = 2;
+    copts.num_replicas = 3;
+    copts.controlet.flush_batch = batch;
+    copts.controlet.flush_period_us = batch == 1 ? 100 : 2'000;
+    copts.sim_node.base_service_us = cfg.node_service_us;
+    copts.sim_node.per_kb_service_us = 4.0;
+    Cluster cluster(sim, copts);
+    cluster.start();
+    sim.run_for(300'000);
+    DriverOptions dopts;
+    dopts.num_clients = 5 * cfg.nodes;
+    dopts.workload = cfg.workload;
+    SimWorkloadDriver driver(sim, cluster, dopts);
+    driver.preload();
+    driver.start();
+    sim.run_for(cfg.warmup_us);
+    driver.reset_window();
+    sim.run_for(cfg.measure_us);
+    DriverResult r = driver.collect();
+    driver.stop();
+    print_row("%-8u %10.1f %14llu", batch, kqps(r),
+              static_cast<unsigned long long>(r.put_latency_us.percentile(0.99)));
+  }
+
+  print_header("Ablation (c)", "MS+SC chain length (replicas per shard)");
+  print_row("%-9s %10s %12s %12s", "replicas", "kQPS", "put-p50-us", "get-p50-us");
+  for (int replicas : {2, 3, 4, 5}) {
+    BenchConfig cfg;
+    cfg.topology = Topology::kMasterSlave;
+    cfg.consistency = Consistency::kStrong;
+    cfg.nodes = replicas * 2;  // two shards
+    cfg.replicas = replicas;
+    cfg.workload.num_keys = 50'000;
+    cfg.workload.get_ratio = 0.50;
+    cfg.clients_per_node = 8;
+    cfg.warmup_us = 100'000;
+    cfg.measure_us = 250'000;
+    DriverResult r = run_bench(cfg);
+    print_row("%-9d %10.1f %12llu %12llu", replicas, kqps(r),
+              static_cast<unsigned long long>(r.put_latency_us.percentile(0.5)),
+              static_cast<unsigned long long>(r.get_latency_us.percentile(0.5)));
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+// §VI-B reproduction: distributed cache for deep-learning training ingest.
+//
+// The paper trains an image-segmentation model over a 100 GB dataset and
+// finds the extant approach (ingesting millions of small files straight from
+// the parallel file system) delivers ~10 images/s, while a bespoKV-based
+// distributed cache with the DPDK fast path delivers ~40 images/s (4x).
+//
+// Substitution (DESIGN.md §2): the parallel file system is modeled as a
+// metadata-bound small-file read service (~100 ms per object under
+// contention — typical for Lustre many-small-file workloads); the cache is a
+// real 3-node bespoKV MS+EC deployment holding the same objects, run once
+// over kernel sockets and once with the kernel-bypass transport.
+#include "bench/bench_util.h"
+
+using namespace bespokv;
+using namespace bespokv::bench;
+
+namespace {
+
+constexpr size_t kImageBytes = 256 * 1024;  // scaled-down image objects
+constexpr uint64_t kImages = 2'000;
+constexpr uint64_t kDuration = 20'000'000;  // twenty virtual seconds
+// Per-image preprocessing/accelerator time in the training pipeline: with
+// the I/O bottleneck removed, this is what caps ingest (~40-50 images/s, as
+// the paper's GPUs did).
+constexpr uint64_t kComputeUs = 20'000;
+
+Runtime* add_loader(SimFabric& sim, const Addr& addr) {
+  SimNodeOpts copts;
+  copts.is_client = true;
+  return sim.add_node(addr,
+                      std::make_shared<LambdaService>(
+                          [](Runtime&, const Addr&, Message, Replier r) {
+                            r(Message::reply(Code::kInvalid));
+                          }),
+                      copts);
+}
+
+// Extant approach: the data loader reads each image from the parallel FS.
+double pfs_rate() {
+  SimFabric sim;
+  // Lustre small-file read path: MDS lookup + OST fetch, ~100 ms per object
+  // for many-small-files workloads under shared contention.
+  SimNodeOpts pfs;
+  pfs.service_cost_fn = [](const Message&) -> uint64_t { return 98'000; };
+  sim.add_node("pfs",
+               std::make_shared<LambdaService>(
+                   [](Runtime&, const Addr&, Message, Replier reply) {
+                     Message rep = Message::reply(Code::kOk);
+                     rep.value.assign(kImageBytes, 'i');
+                     reply(std::move(rep));
+                   }),
+               pfs);
+  Runtime* rt = add_loader(sim, "loader");
+  uint64_t completed = 0;
+  auto loop = std::make_shared<std::function<void()>>();
+  *loop = [&, rt, loop] {
+    rt->call("pfs", Message::get("img"), [&, rt, loop](Status s, Message) {
+      if (s.ok()) ++completed;
+      rt->set_timer(kComputeUs, *loop);  // preprocess + accelerator step
+    });
+  };
+  sim.post_to("loader", [loop] { (*loop)(); });
+  sim.run_for(kDuration);
+  return static_cast<double>(completed) * 1e6 / static_cast<double>(kDuration);
+}
+
+// bespoKV cache: a 3-node MS+EC deployment preloaded with the dataset.
+double cache_rate(const TransportModel& transport) {
+  BenchConfig cfg;
+  cfg.topology = Topology::kMasterSlave;
+  cfg.consistency = Consistency::kEventual;
+  cfg.nodes = 3;
+  cfg.transport = transport;
+  cfg.workload = WorkloadSpec::dl_ingest(kImageBytes);
+  cfg.workload.num_keys = kImages;
+  cfg.clients_per_node = 0;  // the trainer below is the only client
+  BenchRig rig = make_rig(cfg);  // preloads the images into the cache
+
+  Runtime* rt = add_loader(*rig.sim, "loader");
+  auto kv = std::make_shared<KvClient>(
+      rt, ClientConfig{rig.cluster->coordinator_addr()});
+  uint64_t completed = 0;
+  uint64_t next = 0;
+  WorkloadGenerator gen(cfg.workload);
+  auto loop = std::make_shared<std::function<void()>>();
+  *loop = [&, rt, kv, loop] {
+    const std::string key = gen.key_at(next++ % kImages);
+    kv->get(key, [&, rt, loop](Result<std::string> r) {
+      if (r.ok()) ++completed;
+      rt->set_timer(kComputeUs, *loop);  // preprocess + accelerator step
+    });
+  };
+  rig.sim->post_to("loader", [kv, loop] {
+    kv->connect([loop](Status) { (*loop)(); });
+  });
+  rig.sim->run_for(kDuration);
+  return static_cast<double>(completed) * 1e6 / static_cast<double>(kDuration);
+}
+
+}  // namespace
+
+int main() {
+  print_header("§VI-B", "DL training ingest: PFS vs bespoKV distributed cache");
+  const double pfs = pfs_rate();
+  const double cache_socket = cache_rate(TransportModel::socket_model());
+  const double cache_dpdk = cache_rate(TransportModel::fastpath_model());
+
+  print_row("%-34s %10.1f images/s", "PFS direct ingest (extant)", pfs);
+  print_row("%-34s %10.1f images/s", "bespoKV cache (kernel sockets)", cache_socket);
+  print_row("%-34s %10.1f images/s (%.1fx over extant; paper: 4x, 40 vs 10)",
+            "bespoKV cache + DPDK fast path", cache_dpdk, cache_dpdk / pfs);
+  return 0;
+}

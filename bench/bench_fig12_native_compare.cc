@@ -1,0 +1,134 @@
+// Fig. 12 reproduction: latency vs throughput against natively-distributed
+// stores. Six server nodes (the paper's local testbed), Zipfian 95% and 50%
+// GET, increasing client counts trace out each system's latency/throughput
+// curve:
+//   * bespoKV+tHT in MS+SC / MS+EC / AA+SC / AA+EC
+//   * Cassandra-like (AA+EC, coordinator hop, LSM engine w/ compaction cost)
+//   * Voldemort-like (AA+EC, coordinator hop, in-memory engine)
+//
+// Paper's shape: bespoKV AA+EC beats Cassandra ~4.5x/4.4x and Voldemort
+// ~1.6x/2.75x (read/write-intensive); MS+EC ~ AA+EC at 95% GET while AA+EC
+// leads at 50% GET (~1.5x); AA+SC is lock-capped; MS+SC well above AA+SC.
+#include "bench/bench_util.h"
+
+#include "src/baselines/native.h"
+#include "src/common/hash.h"
+
+using namespace bespokv;
+using namespace bespokv::bench;
+using namespace bespokv::baselines;
+
+namespace {
+
+constexpr int kServerNodes = 6;
+
+struct Point {
+  int clients;
+  double kqps;
+  double mean_lat_ms;
+};
+
+std::vector<Point> bespokv_curve(Topology t, Consistency c,
+                                 const WorkloadSpec& wl,
+                                 const std::vector<int>& client_counts) {
+  std::vector<Point> pts;
+  for (int clients : client_counts) {
+    BenchConfig cfg;
+    cfg.topology = t;
+    cfg.consistency = c;
+    cfg.nodes = kServerNodes;
+    cfg.workload = wl;
+    cfg.clients_per_node = std::max(1, clients / kServerNodes);
+    cfg.warmup_us = 100'000;
+    cfg.measure_us = 250'000;
+    DriverResult r = run_bench(cfg);
+    pts.push_back(Point{clients, kqps(r), r.latency_us.mean() / 1000.0});
+  }
+  return pts;
+}
+
+// The native stores' per-op engine cost: bespoKV nodes are calibrated at
+// 45us/op for the controlet+tHT pair. The Dynamo descendants pay (a) a
+// coordinator forwarding hop on most requests and (b) heavier storage
+// engines: the Cassandra-like node runs a JVM LSM with compaction and
+// read amplification (~3x per-op cost — the §VIII-F explanation for its
+// gap), Voldemort's in-memory BDB-style engine ~1.6x.
+std::vector<Point> native_curve(const char* engine, uint64_t service_us,
+                                const WorkloadSpec& wl,
+                                const std::vector<int>& client_counts) {
+  std::vector<Point> pts;
+  for (int clients : client_counts) {
+    SimFabric sim;
+    SimNodeOpts server;
+    server.base_service_us = service_us;
+    server.per_kb_service_us = 4.0;
+    std::vector<Addr> ring;
+    for (int i = 0; i < kServerNodes; ++i) {
+      ring.push_back("native" + std::to_string(i));
+    }
+    std::vector<std::shared_ptr<NativeStoreNode>> nodes;
+    for (int i = 0; i < kServerNodes; ++i) {
+      NativeStoreConfig cfg;
+      cfg.ring = ring;
+      cfg.my_index = static_cast<size_t>(i);
+      cfg.engine = engine;
+      auto n = std::make_shared<NativeStoreNode>(cfg);
+      nodes.push_back(n);
+      sim.add_node(ring[static_cast<size_t>(i)], n, server);
+    }
+    // Preload replica sets directly.
+    WorkloadGenerator gen(wl);
+    for (uint64_t k = 0; k < wl.num_keys; ++k) {
+      const std::string key = gen.key_at(k);
+      const std::string value = gen.value_for(k);
+      const size_t start = mix64(fnv1a64(key)) % ring.size();
+      for (size_t r = 0; r < 3; ++r) {
+        nodes[(start + r) % ring.size()]->engine()->put(key, value, 1);
+      }
+    }
+    BaselineRunOpts opts;
+    opts.num_clients = clients;
+    opts.workload = wl;
+    DriverResult r = run_baseline_load(
+        sim, opts, [&ring](const WorkloadOp&, uint64_t salt) {
+          return ring[salt % ring.size()];  // clients spray over all nodes
+        });
+    pts.push_back(Point{clients, r.qps / 1000.0, r.latency_us.mean() / 1000.0});
+  }
+  return pts;
+}
+
+void print_curve(const char* name, const std::vector<Point>& pts) {
+  for (const auto& p : pts) {
+    print_row("%-12s clients=%4d %9.1f kQPS %8.2f ms", name, p.clients,
+              p.kqps, p.mean_lat_ms);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<int> client_counts = {6, 12, 24, 48, 96, 192};
+  for (double get_ratio : {0.95, 0.50}) {
+    WorkloadSpec wl;
+    wl.num_keys = 100'000;
+    wl.get_ratio = get_ratio;
+    wl.zipfian = true;
+
+    print_header("Fig. 12",
+                 std::string("latency vs throughput, Zipf ") +
+                     (get_ratio > 0.9 ? "95% GET" : "50% GET") +
+                     " (6 server nodes)");
+    print_curve("MS+SC", bespokv_curve(Topology::kMasterSlave,
+                                       Consistency::kStrong, wl, client_counts));
+    print_curve("MS+EC", bespokv_curve(Topology::kMasterSlave,
+                                       Consistency::kEventual, wl, client_counts));
+    print_curve("AA+SC", bespokv_curve(Topology::kActiveActive,
+                                       Consistency::kStrong, wl, client_counts));
+    print_curve("AA+EC", bespokv_curve(Topology::kActiveActive,
+                                       Consistency::kEventual, wl, client_counts));
+    print_curve("Cassandra", native_curve("tLSM", 135, wl, client_counts));
+    print_curve("Voldemort", native_curve("tHT", 72, wl, client_counts));
+  }
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Engine/codec microbenchmarks (google-benchmark). These measure the real
+// CPU cost of the building blocks and back the per-op service-time
+// calibration used by the simulated cluster benches (bench_util.h): e.g. the
+// tLSM-vs-tHT per-op ratio feeds the Cassandra-like node cost in Fig. 12.
+#include <benchmark/benchmark.h>
+
+#include "src/common/hash.h"
+#include "src/common/hash_ring.h"
+#include "src/common/rng.h"
+#include "src/datalet/datalet.h"
+#include "src/proto/codec.h"
+#include "src/proto/text_protocol.h"
+
+namespace bespokv {
+namespace {
+
+void BM_EnginePut(benchmark::State& state, const char* kind) {
+  auto d = make_datalet(kind, {});
+  Rng rng(7);
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    const std::string key = "key" + std::to_string(rng.next_u64(100'000));
+    d->put(key, "value-payload-32-bytes-of-data!!", ++seq);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_EngineGet(benchmark::State& state, const char* kind) {
+  auto d = make_datalet(kind, {});
+  Rng rng(7);
+  for (uint64_t i = 0; i < 100'000; ++i) {
+    d->put("key" + std::to_string(i), "value-payload-32-bytes-of-data!!", i);
+  }
+  for (auto _ : state) {
+    const std::string key = "key" + std::to_string(rng.next_u64(100'000));
+    benchmark::DoNotOptimize(d->get(key));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+BENCHMARK_CAPTURE(BM_EnginePut, tHT, "tHT");
+BENCHMARK_CAPTURE(BM_EnginePut, tMT, "tMT");
+BENCHMARK_CAPTURE(BM_EnginePut, tLSM, "tLSM");
+BENCHMARK_CAPTURE(BM_EnginePut, tLog, "tLog");
+BENCHMARK_CAPTURE(BM_EngineGet, tHT, "tHT");
+BENCHMARK_CAPTURE(BM_EngineGet, tMT, "tMT");
+BENCHMARK_CAPTURE(BM_EngineGet, tLSM, "tLSM");
+BENCHMARK_CAPTURE(BM_EngineGet, tLog, "tLog");
+
+void BM_EngineScan(benchmark::State& state, const char* kind) {
+  auto d = make_datalet(kind, {});
+  for (uint64_t i = 0; i < 100'000; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "k%08llu", static_cast<unsigned long long>(i));
+    d->put(buf, "v", i);
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "k%08llu",
+                  static_cast<unsigned long long>(rng.next_u64(99'000)));
+    benchmark::DoNotOptimize(d->scan(buf, "", 100));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK_CAPTURE(BM_EngineScan, tMT, "tMT");
+BENCHMARK_CAPTURE(BM_EngineScan, tLSM, "tLSM");
+
+void BM_CodecEncode(benchmark::State& state) {
+  Message m = Message::put(std::string(16, 'k'), std::string(32, 'v'));
+  for (auto _ : state) {
+    std::string buf;
+    encode_message(m, &buf);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CodecEncode);
+
+void BM_CodecDecode(benchmark::State& state) {
+  Message m = Message::put(std::string(16, 'k'), std::string(32, 'v'));
+  std::string buf;
+  encode_message(m, &buf);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decode_message(buf));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CodecDecode);
+
+void BM_RespParse(benchmark::State& state) {
+  RespParser p;
+  const std::string wire = p.format_request(Message::put("key-16-bytes!!!!",
+                                                         std::string(32, 'v')));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.parse_request(wire));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RespParse);
+
+void BM_Zipfian(benchmark::State& state) {
+  ZipfianGenerator z(1'000'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(z.next());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Zipfian);
+
+void BM_HashRingLookup(benchmark::State& state) {
+  HashRing ring;
+  for (int i = 0; i < 48; ++i) ring.add_node("node" + std::to_string(i));
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.lookup("key" + std::to_string(rng.next_u64(1'000'000))));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HashRingLookup);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096);
+
+}  // namespace
+}  // namespace bespokv
+
+BENCHMARK_MAIN();

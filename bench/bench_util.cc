@@ -1,0 +1,178 @@
+#include "bench/bench_util.h"
+
+#include <cstdarg>
+
+namespace bespokv::bench {
+
+BenchRig make_rig(const BenchConfig& cfg) {
+  BenchRig rig;
+  SimFabricOpts fopts;
+  fopts.link_latency_us = cfg.link_latency_us;
+  fopts.transport = cfg.transport;
+  fopts.seed = cfg.seed;
+  rig.sim = std::make_unique<SimFabric>(fopts);
+
+  ClusterOptions copts;
+  copts.topology = cfg.topology;
+  copts.consistency = cfg.consistency;
+  copts.num_replicas = cfg.replicas;
+  copts.num_shards = std::max(1, cfg.nodes / cfg.replicas);
+  copts.datalet_kind = cfg.datalet;
+  copts.replica_datalet_kinds = cfg.replica_datalets;
+  copts.num_standby = cfg.num_standby;
+  copts.sim_node.base_service_us = cfg.node_service_us;
+  copts.sim_node.per_kb_service_us = 4.0;
+  // Benchmarks run failure detection fast enough to watch recovery inside a
+  // 40-virtual-second window (Fig. 16), matching the paper's 5s heartbeats
+  // scaled to the shorter runs.
+  copts.coordinator.hb_period_us = 500'000;
+  copts.coordinator.hb_miss_limit = 3;
+  copts.controlet.hb_period_us = 250'000;
+  rig.cluster = std::make_unique<Cluster>(*rig.sim, copts);
+  rig.cluster->start();
+  rig.sim->run_for(300'000);  // let controlets pull their shard maps
+
+  DriverOptions dopts;
+  dopts.num_clients = cfg.clients_per_node * cfg.nodes;
+  dopts.rpc_timeout_us = cfg.client_rpc_timeout_us;
+  dopts.workload = cfg.workload;
+  dopts.strong_get_fraction = cfg.strong_get_fraction;
+  dopts.timeline_bucket_us = cfg.timeline_bucket_us;
+  rig.driver = std::make_unique<SimWorkloadDriver>(*rig.sim, *rig.cluster, dopts);
+  rig.driver->preload();
+  return rig;
+}
+
+void BenchRig::warm(const BenchConfig& cfg) {
+  driver->start();
+  sim->run_for(cfg.warmup_us);
+  driver->reset_window();
+}
+
+DriverResult run_bench(const BenchConfig& cfg) {
+  BenchRig rig = make_rig(cfg);
+  rig.warm(cfg);
+  rig.sim->run_for(cfg.measure_us);
+  DriverResult r = rig.driver->collect();
+  rig.driver->stop();
+  return r;
+}
+
+DriverResult run_baseline_load(
+    SimFabric& sim, const BaselineRunOpts& opts,
+    std::function<Addr(const WorkloadOp&, uint64_t salt)> route) {
+  struct Stats {
+    uint64_t ops = 0, errors = 0;
+    Histogram lat;
+    std::vector<uint64_t> timeline;
+    uint64_t window_start = 0;
+    bool running = true;
+    bool measuring = false;
+  };
+  auto stats = std::make_shared<Stats>();
+
+  struct ClientState {
+    Runtime* rt;
+    WorkloadGenerator gen;
+    uint64_t salt = 0;
+  };
+  std::vector<std::shared_ptr<ClientState>> clients;
+  for (int i = 0; i < opts.num_clients; ++i) {
+    SimNodeOpts copts;
+    copts.is_client = true;
+    const Addr addr = opts.client_prefix + std::to_string(i);
+    Runtime* rt = sim.add_node(addr,
+                               std::make_shared<LambdaService>(
+                                   [](Runtime&, const Addr&, Message, Replier r) {
+                                     r(Message::reply(Code::kInvalid));
+                                   }),
+                               copts);
+    auto c = std::make_shared<ClientState>(
+        ClientState{rt, WorkloadGenerator(opts.workload, static_cast<uint64_t>(i)), 0});
+    clients.push_back(c);
+    sim.post_to(addr, [c, stats, route] {
+      auto step = std::make_shared<std::function<void()>>();
+      *step = [c, stats, route, step] {
+        if (!stats->running) return;
+        WorkloadOp op = c->gen.next();
+        Message req;
+        switch (op.type) {
+          case OpType::kPut: req = Message::put(op.key, op.value); break;
+          case OpType::kGet: req = Message::get(op.key); break;
+          case OpType::kDel: req = Message::del(op.key); break;
+          case OpType::kScan:
+            req = Message::scan(op.key, op.scan_end, op.scan_limit);
+            break;
+        }
+        const Addr target = route(op, ++c->salt);
+        if (target.empty()) {
+          c->rt->post(*step);
+          return;
+        }
+        const uint64_t inv = c->rt->now_us();
+        c->rt->call(target, std::move(req),
+                    [c, stats, step, inv](Status s, Message rep) {
+                      if (stats->measuring) {
+                        const uint64_t now = c->rt->now_us();
+                        const bool ok =
+                            s.ok() && (rep.code == Code::kOk ||
+                                       rep.code == Code::kNotFound);
+                        if (ok) {
+                          ++stats->ops;
+                          stats->lat.record(now - inv);
+                        } else {
+                          ++stats->errors;
+                        }
+                      }
+                      (*step)();
+                    },
+                    500'000);
+      };
+      (*step)();
+    });
+  }
+
+  sim.run_for(opts.warmup_us);
+  stats->measuring = true;
+  stats->window_start = sim.now_us();
+  // Timeline bucketing: sample ops counter once per bucket.
+  std::vector<uint64_t> marks;
+  if (opts.timeline_bucket_us > 0) {
+    uint64_t elapsed = 0;
+    uint64_t last_ops = stats->ops;
+    while (elapsed < opts.measure_us) {
+      sim.run_for(opts.timeline_bucket_us);
+      elapsed += opts.timeline_bucket_us;
+      marks.push_back(stats->ops - last_ops);
+      last_ops = stats->ops;
+    }
+  } else {
+    sim.run_for(opts.measure_us);
+  }
+  stats->running = false;
+
+  DriverResult r;
+  r.ops = stats->ops;
+  r.errors = stats->errors;
+  r.window_us = opts.measure_us;
+  r.qps = static_cast<double>(stats->ops) * 1e6 /
+          static_cast<double>(opts.measure_us);
+  r.latency_us = stats->lat;
+  r.timeline = marks;
+  return r;
+}
+
+void print_header(const std::string& fig, const std::string& title) {
+  std::printf("\n=== %s: %s ===\n", fig.c_str(), title.c_str());
+}
+
+void print_row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace bespokv::bench

@@ -1,0 +1,94 @@
+// Shared harness for the figure-reproduction benchmarks: builds a simulated
+// bespoKV deployment of N controlet+datalet nodes (the paper's GCE/testbed
+// substitute, DESIGN.md §2), drives it with closed-loop clients through the
+// real client library, and reports kQPS/latency rows shaped like the paper's
+// plots.
+//
+// Calibration: node service time and link latency are set so a single
+// controlet+datalet pair saturates at roughly the paper's per-VM rate
+// (~13-15k QPS on n1-standard-4) and an EC GET costs a few hundred us —
+// absolute values are indicative only; the *shape* across configurations is
+// the reproduction target (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "src/cluster/cluster.h"
+#include "src/net/sim_fabric.h"
+#include "src/workload/sim_driver.h"
+#include "src/workload/workload.h"
+
+namespace bespokv::bench {
+
+struct BenchConfig {
+  Topology topology = Topology::kMasterSlave;
+  Consistency consistency = Consistency::kEventual;
+  int nodes = 3;              // controlet+datalet pairs; shards = nodes/replicas
+  int replicas = 3;
+  std::string datalet = "tHT";
+  std::vector<std::string> replica_datalets;  // polyglot override
+  WorkloadSpec workload;
+  int clients_per_node = 3;
+  double strong_get_fraction = -1.0;
+  uint64_t warmup_us = 200'000;
+  uint64_t measure_us = 400'000;
+  uint64_t timeline_bucket_us = 0;
+  TransportModel transport = TransportModel::socket_model();
+  uint64_t link_latency_us = 120;
+  // Client-side RPC deadline: failover benches shorten it so closed-loop
+  // clients stuck on a dead shard release quickly (the paper's client pool
+  // is large enough that stuck threads barely dent aggregate throughput;
+  // with a few dozen closed-loop clients the timeout is the lever).
+  uint64_t client_rpc_timeout_us = 1'000'000;
+  uint64_t node_service_us = 45;   // calibrated per-op CPU cost
+  int num_standby = 0;
+  uint64_t seed = 42;
+};
+
+// A fully-assembled deployment the benches can keep manipulating (failure
+// injection, transitions) while the driver runs.
+struct BenchRig {
+  std::unique_ptr<SimFabric> sim;
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<SimWorkloadDriver> driver;
+
+  // Starts clients, runs the warmup, and resets the measurement window.
+  void warm(const BenchConfig& cfg);
+};
+
+BenchRig make_rig(const BenchConfig& cfg);
+
+// One-shot: build, warm, measure, tear down.
+DriverResult run_bench(const BenchConfig& cfg);
+
+// ---------------------------------------------------------------------------
+// Output helpers: every bench prints self-describing rows so the run log can
+// regenerate the paper's tables/figures directly.
+
+void print_header(const std::string& fig, const std::string& title);
+void print_row(const char* fmt, ...);
+
+inline double kqps(const DriverResult& r) { return r.qps / 1000.0; }
+
+// ---------------------------------------------------------------------------
+// Closed-loop driver for the baseline systems (Twemproxy/Dynomite/native
+// stores), which have no coordinator/shard map: `route` picks the entry node
+// for each op ("" skips the op), and the same workload/measurement machinery
+// as SimWorkloadDriver applies.
+
+struct BaselineRunOpts {
+  int num_clients = 32;
+  WorkloadSpec workload;
+  uint64_t warmup_us = 100'000;
+  uint64_t measure_us = 250'000;
+  uint64_t timeline_bucket_us = 0;
+  std::string client_prefix = "blc";
+};
+
+DriverResult run_baseline_load(
+    SimFabric& sim, const BaselineRunOpts& opts,
+    std::function<Addr(const WorkloadOp&, uint64_t salt)> route);
+
+}  // namespace bespokv::bench

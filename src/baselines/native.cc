@@ -1,0 +1,120 @@
+#include "src/baselines/native.h"
+
+#include <memory>
+
+#include "src/common/hash.h"
+#include "src/datalet/service.h"
+
+namespace bespokv::baselines {
+
+NativeStoreNode::NativeStoreNode(NativeStoreConfig cfg)
+    : cfg_(std::move(cfg)), engine_(make_datalet(cfg_.engine, {})) {
+  if (engine_ == nullptr) engine_ = make_datalet("tHT", {});
+}
+
+void NativeStoreNode::start(Runtime& rt) { Service::start(rt); }
+
+void NativeStoreNode::stop() {}
+
+std::vector<size_t> NativeStoreNode::replica_set(std::string_view key) const {
+  std::vector<size_t> out;
+  if (cfg_.ring.empty()) return out;
+  const size_t start = mix64(fnv1a64(key)) % cfg_.ring.size();
+  const size_t rf = std::min<size_t>(static_cast<size_t>(cfg_.replication_factor),
+                                     cfg_.ring.size());
+  for (size_t i = 0; i < rf; ++i) {
+    out.push_back((start + i) % cfg_.ring.size());
+  }
+  return out;
+}
+
+void NativeStoreNode::handle(const Addr&, Message req, Replier reply) {
+  switch (req.op) {
+    case Op::kPut:
+    case Op::kDel:
+      coordinate_write(std::move(req), std::move(reply));
+      return;
+    case Op::kGet:
+    case Op::kScan:
+      coordinate_read(std::move(req), std::move(reply));
+      return;
+    case Op::kPropagate: {  // internal replica write
+      for (size_t i = 0; i < req.kvs.size(); ++i) {
+        const bool is_del = i < req.strs.size() && req.strs[i] == "D";
+        if (is_del) {
+          engine_->del(req.kvs[i].key, req.kvs[i].seq);
+        } else {
+          engine_->put_if_newer(req.kvs[i].key, req.kvs[i].value,
+                                req.kvs[i].seq);
+        }
+      }
+      reply(Message::reply(Code::kOk));
+      return;
+    }
+    case Op::kSnapshotReq:
+      reply(DataletHandle::apply(*engine_, req));
+      return;
+    default:
+      reply(Message::reply(Code::kInvalid));
+  }
+}
+
+void NativeStoreNode::coordinate_write(Message req, Replier reply) {
+  const auto replicas = replica_set(req.key);
+  if (replicas.empty()) {
+    reply(Message::reply(Code::kUnavailable));
+    return;
+  }
+  const uint64_t version = (rt_->now_us() << 8) | (++lamport_ & 0xff);
+  Message w;
+  w.op = Op::kPropagate;
+  w.kvs.push_back(KV{req.key, req.value, version});
+  w.strs.push_back(req.op == Op::kDel ? "D" : "P");
+
+  // Consistency level ONE: ack the client after the first replica commits;
+  // the rest complete in the background (write-behind / hinted handoff).
+  auto acked = std::make_shared<bool>(false);
+  for (size_t idx : replicas) {
+    const Addr& target = cfg_.ring[idx];
+    if (target == rt_->self()) {
+      engine_->put_if_newer(w.kvs[0].key, w.kvs[0].value, version);
+      if (!*acked) {
+        *acked = true;
+        reply(Message::reply(Code::kOk));
+      }
+      continue;
+    }
+    rt_->call(target, w, [acked, reply](Status s, Message rep) {
+      if (!*acked) {
+        *acked = true;
+        if (s.ok() && rep.code == Code::kOk) {
+          reply(Message::reply(Code::kOk));
+        } else {
+          reply(Message::reply(Code::kUnavailable));
+        }
+      }
+    });
+  }
+}
+
+void NativeStoreNode::coordinate_read(Message req, Replier reply) {
+  const auto replicas = replica_set(req.key);
+  if (replicas.empty()) {
+    reply(Message::reply(Code::kUnavailable));
+    return;
+  }
+  // Read at ONE: prefer the local replica, otherwise one forwarding hop.
+  for (size_t idx : replicas) {
+    if (cfg_.ring[idx] == rt_->self()) {
+      reply(DataletHandle::apply(*engine_, req));
+      return;
+    }
+  }
+  const size_t pick = replicas[(lamport_++) % replicas.size()];
+  rt_->call(cfg_.ring[pick], std::move(req),
+            [reply](Status s, Message rep) {
+              reply(s.ok() ? std::move(rep) : Message::reply(Code::kUnavailable));
+            });
+}
+
+}  // namespace bespokv::baselines

@@ -1,0 +1,50 @@
+// Natively-distributed baselines (Fig. 12): simplified Cassandra-like and
+// Voldemort-like stores, both Dynamo descendants (AA topology, EC with a
+// consistency level of ONE, as configured in §VIII-F).
+//
+// Request path (the structural difference from bespoKV): the node a client
+// contacts acts as a *request coordinator* — it hashes the key onto the
+// ring, forwards to the replica set, waits for ONE ack and replies. Reads
+// pay the same extra hop. Storage: Cassandra-like nodes run the tLSM engine
+// (compaction and read amplification included — the overhead §VIII-F blames
+// for Cassandra's gap); Voldemort-like nodes run in-memory tHT.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/datalet/datalet.h"
+#include "src/net/runtime.h"
+
+namespace bespokv::baselines {
+
+struct NativeStoreConfig {
+  std::vector<Addr> ring;      // all nodes, position = ring order
+  size_t my_index = 0;
+  int replication_factor = 3;
+  std::string engine = "tLSM"; // "tLSM" = cassandra-like, "tHT" = voldemort
+  uint64_t hint_flush_us = 2'000;  // async replica write-behind cadence
+};
+
+class NativeStoreNode : public Service {
+ public:
+  explicit NativeStoreNode(NativeStoreConfig cfg);
+
+  void start(Runtime& rt) override;
+  void stop() override;
+  void handle(const Addr& from, Message req, Replier reply) override;
+
+  Datalet* engine() { return engine_.get(); }
+
+ private:
+  // First `replication_factor` nodes clockwise from the key's position.
+  std::vector<size_t> replica_set(std::string_view key) const;
+  void coordinate_write(Message req, Replier reply);
+  void coordinate_read(Message req, Replier reply);
+
+  NativeStoreConfig cfg_;
+  std::unique_ptr<Datalet> engine_;
+  uint64_t lamport_ = 0;
+};
+
+}  // namespace bespokv::baselines

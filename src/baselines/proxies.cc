@@ -1,0 +1,95 @@
+#include "src/baselines/proxies.h"
+
+#include "src/common/hash.h"
+#include "src/proto/message.h"
+
+namespace bespokv::baselines {
+
+void TwemproxyLike::handle(const Addr&, Message req, Replier reply) {
+  if (cfg_.shards.empty()) {
+    reply(Message::reply(Code::kUnavailable));
+    return;
+  }
+  const size_t shard =
+      mix64(fnv1a64(req.key)) % cfg_.shards.size();
+  const auto& pool = cfg_.shards[shard].backends;
+  if (pool.empty()) {
+    reply(Message::reply(Code::kUnavailable));
+    return;
+  }
+  Addr target;
+  if (req.op == Op::kGet || req.op == Op::kScan) {
+    target = pool[++salt_ % pool.size()];  // reads off any replica (EC)
+  } else {
+    target = pool.front();  // writes to the pool master
+  }
+  rt_->call(target, std::move(req),
+            [reply](Status s, Message rep) {
+              reply(s.ok() ? std::move(rep) : Message::reply(Code::kUnavailable));
+            });
+}
+
+void DynomiteLike::start(Runtime& rt) {
+  Service::start(rt);
+  flush_timer_ = rt_->set_periodic(cfg_.repl_flush_us, [this] { flush(); });
+}
+
+void DynomiteLike::stop() {
+  if (rt_ != nullptr && flush_timer_ != 0) rt_->cancel_timer(flush_timer_);
+  flush_timer_ = 0;
+}
+
+void DynomiteLike::handle(const Addr&, Message req, Replier reply) {
+  switch (req.op) {
+    case Op::kPut:
+    case Op::kDel: {
+      // Timestamp for LWW conflict resolution; concurrent writes within the
+      // replication window may still conflict (Dynomite's documented gap).
+      req.seq = (rt_->now_us() << 8) | (++lamport_ & 0xff);
+      backlog_.push_back(KV{req.key, req.value, req.seq});
+      backlog_ops_.push_back(req.op == Op::kDel ? "D" : "P");
+      const bool full = backlog_.size() >= cfg_.repl_batch;
+      rt_->call(cfg_.local_backend, std::move(req),
+                [reply](Status s, Message rep) {
+                  reply(s.ok() ? std::move(rep)
+                               : Message::reply(Code::kUnavailable));
+                });
+      if (full) flush();
+      return;
+    }
+    case Op::kGet:
+    case Op::kScan:
+      rt_->call(cfg_.local_backend, std::move(req),
+                [reply](Status s, Message rep) {
+                  reply(s.ok() ? std::move(rep)
+                               : Message::reply(Code::kUnavailable));
+                });
+      return;
+    case Op::kPropagate: {
+      // Peer replica traffic: apply onto the local backend.
+      rt_->call(cfg_.local_backend, std::move(req),
+                [reply](Status s, Message rep) {
+                  reply(s.ok() ? std::move(rep)
+                               : Message::reply(Code::kUnavailable));
+                });
+      return;
+    }
+    default:
+      reply(Message::reply(Code::kInvalid));
+  }
+}
+
+void DynomiteLike::flush() {
+  if (backlog_.empty()) return;
+  Message m;
+  m.op = Op::kPropagate;
+  m.kvs = std::move(backlog_);
+  m.strs = std::move(backlog_ops_);
+  backlog_.clear();
+  backlog_ops_.clear();
+  for (const auto& peer : cfg_.peer_proxies) {
+    rt_->send(peer, m);
+  }
+}
+
+}  // namespace bespokv::baselines

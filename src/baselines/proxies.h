@@ -1,0 +1,64 @@
+// Proxy-based baselines (Table I, Fig. 11):
+//
+//  * TwemproxyLike — Twitter's twemproxy: a stateless sharding proxy.
+//    Consistent-hash routing to backend pools, no replication of its own
+//    (the Redis backends replicate master->slave themselves), writes to the
+//    pool master, reads spread over the pool. Supports MS+EC only.
+//
+//  * DynomiteLike — Netflix's Dynomite: a co-located proxy per backend node
+//    turning single-server stores into an AA+EC ring. A write lands on any
+//    proxy, is applied to the local backend and asynchronously forwarded to
+//    the peer replicas; reads are local. No global ordering (the conflict
+//    window the paper calls out in §C.C).
+#pragma once
+
+#include <vector>
+
+#include "src/net/runtime.h"
+
+namespace bespokv::baselines {
+
+struct ProxyShard {
+  std::vector<Addr> backends;  // [0] = master (Twemproxy), all active (Dynomite)
+};
+
+struct TwemproxyConfig {
+  std::vector<ProxyShard> shards;
+};
+
+class TwemproxyLike : public Service {
+ public:
+  explicit TwemproxyLike(TwemproxyConfig cfg) : cfg_(std::move(cfg)) {}
+  void handle(const Addr& from, Message req, Replier reply) override;
+
+ private:
+  TwemproxyConfig cfg_;
+  uint64_t salt_ = 0;
+};
+
+struct DynomiteConfig {
+  Addr local_backend;
+  std::vector<Addr> peer_proxies;  // other replicas' proxies in this shard
+  uint64_t repl_flush_us = 2'000;
+  uint32_t repl_batch = 128;
+};
+
+class DynomiteLike : public Service {
+ public:
+  explicit DynomiteLike(DynomiteConfig cfg) : cfg_(std::move(cfg)) {}
+
+  void start(Runtime& rt) override;
+  void stop() override;
+  void handle(const Addr& from, Message req, Replier reply) override;
+
+ private:
+  void flush();
+
+  DynomiteConfig cfg_;
+  std::vector<KV> backlog_;
+  std::vector<std::string> backlog_ops_;
+  uint64_t lamport_ = 0;  // timestamp versions for LWW without global order
+  uint64_t flush_timer_ = 0;
+};
+
+}  // namespace bespokv::baselines

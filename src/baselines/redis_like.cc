@@ -1,0 +1,71 @@
+#include "src/baselines/redis_like.h"
+
+#include "src/datalet/service.h"
+
+namespace bespokv::baselines {
+
+RedisLikeBackend::RedisLikeBackend(RedisLikeConfig cfg)
+    : cfg_(std::move(cfg)), engine_(make_datalet("tRedis", {})) {}
+
+void RedisLikeBackend::start(Runtime& rt) {
+  Service::start(rt);
+  if (!cfg_.slaves.empty()) {
+    flush_timer_ = rt_->set_periodic(cfg_.repl_flush_us, [this] { flush(); });
+  }
+}
+
+void RedisLikeBackend::stop() {
+  if (rt_ != nullptr && flush_timer_ != 0) rt_->cancel_timer(flush_timer_);
+  flush_timer_ = 0;
+}
+
+void RedisLikeBackend::handle(const Addr&, Message req, Replier reply) {
+  switch (req.op) {
+    case Op::kPut:
+    case Op::kDel: {
+      req.seq = ++seq_;
+      Message rep = DataletHandle::apply(*engine_, req);
+      backlog_.push_back(KV{req.key, req.value, req.seq});
+      backlog_ops_.push_back(req.op == Op::kDel ? "D" : "P");
+      if (backlog_.size() >= cfg_.repl_batch) flush();
+      reply(std::move(rep));
+      return;
+    }
+    case Op::kGet:
+    case Op::kScan:
+    case Op::kSnapshotReq:
+      reply(DataletHandle::apply(*engine_, req));
+      return;
+    case Op::kPropagate: {
+      for (size_t i = 0; i < req.kvs.size(); ++i) {
+        const bool is_del = i < req.strs.size() && req.strs[i] == "D";
+        if (is_del) {
+          engine_->del(req.kvs[i].key, req.kvs[i].seq);
+        } else {
+          engine_->put_if_newer(req.kvs[i].key, req.kvs[i].value, req.kvs[i].seq);
+        }
+      }
+      reply(Message::reply(Code::kOk));
+      return;
+    }
+    default:
+      reply(Message::reply(Code::kInvalid));
+  }
+}
+
+void RedisLikeBackend::flush() {
+  if (backlog_.empty()) return;
+  Message m;
+  m.op = Op::kPropagate;
+  while (!backlog_.empty() && m.kvs.size() < cfg_.repl_batch) {
+    m.kvs.push_back(std::move(backlog_.front()));
+    m.strs.push_back(std::move(backlog_ops_.front()));
+    backlog_.pop_front();
+    backlog_ops_.pop_front();
+  }
+  for (const auto& slave : cfg_.slaves) {
+    rt_->send(slave, m);
+  }
+}
+
+}  // namespace bespokv::baselines

@@ -1,0 +1,45 @@
+// RedisLikeBackend: a single-server store with Redis-style *built-in*
+// master-slave asynchronous replication. The proxy baselines are layered on
+// top of it exactly like Twemproxy/Dynomite are layered on Redis: Twemproxy
+// only routes (replication happens here, in the backend); Dynomite adds its
+// own cross-replica traffic and leans on this backend's streaming
+// recovery for failover (§IX, §D).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/datalet/datalet.h"
+#include "src/net/runtime.h"
+
+namespace bespokv::baselines {
+
+struct RedisLikeConfig {
+  std::vector<Addr> slaves;           // async replication targets
+  uint64_t repl_flush_us = 2'000;     // replication batch cadence
+  uint32_t repl_batch = 128;
+};
+
+class RedisLikeBackend : public Service {
+ public:
+  explicit RedisLikeBackend(RedisLikeConfig cfg = {});
+
+  void start(Runtime& rt) override;
+  void stop() override;
+  void handle(const Addr& from, Message req, Replier reply) override;
+
+  Datalet* engine() { return engine_.get(); }
+
+ private:
+  void flush();
+
+  RedisLikeConfig cfg_;
+  std::unique_ptr<Datalet> engine_;
+  std::deque<KV> backlog_;
+  std::deque<std::string> backlog_ops_;
+  uint64_t seq_ = 0;
+  uint64_t flush_timer_ = 0;
+};
+
+}  // namespace bespokv::baselines

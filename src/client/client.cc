@@ -1,0 +1,336 @@
+#include "src/client/client.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/common/logging.h"
+
+namespace bespokv {
+
+KvClient::KvClient(Runtime* rt, ClientConfig cfg) : rt_(rt), cfg_(cfg) {}
+
+KvClient::~KvClient() {
+  if (refresh_timer_ != 0) rt_->cancel_timer(refresh_timer_);
+}
+
+void KvClient::connect(StatusCb ready) {
+  refresh_map([this, ready = std::move(ready)](Status s) {
+    if (s.ok()) {
+      ready_ = true;
+      refresh_timer_ = rt_->set_periodic(cfg_.map_refresh_period_us, [this] {
+        refresh_map([](Status) {});
+      });
+      auto waiters = std::move(waiters_);
+      waiters_.clear();
+      for (auto& w : waiters) w();
+    }
+    if (ready) ready(s);
+  });
+}
+
+void KvClient::refresh_map(StatusCb done) {
+  if (refreshing_) {
+    if (done) done(Status::Ok());
+    return;
+  }
+  refreshing_ = true;
+  Message req;
+  req.op = Op::kGetShardMap;
+  rt_->call(cfg_.coordinator, std::move(req),
+            [this, done = std::move(done)](Status s, Message rep) {
+              refreshing_ = false;
+              if (!s.ok() || rep.code != Code::kOk) {
+                if (done) done(s.ok() ? Status(rep.code) : s);
+                return;
+              }
+              auto m = ShardMap::decode(rep.value);
+              if (!m.ok()) {
+                if (done) done(m.status());
+                return;
+              }
+              if (m.value().epoch >= map_.epoch) {
+                map_ = std::move(m).value();
+                ++refreshes_;
+              }
+              if (done) done(Status::Ok());
+            },
+            cfg_.rpc_timeout_us);
+}
+
+Result<Addr> KvClient::route(const Message& req, bool is_read) const {
+  std::string routing_key = req.table;
+  if (!routing_key.empty()) routing_key.push_back('\x1f');
+  routing_key += req.key;
+  const bool strong =
+      req.consistency == ConsistencyLevel::kStrong ||
+      (req.consistency == ConsistencyLevel::kDefault &&
+       map_.consistency == Consistency::kStrong);
+  if (is_read) return map_.read_target(routing_key, salt_, strong);
+  return map_.write_target(routing_key, salt_);
+}
+
+void KvClient::issue(Message req, bool is_read, int attempts_left, DoneCb done) {
+  if (!ready_) {
+    waiters_.push_back([this, req = std::move(req), is_read, attempts_left,
+                        done = std::move(done)]() mutable {
+      issue(std::move(req), is_read, attempts_left, std::move(done));
+    });
+    return;
+  }
+  ++salt_;
+  auto target = route(req, is_read);
+  if (!target.ok()) {
+    done(target.status(), Message{});
+    return;
+  }
+  rt_->call(target.value(), req,
+            [this, req, is_read, attempts_left,
+             done = std::move(done)](Status s, Message rep) mutable {
+              const bool routing_problem =
+                  !s.ok() || rep.code == Code::kNotLeader ||
+                  rep.code == Code::kUnavailable;
+              if (routing_problem && attempts_left > 0) {
+                // Stale map (failover / transition took place): refresh and
+                // retry against the new layout.
+                refresh_map([this, req = std::move(req), is_read,
+                             attempts_left,
+                             done = std::move(done)](Status) mutable {
+                  // Small backoff lets reconfiguration settle.
+                  rt_->set_timer(5'000, [this, req = std::move(req), is_read,
+                                         attempts_left,
+                                         done = std::move(done)]() mutable {
+                    issue(std::move(req), is_read, attempts_left - 1,
+                          std::move(done));
+                  });
+                });
+                return;
+              }
+              done(s, std::move(rep));
+            },
+            cfg_.rpc_timeout_us);
+}
+
+void KvClient::create_table(const std::string& table, StatusCb done) {
+  // Tables are prefix-virtualized in every datalet; creation only needs to
+  // be visible in routing, which it implicitly is. Report success.
+  (void)table;
+  rt_->post([done = std::move(done)] { done(Status::Ok()); });
+}
+
+void KvClient::delete_table(const std::string& table, StatusCb done) {
+  // Broadcast the deletion to every shard master.
+  auto remaining = std::make_shared<size_t>(map_.shards.size());
+  auto failed = std::make_shared<bool>(false);
+  if (map_.shards.empty()) {
+    done(Status::Unavailable("no shards"));
+    return;
+  }
+  for (const auto& s : map_.shards) {
+    if (s.replicas.empty()) continue;
+    Message req;
+    req.op = Op::kDeleteTable;
+    req.table = table;
+    rt_->call(s.replicas.front().controlet, std::move(req),
+              [remaining, failed, done](Status st, Message rep) {
+                if (!st.ok() || rep.code != Code::kOk) *failed = true;
+                if (--*remaining == 0) {
+                  done(*failed ? Status::Unavailable("partial table delete")
+                               : Status::Ok());
+                }
+              },
+              cfg_.rpc_timeout_us);
+  }
+}
+
+void KvClient::put(const std::string& key, const std::string& value,
+                   StatusCb done, const std::string& table,
+                   ConsistencyLevel level) {
+  Message req = Message::put(key, value, table);
+  req.consistency = level;
+  issue(std::move(req), /*is_read=*/false, cfg_.retries,
+        [done = std::move(done)](Status s, Message rep) {
+          done(s.ok() ? Status(rep.code) : s);
+        });
+}
+
+void KvClient::get(const std::string& key, ValueCb done,
+                   const std::string& table, ConsistencyLevel level) {
+  Message req = Message::get(key, table);
+  req.consistency = level;
+  issue(std::move(req), /*is_read=*/true, cfg_.retries,
+        [done = std::move(done)](Status s, Message rep) {
+          if (!s.ok()) {
+            done(s);
+          } else if (rep.code != Code::kOk) {
+            done(Status(rep.code));
+          } else {
+            done(std::move(rep.value));
+          }
+        });
+}
+
+void KvClient::del(const std::string& key, StatusCb done,
+                   const std::string& table, ConsistencyLevel level) {
+  Message req = Message::del(key, table);
+  req.consistency = level;
+  issue(std::move(req), /*is_read=*/false, cfg_.retries,
+        [done = std::move(done)](Status s, Message rep) {
+          done(s.ok() ? Status(rep.code) : s);
+        });
+}
+
+void KvClient::scan(const std::string& start, const std::string& end,
+                    uint32_t limit, ScanCb done, const std::string& table) {
+  // Determine the shards covering [start, end): under range partitioning
+  // only the overlapping shards; under hashing, every shard. Shard bounds
+  // live in the table-prefixed key space, so compare prefixed bounds.
+  std::string pstart = start;
+  std::string pend = end;
+  if (!table.empty()) {
+    const std::string prefix = table + "\x1f";
+    pstart = prefix + start;
+    pend = end.empty() ? prefix + "\x7f" : prefix + end;
+  }
+  std::vector<Addr> targets;
+  for (const auto& s : map_.shards) {
+    if (s.replicas.empty()) continue;
+    if (map_.partitioner == "range") {
+      const bool before = !s.upper.empty() && s.upper <= pstart;
+      const bool after = !pend.empty() && !s.lower.empty() && s.lower >= pend;
+      if (before || after) continue;
+    }
+    targets.push_back(map_.scan_target(s, salt_));
+  }
+  if (targets.empty()) {
+    done(Status::Unavailable("no shards"));
+    return;
+  }
+  auto remaining = std::make_shared<size_t>(targets.size());
+  auto acc = std::make_shared<std::vector<KV>>();
+  auto err = std::make_shared<Status>(Status::Ok());
+  for (const auto& t : targets) {
+    Message req = Message::scan(start, end, limit, table);
+    rt_->call(t, std::move(req),
+              [remaining, acc, err, limit, done](Status s, Message rep) {
+                if (!s.ok()) {
+                  *err = s;
+                } else if (rep.code != Code::kOk) {
+                  *err = Status(rep.code);
+                } else {
+                  acc->insert(acc->end(), rep.kvs.begin(), rep.kvs.end());
+                }
+                if (--*remaining == 0) {
+                  if (!err->ok()) {
+                    done(*err);
+                    return;
+                  }
+                  std::sort(acc->begin(), acc->end(),
+                            [](const KV& a, const KV& b) { return a.key < b.key; });
+                  if (limit != 0 && acc->size() > limit) acc->resize(limit);
+                  done(std::move(*acc));
+                }
+              },
+              cfg_.rpc_timeout_us);
+  }
+}
+
+// ------------------------------- SyncKv -------------------------------------
+
+SyncKv::SyncKv(CallFn call, Addr coordinator)
+    : call_(std::move(call)), coordinator_(std::move(coordinator)) {}
+
+Status SyncKv::refresh() {
+  Message req;
+  req.op = Op::kGetShardMap;
+  auto rep = call_(coordinator_, std::move(req));
+  if (!rep.ok()) return rep.status();
+  if (rep.value().code != Code::kOk) return Status(rep.value().code);
+  auto m = ShardMap::decode(rep.value().value);
+  if (!m.ok()) return m.status();
+  map_ = std::move(m).value();
+  return Status::Ok();
+}
+
+Result<Message> SyncKv::issue(Message req, bool is_read) {
+  if (map_.shards.empty()) BKV_RETURN_IF_ERROR(refresh());
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    ++salt_;
+    std::string routing_key = req.table;
+    if (!routing_key.empty()) routing_key.push_back('\x1f');
+    routing_key += req.key;
+    const bool strong =
+        req.consistency == ConsistencyLevel::kStrong ||
+        (req.consistency == ConsistencyLevel::kDefault &&
+         map_.consistency == Consistency::kStrong);
+    auto target = is_read ? map_.read_target(routing_key, salt_, strong)
+                          : map_.write_target(routing_key, salt_);
+    if (!target.ok()) return target.status();
+    auto rep = call_(target.value(), req);
+    const bool routing_problem =
+        !rep.ok() || rep.value().code == Code::kNotLeader ||
+        rep.value().code == Code::kUnavailable;
+    if (!routing_problem) return rep;
+    Status rs = refresh();
+    if (!rs.ok() && attempt == 3) return rs;
+  }
+  return Status::Unavailable("request kept failing after map refreshes");
+}
+
+Status SyncKv::put(const std::string& key, const std::string& value,
+                   const std::string& table, ConsistencyLevel level) {
+  Message req = Message::put(key, value, table);
+  req.consistency = level;
+  auto rep = issue(std::move(req), false);
+  if (!rep.ok()) return rep.status();
+  return Status(rep.value().code);
+}
+
+Result<std::string> SyncKv::get(const std::string& key,
+                                const std::string& table,
+                                ConsistencyLevel level) {
+  Message req = Message::get(key, table);
+  req.consistency = level;
+  auto rep = issue(std::move(req), true);
+  if (!rep.ok()) return rep.status();
+  if (rep.value().code != Code::kOk) return Status(rep.value().code);
+  return std::move(rep.value()).value;
+}
+
+Status SyncKv::del(const std::string& key, const std::string& table) {
+  auto rep = issue(Message::del(key, table), false);
+  if (!rep.ok()) return rep.status();
+  return Status(rep.value().code);
+}
+
+Result<std::vector<KV>> SyncKv::scan(const std::string& start,
+                                     const std::string& end, uint32_t limit,
+                                     const std::string& table) {
+  if (map_.shards.empty()) BKV_RETURN_IF_ERROR(refresh());
+  std::string pstart = start;
+  std::string pend = end;
+  if (!table.empty()) {
+    const std::string prefix = table + "\x1f";
+    pstart = prefix + start;
+    pend = end.empty() ? prefix + "\x7f" : prefix + end;
+  }
+  std::vector<KV> acc;
+  for (const auto& s : map_.shards) {
+    if (s.replicas.empty()) continue;
+    if (map_.partitioner == "range") {
+      const bool before = !s.upper.empty() && s.upper <= pstart;
+      const bool after = !pend.empty() && !s.lower.empty() && s.lower >= pend;
+      if (before || after) continue;
+    }
+    auto rep = call_(map_.scan_target(s, ++salt_),
+                     Message::scan(start, end, limit, table));
+    if (!rep.ok()) return rep.status();
+    if (rep.value().code != Code::kOk) return Status(rep.value().code);
+    acc.insert(acc.end(), rep.value().kvs.begin(), rep.value().kvs.end());
+  }
+  std::sort(acc.begin(), acc.end(),
+            [](const KV& a, const KV& b) { return a.key < b.key; });
+  if (limit != 0 && acc.size() > limit) acc.resize(limit);
+  return acc;
+}
+
+}  // namespace bespokv

@@ -1,0 +1,111 @@
+// bespoKV client library (§III "Client library", Table II client API).
+//
+// KvClient is the asynchronous, Runtime-hosted client used by workload
+// drivers and services running inside a fabric. It caches the coordinator's
+// shard map, routes requests with consistent hashing or range partitioning,
+// supports per-request consistency levels (§IV-C), and refreshes its map when
+// a reply indicates stale routing (kNotLeader / kUnavailable / epoch bump —
+// e.g. after failover or a topology/consistency transition).
+//
+// SyncKv wraps the same routing logic over a fabric's call_sync for tests
+// and example programs driving the cluster from an external thread.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/coordinator/cluster_meta.h"
+#include "src/net/runtime.h"
+#include "src/proto/message.h"
+
+namespace bespokv {
+
+struct ClientConfig {
+  Addr coordinator;
+  uint64_t map_refresh_period_us = 2'000'000;  // background map polling
+  uint64_t rpc_timeout_us = 1'000'000;
+  int retries = 2;  // retries after a routing-induced failure (map refresh)
+};
+
+class KvClient {
+ public:
+  using DoneCb = std::function<void(Status, Message)>;
+  // Simplified completions.
+  using StatusCb = std::function<void(Status)>;
+  using ValueCb = std::function<void(Result<std::string>)>;
+  using ScanCb = std::function<void(Result<std::vector<KV>>)>;
+
+  KvClient(Runtime* rt, ClientConfig cfg);
+  ~KvClient();
+
+  // Fetches the initial shard map; ops issued before completion are queued.
+  void connect(StatusCb ready);
+
+  void create_table(const std::string& table, StatusCb done);
+  void delete_table(const std::string& table, StatusCb done);
+
+  void put(const std::string& key, const std::string& value, StatusCb done,
+           const std::string& table = "",
+           ConsistencyLevel level = ConsistencyLevel::kDefault);
+  void get(const std::string& key, ValueCb done, const std::string& table = "",
+           ConsistencyLevel level = ConsistencyLevel::kDefault);
+  void del(const std::string& key, StatusCb done,
+           const std::string& table = "",
+           ConsistencyLevel level = ConsistencyLevel::kDefault);
+  // Range query (§IV-B): requires a scan-capable datalet; under range
+  // partitioning the request is split across the shards covering the range.
+  void scan(const std::string& start, const std::string& end, uint32_t limit,
+            ScanCb done, const std::string& table = "");
+
+  const ShardMap& shard_map() const { return map_; }
+  bool ready() const { return ready_; }
+  uint64_t map_refreshes() const { return refreshes_; }
+
+ private:
+  void refresh_map(StatusCb done);
+  void issue(Message req, bool is_read, int attempts_left, DoneCb done);
+  Result<Addr> route(const Message& req, bool is_read) const;
+
+  Runtime* rt_;
+  ClientConfig cfg_;
+  ShardMap map_;
+  bool ready_ = false;
+  bool refreshing_ = false;
+  uint64_t salt_ = 0;  // spreads eventual reads / AA writes across replicas
+  uint64_t refresh_timer_ = 0;
+  uint64_t refreshes_ = 0;
+  std::vector<std::function<void()>> waiters_;
+};
+
+// Synchronous facade used from outside the fabric (tests, examples).
+class SyncKv {
+ public:
+  using CallFn = std::function<Result<Message>(const Addr&, Message)>;
+
+  // `call` is typically ThreadFabric/TcpFabric::call_sync bound to the fabric.
+  SyncKv(CallFn call, Addr coordinator);
+
+  Status refresh();
+  Status put(const std::string& key, const std::string& value,
+             const std::string& table = "",
+             ConsistencyLevel level = ConsistencyLevel::kDefault);
+  Result<std::string> get(const std::string& key,
+                          const std::string& table = "",
+                          ConsistencyLevel level = ConsistencyLevel::kDefault);
+  Status del(const std::string& key, const std::string& table = "");
+  Result<std::vector<KV>> scan(const std::string& start, const std::string& end,
+                               uint32_t limit, const std::string& table = "");
+
+  const ShardMap& shard_map() const { return map_; }
+
+ private:
+  Result<Message> issue(Message req, bool is_read);
+
+  CallFn call_;
+  Addr coordinator_;
+  ShardMap map_;
+  uint64_t salt_ = 0;
+};
+
+}  // namespace bespokv

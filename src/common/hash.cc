@@ -1,0 +1,33 @@
+#include "src/common/hash.h"
+
+namespace bespokv {
+
+namespace {
+
+// CRC32C (Castagnoli) lookup table, generated at first use.
+struct Crc32cTable {
+  uint32_t table[256];
+  Crc32cTable() {
+    constexpr uint32_t kPoly = 0x82f63b78u;  // reflected 0x1EDC6F41
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      table[i] = crc;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t crc32c(std::string_view data, uint32_t seed) {
+  static const Crc32cTable t;
+  uint32_t crc = ~seed;
+  for (unsigned char c : data) {
+    crc = t.table[(crc ^ c) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace bespokv

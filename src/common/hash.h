@@ -1,0 +1,33 @@
+// Hash functions used for partitioning and integrity checks.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <string_view>
+
+namespace bespokv {
+
+// FNV-1a 64-bit: the default key-partitioning hash.
+inline uint64_t fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// CRC32C (software, slice-by-1): used to checksum tLog / tLSM records.
+uint32_t crc32c(std::string_view data, uint32_t seed = 0);
+
+// 64-bit finalizer (MurmurHash3 fmix64): used for consistent-hash points.
+inline uint64_t mix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+}  // namespace bespokv

@@ -1,0 +1,69 @@
+#include "src/common/hash_ring.h"
+
+#include <algorithm>
+
+#include "src/common/hash.h"
+
+namespace bespokv {
+
+uint64_t HashRing::point_for(const std::string& node, int replica) const {
+  return mix64(fnv1a64(node) ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(replica + 1)));
+}
+
+void HashRing::add_node(const std::string& node) {
+  if (nodes_.count(node)) return;
+  nodes_[node] = vnodes_;
+  for (int i = 0; i < vnodes_; ++i) {
+    ring_.emplace(point_for(node, i), node);
+  }
+}
+
+void HashRing::remove_node(const std::string& node) {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return;
+  for (int i = 0; i < it->second; ++i) {
+    auto rit = ring_.find(point_for(node, i));
+    // Multiple points may theoretically collide; only erase ours.
+    while (rit != ring_.end() && rit->first == point_for(node, i)) {
+      if (rit->second == node) {
+        ring_.erase(rit);
+        break;
+      }
+      ++rit;
+    }
+  }
+  nodes_.erase(it);
+}
+
+Result<std::string> HashRing::lookup(std::string_view key) const {
+  if (ring_.empty()) return Status::Unavailable("empty hash ring");
+  const uint64_t h = mix64(fnv1a64(key));
+  auto it = ring_.lower_bound(h);
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+std::vector<std::string> HashRing::lookup_n(std::string_view key, size_t n) const {
+  std::vector<std::string> out;
+  if (ring_.empty() || n == 0) return out;
+  n = std::min(n, nodes_.size());
+  const uint64_t h = mix64(fnv1a64(key));
+  auto it = ring_.lower_bound(h);
+  while (out.size() < n) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(out.begin(), out.end(), it->second) == out.end()) {
+      out.push_back(it->second);
+    }
+    ++it;
+  }
+  return out;
+}
+
+std::vector<std::string> HashRing::nodes() const {
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  for (const auto& [name, _] : nodes_) out.push_back(name);
+  return out;
+}
+
+}  // namespace bespokv

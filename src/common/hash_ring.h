@@ -1,0 +1,44 @@
+// Consistent-hash ring with virtual nodes — the client library's default
+// partitioner (§III, "consistent hashing"). Also used by the baseline
+// Twemproxy/Dynomite proxies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace bespokv {
+
+class HashRing {
+ public:
+  explicit HashRing(int vnodes_per_node = 160) : vnodes_(vnodes_per_node) {}
+
+  // Adds a node (identified by an opaque name, e.g. "shard3" or an address).
+  // Idempotent: re-adding an existing node is a no-op.
+  void add_node(const std::string& node);
+
+  // Removes a node and all of its virtual points. No-op if absent.
+  void remove_node(const std::string& node);
+
+  // Maps a key to the owning node. Returns kUnavailable if the ring is empty.
+  Result<std::string> lookup(std::string_view key) const;
+
+  // The n distinct nodes following the key's point clockwise (replica set
+  // selection, Dynamo-style preference list).
+  std::vector<std::string> lookup_n(std::string_view key, size_t n) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  std::vector<std::string> nodes() const;
+
+ private:
+  uint64_t point_for(const std::string& node, int replica) const;
+
+  int vnodes_;
+  std::map<uint64_t, std::string> ring_;       // point -> node
+  std::map<std::string, int> nodes_;           // node -> vnode count
+};
+
+}  // namespace bespokv

@@ -1,0 +1,73 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace bespokv {
+
+void Histogram::reset() {
+  buckets_.fill(0);
+  count_ = sum_ = max_ = 0;
+  min_ = UINT64_MAX;
+}
+
+int Histogram::bucket_for(uint64_t v) {
+  if (v < kSub) return static_cast<int>(v);  // exact for tiny values
+  const int msb = 63 - std::countl_zero(v);
+  const int sub = static_cast<int>((v >> (msb - 4)) & (kSub - 1));
+  const int b = msb * kSub + sub;
+  return std::min(b, kBuckets - 1);
+}
+
+uint64_t Histogram::bucket_mid(int b) {
+  if (b < kSub) return static_cast<uint64_t>(b);
+  const int msb = b / kSub;
+  const int sub = b % kSub;
+  const uint64_t base = 1ULL << msb;
+  const uint64_t step = base / kSub;
+  return base + static_cast<uint64_t>(sub) * step + step / 2;
+}
+
+void Histogram::record(uint64_t value) {
+  buckets_[static_cast<size_t>(bucket_for(value))]++;
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i) buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+uint64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<size_t>(i)];
+    if (seen >= target) return bucket_mid(i);
+  }
+  return max_;
+}
+
+std::string Histogram::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1f min=%llu p50=%llu p95=%llu p99=%llu max=%llu",
+                static_cast<unsigned long long>(count_), mean(),
+                static_cast<unsigned long long>(min()),
+                static_cast<unsigned long long>(percentile(0.50)),
+                static_cast<unsigned long long>(percentile(0.95)),
+                static_cast<unsigned long long>(percentile(0.99)),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace bespokv

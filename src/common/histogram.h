@@ -1,0 +1,42 @@
+// Log-bucketed latency histogram + simple counters. Thread-compatible (one
+// writer); benchmark drivers merge per-client histograms after a run.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace bespokv {
+
+// Records values (typically microseconds) into log2-spaced buckets with 16
+// linear sub-buckets each, giving <=6.25% relative error on percentiles.
+class Histogram {
+ public:
+  Histogram() { reset(); }
+
+  void record(uint64_t value);
+  void merge(const Histogram& other);
+  void reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ ? min_ : 0; }
+  uint64_t max() const { return max_; }
+  double mean() const { return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0; }
+
+  // q in [0,1]; returns an approximate value at that quantile.
+  uint64_t percentile(double q) const;
+
+  std::string summary() const;  // "n=... mean=... p50=... p99=..."
+
+ private:
+  static constexpr int kSub = 16;        // linear sub-buckets per power of two
+  static constexpr int kBuckets = 64 * kSub;
+
+  static int bucket_for(uint64_t v);
+  static uint64_t bucket_mid(int b);
+
+  std::array<uint64_t, kBuckets> buckets_;
+  uint64_t count_, sum_, min_, max_;
+};
+
+}  // namespace bespokv

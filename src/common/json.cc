@@ -1,0 +1,318 @@
+#include "src/common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bespokv {
+
+Json Json::boolean(bool b) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = b;
+  return j;
+}
+Json Json::number(double d) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.num_ = d;
+  return j;
+}
+Json Json::string(std::string s) {
+  Json j;
+  j.type_ = Type::kString;
+  j.str_ = std::move(s);
+  return j;
+}
+Json Json::array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+Json Json::object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+const Json& Json::get(const std::string& key) const {
+  static const Json kNullJson;
+  auto it = obj_.find(key);
+  return it == obj_.end() ? kNullJson : it->second;
+}
+
+bool Json::has(const std::string& key) const { return obj_.count(key) > 0; }
+
+void Json::set(const std::string& key, Json v) {
+  type_ = Type::kObject;
+  obj_[key] = std::move(v);
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : t_(text) {}
+
+  Result<Json> parse() {
+    skip_ws();
+    auto r = parse_value();
+    if (!r.ok()) return r;
+    skip_ws();
+    if (pos_ != t_.size()) return Status::Invalid("trailing characters in JSON");
+    return r;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < t_.size()) {
+      char c = t_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < t_.size() && t_[pos_ + 1] == '/') {
+        while (pos_ < t_.size() && t_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool eat(char c) {
+    if (pos_ < t_.size() && t_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> parse_value() {
+    if (pos_ >= t_.size()) return Status::Invalid("unexpected end of JSON");
+    char c = t_[pos_];
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        auto s = parse_string();
+        if (!s.ok()) return s.status();
+        return Json::string(std::move(s).value());
+      }
+      case 't':
+        if (t_.substr(pos_, 4) == "true") { pos_ += 4; return Json::boolean(true); }
+        return Status::Invalid("bad literal");
+      case 'f':
+        if (t_.substr(pos_, 5) == "false") { pos_ += 5; return Json::boolean(false); }
+        return Status::Invalid("bad literal");
+      case 'n':
+        if (t_.substr(pos_, 4) == "null") { pos_ += 4; return Json(); }
+        return Status::Invalid("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  Result<Json> parse_object() {
+    ++pos_;  // '{'
+    Json obj = Json::object();
+    skip_ws();
+    if (eat('}')) return obj;
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key.ok()) return key.status();
+      skip_ws();
+      if (!eat(':')) return Status::Invalid("expected ':' in object");
+      skip_ws();
+      auto val = parse_value();
+      if (!val.ok()) return val;
+      obj.set(key.value(), std::move(val).value());
+      skip_ws();
+      if (eat(',')) {
+        skip_ws();
+        // Tolerate a trailing comma before '}' (common in hand-written configs).
+        if (eat('}')) return obj;
+        continue;
+      }
+      if (eat('}')) return obj;
+      return Status::Invalid("expected ',' or '}' in object");
+    }
+  }
+
+  Result<Json> parse_array() {
+    ++pos_;  // '['
+    Json arr = Json::array();
+    skip_ws();
+    if (eat(']')) return arr;
+    while (true) {
+      skip_ws();
+      auto val = parse_value();
+      if (!val.ok()) return val;
+      arr.push(std::move(val).value());
+      skip_ws();
+      if (eat(',')) {
+        skip_ws();
+        if (eat(']')) return arr;
+        continue;
+      }
+      if (eat(']')) return arr;
+      return Status::Invalid("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> parse_string() {
+    if (!eat('"')) return Status::Invalid("expected string");
+    std::string out;
+    while (pos_ < t_.size()) {
+      char c = t_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= t_.size()) break;
+        char e = t_[pos_++];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > t_.size()) return Status::Invalid("bad \\u escape");
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = t_[pos_++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+              else return Status::Invalid("bad \\u escape");
+            }
+            // Encode as UTF-8 (BMP only; surrogate pairs unsupported in configs).
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xC0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default: return Status::Invalid("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return Status::Invalid("unterminated string");
+  }
+
+  Result<Json> parse_number() {
+    size_t start = pos_;
+    if (pos_ < t_.size() && (t_[pos_] == '-' || t_[pos_] == '+')) ++pos_;
+    bool any = false;
+    while (pos_ < t_.size() &&
+           (std::isdigit(static_cast<unsigned char>(t_[pos_])) || t_[pos_] == '.' ||
+            t_[pos_] == 'e' || t_[pos_] == 'E' || t_[pos_] == '-' || t_[pos_] == '+')) {
+      ++pos_;
+      any = true;
+    }
+    if (!any) return Status::Invalid("expected number");
+    std::string num(t_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double d = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) return Status::Invalid("bad number: " + num);
+    return Json::number(d);
+  }
+
+  std::string_view t_;
+  size_t pos_ = 0;
+};
+
+void escape_to(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Result<Json> Json::parse(std::string_view text) { return Parser(text).parse(); }
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  auto pad = [&](int d) {
+    if (indent > 0) {
+      out += '\n';
+      out.append(static_cast<size_t>(indent * d), ' ');
+    }
+  };
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: {
+      char buf[32];
+      if (num_ == std::floor(num_) && std::abs(num_) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(num_));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", num_);
+      }
+      out += buf;
+      break;
+    }
+    case Type::kString: escape_to(str_, out); break;
+    case Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& e : arr_) {
+        if (!first) out += ',';
+        first = false;
+        pad(depth + 1);
+        e.dump_to(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) pad(depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out += ',';
+        first = false;
+        pad(depth + 1);
+        escape_to(k, out);
+        out += indent > 0 ? ": " : ":";
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) pad(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+}  // namespace bespokv

@@ -1,0 +1,72 @@
+// Minimal JSON parser/serializer. bespoKV configures controlets with JSON
+// files (topology, consistency model, replica counts — see the paper's
+// artifact description), so the framework ships its own dependency-free
+// reader. Supports objects, arrays, strings, numbers, booleans, null and
+// //-style line comments in config files.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace bespokv {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  static Json boolean(bool b);
+  static Json number(double d);
+  static Json string(std::string s);
+  static Json array();
+  static Json object();
+
+  static Result<Json> parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  bool as_bool(bool dflt = false) const { return is_bool() ? bool_ : dflt; }
+  double as_number(double dflt = 0) const { return is_number() ? num_ : dflt; }
+  int64_t as_int(int64_t dflt = 0) const {
+    return is_number() ? static_cast<int64_t>(num_) : dflt;
+  }
+  const std::string& as_string() const { return str_; }
+  std::string as_string(const std::string& dflt) const { return is_string() ? str_ : dflt; }
+
+  // Object access. `get` returns a null Json for missing keys.
+  const Json& get(const std::string& key) const;
+  bool has(const std::string& key) const;
+  void set(const std::string& key, Json v);
+  const std::map<std::string, Json>& items() const { return obj_; }
+
+  // Array access.
+  size_t size() const { return arr_.size(); }
+  const Json& at(size_t i) const { return arr_[i]; }
+  void push(Json v) { arr_.push_back(std::move(v)); }
+  const std::vector<Json>& elements() const { return arr_; }
+
+  std::string dump(int indent = 0) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::map<std::string, Json> obj_;
+};
+
+}  // namespace bespokv

@@ -1,0 +1,21 @@
+#include "src/common/logging.h"
+
+namespace bespokv {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel lvl, const char* file, int line, const std::string& msg) {
+  static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  // Trim the path down to the basename for readability.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::lock_guard<std::mutex> g(mu_);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", names[static_cast<int>(lvl)], base, line, msg.c_str());
+}
+
+}  // namespace bespokv

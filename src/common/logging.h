@@ -1,0 +1,54 @@
+// Minimal leveled logging. Controlets and services log through these macros;
+// benchmarks set the level to kWarn to keep the measured path quiet.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace bespokv {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel lvl) { level_.store(static_cast<int>(lvl), std::memory_order_relaxed); }
+  LogLevel level() const { return static_cast<LogLevel>(level_.load(std::memory_order_relaxed)); }
+  bool enabled(LogLevel lvl) const { return static_cast<int>(lvl) >= level_.load(std::memory_order_relaxed); }
+
+  void write(LogLevel lvl, const char* file, int line, const std::string& msg);
+
+ private:
+  Logger() : level_(static_cast<int>(LogLevel::kWarn)) {}
+  std::atomic<int> level_;
+  std::mutex mu_;
+};
+
+struct LogMessage {
+  LogMessage(LogLevel lvl, const char* file, int line) : lvl_(lvl), file_(file), line_(line) {}
+  ~LogMessage() { Logger::instance().write(lvl_, file_, line_, ss_.str()); }
+  std::ostringstream& stream() { return ss_; }
+
+ private:
+  LogLevel lvl_;
+  const char* file_;
+  int line_;
+  std::ostringstream ss_;
+};
+
+#define BKV_LOG(lvl)                                                     \
+  if (!::bespokv::Logger::instance().enabled(::bespokv::LogLevel::lvl)) \
+    ;                                                                    \
+  else                                                                   \
+    ::bespokv::LogMessage(::bespokv::LogLevel::lvl, __FILE__, __LINE__).stream()
+
+#define LOG_DEBUG BKV_LOG(kDebug)
+#define LOG_INFO BKV_LOG(kInfo)
+#define LOG_WARN BKV_LOG(kWarn)
+#define LOG_ERROR BKV_LOG(kError)
+
+}  // namespace bespokv

@@ -1,0 +1,68 @@
+// Blocking MPSC/MPMC queue used by the thread-backed runtime mailboxes.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <chrono>
+
+namespace bespokv {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  void push(T item) {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      q_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  // Blocks until an item is available or the queue is closed.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return !q_.empty() || closed_; });
+    if (q_.empty()) return std::nullopt;
+    T item = std::move(q_.front());
+    q_.pop_front();
+    return item;
+  }
+
+  // Blocks up to `timeout`; returns nullopt on timeout or close.
+  std::optional<T> pop_for(std::chrono::microseconds timeout) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait_for(lk, timeout, [&] { return !q_.empty() || closed_; });
+    if (q_.empty()) return std::nullopt;
+    T item = std::move(q_.front());
+    q_.pop_front();
+    return item;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return q_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> q_;
+  bool closed_ = false;
+};
+
+}  // namespace bespokv

@@ -1,0 +1,100 @@
+// Deterministic PRNG and workload distributions.
+//
+// SplitMix64 seeds Xoshiro256**; ZipfianGenerator implements the YCSB
+// rejection-free zipfian sampler (Gray et al.) with the standard
+// scrambled variant so that popular items are spread over the key space.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace bespokv {
+
+inline uint64_t splitmix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5DEECE66DULL) { reseed(seed); }
+
+  void reseed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  uint64_t next() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t next_u64(uint64_t n) { return next() % n; }
+
+  // Uniform double in [0, 1).
+  double next_double() { return (next() >> 11) * 0x1.0p-53; }
+
+  // Uniform in [lo, hi].
+  uint64_t next_in(uint64_t lo, uint64_t hi) { return lo + next_u64(hi - lo + 1); }
+
+  bool next_bool(double p_true) { return next_double() < p_true; }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+// YCSB-style zipfian over [0, n). theta defaults to 0.99 as in the paper.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99, uint64_t seed = 7)
+      : n_(n), theta_(theta), rng_(seed) {
+    zetan_ = zeta(n_, theta_);
+    zeta2_ = zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  // Raw zipfian rank: 0 is the hottest item.
+  uint64_t next_rank() {
+    const double u = rng_.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+  // Scrambled: spreads hot ranks across the key space (YCSB behaviour).
+  uint64_t next() {
+    uint64_t state = next_rank() ^ 0x9a3ec9a4d7ULL;
+    return splitmix64(state) % n_;
+  }
+
+  uint64_t n() const { return n_; }
+
+ private:
+  static double zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Rng rng_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace bespokv

@@ -1,0 +1,31 @@
+#include "src/common/status.h"
+
+namespace bespokv {
+
+const char* code_name(Code c) {
+  switch (c) {
+    case Code::kOk: return "OK";
+    case Code::kNotFound: return "NOT_FOUND";
+    case Code::kExists: return "EXISTS";
+    case Code::kInvalid: return "INVALID";
+    case Code::kTimeout: return "TIMEOUT";
+    case Code::kUnavailable: return "UNAVAILABLE";
+    case Code::kConflict: return "CONFLICT";
+    case Code::kCorruption: return "CORRUPTION";
+    case Code::kInternal: return "INTERNAL";
+    case Code::kNotLeader: return "NOT_LEADER";
+    case Code::kOutOfRange: return "OUT_OF_RANGE";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  std::string s = code_name(code_);
+  if (!msg_.empty()) {
+    s += ": ";
+    s += msg_;
+  }
+  return s;
+}
+
+}  // namespace bespokv

@@ -1,0 +1,88 @@
+// Status and Result<T>: lightweight error propagation used across all bespoKV
+// modules. Mirrors the "everything returns a status" convention of the
+// original codebase; no exceptions cross module boundaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace bespokv {
+
+enum class Code : uint8_t {
+  kOk = 0,
+  kNotFound,      // key or table does not exist
+  kExists,        // table already exists
+  kInvalid,       // malformed request / argument
+  kTimeout,       // RPC or lock wait exceeded its deadline
+  kUnavailable,   // node down, shard in failover, transition in progress
+  kConflict,      // write-write conflict (AA), lock held, epoch mismatch
+  kCorruption,    // failed checksum / decode
+  kInternal,      // bug or unexpected state
+  kNotLeader,     // request routed to a non-master replica
+  kOutOfRange,    // shared-log trim horizon or scan bound violation
+};
+
+const char* code_name(Code c);
+
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+  explicit Status(Code c, std::string msg = "")
+      : code_(c), msg_(std::move(msg)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m = "") { return Status(Code::kNotFound, std::move(m)); }
+  static Status Exists(std::string m = "") { return Status(Code::kExists, std::move(m)); }
+  static Status Invalid(std::string m = "") { return Status(Code::kInvalid, std::move(m)); }
+  static Status Timeout(std::string m = "") { return Status(Code::kTimeout, std::move(m)); }
+  static Status Unavailable(std::string m = "") { return Status(Code::kUnavailable, std::move(m)); }
+  static Status Conflict(std::string m = "") { return Status(Code::kConflict, std::move(m)); }
+  static Status Corruption(std::string m = "") { return Status(Code::kCorruption, std::move(m)); }
+  static Status Internal(std::string m = "") { return Status(Code::kInternal, std::move(m)); }
+  static Status NotLeader(std::string m = "") { return Status(Code::kNotLeader, std::move(m)); }
+  static Status OutOfRange(std::string m = "") { return Status(Code::kOutOfRange, std::move(m)); }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+  std::string to_string() const;
+
+  bool operator==(const Status& o) const { return code_ == o.code_; }
+
+ private:
+  Code code_;
+  std::string msg_;
+};
+
+// Result<T>: either a value or an error status. `value()` must only be
+// called when `ok()`.
+template <typename T>
+class Result {
+ public:
+  Result(T v) : v_(std::move(v)) {}                 // NOLINT(google-explicit-constructor)
+  Result(Status s) : v_(std::move(s)) {}            // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  const T& value() const& { return std::get<T>(v_); }
+  T& value() & { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(v_);
+  }
+  T value_or(T dflt) const {
+    return ok() ? std::get<T>(v_) : std::move(dflt);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+#define BKV_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::bespokv::Status _s = (expr);           \
+    if (!_s.ok()) return _s;                 \
+  } while (0)
+
+}  // namespace bespokv

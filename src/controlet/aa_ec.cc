@@ -1,0 +1,110 @@
+#include "src/controlet/aa_ec.h"
+
+#include "src/common/logging.h"
+
+namespace bespokv {
+
+namespace {
+std::string prefixed_key(const Message& m) {
+  if (m.table.empty()) return m.key;
+  return m.table + "\x1f" + m.key;
+}
+}  // namespace
+
+// Log sequences are rebased into the same epoch-prefixed version space the
+// MS controlets use (ControletBase::next_version), so LWW application stays
+// monotonic across §V transitions: a write ordered by the shard map's
+// current epoch always supersedes versions minted under earlier epochs.
+uint64_t AaEcControlet::version_of(uint64_t log_seq) const {
+  return (map_.epoch << 40) | (log_seq & ((1ULL << 40) - 1));
+}
+
+AaEcControlet::AaEcControlet(ControletConfig cfg)
+    : ControletBase(std::move(cfg)) {}
+
+void AaEcControlet::start(Runtime& rt) {
+  ControletBase::start(rt);
+  fetch_timer_ =
+      rt_->set_periodic(cfg_.log_fetch_period_us, [this] { fetch_tick(); });
+}
+
+void AaEcControlet::stop() {
+  if (rt_ != nullptr && fetch_timer_ != 0) rt_->cancel_timer(fetch_timer_);
+  fetch_timer_ = 0;
+  ControletBase::stop();
+}
+
+void AaEcControlet::do_write(EventContext ctx) {
+  if (!sharedlog_.has_value()) {
+    ctx.reply(Message::reply(Code::kUnavailable, "no shared log configured"));
+    return;
+  }
+  const bool is_del = ctx.req.op == Op::kDel;
+  const std::string key = prefixed_key(ctx.req);
+  if (is_del && !local_has(key)) {
+    // Best-effort under EC: this active has not seen the key.
+    ctx.reply(Message::reply(Code::kNotFound));
+    return;
+  }
+  std::string value = ctx.req.value;
+
+  // Fig. 15c: append to the shared log first (steps 2), then commit on the
+  // local datalet (step 3) and ack (step 4). The log's sequence number is
+  // the write's global version.
+  ++inflight_;
+  auto reply = ctx.reply;
+  Message logged = ctx.req;
+  sharedlog_->append(
+      logged, cfg_.shard,
+      [this, key, value = std::move(value), is_del, reply](Status s,
+                                                           uint64_t seq) {
+        --inflight_;
+        if (!s.ok()) {
+          reply(Message::reply(s.code() == Code::kTimeout
+                                   ? Code::kTimeout
+                                   : Code::kUnavailable));
+          return;
+        }
+        apply_replicated(KV{key, value, version_of(seq)}, is_del);
+        Message rep = Message::reply(Code::kOk);
+        rep.seq = seq;
+        reply(std::move(rep));
+      });
+}
+
+void AaEcControlet::fetch_tick() {
+  if (fetch_inflight_ || !sharedlog_.has_value()) return;
+  fetch_inflight_ = true;
+  sharedlog_->fetch(
+      fetch_from_, cfg_.shard, 512, [this](Status s, Message rep) {
+        fetch_inflight_ = false;
+        if (!s.ok()) return;
+        if (rep.code == Code::kOutOfRange) {
+          // Asked for trimmed history: jump to the retained base. Entries
+          // below it were already applied cluster-wide before trimming.
+          fetch_from_ = rep.seq;
+          return;
+        }
+        for (size_t i = 0; i < rep.kvs.size(); ++i) {
+          const bool is_del = i < rep.strs.size() && rep.strs[i] == "D";
+          KV kv = rep.kvs[i];
+          kv.seq = version_of(kv.seq);
+          apply_replicated(kv, is_del);
+          ++applied_from_log_;
+        }
+        if (rep.epoch > fetch_from_) fetch_from_ = rep.epoch;
+        // Fall through quickly if we are far behind the tail.
+        if (fetch_from_ < rep.seq) rt_->post([this] { fetch_tick(); });
+      });
+}
+
+void AaEcControlet::on_transition_new_side() {
+  // * -> AA+EC: adopt the current log tail as the fetch origin; the shared
+  // datalet already holds everything the old controlet applied.
+  if (!sharedlog_.has_value()) return;
+  sharedlog_->tail([this](Status s, uint64_t tail) {
+    if (s.ok() && tail > fetch_from_) fetch_from_ = tail;
+  });
+}
+
+}  // namespace bespokv

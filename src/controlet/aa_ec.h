@@ -1,0 +1,36 @@
+// AA+EC controlet: Active-Active with Eventual Consistency via the shared
+// log (§C.C, Fig. 15c). A Put is appended to the shared log (global order),
+// committed locally, and acked; every active asynchronously fetches and
+// applies its peers' entries in log order (last-writer-wins by sequence).
+#pragma once
+
+#include "src/controlet/controlet.h"
+
+namespace bespokv {
+
+class AaEcControlet : public ControletBase {
+ public:
+  explicit AaEcControlet(ControletConfig cfg);
+
+  void start(Runtime& rt) override;
+  void stop() override;
+
+  uint64_t applied_from_log() const { return applied_from_log_; }
+  uint64_t fetch_position() const { return fetch_from_; }
+
+ protected:
+  void do_write(EventContext ctx) override;
+  bool drained() const override { return inflight_ == 0; }
+  void on_transition_new_side() override;
+
+ private:
+  void fetch_tick();
+  uint64_t version_of(uint64_t log_seq) const;
+
+  uint64_t fetch_from_ = 1;      // next log position to scan
+  bool fetch_inflight_ = false;
+  uint64_t fetch_timer_ = 0;
+  uint64_t applied_from_log_ = 0;
+};
+
+}  // namespace bespokv

@@ -1,0 +1,122 @@
+#include "src/controlet/aa_sc.h"
+
+#include <memory>
+
+#include "src/common/logging.h"
+
+namespace bespokv {
+
+namespace {
+std::string prefixed_key(const Message& m) {
+  if (m.table.empty()) return m.key;
+  return m.table + "\x1f" + m.key;
+}
+}  // namespace
+
+AaScControlet::AaScControlet(ControletConfig cfg)
+    : ControletBase(std::move(cfg)) {}
+
+void AaScControlet::do_write(EventContext ctx) {
+  if (!dlm_.has_value()) {
+    ctx.reply(Message::reply(Code::kUnavailable, "no DLM configured"));
+    return;
+  }
+  const uint64_t version = next_version();
+  const bool is_del = ctx.req.op == Op::kDel;
+  const std::string key = prefixed_key(ctx.req);
+  KV kv{key, ctx.req.value, version};
+
+  ++inflight_;
+  auto reply = ctx.reply;
+  dlm_->lock(key, /*write=*/true, [this, key, kv = std::move(kv), is_del,
+                                   reply](Status s) mutable {
+    if (!s.ok()) {
+      --inflight_;
+      reply(Message::reply(s.code() == Code::kTimeout ? Code::kTimeout
+                                                      : Code::kUnavailable));
+      return;
+    }
+    ++lock_grants_;
+    if (is_del && !local_has(key)) {
+      dlm_->unlock(key);
+      --inflight_;
+      reply(Message::reply(Code::kNotFound));
+      return;
+    }
+    // Fig. 15b steps 4-5: update every replica while holding the lock.
+    apply_replicated(kv, is_del);
+    const auto& reps = replicas();
+    auto remaining = std::make_shared<size_t>(0);
+    auto failed = std::make_shared<bool>(false);
+    auto finish = [this, key, reply, failed] {
+      dlm_->unlock(key);
+      --inflight_;
+      reply(Message::reply(*failed ? Code::kUnavailable : Code::kOk));
+    };
+    for (const auto& r : reps) {
+      if (r.controlet == rt_->self()) continue;
+      ++*remaining;
+    }
+    if (*remaining == 0) {
+      finish();
+      return;
+    }
+    Message m;
+    m.op = Op::kPropagate;
+    m.shard = cfg_.shard;
+    m.kvs.push_back(kv);
+    m.strs.push_back(is_del ? "D" : "P");
+    for (const auto& r : reps) {
+      if (r.controlet == rt_->self()) continue;
+      rt_->call(r.controlet, m,
+                [remaining, failed, finish, this,
+                 peer = r.controlet](Status ps, Message prep) {
+                  if (!ps.ok() || prep.code != Code::kOk) {
+                    *failed = true;
+                    report_failure(peer);
+                  }
+                  if (--*remaining == 0) finish();
+                },
+                cfg_.rpc_timeout_us);
+    }
+  });
+}
+
+void AaScControlet::do_read(EventContext ctx) {
+  // Per-request eventual reads skip the lock entirely (§IV-C).
+  if (ctx.req.consistency == ConsistencyLevel::kEventual ||
+      !dlm_.has_value()) {
+    ctx.reply(apply_local(ctx.req));
+    return;
+  }
+  const std::string key = prefixed_key(ctx.req);
+  auto reply = ctx.reply;
+  Message req = ctx.req;
+  dlm_->lock(key, /*write=*/false, [this, key, req = std::move(req),
+                                    reply](Status s) {
+    if (!s.ok()) {
+      reply(Message::reply(s.code() == Code::kTimeout ? Code::kTimeout
+                                                      : Code::kUnavailable));
+      return;
+    }
+    ++lock_grants_;
+    Message rep = apply_local(req);
+    dlm_->unlock(key);
+    reply(std::move(rep));
+  });
+}
+
+void AaScControlet::handle_internal(const Addr& from, Message req,
+                                    Replier reply) {
+  if (req.op == Op::kPropagate) {
+    for (size_t i = 0; i < req.kvs.size(); ++i) {
+      const bool is_del = i < req.strs.size() && req.strs[i] == "D";
+      apply_replicated(req.kvs[i], is_del);
+    }
+    reply(Message::reply(Code::kOk));
+    return;
+  }
+  ControletBase::handle_internal(from, std::move(req), std::move(reply));
+}
+
+}  // namespace bespokv

@@ -1,0 +1,28 @@
+// AA+SC controlet: Active-Active with Strong Consistency via the DLM
+// (§C.B, Fig. 15b). Any replica accepts a Put: it takes the per-key write
+// lock, updates every replica, releases the lock and acks. Gets take a read
+// lock (skipped for per-request eventual reads, §IV-C). Leases auto-expire
+// at the DLM to preserve liveness across controlet crashes.
+#pragma once
+
+#include "src/controlet/controlet.h"
+
+namespace bespokv {
+
+class AaScControlet : public ControletBase {
+ public:
+  explicit AaScControlet(ControletConfig cfg);
+
+  uint64_t lock_grants() const { return lock_grants_; }
+
+ protected:
+  void do_write(EventContext ctx) override;
+  void do_read(EventContext ctx) override;
+  void handle_internal(const Addr& from, Message req, Replier reply) override;
+  bool drained() const override { return inflight_ == 0; }
+
+ private:
+  uint64_t lock_grants_ = 0;
+};
+
+}  // namespace bespokv

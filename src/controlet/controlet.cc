@@ -1,0 +1,313 @@
+#include "src/controlet/controlet.h"
+
+#include "src/common/logging.h"
+
+namespace bespokv {
+
+const std::vector<ReplicaInfo> ControletBase::kNoReplicas;
+
+ControletBase::ControletBase(ControletConfig cfg) : cfg_(std::move(cfg)) {}
+
+void ControletBase::start(Runtime& rt) {
+  Service::start(rt);
+  hb_timer_ = rt_->set_periodic(cfg_.hb_period_us, [this] {
+    Message hb;
+    hb.op = Op::kHeartbeat;
+    hb.key = rt_->self();
+    rt_->send(cfg_.coordinator, std::move(hb));
+  });
+  fetch_initial_map();
+}
+
+void ControletBase::stop() {
+  if (rt_ == nullptr) return;
+  if (hb_timer_ != 0) rt_->cancel_timer(hb_timer_);
+  if (drain_timer_ != 0) rt_->cancel_timer(drain_timer_);
+  hb_timer_ = drain_timer_ = 0;
+}
+
+const std::vector<ReplicaInfo>& ControletBase::replicas() const {
+  const ShardInfo* s = map_.shard(cfg_.shard);
+  return s == nullptr ? kNoReplicas : s->replicas;
+}
+
+uint64_t ControletBase::next_version() {
+  // Epoch-prefixed versions: a post-failover master always produces larger
+  // versions than its predecessor, keeping LWW application monotonic.
+  const uint64_t floor = map_.epoch << 40;
+  if (version_ < floor) version_ = floor;
+  return ++version_;
+}
+
+void ControletBase::fetch_initial_map() {
+  Message req;
+  req.op = Op::kGetShardMap;
+  rt_->call(cfg_.coordinator, std::move(req),
+            [this](Status s, Message rep) {
+              if (!s.ok() || rep.code != Code::kOk) {
+                // Coordinator not up yet; retry shortly.
+                rt_->set_timer(50'000, [this] { fetch_initial_map(); });
+                return;
+              }
+              auto m = ShardMap::decode(rep.value);
+              if (m.ok()) apply_map(m.value(), rep.strs);
+            },
+            cfg_.rpc_timeout_us);
+}
+
+void ControletBase::apply_map(const ShardMap& m,
+                              const std::vector<std::string>& aux) {
+  if (m.epoch < epoch_seen_) return;  // stale push
+  epoch_seen_ = m.epoch;
+  map_ = m;
+  if (aux.size() >= 1 && !aux[0].empty()) {
+    dlm_addr_ = aux[0];
+    dlm_.emplace(rt_, dlm_addr_);
+  }
+  if (aux.size() >= 2 && !aux[1].empty()) {
+    sharedlog_addr_ = aux[1];
+    sharedlog_.emplace(rt_, sharedlog_addr_);
+  }
+  in_shard_ = false;
+  const auto& reps = replicas();
+  for (size_t i = 0; i < reps.size(); ++i) {
+    if (reps[i].controlet == rt_->self()) {
+      in_shard_ = true;
+      my_index_ = i;
+      break;
+    }
+  }
+  on_reconfigured();
+}
+
+void ControletBase::apply_replicated(const KV& kv, bool is_del) {
+  observe_version(kv.seq);
+  if (is_del) {
+    cfg_.datalet->del(kv.key, kv.seq);
+  } else {
+    cfg_.datalet->put_if_newer(kv.key, kv.value, kv.seq);
+  }
+}
+
+void ControletBase::report_failure(const Addr& suspect) {
+  Message m;
+  m.op = Op::kReportFailure;
+  m.key = suspect;
+  rt_->send(cfg_.coordinator, std::move(m));
+}
+
+void ControletBase::start_recovery(const Addr& source) {
+  Message req;
+  req.op = Op::kSnapshotReq;
+  rt_->call(source, std::move(req),
+            [this](Status s, Message rep) {
+              if (!s.ok() || rep.code != Code::kOk) {
+                LOG_WARN << rt_->self() << ": snapshot pull failed: "
+                         << s.to_string();
+                return;
+              }
+              for (const auto& kv : rep.kvs) {
+                cfg_.datalet->put_if_newer(kv.key, kv.value, kv.seq);
+                observe_version(kv.seq);
+              }
+              observe_version(rep.seq);
+              Message done;
+              done.op = Op::kRecoveryDone;
+              done.key = rt_->self();
+              done.shard = cfg_.shard;
+              rt_->send(cfg_.coordinator, std::move(done));
+              LOG_INFO << rt_->self() << ": recovery complete ("
+                       << rep.kvs.size() << " entries)";
+            },
+            cfg_.rpc_timeout_us * 4);
+}
+
+void ControletBase::enter_old_side_transition(const Addr& successor) {
+  successor_ = successor;
+  drain_reported_ = false;
+  begin_drain();
+  drain_timer_ = rt_->set_periodic(cfg_.drain_poll_us, [this] { poll_drain(); });
+}
+
+void ControletBase::poll_drain() {
+  if (drain_reported_ || !drained()) return;
+  drain_reported_ = true;
+  rt_->cancel_timer(drain_timer_);
+  drain_timer_ = 0;
+  Message done;
+  done.op = Op::kTransitionDone;
+  done.key = rt_->self();
+  done.shard = cfg_.shard;
+  rt_->send(cfg_.coordinator, std::move(done));
+}
+
+bool ControletBase::maybe_p2p_forward(const Addr& from, const Message& req,
+                                      Replier& reply, bool is_read) {
+  if (!cfg_.p2p_forwarding || (req.flags & kFlagTransition) != 0) return false;
+  std::string routing_key = req.table;
+  if (!routing_key.empty()) routing_key.push_back('\x1f');
+  routing_key += req.key;
+  auto sid = map_.shard_for(routing_key);
+  if (!sid.ok()) return false;
+
+  Addr target;
+  const bool strong =
+      req.consistency == ConsistencyLevel::kStrong ||
+      (req.consistency == ConsistencyLevel::kDefault &&
+       map_.consistency == Consistency::kStrong);
+  if (is_read) {
+    auto t = map_.read_target(routing_key, rt_->rng().next(), strong);
+    if (!t.ok()) return false;
+    target = t.value();
+  } else {
+    auto t = map_.write_target(routing_key, rt_->rng().next());
+    if (!t.ok()) return false;
+    target = t.value();
+  }
+  if (target == rt_->self()) return false;  // it's genuinely ours
+  // Reads this controlet can serve locally stay local (EC read at a replica).
+  if (is_read && !strong && sid.value() == cfg_.shard && in_shard()) {
+    return false;
+  }
+  (void)from;
+  rt_->call(target, req,
+            [reply](Status s, Message rep) {
+              reply(s.ok() ? std::move(rep)
+                           : Message::reply(Code::kUnavailable));
+            },
+            cfg_.rpc_timeout_us * 2);
+  return true;
+}
+
+void ControletBase::do_read(EventContext ctx) {
+  ctx.reply(apply_local(ctx.req));
+}
+
+void ControletBase::handle_internal(const Addr&, Message, Replier reply) {
+  reply(Message::reply(Code::kInvalid));
+}
+
+void ControletBase::handle(const Addr& from, Message req, Replier reply) {
+  switch (req.op) {
+    case Op::kPut:
+    case Op::kDel: {
+      if (retired_) {
+        reply(Message::reply(Code::kNotLeader));
+        return;
+      }
+      if (successor_.has_value()) {
+        // Old side of a transition: forward the write to the successor,
+        // which already implements the target topology/consistency (§V).
+        Message fwd = req;
+        fwd.flags |= kFlagTransition;
+        rt_->call(*successor_, std::move(fwd),
+                  [reply](Status s, Message rep) {
+                    reply(s.ok() ? std::move(rep)
+                                 : Message::reply(Code::kUnavailable));
+                  },
+                  cfg_.rpc_timeout_us * 2);
+        return;
+      }
+      if (maybe_p2p_forward(from, req, reply, /*is_read=*/false)) return;
+      EventContext ctx{from, std::move(req), std::move(reply)};
+      if (!bus_.emit(ctx.req.op == Op::kPut ? "PUT" : "DEL", ctx)) {
+        do_write(std::move(ctx));
+      }
+      return;
+    }
+
+    case Op::kGet:
+    case Op::kScan: {
+      if (retired_) {
+        reply(Message::reply(Code::kNotLeader));
+        return;
+      }
+      if (req.op == Op::kGet &&
+          maybe_p2p_forward(from, req, reply, /*is_read=*/true)) {
+        return;
+      }
+      EventContext ctx{from, std::move(req), std::move(reply)};
+      if (!bus_.emit(ctx.req.op == Op::kGet ? "GET" : "SCAN", ctx)) {
+        do_read(std::move(ctx));
+      }
+      return;
+    }
+
+    case Op::kCreateTable:
+    case Op::kDeleteTable:
+      // Table ops follow the write path so every replica learns of them.
+      if (retired_) {
+        reply(Message::reply(Code::kNotLeader));
+        return;
+      }
+      reply(apply_local(req));
+      return;
+
+    case Op::kSnapshotReq: {
+      Message rep = apply_local(req);  // fills kvs from the datalet
+      rep.seq = version_;              // carry the version high-water mark
+      reply(std::move(rep));
+      return;
+    }
+
+    case Op::kReconfigure: {
+      if ((req.flags & kFlagTransition) != 0 && req.value.empty()) {
+        // Transition finished: this (old) controlet is fully replaced.
+        retired_ = true;
+        successor_.reset();
+        reply(Message::reply(Code::kOk));
+        return;
+      }
+      auto m = ShardMap::decode(req.value);
+      if (!m.ok()) {
+        reply(Message::reply(Code::kInvalid));
+        return;
+      }
+      if ((req.flags & kFlagRecovery) != 0) {
+        // Standby activation: adopt the map, pull a snapshot, then report.
+        cfg_.shard = req.shard;
+        apply_map(m.value(), req.strs);
+        if (!req.strs.empty()) start_recovery(req.strs[0]);
+        reply(Message::reply(Code::kOk));
+        return;
+      }
+      apply_map(m.value(), req.strs);
+      reply(Message::reply(Code::kOk));
+      return;
+    }
+
+    case Op::kStartTransition: {
+      if ((req.flags & kFlagTransition) != 0) {
+        // I am the old controlet: forward new writes, drain, report.
+        if (!req.strs.empty()) enter_old_side_transition(req.strs[0]);
+        reply(Message::reply(Code::kOk));
+        return;
+      }
+      // I am a new controlet: adopt the (not yet client-visible) target map.
+      cfg_.shard = req.shard;
+      auto m = ShardMap::decode(req.value);
+      if (!m.ok()) {
+        reply(Message::reply(Code::kInvalid));
+        return;
+      }
+      apply_map(m.value(), req.strs);
+      // Seed the version counter from the shared datalet so post-transition
+      // writes order after every pre-transition write.
+      cfg_.datalet->for_each([this](std::string_view, const Entry& e) {
+        observe_version(e.seq);
+      });
+      on_transition_new_side();
+      reply(Message::reply(Code::kOk));
+      return;
+    }
+
+    case Op::kHeartbeat:
+      reply(Message::reply(Code::kOk));
+      return;
+
+    default:
+      handle_internal(from, std::move(req), std::move(reply));
+  }
+}
+
+}  // namespace bespokv

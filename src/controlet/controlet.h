@@ -1,0 +1,147 @@
+// ControletBase: common distributed-management machinery for all pre-built
+// controlets (§III-B). Subclasses implement one topology+consistency
+// combination each (ms_sc / ms_ec / aa_sc / aa_ec) by registering extended
+// event handlers (events.h) and overriding the internal-op hooks.
+//
+// The base class provides: shard-map tracking (pull at start + kReconfigure
+// push), heartbeats to the coordinator, recovery (snapshot pull on standby
+// activation), retirement, per-request consistency plumbing, and the §V
+// transition protocol (old side: forward-and-drain; new side: adopt the
+// target map before the coordinator swaps it in).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/controlet/events.h"
+#include "src/coordinator/cluster_meta.h"
+#include "src/datalet/service.h"
+#include "src/dlm/dlm.h"
+#include "src/net/runtime.h"
+#include "src/sharedlog/sharedlog.h"
+
+namespace bespokv {
+
+struct ControletConfig {
+  Addr coordinator;
+  uint32_t shard = 0;
+  std::shared_ptr<Datalet> datalet;        // local engine (1:1 mapping)
+  // P2P-style topology overlay (§IV-E): when set, a controlet receiving a
+  // request for a key it does not own routes it to the owning controlet
+  // (finger-table-like lookup through the shard map) instead of bouncing the
+  // client with kNotLeader. Clients may then contact *any* controlet.
+  bool p2p_forwarding = false;
+  uint64_t hb_period_us = 500'000;         // heartbeat cadence
+  uint64_t flush_period_us = 2'000;        // MS+EC propagation batching
+  uint32_t flush_batch = 128;              // MS+EC max batch size
+  uint64_t log_fetch_period_us = 2'000;    // AA+EC shared-log poll cadence
+  uint64_t drain_poll_us = 2'000;          // transition drain poll cadence
+  uint64_t rpc_timeout_us = 500'000;       // intra-cluster RPC deadline
+};
+
+class ControletBase : public Service {
+ public:
+  explicit ControletBase(ControletConfig cfg);
+
+  void start(Runtime& rt) override;
+  void stop() override;
+  void handle(const Addr& from, Message req, Replier reply) override;
+
+  // Introspection for tests.
+  const ShardMap& shard_map() const { return map_; }
+  bool is_retired() const { return retired_; }
+  bool in_transition() const { return successor_.has_value(); }
+  size_t my_index() const { return my_index_; }
+  Datalet* datalet() { return cfg_.datalet.get(); }
+
+ protected:
+  // ---- hooks for the concrete controlets -----------------------------------
+
+  // Client data-path ops (kPut/kDel). `version` is a fresh monotonic version
+  // assigned by the base. Must eventually complete ctx.reply.
+  virtual void do_write(EventContext ctx) = 0;
+  // Client reads (kGet/kScan). Default: serve from the local datalet.
+  virtual void do_read(EventContext ctx);
+  // Internal ops not understood by the base (kChainPut, ...).
+  virtual void handle_internal(const Addr& from, Message req, Replier reply);
+  // Role/topology changed (new shard map applied).
+  virtual void on_reconfigured() {}
+  // Transition (old side): flush buffered state before reporting drained.
+  virtual void begin_drain() {}
+  // Transition (old side): true once no buffered/in-flight work remains.
+  virtual bool drained() const { return inflight_ == 0; }
+  // Transition (new side): the target map was adopted; catch up if needed.
+  virtual void on_transition_new_side() {}
+
+  // ---- services for the concrete controlets --------------------------------
+
+  bool i_am(size_t index) const { return in_shard_ && my_index_ == index; }
+  bool in_shard() const { return in_shard_; }
+  bool is_head() const { return i_am(0); }
+  bool is_tail() const {
+    return in_shard_ && !replicas().empty() && my_index_ == replicas().size() - 1;
+  }
+  const std::vector<ReplicaInfo>& replicas() const;
+  Addr peer(size_t index) const { return replicas()[index].controlet; }
+
+  // Fresh monotonic write version (survives failover via the epoch prefix).
+  uint64_t next_version();
+  // Keeps next_version() ahead of any externally observed version.
+  void observe_version(uint64_t v) { version_ = std::max(version_, v); }
+
+  // Applies a client write/read to the local datalet and returns the reply.
+  Message apply_local(const Message& req) {
+    return DataletHandle::apply(*cfg_.datalet, req);
+  }
+
+  // Applies a replicated entry with LWW semantics.
+  void apply_replicated(const KV& kv, bool is_del);
+
+  bool local_has(const std::string& prefixed_key) const {
+    return cfg_.datalet->get(prefixed_key).ok();
+  }
+
+  // P2P overlay: if the key belongs elsewhere (another shard, or another
+  // role within this shard), forwards the request and relays the reply.
+  // Returns true if the request was consumed.
+  bool maybe_p2p_forward(const Addr& from, const Message& req, Replier& reply,
+                         bool is_read);
+
+  void report_failure(const Addr& suspect);
+
+  ControletConfig cfg_;
+  EventBus bus_;
+  ShardMap map_;
+  Addr dlm_addr_;
+  Addr sharedlog_addr_;
+  std::optional<DlmClient> dlm_;
+  std::optional<SharedLogClient> sharedlog_;
+  uint64_t inflight_ = 0;     // client writes being processed
+  uint64_t epoch_seen_ = 0;
+
+ private:
+  void apply_map(const ShardMap& m, const std::vector<std::string>& aux);
+  void fetch_initial_map();
+  void start_recovery(const Addr& source);
+  void enter_old_side_transition(const Addr& successor);
+  void poll_drain();
+
+  bool in_shard_ = false;
+  bool retired_ = false;
+  size_t my_index_ = 0;
+  uint64_t version_ = 0;
+  std::optional<Addr> successor_;   // old side of a transition
+  bool drain_reported_ = false;
+  uint64_t hb_timer_ = 0;
+  uint64_t drain_timer_ = 0;
+  static const std::vector<ReplicaInfo> kNoReplicas;
+};
+
+// Factory for the four pre-built controlets (§IV).
+std::shared_ptr<ControletBase> make_controlet(Topology topology,
+                                              Consistency consistency,
+                                              ControletConfig cfg);
+
+}  // namespace bespokv

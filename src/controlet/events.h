@@ -1,0 +1,56 @@
+// The controlet programming abstraction (§III-B, Appendix B).
+//
+// Controlets are built from event handlers. Basic events (connection/request
+// lifecycle) are raised by the framework; extended events are defined by the
+// controlet developer with On() and raised with Emit() — exactly the
+// abstraction of the paper's Fig. 13/14 (OnReqIn parses the request and
+// Emits "PUT"/"GET"; developer handlers implement the distributed logic).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/net/runtime.h"
+#include "src/proto/message.h"
+
+namespace bespokv {
+
+// Context flowing through a request's event chain. Handlers may stash the
+// replier and complete it later (asynchronous fan-out).
+struct EventContext {
+  Addr from;
+  Message req;
+  Replier reply;
+};
+
+// Well-known basic events raised by the controlet framework.
+inline constexpr const char* kEvReqIn = "ON_REQ_IN";
+inline constexpr const char* kEvRspOut = "ON_RSP_OUT";
+
+class EventBus {
+ public:
+  using Handler = std::function<void(EventContext&)>;
+
+  // Registers a handler for `event` (extended events: On; Table III).
+  void on(const std::string& event, Handler h) {
+    handlers_[event].push_back(std::move(h));
+  }
+
+  // Raises `event`, invoking all registered handlers in registration order.
+  // Returns false if no handler is registered (caller decides the fallback).
+  bool emit(const std::string& event, EventContext& ctx) const {
+    auto it = handlers_.find(event);
+    if (it == handlers_.end() || it->second.empty()) return false;
+    for (const auto& h : it->second) h(ctx);
+    return true;
+  }
+
+  bool has(const std::string& event) const { return handlers_.count(event) > 0; }
+
+ private:
+  std::map<std::string, std::vector<Handler>> handlers_;
+};
+
+}  // namespace bespokv

@@ -1,0 +1,24 @@
+#include "src/controlet/aa_ec.h"
+#include "src/controlet/aa_sc.h"
+#include "src/controlet/controlet.h"
+#include "src/controlet/ms_ec.h"
+#include "src/controlet/ms_sc.h"
+
+namespace bespokv {
+
+std::shared_ptr<ControletBase> make_controlet(Topology topology,
+                                              Consistency consistency,
+                                              ControletConfig cfg) {
+  if (topology == Topology::kMasterSlave) {
+    if (consistency == Consistency::kStrong) {
+      return std::make_shared<MsScControlet>(std::move(cfg));
+    }
+    return std::make_shared<MsEcControlet>(std::move(cfg));
+  }
+  if (consistency == Consistency::kStrong) {
+    return std::make_shared<AaScControlet>(std::move(cfg));
+  }
+  return std::make_shared<AaEcControlet>(std::move(cfg));
+}
+
+}  // namespace bespokv

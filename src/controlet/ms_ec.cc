@@ -1,0 +1,149 @@
+#include "src/controlet/ms_ec.h"
+
+#include "src/common/logging.h"
+
+namespace bespokv {
+
+namespace {
+std::string prefixed_key(const Message& m) {
+  if (m.table.empty()) return m.key;
+  return m.table + "\x1f" + m.key;
+}
+}  // namespace
+
+MsEcControlet::MsEcControlet(ControletConfig cfg)
+    : ControletBase(std::move(cfg)) {}
+
+void MsEcControlet::start(Runtime& rt) {
+  ControletBase::start(rt);
+  flush_timer_ = rt_->set_periodic(cfg_.flush_period_us, [this] { flush(); });
+}
+
+void MsEcControlet::stop() {
+  if (rt_ != nullptr && flush_timer_ != 0) rt_->cancel_timer(flush_timer_);
+  flush_timer_ = 0;
+  ControletBase::stop();
+}
+
+void MsEcControlet::do_write(EventContext ctx) {
+  if (!is_head()) {
+    ctx.reply(Message::reply(Code::kNotLeader));
+    return;
+  }
+  const bool is_del = ctx.req.op == Op::kDel;
+  if (is_del && !local_has(prefixed_key(ctx.req))) {
+    ctx.reply(Message::reply(Code::kNotFound));
+    return;
+  }
+  const uint64_t version = next_version();
+  KV kv{prefixed_key(ctx.req), ctx.req.value, version};
+
+  // Commit locally, acknowledge, and queue the asynchronous propagation
+  // (Fig. 15a steps 2-4: at least one datalet is written before the ack).
+  apply_replicated(kv, is_del);
+  Message rep = Message::reply(Code::kOk);
+  rep.seq = version;
+  ctx.reply(std::move(rep));
+
+  buffer_.push_back(PendingWrite{std::move(kv), is_del});
+  if (buffer_.size() >= cfg_.flush_batch) flush();
+}
+
+void MsEcControlet::flush() {
+  if (buffer_.empty() || !is_head()) return;
+  const auto& reps = replicas();
+  if (reps.size() <= 1) {
+    buffer_.clear();  // no slaves to propagate to
+    return;
+  }
+  std::vector<KV> kvs;
+  std::vector<std::string> ops;
+  const size_t n = std::min<size_t>(buffer_.size(), cfg_.flush_batch);
+  kvs.reserve(n);
+  ops.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    kvs.push_back(buffer_[i].kv);
+    ops.push_back(buffer_[i].del ? "D" : "P");
+  }
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(n));
+  for (size_t i = 1; i < reps.size(); ++i) {
+    send_batch(i, kvs, ops, /*attempts_left=*/3);
+  }
+  ++batches_sent_;
+  if (!buffer_.empty()) flush();  // drain oversized buffers promptly
+}
+
+void MsEcControlet::send_batch(size_t slave_index, std::vector<KV> kvs,
+                               std::vector<std::string> ops,
+                               int attempts_left) {
+  const auto& reps = replicas();
+  if (slave_index >= reps.size()) return;
+  const Addr slave = reps[slave_index].controlet;
+  Message m;
+  m.op = Op::kPropagate;
+  m.shard = cfg_.shard;
+  m.epoch = map_.epoch;
+  m.kvs = kvs;
+  m.strs = ops;
+  ++outstanding_;
+  rt_->call(slave, std::move(m),
+            [this, slave, slave_index, kvs = std::move(kvs),
+             ops = std::move(ops), attempts_left](Status s, Message rep) mutable {
+              --outstanding_;
+              if (s.ok() && rep.code == Code::kOk) return;
+              if (attempts_left <= 1) {
+                // Slave presumed dead: the coordinator's failover will
+                // resync it from a snapshot; stop retrying.
+                report_failure(slave);
+                return;
+              }
+              send_batch(slave_index, std::move(kvs), std::move(ops),
+                         attempts_left - 1);
+            },
+            cfg_.rpc_timeout_us);
+}
+
+void MsEcControlet::handle_internal(const Addr& from, Message req,
+                                    Replier reply) {
+  if (req.op == Op::kPropagate) {
+    for (size_t i = 0; i < req.kvs.size(); ++i) {
+      const bool is_del = i < req.strs.size() && req.strs[i] == "D";
+      apply_replicated(req.kvs[i], is_del);
+    }
+    reply(Message::reply(Code::kOk));
+    return;
+  }
+  ControletBase::handle_internal(from, std::move(req), std::move(reply));
+}
+
+void MsEcControlet::on_transition_new_side() {
+  // AA+EC -> MS+EC (§V-B): the new master takes over propagation duty from
+  // the shared log. Pull every retained entry; LWW application dedups what
+  // the datalet already holds, and queuing them re-propagates the in-flight
+  // suffix to the slaves.
+  if (!is_head() || !sharedlog_.has_value()) return;
+  auto pull = std::make_shared<std::function<void(uint64_t)>>();
+  *pull = [this, pull](uint64_t from_seq) {
+    sharedlog_->fetch(from_seq, cfg_.shard, 512,
+                      [this, pull](Status s, Message rep) {
+                        if (!s.ok()) return;
+                        if (rep.code == Code::kOutOfRange) return;
+                        for (size_t i = 0; i < rep.kvs.size(); ++i) {
+                          const bool is_del =
+                              i < rep.strs.size() && rep.strs[i] == "D";
+                          // Rebase log sequences into the epoch-prefixed
+                          // version space (see AaEcControlet::version_of);
+                          // content is identical, so the overwrite is benign
+                          // and ordering among log entries is preserved.
+                          KV kv = rep.kvs[i];
+                          kv.seq = (map_.epoch << 40) | (kv.seq & ((1ULL << 40) - 1));
+                          apply_replicated(kv, is_del);
+                          buffer_.push_back(PendingWrite{std::move(kv), is_del});
+                        }
+                        if (rep.epoch < rep.seq) (*pull)(rep.epoch);
+                      });
+  };
+  (*pull)(1);
+}
+
+}  // namespace bespokv

@@ -1,0 +1,50 @@
+// MS+EC controlet: Master-Slave with Eventual Consistency (§C.A, Fig. 15a).
+// The master commits locally and acknowledges immediately; writes are
+// propagated to slaves asynchronously in batches. Gets are served by any
+// replica. The §V transitions hinge on this controlet's propagation buffer:
+// MS+EC -> * drains the buffer before handing over, and the AA+EC -> MS+EC
+// new-side master first re-propagates in-flight shared-log entries.
+#pragma once
+
+#include <deque>
+
+#include "src/controlet/controlet.h"
+
+namespace bespokv {
+
+class MsEcControlet : public ControletBase {
+ public:
+  explicit MsEcControlet(ControletConfig cfg);
+
+  void start(Runtime& rt) override;
+  void stop() override;
+
+  size_t pending_propagations() const { return buffer_.size(); }
+  uint64_t batches_sent() const { return batches_sent_; }
+
+ protected:
+  void do_write(EventContext ctx) override;
+  void handle_internal(const Addr& from, Message req, Replier reply) override;
+  void begin_drain() override { flush(); }
+  bool drained() const override {
+    return buffer_.empty() && outstanding_ == 0 && inflight_ == 0;
+  }
+  void on_transition_new_side() override;
+
+ private:
+  struct PendingWrite {
+    KV kv;
+    bool del;
+  };
+
+  void flush();
+  void send_batch(size_t slave_index, std::vector<KV> kvs,
+                  std::vector<std::string> ops, int attempts_left);
+
+  std::deque<PendingWrite> buffer_;
+  size_t outstanding_ = 0;      // in-flight propagation RPCs
+  uint64_t flush_timer_ = 0;
+  uint64_t batches_sent_ = 0;
+};
+
+}  // namespace bespokv

@@ -1,0 +1,112 @@
+#include "src/controlet/ms_sc.h"
+
+#include "src/common/logging.h"
+
+namespace bespokv {
+
+namespace {
+
+std::string prefixed_key(const Message& m) {
+  if (m.table.empty()) return m.key;
+  return m.table + "\x1f" + m.key;
+}
+
+}  // namespace
+
+MsScControlet::MsScControlet(ControletConfig cfg)
+    : ControletBase(std::move(cfg)) {}
+
+void MsScControlet::do_write(EventContext ctx) {
+  if (!is_head()) {
+    // Clients route Puts to the head via consistent hashing; hitting a
+    // non-head means the client's map is stale.
+    ctx.reply(Message::reply(Code::kNotLeader));
+    return;
+  }
+  if (ctx.req.op == Op::kDel && !local_has(prefixed_key(ctx.req))) {
+    ctx.reply(Message::reply(Code::kNotFound));
+    return;
+  }
+  Message w;
+  w.op = Op::kChainPut;
+  w.key = prefixed_key(ctx.req);
+  w.value = ctx.req.value;
+  w.seq = next_version();
+  w.epoch = map_.epoch;
+  w.shard = cfg_.shard;
+  if (ctx.req.op == Op::kDel) w.flags |= kFlagDelete;
+
+  ++inflight_;
+  auto reply = ctx.reply;
+  apply_and_forward(std::move(w), [this, reply](Code code) {
+    --inflight_;
+    reply(Message::reply(code));
+  });
+}
+
+void MsScControlet::apply_and_forward(Message w, std::function<void(Code)> done) {
+  ++chain_writes_;
+  apply_replicated(KV{w.key, w.value, w.seq}, (w.flags & kFlagDelete) != 0);
+  // My chain successor under the *current* map (failover may have reshaped
+  // the chain since the write entered it).
+  const auto& reps = replicas();
+  size_t next = reps.size();
+  for (size_t i = 0; i + 1 < reps.size(); ++i) {
+    if (reps[i].controlet == rt_->self()) {
+      next = i + 1;
+      break;
+    }
+  }
+  if (next >= reps.size()) {
+    done(Code::kOk);  // I am the tail (or the chain shrank to me)
+    return;
+  }
+  const Addr successor = reps[next].controlet;
+  rt_->call(successor, w,
+            [this, w, done, successor](Status s, Message rep) mutable {
+              if (s.ok() && rep.code == Code::kOk) {
+                done(Code::kOk);
+                return;
+              }
+              // The successor died or a new chain is forming. If the map has
+              // already changed, retry along the fresh chain ("skip
+              // forwarding to the failed node"); otherwise surface the error.
+              report_failure(successor);
+              const auto& now_reps = replicas();
+              const bool still_successor =
+                  std::any_of(now_reps.begin(), now_reps.end(),
+                              [&](const ReplicaInfo& r) {
+                                return r.controlet == successor;
+                              });
+              if (!still_successor) {
+                apply_and_forward(std::move(w), std::move(done));
+              } else {
+                done(s.ok() ? rep.code : Code::kUnavailable);
+              }
+            },
+            cfg_.rpc_timeout_us);
+}
+
+void MsScControlet::do_read(EventContext ctx) {
+  // SC reads at the tail only; per-request EC reads anywhere (§IV-C). During
+  // a transition the paper allows EC reads at any node.
+  const bool eventual = ctx.req.consistency == ConsistencyLevel::kEventual;
+  if (!eventual && !is_tail() && !in_transition()) {
+    ctx.reply(Message::reply(Code::kNotLeader));
+    return;
+  }
+  ctx.reply(apply_local(ctx.req));
+}
+
+void MsScControlet::handle_internal(const Addr& from, Message req,
+                                    Replier reply) {
+  if (req.op == Op::kChainPut) {
+    apply_and_forward(std::move(req), [reply](Code code) {
+      reply(Message::reply(code));
+    });
+    return;
+  }
+  ControletBase::handle_internal(from, std::move(req), std::move(reply));
+}
+
+}  // namespace bespokv

@@ -1,0 +1,32 @@
+// MS+SC controlet: Master-Slave topology with Strong Consistency via chain
+// replication (§IV-A, Fig. 3). Puts enter the head, are applied locally and
+// forwarded hop by hop to the tail; acks flow back up the chain and the head
+// responds to the client (CRAQ-style head response). Strong reads are served
+// at the tail; per-request eventual reads (§IV-C) at any replica.
+#pragma once
+
+#include "src/controlet/controlet.h"
+
+namespace bespokv {
+
+class MsScControlet : public ControletBase {
+ public:
+  explicit MsScControlet(ControletConfig cfg);
+
+  uint64_t chain_writes() const { return chain_writes_; }
+
+ protected:
+  void do_write(EventContext ctx) override;
+  void do_read(EventContext ctx) override;
+  void handle_internal(const Addr& from, Message req, Replier reply) override;
+  bool drained() const override { return inflight_ == 0; }
+
+ private:
+  // Applies `w` locally and forwards it to the next chain node; `done` fires
+  // with the final chain status once the suffix has acknowledged.
+  void apply_and_forward(Message w, std::function<void(Code)> done);
+
+  uint64_t chain_writes_ = 0;
+};
+
+}  // namespace bespokv

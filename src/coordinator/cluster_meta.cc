@@ -1,0 +1,166 @@
+#include "src/coordinator/cluster_meta.h"
+
+#include "src/common/hash.h"
+
+namespace bespokv {
+
+const char* topology_name(Topology t) {
+  return t == Topology::kMasterSlave ? "ms" : "aa";
+}
+
+const char* consistency_name(Consistency c) {
+  return c == Consistency::kStrong ? "strong" : "eventual";
+}
+
+Result<Topology> parse_topology(const std::string& s) {
+  if (s == "ms" || s == "master-slave" || s == "master_slave") {
+    return Topology::kMasterSlave;
+  }
+  if (s == "aa" || s == "active-active" || s == "active_active") {
+    return Topology::kActiveActive;
+  }
+  return Status::Invalid("unknown topology: " + s);
+}
+
+Result<Consistency> parse_consistency(const std::string& s) {
+  if (s == "strong" || s == "sc") return Consistency::kStrong;
+  if (s == "eventual" || s == "ec") return Consistency::kEventual;
+  return Status::Invalid("unknown consistency: " + s);
+}
+
+Json ShardMap::to_json() const {
+  Json j = Json::object();
+  j.set("epoch", Json::number(static_cast<double>(epoch)));
+  j.set("topology", Json::string(topology_name(topology)));
+  j.set("consistency", Json::string(consistency_name(consistency)));
+  j.set("partitioner", Json::string(partitioner));
+  Json arr = Json::array();
+  for (const auto& s : shards) {
+    Json js = Json::object();
+    js.set("id", Json::number(s.id));
+    js.set("lower", Json::string(s.lower));
+    js.set("upper", Json::string(s.upper));
+    Json reps = Json::array();
+    for (const auto& r : s.replicas) reps.push(Json::string(r.controlet));
+    js.set("replicas", std::move(reps));
+    arr.push(std::move(js));
+  }
+  j.set("shards", std::move(arr));
+  return j;
+}
+
+Result<ShardMap> ShardMap::from_json(const Json& j) {
+  ShardMap m;
+  m.epoch = static_cast<uint64_t>(j.get("epoch").as_int(1));
+  auto topo = parse_topology(j.get("topology").as_string("ms"));
+  if (!topo.ok()) return topo.status();
+  m.topology = topo.value();
+  auto cons = parse_consistency(j.get("consistency").as_string("eventual"));
+  if (!cons.ok()) return cons.status();
+  m.consistency = cons.value();
+  m.partitioner = j.get("partitioner").as_string("hash");
+  for (const auto& js : j.get("shards").elements()) {
+    ShardInfo s;
+    s.id = static_cast<uint32_t>(js.get("id").as_int());
+    s.lower = js.get("lower").as_string("");
+    s.upper = js.get("upper").as_string("");
+    for (const auto& r : js.get("replicas").elements()) {
+      s.replicas.push_back(ReplicaInfo{r.as_string()});
+    }
+    m.shards.push_back(std::move(s));
+  }
+  return m;
+}
+
+Result<ShardMap> ShardMap::decode(const std::string& text) {
+  auto j = Json::parse(text);
+  if (!j.ok()) return j.status();
+  return from_json(j.value());
+}
+
+namespace {
+
+// Jump consistent hash (Lamping & Veach): stateless consistent mapping of a
+// key hash onto n numbered buckets with minimal reshuffling when n changes.
+uint32_t jump_hash(uint64_t key, uint32_t buckets) {
+  int64_t b = -1;
+  int64_t j = 0;
+  while (j < static_cast<int64_t>(buckets)) {
+    b = j;
+    key = key * 2862933555777941757ULL + 1;
+    j = static_cast<int64_t>(
+        static_cast<double>(b + 1) *
+        (static_cast<double>(1LL << 31) /
+         static_cast<double>((key >> 33) + 1)));
+  }
+  return static_cast<uint32_t>(b);
+}
+
+}  // namespace
+
+Result<uint32_t> ShardMap::shard_for(std::string_view key) const {
+  if (shards.empty()) return Status::Unavailable("no shards configured");
+  if (partitioner == "range") {
+    for (const auto& s : shards) {
+      const bool lo_ok = s.lower.empty() || key >= s.lower;
+      const bool hi_ok = s.upper.empty() || key < s.upper;
+      if (lo_ok && hi_ok) return s.id;
+    }
+    return Status::Invalid("key outside all shard ranges");
+  }
+  const uint32_t idx = jump_hash(mix64(fnv1a64(key)),
+                                 static_cast<uint32_t>(shards.size()));
+  return shards[idx].id;
+}
+
+const ShardInfo* ShardMap::shard(uint32_t id) const {
+  for (const auto& s : shards) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+Result<Addr> ShardMap::write_target(std::string_view key, uint64_t salt) const {
+  auto sid = shard_for(key);
+  if (!sid.ok()) return sid.status();
+  const ShardInfo* s = shard(sid.value());
+  if (s == nullptr || s->replicas.empty()) {
+    return Status::Unavailable("shard has no replicas");
+  }
+  if (topology == Topology::kActiveActive) {
+    return s->replicas[salt % s->replicas.size()].controlet;
+  }
+  return s->replicas.front().controlet;  // MS: head / master takes writes
+}
+
+Result<Addr> ShardMap::read_target(std::string_view key, uint64_t salt,
+                                   bool strong) const {
+  auto sid = shard_for(key);
+  if (!sid.ok()) return sid.status();
+  const ShardInfo* s = shard(sid.value());
+  if (s == nullptr || s->replicas.empty()) {
+    return Status::Unavailable("shard has no replicas");
+  }
+  if (topology == Topology::kActiveActive) {
+    // AA+SC reads take a DLM read lock at any replica; AA+EC reads anywhere.
+    return s->replicas[salt % s->replicas.size()].controlet;
+  }
+  if (strong) {
+    // MS+SC (chain replication): strong reads at the tail. MS+EC with a
+    // per-request strong level: read at the master, which has every write.
+    return consistency == Consistency::kStrong ? s->replicas.back().controlet
+                                               : s->replicas.front().controlet;
+  }
+  return s->replicas[salt % s->replicas.size()].controlet;  // EC: any replica
+}
+
+Addr ShardMap::scan_target(const ShardInfo& s, uint64_t salt) const {
+  if (s.replicas.empty()) return "";
+  if (topology == Topology::kActiveActive) {
+    return s.replicas[salt % s.replicas.size()].controlet;
+  }
+  return consistency == Consistency::kStrong ? s.replicas.back().controlet
+                                             : s.replicas.front().controlet;
+}
+
+}  // namespace bespokv

@@ -1,0 +1,71 @@
+// Cluster metadata shared by the coordinator, controlets and client library:
+// topology & consistency enums, shard layout, and the versioned shard map
+// (serialized as JSON inside kGetShardMap/kReconfigure messages).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/common/status.h"
+#include "src/net/runtime.h"
+
+namespace bespokv {
+
+enum class Topology : uint8_t {
+  kMasterSlave = 0,   // MS: chain (SC) or master + slaves (EC)
+  kActiveActive = 1,  // AA: every replica accepts writes
+};
+
+enum class Consistency : uint8_t {
+  kStrong = 0,    // SC
+  kEventual = 1,  // EC
+};
+
+const char* topology_name(Topology t);
+const char* consistency_name(Consistency c);
+Result<Topology> parse_topology(const std::string& s);
+Result<Consistency> parse_consistency(const std::string& s);
+
+struct ReplicaInfo {
+  Addr controlet;   // fabric address of the controlet
+  // MS chain order: index 0 = head/master, last = tail. AA: all active.
+};
+
+struct ShardInfo {
+  uint32_t id = 0;
+  std::vector<ReplicaInfo> replicas;
+  // Range partitioning: keys in [lower, upper) map to this shard ("" lower on
+  // shard 0, "" upper on the last shard). Unused for hash partitioning.
+  std::string lower;
+  std::string upper;
+};
+
+struct ShardMap {
+  uint64_t epoch = 1;
+  Topology topology = Topology::kMasterSlave;
+  Consistency consistency = Consistency::kEventual;
+  std::string partitioner = "hash";  // "hash" | "range"
+  std::vector<ShardInfo> shards;
+
+  Json to_json() const;
+  static Result<ShardMap> from_json(const Json& j);
+  std::string encode() const { return to_json().dump(); }
+  static Result<ShardMap> decode(const std::string& text);
+
+  // Key -> shard routing (consistent hashing or range lookup).
+  Result<uint32_t> shard_for(std::string_view key) const;
+  const ShardInfo* shard(uint32_t id) const;
+
+  // Where a client sends writes / strong reads / eventual reads. `salt`
+  // spreads load across eligible replicas.
+  Result<Addr> write_target(std::string_view key, uint64_t salt) const;
+  Result<Addr> read_target(std::string_view key, uint64_t salt,
+                           bool strong) const;
+  // Per-shard target for range queries: the replica guaranteed to hold every
+  // committed write (tail under MS+SC, master under MS+EC, any under AA).
+  Addr scan_target(const ShardInfo& s, uint64_t salt) const;
+};
+
+}  // namespace bespokv

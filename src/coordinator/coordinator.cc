@@ -1,0 +1,276 @@
+#include "src/coordinator/coordinator.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace bespokv {
+
+CoordinatorService::CoordinatorService(ShardMap initial_map,
+                                       CoordinatorConfig cfg)
+    : cfg_(cfg), map_(std::move(initial_map)) {}
+
+void CoordinatorService::start(Runtime& rt) {
+  Service::start(rt);
+  sweep_timer_ = rt_->set_periodic(cfg_.hb_period_us, [this] { sweep(); });
+}
+
+void CoordinatorService::stop() {
+  if (rt_ != nullptr && sweep_timer_ != 0) rt_->cancel_timer(sweep_timer_);
+  sweep_timer_ = 0;
+}
+
+Message CoordinatorService::map_reply() const {
+  Message rep = Message::reply(Code::kOk);
+  rep.value = map_.encode();
+  rep.seq = map_.epoch;
+  rep.strs.push_back(cfg_.dlm);
+  rep.strs.push_back(cfg_.sharedlog);
+  return rep;
+}
+
+void CoordinatorService::handle(const Addr& from, Message req, Replier reply) {
+  switch (req.op) {
+    case Op::kGetShardMap:
+      reply(map_reply());
+      return;
+
+    case Op::kHeartbeat: {
+      const Addr& node = req.key.empty() ? from : req.key;
+      if (known_dead_.count(node) == 0) {
+        last_seen_[node] = rt_->now_us();
+      }
+      reply(Message::reply(Code::kOk));
+      return;
+    }
+
+    case Op::kRegisterNode: {
+      const Addr& node = req.key.empty() ? from : req.key;
+      standbys_.push_back(node);
+      last_seen_[node] = rt_->now_us();
+      reply(Message::reply(Code::kOk));
+      return;
+    }
+
+    case Op::kReportFailure: {
+      // Peer reports are hints, not verdicts: a node that is merely slow
+      // under load must not be evicted. Act only when our own heartbeat
+      // evidence agrees (no beat for at least one full period).
+      auto seen = last_seen_.find(req.key);
+      if (known_dead_.count(req.key) == 0 && seen != last_seen_.end() &&
+          rt_->now_us() - seen->second > cfg_.hb_period_us) {
+        on_node_failure(req.key);
+      }
+      reply(map_reply());
+      return;
+    }
+
+    case Op::kRecoveryDone: {
+      const Addr& standby = req.key.empty() ? from : req.key;
+      auto it = recovering_.find(standby);
+      if (it == recovering_.end()) {
+        reply(Message::reply(Code::kInvalid));
+        return;
+      }
+      const uint32_t shard_id = it->second;
+      recovering_.erase(it);
+      for (auto& s : map_.shards) {
+        if (s.id == shard_id) {
+          // Paper §IV-A: the recovered pair joins as the new tail (MS) /
+          // as another active (AA).
+          s.replicas.push_back(ReplicaInfo{standby});
+          ++map_.epoch;
+          push_reconfigure(s);
+          LOG_INFO << "coordinator: " << standby << " joined shard "
+                   << shard_id << " after recovery (epoch " << map_.epoch << ")";
+          break;
+        }
+      }
+      reply(Message::reply(Code::kOk));
+      return;
+    }
+
+    case Op::kStartTransition: {
+      // Admin request: value = {"topology": "...", "consistency": "..."},
+      // strs = ["old1=new1", "old2=new2", ...].
+      if (transition_ != nullptr) {
+        reply(Message::reply(Code::kConflict));
+        return;
+      }
+      auto j = Json::parse(req.value);
+      if (!j.ok()) {
+        reply(Message::reply(Code::kInvalid));
+        return;
+      }
+      auto topo = parse_topology(j.value().get("topology").as_string("ms"));
+      auto cons =
+          parse_consistency(j.value().get("consistency").as_string("eventual"));
+      if (!topo.ok() || !cons.ok()) {
+        reply(Message::reply(Code::kInvalid));
+        return;
+      }
+      auto tr = std::make_unique<Transition>();
+      for (const auto& pair : req.strs) {
+        const size_t eq = pair.find('=');
+        if (eq == std::string::npos) {
+          reply(Message::reply(Code::kInvalid));
+          return;
+        }
+        tr->successor_of[pair.substr(0, eq)] = pair.substr(eq + 1);
+      }
+      // Build the target map: same shards/datalets, successor controlets,
+      // new topology & consistency.
+      tr->target = map_;
+      tr->target.topology = topo.value();
+      tr->target.consistency = cons.value();
+      tr->target.epoch = map_.epoch + 1;
+      for (auto& s : tr->target.shards) {
+        for (auto& r : s.replicas) {
+          auto it = tr->successor_of.find(r.controlet);
+          if (it == tr->successor_of.end()) {
+            reply(Message::reply(Code::kInvalid,
+                                 "no successor for " + r.controlet));
+            return;
+          }
+          r.controlet = it->second;
+        }
+      }
+      // Start the new controlets first so forwarded requests find them live.
+      const std::string target_enc = tr->target.encode();
+      for (const auto& s : tr->target.shards) {
+        for (const auto& r : s.replicas) {
+          Message m;
+          m.op = Op::kStartTransition;
+          m.shard = s.id;
+          m.value = target_enc;
+          m.strs.push_back(cfg_.dlm);
+          m.strs.push_back(cfg_.sharedlog);
+          rt_->send(r.controlet, std::move(m));
+        }
+      }
+      // Then flip the old controlets into forwarding/drain mode.
+      for (const auto& s : map_.shards) {
+        for (const auto& r : s.replicas) {
+          Message m;
+          m.op = Op::kStartTransition;
+          m.flags = kFlagTransition;
+          m.shard = s.id;
+          m.strs.push_back(tr->successor_of.at(r.controlet));
+          tr->waiting_on.insert(r.controlet);
+          rt_->send(r.controlet, std::move(m));
+        }
+      }
+      transition_ = std::move(tr);
+      LOG_INFO << "coordinator: transition to "
+               << topology_name(topo.value()) << "+"
+               << consistency_name(cons.value()) << " started";
+      reply(Message::reply(Code::kOk));
+      return;
+    }
+
+    case Op::kTransitionDone: {
+      const Addr& node = req.key.empty() ? from : req.key;
+      if (transition_ != nullptr) {
+        transition_->waiting_on.erase(node);
+        if (transition_->waiting_on.empty()) finish_transition();
+      }
+      reply(Message::reply(Code::kOk));
+      return;
+    }
+
+    default:
+      reply(Message::reply(Code::kInvalid));
+  }
+}
+
+void CoordinatorService::finish_transition() {
+  map_ = transition_->target;
+  // Heartbeats: adopt the new controlets, retire tracking of old ones.
+  for (const auto& [old_c, new_c] : transition_->successor_of) {
+    last_seen_.erase(old_c);
+    last_seen_[new_c] = rt_->now_us();
+    // Tell the old controlet it has been fully replaced.
+    Message m;
+    m.op = Op::kReconfigure;
+    m.flags = kFlagTransition;
+    rt_->send(old_c, std::move(m));
+  }
+  for (const auto& s : map_.shards) push_reconfigure(s);
+  transition_.reset();
+  LOG_INFO << "coordinator: transition complete (epoch " << map_.epoch << ")";
+}
+
+void CoordinatorService::sweep() {
+  const uint64_t now = rt_->now_us();
+  const uint64_t deadline = static_cast<uint64_t>(cfg_.hb_miss_limit) * cfg_.hb_period_us;
+  std::vector<Addr> dead;
+  for (const auto& [node, seen] : last_seen_) {
+    if (now - seen > deadline && known_dead_.count(node) == 0) {
+      dead.push_back(node);
+    }
+  }
+  for (const auto& node : dead) on_node_failure(node);
+}
+
+void CoordinatorService::on_node_failure(const Addr& dead) {
+  known_dead_.insert(dead);
+  last_seen_.erase(dead);
+  standbys_.erase(std::remove(standbys_.begin(), standbys_.end(), dead),
+                  standbys_.end());
+  for (auto& s : map_.shards) {
+    auto it = std::find_if(s.replicas.begin(), s.replicas.end(),
+                           [&](const ReplicaInfo& r) { return r.controlet == dead; });
+    if (it == s.replicas.end()) continue;
+
+    const bool was_head = it == s.replicas.begin();
+    s.replicas.erase(it);
+    ++map_.epoch;
+    ++failovers_;
+    LOG_INFO << "coordinator: " << dead << " failed; shard " << s.id
+             << (was_head ? " head/master re-elected" : " chain repaired")
+             << " (epoch " << map_.epoch << ")";
+    // Leader election is deterministic: the next replica in chain order is
+    // promoted (MS); AA needs no leader. Survivors learn the new layout.
+    push_reconfigure(s);
+    begin_recovery(s.id);
+    return;
+  }
+}
+
+void CoordinatorService::push_reconfigure(const ShardInfo& shard) {
+  const std::string enc = map_.encode();
+  for (const auto& r : shard.replicas) {
+    Message m;
+    m.op = Op::kReconfigure;
+    m.shard = shard.id;
+    m.value = enc;
+    m.strs.push_back(cfg_.dlm);
+    m.strs.push_back(cfg_.sharedlog);
+    rt_->send(r.controlet, std::move(m));
+  }
+}
+
+void CoordinatorService::begin_recovery(uint32_t shard_id) {
+  if (standbys_.empty()) {
+    LOG_WARN << "coordinator: no standby available for shard " << shard_id;
+    return;
+  }
+  const ShardInfo* s = map_.shard(shard_id);
+  if (s == nullptr || s->replicas.empty()) return;
+  const Addr standby = standbys_.front();
+  standbys_.pop_front();
+  recovering_[standby] = shard_id;
+  // The standby recovers from a surviving replica's datalet (§IV-A: "the new
+  // controlet then recovers the data from one of the datalets").
+  Message m;
+  m.op = Op::kReconfigure;
+  m.flags = kFlagRecovery;
+  m.shard = shard_id;
+  m.value = map_.encode();
+  m.strs.push_back(s->replicas.front().controlet);  // recovery source
+  m.strs.push_back(cfg_.dlm);
+  m.strs.push_back(cfg_.sharedlog);
+  rt_->send(standby, std::move(m));
+}
+
+}  // namespace bespokv

@@ -1,0 +1,73 @@
+// Coordinator: the cluster's metadata and liveness service (the paper builds
+// it on ZooKeeper; here it is a first-class service with the same three
+// roles — §III: (1) topology metadata + query service, (2) liveness via
+// heartbeats, (3) failover orchestration — plus the §V transition driver).
+//
+// Failover (§IV-A, §C): when a controlet misses heartbeats, the coordinator
+// removes it from the shard (chain repair / leader election), bumps the map
+// epoch, reconfigures the survivors, and — if a standby pair is registered —
+// directs the standby to recover from a surviving replica and join as the
+// new tail/slave/active.
+//
+// Transitions (§V): given a target topology/consistency and an old→new
+// controlet mapping (new controlets share the old ones' datalets), the
+// coordinator starts both sides, waits for the old ones to drain, then
+// atomically swaps the shard map to the new controlets.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/coordinator/cluster_meta.h"
+#include "src/net/runtime.h"
+
+namespace bespokv {
+
+struct CoordinatorConfig {
+  uint64_t hb_period_us = 1'000'000;  // expected controlet heartbeat period
+  uint32_t hb_miss_limit = 3;         // misses before a node is declared dead
+  Addr dlm;                            // advertised to controlets/clients
+  Addr sharedlog;
+};
+
+class CoordinatorService : public Service {
+ public:
+  CoordinatorService(ShardMap initial_map, CoordinatorConfig cfg);
+
+  void start(Runtime& rt) override;
+  void stop() override;
+  void handle(const Addr& from, Message req, Replier reply) override;
+
+  const ShardMap& shard_map() const { return map_; }
+  uint64_t failovers() const { return failovers_; }
+  bool transition_active() const { return transition_ != nullptr; }
+
+ private:
+  struct Transition {
+    ShardMap target;                     // map after the swap (new controlets)
+    std::map<Addr, Addr> successor_of;   // old controlet -> new controlet
+    std::set<Addr> waiting_on;           // old controlets yet to drain
+  };
+
+  void sweep();
+  void on_node_failure(const Addr& dead);
+  void push_reconfigure(const ShardInfo& shard);
+  void begin_recovery(uint32_t shard_id);
+  void finish_transition();
+  Message map_reply() const;
+
+  CoordinatorConfig cfg_;
+  ShardMap map_;
+  std::map<Addr, uint64_t> last_seen_;   // controlet -> last heartbeat (us)
+  std::set<Addr> known_dead_;
+  std::deque<Addr> standbys_;            // registered standby controlets
+  std::map<Addr, uint32_t> recovering_;  // standby -> shard being rebuilt
+  std::unique_ptr<Transition> transition_;
+  uint64_t sweep_timer_ = 0;
+  uint64_t failovers_ = 0;
+};
+
+}  // namespace bespokv

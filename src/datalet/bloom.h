@@ -1,0 +1,46 @@
+// Blocked bloom filter for tLSM run pruning: double-hashing scheme
+// (Kirsch–Mitzenmacher) over a single bit array.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/common/hash.h"
+
+namespace bespokv {
+
+class BloomFilter {
+ public:
+  // `expected` items at ~1% false positives (10 bits/key, 7 probes).
+  explicit BloomFilter(size_t expected)
+      : bits_(std::max<size_t>(64, expected * 10)), words_((bits_ + 63) / 64, 0) {}
+
+  void add(std::string_view key) {
+    const uint64_t h1 = fnv1a64(key);
+    const uint64_t h2 = mix64(h1);
+    for (int i = 0; i < kProbes; ++i) {
+      const uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % bits_;
+      words_[bit >> 6] |= 1ULL << (bit & 63);
+    }
+  }
+
+  bool may_contain(std::string_view key) const {
+    const uint64_t h1 = fnv1a64(key);
+    const uint64_t h2 = mix64(h1);
+    for (int i = 0; i < kProbes; ++i) {
+      const uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % bits_;
+      if ((words_[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
+    }
+    return true;
+  }
+
+  size_t bit_count() const { return bits_; }
+
+ private:
+  static constexpr int kProbes = 7;
+  size_t bits_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace bespokv

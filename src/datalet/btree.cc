@@ -1,0 +1,272 @@
+#include "src/datalet/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bespokv {
+
+struct BTreeDatalet::Node {
+  bool is_leaf;
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+};
+
+struct BTreeDatalet::Internal : BTreeDatalet::Node {
+  Internal() : Node(false) {}
+  // children.size() == keys.size() + 1; subtree i holds keys < keys[i],
+  // subtree i+1 holds keys >= keys[i].
+  std::vector<std::string> keys;
+  std::vector<Node*> children;
+};
+
+struct BTreeDatalet::Leaf : BTreeDatalet::Node {
+  Leaf() : Node(true) {}
+  struct Item {
+    std::string key;
+    std::string value;
+    uint64_t seq;
+  };
+  std::vector<Item> items;  // sorted by key
+  Leaf* next = nullptr;
+};
+
+BTreeDatalet::BTreeDatalet() {
+  auto* leaf = new Leaf();
+  root_ = leaf;
+  first_leaf_ = leaf;
+}
+
+BTreeDatalet::~BTreeDatalet() { destroy(root_); }
+
+void BTreeDatalet::destroy(Node* node) {
+  if (node == nullptr) return;
+  if (!node->is_leaf) {
+    auto* in = static_cast<Internal*>(node);
+    for (Node* c : in->children) destroy(c);
+  }
+  if (node->is_leaf) {
+    delete static_cast<Leaf*>(node);
+  } else {
+    delete static_cast<Internal*>(node);
+  }
+}
+
+void BTreeDatalet::clear() {
+  destroy(root_);
+  auto* leaf = new Leaf();
+  root_ = leaf;
+  first_leaf_ = leaf;
+  count_ = 0;
+}
+
+BTreeDatalet::Leaf* BTreeDatalet::find_leaf(std::string_view key) const {
+  Node* node = root_;
+  while (!node->is_leaf) {
+    auto* in = static_cast<Internal*>(node);
+    const size_t idx = static_cast<size_t>(
+        std::upper_bound(in->keys.begin(), in->keys.end(), key) -
+        in->keys.begin());
+    node = in->children[idx];
+  }
+  return static_cast<Leaf*>(node);
+}
+
+BTreeDatalet::SplitResult BTreeDatalet::insert_into(Node* node,
+                                                    std::string_view key,
+                                                    std::string_view value,
+                                                    uint64_t seq, bool lww,
+                                                    bool* inserted) {
+  if (node->is_leaf) {
+    auto* leaf = static_cast<Leaf*>(node);
+    auto it = std::lower_bound(
+        leaf->items.begin(), leaf->items.end(), key,
+        [](const Leaf::Item& a, std::string_view k) { return a.key < k; });
+    if (it != leaf->items.end() && it->key == key) {
+      if (!lww || it->seq <= seq) {
+        it->value.assign(value);
+        it->seq = seq;
+      }
+      *inserted = false;
+      return {};
+    }
+    Leaf::Item item;
+    item.key.assign(key);
+    item.value.assign(value);
+    item.seq = seq;
+    leaf->items.insert(it, std::move(item));
+    *inserted = true;
+    if (leaf->items.size() <= kLeafCap) return {};
+
+    // Split the leaf in half; the separator is the right half's first key.
+    auto* right = new Leaf();
+    const size_t mid = leaf->items.size() / 2;
+    right->items.assign(std::make_move_iterator(leaf->items.begin() + static_cast<long>(mid)),
+                        std::make_move_iterator(leaf->items.end()));
+    leaf->items.resize(mid);
+    right->next = leaf->next;
+    leaf->next = right;
+    SplitResult r;
+    r.split = true;
+    r.sep = right->items.front().key;
+    r.right = right;
+    return r;
+  }
+
+  auto* in = static_cast<Internal*>(node);
+  const size_t idx = static_cast<size_t>(
+      std::upper_bound(in->keys.begin(), in->keys.end(), key) -
+      in->keys.begin());
+  SplitResult child = insert_into(in->children[idx], key, value, seq, lww, inserted);
+  if (!child.split) return {};
+
+  in->keys.insert(in->keys.begin() + static_cast<long>(idx), std::move(child.sep));
+  in->children.insert(in->children.begin() + static_cast<long>(idx) + 1, child.right);
+  if (in->children.size() <= kFanout) return {};
+
+  // Split the internal node; the middle key moves up.
+  auto* right = new Internal();
+  const size_t midk = in->keys.size() / 2;
+  SplitResult r;
+  r.split = true;
+  r.sep = std::move(in->keys[midk]);
+  right->keys.assign(std::make_move_iterator(in->keys.begin() + static_cast<long>(midk) + 1),
+                     std::make_move_iterator(in->keys.end()));
+  right->children.assign(in->children.begin() + static_cast<long>(midk) + 1,
+                         in->children.end());
+  in->keys.resize(midk);
+  in->children.resize(midk + 1);
+  r.right = right;
+  return r;
+}
+
+Status BTreeDatalet::put(std::string_view key, std::string_view value,
+                         uint64_t seq) {
+  bool inserted = false;
+  SplitResult r = insert_into(root_, key, value, seq, /*lww=*/false, &inserted);
+  if (r.split) {
+    auto* new_root = new Internal();
+    new_root->keys.push_back(std::move(r.sep));
+    new_root->children.push_back(root_);
+    new_root->children.push_back(r.right);
+    root_ = new_root;
+  }
+  if (inserted) ++count_;
+  return Status::Ok();
+}
+
+Status BTreeDatalet::put_if_newer(std::string_view key, std::string_view value,
+                                  uint64_t seq) {
+  bool inserted = false;
+  SplitResult r = insert_into(root_, key, value, seq, /*lww=*/true, &inserted);
+  if (r.split) {
+    auto* new_root = new Internal();
+    new_root->keys.push_back(std::move(r.sep));
+    new_root->children.push_back(root_);
+    new_root->children.push_back(r.right);
+    root_ = new_root;
+  }
+  if (inserted) ++count_;
+  return Status::Ok();
+}
+
+Result<Entry> BTreeDatalet::get(std::string_view key) const {
+  const Leaf* leaf = find_leaf(key);
+  auto it = std::lower_bound(
+      leaf->items.begin(), leaf->items.end(), key,
+      [](const Leaf::Item& a, std::string_view k) { return a.key < k; });
+  if (it == leaf->items.end() || it->key != key) return Status::NotFound();
+  return Entry{it->value, it->seq};
+}
+
+Status BTreeDatalet::del(std::string_view key, uint64_t /*seq*/) {
+  Leaf* leaf = find_leaf(key);
+  auto it = std::lower_bound(
+      leaf->items.begin(), leaf->items.end(), key,
+      [](const Leaf::Item& a, std::string_view k) { return a.key < k; });
+  if (it == leaf->items.end() || it->key != key) return Status::NotFound();
+  leaf->items.erase(it);
+  --count_;
+  return Status::Ok();
+}
+
+Result<std::vector<KV>> BTreeDatalet::scan(std::string_view start,
+                                           std::string_view end,
+                                           uint32_t limit) const {
+  std::vector<KV> out;
+  const uint32_t cap = limit == 0 ? UINT32_MAX : limit;
+  const Leaf* leaf = find_leaf(start);
+  while (leaf != nullptr && out.size() < cap) {
+    for (const auto& item : leaf->items) {
+      if (item.key < start) continue;
+      if (!end.empty() && item.key >= end) return out;
+      out.push_back(KV{item.key, item.value, item.seq});
+      if (out.size() >= cap) return out;
+    }
+    leaf = leaf->next;
+  }
+  return out;
+}
+
+void BTreeDatalet::for_each(
+    const std::function<void(std::string_view, const Entry&)>& fn) const {
+  for (const Leaf* leaf = first_leaf_; leaf != nullptr; leaf = leaf->next) {
+    for (const auto& item : leaf->items) {
+      fn(item.key, Entry{item.value, item.seq});
+    }
+  }
+}
+
+int BTreeDatalet::height() const {
+  int h = 1;
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    node = static_cast<const Internal*>(node)->children[0];
+    ++h;
+  }
+  return h;
+}
+
+bool BTreeDatalet::check_node(const Node* node, const std::string* lo,
+                              const std::string* hi, int depth,
+                              int leaf_depth) const {
+  if (node->is_leaf) {
+    if (depth != leaf_depth) return false;  // all leaves at the same depth
+    const auto* leaf = static_cast<const Leaf*>(node);
+    for (size_t i = 0; i < leaf->items.size(); ++i) {
+      const std::string& k = leaf->items[i].key;
+      if (i > 0 && !(leaf->items[i - 1].key < k)) return false;
+      if (lo != nullptr && k < *lo) return false;
+      if (hi != nullptr && k >= *hi) return false;
+    }
+    return true;
+  }
+  const auto* in = static_cast<const Internal*>(node);
+  if (in->children.size() != in->keys.size() + 1) return false;
+  for (size_t i = 1; i < in->keys.size(); ++i) {
+    if (!(in->keys[i - 1] < in->keys[i])) return false;
+  }
+  for (size_t i = 0; i < in->children.size(); ++i) {
+    const std::string* clo = i == 0 ? lo : &in->keys[i - 1];
+    const std::string* chi = i == in->keys.size() ? hi : &in->keys[i];
+    if (!check_node(in->children[i], clo, chi, depth + 1, leaf_depth)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BTreeDatalet::check_invariants() const {
+  // Leaf chain must visit exactly count_ items in sorted order.
+  size_t n = 0;
+  const std::string* prev = nullptr;
+  for (const Leaf* leaf = first_leaf_; leaf != nullptr; leaf = leaf->next) {
+    for (const auto& item : leaf->items) {
+      if (prev != nullptr && !(*prev < item.key)) return false;
+      prev = &item.key;
+      ++n;
+    }
+  }
+  if (n != count_) return false;
+  return check_node(root_, nullptr, nullptr, 1, height());
+}
+
+}  // namespace bespokv

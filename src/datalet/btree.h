@@ -1,0 +1,71 @@
+// tMT: ordered in-memory datalet (the paper's Masstree-based template).
+//
+// A B+-tree: values live only in leaves, leaves are chained for range scans
+// (§IV-B range query support). Deletions remove entries from leaves without
+// rebalancing — the standard trade-off for in-memory trees where leaf
+// occupancy recovers under continued inserts.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/datalet/datalet.h"
+
+namespace bespokv {
+
+class BTreeDatalet : public Datalet {
+ public:
+  BTreeDatalet();
+  ~BTreeDatalet() override;
+
+  const char* kind() const override { return "tMT"; }
+
+  Status put(std::string_view key, std::string_view value, uint64_t seq) override;
+  Result<Entry> get(std::string_view key) const override;
+  Status del(std::string_view key, uint64_t seq) override;
+  Status put_if_newer(std::string_view key, std::string_view value,
+                      uint64_t seq) override;
+
+  Result<std::vector<KV>> scan(std::string_view start, std::string_view end,
+                               uint32_t limit) const override;
+  bool supports_scan() const override { return true; }
+
+  size_t size() const override { return count_; }
+  void for_each(const std::function<void(std::string_view, const Entry&)>& fn)
+      const override;
+  void clear() override;
+
+  // Test hooks: structural invariants.
+  int height() const;
+  bool check_invariants() const;
+
+ private:
+  static constexpr int kFanout = 64;       // max children per internal node
+  static constexpr int kLeafCap = 64;      // max entries per leaf
+
+  struct Node;
+  struct Internal;
+  struct Leaf;
+
+  Leaf* find_leaf(std::string_view key) const;
+  // Inserts into the subtree; if the child split, returns the separator key
+  // and the new right sibling to be inserted into the parent.
+  struct SplitResult {
+    bool split = false;
+    std::string sep;
+    Node* right = nullptr;
+  };
+  SplitResult insert_into(Node* node, std::string_view key,
+                          std::string_view value, uint64_t seq, bool lww,
+                          bool* inserted);
+  void destroy(Node* node);
+  bool check_node(const Node* node, const std::string* lo,
+                  const std::string* hi, int depth, int leaf_depth) const;
+
+  Node* root_ = nullptr;
+  Leaf* first_leaf_ = nullptr;
+  size_t count_ = 0;
+};
+
+}  // namespace bespokv

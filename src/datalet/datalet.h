@@ -1,0 +1,84 @@
+// The datalet API (paper Table II): the only interface a single-server store
+// must implement to be dropped into bespoKV. Datalets are completely unaware
+// of distribution; controlets provide replication/topology/consistency.
+//
+// Entries carry a sequence number so controlets can do last-writer-wins
+// application of asynchronously propagated or log-replayed writes, and so
+// recovery snapshots preserve versions. Engines that do not care simply store
+// and return it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/proto/message.h"
+
+namespace bespokv {
+
+struct Entry {
+  std::string value;
+  uint64_t seq = 0;
+};
+
+class Datalet {
+ public:
+  virtual ~Datalet() = default;
+
+  virtual const char* kind() const = 0;
+
+  // Core KV interface (Table II).
+  virtual Status put(std::string_view key, std::string_view value,
+                     uint64_t seq = 0) = 0;
+  virtual Result<Entry> get(std::string_view key) const = 0;
+  virtual Status del(std::string_view key, uint64_t seq = 0) = 0;
+
+  // LWW apply: writes only if `seq` is >= the stored sequence (used by EC
+  // propagation and shared-log replay). Default forwards to put().
+  virtual Status put_if_newer(std::string_view key, std::string_view value,
+                              uint64_t seq);
+
+  // Range query support (§IV-B). Engines without ordered storage return
+  // kInvalid. `end` is exclusive; empty `end` means "to the last key".
+  virtual Result<std::vector<KV>> scan(std::string_view start,
+                                       std::string_view end,
+                                       uint32_t limit) const;
+  virtual bool supports_scan() const { return false; }
+
+  virtual size_t size() const = 0;
+
+  // Full iteration for recovery snapshots and cross-datalet sync. The
+  // callback must not mutate the datalet.
+  virtual void for_each(
+      const std::function<void(std::string_view key, const Entry&)>& fn) const = 0;
+
+  // Drops all data (transition tooling and tests).
+  virtual void clear() = 0;
+};
+
+struct DataletConfig {
+  // tLog / tLSM persistence root; empty = keep data purely in memory.
+  std::string dir;
+  // tLog: fdatasync after this many appends (0 = never sync).
+  uint32_t sync_every = 64;
+  // tLSM: flush the memtable after this many entries.
+  uint32_t memtable_limit = 16 * 1024;
+  // tLSM: merge runs when a level holds more than this many.
+  uint32_t max_runs_per_level = 4;
+  // tHT: initial bucket-array capacity (rounded up to a power of two).
+  uint32_t initial_capacity = 1024;
+  // tLSM: disable per-run bloom filters (ablation knob; see bench_ablation).
+  bool lsm_disable_bloom = false;
+};
+
+// Factory for the built-in engines: "tHT", "tLog", "tMT", "tLSM", and the
+// ported text-protocol stores "tRedis" / "tSSDB" (hash-backed, RESP/SSDB
+// wire protocols — see proto/text_protocol.h).
+std::unique_ptr<Datalet> make_datalet(const std::string& kind,
+                                      const DataletConfig& config = {});
+
+}  // namespace bespokv

@@ -1,0 +1,48 @@
+#include <memory>
+
+#include "src/datalet/btree.h"
+#include "src/datalet/ht.h"
+#include "src/datalet/logstore.h"
+#include "src/datalet/lsm.h"
+
+namespace bespokv {
+
+namespace {
+
+// tRedis / tSSDB: ported single-server stores. Functionally they are
+// hash-backed engines; what distinguishes a port is its wire protocol
+// (proto/text_protocol.h), which the datalet server attaches by kind.
+class PortedHashDatalet : public HashTableDatalet {
+ public:
+  PortedHashDatalet(const DataletConfig& cfg, const char* kind)
+      : HashTableDatalet(cfg), kind_(kind) {}
+  const char* kind() const override { return kind_; }
+
+ private:
+  const char* kind_;
+};
+
+}  // namespace
+
+std::unique_ptr<Datalet> make_datalet(const std::string& kind,
+                                      const DataletConfig& config) {
+  if (kind == "tHT") return std::make_unique<HashTableDatalet>(config);
+  if (kind == "tLog") return std::make_unique<LogStoreDatalet>(config);
+  if (kind == "tMT") return std::make_unique<BTreeDatalet>();
+  if (kind == "tLSM") return std::make_unique<LsmDatalet>(config);
+  if (kind == "tRedis") return std::make_unique<PortedHashDatalet>(config, "tRedis");
+  if (kind == "tSSDB") return std::make_unique<PortedHashDatalet>(config, "tSSDB");
+  return nullptr;
+}
+
+Status Datalet::put_if_newer(std::string_view key, std::string_view value,
+                             uint64_t seq) {
+  return put(key, value, seq);
+}
+
+Result<std::vector<KV>> Datalet::scan(std::string_view, std::string_view,
+                                      uint32_t) const {
+  return Status::Invalid(std::string(kind()) + " does not support range queries");
+}
+
+}  // namespace bespokv

@@ -1,0 +1,146 @@
+#include "src/datalet/ht.h"
+
+#include <bit>
+
+#include "src/common/hash.h"
+
+namespace bespokv {
+
+namespace {
+size_t round_pow2(size_t n) {
+  size_t c = 16;
+  while (c < n) c <<= 1;
+  return c;
+}
+}  // namespace
+
+HashTableDatalet::HashTableDatalet(const DataletConfig& cfg) {
+  const size_t cap = round_pow2(cfg.initial_capacity);
+  slots_.resize(cap);
+  mask_ = cap - 1;
+}
+
+uint64_t HashTableDatalet::hash_key(std::string_view key) {
+  uint64_t h = mix64(fnv1a64(key));
+  return h == 0 ? 1 : h;  // reserve 0 for "empty"
+}
+
+size_t HashTableDatalet::probe_distance(uint64_t hash, size_t idx) const {
+  const size_t home = hash & mask_;
+  return (idx + slots_.size() - home) & mask_;
+}
+
+size_t HashTableDatalet::find_slot(std::string_view key, uint64_t hash) const {
+  size_t idx = hash & mask_;
+  size_t dist = 0;
+  while (true) {
+    const Slot& s = slots_[idx];
+    if (s.hash == 0) return SIZE_MAX;
+    // Robin-hood invariant: once our probe distance exceeds the resident
+    // entry's, the key cannot be further along.
+    if (dist > probe_distance(s.hash, idx)) return SIZE_MAX;
+    if (s.hash == hash && s.key == key) return idx;
+    idx = (idx + 1) & mask_;
+    ++dist;
+  }
+}
+
+void HashTableDatalet::insert_internal(Slot&& s) {
+  size_t idx = s.hash & mask_;
+  size_t dist = 0;
+  while (true) {
+    Slot& cur = slots_[idx];
+    if (cur.hash == 0) {
+      cur = std::move(s);
+      return;
+    }
+    const size_t cur_dist = probe_distance(cur.hash, idx);
+    if (cur_dist < dist) {
+      std::swap(cur, s);
+      dist = cur_dist;
+    }
+    idx = (idx + 1) & mask_;
+    ++dist;
+  }
+}
+
+void HashTableDatalet::grow() {
+  std::vector<Slot> old;
+  old.swap(slots_);
+  slots_.resize(old.size() * 2);
+  mask_ = slots_.size() - 1;
+  for (auto& s : old) {
+    if (s.hash != 0) insert_internal(std::move(s));
+  }
+}
+
+Status HashTableDatalet::put(std::string_view key, std::string_view value,
+                             uint64_t seq) {
+  const uint64_t h = hash_key(key);
+  const size_t idx = find_slot(key, h);
+  if (idx != SIZE_MAX) {
+    slots_[idx].value.assign(value);
+    slots_[idx].seq = seq;
+    return Status::Ok();
+  }
+  if ((count_ + 1) * 8 > slots_.size() * 7) grow();  // load factor 7/8
+  Slot s;
+  s.hash = h;
+  s.key.assign(key);
+  s.value.assign(value);
+  s.seq = seq;
+  insert_internal(std::move(s));
+  ++count_;
+  return Status::Ok();
+}
+
+Status HashTableDatalet::put_if_newer(std::string_view key,
+                                      std::string_view value, uint64_t seq) {
+  const uint64_t h = hash_key(key);
+  const size_t idx = find_slot(key, h);
+  if (idx != SIZE_MAX) {
+    if (slots_[idx].seq > seq) return Status::Ok();  // stale write, drop
+    slots_[idx].value.assign(value);
+    slots_[idx].seq = seq;
+    return Status::Ok();
+  }
+  return put(key, value, seq);
+}
+
+Result<Entry> HashTableDatalet::get(std::string_view key) const {
+  const size_t idx = find_slot(key, hash_key(key));
+  if (idx == SIZE_MAX) return Status::NotFound();
+  return Entry{slots_[idx].value, slots_[idx].seq};
+}
+
+Status HashTableDatalet::del(std::string_view key, uint64_t /*seq*/) {
+  size_t idx = find_slot(key, hash_key(key));
+  if (idx == SIZE_MAX) return Status::NotFound();
+  // Backward-shift deletion: pull successors with nonzero probe distance back.
+  while (true) {
+    const size_t next = (idx + 1) & mask_;
+    Slot& nxt = slots_[next];
+    if (nxt.hash == 0 || probe_distance(nxt.hash, next) == 0) {
+      slots_[idx] = Slot{};
+      break;
+    }
+    slots_[idx] = std::move(nxt);
+    idx = next;
+  }
+  --count_;
+  return Status::Ok();
+}
+
+void HashTableDatalet::for_each(
+    const std::function<void(std::string_view, const Entry&)>& fn) const {
+  for (const auto& s : slots_) {
+    if (s.hash != 0) fn(s.key, Entry{s.value, s.seq});
+  }
+}
+
+void HashTableDatalet::clear() {
+  for (auto& s : slots_) s = Slot{};
+  count_ = 0;
+}
+
+}  // namespace bespokv

@@ -1,0 +1,56 @@
+// tHT: in-memory hash-table datalet (the paper's default template).
+//
+// Open-addressing table with robin-hood displacement and power-of-two
+// capacity. Tombstone-free: deletions use backward-shift deletion, so probe
+// sequences stay short under churny workloads (HPC monitoring streams).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/datalet/datalet.h"
+
+namespace bespokv {
+
+class HashTableDatalet : public Datalet {
+ public:
+  explicit HashTableDatalet(const DataletConfig& cfg = {});
+
+  const char* kind() const override { return "tHT"; }
+
+  Status put(std::string_view key, std::string_view value, uint64_t seq) override;
+  Result<Entry> get(std::string_view key) const override;
+  Status del(std::string_view key, uint64_t seq) override;
+  Status put_if_newer(std::string_view key, std::string_view value,
+                      uint64_t seq) override;
+
+  size_t size() const override { return count_; }
+  void for_each(const std::function<void(std::string_view, const Entry&)>& fn)
+      const override;
+  void clear() override;
+
+  // Exposed for tests: current probe-distance bound and capacity.
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;  // 0 marks an empty slot (hashes are forced non-zero)
+    std::string key;
+    std::string value;
+    uint64_t seq = 0;
+  };
+
+  static uint64_t hash_key(std::string_view key);
+  size_t probe_distance(uint64_t hash, size_t idx) const;
+  void grow();
+  // Returns slot index or SIZE_MAX.
+  size_t find_slot(std::string_view key, uint64_t hash) const;
+  void insert_internal(Slot&& s);
+
+  std::vector<Slot> slots_;
+  size_t count_ = 0;
+  size_t mask_ = 0;
+};
+
+}  // namespace bespokv

@@ -1,0 +1,262 @@
+#include "src/datalet/logstore.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+
+namespace bespokv {
+
+namespace {
+
+constexpr uint8_t kPut = 1;
+constexpr uint8_t kDel = 2;
+constexpr size_t kHeaderSize = 4 + 1 + 8 + 4 + 4;  // crc,type,seq,klen,vlen
+
+void put_u32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+void put_u64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+uint32_t get_u32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  return v;
+}
+uint64_t get_u64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  return v;
+}
+
+std::string build_record(uint8_t type, std::string_view key,
+                         std::string_view value, uint64_t seq) {
+  std::string rec;
+  rec.reserve(kHeaderSize + key.size() + value.size());
+  put_u32(rec, 0);  // crc placeholder
+  rec.push_back(static_cast<char>(type));
+  put_u64(rec, seq);
+  put_u32(rec, static_cast<uint32_t>(key.size()));
+  put_u32(rec, static_cast<uint32_t>(value.size()));
+  rec.append(key);
+  rec.append(value);
+  const uint32_t crc = crc32c(std::string_view(rec).substr(4));
+  for (int i = 0; i < 4; ++i) {
+    rec[static_cast<size_t>(i)] = static_cast<char>((crc >> (8 * i)) & 0xff);
+  }
+  return rec;
+}
+
+int open_append(const std::string& path) {
+  return ::open(path.c_str(), O_CREAT | O_RDWR | O_APPEND, 0644);
+}
+
+}  // namespace
+
+LogStoreDatalet::LogStoreDatalet(const DataletConfig& cfg) : cfg_(cfg) {
+  if (!cfg_.dir.empty()) {
+    ::mkdir(cfg_.dir.c_str(), 0755);
+    path_ = cfg_.dir + "/datalet.log";
+    Status s = recover();
+    if (!s.ok()) {
+      LOG_WARN << "tLog recovery at " << path_ << ": " << s.to_string();
+    }
+    fd_ = open_append(path_);
+  }
+}
+
+LogStoreDatalet::~LogStoreDatalet() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status LogStoreDatalet::recover() {
+  const int fd = ::open(path_.c_str(), O_RDONLY);
+  if (fd < 0) return Status::Ok();  // nothing to recover
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::Internal("fstat failed");
+  }
+  std::string image(static_cast<size_t>(st.st_size), '\0');
+  ssize_t got = ::pread(fd, image.data(), image.size(), 0);
+  ::close(fd);
+  if (got < 0 || static_cast<size_t>(got) != image.size()) {
+    return Status::Corruption("short read of log file");
+  }
+
+  // Replay; stop at the first corrupt/partial record (torn tail write).
+  size_t off = 0;
+  while (off + kHeaderSize <= image.size()) {
+    const char* p = image.data() + off;
+    const uint32_t crc = get_u32(p);
+    const uint8_t type = static_cast<uint8_t>(p[4]);
+    const uint64_t seq = get_u64(p + 5);
+    const uint32_t klen = get_u32(p + 13);
+    const uint32_t vlen = get_u32(p + 17);
+    const size_t total = kHeaderSize + klen + vlen;
+    if (off + total > image.size()) break;
+    const std::string_view body(p + 4, total - 4);
+    if (crc32c(body) != crc) break;
+    const std::string key(p + kHeaderSize, klen);
+    if (type == kPut) {
+      index_.insert_or_assign(key, Pointer{off, vlen, seq});
+    } else if (type == kDel) {
+      index_.erase(key);
+    } else {
+      break;
+    }
+    off += total;
+  }
+  if (off < image.size()) {
+    LOG_WARN << "tLog: truncating " << (image.size() - off)
+             << " torn bytes at offset " << off;
+    if (::truncate(path_.c_str(), static_cast<off_t>(off)) != 0) {
+      return Status::Internal("truncate failed");
+    }
+  }
+  file_bytes_ = off;
+  live_bytes_ = 0;
+  for (const auto& [k, ptr] : index_) {
+    live_bytes_ += kHeaderSize + k.size() + ptr.vlen;
+  }
+  return Status::Ok();
+}
+
+Status LogStoreDatalet::append_record(uint8_t type, std::string_view key,
+                                      std::string_view value, uint64_t seq) {
+  const std::string rec = build_record(type, key, value, seq);
+  if (fd_ >= 0) {
+    if (::write(fd_, rec.data(), rec.size()) !=
+        static_cast<ssize_t>(rec.size())) {
+      return Status::Internal("log append failed");
+    }
+    file_bytes_ += rec.size();
+    maybe_sync();
+  } else {
+    log_.append(rec);
+  }
+  return Status::Ok();
+}
+
+void LogStoreDatalet::maybe_sync() {
+  if (cfg_.sync_every == 0 || fd_ < 0) return;
+  if (++unsynced_ >= cfg_.sync_every) {
+    ::fdatasync(fd_);
+    unsynced_ = 0;
+  }
+}
+
+Status LogStoreDatalet::put(std::string_view key, std::string_view value,
+                            uint64_t seq) {
+  const uint64_t offset = current_size();
+  BKV_RETURN_IF_ERROR(append_record(kPut, key, value, seq));
+  auto it = index_.find(std::string(key));
+  if (it != index_.end()) {
+    live_bytes_ -= kHeaderSize + key.size() + it->second.vlen;
+    it->second = Pointer{offset, static_cast<uint32_t>(value.size()), seq};
+  } else {
+    index_.emplace(std::string(key),
+                   Pointer{offset, static_cast<uint32_t>(value.size()), seq});
+  }
+  live_bytes_ += kHeaderSize + key.size() + value.size();
+  return Status::Ok();
+}
+
+Status LogStoreDatalet::put_if_newer(std::string_view key,
+                                     std::string_view value, uint64_t seq) {
+  auto it = index_.find(std::string(key));
+  if (it != index_.end() && it->second.seq > seq) return Status::Ok();
+  return put(key, value, seq);
+}
+
+std::string LogStoreDatalet::read_value(const Pointer& p,
+                                        std::string_view key) const {
+  const size_t voff = static_cast<size_t>(p.offset) + kHeaderSize + key.size();
+  if (fd_ >= 0) {
+    std::string out(p.vlen, '\0');
+    const ssize_t got =
+        ::pread(fd_, out.data(), out.size(), static_cast<off_t>(voff));
+    if (got != static_cast<ssize_t>(out.size())) out.clear();
+    return out;
+  }
+  return log_.substr(voff, p.vlen);
+}
+
+Result<Entry> LogStoreDatalet::get(std::string_view key) const {
+  auto it = index_.find(std::string(key));
+  if (it == index_.end()) return Status::NotFound();
+  return Entry{read_value(it->second, key), it->second.seq};
+}
+
+Status LogStoreDatalet::del(std::string_view key, uint64_t seq) {
+  auto it = index_.find(std::string(key));
+  if (it == index_.end()) return Status::NotFound();
+  BKV_RETURN_IF_ERROR(append_record(kDel, key, "", seq));
+  live_bytes_ -= kHeaderSize + key.size() + it->second.vlen;
+  index_.erase(it);
+  return Status::Ok();
+}
+
+void LogStoreDatalet::for_each(
+    const std::function<void(std::string_view, const Entry&)>& fn) const {
+  for (const auto& [key, ptr] : index_) {
+    fn(key, Entry{read_value(ptr, key), ptr.seq});
+  }
+}
+
+void LogStoreDatalet::clear() {
+  index_.clear();
+  log_.clear();
+  live_bytes_ = 0;
+  file_bytes_ = 0;
+  if (fd_ >= 0) {
+    if (::ftruncate(fd_, 0) != 0) {
+      LOG_WARN << "tLog: ftruncate failed during clear";
+    }
+  }
+}
+
+Result<uint64_t> LogStoreDatalet::compact() {
+  const uint64_t before = current_size();
+  std::string fresh;
+  fresh.reserve(live_bytes_);
+  std::unordered_map<std::string, Pointer> new_index;
+  new_index.reserve(index_.size());
+  for (const auto& [key, ptr] : index_) {
+    const std::string value = read_value(ptr, key);
+    const uint64_t off = fresh.size();
+    fresh.append(build_record(kPut, key, value, ptr.seq));
+    new_index.emplace(key, Pointer{off, ptr.vlen, ptr.seq});
+  }
+  if (fd_ >= 0) {
+    // Rewrite through a temp file, then swap — a crash mid-compaction must
+    // not lose the old generation.
+    const std::string tmp = path_ + ".compact";
+    const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (fd < 0) return Status::Internal("compaction temp open failed");
+    if (::write(fd, fresh.data(), fresh.size()) !=
+        static_cast<ssize_t>(fresh.size())) {
+      ::close(fd);
+      return Status::Internal("compaction rewrite failed");
+    }
+    ::fdatasync(fd);
+    ::close(fd);
+    if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+      return Status::Internal("compaction rename failed");
+    }
+    ::close(fd_);
+    fd_ = open_append(path_);
+    file_bytes_ = fresh.size();
+  } else {
+    log_.swap(fresh);
+  }
+  index_.swap(new_index);
+  return before - current_size();
+}
+
+}  // namespace bespokv

@@ -1,0 +1,75 @@
+// tLog: persistent log-structured datalet — an append-only record log with an
+// in-memory hash index (the paper: "tLog, a persistent log-structured store
+// that uses tHT as the in-memory index", kept on HDD in the Fig. 6 use case).
+//
+// Record format (all little-endian, CRC32C over type..value):
+//   u32 crc | u8 type (1=put, 2=del) | u64 seq | u32 klen | u32 vlen | k | v
+// On open, the log is replayed to rebuild the index. compact() rewrites only
+// live records into a fresh log generation.
+//
+// In file mode only the index lives in memory: every Get goes through
+// pread(2) on the log file (the paper's Fig. 6 "Log" datalet is the one that
+// persists to HDD — reads pay the storage path). Memory mode (dir == "")
+// keeps the byte-identical log image in RAM for simulations.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+#include "src/datalet/datalet.h"
+
+namespace bespokv {
+
+class LogStoreDatalet : public Datalet {
+ public:
+  // dir == "" keeps the log in memory (byte-faithful, no file I/O): used by
+  // simulations. Otherwise records are appended to <dir>/datalet.log.
+  explicit LogStoreDatalet(const DataletConfig& cfg = {});
+  ~LogStoreDatalet() override;
+
+  const char* kind() const override { return "tLog"; }
+
+  Status put(std::string_view key, std::string_view value, uint64_t seq) override;
+  Result<Entry> get(std::string_view key) const override;
+  Status del(std::string_view key, uint64_t seq) override;
+  Status put_if_newer(std::string_view key, std::string_view value,
+                      uint64_t seq) override;
+
+  size_t size() const override { return index_.size(); }
+  void for_each(const std::function<void(std::string_view, const Entry&)>& fn)
+      const override;
+  void clear() override;
+
+  // Garbage-collects dead records. Returns bytes reclaimed.
+  Result<uint64_t> compact();
+
+  uint64_t log_bytes() const { return current_size(); }
+  // Replays an existing on-disk log into the index (called by the ctor).
+  Status recover();
+
+ private:
+  struct Pointer {
+    uint64_t offset;   // record start within log_
+    uint32_t vlen;
+    uint64_t seq;
+  };
+
+  Status append_record(uint8_t type, std::string_view key,
+                       std::string_view value, uint64_t seq);
+  void maybe_sync();
+  std::string read_value(const Pointer& p, std::string_view key) const;
+  uint64_t current_size() const { return fd_ >= 0 ? file_bytes_ : log_.size(); }
+
+  DataletConfig cfg_;
+  std::string path_;
+  int fd_ = -1;                   // <0 in memory mode
+  uint64_t file_bytes_ = 0;       // append offset in file mode
+  std::string log_;               // memory-mode log image (empty in file mode)
+  std::unordered_map<std::string, Pointer> index_;
+  uint32_t unsynced_ = 0;
+  uint64_t live_bytes_ = 0;
+};
+
+}  // namespace bespokv

@@ -1,0 +1,244 @@
+#include "src/datalet/lsm.h"
+
+#include <algorithm>
+
+namespace bespokv {
+
+LsmDatalet::LsmDatalet(const DataletConfig& cfg) : cfg_(cfg) {
+  if (cfg_.memtable_limit == 0) cfg_.memtable_limit = 16 * 1024;
+  if (cfg_.max_runs_per_level == 0) cfg_.max_runs_per_level = 4;
+}
+
+Status LsmDatalet::put(std::string_view key, std::string_view value,
+                       uint64_t seq) {
+  bytes_ingested_ += key.size() + value.size();
+  memtable_.insert_or_assign(std::string(key),
+                             MemEntry{std::string(value), seq, false});
+  if (memtable_.size() >= cfg_.memtable_limit) flush_memtable();
+  return Status::Ok();
+}
+
+Status LsmDatalet::put_if_newer(std::string_view key, std::string_view value,
+                                uint64_t seq) {
+  auto cur = get(key);
+  if (cur.ok() && cur.value().seq > seq) return Status::Ok();
+  return put(key, value, seq);
+}
+
+Status LsmDatalet::del(std::string_view key, uint64_t seq) {
+  // LSM deletes are blind writes; NotFound is only reported if the key is
+  // verifiably absent (cheap check through the read path).
+  auto cur = get(key);
+  if (!cur.ok()) return Status::NotFound();
+  memtable_.insert_or_assign(std::string(key), MemEntry{"", seq, true});
+  if (memtable_.size() >= cfg_.memtable_limit) flush_memtable();
+  return Status::Ok();
+}
+
+void LsmDatalet::flush_memtable() {
+  if (memtable_.empty()) return;
+  auto run = std::make_shared<Run>(memtable_.size());
+  run->generation = next_generation_++;
+  run->items.reserve(memtable_.size());
+  for (auto& [k, e] : memtable_) {
+    bytes_written_ += k.size() + e.value.size();
+    run->bloom.add(k);
+    run->items.push_back(Item{k, std::move(e.value), e.seq, e.tombstone});
+  }
+  // The one-time sort at flush is where the LSM pays for its O(1) writes.
+  std::sort(run->items.begin(), run->items.end(),
+            [](const Item& a, const Item& b) { return a.key < b.key; });
+  memtable_.clear();
+  if (levels_.empty()) levels_.emplace_back();
+  levels_[0].push_back(std::move(run));
+  maybe_compact(0);
+}
+
+void LsmDatalet::maybe_compact(size_t level) {
+  while (level < levels_.size() &&
+         levels_[level].size() > cfg_.max_runs_per_level) {
+    // Tombstones may only be dropped when no older data exists beneath the
+    // destination level (otherwise a shadowed value would resurface).
+    bool nothing_below = true;
+    for (size_t l = level + 1; l < levels_.size(); ++l) {
+      if (!levels_[l].empty()) nothing_below = false;
+    }
+    auto merged = merge_runs(levels_[level], /*drop_tombstones=*/nothing_below);
+    levels_[level].clear();
+    if (level + 1 >= levels_.size()) levels_.emplace_back();
+    levels_[level + 1].push_back(std::move(merged));
+    ++level;
+  }
+}
+
+std::shared_ptr<LsmDatalet::Run> LsmDatalet::merge_runs(
+    const std::vector<std::shared_ptr<Run>>& runs, bool drop_tombstones) {
+  size_t total = 0;
+  for (const auto& r : runs) total += r->items.size();
+  auto out = std::make_shared<Run>(total);
+  out->generation = next_generation_++;
+
+  // K-way merge by (key asc, generation desc) — newest version wins.
+  struct Cursor {
+    const Run* run;
+    size_t idx;
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(runs.size());
+  for (const auto& r : runs) {
+    if (!r->items.empty()) cursors.push_back(Cursor{r.get(), 0});
+  }
+  while (!cursors.empty()) {
+    // Find the smallest key; among equal keys, the highest generation.
+    size_t best = 0;
+    for (size_t i = 1; i < cursors.size(); ++i) {
+      const Item& a = cursors[i].run->items[cursors[i].idx];
+      const Item& b = cursors[best].run->items[cursors[best].idx];
+      if (a.key < b.key ||
+          (a.key == b.key &&
+           cursors[i].run->generation > cursors[best].run->generation)) {
+        best = i;
+      }
+    }
+    const Item& winner = cursors[best].run->items[cursors[best].idx];
+    if (!(winner.tombstone && drop_tombstones)) {
+      bytes_written_ += winner.key.size() + winner.value.size();
+      out->bloom.add(winner.key);
+      out->items.push_back(winner);
+    }
+    // Advance every cursor past this key (shadowed versions are dropped).
+    const std::string key = winner.key;
+    for (size_t i = 0; i < cursors.size();) {
+      auto& c = cursors[i];
+      while (c.idx < c.run->items.size() && c.run->items[c.idx].key == key) {
+        ++c.idx;
+      }
+      if (c.idx >= c.run->items.size()) {
+        cursors.erase(cursors.begin() + static_cast<long>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+  return out;
+}
+
+const LsmDatalet::Item* LsmDatalet::find_in_run(const Run& run,
+                                                std::string_view key) const {
+  if (run.items.empty()) return nullptr;
+  if (key < run.items.front().key || key > run.items.back().key) return nullptr;
+  if (!cfg_.lsm_disable_bloom && !run.bloom.may_contain(key)) return nullptr;
+  auto it = std::lower_bound(
+      run.items.begin(), run.items.end(), key,
+      [](const Item& a, std::string_view k) { return a.key < k; });
+  if (it == run.items.end() || it->key != key) return nullptr;
+  return &*it;
+}
+
+Result<Entry> LsmDatalet::get(std::string_view key) const {
+  auto mit = memtable_.find(std::string(key));
+  if (mit != memtable_.end()) {
+    if (mit->second.tombstone) return Status::NotFound();
+    return Entry{mit->second.value, mit->second.seq};
+  }
+  // Newest runs first: level 0 back-to-front, then deeper levels.
+  for (const auto& level : levels_) {
+    for (auto it = level.rbegin(); it != level.rend(); ++it) {
+      const Item* item = find_in_run(**it, key);
+      if (item != nullptr) {
+        if (item->tombstone) return Status::NotFound();
+        return Entry{item->value, item->seq};
+      }
+    }
+  }
+  return Status::NotFound();
+}
+
+Result<std::vector<KV>> LsmDatalet::scan(std::string_view start,
+                                         std::string_view end,
+                                         uint32_t limit) const {
+  // Merge-view scan: collect candidate versions, newest source wins.
+  // Sources ordered newest-first: memtable, then runs by generation.
+  std::map<std::string, const Item*> view;   // key -> winning run item
+  std::map<std::string, const MemEntry*> mem_view;
+
+  auto in_range = [&](const std::string& k) {
+    return k >= start && (end.empty() || k < end);
+  };
+
+  for (auto it = memtable_.begin(); it != memtable_.end(); ++it) {
+    if (it->first < start) continue;
+    if (!end.empty() && it->first >= end) continue;
+    mem_view.emplace(it->first, &it->second);
+  }
+
+  std::vector<const Run*> runs_newest_first;
+  for (const auto& level : levels_) {
+    for (const auto& r : level) runs_newest_first.push_back(r.get());
+  }
+  std::sort(runs_newest_first.begin(), runs_newest_first.end(),
+            [](const Run* a, const Run* b) { return a->generation > b->generation; });
+  for (const Run* run : runs_newest_first) {
+    auto it = std::lower_bound(
+        run->items.begin(), run->items.end(), start,
+        [](const Item& a, std::string_view k) { return a.key < k; });
+    for (; it != run->items.end(); ++it) {
+      if (!in_range(it->key)) break;
+      if (mem_view.count(it->key) > 0) continue;  // memtable shadows runs
+      view.emplace(it->key, &*it);                // first (newest) wins
+    }
+  }
+
+  // Interleave the two sorted views.
+  std::vector<KV> out;
+  const uint32_t cap = limit == 0 ? UINT32_MAX : limit;
+  auto mi = mem_view.begin();
+  auto ri = view.begin();
+  while (out.size() < cap && (mi != mem_view.end() || ri != view.end())) {
+    const bool take_mem =
+        ri == view.end() || (mi != mem_view.end() && mi->first <= ri->first);
+    if (take_mem) {
+      if (!mi->second->tombstone) {
+        out.push_back(KV{mi->first, mi->second->value, mi->second->seq});
+      }
+      ++mi;
+    } else {
+      if (!ri->second->tombstone) {
+        out.push_back(KV{ri->first, ri->second->value, ri->second->seq});
+      }
+      ++ri;
+    }
+  }
+  return out;
+}
+
+size_t LsmDatalet::size() const {
+  size_t n = 0;
+  auto all = scan("", "", 0);
+  if (all.ok()) n = all.value().size();
+  return n;
+}
+
+void LsmDatalet::for_each(
+    const std::function<void(std::string_view, const Entry&)>& fn) const {
+  auto all = scan("", "", 0);
+  if (!all.ok()) return;
+  for (const auto& kv : all.value()) {
+    fn(kv.key, Entry{kv.value, kv.seq});
+  }
+}
+
+void LsmDatalet::clear() {
+  memtable_.clear();
+  levels_.clear();
+  bytes_written_ = 0;
+  bytes_ingested_ = 0;
+}
+
+size_t LsmDatalet::num_runs() const {
+  size_t n = 0;
+  for (const auto& level : levels_) n += level.size();
+  return n;
+}
+
+}  // namespace bespokv

@@ -1,0 +1,126 @@
+#include "src/datalet/service.h"
+
+#include "src/common/logging.h"
+
+namespace bespokv {
+
+namespace {
+
+// Tables are implemented by key prefixing: "<table>\x1f<key>". The default
+// table is the empty prefix.
+std::string table_key(const Message& req) {
+  if (req.table.empty()) return req.key;
+  std::string k = req.table;
+  k.push_back('\x1f');
+  k += req.key;
+  return k;
+}
+
+}  // namespace
+
+Message DataletHandle::apply(Datalet& d, const Message& req) {
+  Message reply = Message::reply(Code::kOk);
+  switch (req.op) {
+    case Op::kPut: {
+      Status s = (req.flags & kFlagNoPropagate) != 0
+                     ? d.put_if_newer(table_key(req), req.value, req.seq)
+                     : d.put(table_key(req), req.value, req.seq);
+      reply.code = s.code();
+      break;
+    }
+    case Op::kGet: {
+      auto r = d.get(table_key(req));
+      if (r.ok()) {
+        Entry e = std::move(r).value();
+        reply.value = std::move(e.value);
+        reply.seq = e.seq;
+      } else {
+        reply.code = r.status().code();
+      }
+      break;
+    }
+    case Op::kDel: {
+      reply.code = d.del(table_key(req), req.seq).code();
+      break;
+    }
+    case Op::kScan: {
+      std::string start = req.key;
+      std::string end = req.value;
+      if (!req.table.empty()) {
+        std::string prefix = req.table;
+        prefix.push_back('\x1f');
+        start = prefix + start;
+        end = end.empty() ? prefix + "\x7f" : prefix + end;
+      }
+      auto r = d.scan(start, end, req.limit);
+      if (r.ok()) {
+        reply.kvs = std::move(r).value();
+        if (!req.table.empty()) {
+          // Strip the table prefix from result keys.
+          const size_t plen = req.table.size() + 1;
+          for (auto& kv : reply.kvs) kv.key.erase(0, plen);
+        }
+      } else {
+        reply.code = r.status().code();
+      }
+      break;
+    }
+    case Op::kSnapshotReq: {
+      // Full-state transfer for recovery; seq carries per-entry versions.
+      d.for_each([&reply](std::string_view key, const Entry& e) {
+        reply.kvs.push_back(KV{std::string(key), e.value, e.seq});
+      });
+      break;
+    }
+    case Op::kCreateTable:
+    case Op::kDeleteTable:
+      // Tables are prefix-virtualized; creation is implicit. Deletion of a
+      // table requires ordered iteration, available on scan-capable engines.
+      if (req.op == Op::kDeleteTable) {
+        std::string prefix = req.table.empty() ? req.key : req.table;
+        prefix.push_back('\x1f');
+        auto r = d.scan(prefix, prefix + "\x7f", 0);
+        if (r.ok()) {
+          for (const auto& kv : r.value()) d.del(kv.key, 0);
+        } else {
+          std::vector<std::string> doomed;
+          d.for_each([&](std::string_view key, const Entry&) {
+            if (key.substr(0, prefix.size()) == prefix) {
+              doomed.emplace_back(key);
+            }
+          });
+          for (const auto& k : doomed) d.del(k, 0);
+        }
+      }
+      break;
+    case Op::kNop:
+      break;
+    default:
+      reply.code = Code::kInvalid;
+      break;
+  }
+  return reply;
+}
+
+void DataletService::handle(const Addr& from, Message req, Replier reply) {
+  (void)from;
+  reply(DataletHandle::apply(*datalet_, req));
+}
+
+void DataletHandle::execute(Message req, std::function<void(Message)> done) {
+  if (local_ != nullptr) {
+    done(apply(*local_, req));
+    return;
+  }
+  rt_->call(remote_, std::move(req), [done = std::move(done)](Status s, Message m) {
+    if (!s.ok()) {
+      Message err = Message::reply(s.code() == Code::kTimeout ? Code::kTimeout
+                                                              : Code::kUnavailable);
+      done(std::move(err));
+      return;
+    }
+    done(std::move(m));
+  });
+}
+
+}  // namespace bespokv

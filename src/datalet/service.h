@@ -1,0 +1,56 @@
+// DataletService: exposes a datalet over the fabric. Controlets normally
+// co-locate with their datalet and call the engine directly (the paper's
+// one-to-one controlet–datalet mapping); this service enables the N-to-1 /
+// remote mappings and standalone datalet processes.
+//
+// DataletHandle abstracts over the two cases so controlet code is identical
+// for local and remote datalets.
+#pragma once
+
+#include <memory>
+
+#include "src/datalet/datalet.h"
+#include "src/net/runtime.h"
+
+namespace bespokv {
+
+class DataletService : public Service {
+ public:
+  explicit DataletService(std::shared_ptr<Datalet> datalet)
+      : datalet_(std::move(datalet)) {}
+
+  void handle(const Addr& from, Message req, Replier reply) override;
+
+  Datalet* datalet() { return datalet_.get(); }
+
+ private:
+  std::shared_ptr<Datalet> datalet_;
+};
+
+// Uniform async datalet access for controlets: local engine call or RPC.
+class DataletHandle {
+ public:
+  // Local: direct engine access (controlet and datalet share a node).
+  explicit DataletHandle(std::shared_ptr<Datalet> local)
+      : local_(std::move(local)) {}
+  // Remote: RPC to a DataletService at `addr`.
+  DataletHandle(Runtime* rt, Addr addr) : rt_(rt), remote_(std::move(addr)) {}
+
+  bool is_local() const { return local_ != nullptr; }
+  Datalet* local() { return local_.get(); }
+  const Addr& remote() const { return remote_; }
+
+  // Issues the datalet op and completes `done` with the reply message
+  // (local calls complete inline).
+  void execute(Message req, std::function<void(Message)> done);
+
+  // Builds the reply for `req` against a raw engine (shared with the service).
+  static Message apply(Datalet& d, const Message& req);
+
+ private:
+  std::shared_ptr<Datalet> local_;
+  Runtime* rt_ = nullptr;
+  Addr remote_;
+};
+
+}  // namespace bespokv

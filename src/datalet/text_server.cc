@@ -1,0 +1,126 @@
+#include "src/datalet/text_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/datalet/service.h"
+
+namespace bespokv {
+
+TextProtocolServer::TextProtocolServer(std::shared_ptr<Datalet> engine,
+                                       std::string parser_name)
+    : engine_(std::move(engine)), parser_name_(std::move(parser_name)) {}
+
+TextProtocolServer::~TextProtocolServer() { stop(); }
+
+Result<int> TextProtocolServer::start(int port) {
+  if (make_parser(parser_name_) == nullptr) {
+    return Status::Invalid("unknown protocol: " + parser_name_);
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Internal("socket() failed");
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  sa.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("bind failed");
+  }
+  socklen_t len = sizeof(sa);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&sa), &len);
+  port_ = ntohs(sa.sin_port);
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("listen failed");
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return port_;
+}
+
+void TextProtocolServer::stop() {
+  if (stopping_.exchange(true)) return;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> g(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& t : conns) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void TextProtocolServer::accept_loop() {
+  while (!stopping_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      continue;
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> g(conns_mu_);
+    conns_.emplace_back([this, fd] { serve_conn(fd); });
+  }
+}
+
+void TextProtocolServer::serve_conn(int fd) {
+  auto parser = make_parser(parser_name_);
+  std::string buf;
+  char chunk[16 * 1024];
+  while (!stopping_.load()) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    buf.append(chunk, static_cast<size_t>(n));
+    size_t off = 0;
+    bool poisoned = false;
+    while (true) {
+      ParseResult r = parser->parse_request(std::string_view(buf).substr(off));
+      if (!r.status.ok()) {
+        LOG_WARN << "text server: protocol error: " << r.status.to_string();
+        poisoned = true;
+        break;
+      }
+      if (!r.has_message) break;
+      off += r.consumed;
+      ++served_;
+      Message reply = DataletHandle::apply(*engine_, r.message);
+      // GET replies must distinguish "present but empty" from bulk protocol
+      // framing; the RESP formatter keys off flags for that corner.
+      if (r.message.op == Op::kGet && reply.code == Code::kOk) {
+        reply.flags = 1;
+      }
+      const std::string wire = parser->format_reply(reply);
+      size_t sent = 0;
+      while (sent < wire.size()) {
+        const ssize_t w = ::write(fd, wire.data() + sent, wire.size() - sent);
+        if (w <= 0) {
+          poisoned = true;
+          break;
+        }
+        sent += static_cast<size_t>(w);
+      }
+      if (poisoned) break;
+    }
+    if (poisoned) break;
+    buf.erase(0, off);
+  }
+  ::close(fd);
+}
+
+}  // namespace bespokv

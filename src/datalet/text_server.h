@@ -1,0 +1,51 @@
+// TextProtocolServer: serves a datalet over its *native* text wire protocol
+// (RESP for tRedis, the SSDB block protocol for tSSDB) on a real TCP socket.
+//
+// This is the §III-A "option 2" path made concrete: an existing single-server
+// store keeps its own protocol, and bespoKV interoperates through the
+// pluggable parser — the paper's redis-benchmark workflow (§A "Redis
+// benchmark") talks to exactly this kind of endpoint. One thread per server,
+// blocking accept, per-connection incremental parsing.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/datalet/datalet.h"
+#include "src/proto/text_protocol.h"
+
+namespace bespokv {
+
+class TextProtocolServer {
+ public:
+  // `parser_name`: "resp" or "ssdb". Binds 127.0.0.1:port (0 = pick free).
+  TextProtocolServer(std::shared_ptr<Datalet> engine, std::string parser_name);
+  ~TextProtocolServer();
+
+  // Starts accepting. Returns the bound port, or an error.
+  Result<int> start(int port = 0);
+  void stop();
+
+  int port() const { return port_; }
+  uint64_t requests_served() const { return served_.load(); }
+
+ private:
+  void accept_loop();
+  void serve_conn(int fd);
+
+  std::shared_ptr<Datalet> engine_;
+  std::string parser_name_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> served_{0};
+  std::thread acceptor_;
+  std::vector<std::thread> conns_;
+  std::mutex conns_mu_;
+};
+
+}  // namespace bespokv

@@ -1,0 +1,131 @@
+#include "src/dlm/dlm.h"
+
+namespace bespokv {
+
+void DlmService::start(Runtime& rt) {
+  Service::start(rt);
+  sweep_timer_ = rt_->set_periodic(cfg_.sweep_period_us, [this] { sweep(); });
+}
+
+void DlmService::stop() {
+  if (rt_ != nullptr && sweep_timer_ != 0) rt_->cancel_timer(sweep_timer_);
+  sweep_timer_ = 0;
+}
+
+void DlmService::handle(const Addr& from, Message req, Replier reply) {
+  if (req.op == Op::kLock) {
+    const bool write = (req.flags & kFlagWriteLock) != 0;
+    LockState& st = locks_[req.key];
+    const uint64_t now = rt_->now_us();
+    const bool compatible =
+        st.holders.empty() || (!write && !st.write && st.waiters.empty());
+    if (compatible) {
+      st.write = write;
+      st.holders[from] = now + cfg_.lease_us;
+      reply(Message::reply(Code::kOk));
+      return;
+    }
+    if (st.holders.count(from) > 0 && st.write == write) {
+      // Re-entrant grant refreshes the lease.
+      st.holders[from] = now + cfg_.lease_us;
+      reply(Message::reply(Code::kOk));
+      return;
+    }
+    st.waiters.push_back(Waiter{from, write, std::move(reply),
+                                now + cfg_.wait_cap_us});
+    return;
+  }
+  if (req.op == Op::kUnlock) {
+    auto it = locks_.find(req.key);
+    if (it == locks_.end() || it->second.holders.erase(from) == 0) {
+      reply(Message::reply(Code::kNotFound));
+      return;
+    }
+    grant(req.key, it->second);
+    if (it->second.holders.empty() && it->second.waiters.empty()) {
+      locks_.erase(it);
+    }
+    reply(Message::reply(Code::kOk));
+    return;
+  }
+  reply(Message::reply(Code::kInvalid));
+}
+
+void DlmService::grant(const std::string& /*key*/, LockState& st) {
+  if (!st.holders.empty() || st.waiters.empty()) return;
+  const uint64_t now = rt_->now_us();
+  Waiter w = std::move(st.waiters.front());
+  st.waiters.pop_front();
+  st.write = w.write;
+  st.holders[w.owner] = now + cfg_.lease_us;
+  w.reply(Message::reply(Code::kOk));
+  // Batch compatible readers behind a granted read lock.
+  if (!w.write) {
+    while (!st.waiters.empty() && !st.waiters.front().write) {
+      Waiter r = std::move(st.waiters.front());
+      st.waiters.pop_front();
+      st.holders[r.owner] = now + cfg_.lease_us;
+      r.reply(Message::reply(Code::kOk));
+    }
+  }
+}
+
+void DlmService::sweep() {
+  const uint64_t now = rt_->now_us();
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    LockState& st = it->second;
+    // Expire leases (crashed or wedged holders — §C.B deadlock freedom).
+    for (auto h = st.holders.begin(); h != st.holders.end();) {
+      if (h->second <= now) {
+        h = st.holders.erase(h);
+        ++expirations_;
+      } else {
+        ++h;
+      }
+    }
+    // Time out queued waiters.
+    std::deque<Waiter> keep;
+    for (auto& w : st.waiters) {
+      if (w.deadline_us <= now) {
+        w.reply(Message::reply(Code::kTimeout));
+      } else {
+        keep.push_back(std::move(w));
+      }
+    }
+    st.waiters.swap(keep);
+    grant(it->first, st);
+    if (st.holders.empty() && st.waiters.empty()) {
+      it = locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DlmClient::lock(const std::string& key, bool write,
+                     std::function<void(Status)> done) {
+  Message req;
+  req.op = Op::kLock;
+  req.key = key;
+  if (write) req.flags |= kFlagWriteLock;
+  rt_->call(addr_, std::move(req),
+            [done = std::move(done)](Status s, Message rep) {
+              if (!s.ok()) {
+                done(s);
+              } else if (rep.code != Code::kOk) {
+                done(Status(rep.code));
+              } else {
+                done(Status::Ok());
+              }
+            },
+            /*timeout_us=*/3'000'000);
+}
+
+void DlmClient::unlock(const std::string& key) {
+  Message req;
+  req.op = Op::kUnlock;
+  req.key = key;
+  rt_->send(addr_, std::move(req));
+}
+
+}  // namespace bespokv

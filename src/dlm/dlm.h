@@ -1,0 +1,74 @@
+// Distributed lock manager (Redlock substitute; Table III DLM API).
+//
+// Per-key reader/writer locks with leases. AA+SC controlets take a write
+// lock around replica updates and a read lock around Gets (Fig. 15b).
+// Leases auto-expire after `lease_us` to guarantee liveness when a lock
+// holder crashes (§C.B: "locks are released after a configurable period of
+// time"). Waiters are granted FIFO, readers batched.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/net/runtime.h"
+#include "src/proto/message.h"
+
+namespace bespokv {
+
+struct DlmConfig {
+  uint64_t lease_us = 2'000'000;      // holder lease before auto-release
+  uint64_t wait_cap_us = 1'000'000;   // max queueing time before kTimeout
+  uint64_t sweep_period_us = 10'000;  // expiry scan period
+};
+
+class DlmService : public Service {
+ public:
+  explicit DlmService(DlmConfig cfg = {}) : cfg_(cfg) {}
+
+  void start(Runtime& rt) override;
+  void stop() override;
+  void handle(const Addr& from, Message req, Replier reply) override;
+
+  size_t held_locks() const { return locks_.size(); }
+  uint64_t expirations() const { return expirations_; }
+
+ private:
+  struct Waiter {
+    Addr owner;
+    bool write;
+    Replier reply;
+    uint64_t deadline_us;
+  };
+  struct LockState {
+    bool write = false;                  // current grant mode
+    std::map<Addr, uint64_t> holders;    // owner -> lease expiry
+    std::deque<Waiter> waiters;
+  };
+
+  void grant(const std::string& key, LockState& st);
+  void sweep();
+
+  DlmConfig cfg_;
+  std::map<std::string, LockState> locks_;
+  uint64_t sweep_timer_ = 0;
+  uint64_t expirations_ = 0;
+};
+
+// Client wrapper: Lock(key) / Unlock(key).
+class DlmClient {
+ public:
+  DlmClient(Runtime* rt, Addr dlm_addr) : rt_(rt), addr_(std::move(dlm_addr)) {}
+
+  void lock(const std::string& key, bool write,
+            std::function<void(Status)> done);
+  void unlock(const std::string& key);
+
+ private:
+  Runtime* rt_;
+  Addr addr_;
+};
+
+}  // namespace bespokv

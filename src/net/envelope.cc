@@ -1,0 +1,55 @@
+#include "src/net/envelope.h"
+
+#include "src/proto/codec.h"
+
+namespace bespokv {
+
+void encode_envelope(const Envelope& env, std::string* out) {
+  std::string payload;
+  Encoder e(&payload);
+  e.put_varint(env.rpc_id);
+  e.put_u8(static_cast<uint8_t>(env.kind));
+  e.put_bytes(env.from);
+  encode_message(env.msg, &payload);
+
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  }
+  out->append(payload);
+}
+
+Status decode_envelope(std::string_view buf, Envelope* env, size_t* consumed) {
+  *consumed = 0;
+  if (buf.size() < 4) return Status::Ok();
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(buf[static_cast<size_t>(i)])) << (8 * i);
+  }
+  if (len > 64u * 1024 * 1024) return Status::Corruption("oversized frame");
+  if (buf.size() < 4 + static_cast<size_t>(len)) return Status::Ok();
+  std::string_view payload = buf.substr(4, len);
+
+  Decoder d(payload);
+  auto rpc = d.varint();
+  if (!rpc.ok()) return rpc.status();
+  auto kind = d.u8();
+  if (!kind.ok()) return kind.status();
+  if (kind.value() > 2) return Status::Corruption("bad envelope kind");
+  auto from = d.bytes();
+  if (!from.ok()) return from.status();
+
+  // The remainder of the payload is the encoded message.
+  const size_t header = payload.size() - d.remaining();
+  auto msg = decode_message(payload.substr(header));
+  if (!msg.ok()) return msg.status();
+
+  env->rpc_id = rpc.value();
+  env->kind = static_cast<EnvelopeKind>(kind.value());
+  env->from = std::move(from).value();
+  env->msg = std::move(msg).value();
+  *consumed = 4 + static_cast<size_t>(len);
+  return Status::Ok();
+}
+
+}  // namespace bespokv

@@ -1,0 +1,33 @@
+// RPC envelope framing shared by the TCP fabric and the protocol tests.
+// Frame on the wire: 4-byte little-endian payload length, then the payload:
+//   varint rpc_id | u8 kind | bytes from_addr | encoded Message (codec.h)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/net/runtime.h"
+#include "src/proto/message.h"
+
+namespace bespokv {
+
+enum class EnvelopeKind : uint8_t { kRequest = 0, kResponse = 1, kOneWay = 2 };
+
+struct Envelope {
+  uint64_t rpc_id = 0;
+  EnvelopeKind kind = EnvelopeKind::kRequest;
+  Addr from;
+  Message msg;
+};
+
+// Appends a complete frame (length prefix included) to `out`.
+void encode_envelope(const Envelope& env, std::string* out);
+
+// Attempts to decode one frame from the head of `buf`. Returns:
+//   kOk + consumed>0  — a frame was decoded into *env
+//   kOk + consumed==0 — need more bytes
+//   error             — stream is corrupt; the connection must be dropped
+Status decode_envelope(std::string_view buf, Envelope* env, size_t* consumed);
+
+}  // namespace bespokv

@@ -1,0 +1,113 @@
+// Runtime / Service / Fabric: the asynchronous event-driven programming
+// substrate every bespoKV component is written against (§III-B "controlet
+// programming abstraction"). The same controlet, coordinator, DLM, shared-log
+// and datalet code runs unchanged on three fabrics:
+//
+//   * SimFabric    — single-threaded discrete-event simulation with a virtual
+//                    clock, per-node service-time queueing, link latency and
+//                    failure injection. Used by the scale-out benchmarks
+//                    (substitute for the paper's 48-node GCE cluster).
+//   * ThreadFabric — one OS thread + mailbox per node, real time. Used by
+//                    integration tests and the examples.
+//   * TcpFabric    — epoll-based framed TCP on loopback, real sockets. Used
+//                    to exercise the genuine networking path.
+//
+// Execution model: every node is single-threaded; all handlers, timers and
+// RPC callbacks for a node run serialized on that node's runtime, so node
+// logic needs no locks (matching the paper's event-driven controlets).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/proto/message.h"
+
+namespace bespokv {
+
+using Addr = std::string;
+
+// RPC completion: Status is kOk iff a reply arrived (the reply itself may
+// still carry an application-level error in msg.code).
+using RpcCallback = std::function<void(Status, Message)>;
+
+// Passed to Service::handle; must be invoked exactly once per request.
+// Copyable so handlers can stash it while they fan out sub-requests.
+using Replier = std::function<void(Message)>;
+
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  virtual const Addr& self() const = 0;
+  virtual uint64_t now_us() = 0;
+
+  // Runs `fn` on this node's executor, after currently queued events.
+  virtual void post(std::function<void()> fn) = 0;
+
+  // One-shot timer. Returns a cancellation id (0 is never a valid id).
+  virtual uint64_t set_timer(uint64_t delay_us, std::function<void()> fn) = 0;
+  // Periodic timer firing every `period_us` until cancelled.
+  virtual uint64_t set_periodic(uint64_t period_us, std::function<void()> fn) = 0;
+  virtual void cancel_timer(uint64_t id) = 0;
+
+  // Request/response to another node. The callback always fires exactly once,
+  // with kTimeout/kUnavailable if the peer is dead, partitioned or silent.
+  virtual void call(const Addr& dst, Message req, RpcCallback cb,
+                    uint64_t timeout_us = 1'000'000) = 0;
+
+  // Fire-and-forget send (no reply expected, silently dropped on failure).
+  virtual void send(const Addr& dst, Message msg) = 0;
+
+  // Deterministic per-node random source.
+  virtual Rng& rng() = 0;
+};
+
+class Service {
+ public:
+  virtual ~Service() = default;
+
+  // Called once when the node starts; the Runtime outlives the Service.
+  virtual void start(Runtime& rt) { rt_ = &rt; }
+  virtual void stop() {}
+
+  // Handles one incoming request. Must eventually invoke `reply` exactly once
+  // (for kSend-style one-way messages the fabric supplies a no-op replier).
+  virtual void handle(const Addr& from, Message req, Replier reply) = 0;
+
+ protected:
+  Runtime* rt_ = nullptr;
+};
+
+// Convenience Service built from a lambda.
+class LambdaService : public Service {
+ public:
+  using Fn = std::function<void(Runtime&, const Addr&, Message, Replier)>;
+  explicit LambdaService(Fn fn) : fn_(std::move(fn)) {}
+  void handle(const Addr& from, Message req, Replier reply) override {
+    fn_(*rt_, from, std::move(req), std::move(reply));
+  }
+
+ private:
+  Fn fn_;
+};
+
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+
+  // Registers a node. The fabric owns the service's lifecycle.
+  virtual Runtime* add_node(const Addr& addr, std::shared_ptr<Service> svc) = 0;
+
+  // Crash-stop the node: in-flight and future messages to it are lost.
+  virtual void kill(const Addr& addr) = 0;
+  virtual bool alive(const Addr& addr) const = 0;
+
+  // Cuts/restores bidirectional connectivity between two nodes.
+  virtual void partition(const Addr& a, const Addr& b, bool cut) = 0;
+};
+
+}  // namespace bespokv

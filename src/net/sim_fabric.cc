@@ -1,0 +1,293 @@
+#include "src/net/sim_fabric.h"
+
+#include <algorithm>
+
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+
+namespace bespokv {
+
+TransportModel TransportModel::socket_model() {
+  // Kernel TCP: syscall + softirq + copies. Calibrated so that removing it
+  // (fastpath_model) yields the ~65% latency / ~3x throughput gains of §E.
+  return TransportModel{.per_msg_us = 14, .per_kb_us = 1.5, .wire_latency_us = 20};
+}
+
+TransportModel TransportModel::fastpath_model() {
+  // DPDK-style polling userspace stack: no syscalls, zero-copy DMA.
+  return TransportModel{.per_msg_us = 1, .per_kb_us = 0.2, .wire_latency_us = 2};
+}
+
+struct SimFabric::PendingRpc {
+  Addr requester;
+  RpcCallback cb;
+  uint64_t timeout_event = 0;
+};
+
+class SimFabric::SimRuntime : public Runtime {
+ public:
+  SimRuntime(SimFabric* fab, Node* node, Addr addr, uint64_t seed)
+      : fab_(fab), node_(node), addr_(std::move(addr)), rng_(seed) {}
+
+  const Addr& self() const override { return addr_; }
+  uint64_t now_us() override { return fab_->queue_.now_us(); }
+  void post(std::function<void()> fn) override;
+  uint64_t set_timer(uint64_t delay_us, std::function<void()> fn) override;
+  uint64_t set_periodic(uint64_t period_us, std::function<void()> fn) override;
+  void cancel_timer(uint64_t id) override;
+  void call(const Addr& dst, Message req, RpcCallback cb, uint64_t timeout_us) override;
+  void send(const Addr& dst, Message msg) override;
+  Rng& rng() override { return rng_; }
+
+ private:
+  friend class SimFabric;
+
+  // Periodic timers get ids in a disjoint space (high bit set) so
+  // cancel_timer can tell them apart from one-shot event ids.
+  static constexpr uint64_t kPeriodicBit = 1ULL << 63;
+
+  SimFabric* fab_;
+  Node* node_;
+  Addr addr_;
+  Rng rng_;
+  std::set<uint64_t> live_timers_;            // pending one-shot event ids
+  std::map<uint64_t, uint64_t> periodics_;    // public id -> current event id
+  uint64_t periodic_seq_ = 0;
+};
+
+struct SimFabric::Node {
+  Addr addr;
+  std::shared_ptr<Service> svc;
+  std::unique_ptr<SimRuntime> rt;
+  SimNodeOpts opts;
+  bool alive = true;
+  uint64_t busy_until = 0;
+};
+
+SimFabric::SimFabric(SimFabricOpts opts) : opts_(opts) {}
+
+SimFabric::~SimFabric() {
+  for (auto& [addr, node] : nodes_) {
+    if (node->alive) node->svc->stop();
+  }
+}
+
+Runtime* SimFabric::add_node(const Addr& addr, std::shared_ptr<Service> svc,
+                             SimNodeOpts node_opts) {
+  auto node = std::make_unique<Node>();
+  node->addr = addr;
+  node->svc = std::move(svc);
+  node->opts = node_opts;
+  node->rt = std::make_unique<SimRuntime>(this, node.get(), addr,
+                                          opts_.seed ^ fnv1a64(addr));
+  Node* raw = node.get();
+  nodes_[addr] = std::move(node);
+  raw->svc->start(*raw->rt);
+  return raw->rt.get();
+}
+
+SimFabric::Node* SimFabric::find(const Addr& addr) {
+  auto it = nodes_.find(addr);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+const SimFabric::Node* SimFabric::find(const Addr& addr) const {
+  auto it = nodes_.find(addr);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+void SimFabric::kill(const Addr& addr) {
+  if (Node* n = find(addr)) {
+    n->alive = false;
+    n->svc->stop();
+  }
+}
+
+bool SimFabric::alive(const Addr& addr) const {
+  const Node* n = find(addr);
+  return n != nullptr && n->alive;
+}
+
+void SimFabric::partition(const Addr& a, const Addr& b, bool cut) {
+  auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  if (cut) {
+    cuts_.insert(key);
+  } else {
+    cuts_.erase(key);
+  }
+}
+
+bool SimFabric::severed(const Addr& a, const Addr& b) const {
+  auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  return cuts_.count(key) > 0;
+}
+
+uint64_t SimFabric::msg_bytes(const Message& m) const {
+  uint64_t n = m.key.size() + m.value.size() + m.table.size() + 32;
+  for (const auto& kv : m.kvs) n += kv.key.size() + kv.value.size() + 8;
+  for (const auto& s : m.strs) n += s.size();
+  return n;
+}
+
+uint64_t SimFabric::proc_cost(const Node& n, const Message& m) const {
+  if (n.opts.is_client) return 0;
+  if (n.opts.service_cost_fn) return n.opts.service_cost_fn(m);
+  const double kb = static_cast<double>(msg_bytes(m)) / 1024.0;
+  uint64_t cost = n.opts.base_service_us +
+                  static_cast<uint64_t>(n.opts.per_kb_service_us * kb);
+  if (m.op == Op::kScan) {
+    cost += n.opts.per_scan_item_us * std::max<uint64_t>(m.limit, 1);
+  }
+  return cost;
+}
+
+void SimFabric::transmit(Node& src, const Addr& dst_addr,
+                         std::function<void(Node&)> deliver) {
+  // Sender-side transport cost consumes sender capacity.
+  if (!src.opts.is_client) {
+    const uint64_t t = queue_.now_us();
+    src.busy_until = std::max(src.busy_until, t) + opts_.transport.per_msg_us;
+  }
+  if (severed(src.addr, dst_addr)) return;
+  const uint64_t arrive =
+      queue_.now_us() + opts_.link_latency_us + opts_.transport.wire_latency_us;
+  queue_.schedule_at(arrive, [this, dst_addr, deliver = std::move(deliver)] {
+    Node* dst = find(dst_addr);
+    if (dst == nullptr || !dst->alive) return;  // dropped on the floor
+    ++delivered_;
+    deliver(*dst);
+  });
+}
+
+void SimFabric::SimRuntime::post(std::function<void()> fn) {
+  fab_->queue_.schedule_after(0, [this, fn = std::move(fn)] {
+    if (node_->alive) fn();
+  });
+}
+
+uint64_t SimFabric::SimRuntime::set_timer(uint64_t delay_us, std::function<void()> fn) {
+  auto idp = std::make_shared<uint64_t>(0);
+  *idp = fab_->queue_.schedule_after(delay_us, [this, idp, fn = std::move(fn)] {
+    // Self-deregister before running so a cancel() after firing is benign.
+    live_timers_.erase(*idp);
+    if (node_->alive) fn();
+  });
+  live_timers_.insert(*idp);
+  return *idp;
+}
+
+uint64_t SimFabric::SimRuntime::set_periodic(uint64_t period_us, std::function<void()> fn) {
+  const uint64_t pid = kPeriodicBit | ++periodic_seq_;
+  auto tick = std::make_shared<std::function<void()>>();
+  auto fnp = std::make_shared<std::function<void()>>(std::move(fn));
+  *tick = [this, period_us, pid, tick, fnp] {
+    if (!node_->alive || periodics_.count(pid) == 0) return;
+    (*fnp)();
+    auto it = periodics_.find(pid);  // fn may have cancelled its own timer
+    if (it == periodics_.end()) return;
+    it->second = fab_->queue_.schedule_after(period_us, *tick);
+  };
+  periodics_[pid] = fab_->queue_.schedule_after(period_us, *tick);
+  return pid;
+}
+
+void SimFabric::SimRuntime::cancel_timer(uint64_t id) {
+  if (id & kPeriodicBit) {
+    auto it = periodics_.find(id);
+    if (it != periodics_.end()) {
+      fab_->queue_.cancel(it->second);
+      periodics_.erase(it);
+    }
+    return;
+  }
+  if (live_timers_.erase(id) > 0) fab_->queue_.cancel(id);
+}
+
+void SimFabric::SimRuntime::call(const Addr& dst, Message req, RpcCallback cb,
+                                 uint64_t timeout_us) {
+  const uint64_t rpc_id = fab_->next_rpc_id_++;
+  auto pending = std::make_unique<PendingRpc>();
+  pending->requester = addr_;
+  pending->cb = std::move(cb);
+  pending->timeout_event = fab_->queue_.schedule_after(timeout_us, [this, rpc_id] {
+    auto it = fab_->pending_.find(rpc_id);
+    if (it == fab_->pending_.end()) return;
+    RpcCallback cb = std::move(it->second->cb);
+    fab_->pending_.erase(it);
+    if (node_->alive) cb(Status::Timeout("rpc timeout"), Message{});
+  });
+  fab_->pending_[rpc_id] = std::move(pending);
+
+  fab_->transmit(*node_, dst, [fab = fab_, rpc_id, from = addr_,
+                               req = std::move(req)](Node& dst_node) mutable {
+    // Unconstrained (client-model) nodes process immediately with no
+    // capacity serialization; servers queue behind their busy time.
+    const uint64_t t = fab->queue_.now_us();
+    uint64_t done = t;
+    if (!dst_node.opts.is_client) {
+      const uint64_t start = std::max(t, dst_node.busy_until);
+      done = start + fab->opts_.transport.per_msg_us +
+             fab->proc_cost(dst_node, req);
+      dst_node.busy_until = done;
+    }
+    fab->queue_.schedule_at(done, [fab, rpc_id, from, req = std::move(req),
+                                   dst_addr = dst_node.addr]() mutable {
+      Node* dn = fab->find(dst_addr);
+      if (dn == nullptr || !dn->alive) return;
+      // Build the replier: routes the response back to the requester and
+      // completes the pending RPC.
+      Replier reply = [fab, rpc_id, dst_addr](Message resp) {
+        Node* responder = fab->find(dst_addr);
+        if (responder == nullptr || !responder->alive) return;
+        auto it = fab->pending_.find(rpc_id);
+        if (it == fab->pending_.end()) return;  // already timed out
+        const Addr requester = it->second->requester;
+        fab->transmit(*responder, requester,
+                      [fab, rpc_id, resp = std::move(resp)](Node& rq) mutable {
+          auto pit = fab->pending_.find(rpc_id);
+          if (pit == fab->pending_.end()) return;
+          RpcCallback cb = std::move(pit->second->cb);
+          fab->queue_.cancel(pit->second->timeout_event);
+          fab->pending_.erase(pit);
+          // Receiving the reply consumes requester capacity too.
+          const uint64_t t2 = fab->queue_.now_us();
+          if (!rq.opts.is_client) {
+            rq.busy_until = std::max(rq.busy_until, t2) +
+                            fab->opts_.transport.per_msg_us;
+          }
+          cb(Status::Ok(), std::move(resp));
+        });
+      };
+      dn->svc->handle(from, std::move(req), std::move(reply));
+    });
+  });
+}
+
+void SimFabric::SimRuntime::send(const Addr& dst, Message msg) {
+  fab_->transmit(*node_, dst, [fab = fab_, from = addr_,
+                               msg = std::move(msg)](Node& dst_node) mutable {
+    const uint64_t t = fab->queue_.now_us();
+    uint64_t done = t;
+    if (!dst_node.opts.is_client) {
+      const uint64_t start = std::max(t, dst_node.busy_until);
+      done = start + fab->opts_.transport.per_msg_us +
+             fab->proc_cost(dst_node, msg);
+      dst_node.busy_until = done;
+    }
+    fab->queue_.schedule_at(done, [fab, from, msg = std::move(msg),
+                                   dst_addr = dst_node.addr]() mutable {
+      Node* dn = fab->find(dst_addr);
+      if (dn == nullptr || !dn->alive) return;
+      dn->svc->handle(from, std::move(msg), [](Message) {});
+    });
+  });
+}
+
+void SimFabric::post_to(const Addr& addr, std::function<void()> fn) {
+  queue_.schedule_after(0, [this, addr, fn = std::move(fn)] {
+    Node* n = find(addr);
+    if (n != nullptr && n->alive) fn();
+  });
+}
+
+}  // namespace bespokv

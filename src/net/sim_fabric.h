@@ -1,0 +1,114 @@
+// SimFabric: deterministic discrete-event network + node model.
+//
+// This is the substitute for the paper's multi-node GCE/testbed deployments
+// (see DESIGN.md §2). Nodes are single-threaded servers with a queueing
+// model: each processed message occupies the node for
+//     recv_overhead + base_service + per_kb_service * payload_kb
+// microseconds, and each sent message costs send_overhead. Links add a fixed
+// one-way latency. Throughput saturates per node at 1/service_time and the
+// protocols' message patterns (chain hops, lock round trips, log appends)
+// determine everything else — which is exactly what the paper's scale-out
+// curves measure.
+//
+// The transport overheads implement the §E socket-vs-DPDK cost models: the
+// kernel socket path pays a large per-message overhead, the kernel-bypass
+// fast path a tiny one.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "src/net/runtime.h"
+#include "src/sim/event_queue.h"
+
+namespace bespokv {
+
+// Per-message transport cost model (§E). Applied on both sides of each hop.
+struct TransportModel {
+  uint64_t per_msg_us = 4;    // fixed per-message cost (syscall, interrupts)
+  double per_kb_us = 0.8;     // copy cost per KiB
+  uint64_t wire_latency_us = 0;  // extra in-flight latency added by the stack
+
+  static TransportModel socket_model();    // kernel TCP sockets
+  static TransportModel fastpath_model();  // DPDK-style kernel bypass
+};
+
+struct SimNodeOpts {
+  // Service cost to process one message, before transport overheads.
+  uint64_t base_service_us = 20;
+  double per_kb_service_us = 4.0;
+  // Range queries traverse and serialize one entry per result: charged per
+  // requested item (kScan limit), on top of the base cost.
+  uint64_t per_scan_item_us = 10;
+  // Load generators: no capacity limit, no service cost.
+  bool is_client = false;
+  // Optional override: full control over per-message processing cost.
+  std::function<uint64_t(const Message&)> service_cost_fn;
+};
+
+struct SimFabricOpts {
+  uint64_t link_latency_us = 120;  // one-way propagation delay
+  TransportModel transport = TransportModel::socket_model();
+  uint64_t seed = 42;
+};
+
+class SimFabric : public Fabric {
+ public:
+  explicit SimFabric(SimFabricOpts opts = {});
+  ~SimFabric() override;
+
+  Runtime* add_node(const Addr& addr, std::shared_ptr<Service> svc) override {
+    return add_node(addr, std::move(svc), SimNodeOpts{});
+  }
+  Runtime* add_node(const Addr& addr, std::shared_ptr<Service> svc,
+                    SimNodeOpts node_opts);
+
+  void kill(const Addr& addr) override;
+  bool alive(const Addr& addr) const override;
+  void partition(const Addr& a, const Addr& b, bool cut) override;
+
+  // Drives virtual time. run_for is relative to the current virtual clock.
+  uint64_t now_us() const { return queue_.now_us(); }
+  void run_until(uint64_t t_us) { queue_.run_until(t_us); }
+  void run_for(uint64_t d_us) { queue_.run_until(queue_.now_us() + d_us); }
+  void run_all() { queue_.run_all(); }
+  bool idle() const { return queue_.empty(); }
+
+  // Schedules work on a node from outside any handler (bench drivers).
+  void post_to(const Addr& addr, std::function<void()> fn);
+
+  // Point-in-time utilization of a node in [0,1] over the last window.
+  sim::EventQueue& event_queue() { return queue_; }
+
+  // Total messages delivered (for protocol-cost assertions in tests).
+  uint64_t messages_delivered() const { return delivered_; }
+
+ private:
+  struct Node;
+  class SimRuntime;
+  struct PendingRpc;
+
+  Node* find(const Addr& addr);
+  const Node* find(const Addr& addr) const;
+  bool severed(const Addr& a, const Addr& b) const;
+  uint64_t proc_cost(const Node& n, const Message& m) const;
+  uint64_t msg_bytes(const Message& m) const;
+
+  // Sender-side bookkeeping + schedules delivery; returns false if the
+  // destination is unreachable (caller decides whether a timeout handles it).
+  void transmit(Node& src, const Addr& dst_addr,
+                std::function<void(Node&)> deliver);
+
+  SimFabricOpts opts_;
+  sim::EventQueue queue_;
+  std::map<Addr, std::unique_ptr<Node>> nodes_;
+  std::set<std::pair<Addr, Addr>> cuts_;
+  std::map<uint64_t, std::unique_ptr<PendingRpc>> pending_;
+  uint64_t next_rpc_id_ = 1;
+  uint64_t delivered_ = 0;
+};
+
+}  // namespace bespokv

@@ -1,0 +1,315 @@
+#include "src/net/thread_fabric.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+
+namespace bespokv {
+
+namespace {
+uint64_t real_now_us() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+class ThreadFabric::ThreadRuntime : public Runtime {
+ public:
+  ThreadRuntime(ThreadFabric* fab, Node* node, Addr addr)
+      : fab_(fab), node_(node), addr_(std::move(addr)), rng_(fnv1a64(addr_)) {}
+
+  const Addr& self() const override { return addr_; }
+  uint64_t now_us() override { return real_now_us(); }
+  void post(std::function<void()> fn) override;
+  uint64_t set_timer(uint64_t delay_us, std::function<void()> fn) override;
+  uint64_t set_periodic(uint64_t period_us, std::function<void()> fn) override;
+  void cancel_timer(uint64_t id) override;
+  void call(const Addr& dst, Message req, RpcCallback cb, uint64_t timeout_us) override;
+  void send(const Addr& dst, Message msg) override;
+  Rng& rng() override { return rng_; }
+
+ private:
+  friend class ThreadFabric;
+  friend struct ThreadFabric::Node;
+  ThreadFabric* fab_;
+  Node* node_;
+  Addr addr_;
+  Rng rng_;
+};
+
+struct ThreadFabric::Node {
+  Addr addr;
+  std::shared_ptr<Service> svc;
+  std::unique_ptr<ThreadRuntime> rt;
+  std::thread thread;
+
+  // Mailbox + timers, guarded by mu. Everything executes on `thread`.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::function<void()>> tasks;
+  struct Timer {
+    uint64_t at_us;
+    uint64_t id;
+    uint64_t period_us;  // 0 = one-shot
+    std::function<void()> fn;
+  };
+  std::vector<Timer> timers;  // small; linear scan for the earliest
+  uint64_t next_timer_id = 1;
+  bool stopping = false;
+  std::atomic<bool> alive{true};
+
+  // RPCs issued by this node, touched only on its own thread.
+  std::map<uint64_t, RpcCallback> pending;
+
+  void enqueue(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> g(mu);
+      if (stopping) return;
+      tasks.push_back(std::move(task));
+    }
+    cv.notify_one();
+  }
+
+  void loop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        while (true) {
+          if (stopping) return;
+          const uint64_t now = real_now_us();
+          // Fire due timers first (earliest deadline order).
+          auto due = timers.end();
+          uint64_t earliest = UINT64_MAX;
+          for (auto it = timers.begin(); it != timers.end(); ++it) {
+            if (it->at_us < earliest) {
+              earliest = it->at_us;
+              due = it;
+            }
+          }
+          if (due != timers.end() && earliest <= now) {
+            Timer t = *due;
+            if (t.period_us > 0) {
+              due->at_us = now + t.period_us;
+            } else {
+              timers.erase(due);
+            }
+            lk.unlock();
+            t.fn();
+            lk.lock();
+            continue;
+          }
+          if (!tasks.empty()) {
+            task = std::move(tasks.front());
+            tasks.pop_front();
+            break;
+          }
+          if (earliest != UINT64_MAX) {
+            cv.wait_for(lk, std::chrono::microseconds(earliest - now));
+          } else {
+            cv.wait(lk);
+          }
+        }
+      }
+      task();
+    }
+  }
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> g(mu);
+      if (stopping) return;
+      stopping = true;
+    }
+    alive.store(false);
+    cv.notify_all();
+  }
+};
+
+void ThreadFabric::ThreadRuntime::post(std::function<void()> fn) {
+  node_->enqueue(std::move(fn));
+}
+
+uint64_t ThreadFabric::ThreadRuntime::set_timer(uint64_t delay_us,
+                                                std::function<void()> fn) {
+  std::lock_guard<std::mutex> g(node_->mu);
+  const uint64_t id = node_->next_timer_id++;
+  node_->timers.push_back(
+      Node::Timer{real_now_us() + delay_us, id, 0, std::move(fn)});
+  node_->cv.notify_one();
+  return id;
+}
+
+uint64_t ThreadFabric::ThreadRuntime::set_periodic(uint64_t period_us,
+                                                   std::function<void()> fn) {
+  std::lock_guard<std::mutex> g(node_->mu);
+  const uint64_t id = node_->next_timer_id++;
+  node_->timers.push_back(
+      Node::Timer{real_now_us() + period_us, id, period_us, std::move(fn)});
+  node_->cv.notify_one();
+  return id;
+}
+
+void ThreadFabric::ThreadRuntime::cancel_timer(uint64_t id) {
+  std::lock_guard<std::mutex> g(node_->mu);
+  auto& ts = node_->timers;
+  ts.erase(std::remove_if(ts.begin(), ts.end(),
+                          [id](const Node::Timer& t) { return t.id == id; }),
+           ts.end());
+}
+
+void ThreadFabric::ThreadRuntime::call(const Addr& dst, Message req,
+                                       RpcCallback cb, uint64_t timeout_us) {
+  const uint64_t rpc_id = fab_->next_rpc_id_.fetch_add(1);
+  // Register the pending callback on our own thread, then ship the request.
+  auto fire_timeout = [this, rpc_id] {
+    auto it = node_->pending.find(rpc_id);
+    if (it == node_->pending.end()) return;
+    RpcCallback cb = std::move(it->second);
+    node_->pending.erase(it);
+    cb(Status::Timeout("rpc timeout"), Message{});
+  };
+  node_->enqueue([this, rpc_id, cb = std::move(cb), timeout_us, fire_timeout] {
+    node_->pending[rpc_id] = std::move(cb);
+    set_timer(timeout_us, fire_timeout);
+  });
+
+  const Addr from = addr_;
+  fab_->deliver(from, dst, {});  // reachability side effects only (none)
+  auto dst_node = fab_->find(dst);
+  if (!dst_node || !dst_node->alive.load() || fab_->severed(from, dst)) {
+    return;  // the timeout will complete the RPC
+  }
+  ThreadFabric* fab = fab_;
+  dst_node->enqueue([fab, dst_node_raw = dst_node.get(), from, rpc_id,
+                     req = std::move(req)]() mutable {
+    Replier reply = [fab, from, rpc_id](Message resp) {
+      auto requester = fab->find(from);
+      if (!requester || !requester->alive.load()) return;
+      requester->enqueue([requester_raw = requester.get(), rpc_id,
+                          resp = std::move(resp)]() mutable {
+        auto it = requester_raw->pending.find(rpc_id);
+        if (it == requester_raw->pending.end()) return;  // timed out
+        RpcCallback cb = std::move(it->second);
+        requester_raw->pending.erase(it);
+        cb(Status::Ok(), std::move(resp));
+      });
+    };
+    dst_node_raw->svc->handle(from, std::move(req), std::move(reply));
+  });
+}
+
+void ThreadFabric::ThreadRuntime::send(const Addr& dst, Message msg) {
+  const Addr from = addr_;
+  auto dst_node = fab_->find(dst);
+  if (!dst_node || !dst_node->alive.load() || fab_->severed(from, dst)) return;
+  dst_node->enqueue([dst_node_raw = dst_node.get(), from,
+                     msg = std::move(msg)]() mutable {
+    dst_node_raw->svc->handle(from, std::move(msg), [](Message) {});
+  });
+}
+
+ThreadFabric::ThreadFabric() {
+  // Hidden node used to issue call_sync RPCs from external threads.
+  external_ = add_node("__external__", std::make_shared<LambdaService>(
+      [](Runtime&, const Addr&, Message, Replier reply) {
+        reply(Message::reply(Code::kInvalid));
+      }));
+}
+
+ThreadFabric::~ThreadFabric() { shutdown(); }
+
+Runtime* ThreadFabric::add_node(const Addr& addr, std::shared_ptr<Service> svc) {
+  auto node = std::make_shared<Node>();
+  node->addr = addr;
+  node->svc = std::move(svc);
+  node->rt = std::make_unique<ThreadRuntime>(this, node.get(), addr);
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    nodes_[addr] = node;
+  }
+  node->svc->start(*node->rt);
+  node->thread = std::thread([node] { node->loop(); });
+  return node->rt.get();
+}
+
+std::shared_ptr<ThreadFabric::Node> ThreadFabric::find(const Addr& addr) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = nodes_.find(addr);
+  return it == nodes_.end() ? nullptr : it->second;
+}
+
+bool ThreadFabric::severed(const Addr& a, const Addr& b) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  return cuts_.count(key) > 0;
+}
+
+void ThreadFabric::deliver(const Addr&, const Addr&, std::function<void()>) {}
+
+void ThreadFabric::kill(const Addr& addr) {
+  auto node = find(addr);
+  if (!node) return;
+  node->svc->stop();
+  node->stop();
+  if (node->thread.joinable()) node->thread.join();
+}
+
+bool ThreadFabric::alive(const Addr& addr) const {
+  auto node = find(addr);
+  return node && node->alive.load();
+}
+
+void ThreadFabric::partition(const Addr& a, const Addr& b, bool cut) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  if (cut) {
+    cuts_.insert(key);
+  } else {
+    cuts_.erase(key);
+  }
+}
+
+void ThreadFabric::shutdown() {
+  std::vector<std::shared_ptr<Node>> all;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+    for (auto& [addr, node] : nodes_) all.push_back(node);
+  }
+  for (auto& node : all) {
+    if (node->alive.load()) node->svc->stop();
+    node->stop();
+  }
+  for (auto& node : all) {
+    if (node->thread.joinable()) node->thread.join();
+  }
+}
+
+Result<Message> ThreadFabric::call_sync(const Addr& dst, Message req,
+                                        uint64_t timeout_us) {
+  auto prom = std::make_shared<std::promise<Result<Message>>>();
+  auto fut = prom->get_future();
+  external_->post([this, dst, req = std::move(req), prom, timeout_us]() mutable {
+    external_->call(
+        dst, std::move(req),
+        [prom](Status s, Message m) {
+          if (s.ok()) {
+            prom->set_value(std::move(m));
+          } else {
+            prom->set_value(s);
+          }
+        },
+        timeout_us);
+  });
+  return fut.get();
+}
+
+}  // namespace bespokv

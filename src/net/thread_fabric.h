@@ -1,0 +1,55 @@
+// ThreadFabric: every node is an OS thread with a mailbox, timers and a
+// real-time clock. Used by integration tests and the runnable examples.
+// Semantics match SimFabric (single-threaded nodes, exactly-once RPC
+// callbacks, crash-stop kill, symmetric partitions) under real time.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "src/net/runtime.h"
+
+namespace bespokv {
+
+class ThreadFabric : public Fabric {
+ public:
+  ThreadFabric();
+  ~ThreadFabric() override;
+
+  Runtime* add_node(const Addr& addr, std::shared_ptr<Service> svc) override;
+
+  void kill(const Addr& addr) override;
+  bool alive(const Addr& addr) const override;
+  void partition(const Addr& a, const Addr& b, bool cut) override;
+
+  // Stops all nodes and joins their threads. Called by the destructor.
+  void shutdown();
+
+  // Synchronous RPC from outside the fabric (tests, example mains). Issued
+  // through a hidden client node; safe to call from any external thread.
+  Result<Message> call_sync(const Addr& dst, Message req,
+                            uint64_t timeout_us = 2'000'000);
+
+ private:
+  struct Node;
+  class ThreadRuntime;
+
+  std::shared_ptr<Node> find(const Addr& addr) const;
+  bool severed(const Addr& a, const Addr& b) const;
+  void deliver(const Addr& from, const Addr& to, std::function<void()> task);
+
+  mutable std::mutex mu_;
+  std::map<Addr, std::shared_ptr<Node>> nodes_;
+  std::set<std::pair<Addr, Addr>> cuts_;
+  std::atomic<uint64_t> next_rpc_id_{1};
+  bool shut_down_ = false;
+  Runtime* external_ = nullptr;  // hidden client node for call_sync
+};
+
+}  // namespace bespokv

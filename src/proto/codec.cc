@@ -1,0 +1,155 @@
+#include "src/proto/codec.h"
+
+#include "src/common/hash.h"
+
+namespace bespokv {
+
+void Encoder::put_varint(uint64_t v) {
+  while (v >= 0x80) {
+    out_->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out_->push_back(static_cast<char>(v));
+}
+
+void Encoder::put_bytes(std::string_view s) {
+  put_varint(s.size());
+  out_->append(s.data(), s.size());
+}
+
+Result<uint64_t> Decoder::varint() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (pos_ < in_.size() && shift <= 63) {
+    uint8_t b = static_cast<uint8_t>(in_[pos_++]);
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if (!(b & 0x80)) return v;
+    shift += 7;
+  }
+  return Status::Corruption("truncated varint");
+}
+
+Result<uint8_t> Decoder::u8() {
+  if (pos_ >= in_.size()) return Status::Corruption("truncated u8");
+  return static_cast<uint8_t>(in_[pos_++]);
+}
+
+Result<std::string> Decoder::bytes() {
+  auto len = varint();
+  if (!len.ok()) return len.status();
+  if (len.value() > remaining()) return Status::Corruption("truncated bytes");
+  std::string s(in_.substr(pos_, len.value()));
+  pos_ += len.value();
+  return s;
+}
+
+void encode_message(const Message& m, std::string* out) {
+  const size_t start = out->size();
+  Encoder e(out);
+  e.put_varint(static_cast<uint64_t>(m.op));
+  e.put_u8(static_cast<uint8_t>(m.code));
+  e.put_varint(m.flags);
+  e.put_u8(static_cast<uint8_t>(m.consistency));
+  e.put_bytes(m.table);
+  e.put_bytes(m.key);
+  e.put_bytes(m.value);
+  e.put_varint(m.seq);
+  e.put_varint(m.epoch);
+  e.put_varint(m.shard);
+  e.put_varint(m.limit);
+  e.put_varint(m.kvs.size());
+  for (const auto& kv : m.kvs) {
+    e.put_bytes(kv.key);
+    e.put_bytes(kv.value);
+    e.put_varint(kv.seq);
+  }
+  e.put_varint(m.strs.size());
+  for (const auto& s : m.strs) e.put_bytes(s);
+
+  const uint32_t crc =
+      crc32c(std::string_view(out->data() + start, out->size() - start));
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((crc >> (8 * i)) & 0xff));
+  }
+}
+
+Result<Message> decode_message(std::string_view buf) {
+  if (buf.size() < 4) return Status::Corruption("message too short");
+  const std::string_view body = buf.substr(0, buf.size() - 4);
+  uint32_t want = 0;
+  for (int i = 0; i < 4; ++i) {
+    want |= static_cast<uint32_t>(static_cast<uint8_t>(buf[body.size() + static_cast<size_t>(i)])) << (8 * i);
+  }
+  if (crc32c(body) != want) return Status::Corruption("message CRC mismatch");
+
+  Decoder d(body);
+  Message m;
+  auto op = d.varint();
+  if (!op.ok()) return op.status();
+  m.op = static_cast<Op>(op.value());
+  auto code = d.u8();
+  if (!code.ok()) return code.status();
+  m.code = static_cast<Code>(code.value());
+  auto flags = d.varint();
+  if (!flags.ok()) return flags.status();
+  m.flags = static_cast<uint32_t>(flags.value());
+  auto cons = d.u8();
+  if (!cons.ok()) return cons.status();
+  m.consistency = static_cast<ConsistencyLevel>(cons.value());
+
+  auto table = d.bytes();
+  if (!table.ok()) return table.status();
+  m.table = std::move(table).value();
+  auto key = d.bytes();
+  if (!key.ok()) return key.status();
+  m.key = std::move(key).value();
+  auto value = d.bytes();
+  if (!value.ok()) return value.status();
+  m.value = std::move(value).value();
+
+  auto seq = d.varint();
+  if (!seq.ok()) return seq.status();
+  m.seq = seq.value();
+  auto epoch = d.varint();
+  if (!epoch.ok()) return epoch.status();
+  m.epoch = epoch.value();
+  auto shard = d.varint();
+  if (!shard.ok()) return shard.status();
+  m.shard = static_cast<uint32_t>(shard.value());
+  auto limit = d.varint();
+  if (!limit.ok()) return limit.status();
+  m.limit = static_cast<uint32_t>(limit.value());
+
+  auto nkvs = d.varint();
+  if (!nkvs.ok()) return nkvs.status();
+  if (nkvs.value() > body.size()) return Status::Corruption("kv count too large");
+  m.kvs.reserve(nkvs.value());
+  for (uint64_t i = 0; i < nkvs.value(); ++i) {
+    KV kv;
+    auto k = d.bytes();
+    if (!k.ok()) return k.status();
+    kv.key = std::move(k).value();
+    auto v = d.bytes();
+    if (!v.ok()) return v.status();
+    kv.value = std::move(v).value();
+    auto s = d.varint();
+    if (!s.ok()) return s.status();
+    kv.seq = s.value();
+    m.kvs.push_back(std::move(kv));
+  }
+
+  auto nstrs = d.varint();
+  if (!nstrs.ok()) return nstrs.status();
+  if (nstrs.value() > body.size()) return Status::Corruption("str count too large");
+  m.strs.reserve(nstrs.value());
+  for (uint64_t i = 0; i < nstrs.value(); ++i) {
+    auto s = d.bytes();
+    if (!s.ok()) return s.status();
+    m.strs.push_back(std::move(s).value());
+  }
+
+  if (!d.exhausted()) return Status::Corruption("trailing bytes in message");
+  return m;
+}
+
+}  // namespace bespokv

@@ -1,0 +1,53 @@
+// Binary wire codec — the framework's Protocol-Buffers substitute.
+//
+// Layout: tag-free positional encoding with varints for integers and
+// length-prefixed bytes for strings, framed by the transport with a 4-byte
+// little-endian length. A CRC32C trailer guards every encoded message.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/proto/message.h"
+
+namespace bespokv {
+
+class Encoder {
+ public:
+  explicit Encoder(std::string* out) : out_(out) {}
+
+  void put_varint(uint64_t v);
+  void put_u8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void put_bytes(std::string_view s);
+
+  std::string* out() { return out_; }
+
+ private:
+  std::string* out_;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(std::string_view in) : in_(in) {}
+
+  Result<uint64_t> varint();
+  Result<uint8_t> u8();
+  Result<std::string> bytes();
+
+  bool exhausted() const { return pos_ == in_.size(); }
+  size_t remaining() const { return in_.size() - pos_; }
+
+ private:
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+// Serializes `m` (with CRC trailer) and appends to `out`.
+void encode_message(const Message& m, std::string* out);
+
+// Parses one full encoded message (as produced by encode_message).
+Result<Message> decode_message(std::string_view buf);
+
+}  // namespace bespokv

@@ -1,0 +1,104 @@
+#include "src/proto/message.h"
+
+#include <sstream>
+
+namespace bespokv {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kNop: return "NOP";
+    case Op::kPut: return "PUT";
+    case Op::kGet: return "GET";
+    case Op::kDel: return "DEL";
+    case Op::kScan: return "SCAN";
+    case Op::kCreateTable: return "CREATE_TABLE";
+    case Op::kDeleteTable: return "DELETE_TABLE";
+    case Op::kReply: return "REPLY";
+    case Op::kChainPut: return "CHAIN_PUT";
+    case Op::kChainAck: return "CHAIN_ACK";
+    case Op::kPropagate: return "PROPAGATE";
+    case Op::kLogCreate: return "LOG_CREATE";
+    case Op::kLogAppend: return "LOG_APPEND";
+    case Op::kLogRead: return "LOG_READ";
+    case Op::kLogTail: return "LOG_TAIL";
+    case Op::kLogTrim: return "LOG_TRIM";
+    case Op::kLock: return "LOCK";
+    case Op::kUnlock: return "UNLOCK";
+    case Op::kHeartbeat: return "HEARTBEAT";
+    case Op::kGetShardMap: return "GET_SHARD_MAP";
+    case Op::kRegisterNode: return "REGISTER_NODE";
+    case Op::kLeaderElect: return "LEADER_ELECT";
+    case Op::kReportFailure: return "REPORT_FAILURE";
+    case Op::kSnapshotReq: return "SNAPSHOT_REQ";
+    case Op::kSnapshotChunk: return "SNAPSHOT_CHUNK";
+    case Op::kRecoveryDone: return "RECOVERY_DONE";
+    case Op::kReconfigure: return "RECONFIGURE";
+    case Op::kStartTransition: return "START_TRANSITION";
+    case Op::kTransitionPull: return "TRANSITION_PULL";
+    case Op::kTransitionDone: return "TRANSITION_DONE";
+    case Op::kHandoff: return "HANDOFF";
+    case Op::kSyncApply: return "SYNC_APPLY";
+  }
+  return "UNKNOWN";
+}
+
+bool Message::operator==(const Message& o) const {
+  return op == o.op && code == o.code && flags == o.flags &&
+         consistency == o.consistency && table == o.table && key == o.key &&
+         value == o.value && seq == o.seq && epoch == o.epoch &&
+         shard == o.shard && limit == o.limit && kvs == o.kvs && strs == o.strs;
+}
+
+Message Message::put(std::string key, std::string value, std::string table) {
+  Message m;
+  m.op = Op::kPut;
+  m.key = std::move(key);
+  m.value = std::move(value);
+  m.table = std::move(table);
+  return m;
+}
+
+Message Message::get(std::string key, std::string table) {
+  Message m;
+  m.op = Op::kGet;
+  m.key = std::move(key);
+  m.table = std::move(table);
+  return m;
+}
+
+Message Message::del(std::string key, std::string table) {
+  Message m;
+  m.op = Op::kDel;
+  m.key = std::move(key);
+  m.table = std::move(table);
+  return m;
+}
+
+Message Message::scan(std::string start, std::string end, uint32_t limit,
+                      std::string table) {
+  Message m;
+  m.op = Op::kScan;
+  m.key = std::move(start);
+  m.value = std::move(end);
+  m.limit = limit;
+  m.table = std::move(table);
+  return m;
+}
+
+Message Message::reply(Code code, std::string value) {
+  Message m;
+  m.op = Op::kReply;
+  m.code = code;
+  m.value = std::move(value);
+  return m;
+}
+
+std::string Message::debug_string() const {
+  std::ostringstream ss;
+  ss << op_name(op) << "{code=" << code_name(code) << " key=" << key
+     << " val.len=" << value.size() << " seq=" << seq << " epoch=" << epoch
+     << " shard=" << shard << " kvs=" << kvs.size() << "}";
+  return ss.str();
+}
+
+}  // namespace bespokv

@@ -1,0 +1,125 @@
+// The bespoKV wire message. One struct covers client requests, datalet I/O,
+// chain-replication internals, shared-log / DLM / coordinator traffic, and
+// recovery. The binary codec (codec.h) is the "Google Protocol Buffers"
+// substitute for new datalets; text_protocol.h carries the Redis/SSDB-style
+// parsers used to port existing single-server stores.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace bespokv {
+
+enum class Op : uint16_t {
+  kNop = 0,
+
+  // Client / datalet data path (Table II).
+  kPut,
+  kGet,
+  kDel,
+  kScan,          // range query: key=start, value=end, limit=max results
+  kCreateTable,
+  kDeleteTable,
+
+  // Generic RPC response.
+  kReply,
+
+  // Chain replication (MS+SC, Fig. 3).
+  kChainPut,      // head->mid->tail forwarding; seq = chain sequence number
+  kChainAck,      // tail->...->head acknowledgment
+
+  // Asynchronous propagation (MS+EC, Fig. 15a). kvs carries a batch.
+  kPropagate,
+
+  // Shared log (AA+EC, Fig. 15c; Table III Shared Log API).
+  kLogCreate,
+  kLogAppend,     // returns assigned sequence number in `seq`
+  kLogRead,       // seq = from; limit = max entries; returns kvs + seqs
+  kLogTail,       // returns current tail sequence in `seq`
+  kLogTrim,
+
+  // Distributed lock manager (AA+SC; Table III DLM API).
+  kLock,          // key = lock name; flags bit0: 1=write lock, 0=read lock
+  kUnlock,
+
+  // Coordinator (Table III Coordinator API).
+  kHeartbeat,     // controlet -> coordinator liveness; key = node name
+  kGetShardMap,   // client/controlet fetches topology; returns encoded map
+  kRegisterNode,
+  kLeaderElect,
+  kReportFailure,
+
+  // Failover & recovery (§IV-A failover; §C).
+  kSnapshotReq,   // new controlet asks a surviving datalet for its contents
+  kSnapshotChunk,
+  kRecoveryDone,
+  kReconfigure,   // coordinator -> controlet: new chain/replica layout
+
+  // Live transitions (§V).
+  kStartTransition,
+  kTransitionPull,   // new controlet pulls pending state from old one
+  kTransitionDone,
+  kHandoff,          // old controlet forwards a request to the new one
+
+  // Cross-app lazy synchronization for polyglot persistence (§IV-D).
+  kSyncApply,
+};
+
+const char* op_name(Op op);
+
+struct KV {
+  std::string key;
+  std::string value;
+  uint64_t seq = 0;  // version / log sequence attached to this pair
+
+  bool operator==(const KV& o) const {
+    return key == o.key && value == o.value && seq == o.seq;
+  }
+};
+
+// Per-request consistency levels (§IV-C). kDefault follows the deployment's
+// configured model; kEventual lets a GET hit any replica under MS+SC.
+enum class ConsistencyLevel : uint8_t { kDefault = 0, kStrong = 1, kEventual = 2 };
+
+struct Message {
+  Op op = Op::kNop;
+  Code code = Code::kOk;          // meaningful on kReply
+  uint32_t flags = 0;             // op-specific bits (lock mode, recovery, ...)
+  ConsistencyLevel consistency = ConsistencyLevel::kDefault;
+
+  std::string table;              // Table II table name ("" = default table)
+  std::string key;
+  std::string value;
+
+  uint64_t seq = 0;               // version / chain seq / log seq
+  uint64_t epoch = 0;             // shard-map epoch for fencing stale traffic
+  uint32_t shard = 0;             // shard id
+  uint32_t limit = 0;             // scan / log-read batch bound
+
+  std::vector<KV> kvs;            // scan results, propagation batches, chunks
+  std::vector<std::string> strs;  // membership lists, chain orders, etc.
+
+  bool operator==(const Message& o) const;
+
+  // Convenience constructors for the hot paths.
+  static Message put(std::string key, std::string value, std::string table = "");
+  static Message get(std::string key, std::string table = "");
+  static Message del(std::string key, std::string table = "");
+  static Message scan(std::string start, std::string end, uint32_t limit,
+                      std::string table = "");
+  static Message reply(Code code, std::string value = "");
+
+  std::string debug_string() const;
+};
+
+// Flag bits.
+inline constexpr uint32_t kFlagWriteLock = 1u << 0;   // kLock: write vs read
+inline constexpr uint32_t kFlagRecovery = 1u << 1;    // replay during recovery
+inline constexpr uint32_t kFlagTransition = 1u << 2;  // forwarded by old controlet
+inline constexpr uint32_t kFlagNoPropagate = 1u << 3; // apply locally only
+inline constexpr uint32_t kFlagDelete = 1u << 4;      // replicated op is a Del
+
+}  // namespace bespokv

@@ -1,0 +1,395 @@
+#include "src/proto/text_protocol.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <vector>
+
+namespace bespokv {
+
+namespace {
+
+// Parses "<digits>\r\n" starting at pos. Returns false if incomplete.
+bool read_crlf_int(std::string_view buf, size_t& pos, int64_t& out) {
+  size_t nl = buf.find("\r\n", pos);
+  if (nl == std::string_view::npos) return false;
+  int64_t v = 0;
+  auto [p, ec] = std::from_chars(buf.data() + pos, buf.data() + nl, v);
+  if (ec != std::errc() || p != buf.data() + nl) {
+    out = INT64_MIN;  // marks a syntax error
+    pos = nl + 2;
+    return true;
+  }
+  out = v;
+  pos = nl + 2;
+  return true;
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  return s;
+}
+
+// Parses one RESP array of bulk strings. Returns: 0 = need more bytes,
+// 1 = parsed (args filled, consumed set), -1 = protocol error.
+int parse_resp_array(std::string_view buf, std::vector<std::string>& args,
+                     size_t& consumed) {
+  size_t pos = 0;
+  if (buf.empty()) return 0;
+  if (buf[0] != '*') return -1;
+  ++pos;
+  int64_t n = 0;
+  if (!read_crlf_int(buf, pos, n)) return 0;
+  if (n < 0 || n > 1024 * 1024) return -1;
+  args.clear();
+  for (int64_t i = 0; i < n; ++i) {
+    if (pos >= buf.size()) return 0;
+    if (buf[pos] != '$') return -1;
+    ++pos;
+    int64_t len = 0;
+    if (!read_crlf_int(buf, pos, len)) return 0;
+    if (len < 0 || len > 512 * 1024 * 1024) return -1;
+    if (pos + static_cast<size_t>(len) + 2 > buf.size()) return 0;
+    args.emplace_back(buf.substr(pos, static_cast<size_t>(len)));
+    pos += static_cast<size_t>(len);
+    if (buf.substr(pos, 2) != "\r\n") return -1;
+    pos += 2;
+  }
+  consumed = pos;
+  return 1;
+}
+
+std::string bulk(std::string_view s) {
+  std::string out = "$" + std::to_string(s.size()) + "\r\n";
+  out.append(s.data(), s.size());
+  out += "\r\n";
+  return out;
+}
+
+}  // namespace
+
+ParseResult RespParser::parse_request(std::string_view buf) {
+  ParseResult r;
+  std::vector<std::string> args;
+  size_t consumed = 0;
+  int rc = parse_resp_array(buf, args, consumed);
+  if (rc == 0) return r;  // need more data
+  if (rc < 0) {
+    r.status = Status::Invalid("malformed RESP request");
+    return r;
+  }
+  r.consumed = consumed;
+  if (args.empty()) {
+    r.status = Status::Invalid("empty RESP command");
+    return r;
+  }
+  const std::string cmd = upper(args[0]);
+  Message m;
+  if (cmd == "SET" && args.size() >= 3) {
+    m = Message::put(std::move(args[1]), std::move(args[2]));
+  } else if (cmd == "GET" && args.size() >= 2) {
+    m = Message::get(std::move(args[1]));
+  } else if (cmd == "DEL" && args.size() >= 2) {
+    m = Message::del(std::move(args[1]));
+  } else if (cmd == "SCAN" && args.size() >= 3) {
+    uint32_t limit = 0;
+    if (args.size() >= 4) limit = static_cast<uint32_t>(std::atoi(args[3].c_str()));
+    m = Message::scan(std::move(args[1]), std::move(args[2]), limit);
+  } else if (cmd == "PING") {
+    m.op = Op::kNop;
+  } else {
+    r.status = Status::Invalid("unsupported RESP command: " + cmd);
+    return r;
+  }
+  r.has_message = true;
+  r.message = std::move(m);
+  return r;
+}
+
+std::string RespParser::format_reply(const Message& reply) {
+  if (reply.code == Code::kOk) {
+    if (reply.op == Op::kReply && !reply.kvs.empty()) {
+      // Scan result: flat array of key, value, key, value, ...
+      std::string out = "*" + std::to_string(reply.kvs.size() * 2) + "\r\n";
+      for (const auto& kv : reply.kvs) {
+        out += bulk(kv.key);
+        out += bulk(kv.value);
+      }
+      return out;
+    }
+    if (!reply.value.empty() || reply.flags != 0) return bulk(reply.value);
+    return "+OK\r\n";
+  }
+  if (reply.code == Code::kNotFound) return "$-1\r\n";
+  return "-ERR " + std::string(code_name(reply.code)) + "\r\n";
+}
+
+std::string RespParser::format_request(const Message& request) {
+  auto cmd = [](std::initializer_list<std::string_view> parts) {
+    std::string out = "*" + std::to_string(parts.size()) + "\r\n";
+    for (auto p : parts) out += bulk(p);
+    return out;
+  };
+  switch (request.op) {
+    case Op::kPut: return cmd({"SET", request.key, request.value});
+    case Op::kGet: return cmd({"GET", request.key});
+    case Op::kDel: return cmd({"DEL", request.key});
+    case Op::kScan:
+      return cmd({"SCAN", request.key, request.value, std::to_string(request.limit)});
+    default: return cmd({"PING"});
+  }
+}
+
+ParseResult RespParser::parse_reply(std::string_view buf) {
+  ParseResult r;
+  if (buf.empty()) return r;
+  size_t pos = 0;
+  Message m = Message::reply(Code::kOk);
+  switch (buf[0]) {
+    case '+': {
+      size_t nl = buf.find("\r\n");
+      if (nl == std::string_view::npos) return r;
+      r.consumed = nl + 2;
+      break;
+    }
+    case '-': {
+      size_t nl = buf.find("\r\n");
+      if (nl == std::string_view::npos) return r;
+      m.code = Code::kInternal;
+      std::string_view err = buf.substr(1, nl - 1);
+      if (err.find("NOT_FOUND") != std::string_view::npos) m.code = Code::kNotFound;
+      r.consumed = nl + 2;
+      break;
+    }
+    case ':': {
+      size_t nl = buf.find("\r\n");
+      if (nl == std::string_view::npos) return r;
+      m.value = std::string(buf.substr(1, nl - 1));
+      r.consumed = nl + 2;
+      break;
+    }
+    case '$': {
+      pos = 1;
+      int64_t len = 0;
+      if (!read_crlf_int(buf, pos, len)) return r;
+      if (len == INT64_MIN) {
+        r.status = Status::Invalid("bad RESP bulk length");
+        return r;
+      }
+      if (len < 0) {
+        m.code = Code::kNotFound;
+        r.consumed = pos;
+        break;
+      }
+      if (pos + static_cast<size_t>(len) + 2 > buf.size()) return r;
+      m.value = std::string(buf.substr(pos, static_cast<size_t>(len)));
+      r.consumed = pos + static_cast<size_t>(len) + 2;
+      break;
+    }
+    case '*': {
+      std::vector<std::string> parts;
+      size_t consumed = 0;
+      int rc = parse_resp_array(buf, parts, consumed);
+      if (rc == 0) return r;
+      if (rc < 0) {
+        r.status = Status::Invalid("malformed RESP array reply");
+        return r;
+      }
+      for (size_t i = 0; i + 1 < parts.size(); i += 2) {
+        m.kvs.push_back(KV{std::move(parts[i]), std::move(parts[i + 1]), 0});
+      }
+      r.consumed = consumed;
+      break;
+    }
+    default:
+      r.status = Status::Invalid("bad RESP reply type byte");
+      return r;
+  }
+  r.has_message = true;
+  r.message = std::move(m);
+  return r;
+}
+
+// ------------------------- SSDB block protocol ------------------------------
+
+namespace {
+
+// Reads one ssdb token "<len>\n<data>\n" at pos. Returns 0 = incomplete,
+// 1 = token, 2 = end-of-request (empty line), -1 = error.
+int ssdb_token(std::string_view buf, size_t& pos, std::string& out) {
+  if (pos >= buf.size()) return 0;
+  size_t nl = buf.find('\n', pos);
+  if (nl == std::string_view::npos) return 0;
+  if (nl == pos || (nl == pos + 1 && buf[pos] == '\r')) {
+    pos = nl + 1;
+    return 2;  // blank line terminates the request
+  }
+  int64_t len = 0;
+  auto end = buf[nl - 1] == '\r' ? nl - 1 : nl;
+  auto [p, ec] = std::from_chars(buf.data() + pos, buf.data() + end, len);
+  if (ec != std::errc() || p != buf.data() + end || len < 0) return -1;
+  size_t data_start = nl + 1;
+  if (data_start + static_cast<size_t>(len) + 1 > buf.size()) return 0;
+  out.assign(buf.substr(data_start, static_cast<size_t>(len)));
+  if (buf[data_start + static_cast<size_t>(len)] != '\n') return -1;
+  pos = data_start + static_cast<size_t>(len) + 1;
+  return 1;
+}
+
+// 0 = incomplete, 1 = ok, -1 = error.
+int ssdb_block(std::string_view buf, std::vector<std::string>& parts, size_t& consumed) {
+  size_t pos = 0;
+  parts.clear();
+  while (true) {
+    std::string tok;
+    int rc = ssdb_token(buf, pos, tok);
+    if (rc == 0) return 0;
+    if (rc < 0) return -1;
+    if (rc == 2) {
+      consumed = pos;
+      return 1;
+    }
+    parts.push_back(std::move(tok));
+  }
+}
+
+std::string ssdb_tok(std::string_view s) {
+  std::string out = std::to_string(s.size());
+  out += '\n';
+  out.append(s.data(), s.size());
+  out += '\n';
+  return out;
+}
+
+}  // namespace
+
+ParseResult SsdbParser::parse_request(std::string_view buf) {
+  ParseResult r;
+  std::vector<std::string> parts;
+  size_t consumed = 0;
+  int rc = ssdb_block(buf, parts, consumed);
+  if (rc == 0) return r;
+  if (rc < 0) {
+    r.status = Status::Invalid("malformed ssdb request");
+    return r;
+  }
+  r.consumed = consumed;
+  if (parts.empty()) {
+    r.status = Status::Invalid("empty ssdb request");
+    return r;
+  }
+  const std::string cmd = parts[0];
+  Message m;
+  if (cmd == "set" && parts.size() >= 3) {
+    m = Message::put(std::move(parts[1]), std::move(parts[2]));
+  } else if (cmd == "get" && parts.size() >= 2) {
+    m = Message::get(std::move(parts[1]));
+  } else if (cmd == "del" && parts.size() >= 2) {
+    m = Message::del(std::move(parts[1]));
+  } else if (cmd == "scan" && parts.size() >= 4) {
+    m = Message::scan(std::move(parts[1]), std::move(parts[2]),
+                      static_cast<uint32_t>(std::atoi(parts[3].c_str())));
+  } else if (cmd == "ping") {
+    m.op = Op::kNop;
+  } else {
+    r.status = Status::Invalid("unsupported ssdb command: " + cmd);
+    return r;
+  }
+  r.has_message = true;
+  r.message = std::move(m);
+  return r;
+}
+
+std::string SsdbParser::format_reply(const Message& reply) {
+  std::string out;
+  if (reply.code == Code::kOk) {
+    out += ssdb_tok("ok");
+    if (!reply.kvs.empty()) {
+      for (const auto& kv : reply.kvs) {
+        out += ssdb_tok(kv.key);
+        out += ssdb_tok(kv.value);
+      }
+    } else if (!reply.value.empty()) {
+      out += ssdb_tok(reply.value);
+    }
+  } else if (reply.code == Code::kNotFound) {
+    out += ssdb_tok("not_found");
+  } else {
+    out += ssdb_tok("error");
+    out += ssdb_tok(code_name(reply.code));
+  }
+  out += '\n';
+  return out;
+}
+
+std::string SsdbParser::format_request(const Message& request) {
+  std::string out;
+  switch (request.op) {
+    case Op::kPut:
+      out += ssdb_tok("set");
+      out += ssdb_tok(request.key);
+      out += ssdb_tok(request.value);
+      break;
+    case Op::kGet:
+      out += ssdb_tok("get");
+      out += ssdb_tok(request.key);
+      break;
+    case Op::kDel:
+      out += ssdb_tok("del");
+      out += ssdb_tok(request.key);
+      break;
+    case Op::kScan:
+      out += ssdb_tok("scan");
+      out += ssdb_tok(request.key);
+      out += ssdb_tok(request.value);
+      out += ssdb_tok(std::to_string(request.limit));
+      break;
+    default:
+      out += ssdb_tok("ping");
+  }
+  out += '\n';
+  return out;
+}
+
+ParseResult SsdbParser::parse_reply(std::string_view buf) {
+  ParseResult r;
+  std::vector<std::string> parts;
+  size_t consumed = 0;
+  int rc = ssdb_block(buf, parts, consumed);
+  if (rc == 0) return r;
+  if (rc < 0) {
+    r.status = Status::Invalid("malformed ssdb reply");
+    return r;
+  }
+  r.consumed = consumed;
+  if (parts.empty()) {
+    r.status = Status::Invalid("empty ssdb reply");
+    return r;
+  }
+  Message m = Message::reply(Code::kOk);
+  if (parts[0] == "ok") {
+    if (parts.size() == 2) {
+      m.value = std::move(parts[1]);
+    } else if (parts.size() > 2) {
+      for (size_t i = 1; i + 1 < parts.size(); i += 2) {
+        m.kvs.push_back(KV{std::move(parts[i]), std::move(parts[i + 1]), 0});
+      }
+    }
+  } else if (parts[0] == "not_found") {
+    m.code = Code::kNotFound;
+  } else {
+    m.code = Code::kInternal;
+  }
+  r.has_message = true;
+  r.message = std::move(m);
+  return r;
+}
+
+std::unique_ptr<ProtocolParser> make_parser(const std::string& name) {
+  if (name == "resp" || name == "redis") return std::make_unique<RespParser>();
+  if (name == "ssdb") return std::make_unique<SsdbParser>();
+  return nullptr;
+}
+
+}  // namespace bespokv

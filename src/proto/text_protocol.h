@@ -1,0 +1,67 @@
+// Text protocol parsers for ported single-server stores (§III-A option 2).
+//
+// bespoKV can host existing datalets that speak their own wire protocols.
+// RespParser implements the Redis RESP subset used by tRedis; SsdbParser
+// implements the SSDB block protocol used by tSSDB. Both translate between
+// raw bytes and the internal Message, so controlets stay protocol-agnostic.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/proto/message.h"
+
+namespace bespokv {
+
+// Incremental parser: feed bytes, pull complete messages. `consumed` reports
+// how many input bytes were used; a kInvalid/kCorruption status poisons the
+// connection. Returns kOk with has_message=false when more bytes are needed.
+struct ParseResult {
+  Status status;
+  bool has_message = false;
+  Message message;
+  size_t consumed = 0;
+};
+
+class ProtocolParser {
+ public:
+  virtual ~ProtocolParser() = default;
+
+  virtual const char* name() const = 0;
+
+  // Server side: bytes -> request, reply -> bytes.
+  virtual ParseResult parse_request(std::string_view buf) = 0;
+  virtual std::string format_reply(const Message& reply) = 0;
+
+  // Client side: request -> bytes, bytes -> reply.
+  virtual std::string format_request(const Message& request) = 0;
+  virtual ParseResult parse_reply(std::string_view buf) = 0;
+};
+
+// Redis RESP: "*<n>\r\n$<len>\r\n<arg>\r\n..." requests; "+OK", "$<n>", "-ERR",
+// ":<int>" and "*<n>" replies. Commands understood: SET/GET/DEL/SCAN/PING.
+class RespParser : public ProtocolParser {
+ public:
+  const char* name() const override { return "resp"; }
+  ParseResult parse_request(std::string_view buf) override;
+  std::string format_reply(const Message& reply) override;
+  std::string format_request(const Message& request) override;
+  ParseResult parse_reply(std::string_view buf) override;
+};
+
+// SSDB block protocol: each token is "<len>\n<data>\n"; a request/response
+// ends with an empty line. Responses lead with a status token ("ok",
+// "not_found", "error").
+class SsdbParser : public ProtocolParser {
+ public:
+  const char* name() const override { return "ssdb"; }
+  ParseResult parse_request(std::string_view buf) override;
+  std::string format_reply(const Message& reply) override;
+  std::string format_request(const Message& request) override;
+  ParseResult parse_reply(std::string_view buf) override;
+};
+
+std::unique_ptr<ProtocolParser> make_parser(const std::string& name);
+
+}  // namespace bespokv

@@ -1,0 +1,127 @@
+#include "src/sharedlog/sharedlog.h"
+
+#include <algorithm>
+
+namespace bespokv {
+
+void SharedLogService::handle(const Addr& from, Message req, Replier reply) {
+  (void)from;
+  switch (req.op) {
+    case Op::kLogCreate: {
+      entries_.clear();
+      base_ = next_seq_ = 1;
+      reply(Message::reply(Code::kOk));
+      return;
+    }
+    case Op::kLogAppend: {
+      LogEntry e;
+      e.op = (req.flags & kFlagDelete) != 0 ? Op::kDel : Op::kPut;
+      e.shard = req.shard;
+      e.table = req.table;
+      e.key = req.key;
+      e.value = req.value;
+      entries_.push_back(std::move(e));
+      Message rep = Message::reply(Code::kOk);
+      rep.seq = next_seq_++;
+      reply(std::move(rep));
+      return;
+    }
+    case Op::kLogRead: {
+      Message rep = Message::reply(Code::kOk);
+      const uint64_t from_seq = std::max(req.seq, base_);
+      if (req.seq < base_) {
+        // The caller asked for trimmed history; surface it so recovery can
+        // fall back to a full snapshot instead of silently missing writes.
+        rep.code = Code::kOutOfRange;
+        rep.seq = base_;
+        reply(std::move(rep));
+        return;
+      }
+      const uint32_t limit = req.limit == 0 ? 1024 : req.limit;
+      uint64_t s = from_seq;
+      for (; s < next_seq_ && rep.kvs.size() < limit; ++s) {
+        const LogEntry& e = entries_[static_cast<size_t>(s - base_)];
+        if (e.shard != req.shard) continue;
+        KV kv;
+        kv.key = e.table.empty() ? e.key : e.table + "\x1f" + e.key;
+        kv.value = e.value;
+        kv.seq = s;
+        rep.kvs.push_back(std::move(kv));
+        rep.strs.push_back(e.op == Op::kDel ? "D" : "P");
+      }
+      rep.epoch = s;        // resume position for the next fetch
+      rep.seq = next_seq_;  // current tail, so readers know how far behind
+      reply(std::move(rep));
+      return;
+    }
+    case Op::kLogTail: {
+      Message rep = Message::reply(Code::kOk);
+      rep.seq = next_seq_;
+      reply(std::move(rep));
+      return;
+    }
+    case Op::kLogTrim: {
+      const uint64_t up_to = std::min(req.seq, next_seq_);
+      while (base_ < up_to && !entries_.empty()) {
+        entries_.pop_front();
+        ++base_;
+      }
+      reply(Message::reply(Code::kOk));
+      return;
+    }
+    default:
+      reply(Message::reply(Code::kInvalid));
+  }
+}
+
+void SharedLogClient::append(const Message& write, uint32_t shard,
+                             std::function<void(Status, uint64_t)> done) {
+  Message req;
+  req.op = Op::kLogAppend;
+  req.flags = write.op == Op::kDel ? kFlagDelete : 0u;
+  req.shard = shard;
+  req.table = write.table;
+  req.key = write.key;
+  req.value = write.value;
+  rt_->call(addr_, std::move(req),
+            [done = std::move(done)](Status s, Message rep) {
+              if (!s.ok()) {
+                done(s, 0);
+              } else if (rep.code != Code::kOk) {
+                done(Status(rep.code), 0);
+              } else {
+                done(Status::Ok(), rep.seq);
+              }
+            });
+}
+
+void SharedLogClient::fetch(uint64_t from, uint32_t shard, uint32_t limit,
+                            std::function<void(Status, Message)> done) {
+  Message req;
+  req.op = Op::kLogRead;
+  req.seq = from;
+  req.shard = shard;
+  req.limit = limit;
+  rt_->call(addr_, std::move(req),
+            [done = std::move(done)](Status s, Message rep) {
+              done(s, std::move(rep));
+            });
+}
+
+void SharedLogClient::trim(uint64_t up_to) {
+  Message req;
+  req.op = Op::kLogTrim;
+  req.seq = up_to;
+  rt_->send(addr_, std::move(req));
+}
+
+void SharedLogClient::tail(std::function<void(Status, uint64_t)> done) {
+  Message req;
+  req.op = Op::kLogTail;
+  rt_->call(addr_, std::move(req),
+            [done = std::move(done)](Status s, Message rep) {
+              done(s, rep.seq);
+            });
+}
+
+}  // namespace bespokv

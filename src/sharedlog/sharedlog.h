@@ -1,0 +1,73 @@
+// Shared log service (ZLog/CORFU substitute; Table III Shared Log API).
+//
+// A single sequencer+storage node provides a totally ordered, durable-ish
+// append log. AA+EC controlets append Puts here to obtain a global order
+// and asynchronously fetch entries appended by their peers (Fig. 15c). The
+// AA+EC -> MS+EC transition (§V-B) drains in-flight entries from this log.
+//
+// Entries are (seq, table/key/value/op) tuples; readers pull batches with
+// kLogRead {seq=from, limit=n}. Trimming drops a prefix once every consumer
+// has applied it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "src/net/runtime.h"
+#include "src/proto/message.h"
+
+namespace bespokv {
+
+class SharedLogService : public Service {
+ public:
+  void handle(const Addr& from, Message req, Replier reply) override;
+
+  uint64_t tail() const { return next_seq_; }
+  uint64_t trimmed_to() const { return base_; }
+  size_t entries_held() const { return entries_.size(); }
+
+ private:
+  struct LogEntry {
+    Op op;             // kPut or kDel
+    uint32_t shard;    // shards share the log; readers filter by shard id
+    std::string table;
+    std::string key;
+    std::string value;
+  };
+
+  // Log positions are 1-based; base_ is the first retained position.
+  std::deque<LogEntry> entries_;
+  uint64_t base_ = 1;
+  uint64_t next_seq_ = 1;
+};
+
+// Client-side wrapper (Table III: PutSharedLog / AsyncFetch).
+class SharedLogClient {
+ public:
+  SharedLogClient(Runtime* rt, Addr log_addr)
+      : rt_(rt), addr_(std::move(log_addr)) {}
+
+  // Appends one write for `shard`; `done` receives the assigned global seq.
+  void append(const Message& write, uint32_t shard,
+              std::function<void(Status, uint64_t seq)> done);
+
+  // Fetches this shard's entries with seq >= from (up to `limit`). The reply
+  // carries entries in kvs (kv.seq = log position, kv.key pre-prefixed with
+  // the table), op markers "P"/"D" in strs, the scan-resume position in
+  // epoch, and the log tail in seq.
+  void fetch(uint64_t from, uint32_t shard, uint32_t limit,
+             std::function<void(Status, Message)> done);
+
+  void trim(uint64_t up_to);
+  void tail(std::function<void(Status, uint64_t)> done);
+
+  const Addr& addr() const { return addr_; }
+
+ private:
+  Runtime* rt_;
+  Addr addr_;
+};
+
+}  // namespace bespokv

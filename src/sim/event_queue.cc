@@ -1,0 +1,47 @@
+#include "src/sim/event_queue.h"
+
+#include <algorithm>
+
+namespace bespokv::sim {
+
+uint64_t EventQueue::schedule_at(uint64_t at_us, Task fn) {
+  const uint64_t id = next_id_++;
+  heap_.push(Event{std::max(at_us, now_), next_seq_++, id, std::move(fn)});
+  ++live_;
+  return id;
+}
+
+void EventQueue::cancel(uint64_t id) {
+  cancelled_.push_back(id);
+  if (live_ > 0) --live_;
+}
+
+bool EventQueue::is_cancelled(uint64_t id) {
+  auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+  if (it == cancelled_.end()) return false;
+  // Swap-erase: cancellation lists stay tiny (timers are mostly one-shot).
+  *it = cancelled_.back();
+  cancelled_.pop_back();
+  return true;
+}
+
+uint64_t EventQueue::run_until(uint64_t until_us) {
+  uint64_t executed = 0;
+  while (!heap_.empty()) {
+    const Event& top = heap_.top();
+    if (top.at > until_us) break;
+    Event ev = std::move(const_cast<Event&>(top));
+    heap_.pop();
+    if (is_cancelled(ev.id)) continue;
+    --live_;
+    now_ = ev.at;
+    ev.fn();
+    ++executed;
+  }
+  // The virtual clock advances to the boundary even when future events
+  // remain pending past it (callers interleave run_until with injections).
+  if (until_us != UINT64_MAX) now_ = std::max(now_, until_us);
+  return executed;
+}
+
+}  // namespace bespokv::sim

@@ -1,0 +1,57 @@
+// Discrete-event core: a virtual clock plus a time-ordered event heap.
+// Deterministic: ties in time are broken by insertion sequence, so a given
+// seed always produces an identical execution.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace bespokv::sim {
+
+using Task = std::function<void()>;
+
+class EventQueue {
+ public:
+  uint64_t now_us() const { return now_; }
+
+  // Schedules `fn` at absolute virtual time `at_us` (>= now). Returns an id
+  // usable with cancel().
+  uint64_t schedule_at(uint64_t at_us, Task fn);
+  uint64_t schedule_after(uint64_t delay_us, Task fn) {
+    return schedule_at(now_ + delay_us, std::move(fn));
+  }
+
+  void cancel(uint64_t id);
+
+  // Runs events until the queue is empty or virtual time would pass
+  // `until_us`. Returns the number of events executed.
+  uint64_t run_until(uint64_t until_us);
+  uint64_t run_all() { return run_until(UINT64_MAX); }
+
+  bool empty() const { return live_ == 0; }
+  size_t pending() const { return live_; }
+
+ private:
+  struct Event {
+    uint64_t at;
+    uint64_t seq;     // total order among same-time events
+    uint64_t id;
+    Task fn;
+    bool operator>(const Event& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap_;
+  std::vector<uint64_t> cancelled_;  // sorted ids are overkill; linear set
+  uint64_t now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  size_t live_ = 0;
+
+  bool is_cancelled(uint64_t id);
+};
+
+}  // namespace bespokv::sim

@@ -1,0 +1,168 @@
+#include "src/workload/sim_driver.h"
+
+#include "src/common/logging.h"
+
+namespace bespokv {
+
+struct SimWorkloadDriver::ClientState {
+  Addr addr;
+  Runtime* rt = nullptr;
+  std::unique_ptr<KvClient> kv;
+  std::unique_ptr<WorkloadGenerator> gen;
+  Rng rng{0};
+  bool connected = false;
+};
+
+SimWorkloadDriver::SimWorkloadDriver(SimFabric& sim, Cluster& cluster,
+                                     DriverOptions opts)
+    : sim_(sim), cluster_(cluster), opts_(opts) {
+  for (int i = 0; i < opts_.num_clients; ++i) {
+    auto c = std::make_unique<ClientState>();
+    c->addr = cluster_.options().name + "/client" + std::to_string(i);
+    SimNodeOpts copts;
+    copts.is_client = true;
+    c->rt = sim_.add_node(c->addr,
+                          std::make_shared<LambdaService>(
+                              [](Runtime&, const Addr&, Message, Replier reply) {
+                                reply(Message::reply(Code::kInvalid));
+                              }),
+                          copts);
+    ClientConfig ccfg;
+    ccfg.coordinator = cluster_.coordinator_addr();
+    ccfg.rpc_timeout_us = opts_.rpc_timeout_us;
+    c->kv = std::make_unique<KvClient>(c->rt, ccfg);
+    c->gen = std::make_unique<WorkloadGenerator>(opts_.workload,
+                                                 static_cast<uint64_t>(i));
+    c->rng.reseed(0xC11E47ULL + static_cast<uint64_t>(i));
+    clients_.push_back(std::move(c));
+  }
+}
+
+SimWorkloadDriver::~SimWorkloadDriver() { running_ = false; }
+
+void SimWorkloadDriver::preload() {
+  const ShardMap& map = cluster_.coordinator_service()->shard_map();
+  WorkloadGenerator gen(opts_.workload);
+  const std::string prefix =
+      opts_.table.empty() ? "" : opts_.table + "\x1f";
+  for (uint64_t i = 0; i < opts_.workload.num_keys; ++i) {
+    const std::string key = prefix + gen.key_at(i);
+    const std::string value = gen.value_for(i);
+    auto sid = map.shard_for(key);
+    if (!sid.ok()) continue;
+    const int shard = static_cast<int>(sid.value());
+    for (int r = 0; r < cluster_.options().num_replicas; ++r) {
+      cluster_.datalet(shard, r)->put(key, value, /*seq=*/1);
+    }
+  }
+}
+
+void SimWorkloadDriver::start() {
+  running_ = true;
+  window_start_us_ = sim_.now_us();
+  for (auto& c : clients_) {
+    ClientState* cs = c.get();
+    cs->rt->post([this, cs] {
+      cs->kv->connect([this, cs](Status s) {
+        if (!s.ok()) {
+          LOG_WARN << cs->addr << ": connect failed: " << s.to_string();
+          return;
+        }
+        cs->connected = true;
+        issue_next(*cs);
+      });
+    });
+  }
+}
+
+void SimWorkloadDriver::stop() { running_ = false; }
+
+void SimWorkloadDriver::reset_window() {
+  ops_ = errors_ = 0;
+  lat_.reset();
+  get_lat_.reset();
+  put_lat_.reset();
+  timeline_.clear();
+  window_start_us_ = sim_.now_us();
+}
+
+void SimWorkloadDriver::on_done(ClientState& c, OpType type,
+                                uint64_t issued_at, Status s) {
+  const uint64_t now = c.rt->now_us();
+  const uint64_t lat = now - issued_at;
+  if (s.ok() || s.code() == Code::kNotFound) {
+    ++ops_;
+    lat_.record(lat);
+    (type == OpType::kPut || type == OpType::kDel ? put_lat_ : get_lat_)
+        .record(lat);
+  } else {
+    ++errors_;
+  }
+  if (opts_.timeline_bucket_us > 0 && now >= window_start_us_) {
+    const size_t bucket =
+        static_cast<size_t>((now - window_start_us_) / opts_.timeline_bucket_us);
+    if (timeline_.size() <= bucket) timeline_.resize(bucket + 1, 0);
+    if (s.ok() || s.code() == Code::kNotFound) ++timeline_[bucket];
+  }
+  if (running_) issue_next(c);
+}
+
+void SimWorkloadDriver::issue_next(ClientState& c) {
+  WorkloadOp op = c.gen->next();
+  const uint64_t issued_at = c.rt->now_us();
+  ClientState* cs = &c;
+  switch (op.type) {
+    case OpType::kPut:
+      cs->kv->put(op.key, op.value,
+                  [this, cs, issued_at](Status s) {
+                    on_done(*cs, OpType::kPut, issued_at, s);
+                  },
+                  opts_.table);
+      break;
+    case OpType::kDel:
+      cs->kv->del(op.key,
+                  [this, cs, issued_at](Status s) {
+                    on_done(*cs, OpType::kDel, issued_at, s);
+                  },
+                  opts_.table);
+      break;
+    case OpType::kScan:
+      cs->kv->scan(op.key, op.scan_end, op.scan_limit,
+                   [this, cs, issued_at](Result<std::vector<KV>> r) {
+                     on_done(*cs, OpType::kScan, issued_at, r.status());
+                   },
+                   opts_.table);
+      break;
+    case OpType::kGet: {
+      ConsistencyLevel level = ConsistencyLevel::kDefault;
+      if (opts_.strong_get_fraction >= 0.0) {
+        level = cs->rng.next_bool(opts_.strong_get_fraction)
+                    ? ConsistencyLevel::kStrong
+                    : ConsistencyLevel::kEventual;
+      }
+      cs->kv->get(op.key,
+                  [this, cs, issued_at](Result<std::string> r) {
+                    on_done(*cs, OpType::kGet, issued_at, r.status());
+                  },
+                  opts_.table, level);
+      break;
+    }
+  }
+}
+
+DriverResult SimWorkloadDriver::collect() const {
+  DriverResult r;
+  r.ops = ops_;
+  r.errors = errors_;
+  r.window_us = sim_.now_us() - window_start_us_;
+  r.qps = r.window_us == 0
+              ? 0
+              : static_cast<double>(ops_) * 1e6 / static_cast<double>(r.window_us);
+  r.latency_us = lat_;
+  r.get_latency_us = get_lat_;
+  r.put_latency_us = put_lat_;
+  r.timeline = timeline_;
+  return r;
+}
+
+}  // namespace bespokv

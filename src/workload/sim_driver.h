@@ -1,0 +1,83 @@
+// SimWorkloadDriver: closed-loop clients for the DES fabric — the YCSB-bench
+// equivalent for simulated deployments. Creates N client nodes (unbounded
+// capacity, like the paper's separate load-generation cluster), each running
+// one outstanding request at a time through the real client library, and
+// measures completed ops, errors, latency and an optional QPS timeline.
+//
+// Time control stays with the caller (sim.run_for/run_until), so benchmarks
+// can inject failures or transitions mid-run and watch the timeline respond
+// (Figs. 10 and 16).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/client/client.h"
+#include "src/cluster/cluster.h"
+#include "src/common/histogram.h"
+#include "src/net/sim_fabric.h"
+#include "src/workload/workload.h"
+
+namespace bespokv {
+
+struct DriverOptions {
+  int num_clients = 32;
+  WorkloadSpec workload;
+  std::string table;
+  // Per-request consistency mix (§IV-C / §VIII-D): fraction of GETs issued
+  // with an explicit Strong level; < 0 issues everything at kDefault.
+  double strong_get_fraction = -1.0;
+  // Timeline bucketing for QPS-vs-time plots; 0 disables.
+  uint64_t timeline_bucket_us = 0;
+  uint64_t rpc_timeout_us = 1'000'000;
+};
+
+struct DriverResult {
+  uint64_t ops = 0;
+  uint64_t errors = 0;
+  uint64_t window_us = 0;
+  double qps = 0;
+  Histogram latency_us;
+  Histogram get_latency_us;
+  Histogram put_latency_us;
+  std::vector<uint64_t> timeline;  // completed ops per bucket since reset
+};
+
+class SimWorkloadDriver {
+ public:
+  SimWorkloadDriver(SimFabric& sim, Cluster& cluster, DriverOptions opts);
+  ~SimWorkloadDriver();
+
+  // Installs the working set directly into every replica's datalet (bulk
+  // load; bypasses the network on purpose so benchmarks measure steady
+  // state, not loading).
+  void preload();
+
+  // Begins issuing requests from every client. Call sim.run_for(...) after.
+  void start();
+  // Clients stop issuing new requests (in-flight ones complete).
+  void stop();
+
+  // Zeroes counters and marks the measurement-window origin (end of warmup).
+  void reset_window();
+  DriverResult collect() const;
+
+ private:
+  struct ClientState;
+  void issue_next(ClientState& c);
+  void on_done(ClientState& c, OpType type, uint64_t issued_at, Status s);
+
+  SimFabric& sim_;
+  Cluster& cluster_;
+  DriverOptions opts_;
+  std::vector<std::unique_ptr<ClientState>> clients_;
+  bool running_ = false;
+  uint64_t window_start_us_ = 0;
+  // Shared counters (the DES is single-threaded; plain fields suffice).
+  uint64_t ops_ = 0;
+  uint64_t errors_ = 0;
+  Histogram lat_, get_lat_, put_lat_;
+  std::vector<uint64_t> timeline_;
+};
+
+}  // namespace bespokv

@@ -1,0 +1,126 @@
+#include "src/workload/workload.h"
+
+#include <cstdio>
+
+namespace bespokv {
+
+WorkloadSpec WorkloadSpec::ycsb_read_mostly(bool zipf) {
+  WorkloadSpec s;
+  s.get_ratio = 0.95;
+  s.zipfian = zipf;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::ycsb_update_heavy(bool zipf) {
+  WorkloadSpec s;
+  s.get_ratio = 0.50;
+  s.zipfian = zipf;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::ycsb_scan_heavy(bool zipf) {
+  WorkloadSpec s;
+  s.get_ratio = 0.0;
+  s.scan_ratio = 0.95;
+  s.zipfian = zipf;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::hpc_job_launch() {
+  // Control messages from servers = Get, compute-node results = Put (§VIII-A).
+  WorkloadSpec s;
+  s.num_keys = 100'000;
+  s.get_ratio = 0.50;
+  s.zipfian = true;  // rank/step keys are heavily reused
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::hpc_io_forwarding() {
+  // SeaweedFS metadata trace: 62:38 Get:Put over file-metadata keys.
+  WorkloadSpec s;
+  s.num_keys = 10'000;
+  s.get_ratio = 0.62;
+  s.zipfian = false;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::hpc_monitoring() {
+  // Lustre MDS/OSS/OST/MDT stats streams: put-dominated time series (§VI-A).
+  WorkloadSpec s;
+  s.num_keys = 2'000'000;
+  s.get_ratio = 0.05;
+  s.value_size = 64;
+  s.zipfian = false;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::hpc_analytics() {
+  // "completely read-intensive with uniform distribution" (§VI-A).
+  WorkloadSpec s;
+  s.num_keys = 2'000'000;
+  s.get_ratio = 1.0;
+  s.value_size = 64;
+  s.zipfian = false;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::dl_ingest(size_t image_bytes) {
+  // Training ingest: whole dataset streamed repeatedly, read-mostly (§VI-B).
+  WorkloadSpec s;
+  s.num_keys = 50'000;
+  s.value_size = image_bytes;
+  s.get_ratio = 1.0;
+  s.zipfian = false;
+  return s;
+}
+
+WorkloadGenerator::WorkloadGenerator(WorkloadSpec spec, uint64_t stream_id)
+    : spec_(spec), rng_(spec.seed * 0x9e3779b9ULL + stream_id + 1) {
+  if (spec_.zipfian) {
+    zipf_ = std::make_unique<ZipfianGenerator>(spec_.num_keys, spec_.zipf_theta,
+                                               spec_.seed + stream_id * 131);
+  }
+}
+
+std::string WorkloadGenerator::key_at(uint64_t index) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "k%0*llu",
+                static_cast<int>(spec_.key_size > 1 ? spec_.key_size - 1 : 1),
+                static_cast<unsigned long long>(index));
+  return std::string(buf).substr(0, spec_.key_size);
+}
+
+std::string WorkloadGenerator::value_for(uint64_t index) {
+  std::string v(spec_.value_size, 'x');
+  // Stamp a recognizable header so correctness checks can verify values.
+  const int n = std::snprintf(v.data(), v.size(), "v%llu|",
+                              static_cast<unsigned long long>(index));
+  if (n > 0 && static_cast<size_t>(n) < v.size()) v[v.size() - 1] = '.';
+  return v;
+}
+
+uint64_t WorkloadGenerator::next_index() {
+  return zipf_ != nullptr ? zipf_->next() : rng_.next_u64(spec_.num_keys);
+}
+
+WorkloadOp WorkloadGenerator::next() {
+  WorkloadOp op;
+  const double p = rng_.next_double();
+  const uint64_t idx = next_index();
+  op.key = key_at(idx);
+  if (p < spec_.get_ratio) {
+    op.type = OpType::kGet;
+  } else if (p < spec_.get_ratio + spec_.scan_ratio) {
+    op.type = OpType::kScan;
+    op.scan_end = key_at(std::min(idx + spec_.scan_span, spec_.num_keys));
+    op.scan_limit = spec_.scan_span;
+  } else if (p < spec_.get_ratio + spec_.scan_ratio + spec_.del_ratio) {
+    op.type = OpType::kDel;
+  } else {
+    op.type = OpType::kPut;
+    op.value = value_for(idx);
+  }
+  return op;
+}
+
+}  // namespace bespokv

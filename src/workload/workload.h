@@ -1,0 +1,70 @@
+// Workload generators (§VIII-A):
+//  * YCSB-style: 10M-tuple keyspace, 16B keys / 32B values, uniform or
+//    Zipf(0.99) popularity, GET ratios 95%/50%, and the 95%-SCAN variant.
+//  * HPC traces: job-launch and I/O-forwarding mixes (§VIII-A: I/O forwarding
+//    is Get:Put 62:38, job launch has 12% fewer reads => 50:50), Lustre
+//    monitoring (put-dominated time series, §VI-A), analytics (read-heavy
+//    uniform), and DL training ingest (large-value read-mostly, §VI-B).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/rng.h"
+
+namespace bespokv {
+
+enum class OpType : uint8_t { kPut, kGet, kDel, kScan };
+
+struct WorkloadOp {
+  OpType type;
+  std::string key;
+  std::string value;      // puts only
+  std::string scan_end;   // scans only
+  uint32_t scan_limit = 0;
+};
+
+struct WorkloadSpec {
+  uint64_t num_keys = 1'000'000;
+  size_t key_size = 16;
+  size_t value_size = 32;
+  double get_ratio = 0.95;   // remainder split between put and scan
+  double scan_ratio = 0.0;
+  double del_ratio = 0.0;
+  bool zipfian = false;      // false = uniform
+  double zipf_theta = 0.99;
+  uint32_t scan_span = 100;  // keys per scan
+  uint64_t seed = 1;
+
+  // Named presets.
+  static WorkloadSpec ycsb_read_mostly(bool zipf);     // 95% GET
+  static WorkloadSpec ycsb_update_heavy(bool zipf);    // 50% GET
+  static WorkloadSpec ycsb_scan_heavy(bool zipf);      // 95% SCAN, 5% PUT
+  static WorkloadSpec hpc_job_launch();                // 50:50, bursty keys
+  static WorkloadSpec hpc_io_forwarding();             // 62:38 R:W
+  static WorkloadSpec hpc_monitoring();                // 95% PUT time series
+  static WorkloadSpec hpc_analytics();                 // 100% GET uniform
+  static WorkloadSpec dl_ingest(size_t image_bytes);   // large-value reads
+};
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadSpec spec, uint64_t stream_id = 0);
+
+  WorkloadOp next();
+
+  // Key for loading the store before measurement (dense enumeration).
+  std::string key_at(uint64_t index) const;
+  std::string value_for(uint64_t index);
+  const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  uint64_t next_index();
+
+  WorkloadSpec spec_;
+  Rng rng_;
+  std::unique_ptr<ZipfianGenerator> zipf_;
+};
+
+}  // namespace bespokv

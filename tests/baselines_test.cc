@@ -1,0 +1,198 @@
+// Baseline-system tests: the Twemproxy/Dynomite-like proxies and the
+// Cassandra/Voldemort-like natively-distributed stores behave per their
+// real-world counterparts (Table I capabilities, §VIII-E/F semantics).
+#include <gtest/gtest.h>
+
+#include "src/baselines/native.h"
+#include "src/baselines/proxies.h"
+#include "src/baselines/redis_like.h"
+#include "src/net/sim_fabric.h"
+
+namespace bespokv {
+namespace {
+
+using baselines::DynomiteConfig;
+using baselines::DynomiteLike;
+using baselines::NativeStoreConfig;
+using baselines::NativeStoreNode;
+using baselines::RedisLikeBackend;
+using baselines::RedisLikeConfig;
+using baselines::TwemproxyConfig;
+using baselines::TwemproxyLike;
+
+class BaselineFixture : public ::testing::Test {
+ protected:
+  BaselineFixture() {
+    SimNodeOpts copts;
+    copts.is_client = true;
+    client_ = sim_.add_node("client",
+                            std::make_shared<LambdaService>(
+                                [](Runtime&, const Addr&, Message, Replier r) {
+                                  r(Message::reply(Code::kInvalid));
+                                }),
+                            copts);
+  }
+
+  Result<Message> call(const Addr& dst, Message req) {
+    auto done = std::make_shared<bool>(false);
+    auto out = std::make_shared<Result<Message>>(Status::Internal("pending"));
+    sim_.post_to("client", [&, req = std::move(req)]() mutable {
+      client_->call(dst, std::move(req),
+                    [done, out](Status s, Message m) {
+                      *out = s.ok() ? Result<Message>(std::move(m))
+                                    : Result<Message>(s);
+                      *done = true;
+                    });
+    });
+    while (!*done && !sim_.idle()) sim_.run_for(1'000);
+    return *out;
+  }
+
+  SimFabric sim_;
+  Runtime* client_;
+};
+
+// ---------------------------- RedisLikeBackend ------------------------------
+
+TEST_F(BaselineFixture, RedisBackendReplicatesToSlavesAsync) {
+  auto slave1 = std::make_shared<RedisLikeBackend>();
+  auto slave2 = std::make_shared<RedisLikeBackend>();
+  sim_.add_node("r-s1", slave1);
+  sim_.add_node("r-s2", slave2);
+  RedisLikeConfig mcfg;
+  mcfg.slaves = {"r-s1", "r-s2"};
+  auto master = std::make_shared<RedisLikeBackend>(mcfg);
+  sim_.add_node("r-m", master);
+
+  ASSERT_EQ(call("r-m", Message::put("k", "v")).value().code, Code::kOk);
+  // Master has it immediately; slaves only after the replication flush.
+  EXPECT_TRUE(master->engine()->get("k").ok());
+  sim_.run_for(200'000);
+  EXPECT_TRUE(slave1->engine()->get("k").ok());
+  EXPECT_TRUE(slave2->engine()->get("k").ok());
+
+  ASSERT_EQ(call("r-m", Message::del("k")).value().code, Code::kOk);
+  sim_.run_for(200'000);
+  EXPECT_FALSE(slave1->engine()->get("k").ok());
+}
+
+// ------------------------------- Twemproxy ----------------------------------
+
+TEST_F(BaselineFixture, TwemproxyShardsAcrossPoolsAndSpreadsReads) {
+  std::vector<std::shared_ptr<RedisLikeBackend>> backends;
+  TwemproxyConfig cfg;
+  for (int s = 0; s < 2; ++s) {
+    baselines::ProxyShard shard;
+    for (int r = 0; r < 2; ++r) {
+      const Addr a = "be" + std::to_string(s) + "_" + std::to_string(r);
+      RedisLikeConfig bcfg;
+      if (r == 0) bcfg.slaves = {"be" + std::to_string(s) + "_1"};
+      auto b = std::make_shared<RedisLikeBackend>(bcfg);
+      sim_.add_node(a, b);
+      backends.push_back(b);
+      shard.backends.push_back(a);
+    }
+    cfg.shards.push_back(shard);
+  }
+  sim_.add_node("twem", std::make_shared<TwemproxyLike>(cfg));
+
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_EQ(call("twem", Message::put("k" + std::to_string(i), "v")).value().code,
+              Code::kOk);
+  }
+  sim_.run_for(300'000);
+  // Sharding: both pools' masters hold some keys.
+  EXPECT_GT(backends[0]->engine()->size(), 0u);
+  EXPECT_GT(backends[2]->engine()->size(), 0u);
+  // Reads are served (possibly by a slave replica).
+  for (int i = 0; i < 40; ++i) {
+    auto r = call("twem", Message::get("k" + std::to_string(i)));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().code, Code::kOk) << i;
+  }
+}
+
+// -------------------------------- Dynomite ----------------------------------
+
+TEST_F(BaselineFixture, DynomiteAaReplicationConverges) {
+  // One shard, 3 replicas: proxy + local backend per replica.
+  for (int r = 0; r < 3; ++r) {
+    sim_.add_node("dyn-be" + std::to_string(r),
+                  std::make_shared<RedisLikeBackend>());
+  }
+  std::vector<std::shared_ptr<DynomiteLike>> proxies;
+  for (int r = 0; r < 3; ++r) {
+    DynomiteConfig cfg;
+    cfg.local_backend = "dyn-be" + std::to_string(r);
+    for (int p = 0; p < 3; ++p) {
+      if (p != r) cfg.peer_proxies.push_back("dyn-px" + std::to_string(p));
+    }
+    auto px = std::make_shared<DynomiteLike>(cfg);
+    proxies.push_back(px);
+    sim_.add_node("dyn-px" + std::to_string(r), px);
+  }
+  // Writes land on different proxies (AA).
+  ASSERT_EQ(call("dyn-px0", Message::put("a", "1")).value().code, Code::kOk);
+  ASSERT_EQ(call("dyn-px1", Message::put("b", "2")).value().code, Code::kOk);
+  ASSERT_EQ(call("dyn-px2", Message::put("c", "3")).value().code, Code::kOk);
+  sim_.run_for(300'000);
+  // All replicas converge on the union.
+  for (int r = 0; r < 3; ++r) {
+    auto rep = call("dyn-px" + std::to_string(r), Message::get("a"));
+    EXPECT_EQ(rep.value().code, Code::kOk) << r;
+    rep = call("dyn-px" + std::to_string(r), Message::get("b"));
+    EXPECT_EQ(rep.value().code, Code::kOk) << r;
+  }
+}
+
+// ------------------------------ native stores -------------------------------
+
+class NativeStoreTest : public BaselineFixture,
+                        public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(NativeStoreTest, CoordinatorPathReplicatesAndReads) {
+  std::vector<Addr> ring;
+  for (int i = 0; i < 4; ++i) ring.push_back("native" + std::to_string(i));
+  std::vector<std::shared_ptr<NativeStoreNode>> nodes;
+  for (int i = 0; i < 4; ++i) {
+    NativeStoreConfig cfg;
+    cfg.ring = ring;
+    cfg.my_index = static_cast<size_t>(i);
+    cfg.engine = GetParam();
+    auto n = std::make_shared<NativeStoreNode>(cfg);
+    nodes.push_back(n);
+    sim_.add_node(ring[static_cast<size_t>(i)], n);
+  }
+  // Any node accepts any key (coordinator forwarding).
+  for (int i = 0; i < 40; ++i) {
+    const Addr entry = ring[static_cast<size_t>(i % 4)];
+    ASSERT_EQ(call(entry, Message::put("k" + std::to_string(i), "v")).value().code,
+              Code::kOk)
+        << i;
+  }
+  sim_.run_for(300'000);
+  for (int i = 0; i < 40; ++i) {
+    const Addr entry = ring[static_cast<size_t>((i + 1) % 4)];
+    auto r = call(entry, Message::get("k" + std::to_string(i)));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().code, Code::kOk) << i;
+    EXPECT_EQ(r.value().value, "v");
+  }
+  // Replication factor 3: each key lives on 3 of the 4 engines.
+  int copies = 0;
+  for (const auto& n : nodes) {
+    if (n->engine()->get("k0").ok()) ++copies;
+  }
+  EXPECT_EQ(copies, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, NativeStoreTest,
+                         ::testing::Values("tLSM", "tHT"),
+                         [](const auto& info) {
+                           return std::string(info.param) == "tLSM"
+                                      ? "CassandraLike"
+                                      : "VoldemortLike";
+                         });
+
+}  // namespace
+}  // namespace bespokv

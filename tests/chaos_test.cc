@@ -1,0 +1,154 @@
+// Chaos tests: randomized failure injection under load, with durability
+// invariants checked afterwards.
+//
+//  * MS+SC (chain replication): an acknowledged Put is on *every* replica, so
+//    it must survive any single-node crash, no matter when it happens.
+//  * MS+EC: acknowledged Puts that had time to propagate (>> flush period)
+//    must survive a single crash; writes inside the async window are the
+//    documented EC loss window.
+//  * AA+EC: the shared log orders everything; once applied cluster-wide, a
+//    single active's crash loses nothing.
+#include <gtest/gtest.h>
+
+#include "tests/sim_test_util.h"
+
+namespace bespokv {
+namespace {
+
+using testing::SimEnv;
+using testing::small_cluster;
+
+class ChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+ClusterOptions chaos_cluster(Topology t, Consistency c) {
+  ClusterOptions o = small_cluster(t, c, /*shards=*/2, /*replicas=*/3);
+  o.num_standby = 1;
+  o.coordinator.hb_period_us = 100'000;
+  o.controlet.hb_period_us = 50'000;
+  return o;
+}
+
+TEST_P(ChaosTest, MsScAckedWritesSurviveAnySingleCrash) {
+  SimFabricOpts fopts;
+  fopts.seed = GetParam();
+  SimEnv env(chaos_cluster(Topology::kMasterSlave, Consistency::kStrong), fopts);
+  SyncKv kv = env.client();
+  Rng rng(GetParam() * 97 + 1);
+
+  std::map<std::string, std::string> acked;
+  const int kill_at = 20 + static_cast<int>(rng.next_u64(30));
+  for (int i = 0; i < 80; ++i) {
+    const std::string key = "c" + std::to_string(rng.next_u64(60));
+    const std::string value = "v" + std::to_string(i);
+    if (kv.put(key, value).ok()) acked[key] = value;
+    if (i == kill_at) {
+      env.cluster.kill_controlet(static_cast<int>(rng.next_u64(2)),
+                                 static_cast<int>(rng.next_u64(3)));
+    }
+  }
+  env.settle(2'500'000);  // detection + repair + standby recovery
+  for (const auto& [key, value] : acked) {
+    auto r = kv.get(key);
+    ASSERT_TRUE(r.ok()) << "lost acked write " << key << " (seed "
+                        << GetParam() << ")";
+    EXPECT_EQ(r.value(), value) << key;
+  }
+}
+
+TEST_P(ChaosTest, MsEcPropagatedWritesSurviveMasterCrash) {
+  SimFabricOpts fopts;
+  fopts.seed = GetParam();
+  SimEnv env(chaos_cluster(Topology::kMasterSlave, Consistency::kEventual),
+             fopts);
+  SyncKv kv = env.client();
+  Rng rng(GetParam() * 131 + 7);
+
+  std::map<std::string, std::string> safe;  // writes given time to propagate
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "e" + std::to_string(rng.next_u64(40));
+    const std::string value = "v" + std::to_string(i);
+    if (kv.put(key, value).ok()) safe[key] = value;
+  }
+  env.settle(500'000);  // >> flush period: everything propagated
+  env.cluster.kill_controlet(static_cast<int>(rng.next_u64(2)), 0);  // master
+  env.settle(2'500'000);
+  for (const auto& [key, value] : safe) {
+    auto r = kv.get(key, "", ConsistencyLevel::kStrong);
+    ASSERT_TRUE(r.ok()) << "lost propagated write " << key << " (seed "
+                        << GetParam() << ")";
+    EXPECT_EQ(r.value(), value) << key;
+  }
+}
+
+TEST_P(ChaosTest, AaEcAppliedWritesSurviveActiveCrash) {
+  SimFabricOpts fopts;
+  fopts.seed = GetParam();
+  SimEnv env(chaos_cluster(Topology::kActiveActive, Consistency::kEventual),
+             fopts);
+  SyncKv kv = env.client();
+  Rng rng(GetParam() * 17 + 3);
+
+  std::map<std::string, std::string> acked;
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "a" + std::to_string(rng.next_u64(40));
+    const std::string value = "v" + std::to_string(i);
+    if (kv.put(key, value).ok()) acked[key] = value;
+  }
+  env.settle(500'000);  // all actives caught up with the shared log
+  env.cluster.kill_controlet(static_cast<int>(rng.next_u64(2)),
+                             static_cast<int>(rng.next_u64(3)));
+  env.settle(2'500'000);
+  for (const auto& [key, value] : acked) {
+    auto r = kv.get(key);
+    ASSERT_TRUE(r.ok()) << "lost applied write " << key << " (seed "
+                        << GetParam() << ")";
+    EXPECT_EQ(r.value(), value) << key;
+  }
+}
+
+TEST_P(ChaosTest, TransitionUnderContinuousLoadLosesNothing) {
+  SimFabricOpts fopts;
+  fopts.seed = GetParam();
+  SimEnv env(chaos_cluster(Topology::kMasterSlave, Consistency::kEventual),
+             fopts);
+  SyncKv kv = env.client();
+  Rng rng(GetParam() * 211 + 5);
+
+  std::map<std::string, std::string> acked;
+  // First half of the writes land before the transition request, the rest
+  // while it is in flight.
+  for (int i = 0; i < 30; ++i) {
+    const std::string key = "t" + std::to_string(rng.next_u64(25));
+    if (kv.put(key, "v" + std::to_string(i)).ok()) {
+      acked[key] = "v" + std::to_string(i);
+    }
+  }
+  env.cluster.start_transition(Topology::kActiveActive, Consistency::kEventual,
+                               [](Status) {});
+  for (int i = 30; i < 60; ++i) {
+    const std::string key = "t" + std::to_string(rng.next_u64(25));
+    if (kv.put(key, "v" + std::to_string(i)).ok()) {
+      acked[key] = "v" + std::to_string(i);
+    }
+  }
+  uint64_t waited = 0;
+  while (env.cluster.coordinator_service()->transition_active() &&
+         waited < 5'000'000) {
+    env.sim.run_for(100'000);
+    waited += 100'000;
+  }
+  env.settle(1'000'000);
+  for (const auto& [key, value] : acked) {
+    auto r = kv.get(key);
+    ASSERT_TRUE(r.ok()) << key << " (seed " << GetParam() << ")";
+    EXPECT_EQ(r.value(), value) << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest, ::testing::Values(1, 2, 3, 4, 5),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace bespokv

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/common/hash.h"
+#include "src/common/hash_ring.h"
+#include "src/common/histogram.h"
+#include "src/common/json.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace bespokv {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Code::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status s = Status::NotFound("key missing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Code::kNotFound);
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: key missing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int i = 0; i <= static_cast<int>(Code::kOutOfRange); ++i) {
+    EXPECT_STRNE(code_name(static_cast<Code>(i)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_TRUE(ok.status().ok());
+
+  Result<int> bad(Status::Timeout());
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), Code::kTimeout);
+  EXPECT_EQ(bad.value_or(7), 7);
+}
+
+TEST(HashTest, Fnv1aMatchesKnownVectors) {
+  // Reference values for FNV-1a 64-bit.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(HashTest, Crc32cMatchesKnownVectors) {
+  // RFC 3720 test vector: 32 zero bytes.
+  std::string zeros(32, '\0');
+  EXPECT_EQ(crc32c(zeros), 0x8a9136aau);
+  std::string ones(32, '\xff');
+  EXPECT_EQ(crc32c(ones), 0x62a8ab43u);
+  EXPECT_EQ(crc32c("123456789"), 0xe3069283u);
+}
+
+TEST(HashTest, Mix64IsInvertibleQuality) {
+  // Distinct inputs should not collide over a modest sweep.
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 10'000; ++i) {
+    seen.insert(mix64(i));
+  }
+  EXPECT_EQ(seen.size(), 10'000u);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng r(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const uint64_t v = r.next_u64(10);
+    EXPECT_LT(v, 10u);
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ZipfianTest, SkewsTowardFewKeys) {
+  ZipfianGenerator z(100'000, 0.99, 3);
+  std::map<uint64_t, uint64_t> counts;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) counts[z.next()]++;
+  // The most popular key should dominate a uniform key's share massively.
+  uint64_t max_count = 0;
+  for (const auto& [k, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, static_cast<uint64_t>(n) / 1000);  // >>2 for uniform
+  // But the tail must still be broad (scrambling works).
+  EXPECT_GT(counts.size(), 10'000u);
+}
+
+TEST(ZipfianTest, RanksWithinBounds) {
+  ZipfianGenerator z(1000, 0.99, 9);
+  for (int i = 0; i < 50'000; ++i) {
+    EXPECT_LT(z.next(), 1000u);
+  }
+}
+
+TEST(HashRingTest, LookupIsStable) {
+  HashRing ring;
+  ring.add_node("a");
+  ring.add_node("b");
+  ring.add_node("c");
+  auto r1 = ring.lookup("key42");
+  auto r2 = ring.lookup("key42");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.value(), r2.value());
+}
+
+TEST(HashRingTest, BalancedDistribution) {
+  HashRing ring;
+  for (int i = 0; i < 8; ++i) ring.add_node("node" + std::to_string(i));
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 80'000; ++i) {
+    counts[ring.lookup("key" + std::to_string(i)).value()]++;
+  }
+  for (const auto& [node, c] : counts) {
+    EXPECT_GT(c, 80'000 / 8 / 2) << node;   // within 2x of fair share
+    EXPECT_LT(c, 80'000 / 8 * 2) << node;
+  }
+}
+
+TEST(HashRingTest, MinimalDisruptionOnRemoval) {
+  HashRing ring;
+  for (int i = 0; i < 10; ++i) ring.add_node("node" + std::to_string(i));
+  std::map<std::string, std::string> before;
+  for (int i = 0; i < 10'000; ++i) {
+    std::string k = "key" + std::to_string(i);
+    before[k] = ring.lookup(k).value();
+  }
+  ring.remove_node("node3");
+  int moved = 0;
+  for (const auto& [k, owner] : before) {
+    const std::string now = ring.lookup(k).value();
+    if (owner != "node3") {
+      EXPECT_EQ(now, owner);  // consistent hashing: survivors keep their keys
+    } else {
+      ++moved;
+      EXPECT_NE(now, "node3");
+    }
+  }
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, 10'000 / 4);  // roughly 1/10 of keys lived on node3
+}
+
+TEST(HashRingTest, LookupNReturnsDistinctNodes) {
+  HashRing ring;
+  for (int i = 0; i < 5; ++i) ring.add_node("n" + std::to_string(i));
+  auto reps = ring.lookup_n("some-key", 3);
+  ASSERT_EQ(reps.size(), 3u);
+  std::set<std::string> uniq(reps.begin(), reps.end());
+  EXPECT_EQ(uniq.size(), 3u);
+}
+
+TEST(HashRingTest, EmptyRingFails) {
+  HashRing ring;
+  EXPECT_FALSE(ring.lookup("k").ok());
+  EXPECT_TRUE(ring.lookup_n("k", 2).empty());
+}
+
+TEST(HistogramTest, PercentilesApproximate) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 10'000; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 10'000u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 10'000u);
+  const uint64_t p50 = h.percentile(0.5);
+  EXPECT_NEAR(static_cast<double>(p50), 5000.0, 5000.0 * 0.10);
+  const uint64_t p99 = h.percentile(0.99);
+  EXPECT_NEAR(static_cast<double>(p99), 9900.0, 9900.0 * 0.10);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.record(10);
+  b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.99), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").value().is_null());
+  EXPECT_TRUE(Json::parse("true").value().as_bool());
+  EXPECT_FALSE(Json::parse("false").value().as_bool(true));
+  EXPECT_EQ(Json::parse("42").value().as_int(), 42);
+  EXPECT_DOUBLE_EQ(Json::parse("-2.5e2").value().as_number(), -250.0);
+  EXPECT_EQ(Json::parse("\"hi\\n\"").value().as_string(), "hi\n");
+}
+
+TEST(JsonTest, ParsesNested) {
+  auto r = Json::parse(R"({"a": [1, 2, {"b": "c"}], "d": {"e": true}})");
+  ASSERT_TRUE(r.ok());
+  const Json& j = r.value();
+  EXPECT_EQ(j.get("a").size(), 3u);
+  EXPECT_EQ(j.get("a").at(2).get("b").as_string(), "c");
+  EXPECT_TRUE(j.get("d").get("e").as_bool());
+  EXPECT_TRUE(j.get("missing").is_null());
+}
+
+TEST(JsonTest, ToleratesCommentsAndTrailingCommas) {
+  auto r = Json::parse("{\n // config\n \"x\": 1,\n}");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().get("x").as_int(), 1);
+}
+
+TEST(JsonTest, RejectsMalformed) {
+  EXPECT_FALSE(Json::parse("{").ok());
+  EXPECT_FALSE(Json::parse("[1,").ok());
+  EXPECT_FALSE(Json::parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Json::parse("12 34").ok());
+}
+
+TEST(JsonTest, RoundTrips) {
+  const std::string src =
+      R"({"consistency_model":"strong","num_replicas":2,"topology":"ms","zk":"192.168.0.173:2181"})";
+  auto j = Json::parse(src);
+  ASSERT_TRUE(j.ok());
+  auto again = Json::parse(j.value().dump());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().get("topology").as_string(), "ms");
+  EXPECT_EQ(again.value().get("num_replicas").as_int(), 2);
+  EXPECT_EQ(j.value().dump(), again.value().dump());
+}
+
+TEST(JsonTest, EscapesOnDump) {
+  Json j = Json::object();
+  j.set("k", Json::string("a\"b\\c\nd"));
+  auto back = Json::parse(j.dump());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().get("k").as_string(), "a\"b\\c\nd");
+}
+
+}  // namespace
+}  // namespace bespokv

@@ -1,0 +1,244 @@
+// Property tests for the consistency guarantees:
+//  * MS+SC (chain replication) and AA+SC (DLM) histories are linearizable.
+//  * MS+EC admits stale reads (and the checker detects them), but converges.
+//  * AA+EC resolves conflicting writes identically everywhere (shared-log
+//    order), property-checked over many seeds.
+#include <gtest/gtest.h>
+
+#include "tests/linearizability.h"
+#include "tests/sim_test_util.h"
+
+namespace bespokv {
+namespace {
+
+using testing::HistOp;
+using testing::linearizable;
+using testing::SimEnv;
+using testing::small_cluster;
+
+// ------------------------ checker self-tests --------------------------------
+
+TEST(Checker, AcceptsSequentialHistory) {
+  std::vector<HistOp> h = {
+      {true, "a", 0, 10},
+      {false, "a", 20, 30},
+      {true, "b", 40, 50},
+      {false, "b", 60, 70},
+  };
+  EXPECT_TRUE(linearizable(h));
+}
+
+TEST(Checker, AcceptsConcurrentOverlap) {
+  // Read overlaps the write; either order is legal depending on the value.
+  std::vector<HistOp> h = {
+      {true, "a", 0, 100},
+      {false, "", 10, 20},  // may linearize before the write
+  };
+  EXPECT_TRUE(linearizable(h, ""));
+  std::vector<HistOp> h2 = {
+      {true, "a", 0, 100},
+      {false, "a", 10, 20},  // or after it
+  };
+  EXPECT_TRUE(linearizable(h2, ""));
+}
+
+TEST(Checker, RejectsStaleReadAfterAckedWrite) {
+  // Write "b" fully completes, then a later read returns the old value.
+  std::vector<HistOp> h = {
+      {true, "a", 0, 10},
+      {true, "b", 20, 30},
+      {false, "a", 40, 50},
+  };
+  EXPECT_FALSE(linearizable(h));
+}
+
+TEST(Checker, RejectsValueFromNowhere) {
+  std::vector<HistOp> h = {
+      {true, "a", 0, 10},
+      {false, "z", 20, 30},
+  };
+  EXPECT_FALSE(linearizable(h));
+}
+
+// --------------------- history collection harness ---------------------------
+
+// Runs `writers` + `readers` concurrent clients against one key and collects
+// a timestamped history through the real client library.
+std::vector<HistOp> collect_history(SimEnv& env, int writers, int readers,
+                                    int ops_per_client,
+                                    ConsistencyLevel read_level,
+                                    uint64_t gap_us) {
+  struct Shared {
+    std::vector<HistOp> hist;
+    int outstanding = 0;
+  };
+  auto shared = std::make_shared<Shared>();
+  int client_id = 0;
+  auto spawn = [&](bool is_writer) {
+    const int id = client_id++;
+    SimNodeOpts copts;
+    copts.is_client = true;
+    const Addr addr = "hist/client" + std::to_string(id);
+    Runtime* rt = env.sim.add_node(addr,
+                                   std::make_shared<LambdaService>(
+                                       [](Runtime&, const Addr&, Message, Replier r) {
+                                         r(Message::reply(Code::kInvalid));
+                                       }),
+                                   copts);
+    auto kv = std::make_shared<KvClient>(
+        rt, ClientConfig{env.cluster.coordinator_addr()});
+    ++shared->outstanding;
+    env.sim.post_to(addr, [=, &env] {
+      kv->connect([=, &env](Status) {
+        auto remaining = std::make_shared<int>(ops_per_client);
+        auto step = std::make_shared<std::function<void()>>();
+        *step = [=, &env] {
+          if (--*remaining < 0) {
+            --shared->outstanding;
+            return;
+          }
+          const uint64_t inv = rt->now_us();
+          if (is_writer) {
+            const std::string val =
+                "w" + std::to_string(id) + "." + std::to_string(*remaining);
+            kv->put("the-key", val, [=, &env](Status s) {
+              if (s.ok()) {
+                shared->hist.push_back(HistOp{true, val, inv, rt->now_us()});
+              }
+              rt->set_timer(gap_us, *step);
+            });
+          } else {
+            kv->get("the-key",
+                    [=, &env](Result<std::string> r) {
+                      const std::string got = r.ok() ? r.value() : "";
+                      shared->hist.push_back(
+                          HistOp{false, got, inv, rt->now_us()});
+                      rt->set_timer(gap_us, *step);
+                    },
+                    "", read_level);
+          }
+        };
+        (*step)();
+      });
+    });
+  };
+  for (int i = 0; i < writers; ++i) spawn(true);
+  for (int i = 0; i < readers; ++i) spawn(false);
+  while (shared->outstanding > 0) env.sim.run_for(10'000);
+  return shared->hist;
+}
+
+TEST(LinearizabilityProperty, MsScChainHistoriesAreLinearizable) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    SimFabricOpts fopts;
+    fopts.seed = seed;
+    SimEnv env(small_cluster(Topology::kMasterSlave, Consistency::kStrong, 1),
+               fopts);
+    auto hist = collect_history(env, /*writers=*/2, /*readers=*/2,
+                                /*ops_per_client=*/4,
+                                ConsistencyLevel::kDefault, 1'000);
+    ASSERT_LE(hist.size(), 16u);
+    EXPECT_TRUE(linearizable(hist)) << "seed " << seed;
+  }
+}
+
+TEST(LinearizabilityProperty, AaScLockedHistoriesAreLinearizable) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    SimFabricOpts fopts;
+    fopts.seed = seed;
+    SimEnv env(small_cluster(Topology::kActiveActive, Consistency::kStrong, 1),
+               fopts);
+    auto hist = collect_history(env, 2, 2, 4, ConsistencyLevel::kDefault,
+                                1'000);
+    ASSERT_LE(hist.size(), 16u);
+    EXPECT_TRUE(linearizable(hist)) << "seed " << seed;
+  }
+}
+
+TEST(EventualConsistencyProperty, MsEcAdmitsStaleReadsButConverges) {
+  // Deterministic stale-read construction: write v1, let it propagate; write
+  // v2 (acked by master only), then immediately read from a slave replica.
+  SimEnv env(small_cluster(Topology::kMasterSlave, Consistency::kEventual, 1));
+  SyncKv kv = env.client();
+  ASSERT_TRUE(kv.put("the-key", "v1").ok());
+  env.settle(300'000);
+
+  std::vector<HistOp> hist;
+  const uint64_t inv1 = env.sim.now_us();
+  ASSERT_TRUE(kv.put("the-key", "v2").ok());
+  hist.push_back(HistOp{true, "v2", inv1, env.sim.now_us()});
+
+  // Read straight from a slave datalet before propagation flushes. The read
+  // is issued strictly after the write's response (sequential in this test),
+  // so its invocation timestamp must exceed the write's response timestamp.
+  const uint64_t inv2 = env.sim.now_us() + 1;
+  auto stale = env.cluster.datalet(0, 2)->get("the-key");
+  ASSERT_TRUE(stale.ok());
+  hist.push_back(HistOp{false, stale.value().value, inv2, inv2 + 1});
+
+  if (stale.value().value == "v1") {
+    // The stale read makes this history non-linearizable — as expected of EC
+    // (and the checker proves it).
+    hist.insert(hist.begin(), HistOp{true, "v1", 0, 1});
+    EXPECT_FALSE(linearizable(hist));
+  }
+  // Convergence: after quiescence everyone serves v2.
+  env.settle(300'000);
+  EXPECT_EQ(env.cluster.datalet(0, 2)->get("the-key").value().value, "v2");
+}
+
+TEST(AaEcProperty, ConcurrentConflictsConvergeIdenticallyAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    SimFabricOpts fopts;
+    fopts.seed = seed;
+    SimEnv env(small_cluster(Topology::kActiveActive, Consistency::kEventual, 1),
+               fopts);
+    // Three actives each write the same key concurrently, several rounds.
+    Runtime* rt = env.cluster.admin();
+    for (int round = 0; round < 5; ++round) {
+      env.sim.post_to(env.cluster.admin_addr(), [&, round, rt] {
+        for (int r = 0; r < 3; ++r) {
+          rt->call(env.cluster.controlet_addr(0, r),
+                   Message::put("conflict",
+                                "r" + std::to_string(round) + "w" +
+                                    std::to_string(r)),
+                   [](Status, Message) {});
+        }
+      });
+      env.settle(50'000);
+    }
+    env.settle(500'000);
+    auto v0 = env.cluster.datalet(0, 0)->get("conflict");
+    auto v1 = env.cluster.datalet(0, 1)->get("conflict");
+    auto v2 = env.cluster.datalet(0, 2)->get("conflict");
+    ASSERT_TRUE(v0.ok() && v1.ok() && v2.ok()) << "seed " << seed;
+    EXPECT_EQ(v0.value().value, v1.value().value) << "seed " << seed;
+    EXPECT_EQ(v1.value().value, v2.value().value) << "seed " << seed;
+    // The winner must be the highest shared-log sequence (global order).
+    EXPECT_EQ(v0.value().seq, v1.value().seq);
+    EXPECT_EQ(v1.value().seq, v2.value().seq);
+  }
+}
+
+TEST(ChainPrefixProperty, SlaveStateIsPrefixOfMasterUnderLoad) {
+  // Under MS+EC, a slave's applied writes must always be a subset of the
+  // master's (the master is the only writer and propagates in order).
+  SimEnv env(small_cluster(Topology::kMasterSlave, Consistency::kEventual, 1));
+  SyncKv kv = env.client();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(kv.put("k" + std::to_string(i), "v").ok());
+    if (i % 10 == 0) {
+      // Mid-stream: everything a slave has, the master has too.
+      size_t masters = env.cluster.datalet(0, 0)->size();
+      size_t slaves = env.cluster.datalet(0, 1)->size();
+      EXPECT_LE(slaves, masters);
+      env.cluster.datalet(0, 1)->for_each(
+          [&](std::string_view key, const Entry&) {
+            EXPECT_TRUE(env.cluster.datalet(0, 0)->get(key).ok());
+          });
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bespokv

@@ -1,0 +1,161 @@
+// Failover tests (§IV-A "Failover", §C, Appendix D): heartbeat-driven
+// failure detection, chain repair / leader election, standby recovery.
+#include <gtest/gtest.h>
+
+#include "tests/sim_test_util.h"
+
+namespace bespokv {
+namespace {
+
+using testing::SimEnv;
+using testing::small_cluster;
+
+ClusterOptions failover_cluster(Topology t, Consistency c) {
+  ClusterOptions o = small_cluster(t, c, /*shards=*/1, /*replicas=*/3);
+  o.num_standby = 1;
+  // Faster failure detection so tests stay snappy (paper uses 5s heartbeats).
+  o.coordinator.hb_period_us = 100'000;
+  o.coordinator.hb_miss_limit = 3;
+  o.controlet.hb_period_us = 50'000;
+  return o;
+}
+
+TEST(Failover, MsScHeadDeathPromotesAndServes) {
+  SimEnv env(failover_cluster(Topology::kMasterSlave, Consistency::kStrong));
+  SyncKv kv = env.client();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(kv.put("k" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  env.cluster.kill_controlet(0, 0);  // kill the head
+  env.settle(1'500'000);             // detection + repair + recovery
+
+  EXPECT_GE(env.cluster.coordinator_service()->failovers(), 1u);
+  // Data survives and new writes flow through the repaired chain.
+  for (int i = 0; i < 20; ++i) {
+    auto r = kv.get("k" + std::to_string(i));
+    ASSERT_TRUE(r.ok()) << i << " " << r.status().to_string();
+    EXPECT_EQ(r.value(), "v" + std::to_string(i));
+  }
+  ASSERT_TRUE(kv.put("after", "failover").ok());
+  EXPECT_EQ(kv.get("after").value(), "failover");
+}
+
+TEST(Failover, MsScTailDeathRedirectsReads) {
+  SimEnv env(failover_cluster(Topology::kMasterSlave, Consistency::kStrong));
+  SyncKv kv = env.client();
+  ASSERT_TRUE(kv.put("k", "v").ok());
+  env.cluster.kill_controlet(0, 2);  // kill the tail
+  env.settle(1'500'000);
+  // The 2nd-from-last node became the tail; reads route there after refresh.
+  auto r = kv.get("k");
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(r.value(), "v");
+  ASSERT_TRUE(kv.put("k2", "v2").ok());
+  EXPECT_EQ(kv.get("k2").value(), "v2");
+}
+
+TEST(Failover, MsScMidDeathChainSkipsIt) {
+  SimEnv env(failover_cluster(Topology::kMasterSlave, Consistency::kStrong));
+  SyncKv kv = env.client();
+  ASSERT_TRUE(kv.put("k", "v").ok());
+  env.cluster.kill_controlet(0, 1);  // kill the middle node
+  env.settle(1'500'000);
+  ASSERT_TRUE(kv.put("k2", "v2").ok());
+  EXPECT_EQ(kv.get("k2").value(), "v2");
+  EXPECT_EQ(kv.get("k").value(), "v");
+}
+
+TEST(Failover, StandbyJoinsAsNewTailWithFullData) {
+  SimEnv env(failover_cluster(Topology::kMasterSlave, Consistency::kStrong));
+  SyncKv kv = env.client();
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(kv.put("k" + std::to_string(i), "v").ok());
+  }
+  env.cluster.kill_controlet(0, 1);
+  env.settle(2'500'000);  // detection + snapshot recovery + join
+
+  // The shard is back to 3 replicas (standby joined as the new tail) and the
+  // recovered replica holds the full dataset.
+  const ShardMap& m = env.cluster.coordinator_service()->shard_map();
+  ASSERT_EQ(m.shards.size(), 1u);
+  EXPECT_EQ(m.shards[0].replicas.size(), 3u);
+  const Addr new_tail = m.shards[0].replicas.back().controlet;
+  EXPECT_NE(new_tail.find("standby"), std::string::npos);
+  // Chain writes flow through the recovered tail; strong reads come from it.
+  ASSERT_TRUE(kv.put("post-join", "yes").ok());
+  EXPECT_EQ(kv.get("post-join").value(), "yes");
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_TRUE(kv.get("k" + std::to_string(i)).ok()) << i;
+  }
+}
+
+TEST(Failover, MsEcMasterDeathElectsSlave) {
+  SimEnv env(failover_cluster(Topology::kMasterSlave, Consistency::kEventual));
+  SyncKv kv = env.client();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(kv.put("k" + std::to_string(i), "v").ok());
+  }
+  env.settle(300'000);  // let propagation reach the slaves
+  env.cluster.kill_controlet(0, 0);
+  env.settle(1'500'000);
+  // First slave was promoted (deterministic leader election).
+  const ShardMap& m = env.cluster.coordinator_service()->shard_map();
+  EXPECT_EQ(m.shards[0].replicas.front().controlet.find(".v"),
+            std::string::npos);
+  ASSERT_TRUE(kv.put("after", "v").ok());
+  env.settle(200'000);  // EC: let the new master's propagation reach slaves
+  EXPECT_EQ(kv.get("after").value(), "v");
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(kv.get("k" + std::to_string(i)).ok()) << i;
+  }
+}
+
+TEST(Failover, MsEcSlaveDeathBarelyDisturbsReads) {
+  SimEnv env(failover_cluster(Topology::kMasterSlave, Consistency::kEventual));
+  SyncKv kv = env.client();
+  ASSERT_TRUE(kv.put("k", "v").ok());
+  env.settle(300'000);
+  env.cluster.kill_controlet(0, 2);
+  env.settle(1'500'000);
+  for (int i = 0; i < 10; ++i) {
+    auto r = kv.get("k");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), "v");
+  }
+}
+
+TEST(Failover, AaEcNodeDeathKeepsServingBothPaths) {
+  SimEnv env(failover_cluster(Topology::kActiveActive, Consistency::kEventual));
+  SyncKv kv = env.client();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(kv.put("k" + std::to_string(i), "v").ok());
+  }
+  env.settle(300'000);
+  env.cluster.kill_controlet(0, 1);
+  env.settle(1'500'000);
+  ASSERT_TRUE(kv.put("after", "v").ok());
+  EXPECT_EQ(kv.get("after").value(), "v");
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(kv.get("k" + std::to_string(i)).ok()) << i;
+  }
+}
+
+TEST(Failover, AaScSurvivesNodeDeathViaLeaseExpiry) {
+  SimEnv env(failover_cluster(Topology::kActiveActive, Consistency::kStrong));
+  SyncKv kv = env.client();
+  ASSERT_TRUE(kv.put("k", "v").ok());
+  env.cluster.kill_controlet(0, 2);
+  env.settle(2'000'000);
+  ASSERT_TRUE(kv.put("k2", "v2").ok());
+  EXPECT_EQ(kv.get("k2").value(), "v2");
+  EXPECT_EQ(kv.get("k").value(), "v");
+}
+
+TEST(Failover, CoordinatorCountsOnlyRealFailures) {
+  SimEnv env(failover_cluster(Topology::kMasterSlave, Consistency::kEventual));
+  env.settle(2'000'000);  // plenty of heartbeat rounds, nobody dies
+  EXPECT_EQ(env.cluster.coordinator_service()->failovers(), 0u);
+}
+
+}  // namespace
+}  // namespace bespokv

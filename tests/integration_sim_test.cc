@@ -1,0 +1,293 @@
+// End-to-end tests: full bespoKV deployments (coordinator + DLM + shared log
+// + controlets + datalets + client library) on the deterministic DES fabric,
+// across all four topology/consistency combinations (§IV, §C).
+#include <gtest/gtest.h>
+
+#include "tests/sim_test_util.h"
+
+namespace bespokv {
+namespace {
+
+using testing::SimEnv;
+using testing::small_cluster;
+
+struct Combo {
+  Topology t;
+  Consistency c;
+  const char* name;
+};
+
+class ComboTest : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(ComboTest, PutGetDelAcrossShards) {
+  SimEnv env(small_cluster(GetParam().t, GetParam().c, /*shards=*/3));
+  SyncKv kv = env.client();
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(kv.put("key" + std::to_string(i), "val" + std::to_string(i)).ok())
+        << i;
+  }
+  env.settle();  // EC propagation
+  for (int i = 0; i < 60; ++i) {
+    auto r = kv.get("key" + std::to_string(i));
+    ASSERT_TRUE(r.ok()) << i << ": " << r.status().to_string();
+    EXPECT_EQ(r.value(), "val" + std::to_string(i));
+  }
+  ASSERT_TRUE(kv.del("key7").ok());
+  env.settle();
+  EXPECT_EQ(kv.get("key7").status().code(), Code::kNotFound);
+}
+
+TEST_P(ComboTest, OverwriteReturnsLatest) {
+  SimEnv env(small_cluster(GetParam().t, GetParam().c));
+  SyncKv kv = env.client();
+  ASSERT_TRUE(kv.put("k", "v1").ok());
+  ASSERT_TRUE(kv.put("k", "v2").ok());
+  env.settle();
+  // After quiescence every replica must serve the latest value, so even an
+  // eventually-consistent read observes it.
+  for (int i = 0; i < 6; ++i) {
+    auto r = kv.get("k");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), "v2");
+  }
+}
+
+TEST_P(ComboTest, MissingKeyIsNotFound) {
+  SimEnv env(small_cluster(GetParam().t, GetParam().c));
+  SyncKv kv = env.client();
+  EXPECT_EQ(kv.get("nope").status().code(), Code::kNotFound);
+  EXPECT_EQ(kv.del("nope").code(), Code::kNotFound);
+}
+
+TEST_P(ComboTest, ReplicasConvergeAfterQuiescence) {
+  SimEnv env(small_cluster(GetParam().t, GetParam().c, /*shards=*/2));
+  SyncKv kv = env.client();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(kv.put("ck" + std::to_string(i), "cv" + std::to_string(i)).ok());
+  }
+  env.settle(500'000);
+  // Eventual convergence property: every replica datalet of a shard holds an
+  // identical key->value mapping.
+  for (int s = 0; s < 2; ++s) {
+    std::map<std::string, std::string> reference;
+    env.cluster.datalet(s, 0)->for_each(
+        [&](std::string_view k, const Entry& e) {
+          reference.emplace(std::string(k), e.value);
+        });
+    for (int r = 1; r < 3; ++r) {
+      std::map<std::string, std::string> replica;
+      env.cluster.datalet(s, r)->for_each(
+          [&](std::string_view k, const Entry& e) {
+            replica.emplace(std::string(k), e.value);
+          });
+      EXPECT_EQ(replica, reference) << "shard " << s << " replica " << r;
+    }
+  }
+}
+
+TEST_P(ComboTest, TablesAreIsolated) {
+  SimEnv env(small_cluster(GetParam().t, GetParam().c));
+  SyncKv kv = env.client();
+  ASSERT_TRUE(kv.put("k", "tab1-val", "t1").ok());
+  ASSERT_TRUE(kv.put("k", "tab2-val", "t2").ok());
+  env.settle();
+  EXPECT_EQ(kv.get("k", "t1").value(), "tab1-val");
+  EXPECT_EQ(kv.get("k", "t2").value(), "tab2-val");
+  EXPECT_EQ(kv.get("k").status().code(), Code::kNotFound);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, ComboTest,
+    ::testing::Values(
+        Combo{Topology::kMasterSlave, Consistency::kStrong, "MS_SC"},
+        Combo{Topology::kMasterSlave, Consistency::kEventual, "MS_EC"},
+        Combo{Topology::kActiveActive, Consistency::kStrong, "AA_SC"},
+        Combo{Topology::kActiveActive, Consistency::kEventual, "AA_EC"}),
+    [](const auto& info) { return info.param.name; });
+
+// ----------------------- combo-specific semantics ---------------------------
+
+TEST(MsScSemantics, WriteIsOnAllReplicasBeforeAck) {
+  SimEnv env(small_cluster(Topology::kMasterSlave, Consistency::kStrong, 1));
+  SyncKv kv = env.client();
+  ASSERT_TRUE(kv.put("k", "v").ok());
+  // Chain replication: the ack implies head, mid and tail all committed.
+  for (int r = 0; r < 3; ++r) {
+    auto e = env.cluster.datalet(0, r)->get("k");
+    ASSERT_TRUE(e.ok()) << "replica " << r;
+    EXPECT_EQ(e.value().value, "v");
+  }
+}
+
+TEST(MsScSemantics, NonTailRejectsStrongReadsHonorsEventual) {
+  SimEnv env(small_cluster(Topology::kMasterSlave, Consistency::kStrong, 1));
+  SyncKv kv = env.client();
+  ASSERT_TRUE(kv.put("k", "v").ok());
+  // Direct strong read at the head must be refused (clients go to the tail).
+  Message strong_get = Message::get("k");
+  auto rep = env.call(env.cluster.controlet_addr(0, 0), strong_get);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep.value().code, Code::kNotLeader);
+  // Per-request eventual read at the head is served (§IV-C).
+  Message ec_get = Message::get("k");
+  ec_get.consistency = ConsistencyLevel::kEventual;
+  rep = env.call(env.cluster.controlet_addr(0, 0), ec_get);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep.value().code, Code::kOk);
+  EXPECT_EQ(rep.value().value, "v");
+}
+
+TEST(MsEcSemantics, SlavesRejectWritesMasterAcksBeforePropagation) {
+  SimEnv env(small_cluster(Topology::kMasterSlave, Consistency::kEventual, 1));
+  SyncKv kv = env.client();
+  // Writes to a slave bounce with kNotLeader.
+  auto rep = env.call(env.cluster.controlet_addr(0, 1), Message::put("k", "v"));
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep.value().code, Code::kNotLeader);
+  // A master write is ack'd possibly before slaves see it; master has it.
+  ASSERT_TRUE(kv.put("k", "v").ok());
+  EXPECT_TRUE(env.cluster.datalet(0, 0)->get("k").ok());
+  env.settle();
+  EXPECT_TRUE(env.cluster.datalet(0, 1)->get("k").ok());
+  EXPECT_TRUE(env.cluster.datalet(0, 2)->get("k").ok());
+}
+
+TEST(AaEcSemantics, ConflictingWritesConvergeIdentically) {
+  SimEnv env(small_cluster(Topology::kActiveActive, Consistency::kEventual, 1));
+  // Two writes to the same key sent to *different* actives nearly
+  // concurrently; the shared log orders them, so all replicas converge to
+  // the same winner (§C.C).
+  auto d1 = std::make_shared<bool>(false);
+  auto d2 = std::make_shared<bool>(false);
+  Runtime* rt = env.cluster.admin();
+  rt->post([&, rt] {
+    rt->call(env.cluster.controlet_addr(0, 0), Message::put("k", "from-a0"),
+             [d1](Status, Message) { *d1 = true; });
+    rt->call(env.cluster.controlet_addr(0, 1), Message::put("k", "from-a1"),
+             [d2](Status, Message) { *d2 = true; });
+  });
+  env.settle(500'000);
+  ASSERT_TRUE(*d1 && *d2);
+  auto v0 = env.cluster.datalet(0, 0)->get("k");
+  auto v1 = env.cluster.datalet(0, 1)->get("k");
+  auto v2 = env.cluster.datalet(0, 2)->get("k");
+  ASSERT_TRUE(v0.ok() && v1.ok() && v2.ok());
+  EXPECT_EQ(v0.value().value, v1.value().value);
+  EXPECT_EQ(v1.value().value, v2.value().value);
+  EXPECT_EQ(v0.value().seq, v1.value().seq);
+}
+
+TEST(AaScSemantics, AnyReplicaTakesWritesAllCommittedOnAck) {
+  SimEnv env(small_cluster(Topology::kActiveActive, Consistency::kStrong, 1));
+  // Write through each active in turn; on ack, every replica must hold it.
+  for (int r = 0; r < 3; ++r) {
+    const std::string key = "k" + std::to_string(r);
+    auto rep = env.call(env.cluster.controlet_addr(0, r),
+                        Message::put(key, "v"));
+    ASSERT_TRUE(rep.ok());
+    ASSERT_EQ(rep.value().code, Code::kOk);
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_TRUE(env.cluster.datalet(0, j)->get(key).ok())
+          << "writer " << r << " replica " << j;
+    }
+  }
+}
+
+// ------------------------------ range query ---------------------------------
+
+TEST(RangeQuery, RangePartitionedScanAcrossShards) {
+  ClusterOptions o = small_cluster(Topology::kMasterSlave,
+                                   Consistency::kEventual, /*shards=*/3);
+  o.datalet_kind = "tMT";
+  o.partitioner = "range";
+  o.range_splits = {"k300", "k600"};  // shard0 [ ,k300) shard1 [k300,k600) ...
+  SimEnv env(std::move(o));
+  SyncKv kv = env.client();
+  for (int i = 0; i < 900; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "k%03d", i);
+    ASSERT_TRUE(kv.put(buf, "v" + std::to_string(i)).ok());
+  }
+  env.settle();
+  // Scan spanning all three shards' ranges.
+  auto r = kv.scan("k250", "k650", 0);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  ASSERT_EQ(r.value().size(), 400u);
+  EXPECT_EQ(r.value().front().key, "k250");
+  EXPECT_EQ(r.value().back().key, "k649");
+  for (size_t i = 1; i < r.value().size(); ++i) {
+    EXPECT_LT(r.value()[i - 1].key, r.value()[i].key);
+  }
+  // Limited scan.
+  auto lim = kv.scan("k000", "", 10);
+  ASSERT_TRUE(lim.ok());
+  EXPECT_EQ(lim.value().size(), 10u);
+}
+
+TEST(RangeQuery, HashPartitionedScanBroadcastsAndMerges) {
+  ClusterOptions o = small_cluster(Topology::kMasterSlave,
+                                   Consistency::kEventual, /*shards=*/2);
+  o.datalet_kind = "tMT";
+  SimEnv env(std::move(o));
+  SyncKv kv = env.client();
+  for (int i = 0; i < 100; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "k%03d", i);
+    ASSERT_TRUE(kv.put(buf, "v").ok());
+  }
+  env.settle();
+  auto r = kv.scan("k010", "k020", 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 10u);
+}
+
+// --------------------------- polyglot persistence ----------------------------
+
+TEST(Polyglot, MixedEnginesPerReplicaConverge) {
+  ClusterOptions o = small_cluster(Topology::kMasterSlave,
+                                   Consistency::kEventual, 1);
+  o.replica_datalet_kinds = {"tLSM", "tMT", "tLog"};  // §VI-A layout
+  SimEnv env(std::move(o));
+  SyncKv kv = env.client();
+  EXPECT_STREQ(env.cluster.datalet(0, 0)->kind(), "tLSM");
+  EXPECT_STREQ(env.cluster.datalet(0, 1)->kind(), "tMT");
+  EXPECT_STREQ(env.cluster.datalet(0, 2)->kind(), "tLog");
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(kv.put("k" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  env.settle(500'000);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(env.cluster.datalet(0, r)->size(), 50u) << "replica " << r;
+  }
+  // The tMT replica can serve the analytics-style range scan (§VI-A) while
+  // the same data lives in LSM and log replicas.
+  auto scan = env.cluster.datalet(0, 1)->scan("", "", 0);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan.value().size(), 50u);
+}
+
+// ---------------------------- per-request mix --------------------------------
+
+TEST(PerRequestConsistency, EventualGetServedByAnyReplicaUnderMsSc) {
+  SimEnv env(small_cluster(Topology::kMasterSlave, Consistency::kStrong, 1));
+  SyncKv kv = env.client();
+  ASSERT_TRUE(kv.put("k", "v").ok());
+  // All three replicas answer per-request-eventual reads.
+  for (int r = 0; r < 3; ++r) {
+    Message g = Message::get("k");
+    g.consistency = ConsistencyLevel::kEventual;
+    auto rep = env.call(env.cluster.controlet_addr(0, r), g);
+    ASSERT_TRUE(rep.ok());
+    EXPECT_EQ(rep.value().code, Code::kOk) << r;
+  }
+  // Through the client library: eventual reads spread across replicas but
+  // always return the committed value after quiescence.
+  for (int i = 0; i < 9; ++i) {
+    auto r = kv.get("k", "", ConsistencyLevel::kEventual);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), "v");
+  }
+}
+
+}  // namespace
+}  // namespace bespokv

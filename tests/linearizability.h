@@ -1,0 +1,65 @@
+// A Wing & Gong style linearizability checker for single-register histories,
+// used by the property tests to validate the SC configurations (MS+SC chain
+// replication, AA+SC locking) and to demonstrate that EC configurations
+// admit non-linearizable histories.
+//
+// Each operation carries real (virtual) invocation/response timestamps. The
+// checker searches for a total order that (a) respects real-time precedence
+// and (b) is legal for a read/write register. DFS with memoization on
+// (taken-set, last-write) keeps small histories (<= ~20 ops) fast.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace bespokv::testing {
+
+struct HistOp {
+  bool is_write = false;
+  std::string value;   // written value, or value observed by the read
+  uint64_t inv = 0;    // invocation timestamp
+  uint64_t res = 0;    // response timestamp
+};
+
+inline bool linearizable(const std::vector<HistOp>& ops,
+                         const std::string& initial = "") {
+  const size_t n = ops.size();
+  if (n == 0) return true;
+  if (n > 24) return false;  // guard: histories this large need a better tool
+
+  std::set<std::pair<uint32_t, int>> visited;  // (taken mask, last write idx)
+
+  // Recursive lambda via explicit stack-free DFS.
+  std::function<bool(uint32_t, int)> dfs = [&](uint32_t taken,
+                                               int last_write) -> bool {
+    if (taken == (1u << n) - 1) return true;
+    if (!visited.insert({taken, last_write}).second) return false;
+
+    // Real-time constraint: the next linearized op must be invoked before
+    // every untaken op has responded (i.e. it cannot jump over an op that
+    // strictly precedes it in real time).
+    uint64_t min_res = UINT64_MAX;
+    for (size_t i = 0; i < n; ++i) {
+      if (!(taken & (1u << i))) min_res = std::min(min_res, ops[i].res);
+    }
+    const std::string& state =
+        last_write < 0 ? initial : ops[static_cast<size_t>(last_write)].value;
+    for (size_t i = 0; i < n; ++i) {
+      if (taken & (1u << i)) continue;
+      if (ops[i].inv > min_res) continue;  // would violate real-time order
+      if (ops[i].is_write) {
+        if (dfs(taken | (1u << i), static_cast<int>(i))) return true;
+      } else {
+        if (ops[i].value != state) continue;  // illegal read in this order
+        if (dfs(taken | (1u << i), last_write)) return true;
+      }
+    }
+    return false;
+  };
+  return dfs(0, -1);
+}
+
+}  // namespace bespokv::testing

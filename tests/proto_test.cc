@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/net/envelope.h"
+#include "src/proto/codec.h"
+#include "src/proto/message.h"
+#include "src/proto/text_protocol.h"
+
+namespace bespokv {
+namespace {
+
+Message sample_message() {
+  Message m = Message::put("key1", "value1", "tbl");
+  m.seq = 12345;
+  m.epoch = 7;
+  m.shard = 3;
+  m.limit = 100;
+  m.flags = kFlagRecovery | kFlagDelete;
+  m.consistency = ConsistencyLevel::kStrong;
+  m.kvs.push_back(KV{"a", "b", 1});
+  m.kvs.push_back(KV{"c", std::string(1000, 'z'), 2});
+  m.strs = {"P", "D"};
+  return m;
+}
+
+TEST(CodecTest, RoundTripsAllFields) {
+  const Message m = sample_message();
+  std::string buf;
+  encode_message(m, &buf);
+  auto back = decode_message(buf);
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(back.value(), m);
+}
+
+TEST(CodecTest, RoundTripsEmptyMessage) {
+  Message m;
+  std::string buf;
+  encode_message(m, &buf);
+  auto back = decode_message(buf);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), m);
+}
+
+TEST(CodecTest, DetectsCorruption) {
+  std::string buf;
+  encode_message(sample_message(), &buf);
+  for (size_t pos : {size_t{0}, buf.size() / 2, buf.size() - 1}) {
+    std::string bad = buf;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x40);
+    auto r = decode_message(bad);
+    EXPECT_FALSE(r.ok()) << "flip at " << pos;
+  }
+}
+
+TEST(CodecTest, DetectsTruncation) {
+  std::string buf;
+  encode_message(sample_message(), &buf);
+  for (size_t len = 0; len < buf.size(); len += 7) {
+    auto r = decode_message(std::string_view(buf).substr(0, len));
+    EXPECT_FALSE(r.ok()) << "truncated to " << len;
+  }
+}
+
+TEST(CodecTest, FuzzedInputNeverCrashes) {
+  Rng rng(99);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string junk(rng.next_u64(200), '\0');
+    for (auto& c : junk) c = static_cast<char>(rng.next());
+    (void)decode_message(junk);  // must not crash or UB; result irrelevant
+  }
+}
+
+TEST(CodecTest, VarintBoundaries) {
+  for (uint64_t v : std::initializer_list<uint64_t>{
+           0, 1, 127, 128, 16383, 16384, UINT64_MAX - 1, UINT64_MAX}) {
+    std::string buf;
+    Encoder e(&buf);
+    e.put_varint(v);
+    Decoder d(buf);
+    auto back = d.varint();
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), v);
+    EXPECT_TRUE(d.exhausted());
+  }
+}
+
+TEST(EnvelopeTest, RoundTrips) {
+  Envelope env;
+  env.rpc_id = 987654321;
+  env.kind = EnvelopeKind::kResponse;
+  env.from = "10.0.0.1:7777";
+  env.msg = sample_message();
+  std::string buf;
+  encode_envelope(env, &buf);
+
+  Envelope back;
+  size_t consumed = 0;
+  ASSERT_TRUE(decode_envelope(buf, &back, &consumed).ok());
+  EXPECT_EQ(consumed, buf.size());
+  EXPECT_EQ(back.rpc_id, env.rpc_id);
+  EXPECT_EQ(back.kind, env.kind);
+  EXPECT_EQ(back.from, env.from);
+  EXPECT_EQ(back.msg, env.msg);
+}
+
+TEST(EnvelopeTest, PartialFrameNeedsMoreBytes) {
+  Envelope env;
+  env.msg = Message::get("k");
+  std::string buf;
+  encode_envelope(env, &buf);
+  for (size_t len = 0; len < buf.size(); ++len) {
+    Envelope out;
+    size_t consumed = 1;
+    Status s = decode_envelope(std::string_view(buf).substr(0, len), &out,
+                               &consumed);
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(consumed, 0u) << "len " << len;
+  }
+}
+
+TEST(EnvelopeTest, TwoFramesBackToBack) {
+  Envelope a, b;
+  a.rpc_id = 1;
+  a.msg = Message::get("ka");
+  b.rpc_id = 2;
+  b.msg = Message::put("kb", "v");
+  std::string buf;
+  encode_envelope(a, &buf);
+  encode_envelope(b, &buf);
+
+  Envelope out;
+  size_t used = 0;
+  ASSERT_TRUE(decode_envelope(buf, &out, &used).ok());
+  EXPECT_EQ(out.rpc_id, 1u);
+  std::string rest = buf.substr(used);
+  ASSERT_TRUE(decode_envelope(rest, &out, &used).ok());
+  EXPECT_EQ(out.rpc_id, 2u);
+  EXPECT_EQ(used, rest.size());
+}
+
+TEST(EnvelopeTest, RejectsOversizedFrame) {
+  std::string buf = std::string("\xff\xff\xff\x7f", 4) + "xxxx";
+  Envelope out;
+  size_t used;
+  EXPECT_FALSE(decode_envelope(buf, &out, &used).ok());
+}
+
+// --------------------------- text protocols ---------------------------------
+
+TEST(RespTest, ParsesSetGetDel) {
+  RespParser p;
+  auto r = p.parse_request("*3\r\n$3\r\nSET\r\n$2\r\nk1\r\n$2\r\nv1\r\n");
+  ASSERT_TRUE(r.status.ok());
+  ASSERT_TRUE(r.has_message);
+  EXPECT_EQ(r.message.op, Op::kPut);
+  EXPECT_EQ(r.message.key, "k1");
+  EXPECT_EQ(r.message.value, "v1");
+
+  r = p.parse_request("*2\r\n$3\r\nGET\r\n$2\r\nk1\r\n");
+  ASSERT_TRUE(r.has_message);
+  EXPECT_EQ(r.message.op, Op::kGet);
+
+  r = p.parse_request("*2\r\n$3\r\nDEL\r\n$2\r\nk1\r\n");
+  ASSERT_TRUE(r.has_message);
+  EXPECT_EQ(r.message.op, Op::kDel);
+}
+
+TEST(RespTest, IncompleteRequestWaits) {
+  RespParser p;
+  auto r = p.parse_request("*3\r\n$3\r\nSET\r\n$2\r\nk1");
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_FALSE(r.has_message);
+  EXPECT_EQ(r.consumed, 0u);
+}
+
+TEST(RespTest, MalformedRequestErrors) {
+  RespParser p;
+  EXPECT_FALSE(p.parse_request("GARBAGE\r\n").status.ok());
+  EXPECT_FALSE(p.parse_request("*1\r\n$3\r\nWAT\r\n").status.ok());
+}
+
+TEST(RespTest, RequestReplyRoundTrip) {
+  RespParser p;
+  const std::string wire = p.format_request(Message::put("key", "val"));
+  auto req = p.parse_request(wire);
+  ASSERT_TRUE(req.has_message);
+  EXPECT_EQ(req.message.op, Op::kPut);
+  EXPECT_EQ(req.message.key, "key");
+  EXPECT_EQ(req.consumed, wire.size());
+
+  Message rep = Message::reply(Code::kOk, "val");
+  const std::string rep_wire = p.format_reply(rep);
+  auto back = p.parse_reply(rep_wire);
+  ASSERT_TRUE(back.has_message);
+  EXPECT_EQ(back.message.value, "val");
+}
+
+TEST(RespTest, NotFoundMapsToNullBulk) {
+  RespParser p;
+  const std::string wire = p.format_reply(Message::reply(Code::kNotFound));
+  EXPECT_EQ(wire, "$-1\r\n");
+  auto back = p.parse_reply(wire);
+  ASSERT_TRUE(back.has_message);
+  EXPECT_EQ(back.message.code, Code::kNotFound);
+}
+
+TEST(RespTest, ScanReplyIsFlatArray) {
+  RespParser p;
+  Message rep = Message::reply(Code::kOk);
+  rep.kvs = {KV{"a", "1", 0}, KV{"b", "2", 0}};
+  auto back = p.parse_reply(p.format_reply(rep));
+  ASSERT_TRUE(back.has_message);
+  ASSERT_EQ(back.message.kvs.size(), 2u);
+  EXPECT_EQ(back.message.kvs[1].key, "b");
+  EXPECT_EQ(back.message.kvs[1].value, "2");
+}
+
+TEST(SsdbTest, RequestRoundTrip) {
+  SsdbParser p;
+  const std::string wire = p.format_request(Message::put("key", "value"));
+  auto req = p.parse_request(wire);
+  ASSERT_TRUE(req.status.ok()) << req.status.to_string();
+  ASSERT_TRUE(req.has_message);
+  EXPECT_EQ(req.message.op, Op::kPut);
+  EXPECT_EQ(req.message.key, "key");
+  EXPECT_EQ(req.message.value, "value");
+  EXPECT_EQ(req.consumed, wire.size());
+}
+
+TEST(SsdbTest, ReplyRoundTrip) {
+  SsdbParser p;
+  Message rep = Message::reply(Code::kOk, "hello");
+  auto back = p.parse_reply(p.format_reply(rep));
+  ASSERT_TRUE(back.has_message);
+  EXPECT_EQ(back.message.value, "hello");
+
+  auto nf = p.parse_reply(p.format_reply(Message::reply(Code::kNotFound)));
+  ASSERT_TRUE(nf.has_message);
+  EXPECT_EQ(nf.message.code, Code::kNotFound);
+}
+
+TEST(SsdbTest, ScanRoundTrip) {
+  SsdbParser p;
+  const std::string wire = p.format_request(Message::scan("a", "z", 10));
+  auto req = p.parse_request(wire);
+  ASSERT_TRUE(req.has_message);
+  EXPECT_EQ(req.message.op, Op::kScan);
+  EXPECT_EQ(req.message.limit, 10u);
+
+  Message rep = Message::reply(Code::kOk);
+  rep.kvs = {KV{"a", "1", 0}, KV{"b", "2", 0}};
+  auto back = p.parse_reply(p.format_reply(rep));
+  ASSERT_TRUE(back.has_message);
+  ASSERT_EQ(back.message.kvs.size(), 2u);
+}
+
+TEST(SsdbTest, IncompleteBlockWaits) {
+  SsdbParser p;
+  auto r = p.parse_request("3\nset\n3\nkey\n");  // missing value + terminator
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_FALSE(r.has_message);
+}
+
+TEST(ParserFactoryTest, KnownNames) {
+  EXPECT_NE(make_parser("resp"), nullptr);
+  EXPECT_NE(make_parser("redis"), nullptr);
+  EXPECT_NE(make_parser("ssdb"), nullptr);
+  EXPECT_EQ(make_parser("nope"), nullptr);
+}
+
+TEST(TextProtocolFuzz, NeverCrashes) {
+  Rng rng(1234);
+  RespParser resp;
+  SsdbParser ssdb;
+  for (int i = 0; i < 2000; ++i) {
+    std::string junk(rng.next_u64(64), '\0');
+    for (auto& c : junk) c = static_cast<char>(rng.next() % 128);
+    (void)resp.parse_request(junk);
+    (void)resp.parse_reply(junk);
+    (void)ssdb.parse_request(junk);
+    (void)ssdb.parse_reply(junk);
+  }
+}
+
+}  // namespace
+}  // namespace bespokv

@@ -1,0 +1,67 @@
+// Test harness around SimFabric + Cluster: a deterministic cluster-in-a-box
+// with synchronous-looking client calls (each call steps virtual time until
+// the reply arrives).
+#pragma once
+
+#include <memory>
+
+#include "src/client/client.h"
+#include "src/cluster/cluster.h"
+#include "src/net/sim_fabric.h"
+
+namespace bespokv::testing {
+
+class SimEnv {
+ public:
+  explicit SimEnv(ClusterOptions opts, SimFabricOpts fopts = {})
+      : sim(fopts), cluster(sim, std::move(opts)) {
+    cluster.start();
+    // Let controlets fetch their initial shard maps and settle.
+    sim.run_for(200'000);
+  }
+
+  // Issues an RPC from the admin node and advances virtual time until the
+  // reply (or timeout) arrives.
+  Result<Message> call(const Addr& dst, Message req,
+                       uint64_t timeout_us = 2'000'000) {
+    auto done = std::make_shared<bool>(false);
+    auto result = std::make_shared<Result<Message>>(Status::Internal("pending"));
+    Runtime* rt = cluster.admin();
+    rt->post([&, rt] {
+      rt->call(dst, std::move(req),
+               [done, result](Status s, Message rep) {
+                 *result = s.ok() ? Result<Message>(std::move(rep))
+                                  : Result<Message>(s);
+                 *done = true;
+               },
+               timeout_us);
+    });
+    while (!*done && !sim.idle()) sim.run_for(1'000);
+    return *result;
+  }
+
+  // Full client-library semantics (routing, map refresh, retries) driven
+  // synchronously through the simulator.
+  SyncKv client() {
+    return SyncKv(
+        [this](const Addr& dst, Message req) { return call(dst, std::move(req)); },
+        cluster.coordinator_addr());
+  }
+
+  void settle(uint64_t us = 100'000) { sim.run_for(us); }
+
+  SimFabric sim;
+  Cluster cluster;
+};
+
+inline ClusterOptions small_cluster(Topology t, Consistency c,
+                                    int shards = 2, int replicas = 3) {
+  ClusterOptions o;
+  o.topology = t;
+  o.consistency = c;
+  o.num_shards = shards;
+  o.num_replicas = replicas;
+  return o;
+}
+
+}  // namespace bespokv::testing

@@ -1,0 +1,171 @@
+// End-to-end wire-protocol tests: a raw TCP client speaks RESP / SSDB to a
+// TextProtocolServer fronting real engines — the "port an existing
+// single-server store" path (§III-A option 2) over genuine sockets.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/datalet/text_server.h"
+
+namespace bespokv {
+namespace {
+
+class RawClient {
+ public:
+  explicit RawClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    sa.sin_port = htons(static_cast<uint16_t>(port));
+    connected_ =
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) == 0;
+  }
+  ~RawClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool ok() const { return connected_; }
+
+  void send(std::string_view data) {
+    ASSERT_EQ(::write(fd_, data.data(), data.size()),
+              static_cast<ssize_t>(data.size()));
+  }
+
+  // Reads until `stop` returns true on the accumulated buffer.
+  std::string read_until(const std::function<bool(const std::string&)>& stop) {
+    std::string buf;
+    char chunk[4096];
+    while (!stop(buf)) {
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) break;
+      buf.append(chunk, static_cast<size_t>(n));
+    }
+    return buf;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+TEST(TextServerTest, RespSetGetDelOverRealSocket) {
+  TextProtocolServer server(make_datalet("tRedis", {}), "resp");
+  auto port = server.start();
+  ASSERT_TRUE(port.ok()) << port.status().to_string();
+
+  RawClient c(port.value());
+  ASSERT_TRUE(c.ok());
+
+  c.send("*3\r\n$3\r\nSET\r\n$5\r\nhello\r\n$5\r\nworld\r\n");
+  EXPECT_EQ(c.read_until([](const std::string& b) { return b.size() >= 5; }),
+            "+OK\r\n");
+
+  c.send("*2\r\n$3\r\nGET\r\n$5\r\nhello\r\n");
+  EXPECT_EQ(c.read_until([](const std::string& b) {
+              return b.find("world\r\n") != std::string::npos;
+            }),
+            "$5\r\nworld\r\n");
+
+  c.send("*2\r\n$3\r\nDEL\r\n$5\r\nhello\r\n");
+  EXPECT_EQ(c.read_until([](const std::string& b) { return b.size() >= 5; }),
+            "+OK\r\n");
+
+  c.send("*2\r\n$3\r\nGET\r\n$5\r\nhello\r\n");
+  EXPECT_EQ(c.read_until([](const std::string& b) { return b.size() >= 5; }),
+            "$-1\r\n");
+
+  EXPECT_EQ(server.requests_served(), 4u);
+}
+
+TEST(TextServerTest, RespPipelinedAndFragmentedRequests) {
+  TextProtocolServer server(make_datalet("tRedis", {}), "resp");
+  auto port = server.start();
+  ASSERT_TRUE(port.ok());
+  RawClient c(port.value());
+  ASSERT_TRUE(c.ok());
+
+  // Two pipelined SETs in a single write, then a GET split across writes.
+  c.send("*3\r\n$3\r\nSET\r\n$1\r\na\r\n$1\r\n1\r\n"
+         "*3\r\n$3\r\nSET\r\n$1\r\nb\r\n$1\r\n2\r\n");
+  EXPECT_EQ(c.read_until([](const std::string& b) { return b.size() >= 10; }),
+            "+OK\r\n+OK\r\n");
+
+  c.send("*2\r\n$3\r\nGE");
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  c.send("T\r\n$1\r\nb\r\n");
+  EXPECT_EQ(c.read_until([](const std::string& b) {
+              return b.find("\r\n2\r\n") != std::string::npos;
+            }),
+            "$1\r\n2\r\n");
+}
+
+TEST(TextServerTest, SsdbProtocolAgainstOrderedEngine) {
+  // The SSDB port runs against tMT so SCAN works over the wire.
+  TextProtocolServer server(make_datalet("tMT", {}), "ssdb");
+  auto port = server.start();
+  ASSERT_TRUE(port.ok());
+  RawClient c(port.value());
+  ASSERT_TRUE(c.ok());
+
+  SsdbParser p;
+  for (int i = 0; i < 5; ++i) {
+    Message put = Message::put("key" + std::to_string(i), "v" + std::to_string(i));
+    c.send(p.format_request(put));
+    auto rep = c.read_until([&p](const std::string& b) {
+      return p.parse_reply(b).has_message;
+    });
+    auto parsed = p.parse_reply(rep);
+    ASSERT_TRUE(parsed.has_message);
+    EXPECT_EQ(parsed.message.code, Code::kOk) << i;
+  }
+
+  c.send(p.format_request(Message::scan("key1", "key4", 0)));
+  auto rep = c.read_until([&p](const std::string& b) {
+    auto r = p.parse_reply(b);
+    return r.has_message && r.message.kvs.size() >= 3;
+  });
+  auto parsed = p.parse_reply(rep);
+  ASSERT_TRUE(parsed.has_message);
+  ASSERT_EQ(parsed.message.kvs.size(), 3u);
+  EXPECT_EQ(parsed.message.kvs[0].key, "key1");
+  EXPECT_EQ(parsed.message.kvs[2].value, "v3");
+}
+
+TEST(TextServerTest, ManyConcurrentConnections) {
+  TextProtocolServer server(make_datalet("tRedis", {}), "resp");
+  auto port = server.start();
+  ASSERT_TRUE(port.ok());
+
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&, w] {
+      RawClient c(port.value());
+      if (!c.ok()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < 50; ++i) {
+        const std::string key = "w" + std::to_string(w) + "k" + std::to_string(i);
+        std::string cmd = "*3\r\n$3\r\nSET\r\n$" + std::to_string(key.size()) +
+                          "\r\n" + key + "\r\n$1\r\nv\r\n";
+        c.send(cmd);
+        const std::string rep =
+            c.read_until([](const std::string& b) { return b.size() >= 5; });
+        if (rep != "+OK\r\n") ++failures;
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.requests_served(), 200u);
+}
+
+}  // namespace
+}  // namespace bespokv

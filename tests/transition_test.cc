@@ -1,0 +1,257 @@
+// Live topology/consistency transition tests (§V): old and new controlets
+// share the datalets; writes forward through the old controlets while they
+// drain; the coordinator swaps the map when every old controlet reports
+// done; clients follow via map refresh. No downtime, no data migration.
+#include <gtest/gtest.h>
+
+#include "tests/sim_test_util.h"
+
+namespace bespokv {
+namespace {
+
+using testing::SimEnv;
+using testing::small_cluster;
+
+ClusterOptions transition_cluster(Topology t, Consistency c) {
+  ClusterOptions o = small_cluster(t, c, /*shards=*/2, /*replicas=*/3);
+  o.coordinator.hb_period_us = 200'000;
+  o.controlet.hb_period_us = 100'000;
+  return o;
+}
+
+// Starts a transition and blocks (in virtual time) until the coordinator has
+// accepted it — start_transition is asynchronous, so polling
+// transition_active() before acceptance would race.
+void start_transition_sync(SimEnv& env, Topology t, Consistency c) {
+  Status accepted = Status::Internal("pending");
+  env.cluster.start_transition(t, c, [&](Status s) { accepted = s; });
+  const uint64_t deadline = env.sim.now_us() + 2'000'000;
+  while (accepted.code() == Code::kInternal && env.sim.now_us() < deadline) {
+    env.sim.run_for(10'000);
+  }
+  ASSERT_TRUE(accepted.ok()) << accepted.to_string();
+}
+
+void wait_transition_done(SimEnv& env, uint64_t max_us = 5'000'000) {
+  const uint64_t deadline = env.sim.now_us() + max_us;
+  while (env.cluster.coordinator_service()->transition_active() &&
+         env.sim.now_us() < deadline) {
+    env.sim.run_for(50'000);
+  }
+  ASSERT_FALSE(env.cluster.coordinator_service()->transition_active())
+      << "transition did not finish";
+}
+
+struct TransitionCase {
+  Topology from_t;
+  Consistency from_c;
+  Topology to_t;
+  Consistency to_c;
+  const char* name;
+};
+
+class TransitionTest : public ::testing::TestWithParam<TransitionCase> {};
+
+TEST_P(TransitionTest, DataSurvivesAndNewModeWorks) {
+  const auto& p = GetParam();
+  SimEnv env(transition_cluster(p.from_t, p.from_c));
+  SyncKv kv = env.client();
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(kv.put("pre" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  env.settle(300'000);
+
+  Status accepted = Status::Internal("pending");
+  env.cluster.start_transition(p.to_t, p.to_c,
+                               [&](Status s) { accepted = s; });
+  env.settle(100'000);
+  ASSERT_TRUE(accepted.ok()) << accepted.to_string();
+
+  // Writes *during* the transition forward through the old controlets (§V).
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(kv.put("mid" + std::to_string(i), "m" + std::to_string(i)).ok())
+        << i;
+  }
+
+  wait_transition_done(env);
+  const ShardMap& m = env.cluster.coordinator_service()->shard_map();
+  EXPECT_EQ(m.topology, p.to_t);
+  EXPECT_EQ(m.consistency, p.to_c);
+
+  // Post-transition: all data readable, new writes flow in the new mode.
+  env.settle(500'000);
+  for (int i = 0; i < 40; ++i) {
+    auto r = kv.get("pre" + std::to_string(i));
+    ASSERT_TRUE(r.ok()) << "pre" << i << ": " << r.status().to_string();
+    EXPECT_EQ(r.value(), "v" + std::to_string(i));
+  }
+  for (int i = 0; i < 20; ++i) {
+    auto r = kv.get("mid" + std::to_string(i));
+    ASSERT_TRUE(r.ok()) << "mid" << i << ": " << r.status().to_string();
+    EXPECT_EQ(r.value(), "m" + std::to_string(i));
+  }
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(kv.put("post" + std::to_string(i), "p").ok()) << i;
+  }
+  env.settle(300'000);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(kv.get("post" + std::to_string(i)).ok()) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, TransitionTest,
+    ::testing::Values(
+        // The two transitions the paper details (§V-A, §V-B)...
+        TransitionCase{Topology::kMasterSlave, Consistency::kEventual,
+                       Topology::kMasterSlave, Consistency::kStrong,
+                       "MsEc_to_MsSc"},
+        TransitionCase{Topology::kActiveActive, Consistency::kEventual,
+                       Topology::kMasterSlave, Consistency::kEventual,
+                       "AaEc_to_MsEc"},
+        // ...their reverses ("trivial"/"mirror" per the paper)...
+        TransitionCase{Topology::kMasterSlave, Consistency::kStrong,
+                       Topology::kMasterSlave, Consistency::kEventual,
+                       "MsSc_to_MsEc"},
+        TransitionCase{Topology::kMasterSlave, Consistency::kEventual,
+                       Topology::kActiveActive, Consistency::kEventual,
+                       "MsEc_to_AaEc"},
+        // ...and the remaining Fig. 10 combinations.
+        TransitionCase{Topology::kMasterSlave, Consistency::kEventual,
+                       Topology::kActiveActive, Consistency::kStrong,
+                       "MsEc_to_AaSc"},
+        TransitionCase{Topology::kActiveActive, Consistency::kStrong,
+                       Topology::kActiveActive, Consistency::kEventual,
+                       "AaSc_to_AaEc"}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(TransitionSemantics, MsEcToMsScDrainsPendingPropagation) {
+  SimEnv env(transition_cluster(Topology::kMasterSlave, Consistency::kEventual));
+  SyncKv kv = env.client();
+  // Big burst so the master's propagation buffer is non-empty when the
+  // transition starts; §V-A requires it to be flushed before handover.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(kv.put("b" + std::to_string(i), "v").ok());
+  }
+  start_transition_sync(env, Topology::kMasterSlave, Consistency::kStrong);
+  while (env.cluster.coordinator_service()->transition_active()) {
+    env.sim.run_for(50'000);
+  }
+  env.settle(200'000);
+  // After the switch, slaves must have every pre-transition write: SC reads
+  // go to the tail, which only has the data if the buffer was drained.
+  for (int i = 0; i < 200; ++i) {
+    auto r = kv.get("b" + std::to_string(i));
+    ASSERT_TRUE(r.ok()) << i;
+  }
+}
+
+TEST(TransitionSemantics, NewWritesAreChainReplicatedAfterMsScSwitch) {
+  SimEnv env(transition_cluster(Topology::kMasterSlave, Consistency::kEventual));
+  SyncKv kv = env.client();
+  start_transition_sync(env, Topology::kMasterSlave, Consistency::kStrong);
+  while (env.cluster.coordinator_service()->transition_active()) {
+    env.sim.run_for(50'000);
+  }
+  ASSERT_TRUE(kv.put("k", "v").ok());
+  // Under MS+SC the ack means every replica datalet committed synchronously.
+  const ShardMap& m = env.cluster.coordinator_service()->shard_map();
+  auto sid = m.shard_for("k");
+  ASSERT_TRUE(sid.ok());
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_TRUE(env.cluster.datalet(static_cast<int>(sid.value()), r)
+                    ->get("k")
+                    .ok())
+        << r;
+  }
+}
+
+TEST(TransitionSemantics, OldControletsRetireAfterSwap) {
+  SimEnv env(transition_cluster(Topology::kMasterSlave, Consistency::kEventual));
+  SyncKv kv = env.client();
+  ASSERT_TRUE(kv.put("k", "v").ok());
+  const Addr old_master = env.cluster.controlet_addr(0, 0);
+  start_transition_sync(env, Topology::kActiveActive, Consistency::kEventual);
+  while (env.cluster.coordinator_service()->transition_active()) {
+    env.sim.run_for(50'000);
+  }
+  env.settle(200'000);
+  // A stale client hitting the old controlet gets kNotLeader and re-routes.
+  auto rep = env.call(old_master, Message::put("stale", "x"));
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep.value().code, Code::kNotLeader);
+  EXPECT_TRUE(env.cluster.controlet(0, 0)->is_retired());
+}
+
+TEST(TransitionSemantics, SecondTransitionChainsCleanly) {
+  // MS+EC -> MS+SC -> AA+EC: transitions can be chained; the generation
+  // bookkeeping must keep datalet sharing intact.
+  SimEnv env(transition_cluster(Topology::kMasterSlave, Consistency::kEventual));
+  SyncKv kv = env.client();
+  ASSERT_TRUE(kv.put("k1", "v1").ok());
+  env.settle(200'000);
+
+  start_transition_sync(env, Topology::kMasterSlave, Consistency::kStrong);
+  while (env.cluster.coordinator_service()->transition_active()) {
+    env.sim.run_for(50'000);
+  }
+  ASSERT_TRUE(kv.put("k2", "v2").ok());
+
+  start_transition_sync(env, Topology::kActiveActive, Consistency::kEventual);
+  while (env.cluster.coordinator_service()->transition_active()) {
+    env.sim.run_for(50'000);
+  }
+  ASSERT_TRUE(kv.put("k3", "v3").ok());
+  env.settle(500'000);
+  EXPECT_EQ(kv.get("k1").value(), "v1");
+  EXPECT_EQ(kv.get("k2").value(), "v2");
+  EXPECT_EQ(kv.get("k3").value(), "v3");
+  const ShardMap& m = env.cluster.coordinator_service()->shard_map();
+  EXPECT_EQ(m.topology, Topology::kActiveActive);
+  EXPECT_EQ(m.epoch, 3u);
+}
+
+TEST(TransitionSemantics, PostTransitionOverwritesBeatPreTransitionVersions) {
+  // Regression: AA+EC log sequences must be rebased into the epoch-prefixed
+  // version space, or LWW application silently drops overwrites of keys
+  // written before an MS -> AA transition.
+  SimEnv env(transition_cluster(Topology::kMasterSlave, Consistency::kEventual));
+  SyncKv kv = env.client();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(kv.put("rank" + std::to_string(i), "RUNNING").ok());
+  }
+  env.settle(300'000);
+  start_transition_sync(env, Topology::kActiveActive, Consistency::kEventual);
+  while (env.cluster.coordinator_service()->transition_active()) {
+    env.sim.run_for(50'000);
+  }
+  ASSERT_TRUE(kv.refresh().ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(kv.put("rank" + std::to_string(i), "DONE").ok()) << i;
+  }
+  env.settle(500'000);
+  for (int i = 0; i < 20; ++i) {
+    auto r = kv.get("rank" + std::to_string(i));
+    ASSERT_TRUE(r.ok()) << i;
+    EXPECT_EQ(r.value(), "DONE") << i;
+  }
+}
+
+TEST(TransitionSemantics, ConcurrentTransitionRequestIsRejected) {
+  SimEnv env(transition_cluster(Topology::kMasterSlave, Consistency::kEventual));
+  Status first = Status::Internal("pending");
+  Status second = Status::Internal("pending");
+  env.cluster.start_transition(Topology::kMasterSlave, Consistency::kStrong,
+                               [&](Status s) { first = s; });
+  env.cluster.start_transition(Topology::kActiveActive, Consistency::kEventual,
+                               [&](Status s) { second = s; });
+  env.settle(200'000);
+  EXPECT_TRUE(first.ok()) << first.to_string();
+  EXPECT_EQ(second.code(), Code::kConflict);
+  while (env.cluster.coordinator_service()->transition_active()) {
+    env.sim.run_for(50'000);
+  }
+}
+
+}  // namespace
+}  // namespace bespokv

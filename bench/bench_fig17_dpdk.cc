@@ -5,9 +5,14 @@
 //
 // Paper's shape: ~65% latency reduction, ~3x throughput, and a visibly more
 // stable timeline under the bypass transport.
+// A second section sweeps the *real* TCP fast path (net_fastpath.h): the
+// same batching/coalescing evolution measured on live loopback sockets
+// rather than the DES cost models. Pass --no-tcp to skip it.
 #include <cmath>
+#include <cstring>
 
 #include "bench/bench_util.h"
+#include "bench/net_fastpath.h"
 
 using namespace bespokv;
 using namespace bespokv::bench;
@@ -60,7 +65,11 @@ double stddev(const std::vector<uint64_t>& v) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool run_tcp = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-tcp") == 0) run_tcp = false;
+  }
   print_header("Fig. 17", "Socket vs DPDK-style kernel bypass (single shard)");
   Series sock = run_transport(TransportModel::socket_model());
   Series dpdk = run_transport(TransportModel::fastpath_model());
@@ -91,6 +100,15 @@ int main() {
     const double d = i < dpdk.timeline.size()
                          ? static_cast<double>(dpdk.timeline[i]) / 1000.0 : 0;
     print_row("  %-4zu %10.1f %10.1f", i, s, d);
+  }
+
+  if (run_tcp) {
+    print_row("");
+    print_row("real TCP loopback fast path (batched zero-copy writev):");
+    FastpathOptions opts;
+    opts.measure_us = 1'500'000;
+    auto pts = run_tcp_fastpath_sweep(opts);
+    print_fastpath_table("get", pts);
   }
   return 0;
 }

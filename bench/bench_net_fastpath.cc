@@ -1,0 +1,54 @@
+// Network fast-path bench: real TcpFabric on loopback, pipelined client
+// batches of {1, 8, 32, 128}. Measures how far the coalesced writev flush +
+// in-place envelope encoding amortize per-message syscall cost — the
+// kernel-TCP rendition of the paper's Appendix E batching argument.
+//
+// Usage: bench_net_fastpath [measure_us_per_point]   (default 2s per point)
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "bench/net_fastpath.h"
+
+using namespace bespokv::bench;
+
+int main(int argc, char** argv) {
+  FastpathOptions opts;
+  if (argc > 1) {
+    opts.measure_us = std::strtoull(argv[1], nullptr, 10);
+    if (opts.measure_us == 0) {
+      std::fprintf(stderr, "usage: %s [measure_us_per_point > 0]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  print_header("Net fastpath", "pipelined batches over loopback TcpFabric");
+
+  print_row("GET sweep (strong reads, 1 shard, value=64B):");
+  opts.do_puts = false;
+  auto gets = run_tcp_fastpath_sweep(opts);
+  print_fastpath_table("get", gets);
+
+  print_row("PUT sweep (eventual MS, 3 replicas):");
+  opts.do_puts = true;
+  auto puts = run_tcp_fastpath_sweep(opts);
+  print_fastpath_table("put", puts);
+
+  // Headline ratio the run log tracks: batched vs unbatched throughput.
+  const auto speedup_line = [](const char* op,
+                               const std::vector<FastpathPoint>& pts) {
+    const FastpathPoint* b1 = nullptr;
+    const FastpathPoint* b32 = nullptr;
+    for (const auto& p : pts) {
+      if (p.batch == 1) b1 = &p;
+      if (p.batch == 32) b32 = &p;
+    }
+    if (b1 && b32 && b1->ops_per_sec > 0) {
+      print_row("batch32/batch1 speedup: %.2fx (%s)",
+                b32->ops_per_sec / b1->ops_per_sec, op);
+    }
+  };
+  speedup_line("get", gets);
+  speedup_line("put", puts);
+  return 0;
+}

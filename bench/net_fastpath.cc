@@ -1,0 +1,154 @@
+#include "bench/net_fastpath.h"
+
+#include <chrono>
+#include <future>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/client/client.h"
+#include "src/cluster/cluster.h"
+#include "src/common/histogram.h"
+#include "src/net/tcp_fabric.h"
+
+namespace bespokv::bench {
+
+namespace {
+
+uint64_t wall_us() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string key_name(int i) { return "fp-key-" + std::to_string(i); }
+
+// Runs `fn` on the client node's runtime and blocks until `fn` has arranged
+// for the returned future's promise to fire.
+void run_on(Runtime* rt, std::function<void(std::promise<void>&)> fn) {
+  std::promise<void> done;
+  auto fut = done.get_future();
+  rt->post([&] { fn(done); });
+  fut.wait();
+}
+
+}  // namespace
+
+std::vector<FastpathPoint> run_tcp_fastpath_sweep(const FastpathOptions& opts) {
+  TcpFabric fab;
+  ClusterOptions copts;
+  copts.topology = Topology::kMasterSlave;
+  copts.consistency = Consistency::kEventual;
+  copts.num_shards = 1;
+  copts.num_replicas = 3;
+  Cluster cluster(fab, copts);
+  cluster.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  // The client lives on its own fabric node so batched RPCs share that
+  // node's outgoing connections (and therefore its coalesced flushes).
+  const Addr caddr = "127.0.0.1:" + std::to_string(TcpFabric::pick_port());
+  Runtime* crt = fab.add_node(
+      caddr, std::make_shared<LambdaService>(
+                 [](Runtime&, const Addr&, Message, Replier reply) {
+                   reply(Message::reply(Code::kInvalid));
+                 }));
+  ClientConfig ccfg;
+  ccfg.coordinator = cluster.coordinator_addr();
+  auto kv = std::make_shared<KvClient>(crt, ccfg);
+  run_on(crt, [&](std::promise<void>& p) {
+    kv->connect([&p](Status) { p.set_value(); });
+  });
+
+  // Preload the keyspace (pipelined too — warms the write path).
+  const std::string value(static_cast<size_t>(opts.value_bytes), 'v');
+  for (int base = 0; base < opts.num_keys; base += 128) {
+    std::vector<KV> kvs;
+    for (int i = base; i < std::min(base + 128, opts.num_keys); ++i) {
+      kvs.push_back(KV{key_name(i), value, 0});
+    }
+    run_on(crt, [&](std::promise<void>& p) {
+      kv->batch_put(std::move(kvs), [&p](Status) { p.set_value(); });
+    });
+  }
+
+  std::vector<FastpathPoint> points;
+  int next_key = 0;
+  for (int batch : opts.batch_sizes) {
+    FastpathPoint pt;
+    pt.batch = batch;
+    Histogram rtt;
+    uint64_t errors = 0;
+    const FabricStats before = fab.stats(caddr);
+    const uint64_t t_start = wall_us();
+    const uint64_t deadline = t_start + opts.measure_us;
+    uint64_t now = t_start;
+    while (now < deadline) {
+      const uint64_t t0 = now;
+      if (opts.do_puts) {
+        std::vector<KV> kvs;
+        kvs.reserve(static_cast<size_t>(batch));
+        for (int i = 0; i < batch; ++i) {
+          kvs.push_back(KV{key_name(next_key++ % opts.num_keys), value, 0});
+        }
+        run_on(crt, [&](std::promise<void>& p) {
+          kv->batch_put(std::move(kvs), [&errors, &p](Status s) {
+            if (!s.ok()) ++errors;
+            p.set_value();
+          });
+        });
+      } else {
+        std::vector<std::string> keys;
+        keys.reserve(static_cast<size_t>(batch));
+        for (int i = 0; i < batch; ++i) {
+          keys.push_back(key_name(next_key++ % opts.num_keys));
+        }
+        run_on(crt, [&](std::promise<void>& p) {
+          // Strong level pins reads to the shard master: stable routing and
+          // no replication-lag misses under the eventual topology.
+          kv->batch_get(std::move(keys),
+                        [&errors, &p](std::vector<Result<std::string>> rs) {
+                          for (const auto& r : rs) {
+                            if (!r.ok()) ++errors;
+                          }
+                          p.set_value();
+                        },
+                        "", ConsistencyLevel::kStrong);
+        });
+      }
+      now = wall_us();
+      rtt.record(now - t0);
+      pt.ops += static_cast<uint64_t>(batch);
+    }
+    const FabricStats after = fab.stats(caddr);
+    const double elapsed_s = static_cast<double>(now - t_start) / 1e6;
+    pt.errors = errors;
+    pt.ops_per_sec = elapsed_s > 0 ? static_cast<double>(pt.ops) / elapsed_s : 0;
+    pt.p50_us = rtt.percentile(0.50);
+    pt.p99_us = rtt.percentile(0.99);
+    const uint64_t dmsgs = after.msgs_sent - before.msgs_sent;
+    const uint64_t dflush = after.flushes - before.flushes;
+    pt.coalesce = dflush > 0 ? static_cast<double>(dmsgs) /
+                                   static_cast<double>(dflush)
+                             : 1.0;
+    points.push_back(pt);
+  }
+  fab.shutdown();
+  return points;
+}
+
+void print_fastpath_table(const std::string& op_name,
+                          const std::vector<FastpathPoint>& points) {
+  print_row("%-6s %8s %10s %12s %12s %10s %8s", "batch", "ops",
+            ("k" + op_name + "/s").c_str(), "batch-p50-us", "batch-p99-us",
+            "coalesce", "errors");
+  for (const auto& p : points) {
+    print_row("%-6d %8llu %10.1f %12llu %12llu %10.1f %8llu", p.batch,
+              static_cast<unsigned long long>(p.ops), p.ops_per_sec / 1000.0,
+              static_cast<unsigned long long>(p.p50_us),
+              static_cast<unsigned long long>(p.p99_us), p.coalesce,
+              static_cast<unsigned long long>(p.errors));
+  }
+}
+
+}  // namespace bespokv::bench

@@ -1,0 +1,41 @@
+// Real-socket network fast-path sweep shared by bench_net_fastpath and
+// bench_fig17_dpdk: a bespoKV cluster on a loopback TcpFabric, driven through
+// the pipelined client API (KvClient::batch_get/batch_put) at increasing
+// batch sizes. Batch size 1 pays one round trip (and at least one write
+// syscall) per op; larger batches keep K RPCs outstanding on one connection
+// so the fabric's deferred writev flush coalesces them — the kernel-TCP
+// analogue of the paper's Appendix E fast path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bespokv::bench {
+
+struct FastpathPoint {
+  int batch = 1;
+  uint64_t ops = 0;        // completed ops in the measure window
+  uint64_t errors = 0;     // ops that returned a non-OK status
+  double ops_per_sec = 0;
+  uint64_t p50_us = 0;     // per-batch round-trip latency percentiles
+  uint64_t p99_us = 0;
+  double coalesce = 1.0;   // client-node msgs_sent / writev flushes
+};
+
+struct FastpathOptions {
+  std::vector<int> batch_sizes = {1, 8, 32, 128};
+  uint64_t measure_us = 2'000'000;  // per batch-size point
+  int num_keys = 1024;
+  int value_bytes = 64;
+  bool do_puts = false;  // sweep batch_put instead of batch_get
+};
+
+// Builds the cluster once and runs one point per batch size.
+std::vector<FastpathPoint> run_tcp_fastpath_sweep(const FastpathOptions& opts);
+
+// Prints the standard "batch / kops / p50 / p99 / coalesce" table.
+void print_fastpath_table(const std::string& op_name,
+                          const std::vector<FastpathPoint>& points);
+
+}  // namespace bespokv::bench

@@ -179,6 +179,54 @@ void KvClient::del(const std::string& key, StatusCb done,
         });
 }
 
+void KvClient::batch_put(std::vector<KV> kvs, StatusCb done,
+                         const std::string& table, ConsistencyLevel level) {
+  if (kvs.empty()) {
+    rt_->post([done = std::move(done)] { done(Status::Ok()); });
+    return;
+  }
+  auto remaining = std::make_shared<size_t>(kvs.size());
+  auto first_err = std::make_shared<Status>(Status::Ok());
+  auto shared_done = std::make_shared<StatusCb>(std::move(done));
+  for (auto& kv : kvs) {
+    Message req = Message::put(kv.key, kv.value, table);
+    req.consistency = level;
+    issue(std::move(req), /*is_read=*/false, cfg_.retries,
+          [remaining, first_err, shared_done](Status s, Message rep) {
+            const Status eff = s.ok() ? Status(rep.code) : s;
+            if (!eff.ok() && first_err->ok()) *first_err = eff;
+            if (--*remaining == 0) (*shared_done)(*first_err);
+          });
+  }
+}
+
+void KvClient::batch_get(std::vector<std::string> keys, BatchGetCb done,
+                         const std::string& table, ConsistencyLevel level) {
+  if (keys.empty()) {
+    rt_->post([done = std::move(done)] { done({}); });
+    return;
+  }
+  auto remaining = std::make_shared<size_t>(keys.size());
+  auto results = std::make_shared<std::vector<Result<std::string>>>(
+      keys.size(), Status::Internal("pending"));
+  auto shared_done = std::make_shared<BatchGetCb>(std::move(done));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Message req = Message::get(keys[i], table);
+    req.consistency = level;
+    issue(std::move(req), /*is_read=*/true, cfg_.retries,
+          [i, remaining, results, shared_done](Status s, Message rep) {
+            if (!s.ok()) {
+              (*results)[i] = s;
+            } else if (rep.code != Code::kOk) {
+              (*results)[i] = Status(rep.code);
+            } else {
+              (*results)[i] = std::move(rep.value);
+            }
+            if (--*remaining == 0) (*shared_done)(std::move(*results));
+          });
+  }
+}
+
 void KvClient::scan(const std::string& start, const std::string& end,
                     uint32_t limit, ScanCb done, const std::string& table) {
   // Determine the shards covering [start, end): under range partitioning

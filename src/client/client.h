@@ -35,6 +35,8 @@ class KvClient {
   using StatusCb = std::function<void(Status)>;
   using ValueCb = std::function<void(Result<std::string>)>;
   using ScanCb = std::function<void(Result<std::vector<KV>>)>;
+  // Per-key results of a batch_get, aligned with the request keys.
+  using BatchGetCb = std::function<void(std::vector<Result<std::string>>)>;
 
   KvClient(Runtime* rt, ClientConfig cfg);
   ~KvClient();
@@ -57,6 +59,19 @@ class KvClient {
   // partitioning the request is split across the shards covering the range.
   void scan(const std::string& start, const std::string& end, uint32_t limit,
             ScanCb done, const std::string& table = "");
+
+  // Pipelined batches: every request is issued back-to-back before any reply
+  // is awaited, so all K RPCs are outstanding at once and a coalescing fabric
+  // (TcpFabric's deferred writev flush) ships those sharing a connection in
+  // one syscall. The callback fires once, after every reply (or timeout)
+  // landed. batch_put reports the first failure; batch_get yields per-key
+  // results in request order.
+  void batch_put(std::vector<KV> kvs, StatusCb done,
+                 const std::string& table = "",
+                 ConsistencyLevel level = ConsistencyLevel::kDefault);
+  void batch_get(std::vector<std::string> keys, BatchGetCb done,
+                 const std::string& table = "",
+                 ConsistencyLevel level = ConsistencyLevel::kDefault);
 
   const ShardMap& shard_map() const { return map_; }
   bool ready() const { return ready_; }

@@ -1,0 +1,107 @@
+// ByteBuffer: a growable FIFO byte queue for network I/O hot paths.
+//
+// The seed fabric used plain std::string for connection buffers and paid an
+// erase(0, n) memmove on every read batch and every partial write. ByteBuffer
+// replaces that with a consume offset: consume() just advances the read
+// cursor, and the dead prefix is reclaimed lazily — either for free when the
+// buffer fully drains, or with a single memmove folded into a later append
+// once the prefix dominates the live data.
+//
+// Invalidation rules (asserted by tests/common_test.cc):
+//   * consume() never moves or frees memory — readable() views taken before a
+//     partial consume stay valid afterwards.
+//   * append()/prepare() may compact or reallocate — views must be considered
+//     dead across any write-side call.
+//
+// The write side has two shapes:
+//   * append(bytes) — copy in.
+//   * prepare(n)/commit(m) — expose n writable tail bytes for a zero-copy
+//     producer (e.g. read(2) straight into the buffer), then commit what was
+//     actually produced.
+//   * backing() — the underlying string, for encoders that serialize in
+//     place (codec.h Encoder appends to it; the readable window is
+//     [read_offset(), backing().size())).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace bespokv {
+
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(size_t initial_capacity) { buf_.reserve(initial_capacity); }
+
+  // ---- read side ----
+  std::string_view readable() const {
+    return std::string_view(buf_.data() + roff_, buf_.size() - roff_);
+  }
+  size_t size() const { return buf_.size() - roff_; }
+  bool empty() const { return roff_ == buf_.size(); }
+
+  // Advances the read cursor past `n` consumed bytes. Never memmoves; when the
+  // buffer fully drains the offsets reset so the next append starts at 0.
+  void consume(size_t n) {
+    assert(n <= size());
+    roff_ += n;
+    if (roff_ == buf_.size()) {
+      buf_.clear();
+      roff_ = 0;
+    }
+  }
+
+  // ---- write side ----
+  void append(std::string_view s) {
+    reclaim(s.size());
+    buf_.append(s.data(), s.size());
+  }
+  void append(const char* p, size_t n) { append(std::string_view(p, n)); }
+
+  // Exposes `n` writable bytes at the tail; commit(m <= n) the bytes actually
+  // produced. Only one prepare may be outstanding at a time.
+  char* prepare(size_t n) {
+    reclaim(n);
+    wmark_ = buf_.size();
+    buf_.resize(wmark_ + n);
+    return &buf_[wmark_];
+  }
+  void commit(size_t n) {
+    assert(wmark_ + n <= buf_.size());
+    buf_.resize(wmark_ + n);
+  }
+
+  // Underlying storage for in-place encoders. Appending to it extends the
+  // readable window; callers must not disturb bytes before backing().size().
+  std::string& backing() { return buf_; }
+  size_t read_offset() const { return roff_; }
+
+  void reserve(size_t n) { buf_.reserve(n); }
+  size_t capacity() const { return buf_.capacity(); }
+  void clear() {
+    buf_.clear();
+    roff_ = 0;
+  }
+
+ private:
+  // Folds the consumed prefix away before growing, but only once it is both
+  // sizeable and at least as large as the live data — so steady-state streams
+  // pay one memmove per ~buffer-full instead of one per read batch.
+  void reclaim(size_t incoming) {
+    (void)incoming;
+    if (roff_ >= kReclaimThreshold && roff_ >= buf_.size() - roff_) {
+      buf_.erase(0, roff_);
+      roff_ = 0;
+    }
+  }
+
+  static constexpr size_t kReclaimThreshold = 4096;
+
+  std::string buf_;
+  size_t roff_ = 0;   // start of unconsumed data
+  size_t wmark_ = 0;  // prepare() watermark
+};
+
+}  // namespace bespokv

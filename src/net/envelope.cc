@@ -5,18 +5,20 @@
 namespace bespokv {
 
 void encode_envelope(const Envelope& env, std::string* out) {
-  std::string payload;
-  Encoder e(&payload);
+  out->reserve(out->size() + 4 + 16 + env.from.size() +
+               encoded_message_size_hint(env.msg));
+  Encoder e(out);
+  const size_t len_at = e.mark();
+  e.put_u32_le(0);  // length slot, backpatched below
   e.put_varint(env.rpc_id);
   e.put_u8(static_cast<uint8_t>(env.kind));
   e.put_bytes(env.from);
-  encode_message(env.msg, &payload);
+  encode_message(env.msg, out);
+  e.patch_u32_le(len_at, static_cast<uint32_t>(out->size() - len_at - 4));
+}
 
-  const uint32_t len = static_cast<uint32_t>(payload.size());
-  for (int i = 0; i < 4; ++i) {
-    out->push_back(static_cast<char>((len >> (8 * i)) & 0xff));
-  }
-  out->append(payload);
+void encode_envelope(const Envelope& env, ByteBuffer* out) {
+  encode_envelope(env, &out->backing());
 }
 
 Status decode_envelope(std::string_view buf, Envelope* env, size_t* consumed) {

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/common/byte_buffer.h"
 #include "src/common/status.h"
 #include "src/net/runtime.h"
 #include "src/proto/message.h"
@@ -21,8 +22,13 @@ struct Envelope {
   Message msg;
 };
 
-// Appends a complete frame (length prefix included) to `out`.
+// Appends a complete frame (length prefix included) to `out`. Single-pass:
+// the payload is serialized directly into `out` after a reserved 4-byte
+// length slot, which is backpatched afterwards — no intermediate payload or
+// frame string is built. The ByteBuffer overload is the fabric hot path and
+// encodes straight into a connection's write buffer.
 void encode_envelope(const Envelope& env, std::string* out);
+void encode_envelope(const Envelope& env, ByteBuffer* out);
 
 // Attempts to decode one frame from the head of `buf`. Returns:
 //   kOk + consumed>0  — a frame was decoded into *env

@@ -7,6 +7,7 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -15,6 +16,7 @@
 #include <deque>
 #include <vector>
 
+#include "src/common/byte_buffer.h"
 #include "src/common/hash.h"
 #include "src/common/logging.h"
 #include "src/net/envelope.h"
@@ -52,6 +54,14 @@ void set_nodelay(int fd) {
   int one = 1;
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
+
+// Write-queue chunk sizing: a chunk accepts envelopes until its backing store
+// crosses kChunkBytes, then the next envelope starts a fresh chunk (one
+// oversized envelope may exceed the cap — it simply owns its chunk). flush()
+// gathers up to kMaxIov chunks per writev.
+constexpr size_t kChunkBytes = 256 * 1024;
+constexpr int kMaxIov = 64;
+constexpr size_t kSpareChunks = 8;  // recycled chunk ring per connection
 
 }  // namespace
 
@@ -95,24 +105,50 @@ struct TcpFabric::Node {
   std::mutex task_mu;
   std::deque<std::function<void()>> ext_tasks;
 
+  // Network counters; written on the node thread, snapshotted by stats().
+  std::atomic<uint64_t> msgs_sent{0};
+  std::atomic<uint64_t> msgs_dropped{0};
+  std::atomic<uint64_t> bytes_sent{0};
+  std::atomic<uint64_t> flushes{0};
+
   // Everything below is touched only on the node thread.
   struct Conn {
     int fd = -1;
-    std::string rbuf;
-    std::string wbuf;
+    ByteBuffer rbuf;
+    // Outgoing ring: ship() encodes into the tail chunk, flush() writev()s
+    // from the head. Drained chunks recycle through `spare` so steady-state
+    // traffic reuses warm allocations instead of growing one giant buffer.
+    std::deque<ByteBuffer> wq;
+    std::vector<ByteBuffer> spare;
     bool want_write = false;
+    bool dirty = false;  // enqueued on dirty_fds for the deferred flush
+
+    size_t pending_bytes() const {
+      size_t n = 0;
+      for (const auto& b : wq) n += b.size();
+      return n;
+    }
   };
   std::map<int, Conn> conns;          // fd -> connection
   std::map<Addr, int> out_conns;      // peer listen addr -> fd
+  std::vector<int> dirty_fds;         // conns with queued output this wakeup
   struct Timer {
-    uint64_t at_us;
     uint64_t id;
     uint64_t period_us;
     std::function<void()> fn;
   };
-  std::vector<Timer> timers;
+  // Deadline-ordered so the next-due timer is begin(); `timers_by_id` makes
+  // cancel O(log T). RPC timeouts are set on every call() and cancelled on
+  // every response, so both operations must stay cheap — a flat vector scan
+  // here goes quadratic under load and stalls the whole event loop.
+  std::multimap<uint64_t, Timer> timers;  // at_us -> timer
+  std::map<uint64_t, std::multimap<uint64_t, Timer>::iterator> timers_by_id;
   uint64_t next_timer_id = 1;
-  std::map<uint64_t, RpcCallback> pending;
+  struct PendingRpc {
+    RpcCallback cb;
+    uint64_t timer_id = 0;
+  };
+  std::map<uint64_t, PendingRpc> pending;
 
   void wake() {
     uint64_t one = 1;
@@ -124,9 +160,15 @@ struct TcpFabric::Node {
   void close_conn(int fd);
   void handle_readable(int fd);
   void flush(int fd);
+  void flush_dirty();
+  void mark_dirty(int fd, Conn& c);
+  ByteBuffer& out_chunk(Conn& c);
   void dispatch(Envelope env);
   int conn_to(const Addr& dst);
   void ship(const Addr& dst, const Envelope& env);
+  uint64_t add_timer(uint64_t at_us, uint64_t period_us,
+                     std::function<void()> fn);
+  void cancel_timer(uint64_t id);
   void run_due_timers();
   int next_timeout_ms() const;
 };
@@ -159,33 +201,43 @@ bool TcpFabric::Node::setup() {
   return true;
 }
 
+uint64_t TcpFabric::Node::add_timer(uint64_t at_us, uint64_t period_us,
+                                    std::function<void()> fn) {
+  const uint64_t id = next_timer_id++;
+  auto it = timers.emplace(at_us, Timer{id, period_us, std::move(fn)});
+  timers_by_id[id] = it;
+  return id;
+}
+
+void TcpFabric::Node::cancel_timer(uint64_t id) {
+  auto it = timers_by_id.find(id);
+  if (it == timers_by_id.end()) return;
+  timers.erase(it->second);
+  timers_by_id.erase(it);
+}
+
 void TcpFabric::Node::run_due_timers() {
   const uint64_t now = real_now_us();
-  // Fire timers one at a time; a fired timer may add or cancel others.
-  while (true) {
-    auto due = timers.end();
-    uint64_t earliest = UINT64_MAX;
-    for (auto it = timers.begin(); it != timers.end(); ++it) {
-      if (it->at_us < earliest) {
-        earliest = it->at_us;
-        due = it;
-      }
-    }
-    if (due == timers.end() || earliest > now) return;
-    Timer t = *due;
+  // Fire timers one at a time; a fired timer may add or cancel others. Only
+  // timers due at entry fire — anything a callback schedules for "now" waits
+  // for the next loop iteration (next_timeout_ms returns 0 for it).
+  while (!timers.empty() && timers.begin()->first <= now) {
+    auto it = timers.begin();
+    Timer t = std::move(it->second);
+    timers_by_id.erase(t.id);
+    timers.erase(it);
     if (t.period_us > 0) {
-      due->at_us = now + t.period_us;
-    } else {
-      timers.erase(due);
+      auto re = timers.emplace(now + t.period_us,
+                               Timer{t.id, t.period_us, t.fn});
+      timers_by_id[t.id] = re;
     }
     t.fn();
   }
 }
 
 int TcpFabric::Node::next_timeout_ms() const {
-  uint64_t earliest = UINT64_MAX;
-  for (const auto& t : timers) earliest = std::min(earliest, t.at_us);
-  if (earliest == UINT64_MAX) return 100;  // wake periodically regardless
+  if (timers.empty()) return 100;  // wake periodically regardless
+  const uint64_t earliest = timers.begin()->first;
   const uint64_t now = real_now_us();
   if (earliest <= now) return 0;
   return static_cast<int>(std::min<uint64_t>((earliest - now) / 1000 + 1, 100));
@@ -215,7 +267,7 @@ void TcpFabric::Node::loop() {
           if (cfd < 0) break;
           set_nonblock(cfd);
           set_nodelay(cfd);
-          conns[cfd] = Conn{cfd, "", "", false};
+          conns[cfd].fd = cfd;
           epoll_event ev{};
           ev.events = EPOLLIN;
           ev.data.fd = cfd;
@@ -230,6 +282,10 @@ void TcpFabric::Node::loop() {
         if (conns.count(fd) && (events[i].events & EPOLLOUT)) flush(fd);
       }
     }
+    // Deferred flush: everything shipped during this wakeup (timer fires,
+    // external posts, request dispatches, replies) drains per-connection in
+    // one writev — N envelopes to one peer cost one syscall.
+    flush_dirty();
   }
   // Teardown on the node thread.
   for (auto& [fd, c] : conns) ::close(fd);
@@ -257,26 +313,28 @@ void TcpFabric::Node::handle_readable(int fd) {
   auto it = conns.find(fd);
   if (it == conns.end()) return;
   Conn& c = it->second;
-  char buf[64 * 1024];
+  constexpr size_t kReadChunk = 64 * 1024;
   while (true) {
-    ssize_t n = ::read(fd, buf, sizeof(buf));
+    // read(2) straight into the buffer tail — no bounce through a stack
+    // buffer and no erase(0, n) memmove afterwards (consume is O(1)).
+    char* dst = c.rbuf.prepare(kReadChunk);
+    ssize_t n = ::read(fd, dst, kReadChunk);
     if (n > 0) {
-      c.rbuf.append(buf, static_cast<size_t>(n));
-    } else if (n == 0) {
-      close_conn(fd);
-      return;
+      c.rbuf.commit(static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < kReadChunk) break;  // drained the socket
     } else {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      close_conn(fd);
-      return;
+      c.rbuf.commit(0);
+      if (n == 0 || (errno != EAGAIN && errno != EWOULDBLOCK)) {
+        close_conn(fd);
+        return;
+      }
+      break;
     }
   }
-  size_t off = 0;
   while (true) {
     Envelope env;
     size_t consumed = 0;
-    Status s = decode_envelope(
-        std::string_view(c.rbuf).substr(off), &env, &consumed);
+    Status s = decode_envelope(c.rbuf.readable(), &env, &consumed);
     if (!s.ok()) {
       LOG_WARN << "TcpFabric " << addr << ": corrupt stream from fd " << fd
                << ": " << s.to_string();
@@ -284,18 +342,18 @@ void TcpFabric::Node::handle_readable(int fd) {
       return;
     }
     if (consumed == 0) break;
-    off += consumed;
+    c.rbuf.consume(consumed);
     dispatch(std::move(env));
     if (conns.count(fd) == 0) return;  // dispatch may have killed the conn
   }
-  if (off > 0) c.rbuf.erase(0, off);
 }
 
 void TcpFabric::Node::dispatch(Envelope env) {
   if (env.kind == EnvelopeKind::kResponse) {
     auto it = pending.find(env.rpc_id);
     if (it == pending.end()) return;  // already timed out
-    RpcCallback cb = std::move(it->second);
+    RpcCallback cb = std::move(it->second.cb);
+    cancel_timer(it->second.timer_id);
     pending.erase(it);
     cb(Status::Ok(), std::move(env.msg));
     return;
@@ -335,7 +393,7 @@ int TcpFabric::Node::conn_to(const Addr& dst) {
   }
   set_nonblock(fd);
   set_nodelay(fd);
-  conns[fd] = Conn{fd, "", "", false};
+  conns[fd].fd = fd;
   out_conns[dst] = fd;
   epoll_event ev{};
   ev.events = EPOLLIN;
@@ -344,14 +402,74 @@ int TcpFabric::Node::conn_to(const Addr& dst) {
   return fd;
 }
 
+// Picks the chunk ship() encodes into: the current tail until it crosses
+// kChunkBytes, then a fresh (preferably recycled) chunk.
+ByteBuffer& TcpFabric::Node::out_chunk(Conn& c) {
+  if (c.wq.empty() || c.wq.back().backing().size() >= kChunkBytes) {
+    if (!c.spare.empty()) {
+      c.wq.push_back(std::move(c.spare.back()));
+      c.spare.pop_back();
+    } else {
+      c.wq.emplace_back();
+    }
+  }
+  return c.wq.back();
+}
+
+void TcpFabric::Node::mark_dirty(int fd, Conn& c) {
+  if (c.dirty) return;
+  c.dirty = true;
+  dirty_fds.push_back(fd);
+}
+
+void TcpFabric::Node::flush_dirty() {
+  while (!dirty_fds.empty()) {
+    std::vector<int> batch;
+    batch.swap(dirty_fds);
+    for (int fd : batch) {
+      if (conns.count(fd)) flush(fd);
+    }
+  }
+}
+
 void TcpFabric::Node::flush(int fd) {
   auto it = conns.find(fd);
   if (it == conns.end()) return;
   Conn& c = it->second;
-  while (!c.wbuf.empty()) {
-    ssize_t n = ::write(fd, c.wbuf.data(), c.wbuf.size());
+  c.dirty = false;
+  bool wrote = false;
+  while (!c.wq.empty() && !c.wq.front().empty()) {
+    iovec iov[kMaxIov];
+    int iovcnt = 0;
+    for (const auto& b : c.wq) {
+      if (iovcnt == kMaxIov) break;
+      std::string_view v = b.readable();
+      if (v.empty()) continue;
+      iov[iovcnt].iov_base = const_cast<char*>(v.data());
+      iov[iovcnt].iov_len = v.size();
+      ++iovcnt;
+    }
+    if (iovcnt == 0) break;
+    ssize_t n = ::writev(fd, iov, iovcnt);
     if (n > 0) {
-      c.wbuf.erase(0, static_cast<size_t>(n));
+      wrote = true;
+      bytes_sent.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+      size_t left = static_cast<size_t>(n);
+      while (left > 0) {
+        ByteBuffer& head = c.wq.front();
+        const size_t take = std::min(left, head.size());
+        head.consume(take);
+        left -= take;
+        if (head.empty() && c.wq.size() > 1) {
+          // Fully drained and not the active tail: recycle into the spare
+          // ring (bounded) so the next burst reuses its allocation.
+          if (c.spare.size() < kSpareChunks) {
+            head.clear();
+            c.spare.push_back(std::move(head));
+          }
+          c.wq.pop_front();
+        }
+      }
     } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       break;
     } else {
@@ -359,7 +477,8 @@ void TcpFabric::Node::flush(int fd) {
       return;
     }
   }
-  const bool want = !c.wbuf.empty();
+  if (wrote) flushes.fetch_add(1, std::memory_order_relaxed);
+  const bool want = !c.wq.empty() && !c.wq.front().empty();
   if (want != c.want_write) {
     c.want_write = want;
     epoll_event ev{};
@@ -370,13 +489,26 @@ void TcpFabric::Node::flush(int fd) {
 }
 
 void TcpFabric::Node::ship(const Addr& dst, const Envelope& env) {
-  if (fab->severed(addr, dst)) return;  // partition: drop outgoing traffic
+  if (fab->severed(addr, dst)) {  // partition: drop outgoing traffic
+    msgs_dropped.fetch_add(1, std::memory_order_relaxed);
+    LOG_DEBUG << "TcpFabric " << addr << ": dropped envelope to " << dst
+              << " (partitioned)";
+    return;
+  }
   int fd = conn_to(dst);
-  if (fd < 0) return;  // peer dead: caller's timeout handles it
-  std::string frame;
-  encode_envelope(env, &frame);
-  conns[fd].wbuf.append(frame);
-  flush(fd);
+  if (fd < 0) {  // peer dead: caller's timeout handles it
+    msgs_dropped.fetch_add(1, std::memory_order_relaxed);
+    LOG_DEBUG << "TcpFabric " << addr << ": dropped envelope to " << dst
+              << " (connect failed)";
+    return;
+  }
+  Conn& c = conns[fd];
+  // Zero-copy enqueue: the envelope is serialized directly into the
+  // connection's tail chunk; the deferred flush_dirty() pass writes it out
+  // together with everything else queued during this event-loop wakeup.
+  encode_envelope(env, &out_chunk(c));
+  msgs_sent.fetch_add(1, std::memory_order_relaxed);
+  mark_dirty(fd, c);
 }
 
 // ----------------------------- TcpRuntime ----------------------------------
@@ -392,38 +524,32 @@ void TcpFabric::TcpRuntime::post(std::function<void()> fn) {
 uint64_t TcpFabric::TcpRuntime::set_timer(uint64_t delay_us, std::function<void()> fn) {
   // Timers are manipulated on the node thread only (services run there);
   // external threads must post() first.
-  const uint64_t id = node_->next_timer_id++;
-  node_->timers.push_back(
-      Node::Timer{real_now_us() + delay_us, id, 0, std::move(fn)});
-  return id;
+  return node_->add_timer(real_now_us() + delay_us, 0, std::move(fn));
 }
 
 uint64_t TcpFabric::TcpRuntime::set_periodic(uint64_t period_us, std::function<void()> fn) {
-  const uint64_t id = node_->next_timer_id++;
-  node_->timers.push_back(
-      Node::Timer{real_now_us() + period_us, id, period_us, std::move(fn)});
-  return id;
+  return node_->add_timer(real_now_us() + period_us, period_us, std::move(fn));
 }
 
 void TcpFabric::TcpRuntime::cancel_timer(uint64_t id) {
-  auto& ts = node_->timers;
-  ts.erase(std::remove_if(ts.begin(), ts.end(),
-                          [id](const Node::Timer& t) { return t.id == id; }),
-           ts.end());
+  node_->cancel_timer(id);
 }
 
 void TcpFabric::TcpRuntime::call(const Addr& dst, Message req, RpcCallback cb,
                                  uint64_t timeout_us) {
   const uint64_t rpc_id = fab_->next_rpc_id_.fetch_add(1);
-  node_->pending[rpc_id] = std::move(cb);
   Node* n = node_;
-  set_timer(timeout_us, [n, rpc_id] {
+  // The response path cancels this timer; without that, every completed RPC
+  // would leave a dead timer behind for timeout_us and a busy client drowns
+  // in stale entries.
+  const uint64_t timer_id = set_timer(timeout_us, [n, rpc_id] {
     auto it = n->pending.find(rpc_id);
     if (it == n->pending.end()) return;
-    RpcCallback cb = std::move(it->second);
+    RpcCallback cb = std::move(it->second.cb);
     n->pending.erase(it);
     cb(Status::Timeout("rpc timeout"), Message{});
   });
+  node_->pending[rpc_id] = Node::PendingRpc{std::move(cb), timer_id};
   Envelope env;
   env.rpc_id = rpc_id;
   env.kind = EnvelopeKind::kRequest;
@@ -497,6 +623,17 @@ void TcpFabric::kill(const Addr& addr) {
 bool TcpFabric::alive(const Addr& addr) const {
   auto node = find(addr);
   return node && node->alive.load();
+}
+
+FabricStats TcpFabric::stats(const Addr& addr) const {
+  auto node = find(addr);
+  FabricStats s;
+  if (!node) return s;
+  s.msgs_sent = node->msgs_sent.load(std::memory_order_relaxed);
+  s.msgs_dropped = node->msgs_dropped.load(std::memory_order_relaxed);
+  s.bytes_sent = node->bytes_sent.load(std::memory_order_relaxed);
+  s.flushes = node->flushes.load(std::memory_order_relaxed);
+  return s;
 }
 
 void TcpFabric::partition(const Addr& a, const Addr& b, bool cut) {

@@ -17,6 +17,17 @@
 
 namespace bespokv {
 
+// Per-node network counters (monotonic over the node's lifetime). `flushes`
+// counts writev batches, so msgs_sent / flushes is the achieved coalescing
+// factor; msgs_dropped counts envelopes discarded because the peer was
+// unreachable or partitioned (previously a silent drop).
+struct FabricStats {
+  uint64_t msgs_sent = 0;
+  uint64_t msgs_dropped = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t flushes = 0;
+};
+
 class TcpFabric : public Fabric {
  public:
   TcpFabric();
@@ -35,6 +46,9 @@ class TcpFabric : public Fabric {
   // Synchronous RPC from an external thread via a hidden client node.
   Result<Message> call_sync(const Addr& dst, Message req,
                             uint64_t timeout_us = 2'000'000);
+
+  // Snapshot of a node's network counters ({} for unknown addrs).
+  FabricStats stats(const Addr& addr) const;
 
   // Picks a free loopback port (best effort) for harnesses building addrs.
   static int pick_port();

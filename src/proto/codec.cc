@@ -17,6 +17,19 @@ void Encoder::put_bytes(std::string_view s) {
   out_->append(s.data(), s.size());
 }
 
+void Encoder::put_u32_le(uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out_->append(b, 4);
+}
+
+void Encoder::patch_u32_le(size_t pos, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    (*out_)[pos + static_cast<size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
 Result<uint64_t> Decoder::varint() {
   uint64_t v = 0;
   int shift = 0;
@@ -43,8 +56,17 @@ Result<std::string> Decoder::bytes() {
   return s;
 }
 
+size_t encoded_message_size_hint(const Message& m) {
+  size_t n = 64;  // fixed fields, varints, counts, CRC
+  n += m.table.size() + m.key.size() + m.value.size();
+  for (const auto& kv : m.kvs) n += kv.key.size() + kv.value.size() + 20;
+  for (const auto& s : m.strs) n += s.size() + 10;
+  return n;
+}
+
 void encode_message(const Message& m, std::string* out) {
   const size_t start = out->size();
+  out->reserve(start + encoded_message_size_hint(m));
   Encoder e(out);
   e.put_varint(static_cast<uint64_t>(m.op));
   e.put_u8(static_cast<uint8_t>(m.code));
@@ -68,9 +90,7 @@ void encode_message(const Message& m, std::string* out) {
 
   const uint32_t crc =
       crc32c(std::string_view(out->data() + start, out->size() - start));
-  for (int i = 0; i < 4; ++i) {
-    out->push_back(static_cast<char>((crc >> (8 * i)) & 0xff));
-  }
+  e.put_u32_le(crc);
 }
 
 Result<Message> decode_message(std::string_view buf) {

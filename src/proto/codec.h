@@ -9,18 +9,30 @@
 #include <string>
 #include <string_view>
 
+#include "src/common/byte_buffer.h"
 #include "src/common/status.h"
 #include "src/proto/message.h"
 
 namespace bespokv {
 
+// Appends to an existing buffer — callers serialize straight into a
+// connection's write buffer (pass &ByteBuffer::backing() or a ByteBuffer)
+// instead of building intermediate strings.
 class Encoder {
  public:
   explicit Encoder(std::string* out) : out_(out) {}
+  explicit Encoder(ByteBuffer* out) : out_(&out->backing()) {}
 
   void put_varint(uint64_t v);
   void put_u8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
   void put_bytes(std::string_view s);
+  void put_u32_le(uint32_t v);
+
+  // Length-prefix backpatching: mark() the write position, reserve a fixed
+  // slot with put_u32_le(0), encode the body, then patch the slot once the
+  // body size is known — single-pass framing with no temporary payload.
+  size_t mark() const { return out_->size(); }
+  void patch_u32_le(size_t pos, uint32_t v);
 
   std::string* out() { return out_; }
 
@@ -46,6 +58,10 @@ class Decoder {
 
 // Serializes `m` (with CRC trailer) and appends to `out`.
 void encode_message(const Message& m, std::string* out);
+
+// Rough serialized size of `m` (within a few varint bytes) — lets callers
+// reserve() once before encoding instead of growing incrementally.
+size_t encoded_message_size_hint(const Message& m);
 
 // Parses one full encoded message (as produced by encode_message).
 Result<Message> decode_message(std::string_view buf);

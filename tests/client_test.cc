@@ -43,6 +43,80 @@ TEST(KvClientTest, OpsIssuedBeforeConnectAreQueued) {
   EXPECT_TRUE(kv->ready());
 }
 
+TEST(KvClientTest, BatchPutThenBatchGetPipelines) {
+  SimEnv env(small_cluster(Topology::kMasterSlave, Consistency::kEventual, 1));
+  SimNodeOpts copts;
+  copts.is_client = true;
+  Runtime* rt = env.sim.add_node("kvc/b",
+                                 std::make_shared<LambdaService>(
+                                     [](Runtime&, const Addr&, Message, Replier r) {
+                                       r(Message::reply(Code::kInvalid));
+                                     }),
+                                 copts);
+  auto kv = std::make_shared<KvClient>(
+      rt, ClientConfig{env.cluster.coordinator_addr()});
+  Status batch_status = Status::Internal("pending");
+  std::vector<Result<std::string>> batch_values;
+  bool gets_done = false;
+  env.sim.post_to("kvc/b", [&, kv] {
+    kv->connect([&, kv](Status) {
+      std::vector<KV> kvs;
+      for (int i = 0; i < 16; ++i) {
+        kvs.push_back(KV{"bk" + std::to_string(i), "bv" + std::to_string(i), 0});
+      }
+      kv->batch_put(std::move(kvs), [&, kv](Status s) {
+        batch_status = s;
+        std::vector<std::string> keys;
+        for (int i = 0; i < 16; ++i) keys.push_back("bk" + std::to_string(i));
+        keys.push_back("bk-missing");
+        kv->batch_get(std::move(keys),
+                      [&](std::vector<Result<std::string>> rs) {
+                        batch_values = std::move(rs);
+                        gets_done = true;
+                      },
+                      "", ConsistencyLevel::kStrong);
+      });
+    });
+  });
+  env.settle(2'000'000);
+  ASSERT_TRUE(gets_done);
+  EXPECT_TRUE(batch_status.ok()) << batch_status.to_string();
+  ASSERT_EQ(batch_values.size(), 17u);
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(batch_values[static_cast<size_t>(i)].ok()) << i;
+    EXPECT_EQ(batch_values[static_cast<size_t>(i)].value(),
+              "bv" + std::to_string(i));
+  }
+  EXPECT_FALSE(batch_values[16].ok());  // missing key reports per-slot error
+}
+
+TEST(KvClientTest, EmptyBatchesCompleteImmediately) {
+  SimEnv env(small_cluster(Topology::kMasterSlave, Consistency::kEventual, 1));
+  SimNodeOpts copts;
+  copts.is_client = true;
+  Runtime* rt = env.sim.add_node("kvc/e",
+                                 std::make_shared<LambdaService>(
+                                     [](Runtime&, const Addr&, Message, Replier r) {
+                                       r(Message::reply(Code::kInvalid));
+                                     }),
+                                 copts);
+  auto kv = std::make_shared<KvClient>(
+      rt, ClientConfig{env.cluster.coordinator_addr()});
+  bool put_done = false;
+  bool get_done = false;
+  env.sim.post_to("kvc/e", [&, kv] {
+    kv->connect([&, kv](Status) {
+      kv->batch_put({}, [&](Status s) { put_done = s.ok(); });
+      kv->batch_get({}, [&](std::vector<Result<std::string>> rs) {
+        get_done = rs.empty();
+      });
+    });
+  });
+  env.settle(500'000);
+  EXPECT_TRUE(put_done);
+  EXPECT_TRUE(get_done);
+}
+
 TEST(KvClientTest, RefreshesMapAfterFailover) {
   ClusterOptions o = small_cluster(Topology::kMasterSlave,
                                    Consistency::kEventual, 1);

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
 #include <set>
 
+#include "src/common/byte_buffer.h"
 #include "src/common/hash.h"
 #include "src/common/hash_ring.h"
 #include "src/common/histogram.h"
@@ -250,6 +252,86 @@ TEST(JsonTest, EscapesOnDump) {
   auto back = Json::parse(j.dump());
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back.value().get("k").as_string(), "a\"b\\c\nd");
+}
+
+TEST(ByteBufferTest, AppendConsumeFifo) {
+  ByteBuffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  b.append("hello ");
+  b.append("world");
+  EXPECT_EQ(b.readable(), "hello world");
+  b.consume(6);
+  EXPECT_EQ(b.readable(), "world");
+  EXPECT_EQ(b.size(), 5u);
+  b.consume(5);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.readable(), "");
+}
+
+TEST(ByteBufferTest, ViewsStableAcrossPartialConsume) {
+  // The invariant flush() relies on: iovecs built from readable() stay valid
+  // while the consume-walk advances the read cursor.
+  ByteBuffer b;
+  b.append("abcdefgh");
+  std::string_view v = b.readable();
+  const char* base = v.data();
+  b.consume(3);
+  EXPECT_EQ(b.readable().data(), base + 3);
+  EXPECT_EQ(b.readable(), "defgh");
+  EXPECT_EQ(std::string_view(base, 8), "abcdefgh");  // old view still intact
+}
+
+TEST(ByteBufferTest, FullDrainResetsOffset) {
+  ByteBuffer b;
+  b.append("xyz");
+  b.consume(3);
+  EXPECT_EQ(b.read_offset(), 0u);
+  b.append("next");
+  EXPECT_EQ(b.readable(), "next");
+}
+
+TEST(ByteBufferTest, PrepareCommitZeroCopyWrite) {
+  ByteBuffer b;
+  b.append("head-");
+  char* dst = b.prepare(16);
+  std::memcpy(dst, "tail", 4);
+  b.commit(4);
+  EXPECT_EQ(b.readable(), "head-tail");
+  // commit(0) discards the whole prepared region.
+  b.prepare(64);
+  b.commit(0);
+  EXPECT_EQ(b.readable(), "head-tail");
+}
+
+TEST(ByteBufferTest, ReclaimCompactsOnlyWhenPrefixDominates) {
+  ByteBuffer b;
+  const std::string chunk(4096, 'a');
+  b.append(chunk);
+  b.append(chunk);
+  b.consume(4096);  // dead prefix = live data = 4096
+  EXPECT_EQ(b.read_offset(), 4096u);
+  b.append("x");  // prefix >= threshold and >= live: append may compact
+  EXPECT_EQ(b.read_offset(), 0u);
+  EXPECT_EQ(b.size(), 4097u);
+  EXPECT_EQ(b.readable().substr(4090), "aaaaaax");
+}
+
+TEST(ByteBufferTest, SmallPrefixIsNotCompacted) {
+  ByteBuffer b;
+  b.append("0123456789");
+  b.consume(4);  // tiny prefix, below the 4K threshold
+  b.append("ab");
+  EXPECT_EQ(b.read_offset(), 4u);  // no memmove happened
+  EXPECT_EQ(b.readable(), "456789ab");
+}
+
+TEST(ByteBufferTest, BackingExtendsReadableWindow) {
+  ByteBuffer b;
+  b.append("pre");
+  b.consume(1);
+  b.backing().append("post");
+  EXPECT_EQ(b.readable(), "repost");
 }
 
 }  // namespace

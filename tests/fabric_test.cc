@@ -190,6 +190,41 @@ TEST(TcpFabricTest, DeadPeerTimesOut) {
   EXPECT_FALSE(r.ok());
 }
 
+TEST(TcpFabricTest, StatsCountSendsFlushesAndPartitionDrops) {
+  TcpFabric fab;
+  const Addr a1 = "127.0.0.1:" + std::to_string(TcpFabric::pick_port());
+  const Addr a2 = "127.0.0.1:" + std::to_string(TcpFabric::pick_port());
+  fab.add_node(a2, std::make_shared<CounterService>());
+  fab.add_node(a1, std::make_shared<LambdaService>(
+      [a2](Runtime& rt, const Addr&, Message req, Replier reply) {
+        rt.call(a2, std::move(req), [reply](Status s, Message rep) {
+          reply(s.ok() ? std::move(rep) : Message::reply(Code::kUnavailable));
+        });
+      }));
+
+  for (int i = 0; i < 5; ++i) {
+    auto r = fab.call_sync(a1, Message::get("s" + std::to_string(i)));
+    ASSERT_TRUE(r.ok()) << i;
+  }
+  const FabricStats sent = fab.stats(a1);
+  EXPECT_GE(sent.msgs_sent, 5u);  // five proxied requests left a1
+  EXPECT_GT(sent.bytes_sent, 0u);
+  EXPECT_GT(sent.flushes, 0u);
+  EXPECT_LE(sent.flushes, sent.msgs_sent);  // coalescing never inflates flushes
+  EXPECT_EQ(sent.msgs_dropped, 0u);
+
+  // Partition a1 -> a2: proxied calls are dropped on the floor and counted,
+  // surfacing what used to be a silent drop in ship().
+  fab.partition(a1, a2, true);
+  auto r = fab.call_sync(a1, Message::get("cut"), 300'000);
+  EXPECT_FALSE(r.ok());
+  EXPECT_GE(fab.stats(a1).msgs_dropped, 1u);
+
+  fab.partition(a1, a2, false);
+  auto healed = fab.call_sync(a1, Message::get("healed"));
+  EXPECT_TRUE(healed.ok());
+}
+
 TEST(TcpFabricTest, FullClusterOverLoopback) {
   TcpFabric fab;
   ClusterOptions o;

@@ -8,6 +8,7 @@
 #include "src/common/hash_ring.h"
 #include "src/common/rng.h"
 #include "src/datalet/datalet.h"
+#include "src/net/envelope.h"
 #include "src/proto/codec.h"
 #include "src/proto/text_protocol.h"
 
@@ -87,6 +88,111 @@ void BM_CodecDecode(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_CodecDecode);
+
+// ---- tracing overhead gate --------------------------------------------------
+//
+// The pre-observability envelope codec, frozen verbatim as the in-binary A/B
+// baseline: no trace-tail branch on encode, whole-payload (strict) message
+// decode. CI compares BM_EnvelopeRoundtrip against this and fails the build
+// if the tracing-disabled path regresses by more than 5%.
+
+void encode_envelope_noobs(const Envelope& env, std::string* out) {
+  out->reserve(out->size() + 4 + 16 + env.from.size() +
+               encoded_message_size_hint(env.msg));
+  Encoder e(out);
+  const size_t len_at = e.mark();
+  e.put_u32_le(0);
+  e.put_varint(env.rpc_id);
+  e.put_u8(static_cast<uint8_t>(env.kind));
+  e.put_bytes(env.from);
+  encode_message(env.msg, out);
+  e.patch_u32_le(len_at, static_cast<uint32_t>(out->size() - len_at - 4));
+}
+
+Status decode_envelope_noobs(std::string_view buf, Envelope* env,
+                             size_t* consumed) {
+  *consumed = 0;
+  if (buf.size() < 4) return Status::Ok();
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(buf[static_cast<size_t>(i)]))
+           << (8 * i);
+  }
+  if (len > 64u * 1024 * 1024) return Status::Corruption("oversized frame");
+  if (buf.size() < 4 + static_cast<size_t>(len)) return Status::Ok();
+  std::string_view payload = buf.substr(4, len);
+  Decoder d(payload);
+  auto rpc = d.varint();
+  if (!rpc.ok()) return rpc.status();
+  auto kind = d.u8();
+  if (!kind.ok()) return kind.status();
+  auto from = d.bytes();
+  if (!from.ok()) return from.status();
+  auto msg = decode_message(payload.substr(payload.size() - d.remaining()));
+  if (!msg.ok()) return msg.status();
+  env->rpc_id = rpc.value();
+  env->kind = static_cast<EnvelopeKind>(kind.value());
+  env->from = std::move(from).value();
+  env->msg = std::move(msg).value();
+  *consumed = 4 + static_cast<size_t>(len);
+  return Status::Ok();
+}
+
+Envelope overhead_envelope(bool traced) {
+  Envelope env;
+  env.rpc_id = 12345;
+  env.kind = EnvelopeKind::kRequest;
+  env.from = "10.0.0.1:7000";
+  env.msg = Message::put(std::string(16, 'k'), std::string(32, 'v'));
+  if (traced) {
+    env.msg.trace.trace_id = 0x1234567890abcdefULL;
+    env.msg.trace.span_id = 0xfedcba0987654321ULL;
+    env.msg.trace.hop = 2;
+  }
+  return env;
+}
+
+void BM_EnvelopeRoundtrip(benchmark::State& state) {
+  const Envelope env = overhead_envelope(/*traced=*/false);
+  for (auto _ : state) {
+    std::string buf;
+    encode_envelope(env, &buf);
+    Envelope out;
+    size_t consumed = 0;
+    benchmark::DoNotOptimize(decode_envelope(buf, &out, &consumed));
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EnvelopeRoundtrip);
+
+void BM_EnvelopeRoundtripNoObsBaseline(benchmark::State& state) {
+  const Envelope env = overhead_envelope(/*traced=*/false);
+  for (auto _ : state) {
+    std::string buf;
+    encode_envelope_noobs(env, &buf);
+    Envelope out;
+    size_t consumed = 0;
+    benchmark::DoNotOptimize(decode_envelope_noobs(buf, &out, &consumed));
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EnvelopeRoundtripNoObsBaseline);
+
+void BM_EnvelopeRoundtripTraced(benchmark::State& state) {
+  const Envelope env = overhead_envelope(/*traced=*/true);
+  for (auto _ : state) {
+    std::string buf;
+    encode_envelope(env, &buf);
+    Envelope out;
+    size_t consumed = 0;
+    benchmark::DoNotOptimize(decode_envelope(buf, &out, &consumed));
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EnvelopeRoundtripTraced);
 
 void BM_RespParse(benchmark::State& state) {
   RespParser p;

@@ -9,6 +9,7 @@
 #include "src/cluster/cluster.h"
 #include "src/common/histogram.h"
 #include "src/net/tcp_fabric.h"
+#include "src/obs/metrics.h"
 
 namespace bespokv::bench {
 
@@ -22,6 +23,18 @@ uint64_t wall_us() {
 }
 
 std::string key_name(int i) { return "fp-key-" + std::to_string(i); }
+
+// Scrapes a node's metrics registry over the wire (kStats), exactly as an
+// external monitoring client would; the "net.*" counters replaced the old
+// in-process FabricStats accessor.
+obs::MetricsSnapshot scrape_stats(TcpFabric& fab, const Addr& addr) {
+  Message req;
+  req.op = Op::kStats;
+  auto rep = fab.call_sync(addr, std::move(req));
+  if (!rep.ok()) return {};
+  return obs::MetricsSnapshot::from_json(rep.value().value)
+      .value_or(obs::MetricsSnapshot{});
+}
 
 // Runs `fn` on the client node's runtime and blocks until `fn` has arranged
 // for the returned future's promise to fire.
@@ -79,7 +92,7 @@ std::vector<FastpathPoint> run_tcp_fastpath_sweep(const FastpathOptions& opts) {
     pt.batch = batch;
     Histogram rtt;
     uint64_t errors = 0;
-    const FabricStats before = fab.stats(caddr);
+    const obs::MetricsSnapshot before = scrape_stats(fab, caddr);
     const uint64_t t_start = wall_us();
     const uint64_t deadline = t_start + opts.measure_us;
     uint64_t now = t_start;
@@ -120,14 +133,16 @@ std::vector<FastpathPoint> run_tcp_fastpath_sweep(const FastpathOptions& opts) {
       rtt.record(now - t0);
       pt.ops += static_cast<uint64_t>(batch);
     }
-    const FabricStats after = fab.stats(caddr);
+    const obs::MetricsSnapshot after = scrape_stats(fab, caddr);
     const double elapsed_s = static_cast<double>(now - t_start) / 1e6;
     pt.errors = errors;
     pt.ops_per_sec = elapsed_s > 0 ? static_cast<double>(pt.ops) / elapsed_s : 0;
     pt.p50_us = rtt.percentile(0.50);
     pt.p99_us = rtt.percentile(0.99);
-    const uint64_t dmsgs = after.msgs_sent - before.msgs_sent;
-    const uint64_t dflush = after.flushes - before.flushes;
+    const uint64_t dmsgs =
+        after.counter("net.msgs_sent") - before.counter("net.msgs_sent");
+    const uint64_t dflush =
+        after.counter("net.flushes") - before.counter("net.flushes");
     pt.coalesce = dflush > 0 ? static_cast<double>(dmsgs) /
                                    static_cast<double>(dflush)
                              : 1.0;

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace bespokv {
 
@@ -82,6 +83,27 @@ void KvClient::issue(Message req, bool is_read, int attempts_left, DoneCb done) 
   if (!target.ok()) {
     done(target.status(), Message{});
     return;
+  }
+  if (obs::tracing_enabled() && !req.trace.valid()) {
+    // Sampling decision: open a root span for this request. Retries re-enter
+    // issue() with the context already stamped, so the whole retry sequence
+    // stays one trace and the root closes when the final reply surfaces.
+    obs::Tracer& tracer = rt_->obs().tracer();
+    req.trace.trace_id = tracer.new_trace_id();
+    req.trace.span_id = tracer.new_span_id();
+    req.trace.hop = 1;  // the server dispatch is one network hop from us
+    obs::Span root;
+    root.trace_id = req.trace.trace_id;
+    root.span_id = req.trace.span_id;
+    root.name = std::string("client.") + op_name(req.op);
+    root.node = rt_->self();
+    root.start_us = rt_->now_us();
+    done = [rt = rt_, root = std::move(root),
+            done = std::move(done)](Status s, Message rep) mutable {
+      root.end_us = rt->now_us();
+      rt->obs().tracer().record(std::move(root));
+      done(s, std::move(rep));
+    };
   }
   rt_->call(target.value(), req,
             [this, req, is_read, attempts_left,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <charconv>
 #include <cstdio>
 
 namespace bespokv {
@@ -55,6 +56,67 @@ uint64_t Histogram::percentile(double q) const {
     if (seen >= target) return bucket_mid(i);
   }
   return max_;
+}
+
+std::string Histogram::encode() const {
+  std::string out;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%llu %llu %llu %llu",
+                static_cast<unsigned long long>(count_),
+                static_cast<unsigned long long>(sum_),
+                static_cast<unsigned long long>(min_),
+                static_cast<unsigned long long>(max_));
+  out += buf;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[static_cast<size_t>(i)] == 0) continue;
+    std::snprintf(buf, sizeof(buf), " %d:%llu", i,
+                  static_cast<unsigned long long>(buckets_[static_cast<size_t>(i)]));
+    out += buf;
+  }
+  return out;
+}
+
+namespace {
+bool parse_u64(std::string_view text, size_t* pos, uint64_t* out) {
+  while (*pos < text.size() && text[*pos] == ' ') ++*pos;
+  const char* begin = text.data() + *pos;
+  const char* end = text.data() + text.size();
+  auto [p, ec] = std::from_chars(begin, end, *out);
+  if (ec != std::errc() || p == begin) return false;
+  *pos += static_cast<size_t>(p - begin);
+  return true;
+}
+}  // namespace
+
+bool Histogram::decode(std::string_view text, Histogram* out) {
+  Histogram h;
+  size_t pos = 0;
+  uint64_t count, sum, min, max;
+  if (!parse_u64(text, &pos, &count) || !parse_u64(text, &pos, &sum) ||
+      !parse_u64(text, &pos, &min) || !parse_u64(text, &pos, &max)) {
+    return false;
+  }
+  h.count_ = count;
+  h.sum_ = sum;
+  h.min_ = min;
+  h.max_ = max;
+  uint64_t in_buckets = 0;
+  while (pos < text.size()) {
+    while (pos < text.size() && text[pos] == ' ') ++pos;
+    if (pos == text.size()) break;
+    uint64_t b;
+    if (!parse_u64(text, &pos, &b)) return false;
+    if (pos >= text.size() || text[pos] != ':') return false;
+    ++pos;
+    uint64_t c;
+    if (!parse_u64(text, &pos, &c)) return false;
+    if (b >= static_cast<uint64_t>(kBuckets)) return false;
+    h.buckets_[static_cast<size_t>(b)] += c;
+    in_buckets += c;
+  }
+  if (in_buckets != count) return false;
+  *out = h;
+  return true;
 }
 
 std::string Histogram::summary() const {

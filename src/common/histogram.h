@@ -19,6 +19,7 @@ class Histogram {
   void reset();
 
   uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
   uint64_t min() const { return count_ ? min_ : 0; }
   uint64_t max() const { return max_; }
   double mean() const { return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0; }
@@ -27,6 +28,22 @@ class Histogram {
   uint64_t percentile(double q) const;
 
   std::string summary() const;  // "n=... mean=... p50=... p99=..."
+
+  // Bucket-level access, so snapshots merged across nodes keep full
+  // percentile resolution instead of collapsing to min/mean/max.
+  static constexpr int num_buckets() { return kBuckets; }
+  uint64_t bucket_count(int b) const { return buckets_[static_cast<size_t>(b)]; }
+
+  // Sparse text export: "count sum rawmin max b:c b:c ...". Round-trips
+  // exactly (including the empty-histogram min sentinel), so a decoded
+  // histogram merges identically to the original.
+  std::string encode() const;
+  static bool decode(std::string_view text, Histogram* out);
+
+  bool operator==(const Histogram& o) const {
+    return count_ == o.count_ && sum_ == o.sum_ && min_ == o.min_ &&
+           max_ == o.max_ && buckets_ == o.buckets_;
+  }
 
  private:
   static constexpr int kSub = 16;        // linear sub-buckets per power of two

@@ -1,6 +1,7 @@
 #include "src/controlet/aa_ec.h"
 
 #include "src/common/logging.h"
+#include "src/obs/admin.h"
 
 namespace bespokv {
 
@@ -54,10 +55,14 @@ void AaEcControlet::do_write(EventContext ctx) {
   ++inflight_;
   auto reply = ctx.reply;
   Message logged = ctx.req;
+  // Replication-stage span: the shared-log append RPC (Fig. 15c step 2) as
+  // seen from this active, i.e. log round-trip including queueing.
+  const TraceContext tctx = rt_->obs().tracer().current();
+  const uint64_t app_t0 = rt_->now_us();
   sharedlog_->append(
       logged, cfg_.shard,
-      [this, key, value = std::move(value), is_del, reply](Status s,
-                                                           uint64_t seq) {
+      [this, key, value = std::move(value), is_del, reply, tctx,
+       app_t0](Status s, uint64_t seq) {
         --inflight_;
         if (!s.ok()) {
           reply(Message::reply(s.code() == Code::kTimeout
@@ -65,6 +70,8 @@ void AaEcControlet::do_write(EventContext ctx) {
                                    : Code::kUnavailable));
           return;
         }
+        metrics().counter("sharedlog.appends").inc();
+        obs::record_stage(*rt_, tctx, "sharedlog.append", app_t0);
         apply_replicated(KV{key, value, version_of(seq)}, is_del);
         Message rep = Message::reply(Code::kOk);
         rep.seq = seq;

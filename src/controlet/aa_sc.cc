@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "src/common/logging.h"
+#include "src/obs/admin.h"
 
 namespace bespokv {
 
@@ -28,8 +29,12 @@ void AaScControlet::do_write(EventContext ctx) {
 
   ++inflight_;
   auto reply = ctx.reply;
+  // Replication-stage span: write-lock acquisition at the DLM (Fig. 15b
+  // steps 2-3), including any wait behind a contending holder.
+  const TraceContext tctx = rt_->obs().tracer().current();
+  const uint64_t lock_t0 = rt_->now_us();
   dlm_->lock(key, /*write=*/true, [this, key, kv = std::move(kv), is_del,
-                                   reply](Status s) mutable {
+                                   reply, tctx, lock_t0](Status s) mutable {
     if (!s.ok()) {
       --inflight_;
       reply(Message::reply(s.code() == Code::kTimeout ? Code::kTimeout
@@ -37,6 +42,7 @@ void AaScControlet::do_write(EventContext ctx) {
       return;
     }
     ++lock_grants_;
+    obs::record_stage(*rt_, tctx, "dlm.lock", lock_t0);
     if (is_del && !local_has(key)) {
       dlm_->unlock(key);
       --inflight_;
@@ -92,14 +98,17 @@ void AaScControlet::do_read(EventContext ctx) {
   const std::string key = prefixed_key(ctx.req);
   auto reply = ctx.reply;
   Message req = ctx.req;
+  const TraceContext tctx = rt_->obs().tracer().current();
+  const uint64_t lock_t0 = rt_->now_us();
   dlm_->lock(key, /*write=*/false, [this, key, req = std::move(req),
-                                    reply](Status s) {
+                                    reply, tctx, lock_t0](Status s) {
     if (!s.ok()) {
       reply(Message::reply(s.code() == Code::kTimeout ? Code::kTimeout
                                                       : Code::kUnavailable));
       return;
     }
     ++lock_grants_;
+    obs::record_stage(*rt_, tctx, "dlm.lock", lock_t0);
     Message rep = apply_local(req);
     dlm_->unlock(key);
     reply(std::move(rep));

@@ -10,6 +10,9 @@ ControletBase::ControletBase(ControletConfig cfg) : cfg_(std::move(cfg)) {}
 
 void ControletBase::start(Runtime& rt) {
   Service::start(rt);
+  c_writes_ = &metrics().counter("controlet.writes");
+  c_reads_ = &metrics().counter("controlet.reads");
+  c_forwards_ = &metrics().counter("controlet.p2p_forwards");
   hb_timer_ = rt_->set_periodic(cfg_.hb_period_us, [this] {
     Message hb;
     hb.op = Op::kHeartbeat;
@@ -170,7 +173,10 @@ bool ControletBase::maybe_p2p_forward(const Addr& from, const Message& req,
     return false;
   }
   (void)from;
-  rt_->call(target, req,
+  c_forwards_->inc();
+  Message fwd = req;
+  fwd.trace = TraceContext{};  // re-parent the hop on this dispatch
+  rt_->call(target, std::move(fwd),
             [reply](Status s, Message rep) {
               reply(s.ok() ? std::move(rep)
                            : Message::reply(Code::kUnavailable));
@@ -200,6 +206,7 @@ void ControletBase::handle(const Addr& from, Message req, Replier reply) {
         // which already implements the target topology/consistency (§V).
         Message fwd = req;
         fwd.flags |= kFlagTransition;
+        fwd.trace = TraceContext{};  // re-parent the hop on this dispatch
         rt_->call(*successor_, std::move(fwd),
                   [reply](Status s, Message rep) {
                     reply(s.ok() ? std::move(rep)
@@ -209,6 +216,7 @@ void ControletBase::handle(const Addr& from, Message req, Replier reply) {
         return;
       }
       if (maybe_p2p_forward(from, req, reply, /*is_read=*/false)) return;
+      c_writes_->inc();
       EventContext ctx{from, std::move(req), std::move(reply)};
       if (!bus_.emit(ctx.req.op == Op::kPut ? "PUT" : "DEL", ctx)) {
         do_write(std::move(ctx));
@@ -226,6 +234,7 @@ void ControletBase::handle(const Addr& from, Message req, Replier reply) {
           maybe_p2p_forward(from, req, reply, /*is_read=*/true)) {
         return;
       }
+      c_reads_->inc();
       EventContext ctx{from, std::move(req), std::move(reply)};
       if (!bus_.emit(ctx.req.op == Op::kGet ? "GET" : "SCAN", ctx)) {
         do_read(std::move(ctx));

@@ -111,6 +111,10 @@ class ControletBase : public Service {
 
   void report_failure(const Addr& suspect);
 
+  // The node's metrics registry; valid once start() ran. Subclasses cache
+  // Counter handles rather than looking names up per request.
+  obs::MetricsRegistry& metrics() { return rt_->obs().metrics(); }
+
   ControletConfig cfg_;
   EventBus bus_;
   ShardMap map_;
@@ -127,6 +131,11 @@ class ControletBase : public Service {
   void start_recovery(const Addr& source);
   void enter_old_side_transition(const Addr& successor);
   void poll_drain();
+
+  // Request counters ("controlet.*"), cached from the registry in start().
+  obs::Counter* c_writes_ = nullptr;
+  obs::Counter* c_reads_ = nullptr;
+  obs::Counter* c_forwards_ = nullptr;
 
   bool in_shard_ = false;
   bool retired_ = false;

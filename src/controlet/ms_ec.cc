@@ -70,6 +70,8 @@ void MsEcControlet::flush() {
     send_batch(i, kvs, ops, /*attempts_left=*/3);
   }
   ++batches_sent_;
+  metrics().counter("propagate.batches").inc();
+  metrics().counter("propagate.kvs").inc(n);
   if (!buffer_.empty()) flush();  // drain oversized buffers promptly
 }
 

@@ -1,6 +1,7 @@
 #include "src/controlet/ms_sc.h"
 
 #include "src/common/logging.h"
+#include "src/obs/admin.h"
 
 namespace bespokv {
 
@@ -62,9 +63,18 @@ void MsScControlet::apply_and_forward(Message w, std::function<void(Code)> done)
     return;
   }
   const Addr successor = reps[next].controlet;
+  // Replication-stage span: covers the forward RPC to the successor (and,
+  // transitively, the rest of the chain) as seen from this node. Clear the
+  // inbound trace context so the forward is re-stamped as a child of *this*
+  // dispatch — otherwise the whole chain flattens onto the head's span.
+  w.trace = TraceContext{};
+  const TraceContext tctx = rt_->obs().tracer().current();
+  const uint64_t fwd_t0 = rt_->now_us();
   rt_->call(successor, w,
-            [this, w, done, successor](Status s, Message rep) mutable {
+            [this, w, done, successor, tctx, fwd_t0](Status s,
+                                                     Message rep) mutable {
               if (s.ok() && rep.code == Code::kOk) {
+                obs::record_stage(*rt_, tctx, "chain.forward", fwd_t0);
                 done(Code::kOk);
                 return;
               }

@@ -1,6 +1,7 @@
 #include "src/datalet/service.h"
 
 #include "src/common/logging.h"
+#include "src/obs/admin.h"
 
 namespace bespokv {
 
@@ -104,7 +105,22 @@ Message DataletHandle::apply(Datalet& d, const Message& req) {
 
 void DataletService::handle(const Addr& from, Message req, Replier reply) {
   (void)from;
-  reply(DataletHandle::apply(*datalet_, req));
+  if (rt_ == nullptr) {  // standalone use without a fabric node
+    reply(DataletHandle::apply(*datalet_, req));
+    return;
+  }
+  if (ops_ == nullptr) {
+    obs::MetricsRegistry& m = rt_->obs().metrics();
+    ops_ = &m.counter("datalet.ops");
+    apply_us_ = &m.timer("datalet.apply_us");
+  }
+  const TraceContext tctx = rt_->obs().tracer().current();
+  const uint64_t t0 = rt_->now_us();
+  Message rep = DataletHandle::apply(*datalet_, req);
+  ops_->inc();
+  apply_us_->record(rt_->now_us() - t0);
+  obs::record_stage(*rt_, tctx, "datalet.apply", t0);
+  reply(std::move(rep));
 }
 
 void DataletHandle::execute(Message req, std::function<void(Message)> done) {

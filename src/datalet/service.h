@@ -25,6 +25,10 @@ class DataletService : public Service {
 
  private:
   std::shared_ptr<Datalet> datalet_;
+  // "datalet.*" instrumentation, cached from the node registry on first use
+  // (the service may also be constructed without ever joining a fabric).
+  obs::Counter* ops_ = nullptr;
+  Histogram* apply_us_ = nullptr;
 };
 
 // Uniform async datalet access for controlets: local engine call or RPC.

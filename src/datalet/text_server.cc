@@ -99,7 +99,14 @@ void TextProtocolServer::serve_conn(int fd) {
       if (!r.has_message) break;
       off += r.consumed;
       ++served_;
-      Message reply = DataletHandle::apply(*engine_, r.message);
+      // Counter lookups here are mutex-guarded map walks, which is fine: a
+      // blocking text-protocol connection pays syscalls per request anyway.
+      metrics_.counter("server.requests").inc();
+      metrics_.counter(std::string("server.op.") + op_name(r.message.op)).inc();
+      Message reply =
+          r.message.op == Op::kStats
+              ? Message::reply(Code::kOk, metrics_.snapshot().to_json())
+              : DataletHandle::apply(*engine_, r.message);
       // GET replies must distinguish "present but empty" from bulk protocol
       // framing; the RESP formatter keys off flags for that corner.
       if (r.message.op == Op::kGet && reply.code == Code::kOk) {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/datalet/datalet.h"
+#include "src/obs/metrics.h"
 #include "src/proto/text_protocol.h"
 
 namespace bespokv {
@@ -33,12 +34,18 @@ class TextProtocolServer {
   int port() const { return port_; }
   uint64_t requests_served() const { return served_.load(); }
 
+  // Per-server registry ("server.*" counters). A STATS request on the text
+  // protocol replies with this registry's snapshot as JSON, so bespoKV-side
+  // monitoring works even against a store speaking its native protocol.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
  private:
   void accept_loop();
   void serve_conn(int fd);
 
   std::shared_ptr<Datalet> engine_;
   std::string parser_name_;
+  obs::MetricsRegistry metrics_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> stopping_{false};

@@ -14,6 +14,16 @@ void encode_envelope(const Envelope& env, std::string* out) {
   e.put_u8(static_cast<uint8_t>(env.kind));
   e.put_bytes(env.from);
   encode_message(env.msg, out);
+  if (env.msg.trace.valid()) {
+    // Optional tail field after the (self-delimiting) message. Untraced
+    // envelopes are byte-identical to the pre-tracing wire format, and
+    // decoders ignore tails they don't understand, so old and new nodes
+    // interoperate.
+    e.put_u8(kTraceTailTag);
+    e.put_varint(env.msg.trace.trace_id);
+    e.put_varint(env.msg.trace.span_id);
+    e.put_u8(env.msg.trace.hop);
+  }
   e.patch_u32_le(len_at, static_cast<uint32_t>(out->size() - len_at - 4));
 }
 
@@ -41,17 +51,38 @@ Status decode_envelope(std::string_view buf, Envelope* env, size_t* consumed) {
   auto from = d.bytes();
   if (!from.ok()) return from.status();
 
-  // The remainder of the payload is the encoded message.
+  // The encoded message follows the header; it is self-delimiting, and any
+  // bytes after it are optional tail fields (currently the trace context).
+  // Unknown tails are skipped for forward compatibility.
   const size_t header = payload.size() - d.remaining();
-  auto msg = decode_message(payload.substr(header));
+  size_t msg_len = 0;
+  auto msg = decode_message(payload.substr(header), &msg_len);
   if (!msg.ok()) return msg.status();
 
   env->rpc_id = rpc.value();
   env->kind = static_cast<EnvelopeKind>(kind.value());
   env->from = std::move(from).value();
   env->msg = std::move(msg).value();
+  decode_envelope_tail(payload.substr(header + msg_len), &env->msg.trace);
   *consumed = 4 + static_cast<size_t>(len);
   return Status::Ok();
+}
+
+void decode_envelope_tail(std::string_view tail, TraceContext* trace) {
+  *trace = TraceContext{};
+  if (tail.empty()) return;
+  Decoder t(tail);
+  auto tag = t.u8();
+  // Tails from a newer protocol revision (or garbage appended by a fuzzer)
+  // are ignored, never an error — forward compatibility for the framing.
+  if (!tag.ok() || tag.value() != kTraceTailTag) return;
+  auto trace_id = t.varint();
+  auto span_id = t.varint();
+  auto hop = t.u8();
+  if (!trace_id.ok() || !span_id.ok() || !hop.ok()) return;
+  trace->trace_id = trace_id.value();
+  trace->span_id = span_id.value();
+  trace->hop = hop.value();
 }
 
 }  // namespace bespokv

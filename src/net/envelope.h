@@ -1,6 +1,12 @@
 // RPC envelope framing shared by the TCP fabric and the protocol tests.
 // Frame on the wire: 4-byte little-endian payload length, then the payload:
 //   varint rpc_id | u8 kind | bytes from_addr | encoded Message (codec.h)
+//   [optional tail fields]
+// The only tail field today is the trace context (tag kTraceTailTag):
+//   u8 tag | varint trace_id | varint span_id | u8 hop
+// Untraced envelopes carry no tail and are byte-identical to the pre-tracing
+// format; decoders skip tails with unknown tags, so mixed-version nodes
+// interoperate.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +20,9 @@
 namespace bespokv {
 
 enum class EnvelopeKind : uint8_t { kRequest = 0, kResponse = 1, kOneWay = 2 };
+
+// Tag of the trace-context tail field appended after the encoded message.
+inline constexpr uint8_t kTraceTailTag = 0x01;
 
 struct Envelope {
   uint64_t rpc_id = 0;
@@ -35,5 +44,9 @@ void encode_envelope(const Envelope& env, ByteBuffer* out);
 //   kOk + consumed==0 — need more bytes
 //   error             — stream is corrupt; the connection must be dropped
 Status decode_envelope(std::string_view buf, Envelope* env, size_t* consumed);
+
+// Parses the optional tail bytes after the encoded message. Unknown or
+// malformed tails leave *trace invalid (never an error). Exposed for tests.
+void decode_envelope_tail(std::string_view tail, TraceContext* trace);
 
 }  // namespace bespokv

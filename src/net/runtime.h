@@ -20,10 +20,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "src/common/rng.h"
 #include "src/common/status.h"
+#include "src/obs/node_obs.h"
 #include "src/proto/message.h"
 
 namespace bespokv {
@@ -64,6 +66,20 @@ class Runtime {
 
   // Deterministic per-node random source.
   virtual Rng& rng() = 0;
+
+  // The node's observability bundle (metrics registry + tracer), shared by
+  // every component running on this node and by the fabric's own counters.
+  // Created on first use; safe from any thread.
+  obs::NodeObs& obs() {
+    std::call_once(obs_once_, [this] {
+      obs_ = std::make_unique<obs::NodeObs>(self());
+    });
+    return *obs_;
+  }
+
+ private:
+  std::once_flag obs_once_;
+  std::unique_ptr<obs::NodeObs> obs_;
 };
 
 class Service {

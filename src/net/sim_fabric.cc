@@ -4,6 +4,7 @@
 
 #include "src/common/hash.h"
 #include "src/common/logging.h"
+#include "src/obs/admin.h"
 
 namespace bespokv {
 
@@ -205,6 +206,7 @@ void SimFabric::SimRuntime::cancel_timer(uint64_t id) {
 
 void SimFabric::SimRuntime::call(const Addr& dst, Message req, RpcCallback cb,
                                  uint64_t timeout_us) {
+  obs::stamp_outgoing(*this, req);
   const uint64_t rpc_id = fab_->next_rpc_id_++;
   auto pending = std::make_unique<PendingRpc>();
   pending->requester = addr_;
@@ -226,6 +228,7 @@ void SimFabric::SimRuntime::call(const Addr& dst, Message req, RpcCallback cb,
     uint64_t done = t;
     if (!dst_node.opts.is_client) {
       const uint64_t start = std::max(t, dst_node.busy_until);
+      fab->record_queue_wait(dst_node, req, t, start);
       done = start + fab->opts_.transport.per_msg_us +
              fab->proc_cost(dst_node, req);
       dst_node.busy_until = done;
@@ -258,18 +261,23 @@ void SimFabric::SimRuntime::call(const Addr& dst, Message req, RpcCallback cb,
           cb(Status::Ok(), std::move(resp));
         });
       };
+      if (obs::handle_admin(*dn->rt, req, reply)) return;
+      obs::DispatchSpan span(*dn->rt, req);
+      reply = span.wrap(std::move(reply));
       dn->svc->handle(from, std::move(req), std::move(reply));
     });
   });
 }
 
 void SimFabric::SimRuntime::send(const Addr& dst, Message msg) {
+  obs::stamp_outgoing(*this, msg);
   fab_->transmit(*node_, dst, [fab = fab_, from = addr_,
                                msg = std::move(msg)](Node& dst_node) mutable {
     const uint64_t t = fab->queue_.now_us();
     uint64_t done = t;
     if (!dst_node.opts.is_client) {
       const uint64_t start = std::max(t, dst_node.busy_until);
+      fab->record_queue_wait(dst_node, msg, t, start);
       done = start + fab->opts_.transport.per_msg_us +
              fab->proc_cost(dst_node, msg);
       dst_node.busy_until = done;
@@ -278,9 +286,32 @@ void SimFabric::SimRuntime::send(const Addr& dst, Message msg) {
                                    dst_addr = dst_node.addr]() mutable {
       Node* dn = fab->find(dst_addr);
       if (dn == nullptr || !dn->alive) return;
-      dn->svc->handle(from, std::move(msg), [](Message) {});
+      Replier reply = [](Message) {};
+      if (obs::handle_admin(*dn->rt, msg, reply)) return;
+      obs::DispatchSpan span(*dn->rt, msg);
+      reply = span.wrap(std::move(reply));
+      dn->svc->handle(from, std::move(msg), std::move(reply));
     });
   });
+}
+
+// The sim's explicit capacity model makes queueing directly observable:
+// when a traced message arrives at a busy server, the wait between arrival
+// and processing start becomes a "fabric.queue" span on the receiving node.
+void SimFabric::record_queue_wait(Node& dst, const Message& m,
+                                  uint64_t arrival_us, uint64_t start_us) {
+  if (!m.trace.valid() || start_us <= arrival_us || dst.rt == nullptr) return;
+  obs::Tracer& tracer = dst.rt->obs().tracer();
+  obs::Span s;
+  s.trace_id = m.trace.trace_id;
+  s.span_id = tracer.new_span_id();
+  s.parent_span_id = m.trace.span_id;
+  s.name = "fabric.queue";
+  s.node = dst.addr;
+  s.start_us = arrival_us;
+  s.end_us = start_us;
+  s.hop = m.trace.hop;
+  tracer.record(std::move(s));
 }
 
 void SimFabric::post_to(const Addr& addr, std::function<void()> fn) {

@@ -94,6 +94,9 @@ class SimFabric : public Fabric {
   Node* find(const Addr& addr);
   const Node* find(const Addr& addr) const;
   bool severed(const Addr& a, const Addr& b) const;
+  // Emits a "fabric.queue" span when a traced message waits for capacity.
+  void record_queue_wait(Node& dst, const Message& m, uint64_t arrival_us,
+                         uint64_t start_us);
   uint64_t proc_cost(const Node& n, const Message& m) const;
   uint64_t msg_bytes(const Message& m) const;
 

@@ -20,6 +20,7 @@
 #include "src/common/hash.h"
 #include "src/common/logging.h"
 #include "src/net/envelope.h"
+#include "src/obs/admin.h"
 
 namespace bespokv {
 
@@ -105,11 +106,13 @@ struct TcpFabric::Node {
   std::mutex task_mu;
   std::deque<std::function<void()>> ext_tasks;
 
-  // Network counters; written on the node thread, snapshotted by stats().
-  std::atomic<uint64_t> msgs_sent{0};
-  std::atomic<uint64_t> msgs_dropped{0};
-  std::atomic<uint64_t> bytes_sent{0};
-  std::atomic<uint64_t> flushes{0};
+  // Network counters live in the node's metrics registry ("net.*" — see
+  // tcp_fabric.h); these cached handles keep the hot path lock-free.
+  // Initialized in add_node() before the event loop starts.
+  obs::Counter* msgs_sent = nullptr;
+  obs::Counter* msgs_dropped = nullptr;
+  obs::Counter* bytes_sent = nullptr;
+  obs::Counter* flushes = nullptr;
 
   // Everything below is touched only on the node thread.
   struct Conn {
@@ -375,6 +378,9 @@ void TcpFabric::Node::dispatch(Envelope env) {
   } else {
     reply = [](Message) {};
   }
+  if (obs::handle_admin(*rt, env.msg, reply)) return;
+  obs::DispatchSpan span(*rt, env.msg);
+  reply = span.wrap(std::move(reply));
   svc->handle(from, std::move(env.msg), std::move(reply));
 }
 
@@ -453,7 +459,7 @@ void TcpFabric::Node::flush(int fd) {
     ssize_t n = ::writev(fd, iov, iovcnt);
     if (n > 0) {
       wrote = true;
-      bytes_sent.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+      bytes_sent->inc(static_cast<uint64_t>(n));
       size_t left = static_cast<size_t>(n);
       while (left > 0) {
         ByteBuffer& head = c.wq.front();
@@ -477,7 +483,7 @@ void TcpFabric::Node::flush(int fd) {
       return;
     }
   }
-  if (wrote) flushes.fetch_add(1, std::memory_order_relaxed);
+  if (wrote) flushes->inc();
   const bool want = !c.wq.empty() && !c.wq.front().empty();
   if (want != c.want_write) {
     c.want_write = want;
@@ -490,14 +496,14 @@ void TcpFabric::Node::flush(int fd) {
 
 void TcpFabric::Node::ship(const Addr& dst, const Envelope& env) {
   if (fab->severed(addr, dst)) {  // partition: drop outgoing traffic
-    msgs_dropped.fetch_add(1, std::memory_order_relaxed);
+    msgs_dropped->inc();
     LOG_DEBUG << "TcpFabric " << addr << ": dropped envelope to " << dst
               << " (partitioned)";
     return;
   }
   int fd = conn_to(dst);
   if (fd < 0) {  // peer dead: caller's timeout handles it
-    msgs_dropped.fetch_add(1, std::memory_order_relaxed);
+    msgs_dropped->inc();
     LOG_DEBUG << "TcpFabric " << addr << ": dropped envelope to " << dst
               << " (connect failed)";
     return;
@@ -507,7 +513,7 @@ void TcpFabric::Node::ship(const Addr& dst, const Envelope& env) {
   // connection's tail chunk; the deferred flush_dirty() pass writes it out
   // together with everything else queued during this event-loop wakeup.
   encode_envelope(env, &out_chunk(c));
-  msgs_sent.fetch_add(1, std::memory_order_relaxed);
+  msgs_sent->inc();
   mark_dirty(fd, c);
 }
 
@@ -537,6 +543,7 @@ void TcpFabric::TcpRuntime::cancel_timer(uint64_t id) {
 
 void TcpFabric::TcpRuntime::call(const Addr& dst, Message req, RpcCallback cb,
                                  uint64_t timeout_us) {
+  obs::stamp_outgoing(*this, req);
   const uint64_t rpc_id = fab_->next_rpc_id_.fetch_add(1);
   Node* n = node_;
   // The response path cancels this timer; without that, every completed RPC
@@ -559,6 +566,7 @@ void TcpFabric::TcpRuntime::call(const Addr& dst, Message req, RpcCallback cb,
 }
 
 void TcpFabric::TcpRuntime::send(const Addr& dst, Message msg) {
+  obs::stamp_outgoing(*this, msg);
   Envelope env;
   env.kind = EnvelopeKind::kOneWay;
   env.from = addr_;
@@ -585,6 +593,13 @@ Runtime* TcpFabric::add_node(const Addr& addr, std::shared_ptr<Service> svc) {
   node->addr = addr;
   node->svc = std::move(svc);
   node->rt = std::make_unique<TcpRuntime>(this, node.get(), addr);
+  {
+    obs::MetricsRegistry& m = node->rt->obs().metrics();
+    node->msgs_sent = &m.counter("net.msgs_sent");
+    node->msgs_dropped = &m.counter("net.msgs_dropped");
+    node->bytes_sent = &m.counter("net.bytes_sent");
+    node->flushes = &m.counter("net.flushes");
+  }
   if (!node->setup()) {
     LOG_ERROR << "TcpFabric: failed to set up node " << addr;
     return nullptr;
@@ -623,17 +638,6 @@ void TcpFabric::kill(const Addr& addr) {
 bool TcpFabric::alive(const Addr& addr) const {
   auto node = find(addr);
   return node && node->alive.load();
-}
-
-FabricStats TcpFabric::stats(const Addr& addr) const {
-  auto node = find(addr);
-  FabricStats s;
-  if (!node) return s;
-  s.msgs_sent = node->msgs_sent.load(std::memory_order_relaxed);
-  s.msgs_dropped = node->msgs_dropped.load(std::memory_order_relaxed);
-  s.bytes_sent = node->bytes_sent.load(std::memory_order_relaxed);
-  s.flushes = node->flushes.load(std::memory_order_relaxed);
-  return s;
 }
 
 void TcpFabric::partition(const Addr& a, const Addr& b, bool cut) {

@@ -17,17 +17,13 @@
 
 namespace bespokv {
 
-// Per-node network counters (monotonic over the node's lifetime). `flushes`
-// counts writev batches, so msgs_sent / flushes is the achieved coalescing
-// factor; msgs_dropped counts envelopes discarded because the peer was
-// unreachable or partitioned (previously a silent drop).
-struct FabricStats {
-  uint64_t msgs_sent = 0;
-  uint64_t msgs_dropped = 0;
-  uint64_t bytes_sent = 0;
-  uint64_t flushes = 0;
-};
-
+// Per-node network counters live in each node's metrics registry under
+// "net.*" names (net.msgs_sent, net.msgs_dropped, net.bytes_sent,
+// net.flushes — monotonic over the node's lifetime). `net.flushes` counts
+// writev batches, so msgs_sent / flushes is the achieved coalescing factor;
+// `net.msgs_dropped` counts envelopes discarded because the peer was
+// unreachable or partitioned. Scrape them like any other metric: the kStats
+// op against the node returns the registry snapshot as JSON.
 class TcpFabric : public Fabric {
  public:
   TcpFabric();
@@ -46,9 +42,6 @@ class TcpFabric : public Fabric {
   // Synchronous RPC from an external thread via a hidden client node.
   Result<Message> call_sync(const Addr& dst, Message req,
                             uint64_t timeout_us = 2'000'000);
-
-  // Snapshot of a node's network counters ({} for unknown addrs).
-  FabricStats stats(const Addr& addr) const;
 
   // Picks a free loopback port (best effort) for harnesses building addrs.
   static int pick_port();

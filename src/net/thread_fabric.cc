@@ -7,6 +7,7 @@
 
 #include "src/common/hash.h"
 #include "src/common/logging.h"
+#include "src/obs/admin.h"
 
 namespace bespokv {
 
@@ -166,6 +167,7 @@ void ThreadFabric::ThreadRuntime::cancel_timer(uint64_t id) {
 
 void ThreadFabric::ThreadRuntime::call(const Addr& dst, Message req,
                                        RpcCallback cb, uint64_t timeout_us) {
+  obs::stamp_outgoing(*this, req);
   const uint64_t rpc_id = fab_->next_rpc_id_.fetch_add(1);
   // Register the pending callback on our own thread, then ship the request.
   auto fire_timeout = [this, rpc_id] {
@@ -201,17 +203,27 @@ void ThreadFabric::ThreadRuntime::call(const Addr& dst, Message req,
         cb(Status::Ok(), std::move(resp));
       });
     };
+    Runtime& drt = *dst_node_raw->rt;
+    if (obs::handle_admin(drt, req, reply)) return;
+    obs::DispatchSpan span(drt, req);
+    reply = span.wrap(std::move(reply));
     dst_node_raw->svc->handle(from, std::move(req), std::move(reply));
   });
 }
 
 void ThreadFabric::ThreadRuntime::send(const Addr& dst, Message msg) {
+  obs::stamp_outgoing(*this, msg);
   const Addr from = addr_;
   auto dst_node = fab_->find(dst);
   if (!dst_node || !dst_node->alive.load() || fab_->severed(from, dst)) return;
   dst_node->enqueue([dst_node_raw = dst_node.get(), from,
                      msg = std::move(msg)]() mutable {
-    dst_node_raw->svc->handle(from, std::move(msg), [](Message) {});
+    Replier reply = [](Message) {};
+    Runtime& drt = *dst_node_raw->rt;
+    if (obs::handle_admin(drt, msg, reply)) return;
+    obs::DispatchSpan span(drt, msg);
+    reply = span.wrap(std::move(reply));
+    dst_node_raw->svc->handle(from, std::move(msg), std::move(reply));
   });
 }
 

@@ -1,0 +1,107 @@
+#include "src/obs/admin.h"
+
+namespace bespokv::obs {
+
+bool handle_admin(Runtime& rt, const Message& req, const Replier& reply) {
+  switch (req.op) {
+    case Op::kStats: {
+      reply(Message::reply(Code::kOk, rt.obs().metrics().snapshot().to_json()));
+      return true;
+    }
+    case Op::kTraceDump: {
+      Tracer& tracer = rt.obs().tracer();
+      Message rep = Message::reply(Code::kOk);
+      for (const auto& s : tracer.spans(req.seq)) rep.strs.push_back(s.encode());
+      rep.seq = tracer.dropped();
+      if (req.flags & 1) tracer.clear();
+      reply(std::move(rep));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+void stamp_outgoing(Runtime& rt, Message& msg) {
+  if (msg.trace.valid()) return;
+  const TraceContext& cur = rt.obs().tracer().current();
+  if (!cur.valid()) return;
+  msg.trace.trace_id = cur.trace_id;
+  msg.trace.span_id = cur.span_id;
+  msg.trace.hop = static_cast<uint8_t>(cur.hop + 1);
+}
+
+DispatchSpan::DispatchSpan(Runtime& rt, const Message& req) {
+  if (!req.trace.valid()) return;
+  Tracer& tracer = rt.obs().tracer();
+  tracer_ = &tracer;
+  prev_ = tracer.current();
+  st_ = std::make_shared<State>();
+  st_->rt = &rt;
+  st_->tracer = &tracer;
+  st_->span.trace_id = req.trace.trace_id;
+  st_->span.span_id = tracer.new_span_id();
+  st_->span.parent_span_id = req.trace.span_id;
+  st_->span.name = op_name(req.op);
+  st_->span.node = rt.self();
+  st_->span.start_us = rt.now_us();
+  st_->span.hop = req.trace.hop;
+  tracer.set_current(TraceContext{req.trace.trace_id, st_->span.span_id,
+                                  req.trace.hop});
+}
+
+Replier DispatchSpan::wrap(Replier reply) {
+  if (!st_) return reply;
+  return [st = st_, reply = std::move(reply)](Message rep) {
+    if (!st->done) {
+      st->done = true;
+      st->span.end_us = st->rt->now_us();
+      st->tracer->record(st->span);
+    }
+    reply(std::move(rep));
+  };
+}
+
+DispatchSpan::~DispatchSpan() {
+  if (!tracer_) return;
+  tracer_->set_current(prev_);
+  // One-way handlers may drop the no-op replier without invoking it; close
+  // the span over the synchronous part so the dispatch is still visible.
+  if (st_ && !st_->done && st_.use_count() == 1) {
+    st_->done = true;
+    st_->span.end_us = st_->rt->now_us();
+    st_->tracer->record(st_->span);
+  }
+}
+
+void record_stage(Runtime& rt, const TraceContext& ctx, const char* name,
+                  uint64_t start_us) {
+  if (!ctx.valid()) return;
+  Tracer& tracer = rt.obs().tracer();
+  Span s;
+  s.trace_id = ctx.trace_id;
+  s.span_id = tracer.new_span_id();
+  s.parent_span_id = ctx.span_id;
+  s.name = name;
+  s.node = rt.self();
+  s.start_us = start_us;
+  s.end_us = rt.now_us();
+  s.hop = ctx.hop;
+  tracer.record(std::move(s));
+}
+
+void StatsExporter::start(Runtime& rt, uint64_t period_us, Sink sink) {
+  stop();
+  rt_ = &rt;
+  timer_ = rt.set_periodic(period_us, [&rt, sink = std::move(sink)] {
+    sink(rt.obs().metrics().snapshot());
+  });
+}
+
+void StatsExporter::stop() {
+  if (rt_ && timer_) rt_->cancel_timer(timer_);
+  rt_ = nullptr;
+  timer_ = 0;
+}
+
+}  // namespace bespokv::obs

@@ -1,0 +1,135 @@
+#include "src/obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/common/json.h"
+
+namespace bespokv::obs {
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] += v;
+  for (const auto& [name, h] : other.timers) timers[name].merge(h);
+}
+
+uint64_t MetricsSnapshot::counter(const std::string& name, uint64_t dflt) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? dflt : it->second;
+}
+
+int64_t MetricsSnapshot::gauge(const std::string& name, int64_t dflt) const {
+  auto it = gauges.find(name);
+  return it == gauges.end() ? dflt : it->second;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  Json root = Json::object();
+  Json jc = Json::object();
+  for (const auto& [name, v] : counters) {
+    jc.set(name, Json::number(static_cast<double>(v)));
+  }
+  root.set("counters", std::move(jc));
+  Json jg = Json::object();
+  for (const auto& [name, v] : gauges) {
+    jg.set(name, Json::number(static_cast<double>(v)));
+  }
+  root.set("gauges", std::move(jg));
+  Json jt = Json::object();
+  for (const auto& [name, h] : timers) {
+    Json t = Json::object();
+    t.set("count", Json::number(static_cast<double>(h.count())));
+    t.set("mean", Json::number(h.mean()));
+    t.set("min", Json::number(static_cast<double>(h.min())));
+    t.set("max", Json::number(static_cast<double>(h.max())));
+    t.set("p50", Json::number(static_cast<double>(h.percentile(0.50))));
+    t.set("p99", Json::number(static_cast<double>(h.percentile(0.99))));
+    // Exact bucket-level payload; the summary numbers above are for humans.
+    t.set("buckets", Json::string(h.encode()));
+    jt.set(name, std::move(t));
+  }
+  root.set("timers", std::move(jt));
+  return root.dump();
+}
+
+Result<MetricsSnapshot> MetricsSnapshot::from_json(std::string_view text) {
+  auto parsed = Json::parse(text);
+  if (!parsed.ok()) return parsed.status();
+  const Json& root = parsed.value();
+  if (!root.is_object()) return Status::Corruption("stats: not an object");
+  MetricsSnapshot snap;
+  for (const auto& [name, v] : root.get("counters").items()) {
+    snap.counters[name] = static_cast<uint64_t>(v.as_number());
+  }
+  for (const auto& [name, v] : root.get("gauges").items()) {
+    snap.gauges[name] = v.as_int();
+  }
+  for (const auto& [name, t] : root.get("timers").items()) {
+    Histogram h;
+    if (!Histogram::decode(t.get("buckets").as_string(), &h)) {
+      return Status::Corruption("stats: bad timer buckets for " + name);
+    }
+    snap.timers[name] = h;
+  }
+  return snap;
+}
+
+std::string MetricsSnapshot::to_csv() const {
+  std::string out = "kind,name,value\n";
+  char buf[160];
+  for (const auto& [name, v] : counters) {
+    std::snprintf(buf, sizeof(buf), "counter,%s,%" PRIu64 "\n", name.c_str(), v);
+    out += buf;
+  }
+  for (const auto& [name, v] : gauges) {
+    std::snprintf(buf, sizeof(buf), "gauge,%s,%" PRId64 "\n", name.c_str(), v);
+    out += buf;
+  }
+  for (const auto& [name, h] : timers) {
+    std::snprintf(buf, sizeof(buf), "timer,%s.count,%" PRIu64 "\n", name.c_str(), h.count());
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "timer,%s.mean,%.2f\n", name.c_str(), h.mean());
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "timer,%s.p50,%" PRIu64 "\n", name.c_str(), h.percentile(0.50));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "timer,%s.p95,%" PRIu64 "\n", name.c_str(), h.percentile(0.95));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "timer,%s.p99,%" PRIu64 "\n", name.c_str(), h.percentile(0.99));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "timer,%s.max,%" PRIu64 "\n", name.c_str(), h.max());
+    out += buf;
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::timer(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = timers_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : timers_) snap.timers[name] = *h;
+  return snap;
+}
+
+}  // namespace bespokv::obs

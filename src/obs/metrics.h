@@ -1,0 +1,82 @@
+// Metrics registry: named counters, gauges and Histogram-backed timers with
+// cheap handles, per-node ownership and mergeable snapshots.
+//
+// Concurrency model mirrors the runtime's: every fabric node is
+// single-threaded, so Histogram timers are thread-compatible (recorded only
+// on the owning node's thread), while counters and gauges are relaxed atomics
+// so fabric I/O threads (TcpFabric's event loop) can bump them too. Snapshots
+// are taken on the owning node's thread — the kStats op dispatches there —
+// and may then be merged/serialized anywhere.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/common/histogram.h"
+#include "src/common/status.h"
+
+namespace bespokv::obs {
+
+class Counter {
+ public:
+  void inc(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+// Point-in-time copy of a registry: plain data, mergeable across nodes and
+// runs (bucket-level histogram merge), serializable to JSON/CSV.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, Histogram> timers;
+
+  void merge(const MetricsSnapshot& other);
+
+  uint64_t counter(const std::string& name, uint64_t dflt = 0) const;
+  int64_t gauge(const std::string& name, int64_t dflt = 0) const;
+
+  // {"counters":{...},"gauges":{...},"timers":{name:{count,sum,min,max,
+  //  p50,p99,buckets:"b:c b:c ..."}}}. Timers round-trip bucket-exact.
+  std::string to_json() const;
+  static Result<MetricsSnapshot> from_json(std::string_view text);
+
+  // One "kind,name,value" line per scalar; timers expand to count/mean/p50/
+  // p95/p99/max rows. Header included.
+  std::string to_csv() const;
+};
+
+class MetricsRegistry {
+ public:
+  // Handles are valid for the registry's lifetime; lookup takes a lock, so
+  // hot paths should cache the returned reference.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& timer(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> timers_;
+};
+
+}  // namespace bespokv::obs

@@ -1,0 +1,29 @@
+// Per-node observability bundle, owned by the node's Runtime (runtime.h
+// exposes `Runtime::obs()`): one metrics registry + one tracer per fabric
+// node, so every component on a node shares the same stats namespace and
+// span buffer regardless of fabric.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace bespokv::obs {
+
+class NodeObs {
+ public:
+  explicit NodeObs(std::string node) : node_(std::move(node)), tracer_(node_) {}
+
+  const std::string& node() const { return node_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+
+ private:
+  std::string node_;
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+};
+
+}  // namespace bespokv::obs

@@ -1,0 +1,125 @@
+#include "src/obs/trace.h"
+
+#include <atomic>
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/common/hash.h"
+
+namespace bespokv::obs {
+
+namespace {
+std::atomic<bool> g_tracing{false};
+
+bool parse_u64_tok(std::string_view text, size_t* pos, uint64_t* out) {
+  while (*pos < text.size() && text[*pos] == ' ') ++*pos;
+  const char* begin = text.data() + *pos;
+  const char* end = text.data() + text.size();
+  auto [p, ec] = std::from_chars(begin, end, *out);
+  if (ec != std::errc() || p == begin) return false;
+  *pos += static_cast<size_t>(p - begin);
+  return true;
+}
+
+bool parse_word(std::string_view text, size_t* pos, std::string* out) {
+  while (*pos < text.size() && text[*pos] == ' ') ++*pos;
+  const size_t start = *pos;
+  while (*pos < text.size() && text[*pos] != ' ') ++*pos;
+  if (*pos == start) return false;
+  out->assign(text.substr(start, *pos - start));
+  return true;
+}
+}  // namespace
+
+void set_tracing(bool on) { g_tracing.store(on, std::memory_order_relaxed); }
+bool tracing_enabled() { return g_tracing.load(std::memory_order_relaxed); }
+
+std::string Span::encode() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 " %u ",
+                trace_id, span_id, parent_span_id, start_us, end_us,
+                static_cast<unsigned>(hop));
+  std::string out = buf;
+  out += name;
+  out += ' ';
+  out += node;
+  return out;
+}
+
+bool Span::decode(std::string_view text, Span* out) {
+  Span s;
+  size_t pos = 0;
+  uint64_t hop = 0;
+  if (!parse_u64_tok(text, &pos, &s.trace_id) ||
+      !parse_u64_tok(text, &pos, &s.span_id) ||
+      !parse_u64_tok(text, &pos, &s.parent_span_id) ||
+      !parse_u64_tok(text, &pos, &s.start_us) ||
+      !parse_u64_tok(text, &pos, &s.end_us) ||
+      !parse_u64_tok(text, &pos, &hop) || hop > 255 ||
+      !parse_word(text, &pos, &s.name) || !parse_word(text, &pos, &s.node)) {
+    return false;
+  }
+  s.hop = static_cast<uint8_t>(hop);
+  *out = s;
+  return true;
+}
+
+Tracer::Tracer(std::string node)
+    : node_(std::move(node)), salt_(mix64(fnv1a64(node_) | 1)) {}
+
+uint64_t Tracer::new_span_id() {
+  // splitmix-style stream over a node-unique salt: unique per node, cheap,
+  // and deterministic under the sim (no wall-clock or global RNG involved).
+  uint64_t id = mix64(salt_ + (++seq_) * 0x9e3779b97f4a7c15ULL);
+  return id ? id : 1;
+}
+
+uint64_t Tracer::new_trace_id() { return new_span_id(); }
+
+void Tracer::record(Span s) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (ring_.size() >= cap_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(std::move(s));
+  ++recorded_;
+}
+
+std::vector<Span> Tracer::spans(uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<Span> out;
+  out.reserve(ring_.size());
+  for (const auto& s : ring_) {
+    if (trace_id == 0 || s.trace_id == trace_id) out.push_back(s);
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ring_.clear();
+}
+
+uint64_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return recorded_;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dropped_;
+}
+
+void Tracer::set_capacity(size_t cap) {
+  std::lock_guard<std::mutex> lk(mu_);
+  cap_ = cap == 0 ? 1 : cap;
+  while (ring_.size() > cap_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+}
+
+}  // namespace bespokv::obs

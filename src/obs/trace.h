@@ -1,0 +1,89 @@
+// Per-node tracer: span ring buffer + id generation + the node's "current"
+// trace context.
+//
+// Span model (Dapper-style, flattened): every span belongs to one trace_id
+// and names its parent span, so a driver holding the spans from all involved
+// nodes can rebuild the causal tree of a request — client root → head
+// controlet dispatch → chain.forward hop → mid dispatch → ... Timestamps come
+// from the owning node's Runtime clock, so trees are coherent under SimFabric
+// virtual time and wall-clock TCP alike.
+//
+// Tracing is sampled at the root: a client only opens a root span when
+// set_tracing(true) (tests/benches flip it); untraced requests carry an
+// invalid context and cost one branch per hop.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/obs/trace_context.h"
+
+namespace bespokv::obs {
+
+struct Span {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;  // 0 = root
+  std::string name;             // stage: op name, "chain.forward", ...
+  std::string node;             // fabric address that emitted the span
+  uint64_t start_us = 0;        // fabric-clock timestamps
+  uint64_t end_us = 0;
+  uint8_t hop = 0;
+
+  // Space-separated wire form for kTraceDump (addresses and stage names
+  // never contain spaces).
+  std::string encode() const;
+  static bool decode(std::string_view text, Span* out);
+};
+
+// Process-wide tracing switch, read by clients when deciding whether to open
+// a root span. Off by default so the data path pays only dead branches.
+void set_tracing(bool on);
+bool tracing_enabled();
+
+class Tracer {
+ public:
+  explicit Tracer(std::string node);
+
+  // Ids are salted with the node name so concurrently-rooted traces on
+  // different clients never collide. trace ids are never 0.
+  uint64_t new_trace_id();
+  uint64_t new_span_id();
+
+  // The context of the request currently being handled on this node's
+  // thread. Installed by the fabric around Service::handle; outgoing
+  // call/send stamp child contexts from it. Thread-compatible by the
+  // runtime's single-threaded-node contract.
+  const TraceContext& current() const { return current_; }
+  void set_current(const TraceContext& ctx) { current_ = ctx; }
+
+  void record(Span s);
+
+  // Snapshot of buffered spans, optionally filtered by trace id.
+  std::vector<Span> spans(uint64_t trace_id = 0) const;
+  void clear();
+  uint64_t recorded() const;
+  uint64_t dropped() const;
+  void set_capacity(size_t cap);
+
+ private:
+  std::string node_;
+  uint64_t salt_;
+  uint64_t seq_ = 0;
+  TraceContext current_{};
+
+  // The ring is written on the node thread but dumped/cleared from tests and
+  // admin paths; a plain mutex keeps that safe and is uncontended in steady
+  // state.
+  mutable std::mutex mu_;
+  std::deque<Span> ring_;
+  size_t cap_ = 4096;
+  uint64_t recorded_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace bespokv::obs

@@ -1,0 +1,28 @@
+// Compact per-request trace context, carried across nodes as an optional
+// backward-compatible tail field of the RPC envelope (see net/envelope.cc).
+// trace_id groups every span of one logical request; span_id names the
+// sender's span so the receiver can parent its own spans under it; hop counts
+// fabric crossings (client=0) and bounds runaway forwarding loops in traces.
+//
+// Deliberately dependency-free: proto/message.h embeds one of these in every
+// Message so in-process fabrics (Sim/Thread) propagate it for free, while the
+// TCP fabric serializes it into the envelope tail.
+#pragma once
+
+#include <cstdint>
+
+namespace bespokv {
+
+struct TraceContext {
+  uint64_t trace_id = 0;  // 0 = request is not traced
+  uint64_t span_id = 0;   // sender's span; parent for spans on the receiver
+  uint8_t hop = 0;        // fabric crossings since the root (client = 0)
+
+  bool valid() const { return trace_id != 0; }
+
+  bool operator==(const TraceContext& o) const {
+    return trace_id == o.trace_id && span_id == o.span_id && hop == o.hop;
+  }
+};
+
+}  // namespace bespokv

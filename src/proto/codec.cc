@@ -56,6 +56,16 @@ Result<std::string> Decoder::bytes() {
   return s;
 }
 
+Result<uint32_t> Decoder::u32_le() {
+  if (remaining() < 4) return Status::Corruption("truncated u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(in_[pos_ + static_cast<size_t>(i)])) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
 size_t encoded_message_size_hint(const Message& m) {
   size_t n = 64;  // fixed fields, varints, counts, CRC
   n += m.table.size() + m.key.size() + m.value.size();
@@ -93,16 +103,14 @@ void encode_message(const Message& m, std::string* out) {
   e.put_u32_le(crc);
 }
 
-Result<Message> decode_message(std::string_view buf) {
+Result<Message> decode_message(std::string_view buf, size_t* consumed) {
   if (buf.size() < 4) return Status::Corruption("message too short");
-  const std::string_view body = buf.substr(0, buf.size() - 4);
-  uint32_t want = 0;
-  for (int i = 0; i < 4; ++i) {
-    want |= static_cast<uint32_t>(static_cast<uint8_t>(buf[body.size() + static_cast<size_t>(i)])) << (8 * i);
-  }
-  if (crc32c(body) != want) return Status::Corruption("message CRC mismatch");
 
-  Decoder d(body);
+  // The fields are parsed first to discover the message's extent, then the
+  // CRC32C trailer immediately after them is verified over exactly that
+  // prefix — so a message no longer has to span the whole buffer and the
+  // envelope may append tail fields after it.
+  Decoder d(buf);
   Message m;
   auto op = d.varint();
   if (!op.ok()) return op.status();
@@ -142,7 +150,7 @@ Result<Message> decode_message(std::string_view buf) {
 
   auto nkvs = d.varint();
   if (!nkvs.ok()) return nkvs.status();
-  if (nkvs.value() > body.size()) return Status::Corruption("kv count too large");
+  if (nkvs.value() > buf.size()) return Status::Corruption("kv count too large");
   m.kvs.reserve(nkvs.value());
   for (uint64_t i = 0; i < nkvs.value(); ++i) {
     KV kv;
@@ -160,7 +168,7 @@ Result<Message> decode_message(std::string_view buf) {
 
   auto nstrs = d.varint();
   if (!nstrs.ok()) return nstrs.status();
-  if (nstrs.value() > body.size()) return Status::Corruption("str count too large");
+  if (nstrs.value() > buf.size()) return Status::Corruption("str count too large");
   m.strs.reserve(nstrs.value());
   for (uint64_t i = 0; i < nstrs.value(); ++i) {
     auto s = d.bytes();
@@ -168,7 +176,17 @@ Result<Message> decode_message(std::string_view buf) {
     m.strs.push_back(std::move(s).value());
   }
 
-  if (!d.exhausted()) return Status::Corruption("trailing bytes in message");
+  const size_t body_len = d.consumed();
+  auto want = d.u32_le();
+  if (!want.ok()) return Status::Corruption("message CRC missing");
+  if (crc32c(buf.substr(0, body_len)) != want.value()) {
+    return Status::Corruption("message CRC mismatch");
+  }
+  if (consumed != nullptr) {
+    *consumed = body_len + 4;
+  } else if (!d.exhausted()) {
+    return Status::Corruption("trailing bytes in message");
+  }
   return m;
 }
 

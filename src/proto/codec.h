@@ -47,9 +47,11 @@ class Decoder {
   Result<uint64_t> varint();
   Result<uint8_t> u8();
   Result<std::string> bytes();
+  Result<uint32_t> u32_le();
 
   bool exhausted() const { return pos_ == in_.size(); }
   size_t remaining() const { return in_.size() - pos_; }
+  size_t consumed() const { return pos_; }
 
  private:
   std::string_view in_;
@@ -63,7 +65,13 @@ void encode_message(const Message& m, std::string* out);
 // reserve() once before encoding instead of growing incrementally.
 size_t encoded_message_size_hint(const Message& m);
 
-// Parses one full encoded message (as produced by encode_message).
-Result<Message> decode_message(std::string_view buf);
+// Parses one encoded message (as produced by encode_message) from the head
+// of `buf`. The encoding is self-delimiting — positional fields followed by
+// a 4-byte CRC32C over them — so `consumed` (when non-null) reports how many
+// bytes the message occupied, letting callers append optional tail fields
+// (e.g. the envelope's trace context) after it. With consumed == nullptr the
+// message must span the whole buffer; trailing bytes are a corruption error,
+// preserving the strict historical contract.
+Result<Message> decode_message(std::string_view buf, size_t* consumed = nullptr);
 
 }  // namespace bespokv

@@ -38,6 +38,8 @@ const char* op_name(Op op) {
     case Op::kTransitionDone: return "TRANSITION_DONE";
     case Op::kHandoff: return "HANDOFF";
     case Op::kSyncApply: return "SYNC_APPLY";
+    case Op::kStats: return "STATS";
+    case Op::kTraceDump: return "TRACE_DUMP";
   }
   return "UNKNOWN";
 }

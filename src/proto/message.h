@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/obs/trace_context.h"
 
 namespace bespokv {
 
@@ -66,6 +67,11 @@ enum class Op : uint16_t {
 
   // Cross-app lazy synchronization for polyglot persistence (§IV-D).
   kSyncApply,
+
+  // Observability admin surface (src/obs). Answered at the fabric layer, so
+  // any node can be scraped. Appended last: Op values are wire-stable.
+  kStats,         // returns metrics-registry snapshot JSON in `value`
+  kTraceDump,     // seq = trace-id filter (0 = all); returns spans in `strs`
 };
 
 const char* op_name(Op op);
@@ -101,6 +107,12 @@ struct Message {
 
   std::vector<KV> kvs;            // scan results, propagation batches, chunks
   std::vector<std::string> strs;  // membership lists, chain orders, etc.
+
+  // Trace context riding alongside the payload. Not encoded by the message
+  // codec (the envelope carries it as an optional tail field for TCP; the
+  // in-process fabrics pass the struct through) and excluded from
+  // operator== — it is delivery metadata, not payload.
+  TraceContext trace;
 
   bool operator==(const Message& o) const;
 

@@ -98,6 +98,8 @@ ParseResult RespParser::parse_request(std::string_view buf) {
     m = Message::scan(std::move(args[1]), std::move(args[2]), limit);
   } else if (cmd == "PING") {
     m.op = Op::kNop;
+  } else if (cmd == "STATS") {
+    m.op = Op::kStats;
   } else {
     r.status = Status::Invalid("unsupported RESP command: " + cmd);
     return r;
@@ -137,6 +139,7 @@ std::string RespParser::format_request(const Message& request) {
     case Op::kDel: return cmd({"DEL", request.key});
     case Op::kScan:
       return cmd({"SCAN", request.key, request.value, std::to_string(request.limit)});
+    case Op::kStats: return cmd({"STATS"});
     default: return cmd({"PING"});
   }
 }
@@ -292,6 +295,8 @@ ParseResult SsdbParser::parse_request(std::string_view buf) {
                       static_cast<uint32_t>(std::atoi(parts[3].c_str())));
   } else if (cmd == "ping") {
     m.op = Op::kNop;
+  } else if (cmd == "stats") {
+    m.op = Op::kStats;
   } else {
     r.status = Status::Invalid("unsupported ssdb command: " + cmd);
     return r;
@@ -344,6 +349,9 @@ std::string SsdbParser::format_request(const Message& request) {
       out += ssdb_tok(request.key);
       out += ssdb_tok(request.value);
       out += ssdb_tok(std::to_string(request.limit));
+      break;
+    case Op::kStats:
+      out += ssdb_tok("stats");
       break;
     default:
       out += ssdb_tok("ping");

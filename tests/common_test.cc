@@ -201,6 +201,75 @@ TEST(HistogramTest, EmptyIsZero) {
   EXPECT_EQ(h.mean(), 0.0);
 }
 
+TEST(HistogramTest, MergeIntoEmptyAndFromEmpty) {
+  Histogram empty, filled;
+  for (uint64_t v : {3u, 70u, 9000u}) filled.record(v);
+
+  Histogram into_empty;  // empty.merge(filled) adopts min/max/count
+  into_empty.merge(filled);
+  EXPECT_TRUE(into_empty == filled);
+  EXPECT_EQ(into_empty.min(), 3u);
+  EXPECT_EQ(into_empty.max(), 9000u);
+
+  Histogram copy = filled;  // filled.merge(empty) is a no-op
+  copy.merge(empty);
+  EXPECT_TRUE(copy == filled);
+  EXPECT_EQ(copy.count(), 3u);
+}
+
+TEST(HistogramTest, ResetClearsMinMax) {
+  Histogram h;
+  h.record(5);
+  h.record(500);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  // A post-reset recording must re-establish min from scratch, not keep the
+  // pre-reset floor.
+  h.record(77);
+  EXPECT_EQ(h.min(), 77u);
+  EXPECT_EQ(h.max(), 77u);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HistogramTest, ValuesBeyondTopBucketStayOrdered) {
+  Histogram h;
+  h.record(UINT64_MAX);
+  h.record(UINT64_MAX - 1);
+  h.record(1);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+  // Percentiles saturate at the top bucket rather than overflowing or
+  // wrapping: p99 must be enormous and never below a mid-range value.
+  EXPECT_GE(h.percentile(0.99), h.percentile(0.50));
+  EXPECT_GT(h.percentile(0.99), 1u << 30);
+}
+
+TEST(HistogramTest, EncodeDecodeRoundTripsExactly) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; v += 7) h.record(v * v);
+  Histogram back;
+  ASSERT_TRUE(Histogram::decode(h.encode(), &back));
+  EXPECT_TRUE(back == h);
+  EXPECT_EQ(back.percentile(0.5), h.percentile(0.5));
+
+  Histogram empty, eback;  // empty round-trips the min sentinel
+  ASSERT_TRUE(Histogram::decode(empty.encode(), &eback));
+  EXPECT_TRUE(eback == empty);
+  EXPECT_EQ(eback.min(), 0u);
+}
+
+TEST(HistogramTest, DecodeRejectsMalformedText) {
+  Histogram out;
+  EXPECT_FALSE(Histogram::decode("", &out));
+  EXPECT_FALSE(Histogram::decode("not numbers", &out));
+  EXPECT_FALSE(Histogram::decode("1 2 3", &out));              // truncated
+  EXPECT_FALSE(Histogram::decode("1 10 10 10 999999:1", &out));  // bad index
+  EXPECT_FALSE(Histogram::decode("2 10 5 5 0:1", &out));  // bucket sum != count
+}
+
 TEST(JsonTest, ParsesScalars) {
   EXPECT_TRUE(Json::parse("null").value().is_null());
   EXPECT_TRUE(Json::parse("true").value().as_bool());

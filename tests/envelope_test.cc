@@ -14,6 +14,7 @@
 
 #include "src/common/byte_buffer.h"
 #include "src/net/envelope.h"
+#include "src/proto/codec.h"
 #include "src/proto/message.h"
 
 namespace bespokv {
@@ -41,6 +42,16 @@ std::vector<Envelope> sample_stream() {
   c.from = "";  // empty sender is legal on one-way traffic
   c.msg = Message::put("key-with-long-value", std::string(300, 'z'), "tbl");
   envs.push_back(c);
+
+  Envelope d;  // traced: exercises the optional trace-context tail field
+  d.rpc_id = 4;
+  d.kind = EnvelopeKind::kRequest;
+  d.from = "192.168.0.1:4242";
+  d.msg = Message::get("traced-key");
+  d.msg.trace.trace_id = 0x0123456789abcdefULL;
+  d.msg.trace.span_id = 0x00ff00ff00ff00ffULL;
+  d.msg.trace.hop = 7;
+  envs.push_back(d);
   return envs;
 }
 
@@ -55,6 +66,9 @@ void expect_equal(const Envelope& got, const Envelope& want) {
   EXPECT_EQ(got.kind, want.kind);
   EXPECT_EQ(got.from, want.from);
   EXPECT_EQ(got.msg, want.msg);
+  // Message::operator== deliberately ignores delivery metadata, so the tail
+  // round-trip needs its own check.
+  EXPECT_EQ(got.msg.trace, want.msg.trace);
 }
 
 // Drains every currently-complete frame from `buf`, exactly like the fabric's
@@ -140,6 +154,106 @@ TEST(EnvelopeTortureTest, TruncatedLengthPrefixWaits) {
     Status s = decode_envelope(std::string(n, '\x01'), &env, &consumed);
     EXPECT_TRUE(s.ok());
     EXPECT_EQ(consumed, 0u);
+  }
+}
+
+TEST(EnvelopeTraceTailTest, TracedEnvelopeRoundTrips) {
+  Envelope env;
+  env.rpc_id = 77;
+  env.kind = EnvelopeKind::kRequest;
+  env.from = "1.2.3.4:5";
+  env.msg = Message::put("k", "v");
+  env.msg.trace.trace_id = 0xfeedfacedeadbeefULL;
+  env.msg.trace.span_id = 1;  // minimal varint
+  env.msg.trace.hop = 255;
+
+  std::string wire;
+  encode_envelope(env, &wire);
+  Envelope out;
+  size_t consumed = 0;
+  ASSERT_TRUE(decode_envelope(wire, &out, &consumed).ok());
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(out.msg.trace.trace_id, 0xfeedfacedeadbeefULL);
+  EXPECT_EQ(out.msg.trace.span_id, 1u);
+  EXPECT_EQ(out.msg.trace.hop, 255);
+}
+
+TEST(EnvelopeTraceTailTest, UntracedWireIsByteIdenticalToPreTailFormat) {
+  // An envelope without a trace context must serialize to exactly the
+  // historical format: length | varint rpc_id | u8 kind | bytes from | msg.
+  Envelope env;
+  env.rpc_id = 0xabcdef;
+  env.kind = EnvelopeKind::kResponse;
+  env.from = "127.0.0.1:9";
+  env.msg = Message::reply(Code::kOk, "payload");
+
+  std::string wire;
+  encode_envelope(env, &wire);
+
+  std::string expected;
+  Encoder e(&expected);
+  const size_t at = e.mark();
+  e.put_u32_le(0);
+  e.put_varint(env.rpc_id);
+  e.put_u8(static_cast<uint8_t>(env.kind));
+  e.put_bytes(env.from);
+  encode_message(env.msg, &expected);
+  e.patch_u32_le(at, static_cast<uint32_t>(expected.size() - 4));
+  EXPECT_EQ(wire, expected);
+}
+
+// Appends `tail` to an encoded frame and fixes up the length prefix — what a
+// future protocol revision (or a fuzzer) would put after the message.
+std::string with_tail(std::string wire, std::string_view tail) {
+  wire.append(tail.data(), tail.size());
+  const uint32_t len = static_cast<uint32_t>(wire.size() - 4);
+  for (int i = 0; i < 4; ++i) {
+    wire[static_cast<size_t>(i)] = static_cast<char>((len >> (8 * i)) & 0xff);
+  }
+  return wire;
+}
+
+TEST(EnvelopeTraceTailTest, UnknownTrailingBytesAreTolerated) {
+  Envelope env = sample_stream()[0];
+  std::string base;
+  encode_envelope(env, &base);
+
+  const std::string_view tails[] = {
+      std::string_view("\x7f junk from the future", 23),  // unknown tag
+      std::string_view("\x01", 1),            // known tag, truncated payload
+      std::string_view("\x01\x80", 2),        // truncated varint trace id
+      std::string_view("\x00", 1),            // reserved tag zero
+      std::string_view("\xff\xff\xff", 3),
+  };
+  for (const auto& t : tails) {
+    const std::string wire = with_tail(base, t);
+    Envelope out;
+    size_t consumed = 0;
+    Status s = decode_envelope(wire, &out, &consumed);
+    ASSERT_TRUE(s.ok()) << s.to_string();
+    ASSERT_EQ(consumed, wire.size());
+    expect_equal(out, env);  // message intact, trace stays invalid
+    EXPECT_FALSE(out.msg.trace.valid());
+  }
+}
+
+TEST(EnvelopeTraceTailTest, UnknownTailSurvivesEverySplitPosition) {
+  // The tolerance must hold under streaming delivery too, not just on a
+  // complete frame.
+  Envelope env = sample_stream()[1];
+  std::string one;
+  encode_envelope(env, &one);
+  const std::string wire = with_tail(one, "\x42 future-field");
+  for (size_t split = 0; split <= wire.size(); ++split) {
+    ByteBuffer buf;
+    std::vector<Envelope> got;
+    buf.append(std::string_view(wire).substr(0, split));
+    for (auto& e : drain(buf)) got.push_back(std::move(e));
+    buf.append(std::string_view(wire).substr(split));
+    for (auto& e : drain(buf)) got.push_back(std::move(e));
+    ASSERT_EQ(got.size(), 1u) << "split " << split;
+    expect_equal(got[0], env);
+    EXPECT_TRUE(buf.empty()) << "split " << split;
   }
 }
 

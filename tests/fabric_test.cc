@@ -11,6 +11,7 @@
 #include "src/datalet/service.h"
 #include "src/net/tcp_fabric.h"
 #include "src/net/thread_fabric.h"
+#include "src/obs/metrics.h"
 
 namespace bespokv {
 namespace {
@@ -202,23 +203,36 @@ TEST(TcpFabricTest, StatsCountSendsFlushesAndPartitionDrops) {
         });
       }));
 
+  // Network counters live in each node's registry; scrape them over the
+  // wire like any other client would.
+  const auto net_stats = [&fab](const Addr& a) {
+    Message req;
+    req.op = Op::kStats;
+    auto rep = fab.call_sync(a, std::move(req));
+    EXPECT_TRUE(rep.ok()) << rep.status().to_string();
+    auto snap = obs::MetricsSnapshot::from_json(rep.value().value);
+    EXPECT_TRUE(snap.ok()) << snap.status().to_string();
+    return snap.value_or(obs::MetricsSnapshot{});
+  };
+
   for (int i = 0; i < 5; ++i) {
     auto r = fab.call_sync(a1, Message::get("s" + std::to_string(i)));
     ASSERT_TRUE(r.ok()) << i;
   }
-  const FabricStats sent = fab.stats(a1);
-  EXPECT_GE(sent.msgs_sent, 5u);  // five proxied requests left a1
-  EXPECT_GT(sent.bytes_sent, 0u);
-  EXPECT_GT(sent.flushes, 0u);
-  EXPECT_LE(sent.flushes, sent.msgs_sent);  // coalescing never inflates flushes
-  EXPECT_EQ(sent.msgs_dropped, 0u);
+  const auto sent = net_stats(a1);
+  EXPECT_GE(sent.counter("net.msgs_sent"), 5u);  // five proxied requests left a1
+  EXPECT_GT(sent.counter("net.bytes_sent"), 0u);
+  EXPECT_GT(sent.counter("net.flushes"), 0u);
+  // Coalescing never inflates flushes.
+  EXPECT_LE(sent.counter("net.flushes"), sent.counter("net.msgs_sent"));
+  EXPECT_EQ(sent.counter("net.msgs_dropped"), 0u);
 
   // Partition a1 -> a2: proxied calls are dropped on the floor and counted,
   // surfacing what used to be a silent drop in ship().
   fab.partition(a1, a2, true);
   auto r = fab.call_sync(a1, Message::get("cut"), 300'000);
   EXPECT_FALSE(r.ok());
-  EXPECT_GE(fab.stats(a1).msgs_dropped, 1u);
+  EXPECT_GE(net_stats(a1).counter("net.msgs_dropped"), 1u);
 
   fab.partition(a1, a2, false);
   auto healed = fab.call_sync(a1, Message::get("healed"));

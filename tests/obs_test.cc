@@ -1,0 +1,213 @@
+// Unit tests for the observability subsystem (src/obs): metrics registry,
+// snapshot merge/serialization, the span tracer, and the periodic exporter
+// running on a simulated node.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/net/sim_fabric.h"
+#include "src/obs/admin.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace bespokv {
+namespace {
+
+TEST(MetricsRegistryTest, HandlesAreStableAndAccumulate) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("ops");
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(&reg.counter("ops"), &c);  // same handle on re-lookup
+  EXPECT_EQ(reg.counter("ops").value(), 42u);
+
+  obs::Gauge& g = reg.gauge("depth");
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(reg.gauge("depth").value(), 7);
+
+  Histogram& t = reg.timer("lat_us");
+  t.record(100);
+  t.record(200);
+  EXPECT_EQ(reg.timer("lat_us").count(), 2u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsPointInTime) {
+  obs::MetricsRegistry reg;
+  reg.counter("a").inc(5);
+  obs::MetricsSnapshot snap = reg.snapshot();
+  reg.counter("a").inc(5);
+  EXPECT_EQ(snap.counter("a"), 5u);
+  EXPECT_EQ(reg.snapshot().counter("a"), 10u);
+  EXPECT_EQ(snap.counter("missing", 99), 99u);
+}
+
+TEST(MetricsSnapshotTest, MergeAddsScalarsAndBuckets) {
+  obs::MetricsRegistry r1, r2;
+  r1.counter("x").inc(3);
+  r2.counter("x").inc(4);
+  r2.counter("only2").inc(1);
+  r1.gauge("g").set(-5);
+  r2.gauge("g").set(2);
+  r1.timer("t").record(10);
+  r2.timer("t").record(1000);
+
+  obs::MetricsSnapshot merged = r1.snapshot();
+  merged.merge(r2.snapshot());
+  EXPECT_EQ(merged.counter("x"), 7u);
+  EXPECT_EQ(merged.counter("only2"), 1u);
+  EXPECT_EQ(merged.gauge("g"), -3);
+  EXPECT_EQ(merged.timers.at("t").count(), 2u);
+  EXPECT_EQ(merged.timers.at("t").min(), 10u);
+  EXPECT_EQ(merged.timers.at("t").max(), 1000u);
+}
+
+TEST(MetricsSnapshotTest, JsonRoundTripIsBucketExact) {
+  obs::MetricsRegistry reg;
+  reg.counter("net.msgs_sent").inc(123456789);
+  reg.gauge("queue.depth").set(-17);
+  for (uint64_t v = 1; v <= 500; ++v) reg.timer("lat").record(v * 3);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+
+  auto back = obs::MetricsSnapshot::from_json(snap.to_json());
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(back.value().counters, snap.counters);
+  EXPECT_EQ(back.value().gauges, snap.gauges);
+  ASSERT_EQ(back.value().timers.size(), 1u);
+  // Bucket-exact: the decoded histogram is indistinguishable from the
+  // original, percentiles included.
+  EXPECT_TRUE(back.value().timers.at("lat") == snap.timers.at("lat"));
+}
+
+TEST(MetricsSnapshotTest, FromJsonRejectsGarbage) {
+  EXPECT_FALSE(obs::MetricsSnapshot::from_json("not json").ok());
+  EXPECT_FALSE(obs::MetricsSnapshot::from_json("[1,2,3]").ok());
+  EXPECT_FALSE(obs::MetricsSnapshot::from_json(
+                   R"({"timers":{"t":{"buckets":"bogus"}}})")
+                   .ok());
+}
+
+TEST(MetricsSnapshotTest, CsvHasOneRowPerScalar) {
+  obs::MetricsRegistry reg;
+  reg.counter("c1").inc();
+  reg.gauge("g1").set(2);
+  reg.timer("t1").record(50);
+  const std::string csv = reg.snapshot().to_csv();
+  EXPECT_NE(csv.find("kind,name,value"), std::string::npos);
+  EXPECT_NE(csv.find("counter,c1,1"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,g1,2"), std::string::npos);
+  EXPECT_NE(csv.find("timer,t1.count,1"), std::string::npos);
+  EXPECT_NE(csv.find("timer,t1.p99,"), std::string::npos);
+}
+
+TEST(SpanTest, EncodeDecodeRoundTrips) {
+  obs::Span s;
+  s.trace_id = 0xdeadbeef12345678ULL;
+  s.span_id = 42;
+  s.parent_span_id = 7;
+  s.name = "chain.forward";
+  s.node = "10.1.2.3:9999";
+  s.start_us = 1'000'000;
+  s.end_us = 1'000'250;
+  s.hop = 3;
+  obs::Span back;
+  ASSERT_TRUE(obs::Span::decode(s.encode(), &back));
+  EXPECT_EQ(back.trace_id, s.trace_id);
+  EXPECT_EQ(back.span_id, s.span_id);
+  EXPECT_EQ(back.parent_span_id, s.parent_span_id);
+  EXPECT_EQ(back.name, s.name);
+  EXPECT_EQ(back.node, s.node);
+  EXPECT_EQ(back.start_us, s.start_us);
+  EXPECT_EQ(back.end_us, s.end_us);
+  EXPECT_EQ(back.hop, s.hop);
+
+  obs::Span junk;
+  EXPECT_FALSE(obs::Span::decode("", &junk));
+  EXPECT_FALSE(obs::Span::decode("1 2 3", &junk));
+}
+
+TEST(TracerTest, IdsAreNonZeroUniqueAndNodeSalted) {
+  obs::Tracer a("node-a"), b("node-b");
+  std::set<uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t ta = a.new_trace_id();
+    const uint64_t tb = b.new_trace_id();
+    ASSERT_NE(ta, 0u);
+    ASSERT_NE(tb, 0u);
+    ids.insert(ta);
+    ids.insert(tb);
+  }
+  // Two nodes generating in lockstep must never collide.
+  EXPECT_EQ(ids.size(), 2000u);
+}
+
+TEST(TracerTest, RingCapsAndCountsDrops) {
+  obs::Tracer t("n");
+  t.set_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    obs::Span s;
+    s.trace_id = 1;
+    s.span_id = static_cast<uint64_t>(i + 1);
+    t.record(s);
+  }
+  EXPECT_EQ(t.spans().size(), 4u);
+  EXPECT_EQ(t.recorded(), 10u);
+  EXPECT_EQ(t.dropped(), 6u);
+  // The ring keeps the newest spans.
+  EXPECT_EQ(t.spans().back().span_id, 10u);
+
+  t.clear();
+  EXPECT_TRUE(t.spans().empty());
+}
+
+TEST(TracerTest, SpansFilterByTraceId) {
+  obs::Tracer t("n");
+  for (uint64_t trace = 1; trace <= 3; ++trace) {
+    for (uint64_t i = 0; i < trace; ++i) {
+      obs::Span s;
+      s.trace_id = trace;
+      s.span_id = t.new_span_id();
+      t.record(s);
+    }
+  }
+  EXPECT_EQ(t.spans().size(), 6u);
+  EXPECT_EQ(t.spans(2).size(), 2u);
+  EXPECT_EQ(t.spans(99).size(), 0u);
+}
+
+TEST(TracingSwitchTest, DefaultsOffAndToggles) {
+  EXPECT_FALSE(obs::tracing_enabled());
+  obs::set_tracing(true);
+  EXPECT_TRUE(obs::tracing_enabled());
+  obs::set_tracing(false);
+  EXPECT_FALSE(obs::tracing_enabled());
+}
+
+TEST(StatsExporterTest, PeriodicallySnapshotsUnderVirtualTime) {
+  SimFabric sim;
+  Runtime* rt = sim.add_node(
+      "n1", std::make_shared<LambdaService>(
+                [](Runtime&, const Addr&, Message, Replier reply) {
+                  reply(Message::reply(Code::kOk));
+                }));
+  rt->obs().metrics().counter("work").inc(7);
+
+  std::vector<obs::MetricsSnapshot> seen;
+  obs::StatsExporter exporter;
+  rt->post([&] {
+    exporter.start(*rt, 10'000, [&seen](const obs::MetricsSnapshot& s) {
+      seen.push_back(s);
+    });
+  });
+  sim.run_for(55'000);
+  ASSERT_GE(seen.size(), 4u);
+  EXPECT_EQ(seen.front().counter("work"), 7u);
+
+  exporter.stop();
+  const size_t after_stop = seen.size();
+  sim.run_for(50'000);
+  EXPECT_EQ(seen.size(), after_stop);
+}
+
+}  // namespace
+}  // namespace bespokv

@@ -1,0 +1,237 @@
+// Cross-node tracing integration tests on the deterministic DES fabric: a
+// traced chain-replicated PUT must reconstruct into the full causal span
+// tree (client root → head dispatch → chain.forward → mid → tail), with
+// timestamps coherent under virtual time; AA+EC must surface the shared-log
+// append hop; and kStats must expose controlet counters over the wire.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/obs/admin.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "tests/sim_test_util.h"
+
+namespace bespokv {
+namespace {
+
+using testing::SimEnv;
+using testing::small_cluster;
+
+struct TracingOn {
+  TracingOn() { obs::set_tracing(true); }
+  ~TracingOn() { obs::set_tracing(false); }
+};
+
+// Runs a full KvClient PUT from the cluster's admin node under virtual time
+// and returns once the ack surfaced.
+void traced_put(SimEnv& env, const std::string& key, const std::string& val) {
+  ClientConfig ccfg;
+  ccfg.coordinator = env.cluster.coordinator_addr();
+  Runtime* crt = env.cluster.admin();
+  auto kv = std::make_shared<KvClient>(crt, ccfg);
+  bool connected = false;
+  crt->post([&] { kv->connect([&connected](Status) { connected = true; }); });
+  env.sim.run_for(300'000);
+  ASSERT_TRUE(connected);
+
+  bool done = false;
+  Status result = Status::Internal("pending");
+  crt->post([&] {
+    kv->put(key, val, [&](Status s) {
+      result = s;
+      done = true;
+    });
+  });
+  env.sim.run_for(500'000);
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(result.ok()) << result.to_string();
+}
+
+// Pulls the span buffer of `node` over the wire (exercising kTraceDump) and
+// appends the decoded spans to `out`.
+void dump_spans(SimEnv& env, const Addr& node, uint64_t trace_id,
+                std::vector<obs::Span>* out) {
+  Message req;
+  req.op = Op::kTraceDump;
+  req.seq = trace_id;
+  auto rep = env.call(node, std::move(req));
+  ASSERT_TRUE(rep.ok()) << rep.status().to_string();
+  ASSERT_EQ(rep.value().code, Code::kOk);
+  for (const auto& text : rep.value().strs) {
+    obs::Span s;
+    ASSERT_TRUE(obs::Span::decode(text, &s)) << text;
+    out->push_back(std::move(s));
+  }
+}
+
+const obs::Span* find_span(const std::vector<obs::Span>& spans,
+                           const std::string& name, uint64_t parent) {
+  for (const auto& s : spans) {
+    if (s.name == name && s.parent_span_id == parent) return &s;
+  }
+  return nullptr;
+}
+
+TEST(ObsTraceSimTest, ChainPutReconstructsFullCausalSpanTree) {
+  SimEnv env(small_cluster(Topology::kMasterSlave, Consistency::kStrong,
+                           /*shards=*/1));
+  TracingOn tracing;
+  traced_put(env, "traced-key", "traced-val");
+  obs::set_tracing(false);  // keep the dump RPCs themselves untraced
+
+  // The root span lives on the client's node (the admin runtime).
+  const auto roots = env.cluster.admin()->obs().tracer().spans();
+  ASSERT_EQ(roots.size(), 1u);
+  const obs::Span root = roots[0];
+  EXPECT_EQ(root.name, "client.PUT");
+  EXPECT_EQ(root.parent_span_id, 0u);
+  EXPECT_EQ(root.hop, 0);
+  ASSERT_NE(root.trace_id, 0u);
+
+  // Controlet-side spans, fetched over the wire like a real trace collector.
+  std::vector<obs::Span> spans;
+  for (int r = 0; r < 3; ++r) {
+    dump_spans(env, env.cluster.controlet_addr(0, r), root.trace_id, &spans);
+  }
+
+  // Head dispatch: server span of the client's PUT.
+  const obs::Span* head = find_span(spans, "PUT", root.span_id);
+  ASSERT_NE(head, nullptr);
+  EXPECT_EQ(head->hop, 1);
+
+  // The chain: head forwards to mid, mid forwards to tail, each hop a
+  // CHAIN_PUT dispatch parented on the upstream dispatch, plus a
+  // chain.forward stage span on the forwarding node.
+  const obs::Span* mid = find_span(spans, "CHAIN_PUT", head->span_id);
+  ASSERT_NE(mid, nullptr);
+  EXPECT_EQ(mid->hop, 2);
+  const obs::Span* tail = find_span(spans, "CHAIN_PUT", mid->span_id);
+  ASSERT_NE(tail, nullptr);
+  EXPECT_EQ(tail->hop, 3);
+  EXPECT_NE(head->node, mid->node);
+  EXPECT_NE(mid->node, tail->node);
+  // The tail is the end of the chain: nothing is parented on it.
+  EXPECT_EQ(find_span(spans, "CHAIN_PUT", tail->span_id), nullptr);
+  EXPECT_NE(find_span(spans, "chain.forward", head->span_id), nullptr);
+  EXPECT_NE(find_span(spans, "chain.forward", mid->span_id), nullptr);
+
+  // Virtual-time coherence: starts are non-decreasing down the chain, and
+  // acks nest (the tail replies before mid completes, mid before head, head
+  // before the client's root closes).
+  EXPECT_LE(root.start_us, head->start_us);
+  EXPECT_LE(head->start_us, mid->start_us);
+  EXPECT_LE(mid->start_us, tail->start_us);
+  EXPECT_LE(tail->end_us, mid->end_us);
+  EXPECT_LE(mid->end_us, head->end_us);
+  EXPECT_LE(head->end_us, root.end_us);
+  EXPECT_LE(tail->start_us, tail->end_us);
+}
+
+TEST(ObsTraceSimTest, AaEcPutShowsSharedLogAppendSpan) {
+  SimEnv env(small_cluster(Topology::kActiveActive, Consistency::kEventual,
+                           /*shards=*/1));
+  TracingOn tracing;
+  traced_put(env, "log-key", "log-val");
+  obs::set_tracing(false);
+
+  const auto roots = env.cluster.admin()->obs().tracer().spans();
+  ASSERT_EQ(roots.size(), 1u);
+  const obs::Span root = roots[0];
+
+  std::vector<obs::Span> spans;
+  for (int r = 0; r < 3; ++r) {
+    dump_spans(env, env.cluster.controlet_addr(0, r), root.trace_id, &spans);
+  }
+  dump_spans(env, env.cluster.sharedlog_addr(), root.trace_id, &spans);
+
+  // The active that served the PUT...
+  const obs::Span* put = find_span(spans, "PUT", root.span_id);
+  ASSERT_NE(put, nullptr);
+  // ...recorded the append stage (RPC round-trip to the log, Fig. 15c step
+  // 2), and the log node recorded the server-side dispatch of that append.
+  const obs::Span* append = find_span(spans, "sharedlog.append", put->span_id);
+  ASSERT_NE(append, nullptr);
+  EXPECT_EQ(append->node, put->node);
+  const obs::Span* log_srv = find_span(spans, "LOG_APPEND", put->span_id);
+  ASSERT_NE(log_srv, nullptr);
+  EXPECT_EQ(log_srv->node, env.cluster.sharedlog_addr());
+  // The server-side handling is contained in the client-observed stage span.
+  EXPECT_LE(append->start_us, log_srv->start_us);
+  EXPECT_LE(log_srv->end_us, append->end_us);
+  EXPECT_LE(put->end_us, root.end_us);
+}
+
+TEST(ObsTraceSimTest, KStatsExposesControletCountersOverTheWire) {
+  SimEnv env(small_cluster(Topology::kMasterSlave, Consistency::kStrong,
+                           /*shards=*/1));
+  SyncKv kv = env.client();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(kv.put("sk" + std::to_string(i), "sv").ok()) << i;
+  }
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(kv.get("sk" + std::to_string(i)).ok()) << i;
+  }
+
+  // The head took the writes; the tail serves SC reads. Sum over replicas so
+  // the assertion is role-agnostic.
+  obs::MetricsSnapshot total;
+  for (int r = 0; r < 3; ++r) {
+    Message req;
+    req.op = Op::kStats;
+    auto rep = env.call(env.cluster.controlet_addr(0, r), std::move(req));
+    ASSERT_TRUE(rep.ok()) << rep.status().to_string();
+    auto snap = obs::MetricsSnapshot::from_json(rep.value().value);
+    ASSERT_TRUE(snap.ok()) << snap.status().to_string();
+    total.merge(snap.value());
+  }
+  EXPECT_GE(total.counter("controlet.writes"), 8u);
+  EXPECT_GE(total.counter("controlet.reads"), 8u);
+}
+
+TEST(ObsTraceSimTest, UntracedTrafficRecordsNoSpans) {
+  SimEnv env(small_cluster(Topology::kMasterSlave, Consistency::kStrong,
+                           /*shards=*/1));
+  ASSERT_FALSE(obs::tracing_enabled());
+  traced_put(env, "plain-key", "plain-val");  // tracing switch is off
+
+  EXPECT_TRUE(env.cluster.admin()->obs().tracer().spans().empty());
+  for (int r = 0; r < 3; ++r) {
+    Message req;
+    req.op = Op::kTraceDump;
+    auto rep = env.call(env.cluster.controlet_addr(0, r), std::move(req));
+    ASSERT_TRUE(rep.ok());
+    EXPECT_TRUE(rep.value().strs.empty()) << "replica " << r;
+  }
+}
+
+TEST(ObsTraceSimTest, TraceDumpClearFlagDrainsTheBuffer) {
+  SimEnv env(small_cluster(Topology::kMasterSlave, Consistency::kStrong,
+                           /*shards=*/1));
+  {
+    TracingOn tracing;
+    traced_put(env, "k", "v");
+  }
+  size_t first_total = 0, second_total = 0;
+  for (int r = 0; r < 3; ++r) {
+    Message req;
+    req.op = Op::kTraceDump;
+    req.flags = 1;  // dump-and-clear
+    auto first = env.call(env.cluster.controlet_addr(0, r), std::move(req));
+    ASSERT_TRUE(first.ok());
+    first_total += first.value().strs.size();
+  }
+  for (int r = 0; r < 3; ++r) {
+    Message again;
+    again.op = Op::kTraceDump;
+    auto second = env.call(env.cluster.controlet_addr(0, r), std::move(again));
+    ASSERT_TRUE(second.ok());
+    second_total += second.value().strs.size();
+  }
+  EXPECT_GT(first_total, 0u);
+  EXPECT_EQ(second_total, 0u);
+}
+
+}  // namespace
+}  // namespace bespokv

@@ -61,6 +61,26 @@ TEST(CodecTest, DetectsTruncation) {
   }
 }
 
+TEST(CodecTest, ConsumedModeAcceptsTrailingBytesStrictModeRejects) {
+  const Message m = sample_message();
+  std::string buf;
+  encode_message(m, &buf);
+  const size_t encoded = buf.size();
+  buf += "extra tail bytes after the message";
+
+  // Self-delimiting decode: parses the message and reports its exact extent,
+  // ignoring whatever follows (the envelope's optional tail fields).
+  size_t consumed = 0;
+  auto r = decode_message(buf, &consumed);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(consumed, encoded);
+  EXPECT_EQ(r.value(), m);
+
+  // The historical strict contract: without a consumed out-param, trailing
+  // bytes are corruption.
+  EXPECT_FALSE(decode_message(buf).ok());
+}
+
 TEST(CodecTest, FuzzedInputNeverCrashes) {
   Rng rng(99);
   for (int iter = 0; iter < 2000; ++iter) {

@@ -137,6 +137,43 @@ TEST(TextServerTest, SsdbProtocolAgainstOrderedEngine) {
   EXPECT_EQ(parsed.message.kvs[2].value, "v3");
 }
 
+TEST(TextServerTest, StatsCommandReturnsRegistryCountersAsJson) {
+  TextProtocolServer server(make_datalet("tRedis", {}), "resp");
+  auto port = server.start();
+  ASSERT_TRUE(port.ok());
+  RawClient c(port.value());
+  ASSERT_TRUE(c.ok());
+
+  c.send("*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n");
+  EXPECT_EQ(c.read_until([](const std::string& b) { return b.size() >= 5; }),
+            "+OK\r\n");
+  c.send("*2\r\n$3\r\nGET\r\n$1\r\nk\r\n");
+  EXPECT_EQ(c.read_until([](const std::string& b) {
+              return b.find("v\r\n") != std::string::npos;
+            }),
+            "$1\r\nv\r\n");
+
+  // STATS arrives over the same wire and answers with the registry snapshot
+  // as a JSON bulk string — no side channel, any redis client can fetch it.
+  c.send("*1\r\n$5\r\nSTATS\r\n");
+  const std::string raw = c.read_until([](const std::string& b) {
+    return b.find("\r\n") != std::string::npos &&
+           b.find("}\r\n") != std::string::npos;
+  });
+  ASSERT_EQ(raw[0], '$');
+  const size_t body = raw.find("\r\n") + 2;
+  const std::string json = raw.substr(body, raw.rfind("\r\n") - body);
+
+  auto snap = obs::MetricsSnapshot::from_json(json);
+  ASSERT_TRUE(snap.ok()) << snap.status().to_string() << "\n" << json;
+  // SET + GET + the STATS request itself were counted by the time we parse.
+  // Per-op counters are keyed by the internal op name (SET parses to kPut).
+  EXPECT_GE(snap.value().counter("server.requests"), 3u);
+  EXPECT_EQ(snap.value().counter("server.op.PUT"), 1u);
+  EXPECT_EQ(snap.value().counter("server.op.GET"), 1u);
+  EXPECT_EQ(snap.value().counter("server.op.STATS"), 1u);
+}
+
 TEST(TextServerTest, ManyConcurrentConnections) {
   TextProtocolServer server(make_datalet("tRedis", {}), "resp");
   auto port = server.start();

@@ -1,14 +1,26 @@
 #include "src/client/client.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <memory>
+#include <thread>
 
 #include "src/common/logging.h"
 #include "src/obs/trace.h"
 
 namespace bespokv {
 
-KvClient::KvClient(Runtime* rt, ClientConfig cfg) : rt_(rt), cfg_(cfg) {}
+KvClient::KvClient(Runtime* rt, ClientConfig cfg) : rt_(rt), cfg_(cfg) {
+  // Random prefix keeps tokens from different clients (and different
+  // incarnations of the same client) disjoint; the low bits count requests.
+  token_base_ = rt_->rng().next() << 20;
+  obs::MetricsRegistry& m = rt_->obs().metrics();
+  c_retry_ = &m.counter("client.retry");
+  c_hedge_ = &m.counter("client.hedge");
+  c_hedge_wins_ = &m.counter("client.hedge_wins");
+  c_maybe_applied_ = &m.counter("client.maybe_applied");
+}
 
 KvClient::~KvClient() {
   if (refresh_timer_ != 0) rt_->cancel_timer(refresh_timer_);
@@ -105,31 +117,153 @@ void KvClient::issue(Message req, bool is_read, int attempts_left, DoneCb done) 
       done(s, std::move(rep));
     };
   }
-  rt_->call(target.value(), req,
-            [this, req, is_read, attempts_left,
-             done = std::move(done)](Status s, Message rep) mutable {
-              const bool routing_problem =
-                  !s.ok() || rep.code == Code::kNotLeader ||
-                  rep.code == Code::kUnavailable;
-              if (routing_problem && attempts_left > 0) {
-                // Stale map (failover / transition took place): refresh and
-                // retry against the new layout.
-                refresh_map([this, req = std::move(req), is_read,
-                             attempts_left,
-                             done = std::move(done)](Status) mutable {
-                  // Small backoff lets reconfiguration settle.
-                  rt_->set_timer(5'000, [this, req = std::move(req), is_read,
-                                         attempts_left,
-                                         done = std::move(done)]() mutable {
-                    issue(std::move(req), is_read, attempts_left - 1,
-                          std::move(done));
-                  });
-                });
-                return;
-              }
-              done(s, std::move(rep));
-            },
-            cfg_.rpc_timeout_us);
+  const uint64_t attempt_start = rt_->now_us();
+  const bool is_write =
+      !is_read && (req.op == Op::kPut || req.op == Op::kDel);
+
+  // Shared state for this attempt: the primary dispatch and (for reads) an
+  // optional hedged dispatch race; the first conclusive reply wins, and the
+  // retry path only runs after every outstanding copy has failed.
+  struct Attempt {
+    bool completed = false;
+    int outstanding = 0;
+    uint64_t hedge_timer = 0;
+  };
+  auto st = std::make_shared<Attempt>();
+
+  auto settle = std::make_shared<std::function<void(Status, Message, bool)>>();
+  *settle = [this, req, is_read, is_write, attempts_left, attempt_start, st,
+             done = std::move(done)](Status s, Message rep,
+                                     bool hedged) mutable {
+    if (st->completed) return;
+    st->completed = true;
+    if (st->hedge_timer != 0) {
+      rt_->cancel_timer(st->hedge_timer);
+      st->hedge_timer = 0;
+    }
+    const bool transport_failed = !s.ok();
+    const bool retryable = transport_failed || rep.code == Code::kNotLeader ||
+                           rep.code == Code::kUnavailable ||
+                           rep.code == Code::kTimeout;
+    if (!retryable) {
+      if (hedged) c_hedge_wins_->inc();
+      done(s, std::move(rep));
+      return;
+    }
+    if (attempts_left > 0) {
+      // Stale map (failover / transition took place) or a lost message:
+      // refresh the map, back off, and retry against the new layout. The
+      // request keeps its idempotency token, so a write whose first attempt
+      // did land is not applied twice.
+      c_retry_->inc();
+      record_retry_span(req, attempt_start);
+      const int attempt_no = std::max(0, cfg_.retries - attempts_left);
+      const uint64_t delay = backoff_us(attempt_no);
+      refresh_map([this, req = std::move(req), is_read, attempts_left, delay,
+                   done = std::move(done)](Status) mutable {
+        rt_->set_timer(delay, [this, req = std::move(req), is_read,
+                               attempts_left, done = std::move(done)]() mutable {
+          issue(std::move(req), is_read, attempts_left - 1, std::move(done));
+        });
+      });
+      return;
+    }
+    // Out of retries. A write that died to a timeout may have been applied
+    // server-side (lost ack): surface the distinct kMaybeApplied status so
+    // callers can tell "definitely failed" from "verify before acting" —
+    // see the contract in client.h.
+    const bool timed_out = (transport_failed && s.code() == Code::kTimeout) ||
+                           (!transport_failed && rep.code == Code::kTimeout);
+    if (is_write && timed_out) {
+      c_maybe_applied_->inc();
+      done(Status::MaybeApplied("write timed out; may have been applied"),
+           std::move(rep));
+      return;
+    }
+    done(s, std::move(rep));
+  };
+
+  auto dispatch = [this, st, settle](const Addr& tgt, const Message& r,
+                                     bool hedged) {
+    ++st->outstanding;
+    rt_->call(tgt, r,
+              [st, settle, hedged](Status s, Message rep) {
+                --st->outstanding;
+                if (st->completed) return;
+                const bool conclusive =
+                    s.ok() && rep.code != Code::kNotLeader &&
+                    rep.code != Code::kUnavailable &&
+                    rep.code != Code::kTimeout;
+                // A failed copy defers to the other in-flight copy (if any);
+                // the last one standing settles the attempt either way.
+                if (conclusive || st->outstanding == 0) {
+                  (*settle)(std::move(s), std::move(rep), hedged);
+                }
+              },
+              cfg_.rpc_timeout_us);
+  };
+
+  if (is_read && cfg_.hedge_after_us > 0) {
+    auto alt = hedge_target(req, target.value());
+    if (alt.ok()) {
+      st->hedge_timer = rt_->set_timer(
+          cfg_.hedge_after_us,
+          [this, st, dispatch, alt = alt.value(), req] {
+            st->hedge_timer = 0;
+            if (st->completed) return;
+            c_hedge_->inc();
+            dispatch(alt, req, /*hedged=*/true);
+          });
+    }
+  }
+  dispatch(target.value(), req, /*hedged=*/false);
+}
+
+Result<Addr> KvClient::hedge_target(const Message& req,
+                                    const Addr& primary) const {
+  std::string routing_key = req.table;
+  if (!routing_key.empty()) routing_key.push_back('\x1f');
+  routing_key += req.key;
+  const bool strong =
+      req.consistency == ConsistencyLevel::kStrong ||
+      (req.consistency == ConsistencyLevel::kDefault &&
+       map_.consistency == Consistency::kStrong);
+  // Probe a few salts for a replica distinct from the primary. Strong MS
+  // reads always resolve to the tail, so they never find one — hedging
+  // silently stays off for them.
+  for (uint64_t probe = 1; probe <= 4; ++probe) {
+    auto t = map_.read_target(routing_key, salt_ + probe * 7919, strong);
+    if (t.ok() && t.value() != primary) return t;
+  }
+  return Status::Unavailable("no alternate replica to hedge against");
+}
+
+uint64_t KvClient::backoff_us(int attempt) {
+  uint64_t d = cfg_.backoff_base_us;
+  for (int i = 0; i < attempt && d < cfg_.backoff_max_us; ++i) d *= 2;
+  d = std::min(d, cfg_.backoff_max_us);
+  if (d < 2) return d;
+  // Jitter over the top half: retries spread out instead of stampeding the
+  // freshly elected master in lockstep.
+  return d / 2 + rt_->rng().next_u64(d / 2 + 1);
+}
+
+void KvClient::record_retry_span(const Message& req, uint64_t start_us) {
+  if (!req.trace.valid()) return;
+  obs::Tracer& tracer = rt_->obs().tracer();
+  obs::Span sp;
+  sp.trace_id = req.trace.trace_id;
+  sp.span_id = tracer.new_span_id();
+  // Parent the retry under the request's root span: all attempts of one
+  // logical op share a trace, with each failed attempt visible as its own
+  // "client.retry" child covering that attempt's wall time.
+  sp.parent_span_id = req.trace.span_id;
+  sp.name = "client.retry";
+  sp.node = rt_->self();
+  sp.start_us = start_us;
+  sp.end_us = rt_->now_us();
+  sp.hop = req.trace.hop;
+  tracer.record(std::move(sp));
 }
 
 void KvClient::create_table(const std::string& table, StatusCb done) {
@@ -169,6 +303,7 @@ void KvClient::put(const std::string& key, const std::string& value,
                    ConsistencyLevel level) {
   Message req = Message::put(key, value, table);
   req.consistency = level;
+  req.token = next_token();
   issue(std::move(req), /*is_read=*/false, cfg_.retries,
         [done = std::move(done)](Status s, Message rep) {
           done(s.ok() ? Status(rep.code) : s);
@@ -195,6 +330,7 @@ void KvClient::del(const std::string& key, StatusCb done,
                    const std::string& table, ConsistencyLevel level) {
   Message req = Message::del(key, table);
   req.consistency = level;
+  req.token = next_token();
   issue(std::move(req), /*is_read=*/false, cfg_.retries,
         [done = std::move(done)](Status s, Message rep) {
           done(s.ok() ? Status(rep.code) : s);
@@ -213,6 +349,7 @@ void KvClient::batch_put(std::vector<KV> kvs, StatusCb done,
   for (auto& kv : kvs) {
     Message req = Message::put(kv.key, kv.value, table);
     req.consistency = level;
+    req.token = next_token();
     issue(std::move(req), /*is_read=*/false, cfg_.retries,
           [remaining, first_err, shared_done](Status s, Message rep) {
             const Status eff = s.ok() ? Status(rep.code) : s;
@@ -306,8 +443,16 @@ void KvClient::scan(const std::string& start, const std::string& end,
 
 // ------------------------------- SyncKv -------------------------------------
 
+namespace {
+// Process-wide SyncKv instance counter: gives each instance a disjoint
+// idempotency-token space without a per-instance RNG.
+std::atomic<uint64_t> g_synckv_instance{1};
+}  // namespace
+
 SyncKv::SyncKv(CallFn call, Addr coordinator)
-    : call_(std::move(call)), coordinator_(std::move(coordinator)) {}
+    : call_(std::move(call)),
+      coordinator_(std::move(coordinator)),
+      token_base_(g_synckv_instance.fetch_add(1) << 32) {}
 
 Status SyncKv::refresh() {
   Message req;
@@ -323,7 +468,12 @@ Status SyncKv::refresh() {
 
 Result<Message> SyncKv::issue(Message req, bool is_read) {
   if (map_.shards.empty()) BKV_RETURN_IF_ERROR(refresh());
-  for (int attempt = 0; attempt < 4; ++attempt) {
+  Result<Message> last = Status::Unavailable("no attempt made");
+  for (int attempt = 0; attempt < attempts_; ++attempt) {
+    if (attempt > 0 && backoff_us_ > 0) {
+      const uint64_t exp = backoff_us_ << std::min(attempt - 1, 5);
+      std::this_thread::sleep_for(std::chrono::microseconds(exp));
+    }
     ++salt_;
     std::string routing_key = req.table;
     if (!routing_key.empty()) routing_key.push_back('\x1f');
@@ -338,20 +488,33 @@ Result<Message> SyncKv::issue(Message req, bool is_read) {
     auto rep = call_(target.value(), req);
     const bool routing_problem =
         !rep.ok() || rep.value().code == Code::kNotLeader ||
-        rep.value().code == Code::kUnavailable;
+        rep.value().code == Code::kUnavailable ||
+        rep.value().code == Code::kTimeout;
+    // The request keeps its idempotency token across attempts: a write
+    // whose ack was lost is deduplicated server-side, not applied twice.
     if (!routing_problem) return rep;
-    Status rs = refresh();
-    if (!rs.ok() && attempt == 3) return rs;
+    last = std::move(rep);
+    (void)refresh();
   }
-  return Status::Unavailable("request kept failing after map refreshes");
+  return last;
 }
 
 Status SyncKv::put(const std::string& key, const std::string& value,
                    const std::string& table, ConsistencyLevel level) {
   Message req = Message::put(key, value, table);
   req.consistency = level;
+  req.token = next_token();
   auto rep = issue(std::move(req), false);
-  if (!rep.ok()) return rep.status();
+  // Same contract as KvClient (client.h): a write that exhausted its
+  // attempts on timeouts may still have been applied.
+  if (!rep.ok()) {
+    return rep.status().code() == Code::kTimeout
+               ? Status::MaybeApplied(rep.status().message())
+               : rep.status();
+  }
+  if (rep.value().code == Code::kTimeout) {
+    return Status::MaybeApplied("write timed out; may have been applied");
+  }
   return Status(rep.value().code);
 }
 
@@ -367,8 +530,17 @@ Result<std::string> SyncKv::get(const std::string& key,
 }
 
 Status SyncKv::del(const std::string& key, const std::string& table) {
-  auto rep = issue(Message::del(key, table), false);
-  if (!rep.ok()) return rep.status();
+  Message req = Message::del(key, table);
+  req.token = next_token();
+  auto rep = issue(std::move(req), false);
+  if (!rep.ok()) {
+    return rep.status().code() == Code::kTimeout
+               ? Status::MaybeApplied(rep.status().message())
+               : rep.status();
+  }
+  if (rep.value().code == Code::kTimeout) {
+    return Status::MaybeApplied("delete timed out; may have been applied");
+  }
   return Status(rep.value().code);
 }
 

@@ -7,6 +7,22 @@
 // a reply indicates stale routing (kNotLeader / kUnavailable / epoch bump —
 // e.g. after failover or a topology/consistency transition).
 //
+// Resilience (see DESIGN.md "Fault model & recovery"):
+//   * Retries with exponential backoff + jitter on routing failures and
+//     timeouts, refreshing the shard map before each retry.
+//   * Every PUT/DEL carries an idempotency token; controlets dedup on it, so
+//     a retried write is applied exactly once per controlet even when the
+//     original attempt did land (safe PUT retry across failover).
+//   * Optional hedged GETs: if the primary replica has not answered within
+//     `hedge_after_us`, the read races a second replica; first reply wins.
+//   * kMaybeApplied contract: a write that exhausts its retries with a
+//     timeout completes with Status::MaybeApplied, NOT a plain error. The
+//     write may or may not have taken effect (the ack was lost, or the
+//     server crashed mid-apply). Callers must not assume the old value is
+//     still current; read-back (or retrying with the same client, which
+//     reuses the dedup window) resolves the ambiguity. Every non-timeout
+//     exhaustion still reports the underlying error.
+//
 // SyncKv wraps the same routing logic over a fabric's call_sync for tests
 // and example programs driving the cluster from an external thread.
 #pragma once
@@ -26,6 +42,15 @@ struct ClientConfig {
   uint64_t map_refresh_period_us = 2'000'000;  // background map polling
   uint64_t rpc_timeout_us = 1'000'000;
   int retries = 2;  // retries after a routing-induced failure (map refresh)
+  // Backoff before retry attempt N: min(backoff_max_us, base << N), with
+  // uniform jitter over the top half so synchronized clients fan out.
+  uint64_t backoff_base_us = 5'000;
+  uint64_t backoff_max_us = 200'000;
+  // >0 enables hedged GETs: if the primary replica hasn't replied within
+  // this threshold, the read is raced against another replica and the first
+  // reply wins. Only reads that may legally hit several replicas hedge
+  // (eventual-consistency reads; strong MS reads are tail-only).
+  uint64_t hedge_after_us = 0;
 };
 
 class KvClient {
@@ -81,6 +106,13 @@ class KvClient {
   void refresh_map(StatusCb done);
   void issue(Message req, bool is_read, int attempts_left, DoneCb done);
   Result<Addr> route(const Message& req, bool is_read) const;
+  // Alternate replica for a hedged read; fails if no distinct target exists.
+  Result<Addr> hedge_target(const Message& req, const Addr& primary) const;
+  uint64_t backoff_us(int attempt);
+  uint64_t next_token() { return token_base_ + ++token_seq_; }
+  // Records a "client.retry" span parented under the request's root span, so
+  // every retry of one logical op stays inside the original trace.
+  void record_retry_span(const Message& req, uint64_t start_us);
 
   Runtime* rt_;
   ClientConfig cfg_;
@@ -90,6 +122,12 @@ class KvClient {
   uint64_t salt_ = 0;  // spreads eventual reads / AA writes across replicas
   uint64_t refresh_timer_ = 0;
   uint64_t refreshes_ = 0;
+  uint64_t token_base_ = 0;  // random per-client prefix for idempotency tokens
+  uint64_t token_seq_ = 0;
+  obs::Counter* c_retry_ = nullptr;
+  obs::Counter* c_hedge_ = nullptr;
+  obs::Counter* c_hedge_wins_ = nullptr;
+  obs::Counter* c_maybe_applied_ = nullptr;
   std::vector<std::function<void()>> waiters_;
 };
 
@@ -114,13 +152,25 @@ class SyncKv {
 
   const ShardMap& shard_map() const { return map_; }
 
+  // Attempts per op (a map refresh runs between attempts). Raise this for
+  // chaos runs that must ride out a full failover detection window.
+  void set_attempts(int n) { attempts_ = n; }
+  // Real-time sleep between attempts, doubled per retry (0 = none; sim
+  // harnesses keep 0 — virtual time advances inside call_ itself).
+  void set_backoff_us(uint64_t us) { backoff_us_ = us; }
+
  private:
   Result<Message> issue(Message req, bool is_read);
+  uint64_t next_token() { return token_base_ + ++token_seq_; }
 
   CallFn call_;
   Addr coordinator_;
   ShardMap map_;
   uint64_t salt_ = 0;
+  int attempts_ = 4;
+  uint64_t backoff_us_ = 0;
+  uint64_t token_base_ = 0;
+  uint64_t token_seq_ = 0;
 };
 
 }  // namespace bespokv

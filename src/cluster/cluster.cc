@@ -207,6 +207,10 @@ void Cluster::kill_controlet(int shard, int replica) {
   fabric_.kill(controlet_addr(shard, replica));
 }
 
+bool Cluster::restart_controlet(int shard, int replica) {
+  return fabric_.restart(controlet_addr(shard, replica));
+}
+
 void Cluster::start_transition(Topology topology, Consistency consistency,
                                std::function<void(Status)> done) {
   ++transition_round_;

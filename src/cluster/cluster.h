@@ -71,6 +71,11 @@ class Cluster {
   // will detect it and run failover).
   void kill_controlet(int shard, int replica);
 
+  // Restarts a previously killed pair on its original address. The controlet
+  // re-enters via the catch-up protocol (resync before serving). Returns
+  // false if the node is not restartable (still alive, or fabric shut down).
+  bool restart_controlet(int shard, int replica);
+
   // Spawns successor controlets (same datalets, new addresses) implementing
   // `topology`+`consistency` and asks the coordinator to transition. `done`
   // fires when the coordinator *accepts* the request; completion is visible

@@ -15,6 +15,7 @@ const char* code_name(Code c) {
     case Code::kInternal: return "INTERNAL";
     case Code::kNotLeader: return "NOT_LEADER";
     case Code::kOutOfRange: return "OUT_OF_RANGE";
+    case Code::kMaybeApplied: return "MAYBE_APPLIED";
   }
   return "UNKNOWN";
 }

@@ -22,6 +22,8 @@ enum class Code : uint8_t {
   kInternal,      // bug or unexpected state
   kNotLeader,     // request routed to a non-master replica
   kOutOfRange,    // shared-log trim horizon or scan bound violation
+  kMaybeApplied,  // write timed out after exhausting retries: it may or may
+                  // not have taken effect (see client.h for the contract)
 };
 
 const char* code_name(Code c);
@@ -43,6 +45,7 @@ class Status {
   static Status Internal(std::string m = "") { return Status(Code::kInternal, std::move(m)); }
   static Status NotLeader(std::string m = "") { return Status(Code::kNotLeader, std::move(m)); }
   static Status OutOfRange(std::string m = "") { return Status(Code::kOutOfRange, std::move(m)); }
+  static Status MaybeApplied(std::string m = "") { return Status(Code::kMaybeApplied, std::move(m)); }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }

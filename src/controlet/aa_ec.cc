@@ -105,6 +105,63 @@ void AaEcControlet::fetch_tick() {
       });
 }
 
+void AaEcControlet::catchup_from(const Addr& /*source*/,
+                                 std::function<void(bool)> done) {
+  if (!sharedlog_.has_value()) {
+    done(false);
+    return;
+  }
+  sharedlog_->tail([this, done = std::move(done)](Status s,
+                                                  uint64_t tail) mutable {
+    if (!s.ok()) {
+      done(false);
+      return;
+    }
+    catchup_drain(tail, std::move(done));
+  });
+}
+
+void AaEcControlet::catchup_drain(uint64_t target,
+                                  std::function<void(bool)> done) {
+  if (fetch_from_ >= target) {
+    done(true);
+    return;
+  }
+  // Same page-walk as fetch_tick, but driven to a fixed target so the node
+  // rejoins only once it has replayed everything appended while it was down.
+  // The periodic fetch_tick may interleave; LWW application and the
+  // monotonic fetch_from_ make the overlap idempotent.
+  sharedlog_->fetch(
+      fetch_from_, cfg_.shard, 512,
+      [this, target, done = std::move(done)](Status s, Message rep) mutable {
+        if (!s.ok()) {
+          done(false);
+          return;
+        }
+        if (rep.code == Code::kOutOfRange) {
+          fetch_from_ = rep.seq;  // jump past trimmed history
+        } else {
+          for (size_t i = 0; i < rep.kvs.size(); ++i) {
+            const bool is_del = i < rep.strs.size() && rep.strs[i] == "D";
+            KV kv = rep.kvs[i];
+            kv.seq = version_of(kv.seq);
+            apply_replicated(kv, is_del);
+            ++applied_from_log_;
+          }
+          if (rep.epoch > fetch_from_) {
+            fetch_from_ = rep.epoch;
+          } else {
+            // Empty page with no forward progress: nothing left below the
+            // target, so stop walking instead of spinning.
+            fetch_from_ = target;
+          }
+        }
+        rt_->post([this, target, done = std::move(done)]() mutable {
+          catchup_drain(target, std::move(done));
+        });
+      });
+}
+
 void AaEcControlet::on_transition_new_side() {
   // * -> AA+EC: adopt the current log tail as the fetch origin; the shared
   // datalet already holds everything the old controlet applied.

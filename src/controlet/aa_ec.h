@@ -22,9 +22,14 @@ class AaEcControlet : public ControletBase {
   void do_write(EventContext ctx) override;
   bool drained() const override { return inflight_ == 0; }
   void on_transition_new_side() override;
+  // Crash-restart resync: replay the shared log up to the current tail
+  // instead of snapshotting a peer — the log is the authoritative order.
+  void catchup_from(const Addr& source,
+                    std::function<void(bool)> done) override;
 
  private:
   void fetch_tick();
+  void catchup_drain(uint64_t target, std::function<void(bool)> done);
   uint64_t version_of(uint64_t log_seq) const;
 
   uint64_t fetch_from_ = 1;      // next log position to scan

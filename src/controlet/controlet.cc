@@ -13,6 +13,22 @@ void ControletBase::start(Runtime& rt) {
   c_writes_ = &metrics().counter("controlet.writes");
   c_reads_ = &metrics().counter("controlet.reads");
   c_forwards_ = &metrics().counter("controlet.p2p_forwards");
+  c_dedup_hits_ = &metrics().counter("controlet.dedup_hits");
+  c_catchups_ = &metrics().counter("recover.catchup");
+  if (started_once_) {
+    // Crash-restart on the same address: refuse client traffic until we have
+    // resynced from the shard (stale reads and lost chain writes otherwise).
+    // The previous incarnation's in-flight state is gone — including the
+    // dedup window, whose repliers died with the old mailbox.
+    catching_up_ = true;
+    retired_ = false;
+    successor_.reset();
+    drain_reported_ = false;
+    dedup_.clear();
+    dedup_order_.clear();
+    LOG_INFO << rt_->self() << ": restarted; catching up before serving";
+  }
+  started_once_ = true;
   hb_timer_ = rt_->set_periodic(cfg_.hb_period_us, [this] {
     Message hb;
     hb.op = Op::kHeartbeat;
@@ -53,9 +69,71 @@ void ControletBase::fetch_initial_map() {
                 return;
               }
               auto m = ShardMap::decode(rep.value);
-              if (m.ok()) apply_map(m.value(), rep.strs);
+              if (m.ok()) {
+                apply_map(m.value(), rep.strs);
+                if (catching_up_) begin_catchup();
+              }
             },
             cfg_.rpc_timeout_us);
+}
+
+void ControletBase::begin_catchup() {
+  if (!catching_up_) return;
+  if (!in_shard_) {
+    // Evicted while down (the coordinator already failed us over): rejoin
+    // the pool as a standby; a future kFlagRecovery activation brings us
+    // back with a proper recovery source.
+    catching_up_ = false;
+    Message m;
+    m.op = Op::kRegisterNode;
+    m.key = rt_->self();
+    rt_->send(cfg_.coordinator, std::move(m));
+    LOG_INFO << rt_->self() << ": evicted while down; rejoining as standby";
+    return;
+  }
+  const auto& reps = replicas();
+  if (reps.size() <= 1) {
+    finish_catchup();  // nobody to resync from; local state is the truth
+    return;
+  }
+  // Chain predecessor under MS (the node whose state is a superset of ours);
+  // index 0 pulls from the next replica. AA overrides catchup_from anyway.
+  const Addr source = reps[my_index_ == 0 ? 1 : my_index_ - 1].controlet;
+  catchup_from(source, [this](bool ok) {
+    if (ok) {
+      finish_catchup();
+    } else {
+      // Source unreachable (it may be failing over itself): refetch the map
+      // and retry against the fresh layout.
+      rt_->set_timer(cfg_.rpc_timeout_us, [this] { fetch_initial_map(); });
+    }
+  });
+}
+
+void ControletBase::catchup_from(const Addr& source,
+                                 std::function<void(bool)> done) {
+  Message req;
+  req.op = Op::kSnapshotReq;
+  rt_->call(source, std::move(req),
+            [this, done = std::move(done)](Status s, Message rep) {
+              if (!s.ok() || rep.code != Code::kOk) {
+                done(false);
+                return;
+              }
+              for (const auto& kv : rep.kvs) {
+                cfg_.datalet->put_if_newer(kv.key, kv.value, kv.seq);
+                observe_version(kv.seq);
+              }
+              observe_version(rep.seq);
+              done(true);
+            },
+            cfg_.rpc_timeout_us * 4);
+}
+
+void ControletBase::finish_catchup() {
+  catching_up_ = false;
+  c_catchups_->inc();
+  LOG_INFO << rt_->self() << ": catch-up complete; serving again";
 }
 
 void ControletBase::apply_map(const ShardMap& m,
@@ -185,6 +263,59 @@ bool ControletBase::maybe_p2p_forward(const Addr& from, const Message& req,
   return true;
 }
 
+bool ControletBase::maybe_dedup(const Message& req, Replier& reply) {
+  auto it = dedup_.find(req.token);
+  if (it != dedup_.end()) {
+    c_dedup_hits_->inc();
+    if (it->second.done) {
+      reply(it->second.rep);  // replay: serve the original outcome verbatim
+    } else {
+      // The original attempt is still in flight (e.g. a duplicated request
+      // frame, or a very eager retry): park this replier; it completes with
+      // the same outcome as the original.
+      it->second.waiters.push_back(std::move(reply));
+    }
+    return true;
+  }
+  // First sighting: record in-flight and wrap the replier so the outcome is
+  // remembered for future replays of this token.
+  dedup_order_.push_back(req.token);
+  if (dedup_order_.size() > kDedupWindow) {
+    const uint64_t oldest = dedup_order_.front();
+    auto oit = dedup_.find(oldest);
+    if (oit == dedup_.end() || oit->second.done) {
+      if (oit != dedup_.end()) dedup_.erase(oit);
+      dedup_order_.pop_front();
+    }
+    // An in-flight head is left alone; the window transiently exceeds its
+    // bound by the in-flight count instead of forgetting a live request.
+  }
+  dedup_[req.token] = DedupEntry{};
+  const uint64_t token = req.token;
+  Replier inner = std::move(reply);
+  reply = [this, token, inner = std::move(inner)](Message rep) {
+    auto dit = dedup_.find(token);
+    if (dit != dedup_.end()) {
+      std::vector<Replier> waiters = std::move(dit->second.waiters);
+      // Routing/availability outcomes must not be replayed after the
+      // topology changes underneath the token — drop the entry and let the
+      // retry re-execute against the new layout.
+      const bool cacheable = rep.code != Code::kNotLeader &&
+                             rep.code != Code::kUnavailable &&
+                             rep.code != Code::kTimeout;
+      if (cacheable) {
+        dit->second.done = true;
+        dit->second.rep = rep;
+      } else {
+        dedup_.erase(dit);
+      }
+      for (auto& w : waiters) w(rep);
+    }
+    inner(std::move(rep));
+  };
+  return false;
+}
+
 void ControletBase::do_read(EventContext ctx) {
   ctx.reply(apply_local(ctx.req));
 }
@@ -199,6 +330,10 @@ void ControletBase::handle(const Addr& from, Message req, Replier reply) {
     case Op::kDel: {
       if (retired_) {
         reply(Message::reply(Code::kNotLeader));
+        return;
+      }
+      if (catching_up_) {
+        reply(Message::reply(Code::kUnavailable, "catching up"));
         return;
       }
       if (successor_.has_value()) {
@@ -216,6 +351,7 @@ void ControletBase::handle(const Addr& from, Message req, Replier reply) {
         return;
       }
       if (maybe_p2p_forward(from, req, reply, /*is_read=*/false)) return;
+      if (req.token != 0 && maybe_dedup(req, reply)) return;
       c_writes_->inc();
       EventContext ctx{from, std::move(req), std::move(reply)};
       if (!bus_.emit(ctx.req.op == Op::kPut ? "PUT" : "DEL", ctx)) {
@@ -228,6 +364,10 @@ void ControletBase::handle(const Addr& from, Message req, Replier reply) {
     case Op::kScan: {
       if (retired_) {
         reply(Message::reply(Code::kNotLeader));
+        return;
+      }
+      if (catching_up_) {
+        reply(Message::reply(Code::kUnavailable, "catching up"));
         return;
       }
       if (req.op == Op::kGet &&
@@ -274,9 +414,12 @@ void ControletBase::handle(const Addr& from, Message req, Replier reply) {
       }
       if ((req.flags & kFlagRecovery) != 0) {
         // Standby activation: adopt the map, pull a snapshot, then report.
+        // strs layout matches apply_map's aux: [dlm, sharedlog, source].
         cfg_.shard = req.shard;
         apply_map(m.value(), req.strs);
-        if (!req.strs.empty()) start_recovery(req.strs[0]);
+        if (req.strs.size() >= 3 && !req.strs[2].empty()) {
+          start_recovery(req.strs[2]);
+        }
         reply(Message::reply(Code::kOk));
         return;
       }

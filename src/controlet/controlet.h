@@ -14,6 +14,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "src/controlet/events.h"
 #include "src/coordinator/cluster_meta.h"
@@ -74,11 +75,20 @@ class ControletBase : public Service {
   virtual bool drained() const { return inflight_ == 0; }
   // Transition (new side): the target map was adopted; catch up if needed.
   virtual void on_transition_new_side() {}
+  // Crash-restart catch-up: resync local state from `source` (the chain
+  // predecessor under MS) before serving again. Default: snapshot pull with
+  // LWW application. AA+EC overrides this to replay the shared log instead —
+  // the log, not any single peer, is the authoritative write order there.
+  virtual void catchup_from(const Addr& source, std::function<void(bool)> done);
 
   // ---- services for the concrete controlets --------------------------------
 
   bool i_am(size_t index) const { return in_shard_ && my_index_ == index; }
   bool in_shard() const { return in_shard_; }
+  // True between a crash-restart and the completed resync; client data ops
+  // are refused with kUnavailable while set (internal replication still
+  // applies, so the node keeps converging during the catch-up).
+  bool catching_up() const { return catching_up_; }
   bool is_head() const { return i_am(0); }
   bool is_tail() const {
     return in_shard_ && !replicas().empty() && my_index_ == replicas().size() - 1;
@@ -131,14 +141,38 @@ class ControletBase : public Service {
   void start_recovery(const Addr& source);
   void enter_old_side_transition(const Addr& successor);
   void poll_drain();
+  // Restart resync driver: picks the catch-up source from the fresh map (or
+  // rejoins as a standby when evicted) and runs catchup_from.
+  void begin_catchup();
+  void finish_catchup();
+  // Idempotency-token dedup (client.h). Returns true if the request was
+  // consumed (replayed token: cached reply served or waiter queued);
+  // otherwise wraps `reply` to record the outcome for future replays.
+  bool maybe_dedup(const Message& req, Replier& reply);
 
   // Request counters ("controlet.*"), cached from the registry in start().
   obs::Counter* c_writes_ = nullptr;
   obs::Counter* c_reads_ = nullptr;
   obs::Counter* c_forwards_ = nullptr;
+  obs::Counter* c_dedup_hits_ = nullptr;
+  obs::Counter* c_catchups_ = nullptr;
+
+  // Dedup window: token -> outcome (or in-flight waiters). FIFO-evicted at
+  // kDedupWindow completed entries; wiped on restart (per-incarnation — a
+  // replay after restart re-applies, which LWW versioning keeps safe).
+  struct DedupEntry {
+    bool done = false;
+    Message rep;
+    std::vector<Replier> waiters;  // replays arriving while in flight
+  };
+  static constexpr size_t kDedupWindow = 4096;
+  std::unordered_map<uint64_t, DedupEntry> dedup_;
+  std::deque<uint64_t> dedup_order_;
 
   bool in_shard_ = false;
   bool retired_ = false;
+  bool started_once_ = false;
+  bool catching_up_ = false;
   size_t my_index_ = 0;
   uint64_t version_ = 0;
   std::optional<Addr> successor_;   // old side of a transition

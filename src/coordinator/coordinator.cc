@@ -46,7 +46,18 @@ void CoordinatorService::handle(const Addr& from, Message req, Replier reply) {
 
     case Op::kRegisterNode: {
       const Addr& node = req.key.empty() ? from : req.key;
-      standbys_.push_back(node);
+      // A node that was declared dead and came back re-registers here: clear
+      // the verdict so its heartbeats count again.
+      known_dead_.erase(node);
+      bool is_replica = false;
+      for (const auto& s : map_.shards) {
+        for (const auto& r : s.replicas) is_replica |= r.controlet == node;
+      }
+      if (!is_replica && recovering_.count(node) == 0 &&
+          std::find(standbys_.begin(), standbys_.end(), node) ==
+              standbys_.end()) {
+        standbys_.push_back(node);
+      }
       last_seen_[node] = rt_->now_us();
       reply(Message::reply(Code::kOk));
       return;
@@ -267,9 +278,10 @@ void CoordinatorService::begin_recovery(uint32_t shard_id) {
   m.flags = kFlagRecovery;
   m.shard = shard_id;
   m.value = map_.encode();
-  m.strs.push_back(s->replicas.front().controlet);  // recovery source
+  // strs layout matches apply_map's aux: [dlm, sharedlog, source].
   m.strs.push_back(cfg_.dlm);
   m.strs.push_back(cfg_.sharedlog);
+  m.strs.push_back(s->replicas.front().controlet);  // recovery source
   rt_->send(standby, std::move(m));
 }
 

@@ -15,7 +15,7 @@ void encode_envelope(const Envelope& env, std::string* out) {
   e.put_bytes(env.from);
   encode_message(env.msg, out);
   if (env.msg.trace.valid()) {
-    // Optional tail field after the (self-delimiting) message. Untraced
+    // Optional tail fields after the (self-delimiting) message. Plain
     // envelopes are byte-identical to the pre-tracing wire format, and
     // decoders ignore tails they don't understand, so old and new nodes
     // interoperate.
@@ -23,6 +23,10 @@ void encode_envelope(const Envelope& env, std::string* out) {
     e.put_varint(env.msg.trace.trace_id);
     e.put_varint(env.msg.trace.span_id);
     e.put_u8(env.msg.trace.hop);
+  }
+  if (env.msg.token != 0) {
+    e.put_u8(kTokenTailTag);
+    e.put_varint(env.msg.token);
   }
   e.patch_u32_le(len_at, static_cast<uint32_t>(out->size() - len_at - 4));
 }
@@ -63,26 +67,40 @@ Status decode_envelope(std::string_view buf, Envelope* env, size_t* consumed) {
   env->kind = static_cast<EnvelopeKind>(kind.value());
   env->from = std::move(from).value();
   env->msg = std::move(msg).value();
-  decode_envelope_tail(payload.substr(header + msg_len), &env->msg.trace);
+  decode_envelope_tail(payload.substr(header + msg_len), &env->msg.trace,
+                       &env->msg.token);
   *consumed = 4 + static_cast<size_t>(len);
   return Status::Ok();
 }
 
-void decode_envelope_tail(std::string_view tail, TraceContext* trace) {
+void decode_envelope_tail(std::string_view tail, TraceContext* trace,
+                          uint64_t* token) {
   *trace = TraceContext{};
-  if (tail.empty()) return;
+  *token = 0;
   Decoder t(tail);
-  auto tag = t.u8();
-  // Tails from a newer protocol revision (or garbage appended by a fuzzer)
-  // are ignored, never an error — forward compatibility for the framing.
-  if (!tag.ok() || tag.value() != kTraceTailTag) return;
-  auto trace_id = t.varint();
-  auto span_id = t.varint();
-  auto hop = t.u8();
-  if (!trace_id.ok() || !span_id.ok() || !hop.ok()) return;
-  trace->trace_id = trace_id.value();
-  trace->span_id = span_id.value();
-  trace->hop = hop.value();
+  while (t.remaining() > 0) {
+    auto tag = t.u8();
+    if (!tag.ok()) return;
+    if (tag.value() == kTraceTailTag) {
+      auto trace_id = t.varint();
+      auto span_id = t.varint();
+      auto hop = t.u8();
+      if (!trace_id.ok() || !span_id.ok() || !hop.ok()) return;
+      trace->trace_id = trace_id.value();
+      trace->span_id = span_id.value();
+      trace->hop = hop.value();
+    } else if (tag.value() == kTokenTailTag) {
+      auto tok = t.varint();
+      if (!tok.ok()) return;
+      *token = tok.value();
+    } else {
+      // A tail from a newer protocol revision (or garbage appended by a
+      // fuzzer): fields are not self-delimiting across unknown tags, so stop
+      // here — everything parsed so far stands. Never an error, to keep the
+      // framing forward compatible.
+      return;
+    }
+  }
 }
 
 }  // namespace bespokv

@@ -2,11 +2,13 @@
 // Frame on the wire: 4-byte little-endian payload length, then the payload:
 //   varint rpc_id | u8 kind | bytes from_addr | encoded Message (codec.h)
 //   [optional tail fields]
-// The only tail field today is the trace context (tag kTraceTailTag):
-//   u8 tag | varint trace_id | varint span_id | u8 hop
-// Untraced envelopes carry no tail and are byte-identical to the pre-tracing
-// format; decoders skip tails with unknown tags, so mixed-version nodes
-// interoperate.
+// Tail fields (each optional, in tag order):
+//   trace context (tag kTraceTailTag): u8 tag | varint trace_id |
+//     varint span_id | u8 hop
+//   idempotency token (tag kTokenTailTag): u8 tag | varint token
+// Envelopes without metadata carry no tail and are byte-identical to the
+// pre-tracing format; decoders skip tails with unknown tags, so
+// mixed-version nodes interoperate.
 #pragma once
 
 #include <cstdint>
@@ -21,8 +23,9 @@ namespace bespokv {
 
 enum class EnvelopeKind : uint8_t { kRequest = 0, kResponse = 1, kOneWay = 2 };
 
-// Tag of the trace-context tail field appended after the encoded message.
-inline constexpr uint8_t kTraceTailTag = 0x01;
+// Tags of the tail fields appended after the encoded message.
+inline constexpr uint8_t kTraceTailTag = 0x01;  // trace context
+inline constexpr uint8_t kTokenTailTag = 0x02;  // idempotency token
 
 struct Envelope {
   uint64_t rpc_id = 0;
@@ -46,7 +49,9 @@ void encode_envelope(const Envelope& env, ByteBuffer* out);
 Status decode_envelope(std::string_view buf, Envelope* env, size_t* consumed);
 
 // Parses the optional tail bytes after the encoded message. Unknown or
-// malformed tails leave *trace invalid (never an error). Exposed for tests.
-void decode_envelope_tail(std::string_view tail, TraceContext* trace);
+// malformed tails leave *trace invalid / *token zero (never an error).
+// Exposed for tests.
+void decode_envelope_tail(std::string_view tail, TraceContext* trace,
+                          uint64_t* token);
 
 }  // namespace bespokv

@@ -1,0 +1,202 @@
+#include "src/net/fault.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace bespokv {
+
+namespace {
+
+Json link_to_json(const LinkFault& l) {
+  Json j = Json::object();
+  j.set("src", Json::string(l.src));
+  j.set("dst", Json::string(l.dst));
+  if (l.drop > 0) j.set("drop", Json::number(l.drop));
+  if (l.duplicate > 0) j.set("duplicate", Json::number(l.duplicate));
+  if (l.reorder > 0) j.set("reorder", Json::number(l.reorder));
+  if (l.delay_us > 0) j.set("delay_us", Json::number(double(l.delay_us)));
+  if (l.jitter_us > 0) j.set("jitter_us", Json::number(double(l.jitter_us)));
+  if (l.after_us > 0) j.set("after_us", Json::number(double(l.after_us)));
+  if (l.until_us > 0) j.set("until_us", Json::number(double(l.until_us)));
+  return j;
+}
+
+Json node_to_json(const NodeFault& n) {
+  Json j = Json::object();
+  j.set("node", Json::string(n.node));
+  j.set("crash_at_us", Json::number(double(n.crash_at_us)));
+  if (n.restart_at_us > 0) {
+    j.set("restart_at_us", Json::number(double(n.restart_at_us)));
+  }
+  return j;
+}
+
+double num_or(const Json& j, const char* key, double dflt) {
+  const Json& v = j.get(key);
+  return v.is_number() ? v.as_number() : dflt;
+}
+
+std::string str_or(const Json& j, const char* key, const char* dflt) {
+  const Json& v = j.get(key);
+  return v.is_string() ? v.as_string() : dflt;
+}
+
+}  // namespace
+
+Json FaultPlan::to_json() const {
+  Json j = Json::object();
+  // Json numbers are doubles: seeds must stay below 2^53 to round-trip.
+  j.set("seed", Json::number(double(seed)));
+  Json larr = Json::array();
+  for (const auto& l : links) larr.push(link_to_json(l));
+  j.set("links", std::move(larr));
+  Json narr = Json::array();
+  for (const auto& n : nodes) narr.push(node_to_json(n));
+  j.set("nodes", std::move(narr));
+  return j;
+}
+
+Result<FaultPlan> FaultPlan::from_json(const Json& j) {
+  FaultPlan p;
+  p.seed = uint64_t(num_or(j, "seed", 1));
+  {
+    for (const Json& lj : j.get("links").elements()) {
+      LinkFault l;
+      l.src = str_or(lj, "src", "*");
+      l.dst = str_or(lj, "dst", "*");
+      l.drop = num_or(lj, "drop", 0);
+      l.duplicate = num_or(lj, "duplicate", 0);
+      l.reorder = num_or(lj, "reorder", 0);
+      l.delay_us = uint64_t(num_or(lj, "delay_us", 0));
+      l.jitter_us = uint64_t(num_or(lj, "jitter_us", 0));
+      l.after_us = uint64_t(num_or(lj, "after_us", 0));
+      l.until_us = uint64_t(num_or(lj, "until_us", 0));
+      if (l.drop < 0 || l.drop > 1 || l.duplicate < 0 || l.duplicate > 1 ||
+          l.reorder < 0 || l.reorder > 1) {
+        return Status::Invalid("fault probability out of [0,1]");
+      }
+      p.links.push_back(std::move(l));
+    }
+  }
+  {
+    for (const Json& nj : j.get("nodes").elements()) {
+      NodeFault n;
+      n.node = str_or(nj, "node", "");
+      if (n.node.empty()) return Status::Invalid("node fault without a node");
+      n.crash_at_us = uint64_t(num_or(nj, "crash_at_us", 0));
+      n.restart_at_us = uint64_t(num_or(nj, "restart_at_us", 0));
+      if (n.restart_at_us != 0 && n.restart_at_us <= n.crash_at_us) {
+        return Status::Invalid("restart_at_us must be after crash_at_us");
+      }
+      p.nodes.push_back(std::move(n));
+    }
+  }
+  return p;
+}
+
+Result<FaultPlan> FaultPlan::decode(std::string_view text) {
+  auto j = Json::parse(text);
+  if (!j.ok()) return j.status();
+  return from_json(j.value());
+}
+
+bool fault_addr_match(const std::string& pattern, const Addr& addr) {
+  if (pattern == "*") return true;
+  if (!pattern.empty() && pattern.back() == '*') {
+    const std::string_view prefix(pattern.data(), pattern.size() - 1);
+    return std::string_view(addr).substr(0, prefix.size()) == prefix;
+  }
+  return pattern == addr;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+void FaultInjector::arm(uint64_t now_us) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (!armed_) {
+    armed_ = true;
+    origin_us_ = now_us;
+  }
+}
+
+FaultDecision FaultInjector::on_message(const Addr& src, const Addr& dst,
+                                        uint64_t now_us) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (!armed_) {
+    armed_ = true;
+    origin_us_ = now_us;
+  }
+  const uint64_t t = now_us - origin_us_;
+  FaultDecision d;
+  ++decided_;
+  for (const auto& l : plan_.links) {
+    if (t < l.after_us || (l.until_us != 0 && t >= l.until_us)) continue;
+    if (!fault_addr_match(l.src, src) || !fault_addr_match(l.dst, dst)) {
+      continue;
+    }
+    // Burn the RNG in a fixed order per matched rule so the decision stream
+    // depends only on (plan, message sequence), not on which faults fired.
+    const bool drop = l.drop > 0 && rng_.next_bool(l.drop);
+    const bool dup = l.duplicate > 0 && rng_.next_bool(l.duplicate);
+    const bool reorder = l.reorder > 0 && rng_.next_bool(l.reorder);
+    uint64_t delay = l.delay_us;
+    if (l.jitter_us > 0 && (delay > 0 || reorder)) {
+      delay += rng_.next_u64(l.jitter_us + 1);
+    } else if (reorder) {
+      // Reordering without explicit delay/jitter: hold the message back far
+      // enough for back-to-back traffic on the link to overtake it.
+      delay += 1 + rng_.next_u64(200);
+    }
+    d.drop |= drop;
+    d.duplicate |= dup;
+    d.delay_us = std::max(d.delay_us, delay);
+  }
+  if (d.drop) {
+    d.duplicate = false;
+    d.delay_us = 0;
+    ++dropped_;
+    return d;
+  }
+  if (d.duplicate) ++duplicated_;
+  if (d.delay_us > 0) ++delayed_;
+  return d;
+}
+
+uint64_t FaultInjector::decided() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return decided_;
+}
+uint64_t FaultInjector::dropped() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return dropped_;
+}
+uint64_t FaultInjector::duplicated() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return duplicated_;
+}
+uint64_t FaultInjector::delayed() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return delayed_;
+}
+
+void schedule_node_faults(Runtime& rt, Fabric& fab, const FaultPlan& plan) {
+  for (const auto& n : plan.nodes) {
+    const Addr node = n.node;
+    rt.set_timer(n.crash_at_us, [&fab, node] {
+      LOG_INFO << "faultplan: crashing " << node;
+      fab.kill(node);
+    });
+    if (n.restart_at_us != 0) {
+      rt.set_timer(n.restart_at_us, [&fab, node] {
+        LOG_INFO << "faultplan: restarting " << node;
+        if (!fab.restart(node)) {
+          LOG_WARN << "faultplan: restart of " << node << " failed";
+        }
+      });
+    }
+  }
+}
+
+}  // namespace bespokv

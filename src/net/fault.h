@@ -1,0 +1,108 @@
+// Fault injection shared by all three fabrics (sim / thread / TCP).
+//
+// A FaultPlan is a seeded, JSON-serializable chaos schedule: per-link
+// drop/delay/duplicate/reorder rules plus node crash/restart events. The
+// same plan file drives identical fault decisions on every fabric — the
+// injector consumes its own deterministic RNG stream, so a failing nightly
+// run can be replayed locally from the uploaded plan (deterministically on
+// SimFabric; statistically on the real-time fabrics).
+//
+// Wiring: Fabric::set_fault_injector installs an injector that each fabric
+// consults at its single send choke point (SimFabric::transmit,
+// ThreadFabric's mailbox delivery, TcpFabric::Node::ship). Node events are
+// driven by schedule_node_faults() from any runtime whose node outlives the
+// plan (the cluster admin node in practice).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/net/runtime.h"
+
+namespace bespokv {
+
+// One per-link rule. `src`/`dst` are fabric addresses, "*" (everything) or a
+// trailing-star prefix ("bkv/s0*"). Probabilities are per message.
+struct LinkFault {
+  std::string src = "*";
+  std::string dst = "*";
+  double drop = 0.0;       // message silently lost
+  double duplicate = 0.0;  // message delivered twice
+  double reorder = 0.0;    // message held back by a random extra delay so
+                           // later traffic on the link can overtake it
+  uint64_t delay_us = 0;   // fixed extra one-way delay on every message
+  uint64_t jitter_us = 0;  // uniform extra [0, jitter] per delayed/reordered msg
+  uint64_t after_us = 0;   // rule active from this offset (relative to arming)
+  uint64_t until_us = 0;   // rule inactive after this offset (0 = forever)
+};
+
+// One node lifecycle event: crash-stop at crash_at_us, optionally restart in
+// place (same address, same Service object) at restart_at_us.
+struct NodeFault {
+  std::string node;
+  uint64_t crash_at_us = 0;
+  uint64_t restart_at_us = 0;  // 0 = stays down
+};
+
+struct FaultPlan {
+  uint64_t seed = 1;
+  std::vector<LinkFault> links;
+  std::vector<NodeFault> nodes;
+
+  Json to_json() const;
+  static Result<FaultPlan> from_json(const Json& j);
+  std::string encode() const { return to_json().dump(2); }
+  static Result<FaultPlan> decode(std::string_view text);
+};
+
+// Verdict for one message on one link.
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  uint64_t delay_us = 0;
+};
+
+// Thread-safe (the TCP/thread fabrics consult it from multiple node threads)
+// and deterministic given the same plan and the same decision sequence.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  // Sets t=0 for the rules' active windows. Lazily armed by the first
+  // decision if never called explicitly.
+  void arm(uint64_t now_us);
+
+  FaultDecision on_message(const Addr& src, const Addr& dst, uint64_t now_us);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // Tallies for tests and the chaos driver's failure reports.
+  uint64_t decided() const;
+  uint64_t dropped() const;
+  uint64_t duplicated() const;
+  uint64_t delayed() const;
+
+ private:
+  mutable std::mutex mu_;
+  FaultPlan plan_;
+  Rng rng_;
+  bool armed_ = false;
+  uint64_t origin_us_ = 0;
+  uint64_t decided_ = 0, dropped_ = 0, duplicated_ = 0, delayed_ = 0;
+};
+
+// "*" matches everything; a trailing '*' matches by prefix; otherwise exact.
+bool fault_addr_match(const std::string& pattern, const Addr& addr);
+
+// Schedules the plan's node crash/restart events as timers on `rt` (which
+// must belong to a node the plan never kills). Works on every fabric and
+// clock: virtual time on SimFabric, wall clock elsewhere.
+void schedule_node_faults(Runtime& rt, Fabric& fab, const FaultPlan& plan);
+
+}  // namespace bespokv

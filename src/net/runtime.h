@@ -111,6 +111,8 @@ class LambdaService : public Service {
   Fn fn_;
 };
 
+class FaultInjector;  // src/net/fault.h
+
 class Fabric {
  public:
   virtual ~Fabric() = default;
@@ -122,8 +124,30 @@ class Fabric {
   virtual void kill(const Addr& addr) = 0;
   virtual bool alive(const Addr& addr) const = 0;
 
+  // Restarts a previously killed node in place: same address, same Service
+  // object, fresh timers/mailbox/connections. The service's start() runs
+  // again, so services must treat a second start() as a crash-recovery
+  // (ControletBase re-syncs before serving). Returns false if the node is
+  // unknown, still alive, or the fabric cannot bring it back.
+  virtual bool restart(const Addr& addr) { return false; }
+
   // Cuts/restores bidirectional connectivity between two nodes.
   virtual void partition(const Addr& a, const Addr& b, bool cut) = 0;
+
+  // Installs (or clears, with nullptr) a chaos fault injector consulted on
+  // every message the fabric carries. See src/net/fault.h.
+  void set_fault_injector(std::shared_ptr<FaultInjector> fi) {
+    std::lock_guard<std::mutex> g(fault_mu_);
+    fault_injector_ = std::move(fi);
+  }
+  std::shared_ptr<FaultInjector> fault_injector() const {
+    std::lock_guard<std::mutex> g(fault_mu_);
+    return fault_injector_;
+  }
+
+ private:
+  mutable std::mutex fault_mu_;
+  std::shared_ptr<FaultInjector> fault_injector_;
 };
 
 }  // namespace bespokv

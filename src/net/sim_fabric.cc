@@ -4,6 +4,7 @@
 
 #include "src/common/hash.h"
 #include "src/common/logging.h"
+#include "src/net/fault.h"
 #include "src/obs/admin.h"
 
 namespace bespokv {
@@ -109,6 +110,15 @@ bool SimFabric::alive(const Addr& addr) const {
   return n != nullptr && n->alive;
 }
 
+bool SimFabric::restart(const Addr& addr) {
+  Node* n = find(addr);
+  if (n == nullptr || n->alive) return false;
+  n->alive = true;
+  n->busy_until = queue_.now_us();
+  n->svc->start(*n->rt);
+  return true;
+}
+
 void SimFabric::partition(const Addr& a, const Addr& b, bool cut) {
   auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
   if (cut) {
@@ -150,14 +160,24 @@ void SimFabric::transmit(Node& src, const Addr& dst_addr,
     src.busy_until = std::max(src.busy_until, t) + opts_.transport.per_msg_us;
   }
   if (severed(src.addr, dst_addr)) return;
-  const uint64_t arrive =
-      queue_.now_us() + opts_.link_latency_us + opts_.transport.wire_latency_us;
-  queue_.schedule_at(arrive, [this, dst_addr, deliver = std::move(deliver)] {
-    Node* dst = find(dst_addr);
-    if (dst == nullptr || !dst->alive) return;  // dropped on the floor
-    ++delivered_;
-    deliver(*dst);
-  });
+  uint64_t fault_delay = 0;
+  int copies = 1;
+  if (auto fi = fault_injector()) {
+    const FaultDecision d = fi->on_message(src.addr, dst_addr, queue_.now_us());
+    if (d.drop) return;  // lost on the wire; RPC timeouts handle it
+    if (d.duplicate) copies = 2;
+    fault_delay = d.delay_us;
+  }
+  const uint64_t arrive = queue_.now_us() + opts_.link_latency_us +
+                          opts_.transport.wire_latency_us + fault_delay;
+  for (int c = 0; c < copies; ++c) {
+    queue_.schedule_at(arrive, [this, dst_addr, deliver] {
+      Node* dst = find(dst_addr);
+      if (dst == nullptr || !dst->alive) return;  // dropped on the floor
+      ++delivered_;
+      deliver(*dst);
+    });
+  }
 }
 
 void SimFabric::SimRuntime::post(std::function<void()> fn) {

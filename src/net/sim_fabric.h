@@ -68,6 +68,7 @@ class SimFabric : public Fabric {
 
   void kill(const Addr& addr) override;
   bool alive(const Addr& addr) const override;
+  bool restart(const Addr& addr) override;
   void partition(const Addr& a, const Addr& b, bool cut) override;
 
   // Drives virtual time. run_for is relative to the current virtual clock.

@@ -20,6 +20,7 @@
 #include "src/common/hash.h"
 #include "src/common/logging.h"
 #include "src/net/envelope.h"
+#include "src/net/fault.h"
 #include "src/obs/admin.h"
 
 namespace bespokv {
@@ -169,6 +170,7 @@ struct TcpFabric::Node {
   void dispatch(Envelope env);
   int conn_to(const Addr& dst);
   void ship(const Addr& dst, const Envelope& env);
+  void ship_now(const Addr& dst, const Envelope& env);
   uint64_t add_timer(uint64_t at_us, uint64_t period_us,
                      std::function<void()> fn);
   void cancel_timer(uint64_t id);
@@ -495,6 +497,30 @@ void TcpFabric::Node::flush(int fd) {
 }
 
 void TcpFabric::Node::ship(const Addr& dst, const Envelope& env) {
+  // Chaos hook: the injector's verdict applies once per send; delayed and
+  // duplicated copies go straight to ship_now so they are not re-judged.
+  if (auto fi = fab->fault_injector()) {
+    const FaultDecision d = fi->on_message(addr, dst, real_now_us());
+    if (d.drop) {
+      msgs_dropped->inc();
+      return;
+    }
+    if (d.delay_us > 0) {
+      // ship() only runs on the node thread, so the timer manipulation and
+      // the deferred re-ship both stay on this node's event loop.
+      add_timer(real_now_us() + d.delay_us, 0,
+                [this, dst, env, dup = d.duplicate] {
+                  ship_now(dst, env);
+                  if (dup) ship_now(dst, env);
+                });
+      return;
+    }
+    if (d.duplicate) ship_now(dst, env);
+  }
+  ship_now(dst, env);
+}
+
+void TcpFabric::Node::ship_now(const Addr& dst, const Envelope& env) {
   if (fab->severed(addr, dst)) {  // partition: drop outgoing traffic
     msgs_dropped->inc();
     LOG_DEBUG << "TcpFabric " << addr << ": dropped envelope to " << dst
@@ -638,6 +664,34 @@ void TcpFabric::kill(const Addr& addr) {
 bool TcpFabric::alive(const Addr& addr) const {
   auto node = find(addr);
   return node && node->alive.load();
+}
+
+bool TcpFabric::restart(const Addr& addr) {
+  auto node = find(addr);
+  if (!node || node->alive.load()) return false;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (shut_down_) return false;
+  }
+  if (node->thread.joinable()) node->thread.join();
+  // The old loop closed every fd on its way out; start from a clean slate.
+  node->timers.clear();
+  node->timers_by_id.clear();
+  node->pending.clear();
+  node->dirty_fds.clear();
+  {
+    std::lock_guard<std::mutex> g(node->task_mu);
+    node->ext_tasks.clear();
+  }
+  node->stopping.store(false);
+  if (!node->setup()) {
+    LOG_ERROR << "TcpFabric: restart of " << addr << " failed to re-bind";
+    return false;
+  }
+  node->alive.store(true);
+  node->svc->start(*node->rt);
+  node->thread = std::thread([node] { node->loop(); });
+  return true;
 }
 
 void TcpFabric::partition(const Addr& a, const Addr& b, bool cut) {

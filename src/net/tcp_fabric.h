@@ -34,6 +34,9 @@ class TcpFabric : public Fabric {
 
   void kill(const Addr& addr) override;
   bool alive(const Addr& addr) const override;
+  // Re-binds the node's listen socket (SO_REUSEADDR) and restarts its event
+  // loop and service on a fresh thread. Must not race a concurrent kill().
+  bool restart(const Addr& addr) override;
   // Implemented by dropping outgoing traffic to the severed peer.
   void partition(const Addr& a, const Addr& b, bool cut) override;
 

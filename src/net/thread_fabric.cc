@@ -7,6 +7,7 @@
 
 #include "src/common/hash.h"
 #include "src/common/logging.h"
+#include "src/net/fault.h"
 #include "src/obs/admin.h"
 
 namespace bespokv {
@@ -189,13 +190,18 @@ void ThreadFabric::ThreadRuntime::call(const Addr& dst, Message req,
     return;  // the timeout will complete the RPC
   }
   ThreadFabric* fab = fab_;
-  dst_node->enqueue([fab, dst_node_raw = dst_node.get(), from, rpc_id,
-                     req = std::move(req)]() mutable {
-    Replier reply = [fab, from, rpc_id](Message resp) {
+  fab_->inject_deliver(dst_node, from, [fab, dst_node_raw = dst_node.get(),
+                                        from, rpc_id,
+                                        req = std::move(req)]() mutable {
+    Replier reply = [fab, from, rpc_id,
+                     self = dst_node_raw->addr](Message resp) {
       auto requester = fab->find(from);
-      if (!requester || !requester->alive.load()) return;
-      requester->enqueue([requester_raw = requester.get(), rpc_id,
-                          resp = std::move(resp)]() mutable {
+      if (!requester || !requester->alive.load() || fab->severed(self, from)) {
+        return;
+      }
+      fab->inject_deliver(requester, self,
+                          [requester_raw = requester.get(), rpc_id,
+                           resp = std::move(resp)]() mutable {
         auto it = requester_raw->pending.find(rpc_id);
         if (it == requester_raw->pending.end()) return;  // timed out
         RpcCallback cb = std::move(it->second);
@@ -216,8 +222,8 @@ void ThreadFabric::ThreadRuntime::send(const Addr& dst, Message msg) {
   const Addr from = addr_;
   auto dst_node = fab_->find(dst);
   if (!dst_node || !dst_node->alive.load() || fab_->severed(from, dst)) return;
-  dst_node->enqueue([dst_node_raw = dst_node.get(), from,
-                     msg = std::move(msg)]() mutable {
+  fab_->inject_deliver(dst_node, from, [dst_node_raw = dst_node.get(), from,
+                                        msg = std::move(msg)]() mutable {
     Replier reply = [](Message) {};
     Runtime& drt = *dst_node_raw->rt;
     if (obs::handle_admin(drt, msg, reply)) return;
@@ -265,6 +271,27 @@ bool ThreadFabric::severed(const Addr& a, const Addr& b) const {
 
 void ThreadFabric::deliver(const Addr&, const Addr&, std::function<void()>) {}
 
+void ThreadFabric::inject_deliver(const std::shared_ptr<Node>& dst,
+                                  const Addr& src, std::function<void()> task) {
+  auto fi = fault_injector();
+  if (!fi) {
+    dst->enqueue(std::move(task));
+    return;
+  }
+  const FaultDecision d = fi->on_message(src, dst->addr, real_now_us());
+  if (d.drop) return;  // lost on the wire; RPC timeouts handle it
+  const int copies = d.duplicate ? 2 : 1;
+  for (int c = 0; c < copies; ++c) {
+    if (d.delay_us > 0) {
+      // set_timer only takes the destination node's lock: safe to call from
+      // the sender's thread, and the task still runs on dst's thread.
+      dst->rt->set_timer(d.delay_us, task);
+    } else {
+      dst->enqueue(task);
+    }
+  }
+}
+
 void ThreadFabric::kill(const Addr& addr) {
   auto node = find(addr);
   if (!node) return;
@@ -276,6 +303,29 @@ void ThreadFabric::kill(const Addr& addr) {
 bool ThreadFabric::alive(const Addr& addr) const {
   auto node = find(addr);
   return node && node->alive.load();
+}
+
+bool ThreadFabric::restart(const Addr& addr) {
+  auto node = find(addr);
+  if (!node || node->alive.load()) return false;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (shut_down_) return false;
+  }
+  if (node->thread.joinable()) node->thread.join();
+  // The thread is gone: mailbox, timers and pending RPCs from the previous
+  // incarnation are discarded (crash-stop loses in-flight state).
+  {
+    std::lock_guard<std::mutex> g(node->mu);
+    node->stopping = false;
+    node->tasks.clear();
+    node->timers.clear();
+  }
+  node->pending.clear();
+  node->alive.store(true);
+  node->svc->start(*node->rt);
+  node->thread = std::thread([node] { node->loop(); });
+  return true;
 }
 
 void ThreadFabric::partition(const Addr& a, const Addr& b, bool cut) {

@@ -26,6 +26,7 @@ class ThreadFabric : public Fabric {
 
   void kill(const Addr& addr) override;
   bool alive(const Addr& addr) const override;
+  bool restart(const Addr& addr) override;
   void partition(const Addr& a, const Addr& b, bool cut) override;
 
   // Stops all nodes and joins their threads. Called by the destructor.
@@ -43,6 +44,10 @@ class ThreadFabric : public Fabric {
   std::shared_ptr<Node> find(const Addr& addr) const;
   bool severed(const Addr& a, const Addr& b) const;
   void deliver(const Addr& from, const Addr& to, std::function<void()> task);
+  // Runs `task` on dst's thread, applying any installed fault injector's
+  // verdict for the (src → dst) link: drop, duplicate, or delayed delivery.
+  void inject_deliver(const std::shared_ptr<Node>& dst, const Addr& src,
+                      std::function<void()> task);
 
   mutable std::mutex mu_;
   std::map<Addr, std::shared_ptr<Node>> nodes_;

@@ -114,6 +114,13 @@ struct Message {
   // operator== — it is delivery metadata, not payload.
   TraceContext trace;
 
+  // Idempotency token for writes (0 = none). Like `trace`, delivery
+  // metadata: carried as an envelope tail field on TCP, passed through by
+  // the in-process fabrics, excluded from the codec and operator==.
+  // Controlets keep a dedup window keyed on it so a retried PUT/DEL with
+  // the same token is applied exactly once per controlet (client.h).
+  uint64_t token = 0;
+
   bool operator==(const Message& o) const;
 
   // Convenience constructors for the hot paths.

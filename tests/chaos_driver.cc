@@ -1,0 +1,228 @@
+// Standalone chaos driver for the nightly sweep (not a gtest binary):
+//
+//   chaos_driver --fabric=sim|thread|tcp --seed=N [--out=DIR] [--ops=K]
+//
+// Derives a FaultPlan from the seed (link drop/duplicate noise plus a
+// scheduled crash+restart of shard 0's master), runs a retrying client
+// workload against an MS+SC cluster on the chosen fabric, and enforces the
+// repo's chaos invariant: zero failed acked operations — every op eventually
+// succeeds and every acked write reads back its value.
+//
+// On failure the driver writes the exact FaultPlan JSON and a per-node trace
+// dump into --out (uploaded as CI artifacts), so the run can be replayed:
+// deterministically on the sim fabric, statistically on the real-time ones.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/fault.h"
+#include "src/net/tcp_fabric.h"
+#include "src/net/thread_fabric.h"
+#include "src/obs/trace.h"
+#include "tests/sim_test_util.h"
+
+namespace bespokv {
+namespace {
+
+struct Args {
+  std::string fabric = "sim";
+  uint64_t seed = 1;
+  std::string out = ".";
+  int ops = 120;
+};
+
+bool parse_args(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--fabric=", 0) == 0) {
+      a->fabric = arg.substr(9);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      a->seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      a->out = arg.substr(6);
+    } else if (arg.rfind("--ops=", 0) == 0) {
+      a->ops = std::atoi(arg.c_str() + 6);
+    } else {
+      std::fprintf(stderr, "unknown arg: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return a->fabric == "sim" || a->fabric == "thread" || a->fabric == "tcp";
+}
+
+ClusterOptions chaos_cluster() {
+  ClusterOptions o;
+  o.topology = Topology::kMasterSlave;
+  o.consistency = Consistency::kStrong;
+  o.num_shards = 2;
+  o.num_replicas = 3;
+  o.num_standby = 1;
+  o.coordinator.hb_period_us = 100'000;
+  o.controlet.hb_period_us = 50'000;
+  return o;
+}
+
+FaultPlan make_plan(uint64_t seed, const Addr& master) {
+  Rng rng(seed * 7919 + 13);
+  FaultPlan p;
+  p.seed = seed;
+  LinkFault noise;  // everywhere: clients, chain links, heartbeats
+  noise.drop = 0.005 * double(1 + rng.next_u64(4));
+  noise.duplicate = 0.03;
+  // Bound the noise window: faults stop before verification so the cluster
+  // can converge. The invariant is "no acked op is lost once faults clear",
+  // not "reads succeed while the network is actively being damaged".
+  noise.until_us = 8'000'000;
+  p.links.push_back(noise);
+  NodeFault crash;
+  crash.node = master;
+  crash.crash_at_us = 200'000 + rng.next_u64(400'000);
+  crash.restart_at_us = crash.crash_at_us + 3'000'000;
+  p.nodes.push_back(crash);
+  return p;
+}
+
+using CallFn = std::function<Result<Message>(const Addr&, Message)>;
+
+void dump_failure(const Args& args, const FaultPlan& plan, Cluster& cluster,
+                  const CallFn& call) {
+  const std::string tag =
+      args.fabric + "-seed" + std::to_string(args.seed);
+  {
+    std::ofstream f(args.out + "/faultplan-" + tag + ".json");
+    f << plan.encode() << "\n";
+  }
+  std::ofstream t(args.out + "/traces-" + tag + ".txt");
+  std::vector<Addr> nodes = {cluster.coordinator_addr()};
+  for (int s = 0; s < cluster.options().num_shards; ++s) {
+    for (int r = 0; r < cluster.options().num_replicas; ++r) {
+      nodes.push_back(cluster.controlet_addr(s, r));
+    }
+  }
+  for (const Addr& n : nodes) {
+    Message req;
+    req.op = Op::kTraceDump;
+    auto rep = call(n, std::move(req));
+    t << "# node " << n << "\n";
+    if (!rep.ok()) {
+      t << "# unreachable: " << rep.status().to_string() << "\n";
+      continue;
+    }
+    for (const auto& s : rep.value().strs) t << s << "\n";
+  }
+  std::fprintf(stderr, "chaos_driver: wrote faultplan-%s.json + traces-%s.txt to %s\n",
+               tag.c_str(), tag.c_str(), args.out.c_str());
+}
+
+// Returns the number of invariant violations (0 = pass).
+int run_workload(const Args& args, SyncKv& kv, const std::function<void()>& settle) {
+  Rng rng(args.seed * 101 + 7);
+  std::map<std::string, std::string> acked;
+  int failed_ops = 0;
+  for (int i = 0; i < args.ops; ++i) {
+    const std::string key = "c" + std::to_string(rng.next_u64(50));
+    const std::string value = "v" + std::to_string(i);
+    if (kv.put(key, value).ok()) {
+      acked[key] = value;
+    } else {
+      ++failed_ops;
+      std::fprintf(stderr, "chaos_driver: op %d failed outright\n", i);
+    }
+  }
+  settle();
+  int lost = 0;
+  for (const auto& [key, value] : acked) {
+    auto r = kv.get(key, "", ConsistencyLevel::kStrong);
+    if (!r.ok() || r.value() != value) {
+      ++lost;
+      std::fprintf(stderr, "chaos_driver: acked write %s lost (%s)\n",
+                   key.c_str(),
+                   r.ok() ? "stale value" : r.status().to_string().c_str());
+    }
+  }
+  if (acked.empty()) {
+    std::fprintf(stderr, "chaos_driver: no op was ever acked\n");
+    return 1;
+  }
+  return failed_ops + lost;
+}
+
+int run_sim(const Args& args) {
+  SimFabricOpts fopts;
+  fopts.seed = args.seed;
+  testing::SimEnv env(chaos_cluster(), fopts);
+  const FaultPlan plan = make_plan(args.seed, env.cluster.controlet_addr(0, 0));
+  env.sim.set_fault_injector(std::make_shared<FaultInjector>(plan));
+  Runtime* admin = env.cluster.admin();
+  admin->post([admin, &env, plan] {
+    schedule_node_faults(*admin, env.sim, plan);
+  });
+
+  SyncKv kv = env.client();
+  kv.set_attempts(12);
+  const int bad = run_workload(args, kv, [&env] { env.settle(3'000'000); });
+  if (bad != 0) {
+    dump_failure(args, plan, env.cluster, [&env](const Addr& a, Message m) {
+      return env.call(a, std::move(m));
+    });
+  }
+  return bad == 0 ? 0 : 1;
+}
+
+// Fab is ThreadFabric or TcpFabric — call_sync is per-fabric, not on Fabric.
+template <typename Fab>
+int run_real(const Args& args, Fab& fab) {
+  Cluster cluster(fab, chaos_cluster());
+  cluster.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  const FaultPlan plan = make_plan(args.seed, cluster.controlet_addr(0, 0));
+  fab.set_fault_injector(std::make_shared<FaultInjector>(plan));
+  Runtime* admin = cluster.admin();
+  admin->post([admin, &fab, plan] { schedule_node_faults(*admin, fab, plan); });
+
+  const CallFn call = [&fab](const Addr& a, Message m) {
+    return fab.call_sync(a, std::move(m), 500'000);
+  };
+  SyncKv kv(call, cluster.coordinator_addr());
+  kv.set_attempts(12);
+  kv.set_backoff_us(20'000);
+  const int bad = run_workload(args, kv, [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1'500));
+  });
+  if (bad != 0) dump_failure(args, plan, cluster, call);
+  return bad == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bespokv
+
+int main(int argc, char** argv) {
+  bespokv::Args args;
+  if (!bespokv::parse_args(argc, argv, &args)) {
+    std::fprintf(stderr,
+                 "usage: chaos_driver --fabric=sim|thread|tcp --seed=N "
+                 "[--out=DIR] [--ops=K]\n");
+    return 2;
+  }
+  std::fprintf(stderr, "chaos_driver: fabric=%s seed=%llu ops=%d\n",
+               args.fabric.c_str(),
+               static_cast<unsigned long long>(args.seed), args.ops);
+  int rc = 0;
+  if (args.fabric == "sim") {
+    rc = bespokv::run_sim(args);
+  } else if (args.fabric == "thread") {
+    bespokv::ThreadFabric fab;
+    rc = bespokv::run_real(args, fab);
+  } else {
+    bespokv::TcpFabric fab;
+    rc = bespokv::run_real(args, fab);
+  }
+  std::fprintf(stderr, "chaos_driver: %s\n", rc == 0 ? "PASS" : "FAIL");
+  return rc;
+}

@@ -10,6 +10,7 @@
 //    single active's crash loses nothing.
 #include <gtest/gtest.h>
 
+#include "src/net/fault.h"
 #include "tests/sim_test_util.h"
 
 namespace bespokv {
@@ -143,6 +144,56 @@ TEST_P(ChaosTest, TransitionUnderContinuousLoadLosesNothing) {
     ASSERT_TRUE(r.ok()) << key << " (seed " << GetParam() << ")";
     EXPECT_EQ(r.value(), value) << key;
   }
+}
+
+// The PR's acceptance scenario: a FaultPlan crashes shard 0's master mid-load
+// (and restarts it later) while light link noise drops/duplicates messages
+// everywhere. A looping client with retries enabled must observe zero failed
+// acked operations end-to-end: no op fails outright, and every acked write
+// reads back its value afterwards. Duplicated PUT frames double as a live
+// exercise of the idempotency-token dedup window.
+TEST_P(ChaosTest, FaultPlanMasterCrashZeroFailedAckedOps) {
+  SimFabricOpts fopts;
+  fopts.seed = GetParam();
+  SimEnv env(chaos_cluster(Topology::kMasterSlave, Consistency::kStrong),
+             fopts);
+  SyncKv kv = env.client();
+  kv.set_attempts(12);
+
+  FaultPlan plan;
+  plan.seed = GetParam();
+  plan.links.push_back(LinkFault{"*", "*", /*drop=*/0.02, /*duplicate=*/0.05,
+                                 0, 0, 0, 0, 0});
+  plan.nodes.push_back(NodeFault{env.cluster.controlet_addr(0, 0),
+                                 /*crash_at_us=*/300'000,
+                                 /*restart_at_us=*/4'000'000});
+  env.sim.set_fault_injector(std::make_shared<FaultInjector>(plan));
+  Runtime* admin = env.cluster.admin();
+  admin->post([admin, &env, plan] {
+    schedule_node_faults(*admin, env.sim, plan);
+  });
+
+  std::map<std::string, std::string> acked;
+  int failed_ops = 0;
+  for (int i = 0; i < 120; ++i) {
+    const std::string key = "f" + std::to_string(i % 50);
+    const std::string value = "v" + std::to_string(i);
+    if (kv.put(key, value).ok()) {
+      acked[key] = value;
+    } else {
+      ++failed_ops;
+    }
+  }
+  EXPECT_EQ(failed_ops, 0) << "ops failed despite retries (seed " << GetParam()
+                           << ")";
+  env.settle(3'000'000);  // failover + standby recovery + restart-as-standby
+  for (const auto& [key, value] : acked) {
+    auto r = kv.get(key, "", ConsistencyLevel::kStrong);
+    ASSERT_TRUE(r.ok()) << "lost acked write " << key << " (seed "
+                        << GetParam() << ")";
+    EXPECT_EQ(r.value(), value) << key;
+  }
+  EXPECT_GT(env.sim.fault_injector()->decided(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest, ::testing::Values(1, 2, 3, 4, 5),

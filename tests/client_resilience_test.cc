@@ -1,0 +1,272 @@
+// Client resilience tests: idempotency-token dedup (exactly-once retried
+// writes), retry/backoff across failover, hedged GETs, the kMaybeApplied
+// contract, and restart catch-up (a revived replica resyncs before serving).
+#include <gtest/gtest.h>
+
+#include "src/obs/metrics.h"
+#include "tests/sim_test_util.h"
+
+namespace bespokv {
+namespace {
+
+using testing::SimEnv;
+using testing::small_cluster;
+
+obs::MetricsSnapshot scrape(SimEnv& env, const Addr& node) {
+  Message req;
+  req.op = Op::kStats;
+  auto rep = env.call(node, std::move(req));
+  EXPECT_TRUE(rep.ok()) << rep.status().to_string();
+  auto snap = obs::MetricsSnapshot::from_json(rep.value().value);
+  EXPECT_TRUE(snap.ok()) << snap.status().to_string();
+  return snap.value_or(obs::MetricsSnapshot{});
+}
+
+// A replayed PUT with the same idempotency token applies exactly once: the
+// second send is answered from the dedup window, not re-executed, so the
+// stored value stays the first attempt's.
+TEST(DedupTest, ReplayedPutAppliesExactlyOnce) {
+  SimEnv env(small_cluster(Topology::kMasterSlave, Consistency::kStrong, 1));
+  const Addr master = env.cluster.controlet_addr(0, 0);
+  // Strong MS reads serve at the chain tail, not the master.
+  const Addr tail = env.cluster.controlet_addr(0, 2);
+
+  Message first = Message::put("dk", "v-original");
+  first.token = 0xfeed;
+  auto r1 = env.call(master, std::move(first));
+  ASSERT_TRUE(r1.ok());
+  ASSERT_EQ(r1.value().code, Code::kOk);
+
+  // Same token, different payload — models a client retry whose first attempt
+  // actually landed (the ack was lost). Must be served from the window.
+  Message replay = Message::put("dk", "v-replayed");
+  replay.token = 0xfeed;
+  auto r2 = env.call(master, std::move(replay));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().code, Code::kOk);  // acked again...
+  auto g = env.call(tail, Message::get("dk"));
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().value, "v-original");  // ...but not re-applied
+
+  EXPECT_GE(scrape(env, master).counter("controlet.dedup_hits"), 1u);
+
+  // A fresh token is a distinct logical write and does apply.
+  Message fresh = Message::put("dk", "v-new");
+  fresh.token = 0xfeee;
+  ASSERT_EQ(env.call(master, std::move(fresh)).value().code, Code::kOk);
+  EXPECT_EQ(env.call(tail, Message::get("dk")).value().value, "v-new");
+}
+
+TEST(DedupTest, TokensFlowThroughTheClientLibrary) {
+  SimEnv env(small_cluster(Topology::kMasterSlave, Consistency::kStrong, 1));
+  SyncKv kv = env.client();
+  ASSERT_TRUE(kv.put("a", "1").ok());
+  ASSERT_TRUE(kv.put("a", "2").ok());  // distinct tokens: both apply
+  EXPECT_EQ(kv.get("a").value_or(""), "2");
+  // No replay happened, so the dedup window saw only fresh tokens.
+  EXPECT_EQ(scrape(env, env.cluster.controlet_addr(0, 0))
+                .counter("controlet.dedup_hits"),
+            0u);
+}
+
+TEST(KvClientResilienceTest, RetriesRideOutMasterFailover) {
+  ClusterOptions o = small_cluster(Topology::kMasterSlave,
+                                   Consistency::kStrong, 1);
+  o.num_standby = 1;
+  o.coordinator.hb_period_us = 100'000;
+  o.controlet.hb_period_us = 50'000;
+  SimEnv env(std::move(o));
+
+  SimNodeOpts copts;
+  copts.is_client = true;
+  Runtime* rt = env.sim.add_node("res/c",
+                                 std::make_shared<LambdaService>(
+                                     [](Runtime&, const Addr&, Message, Replier r) {
+                                       r(Message::reply(Code::kInvalid));
+                                     }),
+                                 copts);
+  ClientConfig ccfg{env.cluster.coordinator_addr()};
+  ccfg.rpc_timeout_us = 300'000;
+  ccfg.retries = 8;
+  ccfg.backoff_base_us = 10'000;
+  ccfg.backoff_max_us = 100'000;
+  auto kv = std::make_shared<KvClient>(rt, ccfg);
+
+  Status before = Status::Internal("pending");
+  Status after = Status::Internal("pending");
+  env.sim.post_to("res/c", [&, kv] {
+    kv->connect([&, kv](Status) {
+      kv->put("k1", "v1", [&](Status s) { before = s; });
+    });
+  });
+  env.settle(500'000);
+  ASSERT_TRUE(before.ok()) << before.to_string();
+
+  env.cluster.kill_controlet(0, 0);  // crash the master mid-session
+  env.sim.post_to("res/c", [&, kv] {
+    kv->put("k2", "v2", [&](Status s) { after = s; });
+  });
+  env.settle(6'000'000);  // detection + failover + client retries
+  ASSERT_TRUE(after.ok()) << after.to_string();
+  EXPECT_GE(rt->obs().metrics().counter("client.retry").value(), 1u);
+
+  // The write survived the failover and is visible through a fresh read.
+  std::string got;
+  env.sim.post_to("res/c", [&, kv] {
+    kv->get("k2", [&](Result<std::string> r) { got = r.value_or("<err>"); },
+            "", ConsistencyLevel::kStrong);
+  });
+  env.settle(1'000'000);
+  EXPECT_EQ(got, "v2");
+}
+
+TEST(KvClientResilienceTest, HedgedGetsMaskSlowReplica) {
+  // Eventual reads spread across replicas; with one replica dead, reads
+  // routed to it would sit on the full RPC timeout. Hedging fires after
+  // hedge_after_us and the alternate replica answers instead.
+  SimEnv env(small_cluster(Topology::kMasterSlave, Consistency::kEventual, 1));
+  SimNodeOpts copts;
+  copts.is_client = true;
+  Runtime* rt = env.sim.add_node("res/h",
+                                 std::make_shared<LambdaService>(
+                                     [](Runtime&, const Addr&, Message, Replier r) {
+                                       r(Message::reply(Code::kInvalid));
+                                     }),
+                                 copts);
+  ClientConfig ccfg{env.cluster.coordinator_addr()};
+  ccfg.rpc_timeout_us = 2'000'000;
+  ccfg.hedge_after_us = 10'000;
+  auto kv = std::make_shared<KvClient>(rt, ccfg);
+
+  Status put_s = Status::Internal("pending");
+  env.sim.post_to("res/h", [&, kv] {
+    kv->connect([&, kv](Status) {
+      kv->put("hk", "hv", [&](Status s) { put_s = s; });
+    });
+  });
+  env.settle(500'000);  // connect + put + async propagation to the slaves
+  ASSERT_TRUE(put_s.ok());
+
+  env.cluster.kill_controlet(0, 2);  // a slave; no failover needed for reads
+  int ok = 0, total = 30;
+  auto next = std::make_shared<std::function<void(int)>>();
+  *next = [&, kv](int i) {
+    if (i == total) return;
+    kv->get("hk", [&, i](Result<std::string> r) {
+      if (r.ok() && r.value() == "hv") ++ok;
+      (*next)(i + 1);
+    });
+  };
+  env.sim.post_to("res/h", [&] { (*next)(0); });
+  env.settle(5'000'000);
+  EXPECT_EQ(ok, total);  // every read completed despite the dead replica
+  // Some primaries were the dead replica, so hedges fired and won.
+  EXPECT_GE(rt->obs().metrics().counter("client.hedge").value(), 1u);
+  EXPECT_GE(rt->obs().metrics().counter("client.hedge_wins").value(), 1u);
+}
+
+TEST(KvClientResilienceTest, ExhaustedWriteTimeoutIsMaybeApplied) {
+  SimEnv env(small_cluster(Topology::kMasterSlave, Consistency::kStrong, 1));
+  SimNodeOpts copts;
+  copts.is_client = true;
+  Runtime* rt = env.sim.add_node("res/m",
+                                 std::make_shared<LambdaService>(
+                                     [](Runtime&, const Addr&, Message, Replier r) {
+                                       r(Message::reply(Code::kInvalid));
+                                     }),
+                                 copts);
+  ClientConfig ccfg{env.cluster.coordinator_addr()};
+  ccfg.rpc_timeout_us = 200'000;
+  ccfg.retries = 0;  // no second chance: the ambiguity must surface
+  auto kv = std::make_shared<KvClient>(rt, ccfg);
+
+  Status connect_s = Status::Internal("pending");
+  env.sim.post_to("res/m", [&, kv] {
+    kv->connect([&](Status s) { connect_s = s; });
+  });
+  env.settle(300'000);
+  ASSERT_TRUE(connect_s.ok());
+
+  // Cut the client->master link: the PUT is lost in flight, so the client
+  // cannot know whether it was applied.
+  env.sim.partition("res/m", env.cluster.controlet_addr(0, 0), true);
+  Status s = Status::Internal("pending");
+  env.sim.post_to("res/m", [&, kv] {
+    kv->put("mk", "mv", [&](Status st) { s = st; });
+  });
+  env.settle(2'000'000);
+  EXPECT_EQ(s.code(), Code::kMaybeApplied) << s.to_string();
+  EXPECT_GE(rt->obs().metrics().counter("client.maybe_applied").value(), 1u);
+}
+
+// A replica killed and revived in place must resync (catch up) before it
+// serves again: under MS+EC the chain predecessor has writes the dead node
+// missed; recover.catchup records the completed resync.
+TEST(RestartCatchupTest, MsEcReplicaRejoinsWithMissedWrites) {
+  ClusterOptions o = small_cluster(Topology::kMasterSlave,
+                                   Consistency::kEventual, 1);
+  // Slow failure detection way down: this test exercises the fast-restart
+  // path, where the node comes back *before* the coordinator evicts it.
+  o.coordinator.hb_period_us = 10'000'000;
+  SimEnv env(std::move(o));
+  SyncKv kv = env.client();
+  ASSERT_TRUE(kv.put("warm", "w").ok());
+  env.settle(300'000);
+
+  env.cluster.kill_controlet(0, 1);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(kv.put("r" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  // Revive before the coordinator's eviction deadline (3 x 1s by default):
+  // the node is still in the shard map and catches up from its predecessor.
+  ASSERT_TRUE(env.cluster.restart_controlet(0, 1));
+  env.settle(2'000'000);
+
+  EXPECT_FALSE(env.cluster.controlet(0, 1)->is_retired());
+  EXPECT_GE(scrape(env, env.cluster.controlet_addr(0, 1))
+                .counter("recover.catchup"),
+            1u);
+  for (int i = 0; i < 20; ++i) {
+    auto e = env.cluster.datalet(0, 1)->get("r" + std::to_string(i));
+    EXPECT_TRUE(e.ok()) << "replica missing write r" << i << " after catch-up";
+  }
+}
+
+// Under AA+EC the restarted active replays the shared log (the authoritative
+// order), not a peer snapshot.
+TEST(RestartCatchupTest, AaEcActiveReplaysSharedLog) {
+  ClusterOptions o = small_cluster(Topology::kActiveActive,
+                                   Consistency::kEventual, 1);
+  o.coordinator.hb_period_us = 10'000'000;  // fast-restart path: no eviction
+  SimEnv env(std::move(o));
+  // Short per-attempt timeout: attempts salted onto the dead active fail
+  // fast instead of burning the default 2s each.
+  SyncKv kv(
+      [&env](const Addr& a, Message m) {
+        return env.call(a, std::move(m), 400'000);
+      },
+      env.cluster.coordinator_addr());
+  kv.set_attempts(6);  // writes salted onto the dead active must re-route
+  ASSERT_TRUE(kv.put("warm", "w").ok());
+  env.settle(300'000);
+
+  env.cluster.kill_controlet(0, 1);
+  int acked = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (kv.put("a" + std::to_string(i), "v" + std::to_string(i)).ok()) ++acked;
+  }
+  EXPECT_EQ(acked, 20);  // retries re-salt around the dead active
+  ASSERT_TRUE(env.cluster.restart_controlet(0, 1));
+  env.settle(2'000'000);
+
+  EXPECT_GE(scrape(env, env.cluster.controlet_addr(0, 1))
+                .counter("recover.catchup"),
+            1u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(env.cluster.datalet(0, 1)->get("a" + std::to_string(i)).ok())
+        << "active missing log entry a" << i << " after replay";
+  }
+}
+
+}  // namespace
+}  // namespace bespokv

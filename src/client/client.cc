@@ -15,6 +15,7 @@ KvClient::KvClient(Runtime* rt, ClientConfig cfg) : rt_(rt), cfg_(cfg) {
   // Random prefix keeps tokens from different clients (and different
   // incarnations of the same client) disjoint; the low bits count requests.
   token_base_ = rt_->rng().next() << 20;
+  session_salt_ = rt_->rng().next();
   obs::MetricsRegistry& m = rt_->obs().metrics();
   c_retry_ = &m.counter("client.retry");
   c_hedge_ = &m.counter("client.hedge");
@@ -78,7 +79,10 @@ Result<Addr> KvClient::route(const Message& req, bool is_read) const {
       req.consistency == ConsistencyLevel::kStrong ||
       (req.consistency == ConsistencyLevel::kDefault &&
        map_.consistency == Consistency::kStrong);
-  if (is_read) return map_.read_target(routing_key, salt_, strong);
+  if (is_read) {
+    return map_.read_target(routing_key,
+                            cfg_.sticky_reads ? session_salt_ : salt_, strong);
+  }
   return map_.write_target(routing_key, salt_);
 }
 
@@ -406,7 +410,8 @@ void KvClient::scan(const std::string& start, const std::string& end,
       const bool after = !pend.empty() && !s.lower.empty() && s.lower >= pend;
       if (before || after) continue;
     }
-    targets.push_back(map_.scan_target(s, salt_));
+    targets.push_back(
+        map_.scan_target(s, cfg_.sticky_reads ? session_salt_ : salt_));
   }
   if (targets.empty()) {
     done(Status::Unavailable("no shards"));

@@ -51,6 +51,14 @@ struct ClientConfig {
   // reply wins. Only reads that may legally hit several replicas hedge
   // (eventual-consistency reads; strong MS reads are tail-only).
   uint64_t hedge_after_us = 0;
+  // Pins this client's eventual-consistency reads to one replica choice
+  // instead of spreading them per request, turning the client into a
+  // *session*: as long as the replica set is stable, MS+EC reads are
+  // monotonic (a slave applies the master's propagation stream in order and
+  // never regresses). Failover or a transition reshuffles the replica list
+  // and legitimately breaks the pin. Used by the verification harness; off
+  // by default because spreading reads is the better load-balancing policy.
+  bool sticky_reads = false;
 };
 
 class KvClient {
@@ -120,6 +128,7 @@ class KvClient {
   bool ready_ = false;
   bool refreshing_ = false;
   uint64_t salt_ = 0;  // spreads eventual reads / AA writes across replicas
+  uint64_t session_salt_ = 0;  // fixed per-client salt for sticky reads
   uint64_t refresh_timer_ = 0;
   uint64_t refreshes_ = 0;
   uint64_t token_base_ = 0;  // random per-client prefix for idempotency tokens

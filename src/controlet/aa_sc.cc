@@ -22,7 +22,15 @@ void AaScControlet::do_write(EventContext ctx) {
     ctx.reply(Message::reply(Code::kUnavailable, "no DLM configured"));
     return;
   }
-  const uint64_t version = next_version();
+  // A retried token reuses the version pinned by its first attempt so the
+  // write keeps its original LWW slot (see ControletBase::token_version).
+  // Per-controlet only: a retry that lands on a *different* active after a
+  // map refresh still re-executes with a fresh version.
+  uint64_t version = token_version(ctx.req.token);
+  if (version == 0) {
+    version = next_version();
+    record_token_version(ctx.req.token, version);
+  }
   const bool is_del = ctx.req.op == Op::kDel;
   const std::string key = prefixed_key(ctx.req);
   KV kv{key, ctx.req.value, version};

@@ -161,6 +161,39 @@ void ControletBase::apply_map(const ShardMap& m,
   on_reconfigured();
 }
 
+uint64_t ControletBase::token_version(uint64_t token) const {
+  if (token == 0) return 0;
+  auto it = dedup_.find(token);
+  return it != dedup_.end() ? it->second.seq : 0;
+}
+
+void ControletBase::record_token_version(uint64_t token, uint64_t seq) {
+  if (token == 0) return;
+  auto it = dedup_.find(token);
+  if (it != dedup_.end()) it->second.seq = seq;
+}
+
+void ControletBase::pin_token_version(uint64_t token, uint64_t seq) {
+  if (token == 0) return;
+  auto [it, inserted] = dedup_.try_emplace(token);
+  if (inserted) {
+    // Nothing is executing here — this is a replication-path pin, not a
+    // client request. The failed-shaped entry (done=false, in_flight=false)
+    // makes a later client retry re-execute with the pinned version.
+    it->second.in_flight = false;
+    dedup_order_.push_back(token);
+    if (dedup_order_.size() > kDedupWindow) {
+      const uint64_t oldest = dedup_order_.front();
+      auto oit = dedup_.find(oldest);
+      if (oit == dedup_.end() || !oit->second.in_flight) {
+        if (oit != dedup_.end()) dedup_.erase(oit);
+        dedup_order_.pop_front();
+      }
+    }
+  }
+  it->second.seq = std::max(it->second.seq, seq);
+}
+
 void ControletBase::apply_replicated(const KV& kv, bool is_del) {
   observe_version(kv.seq);
   if (is_del) {
@@ -269,28 +302,37 @@ bool ControletBase::maybe_dedup(const Message& req, Replier& reply) {
     c_dedup_hits_->inc();
     if (it->second.done) {
       reply(it->second.rep);  // replay: serve the original outcome verbatim
-    } else {
+      return true;
+    }
+    if (it->second.in_flight) {
       // The original attempt is still in flight (e.g. a duplicated request
       // frame, or a very eager retry): park this replier; it completes with
       // the same outcome as the original.
       it->second.waiters.push_back(std::move(reply));
+      return true;
     }
-    return true;
-  }
-  // First sighting: record in-flight and wrap the replier so the outcome is
-  // remembered for future replays of this token.
-  dedup_order_.push_back(req.token);
-  if (dedup_order_.size() > kDedupWindow) {
-    const uint64_t oldest = dedup_order_.front();
-    auto oit = dedup_.find(oldest);
-    if (oit == dedup_.end() || oit->second.done) {
-      if (oit != dedup_.end()) dedup_.erase(oit);
-      dedup_order_.pop_front();
+    // The original attempt failed with a routing/availability outcome: the
+    // retry re-executes against the current layout. The entry (and its
+    // pinned version) survives so the write keeps its original LWW slot —
+    // minting a fresh version here would reorder it after writes that
+    // landed since the first attempt, resurrecting a stale value.
+    it->second.in_flight = true;
+  } else {
+    // First sighting: record in-flight so the outcome is remembered for
+    // future replays of this token.
+    dedup_order_.push_back(req.token);
+    if (dedup_order_.size() > kDedupWindow) {
+      const uint64_t oldest = dedup_order_.front();
+      auto oit = dedup_.find(oldest);
+      if (oit == dedup_.end() || !oit->second.in_flight) {
+        if (oit != dedup_.end()) dedup_.erase(oit);
+        dedup_order_.pop_front();
+      }
+      // An in-flight head is left alone; the window transiently exceeds its
+      // bound by the in-flight count instead of forgetting a live request.
     }
-    // An in-flight head is left alone; the window transiently exceeds its
-    // bound by the in-flight count instead of forgetting a live request.
+    dedup_[req.token] = DedupEntry{};
   }
-  dedup_[req.token] = DedupEntry{};
   const uint64_t token = req.token;
   Replier inner = std::move(reply);
   reply = [this, token, inner = std::move(inner)](Message rep) {
@@ -298,16 +340,16 @@ bool ControletBase::maybe_dedup(const Message& req, Replier& reply) {
     if (dit != dedup_.end()) {
       std::vector<Replier> waiters = std::move(dit->second.waiters);
       // Routing/availability outcomes must not be replayed after the
-      // topology changes underneath the token — drop the entry and let the
-      // retry re-execute against the new layout.
+      // topology changes underneath the token — mark the entry failed and
+      // let the retry re-execute (with the pinned version) against the new
+      // layout.
       const bool cacheable = rep.code != Code::kNotLeader &&
                              rep.code != Code::kUnavailable &&
                              rep.code != Code::kTimeout;
+      dit->second.in_flight = false;
       if (cacheable) {
         dit->second.done = true;
         dit->second.rep = rep;
-      } else {
-        dedup_.erase(dit);
       }
       for (auto& w : waiters) w(rep);
     }

@@ -101,6 +101,20 @@ class ControletBase : public Service {
   // Keeps next_version() ahead of any externally observed version.
   void observe_version(uint64_t v) { version_ = std::max(version_, v); }
 
+  // Version pinned to an idempotency token on its first execution. A retry
+  // of a write whose earlier attempt already applied locally must reuse the
+  // original version: re-executing with a fresh next_version() would move
+  // the write *after* every write that landed in between, resurrecting the
+  // old value under LWW (caught by the verification harness as a
+  // linearizability violation). Returns 0 when unknown.
+  uint64_t token_version(uint64_t token) const;
+  void record_token_version(uint64_t token, uint64_t seq);
+  // Passive pin used on the replication path: chain/propagation messages
+  // carry the originating token so every replica learns token -> version.
+  // After a failover the promoted head then still honors pins for writes
+  // whose first attempt reached it, instead of re-versioning the retry.
+  void pin_token_version(uint64_t token, uint64_t seq);
+
   // Applies a client write/read to the local datalet and returns the reply.
   Message apply_local(const Message& req) {
     return DataletHandle::apply(*cfg_.datalet, req);
@@ -160,8 +174,14 @@ class ControletBase : public Service {
   // Dedup window: token -> outcome (or in-flight waiters). FIFO-evicted at
   // kDedupWindow completed entries; wiped on restart (per-incarnation — a
   // replay after restart re-applies, which LWW versioning keeps safe).
+  // Entries have three states: in-flight (replays park as waiters), done
+  // (replays get the cached reply), and failed (done=false, in_flight=false:
+  // a routing/availability outcome that must not be replayed — the retry
+  // re-executes, reusing the pinned `seq` so it keeps its LWW slot).
   struct DedupEntry {
     bool done = false;
+    bool in_flight = true;
+    uint64_t seq = 0;  // version pinned by the write path (0 = none yet)
     Message rep;
     std::vector<Replier> waiters;  // replays arriving while in flight
   };

@@ -35,7 +35,13 @@ void MsEcControlet::do_write(EventContext ctx) {
     ctx.reply(Message::reply(Code::kNotFound));
     return;
   }
-  const uint64_t version = next_version();
+  // A retried token reuses the version pinned by its first attempt so the
+  // write keeps its original LWW slot (see ControletBase::token_version).
+  uint64_t version = token_version(ctx.req.token);
+  if (version == 0) {
+    version = next_version();
+    record_token_version(ctx.req.token, version);
+  }
   KV kv{prefixed_key(ctx.req), ctx.req.value, version};
 
   // Commit locally, acknowledge, and queue the asynchronous propagation

@@ -32,9 +32,18 @@ void MsScControlet::do_write(EventContext ctx) {
   w.op = Op::kChainPut;
   w.key = prefixed_key(ctx.req);
   w.value = ctx.req.value;
-  w.seq = next_version();
+  // A retried token reuses the version pinned by its first attempt so the
+  // write keeps its original LWW slot (see ControletBase::token_version).
+  w.seq = token_version(ctx.req.token);
+  if (w.seq == 0) {
+    w.seq = next_version();
+    record_token_version(ctx.req.token, w.seq);
+  }
   w.epoch = map_.epoch;
   w.shard = cfg_.shard;
+  // The token rides down the chain so every replica pins token -> version:
+  // a post-failover head then re-executes retries with the original version.
+  w.token = ctx.req.token;
   if (ctx.req.op == Op::kDel) w.flags |= kFlagDelete;
 
   ++inflight_;
@@ -47,6 +56,7 @@ void MsScControlet::do_write(EventContext ctx) {
 
 void MsScControlet::apply_and_forward(Message w, std::function<void(Code)> done) {
   ++chain_writes_;
+  pin_token_version(w.token, w.seq);
   apply_replicated(KV{w.key, w.value, w.seq}, (w.flags & kFlagDelete) != 0);
   // My chain successor under the *current* map (failover may have reshaped
   // the chain since the write entered it).

@@ -101,6 +101,55 @@ Result<FaultPlan> FaultPlan::decode(std::string_view text) {
   return from_json(j.value());
 }
 
+FaultPlan FaultPlan::random(uint64_t seed, const RandomFaultOpts& opts) {
+  // Decorrelate from the injector's own decision stream, which is seeded
+  // with plan.seed itself.
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x7f4a7c15ULL);
+  FaultPlan p;
+  p.seed = seed;
+  const int rules = 1 + static_cast<int>(rng.next_u64(3));
+  for (int i = 0; i < rules; ++i) {
+    LinkFault l;  // src/dst stay "*": noise hits every link uniformly
+    if (opts.drops && rng.next_bool(0.7)) {
+      l.drop = opts.max_drop * (0.25 + 0.75 * rng.next_double());
+    }
+    if (opts.duplicates && rng.next_bool(0.5)) {
+      l.duplicate = opts.max_duplicate * (0.25 + 0.75 * rng.next_double());
+    }
+    if (opts.delays && rng.next_bool(0.5)) {
+      l.delay_us = 1 + rng.next_u64(opts.max_delay_us);
+      l.jitter_us = rng.next_u64(opts.max_delay_us);
+    }
+    if (opts.reorders && rng.next_bool(0.4)) {
+      l.reorder = 0.05 + 0.15 * rng.next_double();
+    }
+    if (l.drop == 0 && l.duplicate == 0 && l.delay_us == 0 && l.reorder == 0) {
+      if (opts.duplicates) {
+        l.duplicate = opts.max_duplicate * 0.5;  // never emit a no-op rule
+      } else if (opts.delays) {
+        l.delay_us = 1 + opts.max_delay_us / 2;
+      } else {
+        continue;
+      }
+    }
+    // Stagger rule windows inside the global bound.
+    l.after_us = rng.next_u64(opts.window_us / 4 + 1);
+    l.until_us = l.after_us + opts.window_us / 2 +
+                 rng.next_u64(opts.window_us / 2 - opts.window_us / 4 + 1);
+    l.until_us = std::min(l.until_us, opts.window_us);
+    p.links.push_back(std::move(l));
+  }
+  if (!opts.crash_node.empty()) {
+    NodeFault crash;
+    crash.node = opts.crash_node;
+    crash.crash_at_us =
+        opts.crash_after_us + rng.next_u64(opts.crash_spread_us + 1);
+    crash.restart_at_us = crash.crash_at_us + opts.restart_delay_us;
+    p.nodes.push_back(std::move(crash));
+  }
+  return p;
+}
+
 bool fault_addr_match(const std::string& pattern, const Addr& addr) {
   if (pattern == "*") return true;
   if (!pattern.empty() && pattern.back() == '*') {

@@ -50,6 +50,29 @@ struct NodeFault {
   uint64_t restart_at_us = 0;  // 0 = stays down
 };
 
+// Envelope for FaultPlan::random: which fault classes a generated plan may
+// contain and how hard they may hit. The defaults match the chaos sweep's
+// proven-stable envelope: bounded-window link noise, optional crash+restart.
+struct RandomFaultOpts {
+  bool drops = true;
+  bool duplicates = true;
+  bool delays = true;
+  bool reorders = true;
+  double max_drop = 0.02;        // per-message ceiling for generated rules
+  double max_duplicate = 0.05;
+  uint64_t max_delay_us = 2'000;
+  // Every generated link rule deactivates by this offset, so the cluster can
+  // converge before verification reads run.
+  uint64_t window_us = 8'000'000;
+  // When non-empty: generate one crash-stop of this node, restarting in
+  // place a few seconds later (always restarts — plans that leave a node
+  // down for good are written by hand, not drawn at random).
+  std::string crash_node;
+  uint64_t crash_after_us = 200'000;   // earliest crash instant
+  uint64_t crash_spread_us = 400'000;  // crash lands in [after, after+spread)
+  uint64_t restart_delay_us = 3'000'000;
+};
+
 struct FaultPlan {
   uint64_t seed = 1;
   std::vector<LinkFault> links;
@@ -59,6 +82,12 @@ struct FaultPlan {
   static Result<FaultPlan> from_json(const Json& j);
   std::string encode() const { return to_json().dump(2); }
   static Result<FaultPlan> decode(std::string_view text);
+
+  // Derives a reproducible chaos schedule from `seed`: 1-3 link-noise rules
+  // within the allowed classes plus the optional crash/restart. The same
+  // seed and opts always yield the same plan (scenario generation and the
+  // nightly sweeps both lean on this).
+  static FaultPlan random(uint64_t seed, const RandomFaultOpts& opts = {});
 };
 
 // Verdict for one message on one link.

@@ -1,0 +1,486 @@
+#include "src/verify/checker.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <unordered_set>
+
+namespace bespokv::verify {
+
+namespace {
+
+std::string fmt(const char* f, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, f);
+  std::vsnprintf(buf, sizeof(buf), f, ap);
+  va_end(ap);
+  return buf;
+}
+
+// Dynamic bitset over a key's events (histories can exceed 64 ops per key).
+struct Bits {
+  std::vector<uint64_t> w;
+  explicit Bits(size_t n) : w((n + 63) / 64, 0) {}
+  bool test(size_t i) const { return (w[i >> 6] >> (i & 63)) & 1; }
+  void set(size_t i) { w[i >> 6] |= 1ull << (i & 63); }
+};
+
+// Exact memo key: the full bitset plus the last-write index. A hash would be
+// cheaper but a collision could silently skip a live branch.
+std::string memo_key(const Bits& b, int last_write) {
+  std::string k;
+  k.reserve(b.w.size() * 8 + 4);
+  for (uint64_t word : b.w) k.append(reinterpret_cast<const char*>(&word), 8);
+  k.append(reinterpret_cast<const char*>(&last_write), 4);
+  return k;
+}
+
+struct SearchOutcome {
+  bool linearizable = false;
+  bool exhausted = false;  // hit the state budget: verdict unknown
+  uint64_t states = 0;
+};
+
+// Iterative Wing & Gong / WGL search for one register subhistory. A total
+// order is sought that respects real-time precedence and register semantics;
+// `maybe` writes are optional (they may be linearized after their invocation,
+// or never — their effect never constrains other ops' real-time order since
+// they carry no response timestamp).
+SearchOutcome wgl_search(const std::vector<KeyEvent>& evs,
+                         const InitialState& init, uint64_t max_states) {
+  const size_t n = evs.size();
+  size_t required_total = 0;
+  for (const KeyEvent& e : evs) {
+    if (!(e.is_write && e.maybe)) ++required_total;
+  }
+
+  struct Frame {
+    Bits taken;
+    int last_write;        // index into evs; -1 = initial state
+    size_t cursor = 0;     // next candidate to try at this state
+    uint64_t min_res = 0;  // min response over untaken events
+    size_t required_taken = 0;
+    Frame(size_t n_ops) : taken(n_ops), last_write(-1) {}
+  };
+
+  auto min_res_of = [&](const Bits& taken) {
+    uint64_t m = kNoResponse;
+    for (size_t i = 0; i < n; ++i) {
+      if (!taken.test(i)) m = std::min(m, evs[i].res);
+    }
+    return m;
+  };
+  auto state_matches = [&](int last_write, const KeyEvent& read) {
+    const bool found = last_write < 0 ? init.found : evs[last_write].found;
+    const std::string& value =
+        last_write < 0 ? init.value : evs[last_write].value;
+    return read.found == found && (!read.found || read.value == value);
+  };
+
+  SearchOutcome out;
+  std::unordered_set<std::string> visited;
+  std::vector<Frame> stack;
+  Frame root(n);
+  root.min_res = min_res_of(root.taken);
+  visited.insert(memo_key(root.taken, root.last_write));
+  stack.push_back(std::move(root));
+
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.required_taken == required_total) {
+      out.linearizable = true;
+      return out;
+    }
+    // Find the next linearization candidate: untaken, invoked no later than
+    // every untaken op's response (real-time order), and legal for the
+    // current register state if it is a read.
+    size_t pick = n;
+    for (size_t i = f.cursor; i < n; ++i) {
+      if (f.taken.test(i)) continue;
+      if (evs[i].inv > f.min_res) continue;
+      if (!evs[i].is_write && !state_matches(f.last_write, evs[i])) continue;
+      pick = i;
+      break;
+    }
+    if (pick == n) {
+      stack.pop_back();
+      continue;
+    }
+    f.cursor = pick + 1;
+    Frame child(n);
+    child.taken = f.taken;
+    child.taken.set(pick);
+    child.last_write = evs[pick].is_write ? static_cast<int>(pick) : f.last_write;
+    child.required_taken =
+        f.required_taken + (evs[pick].is_write && evs[pick].maybe ? 0 : 1);
+    if (!visited.insert(memo_key(child.taken, child.last_write)).second) {
+      continue;  // state already explored (and did not lead to success)
+    }
+    if (++out.states > max_states) {
+      out.exhausted = true;
+      return out;
+    }
+    child.min_res = min_res_of(child.taken);
+    stack.push_back(std::move(child));
+  }
+  return out;
+}
+
+// Index of acked/maybe PUTs: key -> value -> writes that produced it.
+std::map<std::string, std::map<std::string, std::vector<const Op*>>>
+write_index(const History& h) {
+  std::map<std::string, std::map<std::string, std::vector<const Op*>>> idx;
+  for (const Op& op : h.ops()) {
+    if (op.kind == OpKind::kPut && op.outcome != Outcome::kFailed) {
+      idx[op.key][op.value].push_back(&op);
+    }
+  }
+  return idx;
+}
+
+std::map<std::string, bool> keys_with_deletes(const History& h) {
+  std::map<std::string, bool> del;
+  for (const Op& op : h.ops()) {
+    if (op.kind == OpKind::kDel && op.outcome != Outcome::kFailed) {
+      del[op.key] = true;
+    }
+  }
+  return del;
+}
+
+// A write's effect is only bounded in real time by its response; a kMaybe
+// write has no observed response, so it never strictly precedes anything.
+uint64_t effective_res(const Op& w) {
+  return w.outcome == Outcome::kMaybe ? kNoResponse : w.res;
+}
+
+CheckReport check_monotonic_sessions(const History& h) {
+  CheckReport r;
+  const auto idx = write_index(h);
+  const auto dels = keys_with_deletes(h);
+
+  std::vector<const Op*> sorted;
+  for (const Op& op : h.ops()) sorted.push_back(&op);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Op* a, const Op* b) { return a->inv < b->inv; });
+
+  // Per client, per key: the newest write this session has observed.
+  std::map<uint32_t, std::map<std::string, const Op*>> frontier;
+
+  auto observe = [&](const Op& reader, const std::string& key, bool found,
+                     const std::string& value) -> bool {
+    const Op** prev_slot = nullptr;
+    auto& session = frontier[reader.client];
+    auto it = session.find(key);
+    if (it != session.end()) prev_slot = &it->second;
+    if (!found) {
+      // Reading "absent" after this session observed a definite write is a
+      // regression — unless a delete could legitimately have removed it.
+      if (prev_slot != nullptr && (*prev_slot)->outcome == Outcome::kOk &&
+          dels.find(key) == dels.end()) {
+        r.verdict = Verdict::kViolation;
+        r.violation = "monotonic-reads";
+        r.key = key;
+        r.op_ids = {(*prev_slot)->id, reader.id};
+        r.detail = fmt(
+            "client %u observed '%s' = '%s' (op #%llu) but a later read saw "
+            "the key absent (op #%llu) with no delete in the history",
+            reader.client, key.c_str(), (*prev_slot)->value.c_str(),
+            static_cast<unsigned long long>((*prev_slot)->id),
+            static_cast<unsigned long long>(reader.id));
+        return false;
+      }
+      return true;
+    }
+    auto kit = idx.find(key);
+    if (kit == idx.end()) return true;
+    auto vit = kit->second.find(value);
+    if (vit == kit->second.end() || vit->second.size() != 1) {
+      return true;  // unattributable or ambiguous value: no conclusion
+    }
+    const Op* cur = vit->second[0];
+    if (prev_slot != nullptr && cur != *prev_slot &&
+        effective_res(*cur) < (*prev_slot)->inv) {
+      // The newly observed write strictly precedes the session's frontier
+      // write in real time: the session traveled backward.
+      r.verdict = Verdict::kViolation;
+      r.violation = "monotonic-reads";
+      r.key = key;
+      r.op_ids = {(*prev_slot)->id, cur->id, reader.id};
+      r.detail = fmt(
+          "client %u read '%s' = '%s' (write #%llu) after having observed "
+          "'%s' (write #%llu), but write #%llu completed before write #%llu "
+          "began",
+          reader.client, key.c_str(), value.c_str(),
+          static_cast<unsigned long long>(cur->id),
+          (*prev_slot)->value.c_str(),
+          static_cast<unsigned long long>((*prev_slot)->id),
+          static_cast<unsigned long long>(cur->id),
+          static_cast<unsigned long long>((*prev_slot)->id));
+      return false;
+    }
+    if (prev_slot != nullptr) {
+      *prev_slot = cur;
+    } else {
+      session[key] = cur;
+    }
+    return true;
+  };
+
+  for (const Op* op : sorted) {
+    if (op->outcome == Outcome::kFailed || op->res == kNoResponse) continue;
+    // Only observations advance the frontier: MS+EC does not promise
+    // read-your-writes (a session's write lands at the master while its
+    // sticky reads may be served by a slave that has not caught up yet).
+    if (op->kind == OpKind::kGet) {
+      if (!observe(*op, op->key, op->found, op->value)) return r;
+    } else if (op->kind == OpKind::kScan) {
+      for (const KV& kv : op->scan_kvs) {
+        if (!observe(*op, kv.key, true, kv.value)) return r;
+      }
+    }
+  }
+  return r;
+}
+
+CheckReport check_scan_sessions(const History& h) {
+  CheckReport r;
+  const auto dels = keys_with_deletes(h);
+  // Per client, per key: highest datalet version a scan has shown.
+  std::map<uint32_t, std::map<std::string, std::pair<uint64_t, uint64_t>>>
+      seen;  // client -> key -> (seq, scan op id)
+
+  std::vector<const Op*> scans;
+  for (const Op& op : h.ops()) {
+    if (op.kind == OpKind::kScan && op.outcome == Outcome::kOk &&
+        op.res != kNoResponse) {
+      scans.push_back(&op);
+    }
+  }
+  std::stable_sort(scans.begin(), scans.end(),
+                   [](const Op* a, const Op* b) { return a->inv < b->inv; });
+
+  for (const Op* op : scans) {
+    auto& session = seen[op->client];
+    const bool truncated =
+        op->scan_limit != 0 && op->scan_kvs.size() >= op->scan_limit;
+    for (const KV& kv : op->scan_kvs) {
+      auto it = session.find(kv.key);
+      if (it != session.end() && kv.seq < it->second.first) {
+        r.verdict = Verdict::kViolation;
+        r.violation = "scan-regression";
+        r.key = kv.key;
+        r.op_ids = {it->second.second, op->id};
+        r.detail = fmt(
+            "client %u scan #%llu observed '%s' at version %llu, but an "
+            "earlier scan #%llu had already shown version %llu",
+            op->client, static_cast<unsigned long long>(op->id),
+            kv.key.c_str(), static_cast<unsigned long long>(kv.seq),
+            static_cast<unsigned long long>(it->second.second),
+            static_cast<unsigned long long>(it->second.first));
+        return r;
+      }
+      session[kv.key] = {kv.seq, op->id};
+    }
+    if (truncated || !dels.empty()) continue;
+    // Un-truncated scan over a delete-free history: every previously seen
+    // key inside the range must still be present.
+    for (const auto& [key, prev] : session) {
+      if (key < op->scan_start) continue;
+      if (!op->scan_end.empty() && key >= op->scan_end) continue;
+      bool present = false;
+      for (const KV& kv : op->scan_kvs) {
+        if (kv.key == key) {
+          present = true;
+          break;
+        }
+      }
+      if (!present) {
+        r.verdict = Verdict::kViolation;
+        r.violation = "scan-regression";
+        r.key = key;
+        r.op_ids = {prev.second, op->id};
+        r.detail = fmt(
+            "client %u scan #%llu no longer shows '%s' (seen at version %llu "
+            "by scan #%llu) though no delete exists",
+            op->client, static_cast<unsigned long long>(op->id), key.c_str(),
+            static_cast<unsigned long long>(prev.first),
+            static_cast<unsigned long long>(prev.second));
+        return r;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+std::string CheckReport::to_string() const {
+  if (ok()) {
+    return fmt("ok (%zu keys, max %zu ops/key, %llu states)", keys_checked,
+               max_key_ops, static_cast<unsigned long long>(states_explored));
+  }
+  std::string s = verdict == Verdict::kUnknown ? "UNKNOWN: " : "VIOLATION: ";
+  s += violation;
+  if (!key.empty()) s += " key='" + key + "'";
+  if (!detail.empty()) s += " — " + detail;
+  return s;
+}
+
+CheckReport check_key_linearizable(
+    const std::string& key, const std::vector<KeyEvent>& events,
+    const std::vector<InitialState>& initial_candidates, uint64_t max_states) {
+  CheckReport r;
+  r.keys_checked = 1;
+  r.max_key_ops = events.size();
+  static const std::vector<InitialState> kAbsent = {InitialState{}};
+  const auto& candidates =
+      initial_candidates.empty() ? kAbsent : initial_candidates;
+  bool any_unknown = false;
+  for (const InitialState& init : candidates) {
+    SearchOutcome out = wgl_search(events, init, max_states);
+    r.states_explored += out.states;
+    if (out.linearizable) return r;
+    if (out.exhausted) any_unknown = true;
+  }
+  r.verdict = any_unknown ? Verdict::kUnknown : Verdict::kViolation;
+  r.violation = "linearizability";
+  r.key = key;
+  size_t writes = 0;
+  for (const KeyEvent& e : events) writes += e.is_write ? 1 : 0;
+  r.detail = any_unknown
+                 ? fmt("search budget exhausted after %llu states (%zu ops)",
+                       static_cast<unsigned long long>(r.states_explored),
+                       events.size())
+                 : fmt("no linearization of %zu ops (%zu writes) exists under "
+                       "any of %zu admissible initial states",
+                       events.size(), writes, candidates.size());
+  for (const KeyEvent& e : events) r.op_ids.push_back(e.op_id);
+  return r;
+}
+
+CheckReport check_history(const History& h, const CheckOptions& opts) {
+  CheckReport agg;
+  if (opts.scan_sessions) {
+    CheckReport r = check_scan_sessions(h);
+    if (!r.ok()) return r;
+  }
+  if (opts.monotonic_sessions) {
+    CheckReport r = check_monotonic_sessions(h);
+    if (!r.ok()) return r;
+  }
+  if (!opts.linearizability) return agg;
+
+  const auto parts = h.partition_by_key(/*project_scans=*/true);
+  for (const auto& [key, all_events] : parts) {
+    std::vector<KeyEvent> events;
+    std::vector<InitialState> initials;
+    if (opts.linearizable_after_us == 0) {
+      events = all_events;
+    } else {
+      // Split at the transition point: later ops must linearize against an
+      // initial state seeded by any pre-switch write (or absence) — the EC
+      // prefix does not determine which write "won" before the switch.
+      //
+      // A write invoked before the switch but still in flight across it can
+      // take effect *after* post-switch writes, so it is not a valid
+      // "initial state before the window" — the strict window only starts
+      // once every straddling write has completed (fixpoint: growing the
+      // split can expose new straddlers).
+      uint64_t t = opts.linearizable_after_us;
+      bool grew = true;
+      while (grew) {
+        grew = false;
+        for (const KeyEvent& e : all_events) {
+          if (e.is_write && e.inv < t && e.res != kNoResponse && e.res >= t) {
+            t = e.res + 1;
+            grew = true;
+          }
+        }
+      }
+      initials.push_back(InitialState{});
+      for (const KeyEvent& e : all_events) {
+        if (e.inv >= t) {
+          events.push_back(e);
+        } else if (e.is_write && e.maybe) {
+          // A maybe-applied pre-switch write has no response bound: it may
+          // land anywhere in the window (or never). Check it as a maybe op
+          // — linearizing it first is equivalent to an initial state.
+          events.push_back(e);
+        } else if (e.is_write) {
+          initials.push_back(InitialState{e.found, e.value});
+        }
+      }
+    }
+    agg.max_key_ops = std::max(agg.max_key_ops, events.size());
+    ++agg.keys_checked;
+    CheckReport r = check_key_linearizable(key, events, initials,
+                                           opts.max_states_per_key);
+    agg.states_explored += r.states_explored;
+    if (!r.ok()) {
+      r.states_explored = agg.states_explored;
+      r.keys_checked = agg.keys_checked;
+      r.max_key_ops = agg.max_key_ops;
+      return r;
+    }
+  }
+  return agg;
+}
+
+CheckReport check_convergence(const std::vector<ReplicaState>& replicas,
+                              const History& h) {
+  CheckReport r;
+  if (replicas.empty()) return r;
+  const auto idx = write_index(h);
+  const ReplicaState& ref = replicas[0];
+  for (size_t i = 1; i < replicas.size(); ++i) {
+    const ReplicaState& other = replicas[i];
+    for (const auto& [key, vs] : ref.kv) {
+      auto it = other.kv.find(key);
+      if (it == other.kv.end() || it->second.first != vs.first) {
+        r.verdict = Verdict::kViolation;
+        r.violation = "convergence";
+        r.key = key;
+        r.detail = fmt(
+            "replicas diverge on '%s': %s has '%s' (v%llu), %s has %s",
+            key.c_str(), ref.node.c_str(), vs.first.c_str(),
+            static_cast<unsigned long long>(vs.second), other.node.c_str(),
+            it == other.kv.end()
+                ? "<absent>"
+                : ("'" + it->second.first + "' (v" +
+                   std::to_string(it->second.second) + ")").c_str());
+        return r;
+      }
+    }
+    for (const auto& [key, vs] : other.kv) {
+      if (ref.kv.find(key) == ref.kv.end()) {
+        r.verdict = Verdict::kViolation;
+        r.violation = "convergence";
+        r.key = key;
+        r.detail = fmt("replicas diverge on '%s': %s has '%s', %s lacks it",
+                       key.c_str(), other.node.c_str(), vs.first.c_str(),
+                       ref.node.c_str());
+        return r;
+      }
+    }
+  }
+  // No value from nowhere: each converged value must have been written.
+  for (const auto& [key, vs] : ref.kv) {
+    auto kit = idx.find(key);
+    const bool known =
+        kit != idx.end() && kit->second.find(vs.first) != kit->second.end();
+    if (!known) {
+      r.verdict = Verdict::kViolation;
+      r.violation = "convergence";
+      r.key = key;
+      r.detail =
+          fmt("converged value '%s' for '%s' matches no recorded write",
+              vs.first.c_str(), key.c_str());
+      return r;
+    }
+  }
+  return r;
+}
+
+}  // namespace bespokv::verify

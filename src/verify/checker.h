@@ -1,0 +1,88 @@
+// Scalable consistency checkers over recorded histories (DESIGN.md §10).
+//
+// Linearizability: per-key partitioning (P-compositionality — sound AND
+// complete here, since linearizability is compositional over objects and
+// every key is an independent read/write register) feeding an iterative
+// Wing & Gong / WGL search with memoization on (linearized-set, last-write).
+// Branching only happens inside real-time concurrency windows, so
+// mostly-sequential histories check in near-linear time and histories with
+// hundreds of ops per key stay tractable. kMaybe writes are *optional*
+// operations: they may be linearized anywhere after their invocation, or
+// never.
+//
+// Eventual consistency: convergence (all replicas agree on a value that some
+// recorded write actually produced) plus session monotonic-reads (a sticky
+// client never observes a value older than one it already observed).
+//
+// Scan sessions: per client, a key observed by successive scans must never
+// travel backward in datalet version order ("prefix-consistent per key").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/verify/history.h"
+
+namespace bespokv::verify {
+
+enum class Verdict : uint8_t { kOk = 0, kViolation, kUnknown };
+
+struct CheckReport {
+  Verdict verdict = Verdict::kOk;
+  // Which property failed: "linearizability", "monotonic-reads",
+  // "convergence", "scan-regression", or "" when ok.
+  std::string violation;
+  std::string key;                // offending key, if per-key
+  std::string detail;             // human-readable explanation
+  std::vector<uint64_t> op_ids;   // offending ops (history op ids)
+  uint64_t states_explored = 0;   // WGL search effort, summed over keys
+  size_t keys_checked = 0;
+  size_t max_key_ops = 0;         // largest per-key subhistory seen
+
+  bool ok() const { return verdict == Verdict::kOk; }
+  std::string to_string() const;
+};
+
+struct CheckOptions {
+  bool linearizability = true;
+  bool monotonic_sessions = false;  // EC configs (sticky-read clients)
+  bool scan_sessions = true;
+  // Ops invoked before this instant are excluded from the linearizability
+  // check; their writes instead become initial-value candidates per key.
+  // Used for histories spanning an EC -> SC live transition: linearizable
+  // *after* the switch point, convergent before it.
+  uint64_t linearizable_after_us = 0;
+  // Search budget per key; exceeding it yields Verdict::kUnknown rather than
+  // a false verdict.
+  uint64_t max_states_per_key = 4'000'000;
+};
+
+// One key's register subhistory against a set of admissible initial states.
+// `initial_candidates` lists (found, value) pairs the register may start
+// from; the empty list means "starts absent".
+struct InitialState {
+  bool found = false;
+  std::string value;
+};
+CheckReport check_key_linearizable(
+    const std::string& key, const std::vector<KeyEvent>& events,
+    const std::vector<InitialState>& initial_candidates,
+    uint64_t max_states = 4'000'000);
+
+// Full-history check: partitions by key and runs every enabled property.
+// Reports the first violation found (keys in lexicographic order).
+CheckReport check_history(const History& h, const CheckOptions& opts = {});
+
+// Convergence check against end-of-run replica dumps (runner-collected):
+// every live replica must hold the same value per key, and each value must
+// be one some acked-or-maybe write actually produced.
+struct ReplicaState {
+  std::string node;                                     // for reporting
+  std::map<std::string, std::pair<std::string, uint64_t>> kv;  // key -> (value, seq)
+};
+CheckReport check_convergence(const std::vector<ReplicaState>& replicas,
+                              const History& h);
+
+}  // namespace bespokv::verify

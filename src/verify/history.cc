@@ -1,0 +1,225 @@
+#include "src/verify/history.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bespokv::verify {
+
+namespace {
+
+const char* kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kPut: return "put";
+    case OpKind::kGet: return "get";
+    case OpKind::kDel: return "del";
+    case OpKind::kScan: return "scan";
+  }
+  return "?";
+}
+
+Result<OpKind> parse_kind(const std::string& s) {
+  if (s == "put") return OpKind::kPut;
+  if (s == "get") return OpKind::kGet;
+  if (s == "del") return OpKind::kDel;
+  if (s == "scan") return OpKind::kScan;
+  return Status::Invalid("unknown op kind: " + s);
+}
+
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kOk: return "ok";
+    case Outcome::kFailed: return "failed";
+    case Outcome::kMaybe: return "maybe";
+  }
+  return "?";
+}
+
+Result<Outcome> parse_outcome(const std::string& s) {
+  if (s == "ok") return Outcome::kOk;
+  if (s == "failed") return Outcome::kFailed;
+  if (s == "maybe") return Outcome::kMaybe;
+  return Status::Invalid("unknown outcome: " + s);
+}
+
+}  // namespace
+
+void History::record(Op op) {
+  op.id = next_id_++;
+  ops_.push_back(std::move(op));
+}
+
+const Op* History::find(uint64_t op_id) const {
+  for (const Op& op : ops_) {
+    if (op.id == op_id) return &op;
+  }
+  return nullptr;
+}
+
+std::map<std::string, std::vector<KeyEvent>> History::partition_by_key(
+    bool project_scans) const {
+  std::map<std::string, std::vector<KeyEvent>> keys;
+  for (const Op& op : ops_) {
+    if (op.outcome == Outcome::kFailed) continue;
+    switch (op.kind) {
+      case OpKind::kPut:
+      case OpKind::kDel: {
+        KeyEvent ev;
+        ev.is_write = true;
+        ev.maybe = op.outcome == Outcome::kMaybe;
+        ev.found = op.kind == OpKind::kPut;  // del installs "absent"
+        ev.value = op.kind == OpKind::kPut ? op.value : "";
+        ev.inv = op.inv;
+        // A write that never produced a response constrains nothing after it.
+        ev.res = ev.maybe ? kNoResponse : op.res;
+        ev.op_id = op.id;
+        ev.client = op.client;
+        keys[op.key].push_back(std::move(ev));
+        break;
+      }
+      case OpKind::kGet: {
+        if (op.res == kNoResponse) continue;  // no observation was made
+        KeyEvent ev;
+        ev.is_write = false;
+        ev.found = op.found;
+        ev.value = op.found ? op.value : "";
+        ev.inv = op.inv;
+        ev.res = op.res;
+        ev.op_id = op.id;
+        ev.client = op.client;
+        keys[op.key].push_back(std::move(ev));
+        break;
+      }
+      case OpKind::kScan: {
+        if (!project_scans || op.res == kNoResponse) continue;
+        for (const KV& kv : op.scan_kvs) {
+          KeyEvent ev;
+          ev.is_write = false;
+          ev.found = true;
+          ev.value = kv.value;
+          ev.inv = op.inv;
+          ev.res = op.res;
+          ev.op_id = op.id;
+          ev.client = op.client;
+          keys[kv.key].push_back(std::move(ev));
+        }
+        break;
+      }
+    }
+  }
+  for (auto& [key, evs] : keys) {
+    std::stable_sort(evs.begin(), evs.end(),
+                     [](const KeyEvent& a, const KeyEvent& b) {
+                       return a.inv < b.inv;
+                     });
+  }
+  return keys;
+}
+
+Json History::to_json() const {
+  Json arr = Json::array();
+  for (const Op& op : ops_) {
+    Json o = Json::object();
+    o.set("id", Json::number(static_cast<double>(op.id)));
+    o.set("client", Json::number(op.client));
+    o.set("kind", Json::string(kind_name(op.kind)));
+    o.set("outcome", Json::string(outcome_name(op.outcome)));
+    o.set("inv", Json::number(static_cast<double>(op.inv)));
+    if (op.res != kNoResponse) {
+      o.set("res", Json::number(static_cast<double>(op.res)));
+    }
+    if (op.kind == OpKind::kScan) {
+      o.set("start", Json::string(op.scan_start));
+      o.set("end", Json::string(op.scan_end));
+      o.set("limit", Json::number(op.scan_limit));
+      Json kvs = Json::array();
+      for (const KV& kv : op.scan_kvs) {
+        Json e = Json::object();
+        e.set("key", Json::string(kv.key));
+        e.set("value", Json::string(kv.value));
+        e.set("seq", Json::number(static_cast<double>(kv.seq)));
+        kvs.push(std::move(e));
+      }
+      o.set("kvs", std::move(kvs));
+    } else {
+      o.set("key", Json::string(op.key));
+      o.set("value", Json::string(op.value));
+      if (!op.found) o.set("found", Json::boolean(false));
+    }
+    arr.push(std::move(o));
+  }
+  Json root = Json::object();
+  root.set("ops", std::move(arr));
+  return root;
+}
+
+Result<History> History::from_json(const Json& j) {
+  History h;
+  const Json& arr = j.get("ops");
+  if (!arr.is_array()) return Status::Invalid("history: missing ops array");
+  for (const Json& o : arr.elements()) {
+    Op op;
+    op.client = static_cast<uint32_t>(o.get("client").as_int());
+    auto kind = parse_kind(o.get("kind").as_string(""));
+    if (!kind.ok()) return kind.status();
+    op.kind = kind.value();
+    auto outcome = parse_outcome(o.get("outcome").as_string("ok"));
+    if (!outcome.ok()) return outcome.status();
+    op.outcome = outcome.value();
+    op.inv = static_cast<uint64_t>(o.get("inv").as_number());
+    op.res = o.has("res") ? static_cast<uint64_t>(o.get("res").as_number())
+                          : kNoResponse;
+    if (op.kind == OpKind::kScan) {
+      op.scan_start = o.get("start").as_string("");
+      op.scan_end = o.get("end").as_string("");
+      op.scan_limit = static_cast<uint32_t>(o.get("limit").as_int());
+      for (const Json& e : o.get("kvs").elements()) {
+        op.scan_kvs.push_back(KV{e.get("key").as_string(""),
+                                 e.get("value").as_string(""),
+                                 static_cast<uint64_t>(e.get("seq").as_number())});
+      }
+    } else {
+      op.key = o.get("key").as_string("");
+      op.value = o.get("value").as_string("");
+      op.found = o.get("found").as_bool(true);
+    }
+    h.record(std::move(op));
+  }
+  return h;
+}
+
+std::string History::dump() const {
+  std::vector<const Op*> sorted;
+  sorted.reserve(ops_.size());
+  for (const Op& op : ops_) sorted.push_back(&op);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Op* a, const Op* b) { return a->inv < b->inv; });
+  std::string out;
+  char line[256];
+  for (const Op* op : sorted) {
+    if (op->kind == OpKind::kScan) {
+      std::snprintf(line, sizeof(line),
+                    "[%10llu,%10llu] c%-2u #%-4llu scan  [%s,%s) -> %zu keys %s\n",
+                    static_cast<unsigned long long>(op->inv),
+                    static_cast<unsigned long long>(
+                        op->res == kNoResponse ? 0 : op->res),
+                    op->client, static_cast<unsigned long long>(op->id),
+                    op->scan_start.c_str(), op->scan_end.c_str(),
+                    op->scan_kvs.size(), outcome_name(op->outcome));
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "[%10llu,%10llu] c%-2u #%-4llu %-4s %s = %s %s\n",
+                    static_cast<unsigned long long>(op->inv),
+                    static_cast<unsigned long long>(
+                        op->res == kNoResponse ? 0 : op->res),
+                    op->client, static_cast<unsigned long long>(op->id),
+                    kind_name(op->kind), op->key.c_str(),
+                    op->kind == OpKind::kGet && !op->found ? "<absent>"
+                                                           : op->value.c_str(),
+                    outcome_name(op->outcome));
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace bespokv::verify

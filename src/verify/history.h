@@ -1,0 +1,102 @@
+// History model for the deterministic verification harness (DESIGN.md §10).
+//
+// A History is the client-side record of a scenario run: one entry per
+// invocation a verification client made, with virtual-time invocation and
+// response timestamps and the observed outcome. Writes whose retries
+// exhausted on a timeout are recorded as Outcome::kMaybe ("possibly
+// applied") — the checker treats them as optional operations that may be
+// linearized anywhere after their invocation, or never.
+//
+// Linearizability is compositional over objects (Herlihy & Wing), and for a
+// KV store every key is an independent register — so the checker never looks
+// at a whole history at once. partition_by_key() projects the history onto
+// per-key subhistories (P-compositionality, Horn & Kroening), including a
+// per-key read projection of every SCAN that observed the key.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/common/status.h"
+#include "src/proto/message.h"
+
+namespace bespokv::verify {
+
+enum class OpKind : uint8_t { kPut = 0, kGet, kDel, kScan };
+
+// Did the operation conclusively happen?
+//  kOk     — acked (writes: applied; reads: the value was really observed).
+//  kFailed — definite error: a write that was not applied or a read that
+//            returned nothing. Carries no information; excluded from checks.
+//  kMaybe  — write retries exhausted on a timeout (Status::kMaybeApplied):
+//            the write may or may not have taken effect.
+enum class Outcome : uint8_t { kOk = 0, kFailed, kMaybe };
+
+constexpr uint64_t kNoResponse = UINT64_MAX;
+
+struct Op {
+  uint64_t id = 0;        // unique per history, assigned by record()
+  uint32_t client = 0;    // issuing session
+  OpKind kind = OpKind::kGet;
+  std::string key;        // empty for scans
+  std::string value;      // written value (put) / observed value (get)
+  bool found = true;      // get: false = observed NOT_FOUND
+  Outcome outcome = Outcome::kOk;
+  uint64_t inv = 0;                 // invocation (virtual us)
+  uint64_t res = kNoResponse;       // response (virtual us)
+  // Scan-only fields.
+  std::string scan_start, scan_end;
+  uint32_t scan_limit = 0;          // requested bound (0 = unlimited)
+  std::vector<KV> scan_kvs;         // observed (key, value, datalet seq)
+
+  bool is_write() const { return kind == OpKind::kPut || kind == OpKind::kDel; }
+};
+
+// One key's subhistory event, normalized to register semantics: a write
+// installs (found, value); a read observes (found, value). DELs are writes
+// of "absent"; scans project to one read per observed key.
+struct KeyEvent {
+  bool is_write = false;
+  bool maybe = false;     // optional write (Outcome::kMaybe)
+  bool found = true;      // written/observed presence
+  std::string value;
+  uint64_t inv = 0;
+  uint64_t res = kNoResponse;
+  uint64_t op_id = 0;     // back-reference into History::ops()
+  uint32_t client = 0;
+};
+
+class History {
+ public:
+  // Assigns op.id and appends. Ops may be recorded in any order; checkers
+  // sort by invocation time themselves.
+  void record(Op op);
+
+  const std::vector<Op>& ops() const { return ops_; }
+  size_t size() const { return ops_.size(); }
+  const Op* find(uint64_t op_id) const;
+
+  // P-compositional projection: per-key register subhistories. Failed ops
+  // and reads that never responded are dropped (they carry no information).
+  // When `project_scans` is set, a scan contributes one read per key it
+  // observed, spanning the whole scan's [inv, res] window — a sound
+  // projection, since each per-key lookup happened inside that window.
+  std::map<std::string, std::vector<KeyEvent>> partition_by_key(
+      bool project_scans = true) const;
+
+  // JSON round-trip (failure artifacts; replayed by `verify_driver`).
+  Json to_json() const;
+  static Result<History> from_json(const Json& j);
+
+  // Human-readable trace for failure dumps, sorted by invocation time.
+  std::string dump() const;
+
+ private:
+  std::vector<Op> ops_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace bespokv::verify

@@ -1,0 +1,323 @@
+#include "src/verify/runner.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "src/cluster/cluster.h"
+#include "src/client/client.h"
+#include "src/common/rng.h"
+#include "src/net/fault.h"
+#include "src/net/sim_fabric.h"
+#include "src/workload/workload.h"
+
+namespace bespokv::verify {
+
+namespace {
+
+// Shared mutable state between the recording clients and the drive loop.
+// The sim fabric executes everything on the driving thread, so no locking.
+struct Recorder {
+  History hist;
+  int outstanding = 0;
+};
+
+OpKind to_kind(OpType t) {
+  switch (t) {
+    case OpType::kPut:
+      return OpKind::kPut;
+    case OpType::kGet:
+      return OpKind::kGet;
+    case OpType::kDel:
+      return OpKind::kDel;
+    case OpType::kScan:
+      return OpKind::kScan;
+  }
+  return OpKind::kGet;
+}
+
+// Spawns one verification client node: connects a KvClient, then issues
+// `ops_per_client` workload ops back to back (gap_us apart), recording every
+// invocation/response into the shared history. Writes use globally unique
+// values ("c<client>.<n>") so the checkers can attribute every observation
+// to exactly one write.
+void spawn_client(SimFabric& sim, const Scenario& sc, const Addr& coordinator,
+                  uint32_t id, std::shared_ptr<Recorder> rec) {
+  SimNodeOpts copts;
+  copts.is_client = true;
+  const Addr addr = "verify/c" + std::to_string(id);
+  Runtime* rt = sim.add_node(
+      addr,
+      std::make_shared<LambdaService>(
+          [](Runtime&, const Addr&, Message, Replier r) {
+            r(Message::reply(Code::kInvalid));
+          }),
+      copts);
+
+  ClientConfig ccfg;
+  ccfg.coordinator = coordinator;
+  ccfg.rpc_timeout_us = 250'000;
+  ccfg.retries = 8;
+  // EC sessions: pin reads so monotonic-reads is a promise worth checking.
+  ccfg.sticky_reads = sc.consistency == Consistency::kEventual;
+  auto kv = std::make_shared<KvClient>(rt, ccfg);
+
+  auto gen = std::make_shared<WorkloadGenerator>(sc.workload, id);
+  auto bug_rng = std::make_shared<Rng>(sc.seed * 31 + id * 7 + 1);
+  auto cache = std::make_shared<std::map<std::string, std::string>>();
+  auto remaining = std::make_shared<int>(sc.ops_per_client);
+  auto seq = std::make_shared<int>(0);
+
+  ++rec->outstanding;
+  sim.post_to(addr, [=, &sc] {
+    kv->connect([=, &sc](Status) {
+      auto step = std::make_shared<std::function<void()>>();
+      *step = [=, &sc] {
+        if (--*remaining < 0) {
+          --rec->outstanding;
+          return;
+        }
+        const WorkloadOp wop = gen->next();
+        const int n = (*seq)++;
+        Op op;
+        op.client = id;
+        op.kind = to_kind(wop.type);
+        op.key = wop.key;
+        op.inv = rt->now_us();
+        const uint64_t gap = sc.gap_us;
+        auto next = [rt, step, gap] { rt->set_timer(gap, *step); };
+        switch (wop.type) {
+          case OpType::kPut: {
+            op.value = "c" + std::to_string(id) + "." + std::to_string(n);
+            const std::string val = op.value;
+            kv->put(wop.key, val, [=](Status s) mutable {
+              if (s.ok()) {
+                op.res = rt->now_us();
+              } else if (s.code() == Code::kMaybeApplied) {
+                op.outcome = Outcome::kMaybe;  // res stays "no response"
+              } else {
+                op.outcome = Outcome::kFailed;
+                op.res = rt->now_us();
+              }
+              rec->hist.record(std::move(op));
+              next();
+            });
+            break;
+          }
+          case OpType::kDel: {
+            kv->del(wop.key, [=](Status s) mutable {
+              // Deleting an absent key is still a successful write of
+              // "absent" — record kNotFound as applied.
+              if (s.ok() || s.code() == Code::kNotFound) {
+                op.res = rt->now_us();
+              } else if (s.code() == Code::kMaybeApplied) {
+                op.outcome = Outcome::kMaybe;
+              } else {
+                op.outcome = Outcome::kFailed;
+                op.res = rt->now_us();
+              }
+              rec->hist.record(std::move(op));
+              next();
+            });
+            break;
+          }
+          case OpType::kGet: {
+            auto hit = cache->find(wop.key);
+            if (sc.bug == BugKind::kStaleReadCache && hit != cache->end() &&
+                bug_rng->next_bool(sc.bug_rate)) {
+              // Injected bug: answer from the local cache without asking the
+              // cluster. Stale the moment anyone else overwrote the key.
+              op.value = hit->second;
+              op.res = op.inv + 1;
+              rec->hist.record(std::move(op));
+              next();
+              break;
+            }
+            kv->get(wop.key, [=](Result<std::string> r) mutable {
+              op.res = rt->now_us();
+              if (r.ok()) {
+                op.value = r.value();
+                (*cache)[wop.key] = r.value();
+              } else if (r.status().code() == Code::kNotFound) {
+                op.found = false;
+              } else {
+                op.outcome = Outcome::kFailed;
+              }
+              rec->hist.record(std::move(op));
+              next();
+            });
+            break;
+          }
+          case OpType::kScan: {
+            op.scan_start = wop.key;
+            op.scan_end = wop.scan_end;
+            op.scan_limit = wop.scan_limit;
+            op.key.clear();
+            kv->scan(wop.key, wop.scan_end, wop.scan_limit,
+                     [=](Result<std::vector<KV>> r) mutable {
+                       op.res = rt->now_us();
+                       if (r.ok()) {
+                         op.scan_kvs = r.value();
+                       } else {
+                         op.outcome = Outcome::kFailed;
+                       }
+                       rec->hist.record(std::move(op));
+                       next();
+                     });
+            break;
+          }
+        }
+      };
+      (*step)();
+    });
+  });
+}
+
+uint64_t fault_window_end(const FaultPlan& p) {
+  uint64_t end = 0;
+  for (const auto& l : p.links) end = std::max(end, l.until_us);
+  for (const auto& n : p.nodes) {
+    end = std::max(end, n.restart_at_us != 0 ? n.restart_at_us : n.crash_at_us);
+  }
+  return end;
+}
+
+}  // namespace
+
+RunResult run_scenario(const Scenario& sc) {
+  RunResult out;
+  out.scenario = sc;
+
+  SimFabricOpts fopts;
+  fopts.seed = sc.seed;
+  SimFabric sim(fopts);
+
+  ClusterOptions copts;
+  copts.topology = sc.topology;
+  copts.consistency = sc.consistency;
+  copts.num_shards = sc.shards;
+  copts.num_replicas = sc.replicas;
+  copts.datalet_kind = sc.datalet_kind;
+  // Crash scenarios need a promotable spare, and failover detection fast
+  // enough that client retries ride it out.
+  copts.num_standby = sc.faults.nodes.empty() ? 0 : 1;
+  copts.coordinator.hb_period_us = 100'000;
+  copts.controlet.hb_period_us = 50'000;
+  Cluster cluster(sim, copts);
+  cluster.start();
+  sim.run_for(200'000);
+
+  sim.set_fault_injector(std::make_shared<FaultInjector>(sc.faults));
+  Runtime* admin = cluster.admin();
+  const FaultPlan plan = sc.faults;
+  admin->post([admin, &sim, plan] { schedule_node_faults(*admin, sim, plan); });
+
+  auto rec = std::make_shared<Recorder>();
+  for (int i = 0; i < sc.clients; ++i) {
+    spawn_client(sim, sc, cluster.coordinator_addr(), uint32_t(i), rec);
+  }
+
+  // Drive loop: advance virtual time until every client drained and every
+  // scheduled transition completed. Transitions start from *outside* the
+  // event loop, exactly like an operator would issue them.
+  const uint64_t start_us = sim.now_us();
+  const uint64_t deadline = start_us + 120'000'000;
+  size_t ti = 0;
+  bool in_transition = false;
+  std::shared_ptr<Status> tr_status;
+  while (true) {
+    if (!in_transition && ti < sc.transitions.size() &&
+        sim.now_us() - start_us >= sc.transitions[ti].at_us) {
+      auto st = std::make_shared<Status>(Status::Internal("pending"));
+      cluster.start_transition(sc.transitions[ti].to_t, sc.transitions[ti].to_c,
+                               [st](Status s) { *st = s; });
+      tr_status = st;
+      in_transition = true;
+    }
+    if (in_transition && tr_status->code() != Code::kInternal) {
+      if (!tr_status->ok()) {
+        out.error = "transition rejected: " + tr_status->to_string();
+        return out;
+      }
+      // The coordinator arms transition_ *before* replying kOk, so once the
+      // accept callback has fired, inactive means complete.
+      if (!cluster.coordinator_service()->transition_active()) {
+        out.transition_done_us = sim.now_us();
+        in_transition = false;
+        ++ti;
+      }
+    }
+    if (rec->outstanding == 0 && !in_transition &&
+        ti >= sc.transitions.size()) {
+      break;
+    }
+    if (sim.now_us() > deadline) {
+      out.error = in_transition ? "transition did not finish"
+                                : "clients did not drain";
+      break;
+    }
+    // Fine-grained slices while a transition is draining keep the completion
+    // stamp tight; the split op count below depends on it.
+    sim.run_for(in_transition ? 2'000 : 10'000);
+  }
+
+  // Quiesce: past the last fault window, plus the scenario's settle slack,
+  // so convergence checks see a stable cluster.
+  const uint64_t settle_until =
+      std::max(sim.now_us(), start_us + fault_window_end(sc.faults)) +
+      sc.settle_us;
+  while (sim.now_us() < settle_until) sim.run_for(50'000);
+
+  for (int s = 0; s < sc.shards; ++s) {
+    for (int r = 0; r < sc.replicas; ++r) {
+      ReplicaState rs;
+      rs.node = cluster.controlet_addr(s, r);
+      auto d = cluster.datalet(s, r);
+      if (d == nullptr) continue;
+      d->for_each([&rs](std::string_view key, const Entry& e) {
+        rs.kv[std::string(key)] = {e.value, e.seq};
+      });
+      out.replicas.push_back(std::move(rs));
+    }
+  }
+
+  out.history = rec->hist;
+  if (!out.error.empty()) return out;
+  if (!sc.transitions.empty() && out.transition_done_us == 0) {
+    out.error = "transition never completed; cannot pick check mode";
+    return out;
+  }
+
+  const Consistency fin = sc.final_consistency();
+  CheckOptions cko;
+  cko.linearizability = fin == Consistency::kStrong;
+  cko.linearizable_after_us =
+      (!sc.transitions.empty() && fin == Consistency::kStrong)
+          ? out.transition_done_us
+          : 0;
+  // A transition legitimately reshuffles each session's replica pin, so
+  // monotonic sessions are only a promise for untransitioned EC runs.
+  cko.monotonic_sessions =
+      fin == Consistency::kEventual && sc.transitions.empty();
+  out.report = check_history(out.history, cko);
+
+  // Convergence: meaningful once writes stopped and propagation drained.
+  // Crash scenarios skip it — a restarted replica resyncs lazily and the
+  // linearizability/session checks already cover what clients observed.
+  if (out.report.ok() && fin == Consistency::kEventual &&
+      sc.faults.nodes.empty()) {
+    for (int s = 0; s < sc.shards && out.report.ok(); ++s) {
+      std::vector<ReplicaState> shard;
+      for (const auto& rs : out.replicas) {
+        const std::string tag = "s" + std::to_string(s) + "r";
+        if (rs.node.find(tag) != std::string::npos) shard.push_back(rs);
+      }
+      CheckReport r = check_convergence(shard, out.history);
+      if (!r.ok()) out.report = r;
+    }
+  }
+  out.completed = true;
+  return out;
+}
+
+}  // namespace bespokv::verify

@@ -1,0 +1,45 @@
+// Executes a Scenario on the deterministic simulator and checks the result
+// (DESIGN.md §10). One call = one complete simulated cluster life: build a
+// SimFabric seeded with the scenario's seed, start the cluster, install the
+// fault plan, run N concurrent recording clients through the real client
+// library, drive any scheduled live transitions, settle, dump replica state,
+// and run every checker the final configuration warrants:
+//
+//   final SC  -> per-key linearizability (split at the transition point when
+//                the run started in EC), plus scan sessions
+//   final EC  -> replica convergence + "no value from nowhere", session
+//                monotonic reads (sticky clients, untransitioned runs only —
+//                a transition legitimately reshuffles replica pins), plus
+//                scan sessions
+//
+// Determinism: the same Scenario always produces the same History and the
+// same verdict — which is what makes shrinking (shrinker.h) possible.
+#pragma once
+
+#include <string>
+
+#include "src/verify/checker.h"
+#include "src/verify/history.h"
+#include "src/verify/scenario.h"
+
+namespace bespokv::verify {
+
+struct RunResult {
+  Scenario scenario;
+  History history;
+  CheckReport report;
+  std::vector<ReplicaState> replicas;
+  // Virtual instant the last transition completed (0 = none scheduled or
+  // none finished). Linearizability of EC->SC runs starts here.
+  uint64_t transition_done_us = 0;
+  // False when the harness itself failed (clients never drained, transition
+  // stuck, ...) — distinct from a consistency violation.
+  bool completed = false;
+  std::string error;
+
+  bool violation() const { return report.verdict == Verdict::kViolation; }
+};
+
+RunResult run_scenario(const Scenario& sc);
+
+}  // namespace bespokv::verify

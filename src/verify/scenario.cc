@@ -1,0 +1,180 @@
+#include "src/verify/scenario.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+
+namespace bespokv::verify {
+
+const char* bug_name(BugKind b) {
+  switch (b) {
+    case BugKind::kNone:
+      return "none";
+    case BugKind::kStaleReadCache:
+      return "stale-read-cache";
+  }
+  return "none";
+}
+
+Result<BugKind> parse_bug(const std::string& s) {
+  if (s == "none" || s.empty()) return BugKind::kNone;
+  if (s == "stale-read-cache") return BugKind::kStaleReadCache;
+  return Status::Invalid("unknown bug kind: " + s);
+}
+
+Json Scenario::to_json() const {
+  Json j = Json::object();
+  j.set("seed", Json::number(double(seed)));
+  j.set("topology", Json::string(topology_name(topology)));
+  j.set("consistency", Json::string(consistency_name(consistency)));
+  j.set("shards", Json::number(shards));
+  j.set("replicas", Json::number(replicas));
+  j.set("datalet_kind", Json::string(datalet_kind));
+  j.set("clients", Json::number(clients));
+  j.set("ops_per_client", Json::number(ops_per_client));
+  j.set("workload", workload.to_json());
+  j.set("gap_us", Json::number(double(gap_us)));
+  j.set("faults", faults.to_json());
+  Json tarr = Json::array();
+  for (const TransitionStep& t : transitions) {
+    Json tj = Json::object();
+    tj.set("at_us", Json::number(double(t.at_us)));
+    tj.set("to_topology", Json::string(topology_name(t.to_t)));
+    tj.set("to_consistency", Json::string(consistency_name(t.to_c)));
+    tarr.push(std::move(tj));
+  }
+  j.set("transitions", std::move(tarr));
+  j.set("bug", Json::string(bug_name(bug)));
+  if (bug_rate > 0) j.set("bug_rate", Json::number(bug_rate));
+  j.set("settle_us", Json::number(double(settle_us)));
+  return j;
+}
+
+std::string Scenario::encode() const { return to_json().dump(2); }
+
+Result<Scenario> Scenario::from_json(const Json& j) {
+  Scenario s;
+  s.seed = uint64_t(j.get("seed").as_number(1));
+  auto topo = parse_topology(j.get("topology").as_string("ms"));
+  if (!topo.ok()) return topo.status();
+  s.topology = topo.value();
+  auto cons = parse_consistency(j.get("consistency").as_string("strong"));
+  if (!cons.ok()) return cons.status();
+  s.consistency = cons.value();
+  s.shards = int(j.get("shards").as_number(s.shards));
+  s.replicas = int(j.get("replicas").as_number(s.replicas));
+  s.datalet_kind = j.get("datalet_kind").as_string(s.datalet_kind);
+  s.clients = int(j.get("clients").as_number(s.clients));
+  s.ops_per_client = int(j.get("ops_per_client").as_number(s.ops_per_client));
+  if (s.shards < 1 || s.replicas < 1 || s.clients < 1 || s.ops_per_client < 0) {
+    return Status::Invalid("scenario: shape fields must be positive");
+  }
+  if (j.get("workload").is_object()) {
+    auto w = WorkloadSpec::from_json(j.get("workload"));
+    if (!w.ok()) return w.status();
+    s.workload = w.value();
+  }
+  s.gap_us = uint64_t(j.get("gap_us").as_number(double(s.gap_us)));
+  if (j.get("faults").is_object()) {
+    auto f = FaultPlan::from_json(j.get("faults"));
+    if (!f.ok()) return f.status();
+    s.faults = f.value();
+  }
+  for (const Json& tj : j.get("transitions").elements()) {
+    TransitionStep t;
+    t.at_us = uint64_t(tj.get("at_us").as_number(0));
+    auto tt = parse_topology(tj.get("to_topology").as_string("ms"));
+    if (!tt.ok()) return tt.status();
+    t.to_t = tt.value();
+    auto tc = parse_consistency(tj.get("to_consistency").as_string("strong"));
+    if (!tc.ok()) return tc.status();
+    t.to_c = tc.value();
+    s.transitions.push_back(t);
+  }
+  auto b = parse_bug(j.get("bug").as_string("none"));
+  if (!b.ok()) return b.status();
+  s.bug = b.value();
+  s.bug_rate = j.get("bug_rate").as_number(0);
+  if (s.bug_rate < 0 || s.bug_rate > 1) {
+    return Status::Invalid("scenario: bug_rate out of [0,1]");
+  }
+  s.settle_us = uint64_t(j.get("settle_us").as_number(double(s.settle_us)));
+  return s;
+}
+
+Result<Scenario> Scenario::decode(std::string_view text) {
+  auto j = Json::parse(text);
+  if (!j.ok()) return j.status();
+  return from_json(j.value());
+}
+
+Scenario Scenario::random(uint64_t seed, Topology t, Consistency c) {
+  // Decorrelated from both the fabric RNG (seeded with `seed` itself) and
+  // FaultPlan::random's internal stream.
+  Rng rng(seed * 0xd1342543de82ef95ULL + 0x9e3779b9ULL);
+  Scenario s;
+  s.seed = seed;
+  s.topology = t;
+  s.consistency = c;
+  s.shards = 1 + int(rng.next_u64(2));   // 1..2
+  s.replicas = 3;
+  s.clients = 3 + int(rng.next_u64(3));  // 3..5
+  s.ops_per_client = 16 + int(rng.next_u64(17));  // 16..32
+
+  // Small hot keyspace so keys are genuinely contended: contention is where
+  // consistency bugs live.
+  s.workload.num_keys = 8 + rng.next_u64(25);  // 8..32
+  s.workload.key_size = 8;
+  s.workload.value_size = 16;
+  s.workload.get_ratio = 0.35 + 0.25 * rng.next_double();
+  s.workload.scan_ratio = rng.next_bool(0.5) ? 0.10 : 0.0;
+  s.workload.del_ratio = rng.next_bool(0.3) ? 0.05 : 0.0;
+  s.workload.scan_span = 8;
+  s.workload.zipfian = rng.next_bool(0.5);
+  s.workload.seed = seed;
+  s.gap_us = 500 + rng.next_u64(2'000);
+
+  RandomFaultOpts fopts;
+  if (c == Consistency::kEventual) {
+    // See the header: EC draws only benign network noise.
+    fopts.drops = false;
+    fopts.duplicates = true;
+    fopts.delays = true;
+    fopts.reorders = true;
+  } else {
+    fopts.drops = true;
+    if (t == Topology::kMasterSlave && rng.next_bool(0.35)) {
+      // Crash shard 0's first replica (the MS master; an AA active) early
+      // enough to land mid-workload. The runner provisions a standby so
+      // failover can promote a replacement.
+      fopts.crash_node = "bkv/s0r0";
+      fopts.crash_after_us = 30'000;
+      fopts.crash_spread_us = 150'000;
+      fopts.restart_delay_us = 1'500'000;
+    }
+  }
+  // Faults stop well before the drive loop's settle phase.
+  fopts.window_us = 1'200'000;
+  s.faults = FaultPlan::random(seed, fopts);
+
+  // Sometimes harden the config mid-run (§V): MS+EC -> MS+SC, AA+EC -> MS+EC.
+  // The checker then demands linearizability (or EC sessions) only *after*
+  // the switch completes, and convergence for the prefix.
+  if (c == Consistency::kEventual && rng.next_bool(0.33)) {
+    TransitionStep step;
+    // Relative to client start; early enough that ops still flow after the
+    // switch completes.
+    step.at_us = 20'000 + rng.next_u64(60'000);
+    if (t == Topology::kMasterSlave) {
+      step.to_t = Topology::kMasterSlave;
+      step.to_c = Consistency::kStrong;
+    } else {
+      step.to_t = Topology::kMasterSlave;
+      step.to_c = Consistency::kEventual;
+    }
+    s.transitions.push_back(step);
+  }
+  return s;
+}
+
+}  // namespace bespokv::verify

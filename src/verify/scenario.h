@@ -1,0 +1,85 @@
+// A Scenario is the single reproducible unit of the verification harness
+// (DESIGN.md §10): one seed, one cluster shape, one workload, one fault
+// plan, and an optional schedule of live transitions — everything needed to
+// re-run a simulated execution bit-for-bit. Scenarios round-trip through
+// JSON so a nightly failure can be shrunk, dumped as an artifact, and
+// replayed later with `verify_driver --scenario=FILE`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/coordinator/cluster_meta.h"
+#include "src/net/fault.h"
+#include "src/workload/workload.h"
+
+namespace bespokv::verify {
+
+// Deliberately injected client-side bugs, used to prove the checker catches
+// real violations (and to give the shrinker something to minimize).
+//  kStaleReadCache — the client sometimes serves a GET from a local cache of
+//  previously *observed* values instead of issuing the RPC: a textbook stale
+//  read once any other client has overwritten the key.
+enum class BugKind : uint8_t { kNone = 0, kStaleReadCache };
+
+const char* bug_name(BugKind b);
+Result<BugKind> parse_bug(const std::string& s);
+
+// A live transition launched mid-run (§V), once virtual time passes `at_us`
+// (measured from the instant the verification clients start).
+struct TransitionStep {
+  uint64_t at_us = 0;
+  Topology to_t = Topology::kMasterSlave;
+  Consistency to_c = Consistency::kStrong;
+};
+
+struct Scenario {
+  uint64_t seed = 1;
+  Topology topology = Topology::kMasterSlave;
+  Consistency consistency = Consistency::kStrong;
+  int shards = 2;
+  int replicas = 3;
+  // tMT by default: the verification workload issues SCANs, which need an
+  // ordered engine (tHT has no range support).
+  std::string datalet_kind = "tMT";
+
+  int clients = 4;
+  int ops_per_client = 25;
+  WorkloadSpec workload;
+  uint64_t gap_us = 1'000;       // virtual-time spacing between a client's ops
+
+  FaultPlan faults;
+  std::vector<TransitionStep> transitions;
+
+  BugKind bug = BugKind::kNone;
+  double bug_rate = 0.0;
+
+  // Quiescence before replica dumps / convergence checks, appended after the
+  // last fault window closes.
+  uint64_t settle_us = 1'500'000;
+
+  // The consistency mode the *end* of the run operates under (transitions
+  // applied in order).
+  Consistency final_consistency() const {
+    return transitions.empty() ? consistency : transitions.back().to_c;
+  }
+
+  Json to_json() const;
+  std::string encode() const;  // pretty JSON, for artifacts
+  static Result<Scenario> from_json(const Json& j);
+  static Result<Scenario> decode(std::string_view text);
+
+  // Derives a full random scenario from a seed for the given starting config:
+  // seeded workload mix over a small hot keyspace, a random fault plan, and
+  // (sometimes) a live transition. EC configs draw only delay/duplicate/
+  // reorder faults — MS+EC propagation legitimately gives up after bounded
+  // retries under sustained drops, and crash-induced failover legitimately
+  // reshuffles sticky sessions; neither is a consistency bug. SC configs
+  // additionally draw drops and a master crash+restart (the envelope the
+  // chaos suite proves survivable).
+  static Scenario random(uint64_t seed, Topology t, Consistency c);
+};
+
+}  // namespace bespokv::verify

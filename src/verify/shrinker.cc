@@ -1,0 +1,140 @@
+#include "src/verify/shrinker.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace bespokv::verify {
+
+namespace {
+
+// One greedy dimension: repeatedly apply `step` to produce a smaller
+// candidate and keep it whenever the violation survives. `step` returns
+// false when it cannot shrink the scenario any further.
+template <typename Step>
+bool shrink_dimension(Scenario& best, RunResult& best_run, int& budget,
+                      const std::function<RunResult(const Scenario&)>& run,
+                      int& runs, Step step) {
+  bool improved = false;
+  while (budget > 0) {
+    Scenario cand = best;
+    if (!step(cand)) break;
+    --budget;
+    ++runs;
+    RunResult r = run(cand);
+    if (!r.violation()) break;  // greedy: first miss ends this dimension
+    best = std::move(cand);
+    best_run = std::move(r);
+    improved = true;
+  }
+  return improved;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const Scenario& failing, const ShrinkOptions& opts) {
+  ShrinkResult out;
+  const auto run = opts.run ? opts.run : [](const Scenario& s) {
+    return run_scenario(s);
+  };
+  out.original_ops = size_t(failing.clients) * size_t(failing.ops_per_client);
+
+  out.minimal = failing;
+  out.runs = 1;
+  out.final_run = run(failing);
+  if (!out.final_run.violation()) {
+    out.minimal_ops = out.original_ops;
+    return out;  // nothing to shrink: the input does not reproduce
+  }
+  int budget = opts.max_runs - 1;
+
+  bool any = true;
+  while (any && budget > 0) {
+    any = false;
+    // Halve clients, then peel one at a time.
+    any |= shrink_dimension(out.minimal, out.final_run, budget, run, out.runs,
+                            [](Scenario& s) {
+                              if (s.clients <= 1) return false;
+                              s.clients = std::max(1, s.clients / 2);
+                              return true;
+                            });
+    any |= shrink_dimension(out.minimal, out.final_run, budget, run, out.runs,
+                            [](Scenario& s) {
+                              if (s.clients <= 1) return false;
+                              --s.clients;
+                              return true;
+                            });
+    // Same for ops per client.
+    any |= shrink_dimension(out.minimal, out.final_run, budget, run, out.runs,
+                            [](Scenario& s) {
+                              if (s.ops_per_client <= 1) return false;
+                              s.ops_per_client =
+                                  std::max(1, s.ops_per_client / 2);
+                              return true;
+                            });
+    any |= shrink_dimension(out.minimal, out.final_run, budget, run, out.runs,
+                            [](Scenario& s) {
+                              if (s.ops_per_client <= 1) return false;
+                              --s.ops_per_client;
+                              return true;
+                            });
+    // A smaller keyspace concentrates contention and shortens traces.
+    any |= shrink_dimension(out.minimal, out.final_run, budget, run, out.runs,
+                            [](Scenario& s) {
+                              if (s.workload.num_keys <= 1) return false;
+                              s.workload.num_keys =
+                                  std::max<uint64_t>(1, s.workload.num_keys / 2);
+                              return true;
+                            });
+    // A deterministic bug beats a probabilistic one: pushing the injected
+    // bug rate to certainty makes the violating op appear as early as
+    // possible, which unlocks much deeper ops/client shrinks on the next
+    // pass of the outer loop.
+    any |= shrink_dimension(out.minimal, out.final_run, budget, run, out.runs,
+                            [](Scenario& s) {
+                              if (s.bug == BugKind::kNone || s.bug_rate >= 1.0)
+                                return false;
+                              s.bug_rate = 1.0;
+                              return true;
+                            });
+    // Fault plan: drop node faults first (they dominate run length), then
+    // peel link rules from the back, then the front.
+    any |= shrink_dimension(out.minimal, out.final_run, budget, run, out.runs,
+                            [](Scenario& s) {
+                              if (s.faults.nodes.empty()) return false;
+                              s.faults.nodes.pop_back();
+                              return true;
+                            });
+    any |= shrink_dimension(out.minimal, out.final_run, budget, run, out.runs,
+                            [](Scenario& s) {
+                              if (s.faults.links.empty()) return false;
+                              s.faults.links.pop_back();
+                              return true;
+                            });
+    any |= shrink_dimension(out.minimal, out.final_run, budget, run, out.runs,
+                            [](Scenario& s) {
+                              if (s.faults.links.empty()) return false;
+                              s.faults.links.erase(s.faults.links.begin());
+                              return true;
+                            });
+    // Transitions: a violation that reproduces without the transition is a
+    // simpler witness.
+    any |= shrink_dimension(out.minimal, out.final_run, budget, run, out.runs,
+                            [](Scenario& s) {
+                              if (s.transitions.empty()) return false;
+                              s.transitions.pop_back();
+                              return true;
+                            });
+    // Fewer shards = shorter trace, same semantics.
+    any |= shrink_dimension(out.minimal, out.final_run, budget, run, out.runs,
+                            [](Scenario& s) {
+                              if (s.shards <= 1) return false;
+                              --s.shards;
+                              return true;
+                            });
+  }
+  out.minimal_ops =
+      size_t(out.minimal.clients) * size_t(out.minimal.ops_per_client);
+  return out;
+}
+
+}  // namespace bespokv::verify

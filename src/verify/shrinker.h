@@ -1,0 +1,38 @@
+// Failing-seed shrinker (DESIGN.md §10): given a scenario whose run produced
+// a violation, greedily minimize it while the violation still reproduces —
+// fewer clients, fewer ops per client, a smaller keyspace, fewer fault-plan
+// entries, no transitions — so the artifact a human debugs is the smallest
+// deterministic witness, not the whole nightly run.
+//
+// Every probe is a full deterministic re-run (runner.h), so the minimized
+// scenario is reproducible by construction: re-running its dumped JSON
+// yields the same violation.
+#pragma once
+
+#include <functional>
+
+#include "src/verify/runner.h"
+
+namespace bespokv::verify {
+
+struct ShrinkOptions {
+  // Upper bound on scenario re-runs; greedy passes stop when it is spent.
+  int max_runs = 200;
+  // Override the run predicate (tests use this to shrink against synthetic
+  // reproducers without spinning up a simulator). Defaults to run_scenario.
+  std::function<RunResult(const Scenario&)> run;
+};
+
+struct ShrinkResult {
+  Scenario minimal;
+  RunResult final_run;   // the run of `minimal` (still a violation)
+  int runs = 0;          // probes spent, including failed candidates
+  size_t original_ops = 0;  // clients * ops_per_client before/after
+  size_t minimal_ops = 0;
+};
+
+// `failing` must reproduce a violation when run; shrink() re-verifies this
+// first and returns it unchanged (runs = 1) if it does not.
+ShrinkResult shrink(const Scenario& failing, const ShrinkOptions& opts = {});
+
+}  // namespace bespokv::verify

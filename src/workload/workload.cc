@@ -4,6 +4,41 @@
 
 namespace bespokv {
 
+Json WorkloadSpec::to_json() const {
+  Json j = Json::object();
+  j.set("num_keys", Json::number(double(num_keys)));
+  j.set("key_size", Json::number(double(key_size)));
+  j.set("value_size", Json::number(double(value_size)));
+  j.set("get_ratio", Json::number(get_ratio));
+  j.set("scan_ratio", Json::number(scan_ratio));
+  j.set("del_ratio", Json::number(del_ratio));
+  j.set("zipfian", Json::boolean(zipfian));
+  j.set("zipf_theta", Json::number(zipf_theta));
+  j.set("scan_span", Json::number(scan_span));
+  j.set("seed", Json::number(double(seed)));
+  return j;
+}
+
+Result<WorkloadSpec> WorkloadSpec::from_json(const Json& j) {
+  WorkloadSpec s;
+  s.num_keys = uint64_t(j.get("num_keys").as_number(double(s.num_keys)));
+  s.key_size = size_t(j.get("key_size").as_number(double(s.key_size)));
+  s.value_size = size_t(j.get("value_size").as_number(double(s.value_size)));
+  s.get_ratio = j.get("get_ratio").as_number(s.get_ratio);
+  s.scan_ratio = j.get("scan_ratio").as_number(s.scan_ratio);
+  s.del_ratio = j.get("del_ratio").as_number(s.del_ratio);
+  s.zipfian = j.get("zipfian").as_bool(s.zipfian);
+  s.zipf_theta = j.get("zipf_theta").as_number(s.zipf_theta);
+  s.scan_span = uint32_t(j.get("scan_span").as_number(s.scan_span));
+  s.seed = uint64_t(j.get("seed").as_number(double(s.seed)));
+  if (s.num_keys == 0) return Status::Invalid("workload: num_keys must be > 0");
+  if (s.get_ratio < 0 || s.scan_ratio < 0 || s.del_ratio < 0 ||
+      s.get_ratio + s.scan_ratio + s.del_ratio > 1.0 + 1e-9) {
+    return Status::Invalid("workload: op ratios must be >= 0 and sum <= 1");
+  }
+  return s;
+}
+
 WorkloadSpec WorkloadSpec::ycsb_read_mostly(bool zipf) {
   WorkloadSpec s;
   s.get_ratio = 0.95;

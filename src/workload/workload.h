@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "src/common/json.h"
 #include "src/common/rng.h"
 
 namespace bespokv {
@@ -36,6 +37,11 @@ struct WorkloadSpec {
   double zipf_theta = 0.99;
   uint32_t scan_span = 100;  // keys per scan
   uint64_t seed = 1;
+
+  // JSON round-trip, used by the verification harness to make a scenario's
+  // workload reproducible from its dumped artifact.
+  Json to_json() const;
+  static Result<WorkloadSpec> from_json(const Json& j);
 
   // Named presets.
   static WorkloadSpec ycsb_read_mostly(bool zipf);     // 95% GET

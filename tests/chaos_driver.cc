@@ -1,9 +1,12 @@
 // Standalone chaos driver for the nightly sweep (not a gtest binary):
 //
 //   chaos_driver --fabric=sim|thread|tcp --seed=N [--out=DIR] [--ops=K]
+//                [--faultplan=FILE]
 //
 // Derives a FaultPlan from the seed (link drop/duplicate noise plus a
-// scheduled crash+restart of shard 0's master), runs a retrying client
+// scheduled crash+restart of shard 0's master) — or replays one dumped by a
+// previous failing run / the verify harness via --faultplan — runs a
+// retrying client
 // workload against an MS+SC cluster on the chosen fabric, and enforces the
 // repo's chaos invariant: zero failed acked operations — every op eventually
 // succeeds and every acked write reads back its value.
@@ -14,12 +17,14 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/json.h"
 #include "src/net/fault.h"
 #include "src/net/tcp_fabric.h"
 #include "src/net/thread_fabric.h"
@@ -34,6 +39,7 @@ struct Args {
   uint64_t seed = 1;
   std::string out = ".";
   int ops = 120;
+  std::string faultplan;  // replay a dumped FaultPlan instead of deriving one
 };
 
 bool parse_args(int argc, char** argv, Args* a) {
@@ -47,6 +53,8 @@ bool parse_args(int argc, char** argv, Args* a) {
       a->out = arg.substr(6);
     } else if (arg.rfind("--ops=", 0) == 0) {
       a->ops = std::atoi(arg.c_str() + 6);
+    } else if (arg.rfind("--faultplan=", 0) == 0) {
+      a->faultplan = arg.substr(12);
     } else {
       std::fprintf(stderr, "unknown arg: %s\n", arg.c_str());
       return false;
@@ -65,6 +73,28 @@ ClusterOptions chaos_cluster() {
   o.coordinator.hb_period_us = 100'000;
   o.controlet.hb_period_us = 50'000;
   return o;
+}
+
+FaultPlan make_plan(uint64_t seed, const Addr& master);
+
+// The plan either replays a dumped JSON file (--faultplan, e.g. the artifact
+// of a previous failing run or of verify_driver) or is derived from the seed.
+Result<FaultPlan> resolve_plan(const Args& args, const Addr& master) {
+  if (!args.faultplan.empty()) {
+    std::ifstream f(args.faultplan);
+    if (!f) return Status::NotFound("cannot open " + args.faultplan);
+    std::string body((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+    auto j = Json::parse(body);
+    if (!j.ok()) return j.status();
+    // Accept either a bare FaultPlan dump or a full verify-harness Scenario
+    // (whose plan sits under "faults") so nightly artifacts replay directly.
+    if (j.value().get("faults").is_object()) {
+      return FaultPlan::from_json(j.value().get("faults"));
+    }
+    return FaultPlan::from_json(j.value());
+  }
+  return make_plan(args.seed, master);
 }
 
 FaultPlan make_plan(uint64_t seed, const Addr& master) {
@@ -156,7 +186,13 @@ int run_sim(const Args& args) {
   SimFabricOpts fopts;
   fopts.seed = args.seed;
   testing::SimEnv env(chaos_cluster(), fopts);
-  const FaultPlan plan = make_plan(args.seed, env.cluster.controlet_addr(0, 0));
+  auto plan_r = resolve_plan(args, env.cluster.controlet_addr(0, 0));
+  if (!plan_r.ok()) {
+    std::fprintf(stderr, "chaos_driver: bad --faultplan: %s\n",
+                 plan_r.status().to_string().c_str());
+    return 2;
+  }
+  const FaultPlan plan = plan_r.value();
   env.sim.set_fault_injector(std::make_shared<FaultInjector>(plan));
   Runtime* admin = env.cluster.admin();
   admin->post([admin, &env, plan] {
@@ -181,7 +217,13 @@ int run_real(const Args& args, Fab& fab) {
   cluster.start();
   std::this_thread::sleep_for(std::chrono::milliseconds(300));
 
-  const FaultPlan plan = make_plan(args.seed, cluster.controlet_addr(0, 0));
+  auto plan_r = resolve_plan(args, cluster.controlet_addr(0, 0));
+  if (!plan_r.ok()) {
+    std::fprintf(stderr, "chaos_driver: bad --faultplan: %s\n",
+                 plan_r.status().to_string().c_str());
+    return 2;
+  }
+  const FaultPlan plan = plan_r.value();
   fab.set_fault_injector(std::make_shared<FaultInjector>(plan));
   Runtime* admin = cluster.admin();
   admin->post([admin, &fab, plan] { schedule_node_faults(*admin, fab, plan); });
@@ -207,7 +249,7 @@ int main(int argc, char** argv) {
   if (!bespokv::parse_args(argc, argv, &args)) {
     std::fprintf(stderr,
                  "usage: chaos_driver --fabric=sim|thread|tcp --seed=N "
-                 "[--out=DIR] [--ops=K]\n");
+                 "[--out=DIR] [--ops=K] [--faultplan=FILE]\n");
     return 2;
   }
   std::fprintf(stderr, "chaos_driver: fabric=%s seed=%llu ops=%d\n",

@@ -1,19 +1,21 @@
-// A Wing & Gong style linearizability checker for single-register histories,
-// used by the property tests to validate the SC configurations (MS+SC chain
-// replication, AA+SC locking) and to demonstrate that EC configurations
-// admit non-linearizable histories.
+// Single-register linearizability checking for the property tests, now a
+// thin adapter over the scalable verification checker (src/verify): per-key
+// Wing & Gong / WGL search with memoization and an explicit stack. The old
+// inline DFS capped histories at 24 ops (and returned *false* beyond the
+// cap); the real checker has no such limit — histories with hundreds of ops
+// per key stay tractable because branching only happens inside genuine
+// concurrency windows.
 //
 // Each operation carries real (virtual) invocation/response timestamps. The
 // checker searches for a total order that (a) respects real-time precedence
-// and (b) is legal for a read/write register. DFS with memoization on
-// (taken-set, last-write) keeps small histories (<= ~20 ops) fast.
+// and (b) is legal for a read/write register.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
 #include <string>
 #include <vector>
+
+#include "src/verify/checker.h"
 
 namespace bespokv::testing {
 
@@ -26,40 +28,20 @@ struct HistOp {
 
 inline bool linearizable(const std::vector<HistOp>& ops,
                          const std::string& initial = "") {
-  const size_t n = ops.size();
-  if (n == 0) return true;
-  if (n > 24) return false;  // guard: histories this large need a better tool
-
-  std::set<std::pair<uint32_t, int>> visited;  // (taken mask, last write idx)
-
-  // Recursive lambda via explicit stack-free DFS.
-  std::function<bool(uint32_t, int)> dfs = [&](uint32_t taken,
-                                               int last_write) -> bool {
-    if (taken == (1u << n) - 1) return true;
-    if (!visited.insert({taken, last_write}).second) return false;
-
-    // Real-time constraint: the next linearized op must be invoked before
-    // every untaken op has responded (i.e. it cannot jump over an op that
-    // strictly precedes it in real time).
-    uint64_t min_res = UINT64_MAX;
-    for (size_t i = 0; i < n; ++i) {
-      if (!(taken & (1u << i))) min_res = std::min(min_res, ops[i].res);
-    }
-    const std::string& state =
-        last_write < 0 ? initial : ops[static_cast<size_t>(last_write)].value;
-    for (size_t i = 0; i < n; ++i) {
-      if (taken & (1u << i)) continue;
-      if (ops[i].inv > min_res) continue;  // would violate real-time order
-      if (ops[i].is_write) {
-        if (dfs(taken | (1u << i), static_cast<int>(i))) return true;
-      } else {
-        if (ops[i].value != state) continue;  // illegal read in this order
-        if (dfs(taken | (1u << i), last_write)) return true;
-      }
-    }
-    return false;
-  };
-  return dfs(0, -1);
+  std::vector<verify::KeyEvent> events;
+  events.reserve(ops.size());
+  for (const HistOp& op : ops) {
+    verify::KeyEvent e;
+    e.is_write = op.is_write;
+    e.found = true;  // this legacy model has no "absent": initial is a value
+    e.value = op.value;
+    e.inv = op.inv;
+    e.res = op.res;
+    events.push_back(std::move(e));
+  }
+  const std::vector<verify::InitialState> initials = {
+      verify::InitialState{true, initial}};
+  return verify::check_key_linearizable("the-key", events, initials).ok();
 }
 
 }  // namespace bespokv::testing

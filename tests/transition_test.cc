@@ -4,6 +4,7 @@
 // done; clients follow via map refresh. No downtime, no data migration.
 #include <gtest/gtest.h>
 
+#include "src/verify/runner.h"
 #include "tests/sim_test_util.h"
 
 namespace bespokv {
@@ -234,6 +235,52 @@ TEST(TransitionSemantics, PostTransitionOverwritesBeatPreTransitionVersions) {
     auto r = kv.get("rank" + std::to_string(i));
     ASSERT_TRUE(r.ok()) << i;
     EXPECT_EQ(r.value(), "DONE") << i;
+  }
+}
+
+TEST(TransitionVerification, MsEcToMsScHistoriesLinearizeAfterTheSwitch) {
+  // Property check through the verification harness: concurrent clients run
+  // across a live MS+EC -> MS+SC transition. Ops invoked after the switch
+  // completes must form a linearizable history (seeded by whichever
+  // pre-switch write won per key); the EC prefix only has to converge. The
+  // runner picks exactly that split (CheckOptions::linearizable_after_us).
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    verify::Scenario s;
+    s.seed = seed;
+    s.topology = Topology::kMasterSlave;
+    s.consistency = Consistency::kEventual;
+    s.shards = 2;
+    s.replicas = 3;
+    s.clients = 4;
+    s.ops_per_client = 30;
+    s.workload.num_keys = 10;
+    s.workload.key_size = 8;
+    s.workload.value_size = 8;
+    s.workload.get_ratio = 0.5;
+    s.workload.scan_ratio = 0.0;
+    s.workload.del_ratio = 0.0;
+    s.workload.seed = seed;
+    s.gap_us = 2'000;
+    verify::TransitionStep step;
+    step.at_us = 25'000;  // mid-workload
+    step.to_t = Topology::kMasterSlave;
+    step.to_c = Consistency::kStrong;
+    s.transitions.push_back(step);
+    s.settle_us = 300'000;
+
+    verify::RunResult r = verify::run_scenario(s);
+    ASSERT_TRUE(r.completed) << "seed " << seed << ": " << r.error;
+    ASSERT_GT(r.transition_done_us, 0u) << "seed " << seed;
+    EXPECT_EQ(r.report.verdict, verify::Verdict::kOk)
+        << "seed " << seed << ": " << r.report.to_string() << "\n"
+        << r.history.dump();
+    // The split must be non-vacuous: ops on both sides of the switch point.
+    size_t before = 0, after = 0;
+    for (const verify::Op& op : r.history.ops()) {
+      (op.inv < r.transition_done_us ? before : after)++;
+    }
+    EXPECT_GT(before, 0u) << "seed " << seed;
+    EXPECT_GT(after, 0u) << "seed " << seed;
   }
 }
 

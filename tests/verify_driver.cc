@@ -1,0 +1,186 @@
+// Standalone verification driver for the nightly sweep (not a gtest binary):
+//
+//   verify_driver --config=ms_sc|ms_ec|aa_sc|aa_ec --seed=N [--out=DIR]
+//                 [--scenario=FILE] [--bug=stale-read-cache --bug-rate=R]
+//                 [--no-shrink]
+//
+// Generates a random Scenario from the seed (workload + fault plan + live
+// transitions, see src/verify/scenario.h), runs it on the deterministic sim
+// fabric, and checks the consistency contract of the chosen config:
+// linearizability for *_sc, session monotonic reads + replica convergence
+// for *_ec, scan prefix consistency everywhere.
+//
+// On a violation the driver shrinks the scenario to a minimal reproducing
+// witness and writes three artifacts into --out (uploaded by CI):
+//   scenario-<tag>.json   the original failing scenario
+//   minimal-<tag>.json    the shrunken scenario — replay with --scenario=
+//   history-<tag>.json    the op history of the minimal run
+//
+// Exit codes: 0 = pass, 1 = violation, 2 = usage / harness error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/verify/runner.h"
+#include "src/verify/shrinker.h"
+
+namespace bespokv::verify {
+namespace {
+
+struct Args {
+  std::string config = "ms_sc";
+  uint64_t seed = 1;
+  std::string out = ".";
+  std::string scenario_file;
+  std::string bug = "none";
+  double bug_rate = 0.5;
+  bool shrink = true;
+};
+
+bool parse_args(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--config=", 0) == 0) {
+      a->config = arg.substr(9);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      a->seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      a->out = arg.substr(6);
+    } else if (arg.rfind("--scenario=", 0) == 0) {
+      a->scenario_file = arg.substr(11);
+    } else if (arg.rfind("--bug=", 0) == 0) {
+      a->bug = arg.substr(6);
+    } else if (arg.rfind("--bug-rate=", 0) == 0) {
+      a->bug_rate = std::atof(arg.c_str() + 11);
+    } else if (arg == "--no-shrink") {
+      a->shrink = false;
+    } else {
+      std::fprintf(stderr, "unknown arg: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return a->config == "ms_sc" || a->config == "ms_ec" || a->config == "aa_sc" ||
+         a->config == "aa_ec";
+}
+
+bool config_of(const std::string& name, Topology* t, Consistency* c) {
+  *t = name.rfind("ms", 0) == 0 ? Topology::kMasterSlave
+                                : Topology::kActiveActive;
+  *c = name.size() >= 2 && name.substr(name.size() - 2) == "sc"
+           ? Consistency::kStrong
+           : Consistency::kEventual;
+  return true;
+}
+
+Result<Scenario> load_scenario(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::NotFound("cannot open " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return Scenario::decode(ss.str());
+}
+
+void write_file(const std::string& path, const std::string& body) {
+  std::ofstream f(path);
+  f << body << "\n";
+}
+
+}  // namespace
+}  // namespace bespokv::verify
+
+int main(int argc, char** argv) {
+  using namespace bespokv::verify;
+  Args args;
+  if (!parse_args(argc, argv, &args)) {
+    std::fprintf(stderr,
+                 "usage: verify_driver --config=ms_sc|ms_ec|aa_sc|aa_ec "
+                 "--seed=N [--out=DIR] [--scenario=FILE] "
+                 "[--bug=stale-read-cache --bug-rate=R] [--no-shrink]\n");
+    return 2;
+  }
+
+  Scenario sc;
+  if (!args.scenario_file.empty()) {
+    auto loaded = load_scenario(args.scenario_file);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "verify_driver: bad --scenario: %s\n",
+                   loaded.status().to_string().c_str());
+      return 2;
+    }
+    sc = loaded.value();
+  } else {
+    bespokv::Topology t;
+    bespokv::Consistency c;
+    config_of(args.config, &t, &c);
+    sc = Scenario::random(args.seed, t, c);
+    auto bug = parse_bug(args.bug);
+    if (!bug.ok()) {
+      std::fprintf(stderr, "verify_driver: %s\n",
+                   bug.status().to_string().c_str());
+      return 2;
+    }
+    sc.bug = bug.value();
+    if (sc.bug != BugKind::kNone) sc.bug_rate = args.bug_rate;
+  }
+  std::fprintf(stderr,
+               "verify_driver: config=%s seed=%llu clients=%d ops=%d "
+               "transitions=%zu bug=%s\n",
+               args.config.c_str(),
+               static_cast<unsigned long long>(sc.seed), sc.clients,
+               sc.ops_per_client, sc.transitions.size(), bug_name(sc.bug));
+
+  RunResult r = run_scenario(sc);
+  if (!r.completed) {
+    std::fprintf(stderr, "verify_driver: harness error: %s\n",
+                 r.error.c_str());
+    return 2;
+  }
+  if (!r.violation()) {
+    std::fprintf(stderr, "verify_driver: PASS (%zu ops, %llu states)\n",
+                 r.history.size(),
+                 static_cast<unsigned long long>(r.report.states_explored));
+    return 0;
+  }
+
+  std::fprintf(stderr, "verify_driver: VIOLATION: %s\n",
+               r.report.to_string().c_str());
+  if (!r.report.key.empty()) {
+    for (const ReplicaState& rs : r.replicas) {
+      auto it = rs.kv.find(r.report.key);
+      if (it == rs.kv.end()) {
+        std::fprintf(stderr, "verify_driver:   %s: <absent>\n",
+                     rs.node.c_str());
+      } else {
+        std::fprintf(stderr, "verify_driver:   %s: '%s' seq=%llu\n",
+                     rs.node.c_str(), it->second.first.c_str(),
+                     static_cast<unsigned long long>(it->second.second));
+      }
+    }
+  }
+  const std::string tag =
+      args.config + "-seed" + std::to_string(sc.seed);
+  write_file(args.out + "/scenario-" + tag + ".json", sc.encode());
+
+  RunResult final = r;
+  Scenario minimal = sc;
+  if (args.shrink) {
+    ShrinkOptions so;
+    so.max_runs = 200;
+    ShrinkResult sr = shrink(sc, so);
+    minimal = sr.minimal;
+    final = sr.final_run;
+    std::fprintf(stderr,
+                 "verify_driver: shrank %zu -> %zu ops in %d runs\n",
+                 sr.original_ops, sr.minimal_ops, sr.runs);
+  }
+  write_file(args.out + "/minimal-" + tag + ".json", minimal.encode());
+  write_file(args.out + "/history-" + tag + ".json",
+             final.history.to_json().dump(2));
+  std::fprintf(stderr,
+               "verify_driver: FAIL — wrote scenario/minimal/history-%s.json "
+               "to %s (replay: verify_driver --scenario=%s/minimal-%s.json)\n",
+               tag.c_str(), args.out.c_str(), args.out.c_str(), tag.c_str());
+  return 1;
+}

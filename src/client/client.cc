@@ -25,20 +25,57 @@ KvClient::KvClient(Runtime* rt, ClientConfig cfg) : rt_(rt), cfg_(cfg) {
 
 KvClient::~KvClient() {
   if (refresh_timer_ != 0) rt_->cancel_timer(refresh_timer_);
+  if (connect_timer_ != 0) rt_->cancel_timer(connect_timer_);
 }
 
 void KvClient::connect(StatusCb ready) {
-  refresh_map([this, ready = std::move(ready)](Status s) {
+  connect_attempt(rt_->now_us(), 0, std::move(ready));
+}
+
+void KvClient::on_connected() {
+  connect_failed_ = false;
+  ready_ = true;
+  if (refresh_timer_ == 0) {
+    refresh_timer_ = rt_->set_periodic(cfg_.map_refresh_period_us, [this] {
+      refresh_map([](Status) {});
+    });
+  }
+  auto waiters = std::move(waiters_);
+  waiters_.clear();
+  for (auto& w : waiters) w();
+}
+
+void KvClient::connect_attempt(uint64_t started_us, int attempt,
+                               StatusCb ready) {
+  refresh_map([this, started_us, attempt,
+               ready = std::move(ready)](Status s) mutable {
+    connect_timer_ = 0;
     if (s.ok()) {
-      ready_ = true;
-      refresh_timer_ = rt_->set_periodic(cfg_.map_refresh_period_us, [this] {
-        refresh_map([](Status) {});
-      });
-      auto waiters = std::move(waiters_);
-      waiters_.clear();
-      for (auto& w : waiters) w();
+      on_connected();
+      if (ready) ready(Status::Ok());
+      return;
     }
-    if (ready) ready(s);
+    if (rt_->now_us() - started_us < cfg_.connect_deadline_us) {
+      // Coordinator unreachable (down, or we are partitioned from it): back
+      // off with jitter instead of hot-spinning the refresh loop.
+      connect_timer_ = rt_->set_timer(
+          backoff_us(attempt),
+          [this, started_us, attempt, ready = std::move(ready)]() mutable {
+            connect_attempt(started_us, attempt + 1, std::move(ready));
+          });
+      return;
+    }
+    // Deadline passed: surface kUnavailable to the caller and to every op
+    // queued behind connect() (issue() fails fast from here on), but keep a
+    // slow background probe so a healed partition restores service.
+    connect_failed_ = true;
+    auto waiters = std::move(waiters_);
+    waiters_.clear();
+    for (auto& w : waiters) w();
+    if (ready) ready(Status::Unavailable("connect deadline exceeded"));
+    connect_timer_ = rt_->set_timer(cfg_.backoff_max_us, [this] {
+      connect_attempt(rt_->now_us(), 0, nullptr);
+    });
   });
 }
 
@@ -88,6 +125,12 @@ Result<Addr> KvClient::route(const Message& req, bool is_read) const {
 
 void KvClient::issue(Message req, bool is_read, int attempts_left, DoneCb done) {
   if (!ready_) {
+    if (connect_failed_) {
+      // Fully partitioned from the cluster and past the connect deadline:
+      // fail fast instead of queueing unboundedly behind a dead map fetch.
+      done(Status::Unavailable("not connected"), Message{});
+      return;
+    }
     waiters_.push_back([this, req = std::move(req), is_read, attempts_left,
                         done = std::move(done)]() mutable {
       issue(std::move(req), is_read, attempts_left, std::move(done));

@@ -46,6 +46,13 @@ struct ClientConfig {
   // uniform jitter over the top half so synchronized clients fan out.
   uint64_t backoff_base_us = 5'000;
   uint64_t backoff_max_us = 200'000;
+  // Cluster-map acquisition deadline. When the coordinator is unreachable
+  // (e.g. this client sits on the wrong side of a partition), connect()
+  // retries with the standard backoff+jitter — never a hot loop — until this
+  // much time has passed, then completes with kUnavailable and fails queued
+  // ops the same way. A background retry at backoff_max cadence keeps
+  // running, so a healed partition restores service without a new connect().
+  uint64_t connect_deadline_us = 10'000'000;
   // >0 enables hedged GETs: if the primary replica hasn't replied within
   // this threshold, the read is raced against another replica and the first
   // reply wins. Only reads that may legally hit several replicas hedge
@@ -112,6 +119,8 @@ class KvClient {
 
  private:
   void refresh_map(StatusCb done);
+  void connect_attempt(uint64_t started_us, int attempt, StatusCb ready);
+  void on_connected();
   void issue(Message req, bool is_read, int attempts_left, DoneCb done);
   Result<Addr> route(const Message& req, bool is_read) const;
   // Alternate replica for a hedged read; fails if no distinct target exists.
@@ -127,6 +136,11 @@ class KvClient {
   ShardMap map_;
   bool ready_ = false;
   bool refreshing_ = false;
+  // connect() gave up (deadline passed with the coordinator unreachable):
+  // ops now fail fast with kUnavailable instead of queueing forever, while a
+  // slow background retry waits for the partition to heal.
+  bool connect_failed_ = false;
+  uint64_t connect_timer_ = 0;
   uint64_t salt_ = 0;  // spreads eventual reads / AA writes across replicas
   uint64_t session_salt_ = 0;  // fixed per-client salt for sticky reads
   uint64_t refresh_timer_ = 0;

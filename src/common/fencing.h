@@ -1,0 +1,44 @@
+// Global epoch-fencing switch.
+//
+// Fencing is the safety net that makes failover correct under partitions: a
+// master that lost its lease stops serving, and every state-mutating sink
+// (chain-forward apply, propagation apply, shared-log append, DLM acquire,
+// remote datalet apply) rejects requests minted under an older shard-map
+// epoch with kConflict. See DESIGN.md "Partitions, leases, and fencing".
+//
+// The switch exists for exactly one reason: the verification harness proves
+// the oracle can see the split-brain bug the fences prevent by re-running a
+// partition scenario with fencing force-disabled and observing the
+// linearizability violation. It must never be off in production paths.
+#pragma once
+
+#include <atomic>
+
+namespace bespokv {
+
+inline std::atomic<bool>& epoch_fencing_flag() {
+  static std::atomic<bool> enabled{true};
+  return enabled;
+}
+
+inline bool fencing_enabled() {
+  return epoch_fencing_flag().load(std::memory_order_relaxed);
+}
+
+// RAII scope for tests and the verify runner: disables lease self-fencing
+// and every stale-epoch sink check, restoring the previous state on exit.
+class ScopedFencingDisable {
+ public:
+  ScopedFencingDisable()
+      : prev_(epoch_fencing_flag().exchange(false, std::memory_order_relaxed)) {}
+  ~ScopedFencingDisable() {
+    epoch_fencing_flag().store(prev_, std::memory_order_relaxed);
+  }
+  ScopedFencingDisable(const ScopedFencingDisable&) = delete;
+  ScopedFencingDisable& operator=(const ScopedFencingDisable&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace bespokv

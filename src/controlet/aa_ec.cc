@@ -65,9 +65,12 @@ void AaEcControlet::do_write(EventContext ctx) {
        app_t0](Status s, uint64_t seq) {
         --inflight_;
         if (!s.ok()) {
-          reply(Message::reply(s.code() == Code::kTimeout
-                                   ? Code::kTimeout
-                                   : Code::kUnavailable));
+          // kConflict = the log's per-shard fence rejected our epoch: we
+          // have been deposed/retired by a reconfiguration we have not
+          // heard about yet. Clients speak kNotLeader (refresh + retry).
+          reply(Message::reply(s.code() == Code::kTimeout   ? Code::kTimeout
+                               : s.code() == Code::kConflict ? Code::kNotLeader
+                                                             : Code::kUnavailable));
           return;
         }
         metrics().counter("sharedlog.appends").inc();
@@ -76,7 +79,8 @@ void AaEcControlet::do_write(EventContext ctx) {
         Message rep = Message::reply(Code::kOk);
         rep.seq = seq;
         reply(std::move(rep));
-      });
+      },
+      map_.epoch);
 }
 
 void AaEcControlet::fetch_tick() {

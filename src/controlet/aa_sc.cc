@@ -45,8 +45,12 @@ void AaScControlet::do_write(EventContext ctx) {
                                    reply, tctx, lock_t0](Status s) mutable {
     if (!s.ok()) {
       --inflight_;
-      reply(Message::reply(s.code() == Code::kTimeout ? Code::kTimeout
-                                                      : Code::kUnavailable));
+      // kConflict = the DLM's per-shard fence rejected our epoch: we have
+      // been deposed by a failover we have not heard about. Clients speak
+      // kNotLeader (refresh map, find a live active).
+      reply(Message::reply(s.code() == Code::kTimeout   ? Code::kTimeout
+                           : s.code() == Code::kConflict ? Code::kNotLeader
+                                                         : Code::kUnavailable));
       return;
     }
     ++lock_grants_;
@@ -78,6 +82,7 @@ void AaScControlet::do_write(EventContext ctx) {
     Message m;
     m.op = Op::kPropagate;
     m.shard = cfg_.shard;
+    m.epoch = map_.epoch;
     m.kvs.push_back(kv);
     m.strs.push_back(is_del ? "D" : "P");
     for (const auto& r : reps) {
@@ -87,13 +92,17 @@ void AaScControlet::do_write(EventContext ctx) {
                  peer = r.controlet](Status ps, Message prep) {
                   if (!ps.ok() || prep.code != Code::kOk) {
                     *failed = true;
-                    report_failure(peer);
+                    // kConflict means the peer fenced *us* (we are the
+                    // deposed side) — it is healthy, so no failure report.
+                    if (!(ps.ok() && prep.code == Code::kConflict)) {
+                      report_failure(peer);
+                    }
                   }
                   if (--*remaining == 0) finish();
                 },
                 cfg_.rpc_timeout_us);
     }
-  });
+  }, map_.epoch, cfg_.shard);
 }
 
 void AaScControlet::do_read(EventContext ctx) {
@@ -111,8 +120,11 @@ void AaScControlet::do_read(EventContext ctx) {
   dlm_->lock(key, /*write=*/false, [this, key, req = std::move(req),
                                     reply, tctx, lock_t0](Status s) {
     if (!s.ok()) {
-      reply(Message::reply(s.code() == Code::kTimeout ? Code::kTimeout
-                                                      : Code::kUnavailable));
+      // Fenced read lock: a deposed active may have missed propagations, so
+      // serving this strong read could return stale data.
+      reply(Message::reply(s.code() == Code::kTimeout   ? Code::kTimeout
+                           : s.code() == Code::kConflict ? Code::kNotLeader
+                                                         : Code::kUnavailable));
       return;
     }
     ++lock_grants_;
@@ -120,12 +132,15 @@ void AaScControlet::do_read(EventContext ctx) {
     Message rep = apply_local(req);
     dlm_->unlock(key);
     reply(std::move(rep));
-  });
+  }, map_.epoch, cfg_.shard);
 }
 
 void AaScControlet::handle_internal(const Addr& from, Message req,
                                     Replier reply) {
   if (req.op == Op::kPropagate) {
+    // Sink-side fence: a propagation minted under an older epoch comes from
+    // a deposed active that slipped past the DLM before its fence ratcheted.
+    if (reject_stale_epoch(req, reply)) return;
     for (size_t i = 0; i < req.kvs.size(); ++i) {
       const bool is_del = i < req.strs.size() && req.strs[i] == "D";
       apply_replicated(req.kvs[i], is_del);

@@ -1,5 +1,6 @@
 #include "src/controlet/controlet.h"
 
+#include "src/common/fencing.h"
 #include "src/common/logging.h"
 
 namespace bespokv {
@@ -15,6 +16,8 @@ void ControletBase::start(Runtime& rt) {
   c_forwards_ = &metrics().counter("controlet.p2p_forwards");
   c_dedup_hits_ = &metrics().counter("controlet.dedup_hits");
   c_catchups_ = &metrics().counter("recover.catchup");
+  c_lease_fenced_ = &metrics().counter("controlet.lease_fenced");
+  c_epoch_fenced_ = &metrics().counter("controlet.epoch_fenced");
   if (started_once_) {
     // Crash-restart on the same address: refuse client traffic until we have
     // resynced from the shard (stale reads and lost chain writes otherwise).
@@ -29,13 +32,90 @@ void ControletBase::start(Runtime& rt) {
     LOG_INFO << rt_->self() << ": restarted; catching up before serving";
   }
   started_once_ = true;
-  hb_timer_ = rt_->set_periodic(cfg_.hb_period_us, [this] {
-    Message hb;
-    hb.op = Op::kHeartbeat;
-    hb.key = rt_->self();
-    rt_->send(cfg_.coordinator, std::move(hb));
-  });
+  hb_timer_ = rt_->set_periodic(cfg_.hb_period_us, [this] { send_heartbeat(); });
+  // First beat immediately: the lease grant must be in hand before the first
+  // client write can reach us (clients discover us via a slower map RPC).
+  send_heartbeat();
   fetch_initial_map();
+}
+
+void ControletBase::send_heartbeat() {
+  Message hb;
+  hb.op = Op::kHeartbeat;
+  hb.key = rt_->self();
+  const uint64_t sent = rt_->now_us();
+  rt_->call(cfg_.coordinator, std::move(hb),
+            [this, sent](Status s, Message rep) {
+              // Unreachable/late: no renewal — the lease runs out on its own
+              // and write_fenced() takes over. Never extend on failure.
+              if (!s.ok()) return;
+              if (rep.code == Code::kConflict) {
+                handle_deposed();
+                return;
+              }
+              if (rep.code != Code::kOk || rep.seq == 0) return;
+              // The grant is measured from the *send* instant on our clock;
+              // the coordinator measures from its (later) receive instant
+              // and re-adds the skew margin it shaved off the grant, so our
+              // deadline is provably the earlier one: we self-fence strictly
+              // before the coordinator may promote a successor.
+              lease_until_ = std::max(lease_until_, sent + rep.seq);
+            },
+            cfg_.rpc_timeout_us);
+}
+
+void ControletBase::handle_deposed() {
+  note_deposed();
+  if (rejoining_ || retired_) return;
+  rejoining_ = true;
+  LOG_INFO << rt_->self() << ": deposed by coordinator; rejoining as standby";
+  // Order matters: re-register first (clears the coordinator's dead verdict),
+  // then refetch the map so in_shard_ recomputes against the layout that
+  // evicted us. Until the fresh map lands, the sink-side epoch fences cover
+  // any write we might still try to replicate under the stale map.
+  Message m;
+  m.op = Op::kRegisterNode;
+  m.key = rt_->self();
+  rt_->call(cfg_.coordinator, std::move(m),
+            [this](Status s, Message rep) {
+              rejoining_ = false;
+              if (s.ok() && rep.code == Code::kOk) fetch_initial_map();
+            },
+            cfg_.rpc_timeout_us);
+}
+
+bool ControletBase::lease_valid() const {
+  return lease_until_ != 0 && rt_ != nullptr && rt_->now_us() < lease_until_;
+}
+
+void ControletBase::note_deposed() { lease_until_ = 0; }
+
+bool ControletBase::write_fenced() const {
+  if (!fencing_enabled()) return false;
+  // AA has no master to fence; its writes are fenced at the shared sinks
+  // (DLM acquire / shared-log append) instead.
+  if (map_.topology != Topology::kMasterSlave) return false;
+  return !lease_valid();
+}
+
+bool ControletBase::read_fenced(const Message& req) const {
+  if (!fencing_enabled()) return false;
+  if (map_.topology != Topology::kMasterSlave) return false;
+  const bool strong =
+      req.consistency == ConsistencyLevel::kStrong ||
+      (req.consistency == ConsistencyLevel::kDefault &&
+       map_.consistency == Consistency::kStrong);
+  return strong && !lease_valid();
+}
+
+bool ControletBase::reject_stale_epoch(const Message& req,
+                                       const Replier& reply) {
+  if (!fencing_enabled() || req.epoch == 0) return false;
+  if (req.epoch >= map_.epoch) return false;
+  ++fence_rejects_;
+  c_epoch_fenced_->inc();
+  reply(Message::reply(Code::kConflict, "stale epoch"));
+  return true;
 }
 
 void ControletBase::stop() {
@@ -393,6 +473,14 @@ void ControletBase::handle(const Addr& from, Message req, Replier reply) {
         return;
       }
       if (maybe_p2p_forward(from, req, reply, /*is_read=*/false)) return;
+      if (in_shard_ && write_fenced()) {
+        // Lease lapsed: we may already have been deposed without hearing it
+        // (partitioned from the coordinator). Self-fence — kNotLeader sends
+        // the client to refresh its map and find the real master.
+        c_lease_fenced_->inc();
+        reply(Message::reply(Code::kNotLeader, "lease expired"));
+        return;
+      }
       if (req.token != 0 && maybe_dedup(req, reply)) return;
       c_writes_->inc();
       EventContext ctx{from, std::move(req), std::move(reply)};
@@ -414,6 +502,13 @@ void ControletBase::handle(const Addr& from, Message req, Replier reply) {
       }
       if (req.op == Op::kGet &&
           maybe_p2p_forward(from, req, reply, /*is_read=*/true)) {
+        return;
+      }
+      if (in_shard_ && read_fenced(req)) {
+        // A strong read served past the lease could be stale: the chain may
+        // already have been repaired around us.
+        c_lease_fenced_->inc();
+        reply(Message::reply(Code::kNotLeader, "lease expired"));
         return;
       }
       c_reads_->inc();

@@ -56,6 +56,11 @@ class ControletBase : public Service {
   bool in_transition() const { return successor_.has_value(); }
   size_t my_index() const { return my_index_; }
   Datalet* datalet() { return cfg_.datalet.get(); }
+  // Mastership-lease deadline on this node's clock (0 = never granted /
+  // self-fenced) and the count of stale-epoch internal ops bounced here.
+  uint64_t lease_until() const { return lease_until_; }
+  uint64_t fence_rejects() const { return fence_rejects_; }
+  bool lease_valid() const;
 
  protected:
   // ---- hooks for the concrete controlets -----------------------------------
@@ -135,6 +140,24 @@ class ControletBase : public Service {
 
   void report_failure(const Addr& suspect);
 
+  // ---- partition fencing ---------------------------------------------------
+
+  // True when this node must refuse MS master/chain duties: fencing is on,
+  // the map says master-slave, and the coordinator-granted lease has lapsed
+  // (we may already have been deposed without hearing about it). AA writes
+  // are fenced at the shared sinks (DLM / shared log) instead.
+  bool write_fenced() const;
+  // Same self-fence applied to strong reads (an MS tail cut off from the
+  // coordinator would otherwise serve stale strong reads after the chain
+  // shrinks past it).
+  bool read_fenced(const Message& req) const;
+  // Sink-side epoch fence: rejects an internal replication op minted under
+  // an older shard-map epoch with kConflict. Returns true if it replied.
+  bool reject_stale_epoch(const Message& req, const Replier& reply);
+  // Called when a peer/sink answers kConflict: we are deposed — drop the
+  // lease immediately instead of serving out the remaining grant.
+  void note_deposed();
+
   // The node's metrics registry; valid once start() ran. Subclasses cache
   // Counter handles rather than looking names up per request.
   obs::MetricsRegistry& metrics() { return rt_->obs().metrics(); }
@@ -152,6 +175,10 @@ class ControletBase : public Service {
  private:
   void apply_map(const ShardMap& m, const std::vector<std::string>& aux);
   void fetch_initial_map();
+  void send_heartbeat();
+  // Coordinator declared us dead (kConflict heartbeat reply): self-fence and
+  // rejoin the standby pool once.
+  void handle_deposed();
   void start_recovery(const Addr& source);
   void enter_old_side_transition(const Addr& successor);
   void poll_drain();
@@ -170,6 +197,8 @@ class ControletBase : public Service {
   obs::Counter* c_forwards_ = nullptr;
   obs::Counter* c_dedup_hits_ = nullptr;
   obs::Counter* c_catchups_ = nullptr;
+  obs::Counter* c_lease_fenced_ = nullptr;
+  obs::Counter* c_epoch_fenced_ = nullptr;
 
   // Dedup window: token -> outcome (or in-flight waiters). FIFO-evicted at
   // kDedupWindow completed entries; wiped on restart (per-incarnation — a
@@ -193,8 +222,11 @@ class ControletBase : public Service {
   bool retired_ = false;
   bool started_once_ = false;
   bool catching_up_ = false;
+  bool rejoining_ = false;       // deposed; standby re-registration in flight
   size_t my_index_ = 0;
   uint64_t version_ = 0;
+  uint64_t lease_until_ = 0;     // mastership lease deadline (0 = none)
+  uint64_t fence_rejects_ = 0;   // stale-epoch internal ops bounced here
   std::optional<Addr> successor_;   // old side of a transition
   bool drain_reported_ = false;
   uint64_t hb_timer_ = 0;

@@ -99,6 +99,14 @@ void MsEcControlet::send_batch(size_t slave_index, std::vector<KV> kvs,
              ops = std::move(ops), attempts_left](Status s, Message rep) mutable {
               --outstanding_;
               if (s.ok() && rep.code == Code::kOk) return;
+              if (s.ok() && rep.code == Code::kConflict) {
+                // The slave fenced this batch: its epoch is ahead of ours —
+                // we were deposed (likely partitioned from the coordinator).
+                // The slave is healthy, so no failure report, and retrying
+                // is futile: the promoted master owns propagation now.
+                note_deposed();
+                return;
+              }
               if (attempts_left <= 1) {
                 // Slave presumed dead: the coordinator's failover will
                 // resync it from a snapshot; stop retrying.
@@ -114,6 +122,10 @@ void MsEcControlet::send_batch(size_t slave_index, std::vector<KV> kvs,
 void MsEcControlet::handle_internal(const Addr& from, Message req,
                                     Replier reply) {
   if (req.op == Op::kPropagate) {
+    // Sink-side fence: propagation minted under an older epoch comes from a
+    // deposed master — rejecting it here keeps the deposed side's post-
+    // failover acks from leaking into the surviving replicas.
+    if (reject_stale_epoch(req, reply)) return;
     for (size_t i = 0; i < req.kvs.size(); ++i) {
       const bool is_del = i < req.strs.size() && req.strs[i] == "D";
       apply_replicated(req.kvs[i], is_del);

@@ -50,6 +50,10 @@ void MsScControlet::do_write(EventContext ctx) {
   auto reply = ctx.reply;
   apply_and_forward(std::move(w), [this, reply](Code code) {
     --inflight_;
+    // kConflict from down-chain means *we* were fenced as a deposed head.
+    // Clients speak kNotLeader (refresh map, find the real head) — the raw
+    // conflict never leaves the cluster.
+    if (code == Code::kConflict) code = Code::kNotLeader;
     reply(Message::reply(code));
   });
 }
@@ -88,6 +92,15 @@ void MsScControlet::apply_and_forward(Message w, std::function<void(Code)> done)
                 done(Code::kOk);
                 return;
               }
+              if (s.ok() && rep.code == Code::kConflict) {
+                // The successor's epoch is ahead of this write's: we are the
+                // deposed side of a failover that has not reached us (likely
+                // partitioned from the coordinator). Self-fence and give up —
+                // the successor is healthy, so no failure report.
+                note_deposed();
+                done(Code::kConflict);
+                return;
+              }
               // The successor died or a new chain is forming. If the map has
               // already changed, retry along the fresh chain ("skip
               // forwarding to the failed node"); otherwise surface the error.
@@ -121,6 +134,11 @@ void MsScControlet::do_read(EventContext ctx) {
 void MsScControlet::handle_internal(const Addr& from, Message req,
                                     Replier reply) {
   if (req.op == Op::kChainPut) {
+    // Sink-side fence: a chain write minted under an older epoch comes from
+    // a deposed head (or a deposed middle forwarding on) — it must die here,
+    // not land in the datalet (ISSUE 5: in-flight writes of a partitioned
+    // master die at the replicas).
+    if (reject_stale_epoch(req, reply)) return;
     apply_and_forward(std::move(req), [reply](Code code) {
       reply(Message::reply(code));
     });

@@ -10,6 +10,16 @@ CoordinatorService::CoordinatorService(ShardMap initial_map,
                                        CoordinatorConfig cfg)
     : cfg_(cfg), map_(std::move(initial_map)) {}
 
+uint64_t CoordinatorService::lease_us() const {
+  if (cfg_.lease_us != 0) return cfg_.lease_us;
+  return static_cast<uint64_t>(cfg_.hb_miss_limit) * cfg_.hb_period_us;
+}
+
+uint64_t CoordinatorService::skew_us() const {
+  if (cfg_.clock_skew_us != 0) return cfg_.clock_skew_us;
+  return cfg_.hb_period_us / 2;
+}
+
 void CoordinatorService::start(Runtime& rt) {
   Service::start(rt);
   sweep_timer_ = rt_->set_periodic(cfg_.hb_period_us, [this] { sweep(); });
@@ -37,10 +47,30 @@ void CoordinatorService::handle(const Addr& from, Message req, Replier reply) {
 
     case Op::kHeartbeat: {
       const Addr& node = req.key.empty() ? from : req.key;
-      if (known_dead_.count(node) == 0) {
-        last_seen_[node] = rt_->now_us();
+      if (known_dead_.count(node) != 0) {
+        // A deposed node's beats do not revive it: it must self-fence, drop
+        // any shard state and re-register as a standby. The current epoch
+        // rides along so it can tell how far behind its map is.
+        Message rep = Message::reply(Code::kConflict, "deposed");
+        rep.epoch = map_.epoch;
+        reply(std::move(rep));
+        return;
       }
-      reply(Message::reply(Code::kOk));
+      const uint64_t now = rt_->now_us();
+      auto it = last_seen_.find(node);
+      if (it != last_seen_.end()) {
+        rt_->obs().metrics().timer("coord.hb_gap_us").record(now - it->second);
+      }
+      last_seen_[node] = now;
+      // Lease grant, measured by the holder from the heartbeat's *send*
+      // instant. Pre-shrunk by the skew margin so the holder's deadline is
+      // strictly earlier than ours (send time <= our receive time).
+      Message rep = Message::reply(Code::kOk);
+      const uint64_t lease = lease_us();
+      const uint64_t skew = skew_us();
+      rep.seq = skew < lease ? lease - skew : lease / 2;
+      rep.epoch = map_.epoch;
+      reply(std::move(rep));
       return;
     }
 
@@ -65,12 +95,19 @@ void CoordinatorService::handle(const Addr& from, Message req, Replier reply) {
 
     case Op::kReportFailure: {
       // Peer reports are hints, not verdicts: a node that is merely slow
-      // under load must not be evicted. Act only when our own heartbeat
-      // evidence agrees (no beat for at least one full period).
+      // under load (delay-only faults stretch heartbeat inter-arrival
+      // without losing beats) must not be evicted. Act only when the
+      // suspect's lease has fully expired by our own clock — the same
+      // deadline the sweep uses, so a report can at most bring the verdict
+      // forward to the next message instead of the next sweep tick.
       auto seen = last_seen_.find(req.key);
-      if (known_dead_.count(req.key) == 0 && seen != last_seen_.end() &&
-          rt_->now_us() - seen->second > cfg_.hb_period_us) {
-        on_node_failure(req.key);
+      if (known_dead_.count(req.key) == 0 && seen != last_seen_.end()) {
+        if (rt_->now_us() - seen->second > lease_us() + skew_us()) {
+          on_node_failure(req.key);
+        } else {
+          ++false_suspects_;
+          rt_->obs().metrics().counter("coord.false_suspect").inc();
+        }
       }
       reply(map_reply());
       return;
@@ -206,14 +243,22 @@ void CoordinatorService::finish_transition() {
     m.flags = kFlagTransition;
     rt_->send(old_c, std::move(m));
   }
-  for (const auto& s : map_.shards) push_reconfigure(s);
+  for (const auto& s : map_.shards) {
+    push_reconfigure(s);
+    // The swap retires every old controlet at once: ratchet the sinks so a
+    // retired controlet's in-flight acquires/appends are fenced.
+    push_fence(s.id);
+  }
   transition_.reset();
   LOG_INFO << "coordinator: transition complete (epoch " << map_.epoch << ")";
 }
 
 void CoordinatorService::sweep() {
   const uint64_t now = rt_->now_us();
-  const uint64_t deadline = static_cast<uint64_t>(cfg_.hb_miss_limit) * cfg_.hb_period_us;
+  // Depose-then-promote: the holder's grant expires lease - skew after the
+  // beat's send instant, so by lease + skew after our receive instant it has
+  // provably stopped serving regardless of clock skew within the margin.
+  const uint64_t deadline = lease_us() + skew_us();
   std::vector<Addr> dead;
   for (const auto& [node, seen] : last_seen_) {
     if (now - seen > deadline && known_dead_.count(node) == 0) {
@@ -241,10 +286,27 @@ void CoordinatorService::on_node_failure(const Addr& dead) {
              << (was_head ? " head/master re-elected" : " chain repaired")
              << " (epoch " << map_.epoch << ")";
     // Leader election is deterministic: the next replica in chain order is
-    // promoted (MS); AA needs no leader. Survivors learn the new layout.
+    // promoted (MS); AA needs no leader. Survivors learn the new layout, and
+    // the shared sinks (DLM, shared log) ratchet their per-shard fence so the
+    // deposed node's in-flight acquires/appends die there too.
     push_reconfigure(s);
+    push_fence(s.id);
     begin_recovery(s.id);
     return;
+  }
+}
+
+void CoordinatorService::push_fence(uint32_t shard_id) {
+  // Fence pushes go out ONLY on depose and transition completion — never on
+  // joins or from traffic — so a healthy writer is never transiently fenced
+  // by a membership change it has not been told about yet.
+  for (const Addr& sink : {cfg_.dlm, cfg_.sharedlog}) {
+    if (sink.empty()) continue;
+    Message m;
+    m.op = Op::kReconfigure;
+    m.shard = shard_id;
+    m.epoch = map_.epoch;
+    rt_->send(sink, std::move(m));
   }
 }
 

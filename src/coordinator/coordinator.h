@@ -29,6 +29,15 @@ namespace bespokv {
 struct CoordinatorConfig {
   uint64_t hb_period_us = 1'000'000;  // expected controlet heartbeat period
   uint32_t hb_miss_limit = 3;         // misses before a node is declared dead
+  // Mastership lease (depose-then-promote). Every heartbeat reply carries a
+  // lease grant measured from the heartbeat's *send* instant on the holder's
+  // clock; the coordinator pre-shrinks the grant by clock_skew_us and itself
+  // waits lease_us + clock_skew_us after the last beat before promoting, so
+  // the old master has provably self-fenced before a successor can serve.
+  // 0 = derive from the heartbeat settings (lease = miss_limit * period,
+  // skew = period / 2), keeping detection latency at the miss-counter's.
+  uint64_t lease_us = 0;
+  uint64_t clock_skew_us = 0;
   Addr dlm;                            // advertised to controlets/clients
   Addr sharedlog;
 };
@@ -44,6 +53,13 @@ class CoordinatorService : public Service {
   const ShardMap& shard_map() const { return map_; }
   uint64_t failovers() const { return failovers_; }
   bool transition_active() const { return transition_ != nullptr; }
+  // Peer failure reports discarded because our own lease evidence said the
+  // suspect was still alive (satellite: delay-only faults must not evict).
+  uint64_t false_suspects() const { return false_suspects_; }
+
+  // Effective lease parameters (config override or heartbeat-derived).
+  uint64_t lease_us() const;
+  uint64_t skew_us() const;
 
  private:
   struct Transition {
@@ -55,6 +71,7 @@ class CoordinatorService : public Service {
   void sweep();
   void on_node_failure(const Addr& dead);
   void push_reconfigure(const ShardInfo& shard);
+  void push_fence(uint32_t shard_id);
   void begin_recovery(uint32_t shard_id);
   void finish_transition();
   Message map_reply() const;
@@ -68,6 +85,7 @@ class CoordinatorService : public Service {
   std::unique_ptr<Transition> transition_;
   uint64_t sweep_timer_ = 0;
   uint64_t failovers_ = 0;
+  uint64_t false_suspects_ = 0;
 };
 
 }  // namespace bespokv

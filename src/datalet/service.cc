@@ -1,5 +1,6 @@
 #include "src/datalet/service.h"
 
+#include "src/common/fencing.h"
 #include "src/common/logging.h"
 #include "src/obs/admin.h"
 
@@ -105,6 +106,18 @@ Message DataletHandle::apply(Datalet& d, const Message& req) {
 
 void DataletService::handle(const Addr& from, Message req, Replier reply) {
   (void)from;
+  if (req.epoch != 0) {
+    const bool mutating =
+        req.op == Op::kPut || req.op == Op::kDel || req.op == Op::kDeleteTable;
+    if (mutating && fencing_enabled() && req.epoch < epoch_floor_) {
+      // A controlet from a pre-failover epoch is still pushing writes at us
+      // after its successor (higher epoch) already has: fence it.
+      ++fence_rejects_;
+      reply(Message::reply(Code::kConflict, "stale epoch"));
+      return;
+    }
+    if (req.epoch > epoch_floor_) epoch_floor_ = req.epoch;
+  }
   if (rt_ == nullptr) {  // standalone use without a fabric node
     reply(DataletHandle::apply(*datalet_, req));
     return;

@@ -22,9 +22,18 @@ class DataletService : public Service {
   void handle(const Addr& from, Message req, Replier reply) override;
 
   Datalet* datalet() { return datalet_.get(); }
+  // Mutations rejected by the epoch fence (see handle()).
+  uint64_t fence_rejects() const { return fence_rejects_; }
 
  private:
   std::shared_ptr<Datalet> datalet_;
+  // Epoch fence for the remote-mapping apply path: ratcheted from the
+  // highest epoch stamped on any request we have served, so once a
+  // post-failover controlet has written here, a deposed controlet's
+  // stale-epoch mutations are rejected with kConflict. (Co-located
+  // controlets call the engine directly and are fenced upstream.)
+  uint64_t epoch_floor_ = 0;
+  uint64_t fence_rejects_ = 0;
   // "datalet.*" instrumentation, cached from the node registry on first use
   // (the service may also be constructed without ever joining a fabric).
   obs::Counter* ops_ = nullptr;

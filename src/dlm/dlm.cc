@@ -1,5 +1,7 @@
 #include "src/dlm/dlm.h"
 
+#include "src/common/fencing.h"
+
 namespace bespokv {
 
 void DlmService::start(Runtime& rt) {
@@ -13,7 +15,25 @@ void DlmService::stop() {
 }
 
 void DlmService::handle(const Addr& from, Message req, Replier reply) {
+  if (req.op == Op::kReconfigure) {
+    // Coordinator fence push (sent on depose / transition completion only):
+    // ratchet the shard's epoch floor. Never lowered.
+    uint64_t& floor = fence_[req.shard];
+    floor = std::max(floor, req.epoch);
+    reply(Message::reply(Code::kOk));
+    return;
+  }
   if (req.op == Op::kLock) {
+    if (fencing_enabled() && req.epoch != 0) {
+      auto fit = fence_.find(req.shard);
+      if (fit != fence_.end() && req.epoch < fit->second) {
+        // Acquire minted under a pre-failover epoch: the requester has been
+        // deposed and must not serialize writes through us.
+        ++fence_rejects_;
+        reply(Message::reply(Code::kConflict, "stale epoch"));
+        return;
+      }
+    }
     const bool write = (req.flags & kFlagWriteLock) != 0;
     LockState& st = locks_[req.key];
     const uint64_t now = rt_->now_us();
@@ -103,10 +123,13 @@ void DlmService::sweep() {
 }
 
 void DlmClient::lock(const std::string& key, bool write,
-                     std::function<void(Status)> done) {
+                     std::function<void(Status)> done, uint64_t epoch,
+                     uint32_t shard) {
   Message req;
   req.op = Op::kLock;
   req.key = key;
+  req.epoch = epoch;
+  req.shard = shard;
   if (write) req.flags |= kFlagWriteLock;
   rt_->call(addr_, std::move(req),
             [done = std::move(done)](Status s, Message rep) {

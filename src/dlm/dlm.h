@@ -34,6 +34,9 @@ class DlmService : public Service {
 
   size_t held_locks() const { return locks_.size(); }
   uint64_t expirations() const { return expirations_; }
+  // Acquires rejected because the requester's epoch was behind the shard's
+  // fence (ratcheted by coordinator kReconfigure pushes on failover).
+  uint64_t fence_rejects() const { return fence_rejects_; }
 
  private:
   struct Waiter {
@@ -53,8 +56,12 @@ class DlmService : public Service {
 
   DlmConfig cfg_;
   std::map<std::string, LockState> locks_;
+  // Per-shard epoch fence: a deposed active's acquires die here even though
+  // it can still reach us (split-brain via the DLM is otherwise possible).
+  std::map<uint32_t, uint64_t> fence_;
   uint64_t sweep_timer_ = 0;
   uint64_t expirations_ = 0;
+  uint64_t fence_rejects_ = 0;
 };
 
 // Client wrapper: Lock(key) / Unlock(key).
@@ -62,8 +69,12 @@ class DlmClient {
  public:
   DlmClient(Runtime* rt, Addr dlm_addr) : rt_(rt), addr_(std::move(dlm_addr)) {}
 
+  // `epoch`/`shard` stamp the acquire for the DLM's per-shard fence: a
+  // request minted under an epoch older than the shard's fence is refused
+  // with kConflict (0 = unfenced legacy caller).
   void lock(const std::string& key, bool write,
-            std::function<void(Status)> done);
+            std::function<void(Status)> done, uint64_t epoch = 0,
+            uint32_t shard = 0);
   void unlock(const std::string& key);
 
  private:

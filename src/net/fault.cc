@@ -32,6 +32,27 @@ Json node_to_json(const NodeFault& n) {
   return j;
 }
 
+Json partition_to_json(const PartitionFault& p) {
+  Json j = Json::object();
+  Json a = Json::array();
+  for (const auto& s : p.a) a.push(Json::string(s));
+  j.set("a", std::move(a));
+  Json b = Json::array();
+  for (const auto& s : p.b) b.push(Json::string(s));
+  j.set("b", std::move(b));
+  if (!p.symmetric) j.set("symmetric", Json::boolean(false));
+  if (p.after_us > 0) j.set("after_us", Json::number(double(p.after_us)));
+  if (p.until_us > 0) j.set("until_us", Json::number(double(p.until_us)));
+  return j;
+}
+
+bool match_any(const std::vector<std::string>& patterns, const Addr& addr) {
+  for (const auto& p : patterns) {
+    if (fault_addr_match(p, addr)) return true;
+  }
+  return false;
+}
+
 double num_or(const Json& j, const char* key, double dflt) {
   const Json& v = j.get(key);
   return v.is_number() ? v.as_number() : dflt;
@@ -54,6 +75,11 @@ Json FaultPlan::to_json() const {
   Json narr = Json::array();
   for (const auto& n : nodes) narr.push(node_to_json(n));
   j.set("nodes", std::move(narr));
+  if (!partitions.empty()) {
+    Json parr = Json::array();
+    for (const auto& p : partitions) parr.push(partition_to_json(p));
+    j.set("partitions", std::move(parr));
+  }
   return j;
 }
 
@@ -90,6 +116,27 @@ Result<FaultPlan> FaultPlan::from_json(const Json& j) {
         return Status::Invalid("restart_at_us must be after crash_at_us");
       }
       p.nodes.push_back(std::move(n));
+    }
+  }
+  {
+    for (const Json& pj : j.get("partitions").elements()) {
+      PartitionFault pf;
+      for (const Json& e : pj.get("a").elements()) {
+        if (e.is_string()) pf.a.push_back(e.as_string());
+      }
+      for (const Json& e : pj.get("b").elements()) {
+        if (e.is_string()) pf.b.push_back(e.as_string());
+      }
+      if (pf.a.empty() || pf.b.empty()) {
+        return Status::Invalid("partition fault needs both node sets");
+      }
+      pf.symmetric = pj.get("symmetric").as_bool(true);
+      pf.after_us = uint64_t(num_or(pj, "after_us", 0));
+      pf.until_us = uint64_t(num_or(pj, "until_us", 0));
+      if (pf.until_us != 0 && pf.until_us <= pf.after_us) {
+        return Status::Invalid("partition until_us must be after after_us");
+      }
+      p.partitions.push_back(std::move(pf));
     }
   }
   return p;
@@ -180,6 +227,20 @@ FaultDecision FaultInjector::on_message(const Addr& src, const Addr& dst,
   const uint64_t t = now_us - origin_us_;
   FaultDecision d;
   ++decided_;
+  // Partitions first: a severed link drops unconditionally and burns no RNG,
+  // so adding a partition entry never perturbs the link rules' decision
+  // stream for traffic outside the cut.
+  for (const auto& p : plan_.partitions) {
+    if (t < p.after_us || (p.until_us != 0 && t >= p.until_us)) continue;
+    const bool a_to_b = match_any(p.a, src) && match_any(p.b, dst);
+    const bool b_to_a = match_any(p.b, src) && match_any(p.a, dst);
+    if (a_to_b || (p.symmetric && b_to_a)) {
+      d.drop = true;
+      ++dropped_;
+      ++partitioned_;
+      return d;
+    }
+  }
   for (const auto& l : plan_.links) {
     if (t < l.after_us || (l.until_us != 0 && t >= l.until_us)) continue;
     if (!fault_addr_match(l.src, src) || !fault_addr_match(l.dst, dst)) {
@@ -228,6 +289,10 @@ uint64_t FaultInjector::duplicated() const {
 uint64_t FaultInjector::delayed() const {
   std::lock_guard<std::mutex> g(mu_);
   return delayed_;
+}
+uint64_t FaultInjector::partitioned() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return partitioned_;
 }
 
 void schedule_node_faults(Runtime& rt, Fabric& fab, const FaultPlan& plan) {

@@ -1,7 +1,8 @@
 // Fault injection shared by all three fabrics (sim / thread / TCP).
 //
 // A FaultPlan is a seeded, JSON-serializable chaos schedule: per-link
-// drop/delay/duplicate/reorder rules plus node crash/restart events. The
+// drop/delay/duplicate/reorder rules, node crash/restart events, and
+// windowed network partitions (symmetric or one-way node-set splits). The
 // same plan file drives identical fault decisions on every fabric — the
 // injector consumes its own deterministic RNG stream, so a failing nightly
 // run can be replayed locally from the uploaded plan (deterministically on
@@ -44,10 +45,33 @@ struct LinkFault {
 
 // One node lifecycle event: crash-stop at crash_at_us, optionally restart in
 // place (same address, same Service object) at restart_at_us.
+//
+// Incarnation note: link rules and partitions key on *addresses*, not
+// incarnations. A node revived by Fabric::restart keeps its address, so any
+// fault window still open at restart time keeps applying to the revived
+// node. This is deliberate — a real network outage does not heal because a
+// process restarted inside it (regression-tested in fault_injection_test).
 struct NodeFault {
   std::string node;
   uint64_t crash_at_us = 0;
   uint64_t restart_at_us = 0;  // 0 = stays down
+};
+
+// A network partition: the node sets matching `a` and `b` lose connectivity
+// during [after_us, until_us) and heal when the window closes (until_us = 0
+// never heals). `symmetric` cuts both directions; an asymmetric entry cuts
+// only a -> b traffic — b can still reach a, which models one-way link loss
+// (e.g. a master whose heartbeats are lost while the coordinator's verdicts
+// still arrive, or vice versa). Patterns match like LinkFault src/dst: "*",
+// trailing-star prefix, or exact address. Compiled onto the same per-link
+// injector choke point as link rules, so partitions behave identically on
+// sim/thread/TCP fabrics.
+struct PartitionFault {
+  std::vector<std::string> a;
+  std::vector<std::string> b;
+  bool symmetric = true;
+  uint64_t after_us = 0;
+  uint64_t until_us = 0;  // heal instant (0 = forever)
 };
 
 // Envelope for FaultPlan::random: which fault classes a generated plan may
@@ -77,6 +101,7 @@ struct FaultPlan {
   uint64_t seed = 1;
   std::vector<LinkFault> links;
   std::vector<NodeFault> nodes;
+  std::vector<PartitionFault> partitions;
 
   Json to_json() const;
   static Result<FaultPlan> from_json(const Json& j);
@@ -116,6 +141,9 @@ class FaultInjector {
   uint64_t dropped() const;
   uint64_t duplicated() const;
   uint64_t delayed() const;
+  // Messages dropped because a partition entry severed their link (a subset
+  // of dropped()).
+  uint64_t partitioned() const;
 
  private:
   mutable std::mutex mu_;
@@ -124,6 +152,7 @@ class FaultInjector {
   bool armed_ = false;
   uint64_t origin_us_ = 0;
   uint64_t decided_ = 0, dropped_ = 0, duplicated_ = 0, delayed_ = 0;
+  uint64_t partitioned_ = 0;
 };
 
 // "*" matches everything; a trailing '*' matches by prefix; otherwise exact.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/fencing.h"
+
 namespace bespokv {
 
 void SharedLogService::handle(const Addr& from, Message req, Replier reply) {
@@ -13,7 +15,25 @@ void SharedLogService::handle(const Addr& from, Message req, Replier reply) {
       reply(Message::reply(Code::kOk));
       return;
     }
+    case Op::kReconfigure: {
+      // Coordinator fence push (sent on depose / transition completion
+      // only): ratchet the shard's epoch floor. Never lowered.
+      uint64_t& floor = fence_[req.shard];
+      floor = std::max(floor, req.epoch);
+      reply(Message::reply(Code::kOk));
+      return;
+    }
     case Op::kLogAppend: {
+      if (fencing_enabled() && req.epoch != 0) {
+        auto fit = fence_.find(req.shard);
+        if (fit != fence_.end() && req.epoch < fit->second) {
+          // Append minted under a pre-failover epoch: the appender has been
+          // deposed/retired and must not extend the global write order.
+          ++fence_rejects_;
+          reply(Message::reply(Code::kConflict, "stale epoch"));
+          return;
+        }
+      }
       LogEntry e;
       e.op = (req.flags & kFlagDelete) != 0 ? Op::kDel : Op::kPut;
       e.shard = req.shard;
@@ -75,11 +95,13 @@ void SharedLogService::handle(const Addr& from, Message req, Replier reply) {
 }
 
 void SharedLogClient::append(const Message& write, uint32_t shard,
-                             std::function<void(Status, uint64_t)> done) {
+                             std::function<void(Status, uint64_t)> done,
+                             uint64_t epoch) {
   Message req;
   req.op = Op::kLogAppend;
   req.flags = write.op == Op::kDel ? kFlagDelete : 0u;
   req.shard = shard;
+  req.epoch = epoch;
   req.table = write.table;
   req.key = write.key;
   req.value = write.value;

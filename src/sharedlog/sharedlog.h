@@ -27,6 +27,9 @@ class SharedLogService : public Service {
   uint64_t tail() const { return next_seq_; }
   uint64_t trimmed_to() const { return base_; }
   size_t entries_held() const { return entries_.size(); }
+  // Appends rejected because the appender's epoch was behind the shard's
+  // fence (ratcheted by coordinator kReconfigure pushes on failover).
+  uint64_t fence_rejects() const { return fence_rejects_; }
 
  private:
   struct LogEntry {
@@ -39,8 +42,13 @@ class SharedLogService : public Service {
 
   // Log positions are 1-based; base_ is the first retained position.
   std::deque<LogEntry> entries_;
+  // Per-shard epoch fence: a deposed/retired active's appends die here even
+  // though it can still reach the sequencer (the log is the AA+EC write
+  // serialization point, so this is where split-brain must be stopped).
+  std::map<uint32_t, uint64_t> fence_;
   uint64_t base_ = 1;
   uint64_t next_seq_ = 1;
+  uint64_t fence_rejects_ = 0;
 };
 
 // Client-side wrapper (Table III: PutSharedLog / AsyncFetch).
@@ -50,8 +58,12 @@ class SharedLogClient {
       : rt_(rt), addr_(std::move(log_addr)) {}
 
   // Appends one write for `shard`; `done` receives the assigned global seq.
+  // `epoch` stamps the append for the log's per-shard fence: an append
+  // minted under an epoch older than the shard's fence is refused with
+  // kConflict (0 = unfenced legacy caller).
   void append(const Message& write, uint32_t shard,
-              std::function<void(Status, uint64_t seq)> done);
+              std::function<void(Status, uint64_t seq)> done,
+              uint64_t epoch = 0);
 
   // Fetches this shard's entries with seq >= from (up to `limit`). The reply
   // carries entries in kvs (kv.seq = log position, kv.key pre-prefixed with

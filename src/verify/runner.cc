@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <optional>
 
 #include "src/cluster/cluster.h"
 #include "src/client/client.h"
+#include "src/common/fencing.h"
 #include "src/common/rng.h"
 #include "src/net/fault.h"
 #include "src/net/sim_fabric.h"
@@ -58,6 +60,13 @@ void spawn_client(SimFabric& sim, const Scenario& sc, const Addr& coordinator,
   ccfg.coordinator = coordinator;
   ccfg.rpc_timeout_us = 250'000;
   ccfg.retries = 8;
+  // Staggered per-client refresh cadence: after a failover, clients pick up
+  // the new map at different instants, so the history interleaves fresh- and
+  // stale-map traffic — exactly the mix a fencing bug needs to be visible.
+  ccfg.map_refresh_period_us = 200'000 + 150'000 * uint64_t(id);
+  // Give up (kUnavailable) rather than block forever if this client sits in
+  // a partition island from birth; a background retry resumes on heal.
+  ccfg.connect_deadline_us = 2'000'000;
   // EC sessions: pin reads so monotonic-reads is a promise worth checking.
   ccfg.sticky_reads = sc.consistency == Consistency::kEventual;
   auto kv = std::make_shared<KvClient>(rt, ccfg);
@@ -179,7 +188,30 @@ uint64_t fault_window_end(const FaultPlan& p) {
   for (const auto& n : p.nodes) {
     end = std::max(end, n.restart_at_us != 0 ? n.restart_at_us : n.crash_at_us);
   }
+  for (const auto& pf : p.partitions) {
+    end = std::max(end, pf.until_us != 0 ? pf.until_us : pf.after_us);
+  }
   return end;
+}
+
+// Could this pattern set reach a cluster-side node? Verification clients live
+// under "verify/"; everything the Cluster spawns is under "bkv/".
+bool side_touches_cluster(const std::vector<std::string>& patterns) {
+  for (const auto& p : patterns) {
+    if (p == "*" || p.rfind("bkv/", 0) == 0) return true;
+  }
+  return false;
+}
+
+// True when some partition can sever cluster-internal links (as opposed to a
+// client island, which only isolates verification clients). A cluster cut
+// legitimately stalls propagation and reshuffles roles, so convergence and
+// session checks only apply when the cluster interior stayed connected.
+bool cuts_cluster(const FaultPlan& p) {
+  for (const auto& pf : p.partitions) {
+    if (side_touches_cluster(pf.a) && side_touches_cluster(pf.b)) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -187,6 +219,11 @@ uint64_t fault_window_end(const FaultPlan& p) {
 RunResult run_scenario(const Scenario& sc) {
   RunResult out;
   out.scenario = sc;
+
+  // Negative-test hook: run the whole scenario with lease/epoch fencing off
+  // so the checker can demonstrate the violation the fences prevent.
+  std::optional<ScopedFencingDisable> unfenced;
+  if (sc.disable_fencing) unfenced.emplace();
 
   SimFabricOpts fopts;
   fopts.seed = sc.seed;
@@ -295,17 +332,20 @@ RunResult run_scenario(const Scenario& sc) {
       (!sc.transitions.empty() && fin == Consistency::kStrong)
           ? out.transition_done_us
           : 0;
-  // A transition legitimately reshuffles each session's replica pin, so
-  // monotonic sessions are only a promise for untransitioned EC runs.
-  cko.monotonic_sessions =
-      fin == Consistency::kEventual && sc.transitions.empty();
+  // A transition legitimately reshuffles each session's replica pin, and so
+  // does a failover forced by a cluster-interior partition — monotonic
+  // sessions are only a promise for untransitioned, unpartitioned EC runs.
+  // (Client islands are fine: the pinned replica never changes.)
+  cko.monotonic_sessions = fin == Consistency::kEventual &&
+                           sc.transitions.empty() && !cuts_cluster(sc.faults);
   out.report = check_history(out.history, cko);
 
   // Convergence: meaningful once writes stopped and propagation drained.
   // Crash scenarios skip it — a restarted replica resyncs lazily and the
   // linearizability/session checks already cover what clients observed.
+  // Likewise for cluster-cutting partitions (deposed replicas rejoin empty).
   if (out.report.ok() && fin == Consistency::kEventual &&
-      sc.faults.nodes.empty()) {
+      sc.faults.nodes.empty() && !cuts_cluster(sc.faults)) {
     for (int s = 0; s < sc.shards && out.report.ok(); ++s) {
       std::vector<ReplicaState> shard;
       for (const auto& rs : out.replicas) {

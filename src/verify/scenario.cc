@@ -46,6 +46,7 @@ Json Scenario::to_json() const {
   j.set("transitions", std::move(tarr));
   j.set("bug", Json::string(bug_name(bug)));
   if (bug_rate > 0) j.set("bug_rate", Json::number(bug_rate));
+  if (disable_fencing) j.set("disable_fencing", Json::boolean(true));
   j.set("settle_us", Json::number(double(settle_us)));
   return j;
 }
@@ -98,6 +99,7 @@ Result<Scenario> Scenario::from_json(const Json& j) {
   if (s.bug_rate < 0 || s.bug_rate > 1) {
     return Status::Invalid("scenario: bug_rate out of [0,1]");
   }
+  s.disable_fencing = j.get("disable_fencing").as_bool(false);
   s.settle_us = uint64_t(j.get("settle_us").as_number(double(s.settle_us)));
   return s;
 }
@@ -108,7 +110,8 @@ Result<Scenario> Scenario::decode(std::string_view text) {
   return from_json(j.value());
 }
 
-Scenario Scenario::random(uint64_t seed, Topology t, Consistency c) {
+Scenario Scenario::random(uint64_t seed, Topology t, Consistency c,
+                          bool partitions) {
   // Decorrelated from both the fabric RNG (seeded with `seed` itself) and
   // FaultPlan::random's internal stream.
   Rng rng(seed * 0xd1342543de82ef95ULL + 0x9e3779b9ULL);
@@ -157,6 +160,54 @@ Scenario Scenario::random(uint64_t seed, Topology t, Consistency c) {
   fopts.window_us = 1'200'000;
   s.faults = FaultPlan::random(seed, fopts);
 
+  if (partitions) {
+    // One windowed partition per scenario, healing inside the fault window so
+    // the settle phase always runs on a connected cluster.
+    PartitionFault p;
+    p.after_us = 100'000 + rng.next_u64(150'001);             // 100..250ms
+    p.until_us = p.after_us + 400'000 + rng.next_u64(500'001);  // +400..900ms
+    if (c == Consistency::kEventual) {
+      // Minority client island: one verification client loses the whole
+      // cluster and must back off (never hot-spin) until the heal.
+      p.a = {"verify/c0"};
+      p.b = {"bkv/*"};
+      p.symmetric = true;
+    } else {
+      switch (rng.next_u64(4)) {
+        case 0:
+          // master ⟂ coordinator, one-way: heartbeats are lost but the
+          // coordinator's (never-sent) pushes would still get through. The
+          // master must self-fence on lease expiry before promotion.
+          p.a = {"bkv/s0r0"};
+          p.b = {"bkv/coord"};
+          p.symmetric = false;
+          break;
+        case 1:
+          // master ⟂ coordinator, symmetric.
+          p.a = {"bkv/s0r0"};
+          p.b = {"bkv/coord"};
+          p.symmetric = true;
+          break;
+        case 2:
+          // Chain split: the master keeps its coordinator link (so its lease
+          // stays valid and its failure reports are false suspicions) but
+          // cannot reach its shard peers; shard 0 writes stall, nobody is
+          // wrongly evicted.
+          p.a = {"bkv/s0r0"};
+          p.b = {"bkv/s0r*"};
+          p.symmetric = true;
+          break;
+        default:
+          // Minority client island under SC.
+          p.a = {"verify/c0"};
+          p.b = {"bkv/*"};
+          p.symmetric = true;
+          break;
+      }
+    }
+    s.faults.partitions.push_back(p);
+  }
+
   // Sometimes harden the config mid-run (§V): MS+EC -> MS+SC, AA+EC -> MS+EC.
   // The checker then demands linearizability (or EC sessions) only *after*
   // the switch completes, and convergence for the prefix.
@@ -174,6 +225,43 @@ Scenario Scenario::random(uint64_t seed, Topology t, Consistency c) {
     }
     s.transitions.push_back(step);
   }
+  return s;
+}
+
+Scenario Scenario::split_brain(uint64_t seed) {
+  Scenario s;
+  s.seed = seed;
+  s.topology = Topology::kMasterSlave;
+  s.consistency = Consistency::kStrong;
+  s.shards = 1;
+  s.replicas = 3;
+  s.clients = 4;
+  // Long enough that ops are still flowing well past lease expiry (~250ms
+  // after the cut), the depose (~350ms) and the standby's promotion — the
+  // window where an unfenced deposed master still acks chain writes.
+  s.ops_per_client = 400;
+  s.gap_us = 2'000;
+  s.workload.num_keys = 8;  // hot keys: stale-epoch writes collide quickly
+  s.workload.key_size = 8;
+  s.workload.value_size = 16;
+  s.workload.get_ratio = 0.45;
+  s.workload.scan_ratio = 0.0;
+  s.workload.del_ratio = 0.0;
+  s.workload.zipfian = true;
+  s.workload.seed = seed;
+
+  // The asymmetric cut: the master's heartbeats (and failure reports) to the
+  // coordinator are lost, but every other link — clients→master, the chain,
+  // coordinator→peers — stays up. Left open to the end of the run; the
+  // deposed node re-registers after promotion regardless, since only the
+  // master→coordinator direction is cut.
+  PartitionFault p;
+  p.a = {"bkv/s0r0"};
+  p.b = {"bkv/coord"};
+  p.symmetric = false;
+  p.after_us = 150'000;
+  p.until_us = 1'400'000;
+  s.faults.partitions.push_back(p);
   return s;
 }
 

@@ -56,6 +56,11 @@ struct Scenario {
   BugKind bug = BugKind::kNone;
   double bug_rate = 0.0;
 
+  // Test hook (ISSUE 5 acceptance): run with every lease/epoch fence forced
+  // off, to prove the checker sees the split-brain bug the fences prevent.
+  // Never set outside negative tests.
+  bool disable_fencing = false;
+
   // Quiescence before replica dumps / convergence checks, appended after the
   // last fault window closes.
   uint64_t settle_us = 1'500'000;
@@ -79,7 +84,23 @@ struct Scenario {
   // reshuffles sticky sessions; neither is a consistency bug. SC configs
   // additionally draw drops and a master crash+restart (the envelope the
   // chaos suite proves survivable).
-  static Scenario random(uint64_t seed, Topology t, Consistency c);
+  //
+  // `partitions` additionally draws one windowed network partition (the
+  // nightly sweep's partition-enabled configs): SC picks from a menu of
+  // master⟂coordinator (symmetric or one-way), chain split (master cut from
+  // its shard peers) and a minority client island; EC draws client islands
+  // only — a cluster-side partition under EC legitimately loses unflushed
+  // acks, which no EC checker calls a bug.
+  static Scenario random(uint64_t seed, Topology t, Consistency c,
+                         bool partitions = false);
+
+  // The scripted ISSUE 5 acceptance scenario: MS+SC, one shard, and an
+  // asymmetric partition that cuts the master off from the coordinator while
+  // clients and chain peers still reach it. With fencing on this must show
+  // zero violations; with disable_fencing it must produce a linearizability
+  // violation (acked-write loss via the deposed master's stale-epoch chain
+  // writes shadowing the promoted head's) — proving the oracle sees the bug.
+  static Scenario split_brain(uint64_t seed);
 };
 
 }  // namespace bespokv::verify

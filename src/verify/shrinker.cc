@@ -116,6 +116,14 @@ ShrinkResult shrink(const Scenario& failing, const ShrinkOptions& opts) {
                               s.faults.links.erase(s.faults.links.begin());
                               return true;
                             });
+    // Partitions: a split-brain witness that survives without a partition
+    // entry points at a plain failover bug instead — worth knowing.
+    any |= shrink_dimension(out.minimal, out.final_run, budget, run, out.runs,
+                            [](Scenario& s) {
+                              if (s.faults.partitions.empty()) return false;
+                              s.faults.partitions.pop_back();
+                              return true;
+                            });
     // Transitions: a violation that reproduces without the transition is a
     // simpler witness.
     any |= shrink_dimension(out.minimal, out.final_run, budget, run, out.runs,

@@ -2,6 +2,7 @@
 // failure detection, chain repair / leader election, standby recovery.
 #include <gtest/gtest.h>
 
+#include "src/net/fault.h"
 #include "tests/sim_test_util.h"
 
 namespace bespokv {
@@ -155,6 +156,47 @@ TEST(Failover, CoordinatorCountsOnlyRealFailures) {
   SimEnv env(failover_cluster(Topology::kMasterSlave, Consistency::kEventual));
   env.settle(2'000'000);  // plenty of heartbeat rounds, nobody dies
   EXPECT_EQ(env.cluster.coordinator_service()->failovers(), 0u);
+}
+
+TEST(Failover, DelayOnlyFaultsDoNotEvictHealthyMaster) {
+  // ISSUE 5 satellite: heavy but pure-delay network noise stretches heartbeat
+  // inter-arrival without losing a single beat. The coordinator must keep
+  // every lease alive — suspicion is lease expiry, not slowness.
+  SimEnv env(failover_cluster(Topology::kMasterSlave, Consistency::kStrong));
+  SyncKv kv = env.client();
+  ASSERT_TRUE(kv.put("pre", "v").ok());
+
+  FaultPlan p;
+  p.links.push_back(
+      LinkFault{"*", "*", 0, 0, 0, /*delay_us=*/120'000, /*jitter_us=*/60'000,
+                0, 0});
+  env.sim.set_fault_injector(std::make_shared<FaultInjector>(p));
+  env.settle(3'000'000);  // many delayed heartbeat rounds
+
+  EXPECT_EQ(env.cluster.coordinator_service()->failovers(), 0u);
+  EXPECT_EQ(env.cluster.coordinator_service()->shard_map().epoch, 1u);
+  // Clear the noise and let one clean heartbeat round renew the master's
+  // lease (under 180ms delays the grant can lapse without being revoked —
+  // self-fencing is unavailability, never a wrong eviction).
+  env.sim.set_fault_injector(nullptr);
+  env.settle(300'000);
+  ASSERT_TRUE(kv.put("post", "v").ok());
+  EXPECT_EQ(kv.get("post").value(), "v");
+}
+
+TEST(Failover, FreshlySeenSuspectIsAFalseSuspectNotAFailover) {
+  // A peer's failure report against a node whose lease is still valid is
+  // recorded as a false suspicion and changes nothing.
+  SimEnv env(failover_cluster(Topology::kMasterSlave, Consistency::kStrong));
+  Message report;
+  report.op = Op::kReportFailure;
+  report.key = env.cluster.controlet_addr(0, 0);
+  auto rep = env.call(env.cluster.coordinator_addr(), std::move(report));
+  ASSERT_TRUE(rep.ok()) << rep.status().to_string();
+
+  EXPECT_EQ(env.cluster.coordinator_service()->false_suspects(), 1u);
+  EXPECT_EQ(env.cluster.coordinator_service()->failovers(), 0u);
+  EXPECT_EQ(env.cluster.coordinator_service()->shard_map().epoch, 1u);
 }
 
 }  // namespace

@@ -82,6 +82,92 @@ TEST(FaultPlanTest, RejectsBadPlans) {
                    .ok());
 }
 
+TEST(FaultPlanTest, PartitionJsonRoundTrip) {
+  FaultPlan p;
+  PartitionFault pf;
+  pf.a = {"bkv/s0r0"};
+  pf.b = {"bkv/coord", "bkv/s1*"};
+  pf.symmetric = false;
+  pf.after_us = 100'000;
+  pf.until_us = 900'000;
+  p.partitions.push_back(pf);
+
+  auto q = FaultPlan::decode(p.encode());
+  ASSERT_TRUE(q.ok()) << q.status().to_string();
+  ASSERT_EQ(q.value().partitions.size(), 1u);
+  const PartitionFault& r = q.value().partitions[0];
+  ASSERT_EQ(r.a.size(), 1u);
+  EXPECT_EQ(r.a[0], "bkv/s0r0");
+  ASSERT_EQ(r.b.size(), 2u);
+  EXPECT_EQ(r.b[1], "bkv/s1*");
+  EXPECT_FALSE(r.symmetric);
+  EXPECT_EQ(r.after_us, 100'000u);
+  EXPECT_EQ(r.until_us, 900'000u);
+}
+
+TEST(FaultPlanTest, RejectsBadPartitions) {
+  // Both node sets are required.
+  EXPECT_FALSE(FaultPlan::decode(R"({"partitions":[{"a":["x"]}]})").ok());
+  // The window must be ordered.
+  EXPECT_FALSE(FaultPlan::decode(
+                   R"({"partitions":[{"a":["x"],"b":["y"],
+                       "after_us":10,"until_us":5}]})")
+                   .ok());
+}
+
+TEST(FaultInjectorTest, PartitionDropsByDirectionAndWindow) {
+  FaultPlan p;
+  PartitionFault pf;
+  pf.a = {"m"};
+  pf.b = {"coord"};
+  pf.symmetric = false;
+  pf.after_us = 1'000;
+  pf.until_us = 2'000;
+  p.partitions.push_back(pf);
+  FaultInjector fi(p);
+  fi.arm(0);
+
+  EXPECT_FALSE(fi.on_message("m", "coord", 500).drop);   // before the cut
+  EXPECT_TRUE(fi.on_message("m", "coord", 1'500).drop);  // a→b severed
+  EXPECT_FALSE(fi.on_message("coord", "m", 1'500).drop);  // one-way: b→a open
+  EXPECT_FALSE(fi.on_message("m", "other", 1'500).drop);  // outside the cut
+  EXPECT_FALSE(fi.on_message("m", "coord", 2'500).drop);  // healed
+  EXPECT_EQ(fi.partitioned(), 1u);
+
+  pf.symmetric = true;
+  FaultPlan p2;
+  p2.partitions.push_back(pf);
+  FaultInjector fi2(p2);
+  fi2.arm(0);
+  EXPECT_TRUE(fi2.on_message("coord", "m", 1'500).drop);  // both directions
+}
+
+TEST(FaultInjectorTest, PartitionBurnsNoRngForLinkRules) {
+  // Adding a partition entry must not perturb the link rules' decision
+  // stream for traffic outside the cut — replay determinism depends on it.
+  FaultPlan base;
+  base.seed = 11;
+  base.links.push_back(LinkFault{"*", "*", 0.3, 0.2, 0.1, 50, 100, 0, 0});
+  FaultPlan with_part = base;
+  PartitionFault pf;
+  pf.a = {"island"};
+  pf.b = {"*"};
+  with_part.partitions.push_back(pf);
+
+  FaultInjector a(base), b(with_part);
+  a.arm(0);
+  b.arm(0);
+  for (int i = 0; i < 300; ++i) {
+    const Addr src = "n" + std::to_string(i % 5);
+    const Addr dst = "n" + std::to_string((i + 1) % 5);
+    const FaultDecision da = a.on_message(src, dst, uint64_t(i) * 100);
+    const FaultDecision db = b.on_message(src, dst, uint64_t(i) * 100);
+    ASSERT_EQ(da.drop, db.drop) << i;
+    ASSERT_EQ(da.duplicate, db.duplicate) << i;
+    ASSERT_EQ(da.delay_us, db.delay_us) << i;
+  }
+}
+
 TEST(FaultInjectorTest, DeterministicGivenSamePlanAndSequence) {
   FaultPlan p;
   p.seed = 7;
@@ -194,6 +280,38 @@ TEST(SimFaultTest, RestartRevivesNodeInPlace) {
   f.sim.post_to("cli", [&] { f.cli->send("svc", Message::get("c")); });
   f.sim.run_for(100'000);
   EXPECT_EQ(f.svc->handled.load(), 2u);
+}
+
+TEST(SimFaultTest, FaultWindowAppliesToRestartedIncarnation) {
+  // Fault windows are keyed by address, not by node incarnation: a node that
+  // crashes and revives inside a partition window is still partitioned until
+  // the window closes. Guards against an injector rebuild on restart
+  // silently forgetting open windows.
+  SimPair f;
+  FaultPlan p;
+  PartitionFault pf;
+  pf.a = {"cli"};
+  pf.b = {"svc"};
+  pf.after_us = 50'000;
+  pf.until_us = 400'000;
+  p.partitions.push_back(pf);
+  f.sim.set_fault_injector(std::make_shared<FaultInjector>(p));
+
+  f.sim.post_to("cli", [&] { f.cli->send("svc", Message::get("a")); });
+  f.sim.run_for(30'000);
+  EXPECT_EQ(f.svc->handled.load(), 1u);  // before the window opens
+
+  f.sim.run_for(70'000);  // t=100ms: window open
+  f.sim.kill("svc");
+  ASSERT_TRUE(f.sim.restart("svc"));  // revived mid-window
+  f.sim.post_to("cli", [&] { f.cli->send("svc", Message::get("b")); });
+  f.sim.run_for(100'000);
+  EXPECT_EQ(f.svc->handled.load(), 1u);  // still severed for the new incarnation
+
+  f.sim.run_for(300'000);  // past until_us
+  f.sim.post_to("cli", [&] { f.cli->send("svc", Message::get("c")); });
+  f.sim.run_for(100'000);
+  EXPECT_EQ(f.svc->handled.load(), 2u);  // healed
 }
 
 TEST(SimFaultTest, ScheduledNodeFaultsCrashAndRestart) {

@@ -2,7 +2,13 @@
 //
 //   verify_driver --config=ms_sc|ms_ec|aa_sc|aa_ec --seed=N [--out=DIR]
 //                 [--scenario=FILE] [--bug=stale-read-cache --bug-rate=R]
-//                 [--no-shrink]
+//                 [--no-shrink] [--partitions] [--split-brain] [--no-fencing]
+//
+// --partitions draws one windowed network partition into the random scenario
+// (the nightly partition-enabled sweep). --split-brain runs the scripted
+// acceptance scenario: an asymmetric partition cuts the master off from the
+// coordinator while clients and chain peers still reach it; it must pass
+// with fencing on and produce a violation with --no-fencing.
 //
 // Generates a random Scenario from the seed (workload + fault plan + live
 // transitions, see src/verify/scenario.h), runs it on the deterministic sim
@@ -11,8 +17,9 @@
 // for *_ec, scan prefix consistency everywhere.
 //
 // On a violation the driver shrinks the scenario to a minimal reproducing
-// witness and writes three artifacts into --out (uploaded by CI):
+// witness and writes four artifacts into --out (uploaded by CI):
 //   scenario-<tag>.json   the original failing scenario
+//   faults-<tag>.json     its compiled fault schedule (partition windows)
 //   minimal-<tag>.json    the shrunken scenario — replay with --scenario=
 //   history-<tag>.json    the op history of the minimal run
 //
@@ -37,6 +44,9 @@ struct Args {
   std::string bug = "none";
   double bug_rate = 0.5;
   bool shrink = true;
+  bool partitions = false;   // draw a network partition into the scenario
+  bool split_brain = false;  // run the scripted ISSUE 5 acceptance scenario
+  bool no_fencing = false;   // negative test: disable lease/epoch fencing
 };
 
 bool parse_args(int argc, char** argv, Args* a) {
@@ -56,6 +66,12 @@ bool parse_args(int argc, char** argv, Args* a) {
       a->bug_rate = std::atof(arg.c_str() + 11);
     } else if (arg == "--no-shrink") {
       a->shrink = false;
+    } else if (arg == "--partitions") {
+      a->partitions = true;
+    } else if (arg == "--split-brain") {
+      a->split_brain = true;
+    } else if (arg == "--no-fencing") {
+      a->no_fencing = true;
     } else {
       std::fprintf(stderr, "unknown arg: %s\n", arg.c_str());
       return false;
@@ -97,7 +113,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: verify_driver --config=ms_sc|ms_ec|aa_sc|aa_ec "
                  "--seed=N [--out=DIR] [--scenario=FILE] "
-                 "[--bug=stale-read-cache --bug-rate=R] [--no-shrink]\n");
+                 "[--bug=stale-read-cache --bug-rate=R] [--no-shrink] "
+                 "[--partitions] [--split-brain] [--no-fencing]\n");
     return 2;
   }
 
@@ -110,11 +127,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     sc = loaded.value();
+  } else if (args.split_brain) {
+    sc = Scenario::split_brain(args.seed);
+    args.config = "ms_sc";  // the preset is MS+SC by construction
   } else {
     bespokv::Topology t;
     bespokv::Consistency c;
     config_of(args.config, &t, &c);
-    sc = Scenario::random(args.seed, t, c);
+    sc = Scenario::random(args.seed, t, c, args.partitions);
     auto bug = parse_bug(args.bug);
     if (!bug.ok()) {
       std::fprintf(stderr, "verify_driver: %s\n",
@@ -124,12 +144,15 @@ int main(int argc, char** argv) {
     sc.bug = bug.value();
     if (sc.bug != BugKind::kNone) sc.bug_rate = args.bug_rate;
   }
+  if (args.no_fencing) sc.disable_fencing = true;
   std::fprintf(stderr,
                "verify_driver: config=%s seed=%llu clients=%d ops=%d "
-               "transitions=%zu bug=%s\n",
+               "transitions=%zu partitions=%zu bug=%s%s\n",
                args.config.c_str(),
                static_cast<unsigned long long>(sc.seed), sc.clients,
-               sc.ops_per_client, sc.transitions.size(), bug_name(sc.bug));
+               sc.ops_per_client, sc.transitions.size(),
+               sc.faults.partitions.size(), bug_name(sc.bug),
+               sc.disable_fencing ? " FENCING-DISABLED" : "");
 
   RunResult r = run_scenario(sc);
   if (!r.completed) {
@@ -159,9 +182,15 @@ int main(int argc, char** argv) {
       }
     }
   }
-  const std::string tag =
-      args.config + "-seed" + std::to_string(sc.seed);
+  const std::string tag = args.config +
+                          (sc.faults.partitions.empty() ? "" : "-part") +
+                          "-seed" + std::to_string(sc.seed);
   write_file(args.out + "/scenario-" + tag + ".json", sc.encode());
+  // The compiled fault schedule on its own (partition windows included), so
+  // a CI triager can see the cut timeline without digging through the full
+  // scenario dump.
+  write_file(args.out + "/faults-" + tag + ".json",
+             sc.faults.to_json().dump(2));
 
   RunResult final = r;
   Scenario minimal = sc;

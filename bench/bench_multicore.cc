@@ -1,0 +1,363 @@
+// Multi-core controlet runtime sweep: aggregate throughput and latency of a
+// single sharded datalet node as its core count grows, on both fabrics.
+//
+//   Part A — SimFabric per-core service model (SimNodeOpts::cores): a
+//   closed-loop virtual-time client fleet saturates one node running an
+//   8-shard ShardedDataletService at cores = {1, 2, 4, 8}. Deterministic:
+//   the DES shows the pure queueing-model scaling (throughput ~ cores until
+//   shards bound it), independent of host hardware.
+//
+//   Part B — TcpFabric reactors (thread-per-core epoll loops): raw-socket
+//   pipelined clients drive the same 8-shard service at reactors =
+//   {1, 2, 4, 8}. Real threads and sockets, so the visible scaling is capped
+//   by the host's core count — the JSON records host_cores so baselines are
+//   interpreted against the machine that produced them.
+//
+// Usage: bench_multicore [--json] [--measure-us=N] [--skip-tcp]
+//   --json emits a machine-readable summary (BENCH_multicore.json baseline)
+//   on stdout instead of the human table.
+#include <poll.h>
+#include <sys/socket.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <arpa/inet.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/common/rng.h"
+#include "src/datalet/sharded_service.h"
+#include "src/net/envelope.h"
+#include "src/net/sim_fabric.h"
+#include "src/net/tcp_fabric.h"
+
+namespace bespokv {
+namespace {
+
+constexpr int kShards = 8;
+constexpr int kNumKeys = 1024;
+constexpr int kValueBytes = 64;
+
+struct Point {
+  std::string fabric;  // "sim" | "tcp"
+  int cores = 1;
+  uint64_t ops = 0;
+  double ops_per_sec = 0;
+  uint64_t p50_us = 0;
+  uint64_t p99_us = 0;
+};
+
+uint64_t pct(std::vector<uint64_t>& v, double p) {
+  if (v.empty()) return 0;
+  size_t idx = size_t(p * double(v.size() - 1));
+  std::nth_element(v.begin(), v.begin() + long(idx), v.end());
+  return v[idx];
+}
+
+uint64_t wall_us() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now().time_since_epoch()).count());
+}
+
+// --------------------------- Part A: sim cores ------------------------------
+
+Point run_sim_point(int cores, uint64_t measure_us) {
+  SimFabricOpts fopts;
+  fopts.seed = 42;
+  SimFabric sim(fopts);
+
+  SimNodeOpts nopts;
+  nopts.cores = cores;
+  sim.add_node("srv", std::make_shared<ShardedDataletService>("tHT", kShards),
+               nopts);
+  SimNodeOpts copts;
+  copts.is_client = true;
+  Runtime* cli = sim.add_node("cli", std::make_shared<LambdaService>(
+      [](Runtime&, const Addr&, Message, Replier r) { r({}); }), copts);
+
+  const uint64_t warmup_us = 200'000;
+  const uint64_t end_us = warmup_us + measure_us;
+  struct Stats {
+    uint64_t ops = 0;
+    std::vector<uint64_t> lat;
+  };
+  auto stats = std::make_shared<Stats>();
+  auto rng = std::make_shared<Rng>(7);
+
+  // Closed loop: 64 outstanding ops, enough to keep 8 cores busy through the
+  // round-trip latency.
+  std::function<void()> issue = [cli, stats, rng, warmup_us, end_us, &issue] {
+    if (cli->now_us() >= end_us) return;
+    const std::string key = "k" + std::to_string(rng->next_u64(kNumKeys));
+    Message req = rng->next_bool(0.5)
+                      ? Message::put(key, std::string(kValueBytes, 'v'))
+                      : Message::get(key);
+    const uint64_t t0 = cli->now_us();
+    cli->call("srv", std::move(req),
+              [cli, stats, warmup_us, end_us, t0, &issue](Status st, Message) {
+                const uint64_t t1 = cli->now_us();
+                if (st.ok() && t0 >= warmup_us && t1 <= end_us) {
+                  ++stats->ops;
+                  stats->lat.push_back(t1 - t0);
+                }
+                issue();
+              });
+  };
+  sim.post_to("cli", [&issue] {
+    for (int i = 0; i < 64; ++i) issue();
+  });
+  sim.run_until(end_us + 100'000);
+
+  Point p;
+  p.fabric = "sim";
+  p.cores = cores;
+  p.ops = stats->ops;
+  p.ops_per_sec = double(stats->ops) * 1e6 / double(measure_us);
+  p.p50_us = pct(stats->lat, 0.50);
+  p.p99_us = pct(stats->lat, 0.99);
+  return p;
+}
+
+// -------------------------- Part B: tcp reactors ----------------------------
+
+int dial(int port) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(uint16_t(port));
+  inet_pton(AF_INET, "127.0.0.1", &sa.sin_addr);
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  if (connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    close(fd);
+    return -1;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool send_all(int fd, const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += size_t(n);
+  }
+  return true;
+}
+
+// One client thread: `conns` pipelined connections, each keeping `depth`
+// requests outstanding; counts completions and per-op latency inside the
+// measure window.
+struct TcpWorker {
+  uint64_t ops = 0;
+  std::vector<uint64_t> lat;
+};
+
+void tcp_worker(int tid, int port, int conns, int depth, uint64_t warmup_end,
+                uint64_t measure_end, TcpWorker* out) {
+  struct WConn {
+    int fd = -1;
+    std::string rbuf;
+    std::unordered_map<uint64_t, uint64_t> inflight;  // rpc_id -> send us
+    uint64_t next_id = 1;
+  };
+  std::vector<WConn> cs(static_cast<size_t>(conns));
+  for (auto& c : cs) {
+    c.fd = dial(port);
+    if (c.fd < 0) return;  // counted as a zero-op worker
+  }
+  Rng rng(uint64_t(tid) * 7919 + 11);
+  const std::string blob(kValueBytes, 'v');
+  const std::string from = "bench/t" + std::to_string(tid);
+
+  auto fill = [&](WConn& c) {
+    while (c.inflight.size() < size_t(depth)) {
+      Envelope env;
+      env.rpc_id = c.next_id++;
+      env.kind = EnvelopeKind::kRequest;
+      env.from = from;
+      const std::string key = "k" + std::to_string(rng.next_u64(kNumKeys));
+      env.msg = rng.next_bool(0.5) ? Message::put(key, blob)
+                                   : Message::get(key);
+      std::string frame;
+      encode_envelope(env, &frame);
+      c.inflight.emplace(env.rpc_id, wall_us());
+      if (!send_all(c.fd, frame.data(), frame.size())) return;
+    }
+  };
+  for (auto& c : cs) fill(c);
+
+  std::vector<pollfd> pfds(cs.size());
+  char buf[16 * 1024];
+  while (wall_us() < measure_end) {
+    for (size_t i = 0; i < cs.size(); ++i) {
+      pfds[i] = {cs[i].fd, POLLIN, 0};
+    }
+    if (poll(pfds.data(), nfds_t(pfds.size()), 100) <= 0) continue;
+    for (size_t i = 0; i < cs.size(); ++i) {
+      if (!(pfds[i].revents & (POLLIN | POLLHUP))) continue;
+      WConn& c = cs[i];
+      ssize_t n;
+      while ((n = recv(c.fd, buf, sizeof(buf), MSG_DONTWAIT)) > 0) {
+        c.rbuf.append(buf, size_t(n));
+      }
+      if (n == 0) return;  // server gone
+      Envelope env;
+      size_t consumed = 0;
+      while (decode_envelope(c.rbuf, &env, &consumed).ok() && consumed > 0) {
+        c.rbuf.erase(0, consumed);
+        consumed = 0;
+        auto it = c.inflight.find(env.rpc_id);
+        if (it == c.inflight.end()) continue;
+        const uint64_t t1 = wall_us();
+        if (it->second >= warmup_end && t1 <= measure_end) {
+          ++out->ops;
+          out->lat.push_back(t1 - it->second);
+        }
+        c.inflight.erase(it);
+      }
+      fill(c);
+    }
+  }
+  for (auto& c : cs) close(c.fd);
+}
+
+Point run_tcp_point(int reactors, uint64_t measure_us) {
+  TcpFabricOpts opts;
+  opts.reactors = reactors;
+  TcpFabric fab(opts);
+  const int port = TcpFabric::pick_port();
+  fab.add_node("127.0.0.1:" + std::to_string(port),
+               std::make_shared<ShardedDataletService>("tHT", kShards));
+
+  // Enough parallel load to saturate every reactor: 4 threads x 4 conns x
+  // 32-deep pipelines = 512 outstanding ops.
+  constexpr int kThreads = 4, kConns = 4, kDepth = 32;
+  const uint64_t warmup_end = wall_us() + 300'000;
+  const uint64_t measure_end = warmup_end + measure_us;
+  std::vector<TcpWorker> workers(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(tcp_worker, t, port, kConns, kDepth, warmup_end,
+                         measure_end, &workers[size_t(t)]);
+  }
+  for (auto& t : threads) t.join();
+
+  Point p;
+  p.fabric = "tcp";
+  p.cores = reactors;
+  std::vector<uint64_t> lat;
+  for (auto& w : workers) {
+    p.ops += w.ops;
+    lat.insert(lat.end(), w.lat.begin(), w.lat.end());
+  }
+  p.ops_per_sec = double(p.ops) * 1e6 / double(measure_us);
+  p.p50_us = pct(lat, 0.50);
+  p.p99_us = pct(lat, 0.99);
+  return p;
+}
+
+// --------------------------------- main -------------------------------------
+
+void print_table(const char* title, const std::vector<Point>& pts) {
+  std::printf("%s\n", title);
+  std::printf("  %-8s %10s %12s %8s %8s %8s\n", "cores", "ops", "ops/sec",
+              "p50us", "p99us", "speedup");
+  const double base = pts.empty() ? 1.0 : std::max(1.0, pts[0].ops_per_sec);
+  for (const Point& p : pts) {
+    std::printf("  %-8d %10llu %12.0f %8llu %8llu %7.2fx\n", p.cores,
+                static_cast<unsigned long long>(p.ops), p.ops_per_sec,
+                static_cast<unsigned long long>(p.p50_us),
+                static_cast<unsigned long long>(p.p99_us),
+                p.ops_per_sec / base);
+  }
+}
+
+}  // namespace
+}  // namespace bespokv
+
+int main(int argc, char** argv) {
+  using namespace bespokv;
+  bool json = false;
+  bool skip_tcp = false;
+  uint64_t measure_us = 1'000'000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--skip-tcp") {
+      skip_tcp = true;
+    } else if (arg.rfind("--measure-us=", 0) == 0) {
+      measure_us = std::strtoull(arg.c_str() + 13, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_multicore [--json] [--measure-us=N] "
+                   "[--skip-tcp]\n");
+      return 2;
+    }
+  }
+
+  const std::vector<int> sweep = {1, 2, 4, 8};
+  std::vector<Point> sim_pts, tcp_pts;
+  for (int c : sweep) {
+    sim_pts.push_back(run_sim_point(c, measure_us));
+    std::fprintf(stderr, "bench_multicore: sim cores=%d done\n", c);
+  }
+  if (!skip_tcp) {
+    for (int r : sweep) {
+      tcp_pts.push_back(run_tcp_point(r, measure_us));
+      std::fprintf(stderr, "bench_multicore: tcp reactors=%d done\n", r);
+    }
+  }
+
+  if (json) {
+    Json j = Json::object();
+    j.set("bench", Json::string("multicore"));
+    j.set("host_cores",
+          Json::number(double(std::thread::hardware_concurrency())));
+    j.set("shards", Json::number(kShards));
+    j.set("measure_us", Json::number(double(measure_us)));
+    Json arr = Json::array();
+    auto add = [&arr](const std::vector<Point>& pts) {
+      for (const Point& p : pts) {
+        Json pj = Json::object();
+        pj.set("fabric", Json::string(p.fabric));
+        pj.set("cores", Json::number(p.cores));
+        pj.set("ops", Json::number(double(p.ops)));
+        pj.set("ops_per_sec", Json::number(p.ops_per_sec));
+        pj.set("p50_us", Json::number(double(p.p50_us)));
+        pj.set("p99_us", Json::number(double(p.p99_us)));
+        arr.push(std::move(pj));
+      }
+    };
+    add(sim_pts);
+    add(tcp_pts);
+    j.set("points", std::move(arr));
+    std::printf("%s\n", j.dump(2).c_str());
+    return 0;
+  }
+
+  std::printf("Multi-core controlet runtime sweep (%d-shard datalet)\n\n",
+              kShards);
+  print_table("SimFabric per-core service model:", sim_pts);
+  if (!tcp_pts.empty()) {
+    std::printf("\n");
+    print_table("TcpFabric reactors (host-limited; see host_cores):", tcp_pts);
+    std::printf("\nhost cores: %u\n", std::thread::hardware_concurrency());
+  }
+  return 0;
+}

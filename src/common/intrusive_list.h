@@ -1,0 +1,77 @@
+// Minimal intrusive doubly-linked list: O(1) unlink given only the element,
+// no per-node allocation, stable iteration under concurrent erasure of the
+// *current* element (advance before unlinking). Used by the TCP reactors to
+// own their connections — close paths unlink in O(1) and teardown walks the
+// list without consulting an fd map.
+#pragma once
+
+#include <cstddef>
+
+namespace bespokv {
+
+template <typename T>
+struct ListHook {
+  T* prev = nullptr;
+  T* next = nullptr;
+  bool linked = false;
+};
+
+template <typename T, ListHook<T> T::*Hook>
+class IntrusiveList {
+ public:
+  void push_back(T* e) {
+    ListHook<T>& h = e->*Hook;
+    h.prev = tail_;
+    h.next = nullptr;
+    h.linked = true;
+    if (tail_ != nullptr) {
+      (tail_->*Hook).next = e;
+    } else {
+      head_ = e;
+    }
+    tail_ = e;
+    ++size_;
+  }
+
+  void erase(T* e) {
+    ListHook<T>& h = e->*Hook;
+    if (!h.linked) return;
+    if (h.prev != nullptr) {
+      (h.prev->*Hook).next = h.next;
+    } else {
+      head_ = h.next;
+    }
+    if (h.next != nullptr) {
+      (h.next->*Hook).prev = h.prev;
+    } else {
+      tail_ = h.prev;
+    }
+    h.prev = h.next = nullptr;
+    h.linked = false;
+    --size_;
+  }
+
+  T* front() const { return head_; }
+  static T* next(T* e) { return (e->*Hook).next; }
+
+  bool empty() const { return head_ == nullptr; }
+  size_t size() const { return size_; }
+
+  // Safe against fn unlinking (even deleting) the visited element.
+  template <typename Fn>
+  void for_each(Fn fn) {
+    T* e = head_;
+    while (e != nullptr) {
+      T* nxt = (e->*Hook).next;
+      fn(e);
+      e = nxt;
+    }
+  }
+
+ private:
+  T* head_ = nullptr;
+  T* tail_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace bespokv

@@ -1,0 +1,83 @@
+// Lock-free unbounded multi-producer single-consumer queue (Vyukov-style
+// exchange-linked nodes). The cross-reactor funnel of the thread-per-core
+// TCP runtime: any reactor (or external thread) may push, only the owning
+// reactor pops. push() is wait-free for producers (one atomic exchange);
+// pop() is lock-free for the single consumer.
+//
+// The classic Vyukov caveat applies: between a producer's exchange and its
+// next-pointer store, the consumer can observe an "empty" queue whose tail
+// has unlinked items in flight. pop() returns nullopt in that window, which
+// is fine for an event loop that re-polls after the producer's eventfd wake
+// lands — the wake is written after the push completes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+namespace bespokv {
+
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() {
+    Node* stub = new Node();
+    head_.store(stub, std::memory_order_relaxed);
+    tail_ = stub;
+  }
+
+  ~MpscQueue() {
+    Node* n = tail_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  // Any thread.
+  void push(T value) {
+    Node* n = new Node(std::move(value));
+    Node* prev = head_.exchange(n, std::memory_order_acq_rel);
+    prev->next.store(n, std::memory_order_release);
+    depth_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Consumer thread only. Returns nullopt when empty (or momentarily
+  // mid-push; see header comment).
+  std::optional<T> pop() {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) return std::nullopt;
+    T value = std::move(next->value);
+    tail_ = next;
+    delete tail;
+    depth_.fetch_sub(1, std::memory_order_relaxed);
+    return value;
+  }
+
+  // Approximate (racy) — metrics only.
+  size_t approx_depth() const { return depth_.load(std::memory_order_relaxed); }
+
+  bool empty() const {
+    return tail_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(T v) : value(std::move(v)) {}
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  alignas(64) std::atomic<Node*> head_;  // producer side
+  alignas(64) Node* tail_;               // consumer side (stub-led)
+  std::atomic<size_t> depth_{0};
+};
+
+}  // namespace bespokv

@@ -1,0 +1,108 @@
+#include "src/datalet/sharded_service.h"
+
+#include "src/common/fencing.h"
+#include "src/common/hash.h"
+#include "src/datalet/service.h"
+
+namespace bespokv {
+
+ShardedDataletService::ShardedDataletService(
+    std::vector<std::shared_ptr<Datalet>> engines) {
+  shards_.resize(engines.size());
+  for (size_t i = 0; i < engines.size(); ++i) {
+    shards_[i].engine = std::move(engines[i]);
+  }
+  if (shards_.empty()) shards_.resize(1);  // degenerate: never valid to use
+}
+
+ShardedDataletService::ShardedDataletService(const std::string& kind, int n) {
+  shards_.resize(size_t(n < 1 ? 1 : n));
+  for (auto& s : shards_) s.engine = make_datalet(kind, {});
+}
+
+void ShardedDataletService::start(Runtime& rt) {
+  Service::start(rt);
+  // All metric handles are resolved here, before any reactor thread exists,
+  // so the per-shard hot paths never touch the registry lock (and never race
+  // on lazily-cached pointers).
+  obs::MetricsRegistry& m = rt.obs().metrics();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const std::string p = "datalet.s" + std::to_string(i) + ".";
+    shards_[i].ops = &m.counter(p + "ops");
+    shards_[i].fence_rejects = &m.counter(p + "fence_rejects");
+    shards_[i].dedup_hits = &m.counter(p + "dedup_hits");
+  }
+}
+
+int ShardedDataletService::shard_of(const Message& req) const {
+  if (req.key.empty() || shards_.size() == 1) return 0;
+  return static_cast<int>(fnv1a64(req.key) % shards_.size());
+}
+
+void ShardedDataletService::handle(const Addr& from, Message req,
+                                   Replier reply) {
+  const int shard = shard_of(req);
+  handle_shard(shard, from, std::move(req), std::move(reply));
+}
+
+void ShardedDataletService::handle_shard(int shard, const Addr& from,
+                                         Message req, Replier reply) {
+  (void)from;
+  Shard& s = shards_[size_t(shard)];
+  switch (req.op) {
+    case Op::kScan:
+    case Op::kSnapshotReq:
+    case Op::kDeleteTable:
+      // Cross-shard: would read engines owned by other reactors.
+      reply(Message::reply(Code::kInvalid, "cross-shard op on sharded datalet"));
+      return;
+    default:
+      break;
+  }
+  const bool mutating = req.op == Op::kPut || req.op == Op::kDel;
+  if (req.epoch != 0) {
+    if (mutating && fencing_enabled() && req.epoch < s.epoch_floor) {
+      if (s.fence_rejects != nullptr) s.fence_rejects->inc();
+      reply(Message::reply(Code::kConflict, "stale epoch"));
+      return;
+    }
+    if (req.epoch > s.epoch_floor) s.epoch_floor = req.epoch;
+  }
+  if (mutating && req.token != 0) {
+    auto it = s.dedup.find(req.token);
+    if (it != s.dedup.end()) {
+      if (s.dedup_hits != nullptr) s.dedup_hits->inc();
+      reply(it->second);  // replay: serve the original outcome, apply nothing
+      return;
+    }
+  }
+  Message rep = DataletHandle::apply(*s.engine, req);
+  if (s.ops != nullptr) s.ops->inc();
+  if (mutating && req.token != 0) {
+    if (s.dedup_order.size() >= kDedupWindow) {
+      s.dedup.erase(s.dedup_order.front());
+      s.dedup_order.pop_front();
+    }
+    s.dedup_order.push_back(req.token);
+    s.dedup.emplace(req.token, rep);
+  }
+  reply(std::move(rep));
+}
+
+uint64_t ShardedDataletService::fence_rejects() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) {
+    if (s.fence_rejects != nullptr) n += s.fence_rejects->value();
+  }
+  return n;
+}
+
+uint64_t ShardedDataletService::dedup_hits() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) {
+    if (s.dedup_hits != nullptr) n += s.dedup_hits->value();
+  }
+  return n;
+}
+
+}  // namespace bespokv

@@ -1,0 +1,70 @@
+// BufferPool: per-reactor slab recycler feeding the ByteBuffer fast path.
+//
+// Every connection needs a read buffer and a ring of write chunks; churning
+// them through malloc on each accept/close (or growing one giant buffer per
+// connection, as the pre-reactor fabric's per-conn spare ring did) wastes
+// the warm allocations of closed connections. The pool keeps up to
+// `max_buffers` drained ByteBuffers per reactor and hands them to whichever
+// connection needs one next, so steady-state accept/close traffic and write
+// bursts reuse warm slabs instead of allocating.
+//
+// Thread-compatible: each reactor owns exactly one pool and touches it only
+// from its own loop thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/byte_buffer.h"
+
+namespace bespokv {
+
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t hits = 0;      // acquire served from the pool
+    uint64_t misses = 0;    // acquire had to allocate fresh
+    uint64_t returned = 0;  // release kept the buffer
+    uint64_t dropped = 0;   // release freed it (pool full / slab oversized)
+  };
+
+  explicit BufferPool(size_t max_buffers = 64,
+                      size_t slab_capacity = 64 * 1024)
+      : max_buffers_(max_buffers), slab_capacity_(slab_capacity) {}
+
+  ByteBuffer acquire() {
+    if (!free_.empty()) {
+      ByteBuffer b = std::move(free_.back());
+      free_.pop_back();
+      ++stats_.hits;
+      return b;
+    }
+    ++stats_.misses;
+    return ByteBuffer(slab_capacity_);
+  }
+
+  // Takes the buffer back (cleared). Oversized slabs — e.g. a buffer grown
+  // by one multi-MB payload — are freed rather than hoarded, so the pool's
+  // footprint stays bounded by max_buffers * 4 * slab_capacity.
+  void release(ByteBuffer b) {
+    b.clear();
+    if (free_.size() >= max_buffers_ || b.capacity() > 4 * slab_capacity_) {
+      ++stats_.dropped;
+      return;  // b frees on scope exit
+    }
+    ++stats_.returned;
+    free_.push_back(std::move(b));
+  }
+
+  size_t available() const { return free_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  size_t max_buffers_;
+  size_t slab_capacity_;
+  std::vector<ByteBuffer> free_;
+  Stats stats_;
+};
+
+}  // namespace bespokv

@@ -94,6 +94,23 @@ class Service {
   // (for kSend-style one-way messages the fabric supplies a no-op replier).
   virtual void handle(const Addr& from, Message req, Replier reply) = 0;
 
+  // ---- Sharded execution (thread-per-core fabrics) ----
+  // A service whose state partitions into independent single-writer shards
+  // reports shards() > 1. Sharded fabrics (TcpFabric with reactors > 1, the
+  // sim's per-core service model) then route each request to the shard
+  // returned by shard_of() and may invoke handle_shard() concurrently for
+  // *different* shards — never concurrently for the same shard, so per-shard
+  // state still needs no locks. The default (one shard, everything through
+  // handle() on the node's home reactor) preserves the paper's fully
+  // serialized event-driven controlet model; controlets, coordinator, DLM
+  // and shared log all keep it.
+  virtual int shards() const { return 1; }
+  virtual int shard_of(const Message&) const { return 0; }
+  virtual void handle_shard(int /*shard*/, const Addr& from, Message req,
+                            Replier reply) {
+    handle(from, std::move(req), std::move(reply));
+  }
+
  protected:
   Runtime* rt_ = nullptr;
 };

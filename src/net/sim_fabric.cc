@@ -1,6 +1,7 @@
 #include "src/net/sim_fabric.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "src/common/hash.h"
 #include "src/common/logging.h"
@@ -63,7 +64,8 @@ struct SimFabric::Node {
   std::unique_ptr<SimRuntime> rt;
   SimNodeOpts opts;
   bool alive = true;
-  uint64_t busy_until = 0;
+  // One single-server queue per core (see SimNodeOpts::cores).
+  std::vector<uint64_t> busy;
 };
 
 SimFabric::SimFabric(SimFabricOpts opts) : opts_(opts) {}
@@ -80,6 +82,7 @@ Runtime* SimFabric::add_node(const Addr& addr, std::shared_ptr<Service> svc,
   node->addr = addr;
   node->svc = std::move(svc);
   node->opts = node_opts;
+  node->busy.assign(static_cast<size_t>(std::max(1, node_opts.cores)), 0);
   node->rt = std::make_unique<SimRuntime>(this, node.get(), addr,
                                           opts_.seed ^ fnv1a64(addr));
   Node* raw = node.get();
@@ -114,7 +117,7 @@ bool SimFabric::restart(const Addr& addr) {
   Node* n = find(addr);
   if (n == nullptr || n->alive) return false;
   n->alive = true;
-  n->busy_until = queue_.now_us();
+  std::fill(n->busy.begin(), n->busy.end(), queue_.now_us());
   n->svc->start(*n->rt);
   return true;
 }
@@ -152,12 +155,34 @@ uint64_t SimFabric::proc_cost(const Node& n, const Message& m) const {
   return cost;
 }
 
-void SimFabric::transmit(Node& src, const Addr& dst_addr,
+int SimFabric::core_of(const Node& n, const Message& m) const {
+  const int cores = static_cast<int>(n.busy.size());
+  if (cores <= 1) return 0;
+  // Sharded services spread over the cores with the same shard -> core
+  // placement the TCP runtime uses for reactors; everything else serializes
+  // on core 0 (the "home reactor").
+  const int shards = n.svc->shards();
+  if (shards <= 1) return 0;
+  return n.svc->shard_of(m) % cores;
+}
+
+void SimFabric::dispatch_to_service(Node& n, const Addr& from, Message msg,
+                                    Replier reply) {
+  if (n.svc->shards() > 1) {
+    n.svc->handle_shard(n.svc->shard_of(msg), from, std::move(msg),
+                        std::move(reply));
+  } else {
+    n.svc->handle(from, std::move(msg), std::move(reply));
+  }
+}
+
+void SimFabric::transmit(Node& src, int src_core, const Addr& dst_addr,
                          std::function<void(Node&)> deliver) {
-  // Sender-side transport cost consumes sender capacity.
+  // Sender-side transport cost consumes sender capacity on the sending core.
   if (!src.opts.is_client) {
     const uint64_t t = queue_.now_us();
-    src.busy_until = std::max(src.busy_until, t) + opts_.transport.per_msg_us;
+    uint64_t& busy = src.busy[static_cast<size_t>(src_core) % src.busy.size()];
+    busy = std::max(busy, t) + opts_.transport.per_msg_us;
   }
   if (severed(src.addr, dst_addr)) return;
   uint64_t fault_delay = 0;
@@ -240,32 +265,38 @@ void SimFabric::SimRuntime::call(const Addr& dst, Message req, RpcCallback cb,
   });
   fab_->pending_[rpc_id] = std::move(pending);
 
-  fab_->transmit(*node_, dst, [fab = fab_, rpc_id, from = addr_,
-                               req = std::move(req)](Node& dst_node) mutable {
+  fab_->transmit(*node_, fab_->core_of(*node_, req), dst,
+                 [fab = fab_, rpc_id, from = addr_,
+                  req = std::move(req)](Node& dst_node) mutable {
     // Unconstrained (client-model) nodes process immediately with no
-    // capacity serialization; servers queue behind their busy time.
+    // capacity serialization; servers queue behind the busy time of the
+    // core that owns the message's shard.
     const uint64_t t = fab->queue_.now_us();
     uint64_t done = t;
+    const int core = fab->core_of(dst_node, req);
     if (!dst_node.opts.is_client) {
-      const uint64_t start = std::max(t, dst_node.busy_until);
-      fab->record_queue_wait(dst_node, req, t, start);
+      uint64_t& busy = dst_node.busy[static_cast<size_t>(core)];
+      const uint64_t start = std::max(t, busy);
+      fab->record_queue_wait(dst_node, req, t, start, core);
       done = start + fab->opts_.transport.per_msg_us +
              fab->proc_cost(dst_node, req);
-      dst_node.busy_until = done;
+      busy = done;
     }
-    fab->queue_.schedule_at(done, [fab, rpc_id, from, req = std::move(req),
+    fab->queue_.schedule_at(done, [fab, rpc_id, from, core,
+                                   req = std::move(req),
                                    dst_addr = dst_node.addr]() mutable {
       Node* dn = fab->find(dst_addr);
       if (dn == nullptr || !dn->alive) return;
       // Build the replier: routes the response back to the requester and
-      // completes the pending RPC.
-      Replier reply = [fab, rpc_id, dst_addr](Message resp) {
+      // completes the pending RPC. The reply's transport cost lands on the
+      // core that served the request.
+      Replier reply = [fab, rpc_id, dst_addr, core](Message resp) {
         Node* responder = fab->find(dst_addr);
         if (responder == nullptr || !responder->alive) return;
         auto it = fab->pending_.find(rpc_id);
         if (it == fab->pending_.end()) return;  // already timed out
         const Addr requester = it->second->requester;
-        fab->transmit(*responder, requester,
+        fab->transmit(*responder, core, requester,
                       [fab, rpc_id, resp = std::move(resp)](Node& rq) mutable {
           auto pit = fab->pending_.find(rpc_id);
           if (pit == fab->pending_.end()) return;
@@ -275,42 +306,56 @@ void SimFabric::SimRuntime::call(const Addr& dst, Message req, RpcCallback cb,
           // Receiving the reply consumes requester capacity too.
           const uint64_t t2 = fab->queue_.now_us();
           if (!rq.opts.is_client) {
-            rq.busy_until = std::max(rq.busy_until, t2) +
-                            fab->opts_.transport.per_msg_us;
+            uint64_t& busy = rq.busy[static_cast<size_t>(
+                fab->core_of(rq, resp))];
+            busy = std::max(busy, t2) + fab->opts_.transport.per_msg_us;
           }
           cb(Status::Ok(), std::move(resp));
         });
       };
-      if (obs::handle_admin(*dn->rt, req, reply)) return;
+      obs::set_reactor_tag(static_cast<uint32_t>(core));
+      if (obs::handle_admin(*dn->rt, req, reply)) {
+        obs::set_reactor_tag(0);
+        return;
+      }
       obs::DispatchSpan span(*dn->rt, req);
       reply = span.wrap(std::move(reply));
-      dn->svc->handle(from, std::move(req), std::move(reply));
+      dispatch_to_service(*dn, from, std::move(req), std::move(reply));
+      obs::set_reactor_tag(0);
     });
   });
 }
 
 void SimFabric::SimRuntime::send(const Addr& dst, Message msg) {
   obs::stamp_outgoing(*this, msg);
-  fab_->transmit(*node_, dst, [fab = fab_, from = addr_,
-                               msg = std::move(msg)](Node& dst_node) mutable {
+  fab_->transmit(*node_, fab_->core_of(*node_, msg), dst,
+                 [fab = fab_, from = addr_,
+                  msg = std::move(msg)](Node& dst_node) mutable {
     const uint64_t t = fab->queue_.now_us();
     uint64_t done = t;
+    const int core = fab->core_of(dst_node, msg);
     if (!dst_node.opts.is_client) {
-      const uint64_t start = std::max(t, dst_node.busy_until);
-      fab->record_queue_wait(dst_node, msg, t, start);
+      uint64_t& busy = dst_node.busy[static_cast<size_t>(core)];
+      const uint64_t start = std::max(t, busy);
+      fab->record_queue_wait(dst_node, msg, t, start, core);
       done = start + fab->opts_.transport.per_msg_us +
              fab->proc_cost(dst_node, msg);
-      dst_node.busy_until = done;
+      busy = done;
     }
-    fab->queue_.schedule_at(done, [fab, from, msg = std::move(msg),
+    fab->queue_.schedule_at(done, [fab, from, core, msg = std::move(msg),
                                    dst_addr = dst_node.addr]() mutable {
       Node* dn = fab->find(dst_addr);
       if (dn == nullptr || !dn->alive) return;
       Replier reply = [](Message) {};
-      if (obs::handle_admin(*dn->rt, msg, reply)) return;
+      obs::set_reactor_tag(static_cast<uint32_t>(core));
+      if (obs::handle_admin(*dn->rt, msg, reply)) {
+        obs::set_reactor_tag(0);
+        return;
+      }
       obs::DispatchSpan span(*dn->rt, msg);
       reply = span.wrap(std::move(reply));
-      dn->svc->handle(from, std::move(msg), std::move(reply));
+      dispatch_to_service(*dn, from, std::move(msg), std::move(reply));
+      obs::set_reactor_tag(0);
     });
   });
 }
@@ -319,7 +364,8 @@ void SimFabric::SimRuntime::send(const Addr& dst, Message msg) {
 // when a traced message arrives at a busy server, the wait between arrival
 // and processing start becomes a "fabric.queue" span on the receiving node.
 void SimFabric::record_queue_wait(Node& dst, const Message& m,
-                                  uint64_t arrival_us, uint64_t start_us) {
+                                  uint64_t arrival_us, uint64_t start_us,
+                                  int core) {
   if (!m.trace.valid() || start_us <= arrival_us || dst.rt == nullptr) return;
   obs::Tracer& tracer = dst.rt->obs().tracer();
   obs::Span s;
@@ -331,6 +377,7 @@ void SimFabric::record_queue_wait(Node& dst, const Message& m,
   s.start_us = arrival_us;
   s.end_us = start_us;
   s.hop = m.trace.hop;
+  s.reactor = static_cast<uint32_t>(core);
   tracer.record(std::move(s));
 }
 

@@ -47,6 +47,14 @@ struct SimNodeOpts {
   bool is_client = false;
   // Optional override: full control over per-message processing cost.
   std::function<uint64_t(const Message&)> service_cost_fn;
+  // Per-core service model, mirroring TcpFabric's reactor count: the node
+  // becomes `cores` independent single-server queues. Messages for a sharded
+  // service (Service::shards() > 1) occupy the core owning their shard
+  // (shard % cores — the same placement the TCP runtime uses for reactors);
+  // everything else serializes on core 0, exactly like the home reactor of a
+  // non-sharded TCP node. Throughput then saturates at cores/service_time
+  // for shardable load and 1/service_time otherwise.
+  int cores = 1;
 };
 
 struct SimFabricOpts {
@@ -97,13 +105,20 @@ class SimFabric : public Fabric {
   bool severed(const Addr& a, const Addr& b) const;
   // Emits a "fabric.queue" span when a traced message waits for capacity.
   void record_queue_wait(Node& dst, const Message& m, uint64_t arrival_us,
-                         uint64_t start_us);
+                         uint64_t start_us, int core);
   uint64_t proc_cost(const Node& n, const Message& m) const;
   uint64_t msg_bytes(const Message& m) const;
+  // Which of the node's cores serves this message (see SimNodeOpts::cores).
+  int core_of(const Node& n, const Message& m) const;
+  // Runs the service handler, routing through handle_shard for sharded
+  // services (mirrors the TCP reactors' shard dispatch).
+  static void dispatch_to_service(Node& n, const Addr& from, Message msg,
+                                  Replier reply);
 
   // Sender-side bookkeeping + schedules delivery; returns false if the
   // destination is unreachable (caller decides whether a timeout handles it).
-  void transmit(Node& src, const Addr& dst_addr,
+  // `src_core` is the sender core charged the transport cost.
+  void transmit(Node& src, int src_core, const Addr& dst_addr,
                 std::function<void(Node&)> deliver);
 
   SimFabricOpts opts_;

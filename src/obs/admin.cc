@@ -46,6 +46,7 @@ DispatchSpan::DispatchSpan(Runtime& rt, const Message& req) {
   st_->span.node = rt.self();
   st_->span.start_us = rt.now_us();
   st_->span.hop = req.trace.hop;
+  st_->span.reactor = reactor_tag();
   tracer.set_current(TraceContext{req.trace.trace_id, st_->span.span_id,
                                   req.trace.hop});
 }
@@ -87,6 +88,7 @@ void record_stage(Runtime& rt, const TraceContext& ctx, const char* name,
   s.start_us = start_us;
   s.end_us = rt.now_us();
   s.hop = ctx.hop;
+  s.reactor = reactor_tag();
   tracer.record(std::move(s));
 }
 

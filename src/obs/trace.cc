@@ -11,6 +11,8 @@ namespace bespokv::obs {
 
 namespace {
 std::atomic<bool> g_tracing{false};
+thread_local TraceContext t_current{};
+thread_local uint32_t t_reactor = 0;
 
 bool parse_u64_tok(std::string_view text, size_t* pos, uint64_t* out) {
   while (*pos < text.size() && text[*pos] == ' ') ++*pos;
@@ -35,6 +37,12 @@ bool parse_word(std::string_view text, size_t* pos, std::string* out) {
 void set_tracing(bool on) { g_tracing.store(on, std::memory_order_relaxed); }
 bool tracing_enabled() { return g_tracing.load(std::memory_order_relaxed); }
 
+void set_reactor_tag(uint32_t idx) { t_reactor = idx; }
+uint32_t reactor_tag() { return t_reactor; }
+
+const TraceContext& Tracer::current() const { return t_current; }
+void Tracer::set_current(const TraceContext& ctx) { t_current = ctx; }
+
 std::string Span::encode() const {
   char buf[160];
   std::snprintf(buf, sizeof(buf),
@@ -45,6 +53,8 @@ std::string Span::encode() const {
   out += name;
   out += ' ';
   out += node;
+  out += ' ';
+  out += std::to_string(reactor);
   return out;
 }
 
@@ -62,6 +72,11 @@ bool Span::decode(std::string_view text, Span* out) {
     return false;
   }
   s.hop = static_cast<uint8_t>(hop);
+  // Trailing reactor tag: absent in pre-reactor dumps, defaults to 0.
+  uint64_t reactor = 0;
+  if (parse_u64_tok(text, &pos, &reactor)) {
+    s.reactor = static_cast<uint32_t>(reactor);
+  }
   *out = s;
   return true;
 }
@@ -72,7 +87,8 @@ Tracer::Tracer(std::string node)
 uint64_t Tracer::new_span_id() {
   // splitmix-style stream over a node-unique salt: unique per node, cheap,
   // and deterministic under the sim (no wall-clock or global RNG involved).
-  uint64_t id = mix64(salt_ + (++seq_) * 0x9e3779b97f4a7c15ULL);
+  uint64_t id = mix64(salt_ + (seq_.fetch_add(1, std::memory_order_relaxed) + 1) *
+                                  0x9e3779b97f4a7c15ULL);
   return id ? id : 1;
 }
 

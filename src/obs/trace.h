@@ -13,6 +13,7 @@
 // invalid context and cost one branch per hop.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <mutex>
@@ -33,12 +34,22 @@ struct Span {
   uint64_t start_us = 0;        // fabric-clock timestamps
   uint64_t end_us = 0;
   uint8_t hop = 0;
+  // Which reactor (TCP) / service core (sim) of the node handled the work.
+  // 0 on single-threaded fabrics and for externally-emitted spans.
+  uint32_t reactor = 0;
 
   // Space-separated wire form for kTraceDump (addresses and stage names
-  // never contain spaces).
+  // never contain spaces). The reactor tag is a trailing token; decode
+  // accepts its absence, so pre-reactor span dumps still parse.
   std::string encode() const;
   static bool decode(std::string_view text, Span* out);
 };
+
+// The reactor/core index the calling thread is currently executing for.
+// Set by the sharded fabrics around delivery; 0 everywhere else. Spans
+// emitted during a dispatch pick this up as their `reactor` tag.
+void set_reactor_tag(uint32_t idx);
+uint32_t reactor_tag();
 
 // Process-wide tracing switch, read by clients when deciding whether to open
 // a root span. Off by default so the data path pays only dead branches.
@@ -54,12 +65,15 @@ class Tracer {
   uint64_t new_trace_id();
   uint64_t new_span_id();
 
-  // The context of the request currently being handled on this node's
-  // thread. Installed by the fabric around Service::handle; outgoing
-  // call/send stamp child contexts from it. Thread-compatible by the
-  // runtime's single-threaded-node contract.
-  const TraceContext& current() const { return current_; }
-  void set_current(const TraceContext& ctx) { current_ = ctx; }
+  // The context of the request currently being handled on the *calling
+  // thread*. Installed by the fabric around Service::handle; outgoing
+  // call/send stamp child contexts from it. Storage is thread-local (not a
+  // member): install/restore scopes are synchronous within one dispatch, so
+  // one slot per thread is equivalent on the single-threaded fabrics, and on
+  // the multi-reactor TCP fabric it keeps concurrent dispatches on different
+  // reactors of the same node from racing on a shared member.
+  const TraceContext& current() const;
+  void set_current(const TraceContext& ctx);
 
   void record(Span s);
 
@@ -73,8 +87,8 @@ class Tracer {
  private:
   std::string node_;
   uint64_t salt_;
-  uint64_t seq_ = 0;
-  TraceContext current_{};
+  // Atomic: span ids are minted from every reactor thread of a node.
+  std::atomic<uint64_t> seq_{0};
 
   // The ring is written on the node thread but dumped/cleared from tests and
   // admin paths; a plain mutex keeps that safe and is uncontended in steady

@@ -238,6 +238,7 @@ RunResult run_scenario(const Scenario& sc) {
   // Crash scenarios need a promotable spare, and failover detection fast
   // enough that client retries ride it out.
   copts.num_standby = sc.faults.nodes.empty() ? 0 : 1;
+  copts.sim_node.cores = sc.cores;
   copts.coordinator.hb_period_us = 100'000;
   copts.controlet.hb_period_us = 50'000;
   Cluster cluster(sim, copts);

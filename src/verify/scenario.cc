@@ -30,6 +30,7 @@ Json Scenario::to_json() const {
   j.set("shards", Json::number(shards));
   j.set("replicas", Json::number(replicas));
   j.set("datalet_kind", Json::string(datalet_kind));
+  if (cores != 1) j.set("cores", Json::number(cores));
   j.set("clients", Json::number(clients));
   j.set("ops_per_client", Json::number(ops_per_client));
   j.set("workload", workload.to_json());
@@ -65,9 +66,11 @@ Result<Scenario> Scenario::from_json(const Json& j) {
   s.shards = int(j.get("shards").as_number(s.shards));
   s.replicas = int(j.get("replicas").as_number(s.replicas));
   s.datalet_kind = j.get("datalet_kind").as_string(s.datalet_kind);
+  s.cores = int(j.get("cores").as_number(s.cores));
   s.clients = int(j.get("clients").as_number(s.clients));
   s.ops_per_client = int(j.get("ops_per_client").as_number(s.ops_per_client));
-  if (s.shards < 1 || s.replicas < 1 || s.clients < 1 || s.ops_per_client < 0) {
+  if (s.shards < 1 || s.replicas < 1 || s.clients < 1 || s.ops_per_client < 0 ||
+      s.cores < 1) {
     return Status::Invalid("scenario: shape fields must be positive");
   }
   if (j.get("workload").is_object()) {

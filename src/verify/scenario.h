@@ -45,6 +45,13 @@ struct Scenario {
   // ordered engine (tHT has no range support).
   std::string datalet_kind = "tMT";
 
+  // Per-node service cores for the sim's multi-server queueing model
+  // (SimNodeOpts::cores). Affects timing only — never drawn by random(), so
+  // pinned regression seeds keep their exact RNG streams; sweeps set it
+  // explicitly (verify_driver --cores) to check invariants hold under the
+  // per-core service model.
+  int cores = 1;
+
   int clients = 4;
   int ops_per_client = 25;
   WorkloadSpec workload;

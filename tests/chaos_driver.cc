@@ -39,6 +39,8 @@ struct Args {
   uint64_t seed = 1;
   std::string out = ".";
   int ops = 120;
+  int reactors = 0;  // --fabric=tcp: reactor threads per node (0 = default)
+  int cores = 1;     // --fabric=sim: per-node service cores
   std::string faultplan;  // replay a dumped FaultPlan instead of deriving one
 };
 
@@ -53,6 +55,14 @@ bool parse_args(int argc, char** argv, Args* a) {
       a->out = arg.substr(6);
     } else if (arg.rfind("--ops=", 0) == 0) {
       a->ops = std::atoi(arg.c_str() + 6);
+    } else if (arg.rfind("--reactors=", 0) == 0) {
+      a->reactors = std::atoi(arg.c_str() + 11);
+    } else if (arg.rfind("--cores=", 0) == 0) {
+      a->cores = std::atoi(arg.c_str() + 8);
+      if (a->cores < 1) {
+        std::fprintf(stderr, "--cores must be >= 1\n");
+        return false;
+      }
     } else if (arg.rfind("--faultplan=", 0) == 0) {
       a->faultplan = arg.substr(12);
     } else {
@@ -185,7 +195,9 @@ int run_workload(const Args& args, SyncKv& kv, const std::function<void()>& sett
 int run_sim(const Args& args) {
   SimFabricOpts fopts;
   fopts.seed = args.seed;
-  testing::SimEnv env(chaos_cluster(), fopts);
+  ClusterOptions copts = chaos_cluster();
+  copts.sim_node.cores = args.cores;
+  testing::SimEnv env(copts, fopts);
   auto plan_r = resolve_plan(args, env.cluster.controlet_addr(0, 0));
   if (!plan_r.ok()) {
     std::fprintf(stderr, "chaos_driver: bad --faultplan: %s\n",
@@ -249,12 +261,15 @@ int main(int argc, char** argv) {
   if (!bespokv::parse_args(argc, argv, &args)) {
     std::fprintf(stderr,
                  "usage: chaos_driver --fabric=sim|thread|tcp --seed=N "
-                 "[--out=DIR] [--ops=K] [--faultplan=FILE]\n");
+                 "[--out=DIR] [--ops=K] [--faultplan=FILE] "
+                 "[--reactors=N] [--cores=N]\n");
     return 2;
   }
-  std::fprintf(stderr, "chaos_driver: fabric=%s seed=%llu ops=%d\n",
+  std::fprintf(stderr, "chaos_driver: fabric=%s seed=%llu ops=%d reactors=%d "
+               "cores=%d\n",
                args.fabric.c_str(),
-               static_cast<unsigned long long>(args.seed), args.ops);
+               static_cast<unsigned long long>(args.seed), args.ops,
+               args.reactors, args.cores);
   int rc = 0;
   if (args.fabric == "sim") {
     rc = bespokv::run_sim(args);
@@ -262,7 +277,9 @@ int main(int argc, char** argv) {
     bespokv::ThreadFabric fab;
     rc = bespokv::run_real(args, fab);
   } else {
-    bespokv::TcpFabric fab;
+    bespokv::TcpFabricOpts topts;
+    topts.reactors = args.reactors;
+    bespokv::TcpFabric fab(topts);
     rc = bespokv::run_real(args, fab);
   }
   std::fprintf(stderr, "chaos_driver: %s\n", rc == 0 ? "PASS" : "FAIL");

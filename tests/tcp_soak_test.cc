@@ -1,0 +1,227 @@
+// TCP soak (labeled "slow"): thousands of concurrent raw-socket clients held
+// open against one multi-reactor node while the fault injector drops, delays
+// and duplicates replies. Every client issues tokened PUTs and retries on
+// timeout; the invariant is the chaos suite's — zero lost acked ops: every
+// op is eventually acked exactly once (the per-shard dedup window absorbs
+// retransmits) and every acked value reads back.
+//
+// The connection count targets 10k+ but is clamped to what RLIMIT_NOFILE
+// allows (client fd + accepted fd both live in this process).
+#include <gtest/gtest.h>
+
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <arpa/inet.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/datalet/sharded_service.h"
+#include "src/net/envelope.h"
+#include "src/net/fault.h"
+#include "src/net/tcp_fabric.h"
+
+namespace bespokv {
+namespace {
+
+uint64_t now_ms() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now().time_since_epoch()).count());
+}
+
+// One raw framed-TCP client connection driving a single tokened PUT at a
+// time, with its own reassembly buffer and retransmit state.
+struct SoakConn {
+  int fd = -1;
+  int id = 0;
+  std::string rbuf;
+  bool acked = false;
+  uint64_t last_send_ms = 0;
+  int sends = 0;
+};
+
+int dial(const sockaddr_in& sa) {
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    close(fd);
+    return -1;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool send_all(int fd, const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += size_t(n);
+  }
+  return true;
+}
+
+std::string frame_put(const SoakConn& c) {
+  Envelope env;
+  env.rpc_id = uint64_t(c.id) + 1;
+  env.kind = EnvelopeKind::kRequest;
+  env.from = "soak/c" + std::to_string(c.id);
+  env.msg = Message::put("soak-k" + std::to_string(c.id),
+                         "soak-v" + std::to_string(c.id));
+  env.msg.token = uint64_t(c.id) + 1;  // retries reuse the token
+  std::string out;
+  encode_envelope(env, &out);
+  return out;
+}
+
+// How many connections the fd budget allows: each costs two fds in this
+// process (client end + accepted end), plus slack for reactors, gtest, etc.
+size_t clamp_conns(size_t want) {
+  rlimit rl{};
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return 1024;
+  if (rl.rlim_cur < rl.rlim_max) {
+    rl.rlim_cur = rl.rlim_max;
+    setrlimit(RLIMIT_NOFILE, &rl);
+    getrlimit(RLIMIT_NOFILE, &rl);
+  }
+  const size_t budget = rl.rlim_cur > 2048 ? (size_t(rl.rlim_cur) - 2048) / 2
+                                           : 256;
+  return std::min(want, budget);
+}
+
+TEST(TcpSoakTest, TenThousandConnectionsSurviveFaults) {
+  const size_t kWantConns = 10'000;
+  const size_t n_conns = clamp_conns(kWantConns);
+  std::fprintf(stderr, "soak: driving %zu concurrent connections\n", n_conns);
+
+  TcpFabricOpts opts;
+  opts.reactors = 4;
+  TcpFabric fab(opts);
+  const int port = TcpFabric::pick_port();
+  const Addr addr = "127.0.0.1:" + std::to_string(port);
+  fab.add_node(addr, std::make_shared<ShardedDataletService>("tHT", 4));
+
+  // Reply-path chaos: drops force client retries (absorbed by the dedup
+  // window), duplicates exercise rpc-id matching, delays pile up queues.
+  FaultPlan plan;
+  plan.seed = 42;
+  LinkFault noise;
+  noise.drop = 0.01;
+  noise.duplicate = 0.03;
+  noise.delay_us = 200;
+  noise.jitter_us = 2'000;
+  noise.until_us = 30'000'000;
+  plan.links.push_back(noise);
+  fab.set_fault_injector(std::make_shared<FaultInjector>(plan));
+
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(uint16_t(port));
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &sa.sin_addr), 1);
+
+  // Phase 1: hold n_conns concurrent connections. Connect failures under fd
+  // or backlog pressure shrink the fleet rather than failing the test — the
+  // invariant below is about the connections we did open.
+  std::vector<std::unique_ptr<SoakConn>> conns;
+  conns.reserve(n_conns);
+  for (size_t i = 0; i < n_conns; ++i) {
+    int fd = dial(sa);
+    if (fd < 0) {
+      std::fprintf(stderr, "soak: connect #%zu failed (%s); capping fleet\n",
+                   i, std::strerror(errno));
+      break;
+    }
+    auto c = std::make_unique<SoakConn>();
+    c->fd = fd;
+    c->id = int(i);
+    conns.push_back(std::move(c));
+  }
+  ASSERT_GE(conns.size(), 512u) << "could not hold a meaningful fleet";
+
+  // Phase 2: every connection sends one tokened PUT, then a poll loop
+  // collects acks and retransmits anything unacked for 3s (lost replies).
+  for (auto& c : conns) {
+    ASSERT_TRUE(send_all(c->fd, frame_put(*c))) << "conn " << c->id;
+    c->last_send_ms = now_ms();
+    c->sends = 1;
+  }
+
+  std::vector<pollfd> pfds(conns.size());
+  size_t acked = 0;
+  uint64_t total_retries = 0;
+  const uint64_t deadline_ms = now_ms() + 120'000;
+  while (acked < conns.size() && now_ms() < deadline_ms) {
+    for (size_t i = 0; i < conns.size(); ++i) {
+      pfds[i].fd = conns[i]->acked ? -1 : conns[i]->fd;  // -1: ignored
+      pfds[i].events = POLLIN;
+      pfds[i].revents = 0;
+    }
+    int nready = poll(pfds.data(), nfds_t(pfds.size()), 250);
+    if (nready < 0 && errno != EINTR) FAIL() << std::strerror(errno);
+
+    const uint64_t t = now_ms();
+    for (size_t i = 0; i < conns.size(); ++i) {
+      SoakConn& c = *conns[i];
+      if (c.acked) continue;
+      if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+        char buf[4096];
+        ssize_t n;
+        while ((n = recv(c.fd, buf, sizeof(buf), MSG_DONTWAIT)) > 0) {
+          c.rbuf.append(buf, size_t(n));
+        }
+        ASSERT_FALSE(n == 0) << "server closed conn " << c.id;
+        Envelope env;
+        size_t consumed = 0;
+        while (decode_envelope(c.rbuf, &env, &consumed).ok() && consumed > 0) {
+          c.rbuf.erase(0, consumed);
+          consumed = 0;
+          // Duplicated replies re-carry the same rpc_id; count the ack once.
+          if (env.rpc_id == uint64_t(c.id) + 1 && !c.acked) {
+            ASSERT_EQ(env.msg.code, Code::kOk) << "conn " << c.id;
+            c.acked = true;
+            ++acked;
+          }
+        }
+      }
+      // Retransmit: the reply (or the request's ack processing) was dropped.
+      if (!c.acked && t - c.last_send_ms > 3'000) {
+        ASSERT_TRUE(send_all(c.fd, frame_put(c))) << "conn " << c.id;
+        c.last_send_ms = t;
+        ++c.sends;
+        ++total_retries;
+      }
+    }
+  }
+  std::fprintf(stderr, "soak: %zu/%zu acked, %llu retransmits\n", acked,
+               conns.size(), static_cast<unsigned long long>(total_retries));
+  EXPECT_EQ(acked, conns.size()) << "lost acked ops";
+
+  // Phase 3: every acked write reads back its value — retransmits must have
+  // applied exactly once and nothing was lost in the fault window.
+  fab.set_fault_injector(nullptr);
+  const size_t stride = std::max<size_t>(1, conns.size() / 1'000);
+  for (size_t i = 0; i < conns.size(); i += stride) {
+    auto r = fab.call_sync(addr, Message::get("soak-k" + std::to_string(i)),
+                           5'000'000);
+    ASSERT_TRUE(r.ok()) << i << ": " << r.status().to_string();
+    EXPECT_EQ(r.value().value, "soak-v" + std::to_string(i)) << i;
+  }
+
+  for (auto& c : conns) close(c->fd);
+}
+
+}  // namespace
+}  // namespace bespokv

@@ -43,6 +43,7 @@ struct Args {
   std::string scenario_file;
   std::string bug = "none";
   double bug_rate = 0.5;
+  int cores = 0;  // >0 overrides Scenario::cores (per-node sim service cores)
   bool shrink = true;
   bool partitions = false;   // draw a network partition into the scenario
   bool split_brain = false;  // run the scripted ISSUE 5 acceptance scenario
@@ -64,6 +65,12 @@ bool parse_args(int argc, char** argv, Args* a) {
       a->bug = arg.substr(6);
     } else if (arg.rfind("--bug-rate=", 0) == 0) {
       a->bug_rate = std::atof(arg.c_str() + 11);
+    } else if (arg.rfind("--cores=", 0) == 0) {
+      a->cores = std::atoi(arg.c_str() + 8);
+      if (a->cores < 1) {
+        std::fprintf(stderr, "--cores must be >= 1\n");
+        return false;
+      }
     } else if (arg == "--no-shrink") {
       a->shrink = false;
     } else if (arg == "--partitions") {
@@ -114,7 +121,7 @@ int main(int argc, char** argv) {
                  "usage: verify_driver --config=ms_sc|ms_ec|aa_sc|aa_ec "
                  "--seed=N [--out=DIR] [--scenario=FILE] "
                  "[--bug=stale-read-cache --bug-rate=R] [--no-shrink] "
-                 "[--partitions] [--split-brain] [--no-fencing]\n");
+                 "[--partitions] [--split-brain] [--no-fencing] [--cores=N]\n");
     return 2;
   }
 
@@ -145,12 +152,13 @@ int main(int argc, char** argv) {
     if (sc.bug != BugKind::kNone) sc.bug_rate = args.bug_rate;
   }
   if (args.no_fencing) sc.disable_fencing = true;
+  if (args.cores > 0) sc.cores = args.cores;
   std::fprintf(stderr,
                "verify_driver: config=%s seed=%llu clients=%d ops=%d "
-               "transitions=%zu partitions=%zu bug=%s%s\n",
+               "cores=%d transitions=%zu partitions=%zu bug=%s%s\n",
                args.config.c_str(),
                static_cast<unsigned long long>(sc.seed), sc.clients,
-               sc.ops_per_client, sc.transitions.size(),
+               sc.ops_per_client, sc.cores, sc.transitions.size(),
                sc.faults.partitions.size(), bug_name(sc.bug),
                sc.disable_fencing ? " FENCING-DISABLED" : "");
 

@@ -1,0 +1,216 @@
+// Durability microbench (ISSUE 7): the two costs a deployer trades when
+// picking a WAL config.
+//
+//  1. fsync policy vs write throughput, on real disk (posix Env): kAlways
+//     pays one fdatasync per mutation, group commit amortizes one sync over
+//     group_batch mutations, kOs never syncs (the upper bound). The headline
+//     gate: group commit at batch >= 8 must clear 5x fsync-always — the
+//     whole point of the policy knob (Redis' appendfsync trichotomy).
+//
+//  2. recovery time vs WAL size: with checkpoints off, restart cost grows
+//     linearly with the log; a checkpoint threshold caps it. Measured by
+//     timing crash_restart() (engine wipe + checkpoint load + WAL replay)
+//     over logs of increasing length.
+//
+// Usage: bench_recovery [--json] [--quick]
+//   --json writes machine-readable rows (the committed BENCH_recovery.json
+//   baseline); --quick shrinks op counts for smoke runs.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/datalet/datalet.h"
+#include "src/storage/durable.h"
+#include "src/storage/env.h"
+
+namespace bespokv::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secs_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::string fresh_dir(const std::string& tag) {
+  const std::string dir = "/tmp/bkv_bench_recovery/" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::unique_ptr<storage::DurableDatalet> make_engine(
+    const std::string& dir, storage::FsyncPolicy policy, uint32_t batch,
+    uint64_t checkpoint_bytes) {
+  storage::DurabilityOpts opts;
+  opts.env = storage::posix_env();
+  opts.dir = dir;
+  opts.policy = policy;
+  opts.group_batch = batch;
+  opts.checkpoint_bytes = checkpoint_bytes;
+  return std::make_unique<storage::DurableDatalet>(make_datalet("tHT"), opts);
+}
+
+// ------------------------- fsync policy throughput ---------------------------
+
+struct PolicyPoint {
+  std::string policy;
+  uint32_t batch = 0;
+  uint64_t ops = 0;
+  double ops_per_sec = 0;
+  uint64_t syncs = 0;
+};
+
+PolicyPoint run_policy(const char* name, storage::FsyncPolicy policy,
+                       uint32_t batch, uint64_t ops) {
+  auto d = make_engine(fresh_dir(std::string("policy-") + name), policy, batch,
+                       /*checkpoint_bytes=*/0);
+  const std::string value(64, 'v');
+  const auto t0 = Clock::now();
+  for (uint64_t i = 0; i < ops; ++i) {
+    d->put("key" + std::to_string(i % 512), value, i + 1);
+  }
+  const double el = secs_since(t0);
+  PolicyPoint p;
+  p.policy = name;
+  p.batch = batch;
+  p.ops = ops;
+  p.ops_per_sec = double(ops) / el;
+  p.syncs = d->wal() ? d->wal()->stats().syncs : 0;
+  return p;
+}
+
+// ------------------------ recovery time vs WAL size --------------------------
+
+struct RecoveryPoint {
+  uint64_t records = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t checkpoint_bytes = 0;  // threshold (0 = checkpoints off)
+  double recovery_ms = 0;
+  uint64_t replayed = 0;
+  bool had_checkpoint = false;
+};
+
+RecoveryPoint run_recovery(uint64_t records, uint64_t checkpoint_bytes) {
+  const std::string tag = "recov-" + std::to_string(records) + "-" +
+                          std::to_string(checkpoint_bytes);
+  // kOs for the fill: we are measuring replay cost, not fill fsyncs (the
+  // replay path does not care how the bytes got durable).
+  auto d = make_engine(fresh_dir(tag), storage::FsyncPolicy::kOs, 8,
+                       checkpoint_bytes);
+  const std::string value(64, 'v');
+  for (uint64_t i = 0; i < records; ++i) {
+    d->put("key" + std::to_string(i % 4096), value, i + 1);
+  }
+  RecoveryPoint p;
+  p.records = records;
+  p.checkpoint_bytes = checkpoint_bytes;
+  p.wal_bytes = d->wal_bytes();
+  const auto t0 = Clock::now();
+  d->crash_restart();
+  p.recovery_ms = secs_since(t0) * 1e3;
+  p.replayed = d->last_recovery().wal_records;
+  p.had_checkpoint = d->last_recovery().had_checkpoint;
+  return p;
+}
+
+}  // namespace
+}  // namespace bespokv::bench
+
+int main(int argc, char** argv) {
+  using namespace bespokv;
+  using namespace bespokv::bench;
+  bool json = false;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: bench_recovery [--json] [--quick]\n");
+      return 2;
+    }
+  }
+
+  const uint64_t policy_ops = quick ? 500 : 5'000;
+  std::vector<PolicyPoint> policies;
+  policies.push_back(
+      run_policy("always", storage::FsyncPolicy::kAlways, 1, policy_ops));
+  policies.push_back(run_policy("groupcommit", storage::FsyncPolicy::kGroupCommit,
+                                8, policy_ops));
+  policies.push_back(run_policy("groupcommit", storage::FsyncPolicy::kGroupCommit,
+                                32, policy_ops));
+  policies.push_back(
+      run_policy("os", storage::FsyncPolicy::kOs, 0, policy_ops));
+  const double speedup = policies[1].ops_per_sec / policies[0].ops_per_sec;
+
+  std::vector<RecoveryPoint> recov;
+  for (uint64_t n : quick ? std::vector<uint64_t>{1'000, 5'000}
+                          : std::vector<uint64_t>{1'000, 10'000, 50'000,
+                                                  100'000}) {
+    recov.push_back(run_recovery(n, /*checkpoint_bytes=*/0));
+  }
+  // Same largest fill with auto-checkpointing: replay stays bounded by the
+  // threshold, not the history length.
+  recov.push_back(
+      run_recovery(quick ? 5'000 : 100'000, /*checkpoint_bytes=*/256 * 1024));
+
+  std::fprintf(stderr, "# fsync policy        batch     ops/s     syncs\n");
+  for (const PolicyPoint& p : policies) {
+    std::fprintf(stderr, "%-20s %6u %9.0f %9llu\n", p.policy.c_str(), p.batch,
+                 p.ops_per_sec, (unsigned long long)p.syncs);
+  }
+  std::fprintf(stderr,
+               "# groupcommit(8) vs always: %.1fx  (gate: >= 5x)  %s\n",
+               speedup, speedup >= 5.0 ? "PASS" : "FAIL");
+  std::fprintf(stderr, "# records   wal_bytes  ckpt_thresh  recovery_ms  replayed\n");
+  for (const RecoveryPoint& p : recov) {
+    std::fprintf(stderr, "%8llu %11llu %12llu %12.2f %9llu%s\n",
+                 (unsigned long long)p.records,
+                 (unsigned long long)p.wal_bytes,
+                 (unsigned long long)p.checkpoint_bytes, p.recovery_ms,
+                 (unsigned long long)p.replayed,
+                 p.had_checkpoint ? "  (from checkpoint)" : "");
+  }
+
+  if (json) {
+    Json j = Json::object();
+    j.set("bench", Json::string("recovery"));
+    j.set("policy_ops", Json::number(double(policy_ops)));
+    j.set("group8_vs_always_speedup", Json::number(speedup));
+    j.set("gate_group8_ge_5x", Json::boolean(speedup >= 5.0));
+    Json parr = Json::array();
+    for (const PolicyPoint& p : policies) {
+      Json pj = Json::object();
+      pj.set("policy", Json::string(p.policy));
+      pj.set("batch", Json::number(double(p.batch)));
+      pj.set("ops_per_sec", Json::number(p.ops_per_sec));
+      pj.set("syncs", Json::number(double(p.syncs)));
+      parr.push(std::move(pj));
+    }
+    j.set("fsync_policies", std::move(parr));
+    Json rarr = Json::array();
+    for (const RecoveryPoint& p : recov) {
+      Json rj = Json::object();
+      rj.set("records", Json::number(double(p.records)));
+      rj.set("wal_bytes", Json::number(double(p.wal_bytes)));
+      rj.set("checkpoint_bytes", Json::number(double(p.checkpoint_bytes)));
+      rj.set("recovery_ms", Json::number(p.recovery_ms));
+      rj.set("replayed_records", Json::number(double(p.replayed)));
+      rj.set("had_checkpoint", Json::boolean(p.had_checkpoint));
+      rarr.push(std::move(rj));
+    }
+    j.set("recovery_vs_wal_size", std::move(rarr));
+    std::ofstream out("BENCH_recovery.json");
+    out << j.dump(2) << "\n";
+    std::fprintf(stderr, "bench_recovery: wrote BENCH_recovery.json\n");
+  }
+  std::filesystem::remove_all("/tmp/bkv_bench_recovery");
+  return 0;
+}

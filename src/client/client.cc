@@ -197,11 +197,36 @@ void KvClient::issue(Message req, bool is_read, int attempts_left, DoneCb done) 
       done(s, std::move(rep));
       return;
     }
+    const bool attempt_timed_out =
+        (transport_failed && s.code() == Code::kTimeout) ||
+        (!transport_failed && rep.code == Code::kTimeout);
     if (attempts_left > 0) {
       // Stale map (failover / transition took place) or a lost message:
       // refresh the map, back off, and retry against the new layout. The
       // request keeps its idempotency token, so a write whose first attempt
       // did land is not applied twice.
+      if (is_write && attempt_timed_out) {
+        // Ambiguity is sticky: this attempt may have been applied server-side
+        // (lost ack). If no later attempt settles the question with a
+        // definite success, the final answer must be kMaybeApplied — a
+        // definite failure here would let the checker assume the write never
+        // happened while its effect sits durably in the store.
+        done = [this, done = std::move(done)](Status fs, Message frep) mutable {
+          // Only a definite server verdict (applied, or del-of-absent) can
+          // settle the ambiguity; any other final outcome — transport
+          // failure OR an error reply like kUnavailable from a later
+          // attempt — leaves the earlier timed-out attempt unaccounted for.
+          const bool conclusive =
+              fs.ok() &&
+              (frep.code == Code::kOk || frep.code == Code::kNotFound);
+          if (!conclusive && fs.code() != Code::kMaybeApplied) {
+            c_maybe_applied_->inc();
+            fs = Status::MaybeApplied(
+                "an earlier attempt timed out; may have been applied");
+          }
+          done(std::move(fs), std::move(frep));
+        };
+      }
       c_retry_->inc();
       record_retry_span(req, attempt_start);
       const int attempt_no = std::max(0, cfg_.retries - attempts_left);
@@ -219,9 +244,7 @@ void KvClient::issue(Message req, bool is_read, int attempts_left, DoneCb done) 
     // server-side (lost ack): surface the distinct kMaybeApplied status so
     // callers can tell "definitely failed" from "verify before acting" —
     // see the contract in client.h.
-    const bool timed_out = (transport_failed && s.code() == Code::kTimeout) ||
-                           (!transport_failed && rep.code == Code::kTimeout);
-    if (is_write && timed_out) {
+    if (is_write && attempt_timed_out) {
       c_maybe_applied_->inc();
       done(Status::MaybeApplied("write timed out; may have been applied"),
            std::move(rep));

@@ -50,16 +50,22 @@ Addr Cluster::make_addr(const std::string& logical) {
   return a;
 }
 
-std::shared_ptr<Datalet> Cluster::new_datalet(int replica_index) {
+std::shared_ptr<Datalet> Cluster::new_datalet(int replica_index,
+                                              const std::string& tag) {
   std::string kind = opts_.datalet_kind;
   if (!opts_.replica_datalet_kinds.empty()) {
     kind = opts_.replica_datalet_kinds[static_cast<size_t>(replica_index) %
                                        opts_.replica_datalet_kinds.size()];
   }
-  auto engine = make_datalet(kind, opts_.datalet_cfg);
+  DataletConfig cfg = opts_.datalet_cfg;
+  // One directory per replica under the deployment's storage root(s), so
+  // engines sharing an Env (the verify harness's MemEnv) never collide.
+  if (!cfg.durable_dir.empty()) cfg.durable_dir += "/" + tag;
+  if (!cfg.dir.empty()) cfg.dir += "/" + tag;
+  auto engine = make_datalet(kind, cfg);
   if (engine == nullptr) {
     LOG_ERROR << "unknown datalet kind " << kind << ", using tHT";
-    engine = make_datalet("tHT", opts_.datalet_cfg);
+    engine = make_datalet("tHT", cfg);
   }
   if (sim_ == nullptr) {
     // Real-thread fabrics: transitions share engines across node threads.
@@ -143,7 +149,8 @@ void Cluster::start() {
       p.addr = map.shards[static_cast<size_t>(s)]
                    .replicas[static_cast<size_t>(r)]
                    .controlet;
-      p.datalet = new_datalet(r);
+      p.datalet =
+          new_datalet(r, "s" + std::to_string(s) + "r" + std::to_string(r));
       ControletConfig cfg = opts_.controlet;
       cfg.coordinator = coord_addr_;
       cfg.shard = static_cast<uint32_t>(s);
@@ -157,7 +164,7 @@ void Cluster::start() {
   for (int i = 0; i < opts_.num_standby; ++i) {
     Pair p;
     p.addr = make_addr("standby" + std::to_string(i));
-    p.datalet = new_datalet(0);
+    p.datalet = new_datalet(0, "standby" + std::to_string(i));
     ControletConfig cfg = opts_.controlet;
     cfg.coordinator = coord_addr_;
     cfg.datalet = p.datalet;

@@ -93,7 +93,11 @@ class Cluster {
   };
 
   Addr make_addr(const std::string& logical);
-  std::shared_ptr<Datalet> new_datalet(int replica_index);
+  // `tag` keys the engine's durable directory (when datalet_cfg.durable_dir
+  // or dir is set): every replica persists under its own subtree of the
+  // shared Env, like a disk per machine.
+  std::shared_ptr<Datalet> new_datalet(int replica_index,
+                                       const std::string& tag);
   Runtime* add_server_node(const Addr& addr, std::shared_ptr<Service> svc);
 
   Fabric& fabric_;

@@ -26,6 +26,15 @@ class AaEcControlet : public ControletBase {
   // instead of snapshotting a peer — the log is the authoritative order.
   void catchup_from(const Addr& source,
                     std::function<void(bool)> done) override;
+  // Everything below fetch_from_ has been applied locally; with a durable
+  // engine (fsync per apply) that prefix also survives power loss, so it is
+  // safe for the coordinator to trim once every replica reports it.
+  uint64_t durable_watermark() const override {
+    return cfg_.datalet != nullptr && cfg_.datalet->durable() &&
+                   fetch_from_ > 1
+               ? fetch_from_ - 1
+               : 0;
+  }
 
  private:
   void fetch_tick();

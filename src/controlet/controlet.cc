@@ -29,7 +29,30 @@ void ControletBase::start(Runtime& rt) {
     drain_reported_ = false;
     dedup_.clear();
     dedup_order_.clear();
+    if (cfg_.datalet != nullptr) {
+      // The restart models a machine reboot: the engine crosses a power cut
+      // and recovers whatever its durability mode preserved (volatile
+      // engines keep their in-memory image — the historical model).
+      Status s = cfg_.datalet->crash_restart();
+      if (!s.ok()) {
+        LOG_WARN << rt_->self() << ": engine crash-recovery: " << s.to_string();
+      }
+      // Re-seed the version counter from the recovered state so this
+      // incarnation never re-mints a version an earlier write already holds
+      // (LWW would silently drop one of the two).
+      cfg_.datalet->for_each([this](std::string_view, const Entry& e) {
+        observe_version(e.seq);
+      });
+      // Durable engines persisted token pins alongside the records: honor
+      // them so a client retry of a pre-crash write keeps its LWW slot
+      // instead of re-executing with a fresh version.
+      for (const storage::TokenPin& pin : cfg_.datalet->token_pins()) {
+        pin_token_version(pin.token, pin.seq);
+      }
+    }
     LOG_INFO << rt_->self() << ": restarted; catching up before serving";
+  } else if (cfg_.datalet != nullptr) {
+    cfg_.datalet->attach_metrics(metrics());
   }
   started_once_ = true;
   hb_timer_ = rt_->set_periodic(cfg_.hb_period_us, [this] { send_heartbeat(); });
@@ -43,6 +66,9 @@ void ControletBase::send_heartbeat() {
   Message hb;
   hb.op = Op::kHeartbeat;
   hb.key = rt_->self();
+  // Durable floor piggybacked on the beat: the coordinator min-aggregates it
+  // across a shard's replicas to truncate the shared log (AA+EC).
+  hb.seq = durable_watermark();
   const uint64_t sent = rt_->now_us();
   rt_->call(cfg_.coordinator, std::move(hb),
             [this, sent](Status s, Message rep) {
@@ -194,6 +220,9 @@ void ControletBase::catchup_from(const Addr& source,
                                  std::function<void(bool)> done) {
   Message req;
   req.op = Op::kSnapshotReq;
+  // Everything at or below the engine's durable floor survived the crash
+  // locally; ask the peer for the suffix only (0 = full snapshot).
+  req.seq = cfg_.datalet != nullptr ? cfg_.datalet->durable_seq() : 0;
   rt_->call(source, std::move(req),
             [this, done = std::move(done)](Status s, Message rep) {
               if (!s.ok() || rep.code != Code::kOk) {

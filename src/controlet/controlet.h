@@ -82,9 +82,15 @@ class ControletBase : public Service {
   virtual void on_transition_new_side() {}
   // Crash-restart catch-up: resync local state from `source` (the chain
   // predecessor under MS) before serving again. Default: snapshot pull with
-  // LWW application. AA+EC overrides this to replay the shared log instead —
-  // the log, not any single peer, is the authoritative write order there.
+  // LWW application; a durably-recovered engine passes its durable_seq as the
+  // floor so the peer ships only the post-crash suffix. AA+EC overrides this
+  // to replay the shared log instead — the log, not any single peer, is the
+  // authoritative write order there.
   virtual void catchup_from(const Addr& source, std::function<void(bool)> done);
+  // Sequence number below which this replica's state is durable (carried on
+  // heartbeats; the coordinator min-aggregates it across replicas to drive
+  // shared-log truncation). 0 = nothing durable / not applicable.
+  virtual uint64_t durable_watermark() const { return 0; }
 
   // ---- services for the concrete controlets --------------------------------
 

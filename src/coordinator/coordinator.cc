@@ -62,6 +62,11 @@ void CoordinatorService::handle(const Addr& from, Message req, Replier reply) {
         rt_->obs().metrics().timer("coord.hb_gap_us").record(now - it->second);
       }
       last_seen_[node] = now;
+      // Durable floor piggybacked on the beat (see maybe_trim_log).
+      if (req.seq > 0) {
+        uint64_t& floor = durable_floor_[node];
+        floor = std::max(floor, req.seq);
+      }
       // Lease grant, measured by the holder from the heartbeat's *send*
       // instant. Pre-shrunk by the skew margin so the holder's deadline is
       // strictly earlier than ours (send time <= our receive time).
@@ -266,11 +271,38 @@ void CoordinatorService::sweep() {
     }
   }
   for (const auto& node : dead) on_node_failure(node);
+  maybe_trim_log();
+}
+
+void CoordinatorService::maybe_trim_log() {
+  // Truncate the shared log up to the minimum durable watermark across every
+  // current replica — only when all of them report one (a silent replica may
+  // still need the history) and no transition is rewiring the membership.
+  if (cfg_.sharedlog.empty() || transition_ != nullptr) return;
+  uint64_t floor = UINT64_MAX;
+  bool any = false;
+  for (const auto& s : map_.shards) {
+    for (const auto& r : s.replicas) {
+      auto it = durable_floor_.find(r.controlet);
+      if (it == durable_floor_.end() || it->second == 0) return;
+      floor = std::min(floor, it->second);
+      any = true;
+    }
+  }
+  if (!any || floor <= trimmed_to_) return;
+  trimmed_to_ = floor;
+  ++log_trims_;
+  rt_->obs().metrics().counter("coord.log_trims").inc();
+  Message t;
+  t.op = Op::kLogTrim;
+  t.seq = floor + 1;  // entries <= floor are durable everywhere
+  rt_->send(cfg_.sharedlog, std::move(t));
 }
 
 void CoordinatorService::on_node_failure(const Addr& dead) {
   known_dead_.insert(dead);
   last_seen_.erase(dead);
+  durable_floor_.erase(dead);
   standbys_.erase(std::remove(standbys_.begin(), standbys_.end(), dead),
                   standbys_.end());
   for (auto& s : map_.shards) {

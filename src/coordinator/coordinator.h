@@ -56,6 +56,9 @@ class CoordinatorService : public Service {
   // Peer failure reports discarded because our own lease evidence said the
   // suspect was still alive (satellite: delay-only faults must not evict).
   uint64_t false_suspects() const { return false_suspects_; }
+  // Shared-log truncations issued and the durable floor they reached.
+  uint64_t log_trims() const { return log_trims_; }
+  uint64_t log_trimmed_to() const { return trimmed_to_; }
 
   // Effective lease parameters (config override or heartbeat-derived).
   uint64_t lease_us() const;
@@ -69,6 +72,7 @@ class CoordinatorService : public Service {
   };
 
   void sweep();
+  void maybe_trim_log();
   void on_node_failure(const Addr& dead);
   void push_reconfigure(const ShardInfo& shard);
   void push_fence(uint32_t shard_id);
@@ -79,6 +83,12 @@ class CoordinatorService : public Service {
   CoordinatorConfig cfg_;
   ShardMap map_;
   std::map<Addr, uint64_t> last_seen_;   // controlet -> last heartbeat (us)
+  // controlet -> durable watermark reported on its heartbeats. The sweep
+  // min-aggregates it across every current replica to truncate the shared
+  // log: an entry every replica has durably applied can never be re-fetched.
+  std::map<Addr, uint64_t> durable_floor_;
+  uint64_t trimmed_to_ = 0;
+  uint64_t log_trims_ = 0;
   std::set<Addr> known_dead_;
   std::deque<Addr> standbys_;            // registered standby controlets
   std::map<Addr, uint32_t> recovering_;  // standby -> shard being rebuilt

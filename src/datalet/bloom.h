@@ -16,6 +16,13 @@ class BloomFilter {
   explicit BloomFilter(size_t expected)
       : bits_(std::max<size_t>(64, expected * 10)), words_((bits_ + 63) / 64, 0) {}
 
+  // Deserialization (SSTable bloom blocks): adopt a previously built bit
+  // array. `bits` must match the word count it was built with.
+  BloomFilter(size_t bits, std::vector<uint64_t> words)
+      : bits_(std::max<size_t>(1, bits)), words_(std::move(words)) {
+    words_.resize((bits_ + 63) / 64, 0);
+  }
+
   void add(std::string_view key) {
     const uint64_t h1 = fnv1a64(key);
     const uint64_t h2 = mix64(h1);
@@ -36,6 +43,7 @@ class BloomFilter {
   }
 
   size_t bit_count() const { return bits_; }
+  const std::vector<uint64_t>& words() const { return words_; }
 
  private:
   static constexpr int kProbes = 7;

@@ -4,6 +4,7 @@
 #include "src/datalet/ht.h"
 #include "src/datalet/logstore.h"
 #include "src/datalet/lsm.h"
+#include "src/storage/durable.h"
 
 namespace bespokv {
 
@@ -26,23 +27,35 @@ class PortedHashDatalet : public HashTableDatalet {
 
 std::unique_ptr<Datalet> make_datalet(const std::string& kind,
                                       const DataletConfig& config) {
-  if (kind == "tHT") return std::make_unique<HashTableDatalet>(config);
-  if (kind == "tLog") return std::make_unique<LogStoreDatalet>(config);
-  if (kind == "tMT") return std::make_unique<BTreeDatalet>();
-  if (kind == "tLSM") return std::make_unique<LsmDatalet>(config);
-  if (kind == "tRedis") return std::make_unique<PortedHashDatalet>(config, "tRedis");
-  if (kind == "tSSDB") return std::make_unique<PortedHashDatalet>(config, "tSSDB");
-  return nullptr;
-}
+  DataletConfig cfg = config;
+  const bool durable = !cfg.durable_dir.empty();
+  // tLSM persists natively (WAL + SSTables under dir); everything else gets
+  // the DurableDatalet wrapper (WAL + checkpoints around the volatile
+  // engine). tLog keeps its own record log when dir is set; under a
+  // durable_dir it runs in memory inside the wrapper like the hash engines.
+  if (durable && kind == "tLSM" && cfg.dir.empty()) cfg.dir = cfg.durable_dir;
 
-Status Datalet::put_if_newer(std::string_view key, std::string_view value,
-                             uint64_t seq) {
-  return put(key, value, seq);
-}
-
-Result<std::vector<KV>> Datalet::scan(std::string_view, std::string_view,
-                                      uint32_t) const {
-  return Status::Invalid(std::string(kind()) + " does not support range queries");
+  std::unique_ptr<Datalet> d;
+  if (kind == "tHT") {
+    d = std::make_unique<HashTableDatalet>(cfg);
+  } else if (kind == "tLog") {
+    d = std::make_unique<LogStoreDatalet>(cfg);
+  } else if (kind == "tMT") {
+    d = std::make_unique<BTreeDatalet>();
+  } else if (kind == "tLSM") {
+    return std::make_unique<LsmDatalet>(cfg);
+  } else if (kind == "tRedis") {
+    d = std::make_unique<PortedHashDatalet>(cfg, "tRedis");
+  } else if (kind == "tSSDB") {
+    d = std::make_unique<PortedHashDatalet>(cfg, "tSSDB");
+  } else {
+    return nullptr;
+  }
+  if (durable) {
+    d = std::make_unique<storage::DurableDatalet>(
+        std::move(d), storage::DurabilityOpts::from_config(cfg));
+  }
+  return d;
 }
 
 }  // namespace bespokv

@@ -56,6 +56,28 @@ class LockedDatalet : public Datalet {
     inner_->clear();
   }
 
+  Status crash_restart() override {
+    std::lock_guard<std::mutex> g(mu_);
+    return inner_->crash_restart();
+  }
+  void set_op_token(uint64_t token) override {
+    std::lock_guard<std::mutex> g(mu_);
+    inner_->set_op_token(token);
+  }
+  uint64_t durable_seq() const override {
+    std::lock_guard<std::mutex> g(mu_);
+    return inner_->durable_seq();
+  }
+  bool durable() const override { return inner_->durable(); }
+  std::vector<storage::TokenPin> token_pins() const override {
+    std::lock_guard<std::mutex> g(mu_);
+    return inner_->token_pins();
+  }
+  void attach_metrics(obs::MetricsRegistry& m) override {
+    std::lock_guard<std::mutex> g(mu_);
+    inner_->attach_metrics(m);
+  }
+
  private:
   mutable std::mutex mu_;
   std::unique_ptr<Datalet> inner_;

@@ -6,49 +6,29 @@
 
 #include <cstring>
 
-#include "src/common/hash.h"
 #include "src/common/logging.h"
+#include "src/storage/durable.h"  // WalRecord types
+#include "src/storage/wal.h"
 
 namespace bespokv {
 
 namespace {
 
-constexpr uint8_t kPut = 1;
-constexpr uint8_t kDel = 2;
-constexpr size_t kHeaderSize = 4 + 1 + 8 + 4 + 4;  // crc,type,seq,klen,vlen
-
-void put_u32(std::string& out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-}
-void put_u64(std::string& out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-}
-uint32_t get_u32(const char* p) {
-  uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
-  return v;
-}
-uint64_t get_u64(const char* p) {
-  uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
-  return v;
-}
+constexpr uint8_t kPut = uint8_t(storage::WalRecord::kPut);
+constexpr uint8_t kDel = uint8_t(storage::WalRecord::kDel);
+// Per-record overhead: the shared WAL frame (crc,len,type,seq) plus the
+// tLog payload's klen prefix. Payload layout: u32 klen | key | value.
+constexpr size_t kRecordOverhead = storage::kFrameOverhead + 4;
 
 std::string build_record(uint8_t type, std::string_view key,
                          std::string_view value, uint64_t seq) {
+  std::string payload;
+  payload.reserve(4 + key.size() + value.size());
+  storage::put_u32(payload, static_cast<uint32_t>(key.size()));
+  payload.append(key);
+  payload.append(value);
   std::string rec;
-  rec.reserve(kHeaderSize + key.size() + value.size());
-  put_u32(rec, 0);  // crc placeholder
-  rec.push_back(static_cast<char>(type));
-  put_u64(rec, seq);
-  put_u32(rec, static_cast<uint32_t>(key.size()));
-  put_u32(rec, static_cast<uint32_t>(value.size()));
-  rec.append(key);
-  rec.append(value);
-  const uint32_t crc = crc32c(std::string_view(rec).substr(4));
-  for (int i = 0; i < 4; ++i) {
-    rec[static_cast<size_t>(i)] = static_cast<char>((crc >> (8 * i)) & 0xff);
-  }
+  storage::append_frame(rec, type, seq, payload);
   return rec;
 }
 
@@ -89,40 +69,33 @@ Status LogStoreDatalet::recover() {
     return Status::Corruption("short read of log file");
   }
 
-  // Replay; stop at the first corrupt/partial record (torn tail write).
-  size_t off = 0;
-  while (off + kHeaderSize <= image.size()) {
-    const char* p = image.data() + off;
-    const uint32_t crc = get_u32(p);
-    const uint8_t type = static_cast<uint8_t>(p[4]);
-    const uint64_t seq = get_u64(p + 5);
-    const uint32_t klen = get_u32(p + 13);
-    const uint32_t vlen = get_u32(p + 17);
-    const size_t total = kHeaderSize + klen + vlen;
-    if (off + total > image.size()) break;
-    const std::string_view body(p + 4, total - 4);
-    if (crc32c(body) != crc) break;
-    const std::string key(p + kHeaderSize, klen);
-    if (type == kPut) {
-      index_.insert_or_assign(key, Pointer{off, vlen, seq});
-    } else if (type == kDel) {
-      index_.erase(key);
-    } else {
-      break;
-    }
-    off += total;
-  }
-  if (off < image.size()) {
-    LOG_WARN << "tLog: truncating " << (image.size() - off)
-             << " torn bytes at offset " << off;
-    if (::truncate(path_.c_str(), static_cast<off_t>(off)) != 0) {
+  // Replay the shared-WAL-framed records; scan_frames stops at the first
+  // corrupt/partial frame (torn tail write) and returns the valid prefix.
+  const size_t valid =
+      storage::scan_frames(image, [&](const storage::FrameView& f) {
+        if (f.payload.size() < 4) return;
+        const uint32_t klen = storage::get_u32(f.payload.data());
+        if (4 + size_t(klen) > f.payload.size()) return;
+        const std::string key(f.payload.substr(4, klen));
+        const uint32_t vlen =
+            static_cast<uint32_t>(f.payload.size() - 4 - klen);
+        if (f.type == kPut) {
+          index_.insert_or_assign(key, Pointer{f.offset, vlen, f.seq});
+        } else if (f.type == kDel) {
+          index_.erase(key);
+        }
+      });
+  if (valid < image.size()) {
+    LOG_WARN << "tLog: truncating " << (image.size() - valid)
+             << " torn bytes at offset " << valid;
+    if (::truncate(path_.c_str(), static_cast<off_t>(valid)) != 0) {
       return Status::Internal("truncate failed");
     }
   }
-  file_bytes_ = off;
+  file_bytes_ = valid;
   live_bytes_ = 0;
   for (const auto& [k, ptr] : index_) {
-    live_bytes_ += kHeaderSize + k.size() + ptr.vlen;
+    live_bytes_ += kRecordOverhead + k.size() + ptr.vlen;
   }
   return Status::Ok();
 }
@@ -157,13 +130,13 @@ Status LogStoreDatalet::put(std::string_view key, std::string_view value,
   BKV_RETURN_IF_ERROR(append_record(kPut, key, value, seq));
   auto it = index_.find(std::string(key));
   if (it != index_.end()) {
-    live_bytes_ -= kHeaderSize + key.size() + it->second.vlen;
+    live_bytes_ -= kRecordOverhead + key.size() + it->second.vlen;
     it->second = Pointer{offset, static_cast<uint32_t>(value.size()), seq};
   } else {
     index_.emplace(std::string(key),
                    Pointer{offset, static_cast<uint32_t>(value.size()), seq});
   }
-  live_bytes_ += kHeaderSize + key.size() + value.size();
+  live_bytes_ += kRecordOverhead + key.size() + value.size();
   return Status::Ok();
 }
 
@@ -176,7 +149,9 @@ Status LogStoreDatalet::put_if_newer(std::string_view key,
 
 std::string LogStoreDatalet::read_value(const Pointer& p,
                                         std::string_view key) const {
-  const size_t voff = static_cast<size_t>(p.offset) + kHeaderSize + key.size();
+  // Value begins after the frame header+meta and the payload's klen + key.
+  const size_t voff = static_cast<size_t>(p.offset) + storage::kFrameOverhead +
+                      4 + key.size();
   if (fd_ >= 0) {
     std::string out(p.vlen, '\0');
     const ssize_t got =
@@ -197,7 +172,7 @@ Status LogStoreDatalet::del(std::string_view key, uint64_t seq) {
   auto it = index_.find(std::string(key));
   if (it == index_.end()) return Status::NotFound();
   BKV_RETURN_IF_ERROR(append_record(kDel, key, "", seq));
-  live_bytes_ -= kHeaderSize + key.size() + it->second.vlen;
+  live_bytes_ -= kRecordOverhead + key.size() + it->second.vlen;
   index_.erase(it);
   return Status::Ok();
 }

@@ -2,10 +2,11 @@
 // in-memory hash index (the paper: "tLog, a persistent log-structured store
 // that uses tHT as the in-memory index", kept on HDD in the Fig. 6 use case).
 //
-// Record format (all little-endian, CRC32C over type..value):
-//   u32 crc | u8 type (1=put, 2=del) | u64 seq | u32 klen | u32 vlen | k | v
-// On open, the log is replayed to rebuild the index. compact() rewrites only
-// live records into a fresh log generation.
+// Records use the shared WAL framing (src/storage/wal.h, CRC32C over the
+// body): u32 crc | u32 len | u8 type (1=put, 2=del) | u64 seq | payload,
+// where the tLog payload is u32 klen | key | value.
+// On open, the log is replayed to rebuild the index (scan_frames truncates a
+// torn tail). compact() rewrites only live records into a fresh generation.
 //
 // In file mode only the index lives in memory: every Get goes through
 // pread(2) on the log file (the paper's Fig. 6 "Log" datalet is the one that

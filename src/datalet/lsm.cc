@@ -2,19 +2,221 @@
 
 #include <algorithm>
 
+#include "src/common/json.h"
+#include "src/obs/metrics.h"
+#include "src/storage/durable.h"
+
 namespace bespokv {
+
+namespace {
+constexpr const char* kManifestFile = "MANIFEST";
+constexpr const char* kWalFile = "wal.log";
+}  // namespace
+
+LsmDatalet::Item LsmDatalet::Run::item_at(size_t i) const {
+  if (table == nullptr) return items[i];
+  const storage::SSTableEntry e = table->entry(i);
+  return Item{std::string(e.key), std::string(e.value), e.seq, e.tombstone};
+}
 
 LsmDatalet::LsmDatalet(const DataletConfig& cfg) : cfg_(cfg) {
   if (cfg_.memtable_limit == 0) cfg_.memtable_limit = 16 * 1024;
   if (cfg_.max_runs_per_level == 0) cfg_.max_runs_per_level = 4;
+  if (!cfg_.dir.empty()) {
+    env_ = cfg_.env ? cfg_.env : storage::posix_env();
+    env_->mkdirs(cfg_.dir);
+    if (!cfg_.wal_disable) {
+      storage::WalOpts w;
+      auto p = storage::parse_fsync_policy(cfg_.fsync);
+      w.policy = p.ok() ? p.value() : storage::FsyncPolicy::kAlways;
+      w.group_interval_us = cfg_.group_interval_us;
+      w.group_batch = cfg_.group_batch;
+      w.blocking = cfg_.durable_blocking;
+      wal_ = std::make_unique<storage::Wal>(env_, cfg_.dir + "/" + kWalFile, w);
+    }
+    Lock lk(mu_);
+    recover_locked();
+  }
+  if (cfg_.lsm_background_compaction) {
+    compactor_ = std::thread([this] { compaction_thread(); });
+  }
+}
+
+LsmDatalet::~LsmDatalet() {
+  if (compactor_.joinable()) {
+    {
+      Lock lk(mu_);
+      stop_compactor_ = true;
+    }
+    compact_cv_.notify_all();
+    compactor_.join();
+  }
+}
+
+std::string LsmDatalet::sst_path(const std::string& file) const {
+  return cfg_.dir + "/" + file;
+}
+
+void LsmDatalet::reset_state_locked() {
+  memtable_.clear();
+  levels_.clear();
+  pins_.clear();
+  pin_order_.clear();
+  next_generation_ = 1;
+  durable_seq_ = 0;
+  op_token_ = 0;
+}
+
+void LsmDatalet::pin_locked(uint64_t token, uint64_t seq) {
+  if (token == 0) return;
+  auto [it, fresh] = pins_.try_emplace(token);
+  it->second = storage::TokenPin{token, seq, uint8_t(Code::kOk)};
+  if (fresh) {
+    pin_order_.push_back(token);
+    while (pin_order_.size() > kMaxPins) {
+      pins_.erase(pin_order_.front());
+      pin_order_.pop_front();
+    }
+  }
+}
+
+Status LsmDatalet::publish_manifest_locked() {
+  Json j = Json::object();
+  j.set("next_generation", Json::number(double(next_generation_)));
+  j.set("durable_seq", Json::number(double(durable_seq_)));
+  Json pins = Json::array();
+  for (const uint64_t t : pin_order_) {
+    auto it = pins_.find(t);
+    if (it == pins_.end()) continue;
+    Json p = Json::object();
+    p.set("token", Json::number(double(it->second.token)));
+    p.set("seq", Json::number(double(it->second.seq)));
+    pins.push(std::move(p));
+  }
+  j.set("pins", std::move(pins));
+  Json lvls = Json::array();
+  for (const auto& level : levels_) {
+    Json lj = Json::array();
+    for (const auto& r : level) {
+      Json rj = Json::object();
+      rj.set("file", Json::string(r->file));
+      rj.set("gen", Json::number(double(r->generation)));
+      rj.set("max_seq", Json::number(double(r->max_seq)));
+      lj.push(std::move(rj));
+    }
+    lvls.push(std::move(lj));
+  }
+  j.set("levels", std::move(lvls));
+  return env_->write_file_durable(cfg_.dir + "/" + kManifestFile, j.dump(0));
+}
+
+Status LsmDatalet::recover_locked() {
+  reset_state_locked();
+
+  std::vector<std::string> live;  // files the manifest names
+  const std::string manifest_path = cfg_.dir + "/" + kManifestFile;
+  if (env_->exists(manifest_path)) {
+    auto image = env_->read_file(manifest_path);
+    if (!image.ok()) return image.status();
+    auto parsed = Json::parse(image.value());
+    if (!parsed.ok()) return Status::Corruption("bad LSM manifest");
+    const Json& j = parsed.value();
+    next_generation_ = uint64_t(j.get("next_generation").as_number(1));
+    durable_seq_ = uint64_t(j.get("durable_seq").as_number(0));
+    for (const Json& p : j.get("pins").elements()) {
+      pin_locked(uint64_t(p.get("token").as_number(0)),
+                 uint64_t(p.get("seq").as_number(0)));
+    }
+    for (const Json& lj : j.get("levels").elements()) {
+      levels_.emplace_back();
+      for (const Json& rj : lj.elements()) {
+        const std::string file = rj.get("file").as_string("");
+        auto table = storage::SSTableReader::open(env_, sst_path(file));
+        if (!table.ok()) return table.status();
+        auto run = std::make_shared<Run>(size_t(0));
+        run->table = table.value();
+        run->file = file;
+        run->generation = uint64_t(rj.get("gen").as_number(0));
+        run->max_seq = uint64_t(rj.get("max_seq").as_number(0));
+        next_generation_ = std::max(next_generation_, run->generation + 1);
+        live.push_back(file);
+        levels_.back().push_back(std::move(run));
+      }
+    }
+  }
+
+  // Orphan sweep: SSTables a crashed flush/compaction wrote but never
+  // published, and stale tmp files. Only the manifest confers liveness.
+  auto names = env_->list_dir(cfg_.dir);
+  if (names.ok()) {
+    for (const std::string& name : names.value()) {
+      const bool is_sst = name.rfind("sst-", 0) == 0;
+      const bool is_tmp = name.size() > 4 &&
+                          name.compare(name.size() - 4, 4, ".tmp") == 0;
+      if ((is_sst && std::find(live.begin(), live.end(), name) == live.end()) ||
+          is_tmp) {
+        env_->remove_file(sst_path(name));
+      }
+    }
+  }
+
+  // Replay the WAL into the memtable: blind application in log order
+  // reproduces the exact pre-crash memtable (last record per key wins).
+  if (wal_ != nullptr) {
+    Status apply_status = Status::Ok();
+    const Status s = wal_->replay_and_open([&](const storage::FrameView& f) {
+      if (!apply_status.ok()) return;
+      auto rec = storage::decode_kv_record(f.payload);
+      if (!rec.ok()) {
+        apply_status = rec.status();
+        return;
+      }
+      const bool tomb = storage::WalRecord(f.type) == storage::WalRecord::kDel;
+      apply_to_memtable(rec.value().key, rec.value().value, f.seq, tomb);
+      durable_seq_ = std::max(durable_seq_, f.seq);
+      pin_locked(rec.value().token, f.seq);
+    });
+    BKV_RETURN_IF_ERROR(s);
+    BKV_RETURN_IF_ERROR(apply_status);
+  }
+  return Status::Ok();
+}
+
+void LsmDatalet::apply_to_memtable(std::string_view key, std::string_view value,
+                                   uint64_t seq, bool tombstone) {
+  memtable_.insert_or_assign(std::string(key),
+                             MemEntry{std::string(value), seq, tombstone});
+}
+
+Status LsmDatalet::log_op(uint8_t type, std::string_view key,
+                          std::string_view value, uint64_t seq,
+                          uint64_t* lsn) {
+  if (wal_ == nullptr) return Status::Ok();
+  std::string payload;
+  storage::encode_kv_record(payload, op_token_, key, value);
+  auto a = wal_->append(type, seq, payload);
+  if (!a.ok()) return a.status();
+  if (lsn != nullptr) *lsn = a.value();
+  return Status::Ok();
 }
 
 Status LsmDatalet::put(std::string_view key, std::string_view value,
                        uint64_t seq) {
-  bytes_ingested_ += key.size() + value.size();
-  memtable_.insert_or_assign(std::string(key),
-                             MemEntry{std::string(value), seq, false});
-  if (memtable_.size() >= cfg_.memtable_limit) flush_memtable();
+  uint64_t lsn = 0;
+  {
+    Lock lk(mu_);
+    BKV_RETURN_IF_ERROR(
+        log_op(uint8_t(storage::WalRecord::kPut), key, value, seq, &lsn));
+    bytes_ingested_ += key.size() + value.size();
+    apply_to_memtable(key, value, seq, false);
+    durable_seq_ = std::max(durable_seq_, seq);
+    pin_locked(op_token_, seq);
+    op_token_ = 0;
+    if (memtable_.size() >= cfg_.memtable_limit) flush_memtable_locked();
+  }
+  if (wal_ != nullptr && wal_->opts().blocking && lsn != 0) {
+    return wal_->wait_durable(lsn);
+  }
   return Status::Ok();
 }
 
@@ -26,35 +228,210 @@ Status LsmDatalet::put_if_newer(std::string_view key, std::string_view value,
 }
 
 Status LsmDatalet::del(std::string_view key, uint64_t seq) {
-  // LSM deletes are blind writes; NotFound is only reported if the key is
-  // verifiably absent (cheap check through the read path).
-  auto cur = get(key);
-  if (!cur.ok()) return Status::NotFound();
-  memtable_.insert_or_assign(std::string(key), MemEntry{"", seq, true});
-  if (memtable_.size() >= cfg_.memtable_limit) flush_memtable();
+  uint64_t lsn = 0;
+  {
+    Lock lk(mu_);
+    // LSM deletes are blind writes; NotFound is only reported if the key is
+    // verifiably absent (cheap check through the read path). Absent-key dels
+    // are not logged — they mutate nothing.
+    Item found;
+    bool present = false;
+    auto mit = memtable_.find(std::string(key));
+    if (mit != memtable_.end()) {
+      present = !mit->second.tombstone;
+    } else {
+      for (const auto& level : levels_) {
+        for (auto it = level.rbegin(); it != level.rend(); ++it) {
+          if (find_in_run(**it, key, &found)) {
+            present = !found.tombstone;
+            goto resolved;
+          }
+        }
+      }
+    resolved:;
+    }
+    if (!present) return Status::NotFound();
+    BKV_RETURN_IF_ERROR(
+        log_op(uint8_t(storage::WalRecord::kDel), key, {}, seq, &lsn));
+    apply_to_memtable(key, {}, seq, true);
+    durable_seq_ = std::max(durable_seq_, seq);
+    pin_locked(op_token_, seq);
+    op_token_ = 0;
+    if (memtable_.size() >= cfg_.memtable_limit) flush_memtable_locked();
+  }
+  if (wal_ != nullptr && wal_->opts().blocking && lsn != 0) {
+    return wal_->wait_durable(lsn);
+  }
   return Status::Ok();
 }
 
+// Memory-mode runs only; disk runs are streamed into SSTables by the callers.
+std::shared_ptr<LsmDatalet::Run> LsmDatalet::build_run_from_items(
+    std::vector<Item> items, bool count_bytes) {
+  auto run = std::make_shared<Run>(items.size());
+  for (Item& it : items) {
+    if (count_bytes) bytes_written_ += it.key.size() + it.value.size();
+    run->bloom.add(it.key);
+    run->max_seq = std::max(run->max_seq, it.seq);
+  }
+  run->items = std::move(items);
+  return run;
+}
+
+std::shared_ptr<LsmDatalet::Run> LsmDatalet::merge_runs(
+    const std::vector<std::shared_ptr<Run>>& runs, bool drop_tombstones) {
+  // K-way merge by (key asc, generation desc) — newest version wins.
+  struct Cursor {
+    const Run* run;
+    size_t idx;
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(runs.size());
+  size_t total = 0;
+  for (const auto& r : runs) {
+    total += r->count();
+    if (r->count() > 0) cursors.push_back(Cursor{r.get(), 0});
+  }
+  std::vector<Item> out;
+  out.reserve(total);
+  while (!cursors.empty()) {
+    // Find the smallest key; among equal keys, the highest generation.
+    size_t best = 0;
+    for (size_t i = 1; i < cursors.size(); ++i) {
+      const std::string_view a = cursors[i].run->key_at(cursors[i].idx);
+      const std::string_view b = cursors[best].run->key_at(cursors[best].idx);
+      if (a < b || (a == b && cursors[i].run->generation >
+                                  cursors[best].run->generation)) {
+        best = i;
+      }
+    }
+    const std::string key(cursors[best].run->key_at(cursors[best].idx));
+    Item winner = cursors[best].run->item_at(cursors[best].idx);
+    if (!(winner.tombstone && drop_tombstones)) {
+      out.push_back(std::move(winner));
+    }
+    // Advance every cursor past this key (shadowed versions are dropped).
+    for (size_t i = 0; i < cursors.size();) {
+      auto& c = cursors[i];
+      while (c.idx < c.run->count() && c.run->key_at(c.idx) == key) {
+        ++c.idx;
+      }
+      if (c.idx >= c.run->count()) {
+        cursors.erase(cursors.begin() + long(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  const uint64_t gen = next_generation_++;
+  std::shared_ptr<Run> merged;
+  if (env_ == nullptr) {
+    merged = build_run_from_items(std::move(out), /*count_bytes=*/true);
+  } else {
+    auto run = std::make_shared<Run>(size_t(0));
+    run->file = "sst-" + std::to_string(gen) + ".tbl";
+    storage::SSTableWriter w(env_, sst_path(run->file));
+    for (const Item& it : out) {
+      bytes_written_ += it.key.size() + it.value.size();
+      run->max_seq = std::max(run->max_seq, it.seq);
+      if (!w.add(it.key, it.value, it.seq, it.tombstone).ok()) return nullptr;
+    }
+    if (!w.finish().ok()) return nullptr;
+    auto table = storage::SSTableReader::open(env_, sst_path(run->file));
+    if (!table.ok()) return nullptr;
+    run->table = table.value();
+    merged = std::move(run);
+  }
+  merged->generation = gen;
+  ++compactions_;
+  if (m_compactions_ != nullptr) m_compactions_->inc();
+  if (m_compaction_bytes_ != nullptr) {
+    uint64_t bytes = 0;
+    for (const Item& it : merged->items) bytes += it.key.size() + it.value.size();
+    if (merged->table) bytes = merged->table->file_bytes();
+    m_compaction_bytes_->inc(bytes);
+  }
+  return merged;
+}
+
 void LsmDatalet::flush_memtable() {
+  Lock lk(mu_);
+  flush_memtable_locked();
+}
+
+void LsmDatalet::flush_memtable_locked() {
   if (memtable_.empty()) return;
-  auto run = std::make_shared<Run>(memtable_.size());
-  run->generation = next_generation_++;
-  run->items.reserve(memtable_.size());
+  std::vector<Item> items;
+  items.reserve(memtable_.size());
+  uint64_t max_seq = 0;
   for (auto& [k, e] : memtable_) {
-    bytes_written_ += k.size() + e.value.size();
-    run->bloom.add(k);
-    run->items.push_back(Item{k, std::move(e.value), e.seq, e.tombstone});
+    max_seq = std::max(max_seq, e.seq);
+    items.push_back(Item{k, std::move(e.value), e.seq, e.tombstone});
   }
   // The one-time sort at flush is where the LSM pays for its O(1) writes.
-  std::sort(run->items.begin(), run->items.end(),
+  std::sort(items.begin(), items.end(),
             [](const Item& a, const Item& b) { return a.key < b.key; });
+
+  std::shared_ptr<Run> run;
+  if (env_ == nullptr) {
+    run = build_run_from_items(std::move(items), /*count_bytes=*/true);
+    run->generation = next_generation_++;
+  } else {
+    run = std::make_shared<Run>(size_t(0));
+    run->generation = next_generation_++;
+    run->file = "sst-" + std::to_string(run->generation) + ".tbl";
+    storage::SSTableWriter w(env_, sst_path(run->file));
+    bool ok = true;
+    for (const Item& it : items) {
+      bytes_written_ += it.key.size() + it.value.size();
+      run->max_seq = std::max(run->max_seq, it.seq);
+      if (!w.add(it.key, it.value, it.seq, it.tombstone).ok()) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok || !w.finish().ok()) {
+      // Leave the memtable (and its WAL) in place; the orphan file gets
+      // swept on the next recovery.
+      env_->remove_file(sst_path(run->file));
+      return;
+    }
+    auto table = storage::SSTableReader::open(env_, sst_path(run->file));
+    if (!table.ok()) {
+      env_->remove_file(sst_path(run->file));
+      return;
+    }
+    run->table = table.value();
+  }
+  run->max_seq = std::max(run->max_seq, max_seq);
+
   memtable_.clear();
   if (levels_.empty()) levels_.emplace_back();
   levels_[0].push_back(std::move(run));
-  maybe_compact(0);
+  ++flushes_;
+  if (m_flushes_ != nullptr) m_flushes_->inc();
+  if (env_ != nullptr) {
+    // Publish first, then truncate: a crash in between replays WAL records
+    // whose effects the new SSTable already holds — blind replay converges.
+    publish_manifest_locked();
+    if (wal_ != nullptr) wal_->reset();
+  }
+  if (cfg_.lsm_background_compaction) {
+    compact_cv_.notify_all();
+  } else {
+    maybe_compact_locked(0);
+  }
 }
 
-void LsmDatalet::maybe_compact(size_t level) {
+size_t LsmDatalet::overfull_level_locked() const {
+  for (size_t l = 0; l < levels_.size(); ++l) {
+    if (levels_[l].size() > cfg_.max_runs_per_level) return l;
+  }
+  return SIZE_MAX;
+}
+
+void LsmDatalet::maybe_compact_locked(size_t level) {
   while (level < levels_.size() &&
          levels_[level].size() > cfg_.max_runs_per_level) {
     // Tombstones may only be dropped when no older data exists beneath the
@@ -64,90 +441,114 @@ void LsmDatalet::maybe_compact(size_t level) {
       if (!levels_[l].empty()) nothing_below = false;
     }
     auto merged = merge_runs(levels_[level], /*drop_tombstones=*/nothing_below);
+    if (merged == nullptr) return;  // disk error: retry after the next flush
+    std::vector<std::shared_ptr<Run>> old = std::move(levels_[level]);
     levels_[level].clear();
     if (level + 1 >= levels_.size()) levels_.emplace_back();
     levels_[level + 1].push_back(std::move(merged));
+    if (env_ != nullptr) {
+      publish_manifest_locked();
+      for (const auto& r : old) {
+        if (!r->file.empty()) env_->remove_file(sst_path(r->file));
+      }
+    }
     ++level;
   }
 }
 
-std::shared_ptr<LsmDatalet::Run> LsmDatalet::merge_runs(
-    const std::vector<std::shared_ptr<Run>>& runs, bool drop_tombstones) {
-  size_t total = 0;
-  for (const auto& r : runs) total += r->items.size();
-  auto out = std::make_shared<Run>(total);
-  out->generation = next_generation_++;
-
-  // K-way merge by (key asc, generation desc) — newest version wins.
-  struct Cursor {
-    const Run* run;
-    size_t idx;
-  };
-  std::vector<Cursor> cursors;
-  cursors.reserve(runs.size());
-  for (const auto& r : runs) {
-    if (!r->items.empty()) cursors.push_back(Cursor{r.get(), 0});
+bool LsmDatalet::compact_one_level_locked(Lock& lk) {
+  const size_t level = overfull_level_locked();
+  if (level == SIZE_MAX) return false;
+  bool nothing_below = true;
+  for (size_t l = level + 1; l < levels_.size(); ++l) {
+    if (!levels_[l].empty()) nothing_below = false;
   }
-  while (!cursors.empty()) {
-    // Find the smallest key; among equal keys, the highest generation.
-    size_t best = 0;
-    for (size_t i = 1; i < cursors.size(); ++i) {
-      const Item& a = cursors[i].run->items[cursors[i].idx];
-      const Item& b = cursors[best].run->items[cursors[best].idx];
-      if (a.key < b.key ||
-          (a.key == b.key &&
-           cursors[i].run->generation > cursors[best].run->generation)) {
-        best = i;
-      }
-    }
-    const Item& winner = cursors[best].run->items[cursors[best].idx];
-    if (!(winner.tombstone && drop_tombstones)) {
-      bytes_written_ += winner.key.size() + winner.value.size();
-      out->bloom.add(winner.key);
-      out->items.push_back(winner);
-    }
-    // Advance every cursor past this key (shadowed versions are dropped).
-    const std::string key = winner.key;
-    for (size_t i = 0; i < cursors.size();) {
-      auto& c = cursors[i];
-      while (c.idx < c.run->items.size() && c.run->items[c.idx].key == key) {
-        ++c.idx;
-      }
-      if (c.idx >= c.run->items.size()) {
-        cursors.erase(cursors.begin() + static_cast<long>(i));
-      } else {
-        ++i;
-      }
+  // Snapshot the level's runs (immutable; flushes only append to level 0
+  // behind them) and merge outside the lock.
+  const std::vector<std::shared_ptr<Run>> snapshot = levels_[level];
+  compactor_busy_ = true;
+  lk.unlock();
+  auto merged = merge_runs(snapshot, nothing_below);
+  lk.lock();
+  compactor_busy_ = false;
+  if (merged == nullptr) return false;
+  // Splice: drop exactly the merged runs (they are still the level's prefix;
+  // only this thread removes runs) and land the result one level down.
+  auto& lvl = levels_[level];
+  lvl.erase(lvl.begin(), lvl.begin() + long(snapshot.size()));
+  if (level + 1 >= levels_.size()) levels_.emplace_back();
+  levels_[level + 1].push_back(merged);
+  if (env_ != nullptr) {
+    publish_manifest_locked();
+    for (const auto& r : snapshot) {
+      if (!r->file.empty()) env_->remove_file(sst_path(r->file));
     }
   }
-  return out;
+  return true;
 }
 
-const LsmDatalet::Item* LsmDatalet::find_in_run(const Run& run,
-                                                std::string_view key) const {
-  if (run.items.empty()) return nullptr;
-  if (key < run.items.front().key || key > run.items.back().key) return nullptr;
-  if (!cfg_.lsm_disable_bloom && !run.bloom.may_contain(key)) return nullptr;
+void LsmDatalet::compaction_thread() {
+  Lock lk(mu_);
+  while (!stop_compactor_) {
+    if (overfull_level_locked() == SIZE_MAX) {
+      compact_cv_.notify_all();  // wake wait_for_compaction
+      compact_cv_.wait(lk, [&] {
+        return stop_compactor_ || overfull_level_locked() != SIZE_MAX;
+      });
+      continue;
+    }
+    compact_one_level_locked(lk);
+  }
+}
+
+void LsmDatalet::wait_for_compaction() {
+  if (!compactor_.joinable()) return;
+  Lock lk(mu_);
+  compact_cv_.wait(lk, [&] {
+    return stop_compactor_ ||
+           (!compactor_busy_ && overfull_level_locked() == SIZE_MAX);
+  });
+}
+
+bool LsmDatalet::find_in_run(const Run& run, std::string_view key,
+                             Item* out) const {
+  if (run.table != nullptr) {
+    if (run.count() == 0) return false;
+    if (!cfg_.lsm_disable_bloom) {
+      if (!run.table->may_contain(key)) return false;
+    } else if (key < run.table->min_key() || key > run.table->max_key()) {
+      return false;
+    }
+    auto e = run.table->find(key);
+    if (!e.has_value()) return false;
+    *out = Item{std::string(e->key), std::string(e->value), e->seq, e->tombstone};
+    return true;
+  }
+  if (run.items.empty()) return false;
+  if (key < run.items.front().key || key > run.items.back().key) return false;
+  if (!cfg_.lsm_disable_bloom && !run.bloom.may_contain(key)) return false;
   auto it = std::lower_bound(
       run.items.begin(), run.items.end(), key,
       [](const Item& a, std::string_view k) { return a.key < k; });
-  if (it == run.items.end() || it->key != key) return nullptr;
-  return &*it;
+  if (it == run.items.end() || it->key != key) return false;
+  *out = *it;
+  return true;
 }
 
 Result<Entry> LsmDatalet::get(std::string_view key) const {
+  Lock lk(mu_);
   auto mit = memtable_.find(std::string(key));
   if (mit != memtable_.end()) {
     if (mit->second.tombstone) return Status::NotFound();
     return Entry{mit->second.value, mit->second.seq};
   }
   // Newest runs first: level 0 back-to-front, then deeper levels.
+  Item item;
   for (const auto& level : levels_) {
     for (auto it = level.rbegin(); it != level.rend(); ++it) {
-      const Item* item = find_in_run(**it, key);
-      if (item != nullptr) {
-        if (item->tombstone) return Status::NotFound();
-        return Entry{item->value, item->seq};
+      if (find_in_run(**it, key, &item)) {
+        if (item.tombstone) return Status::NotFound();
+        return Entry{std::move(item.value), item.seq};
       }
     }
   }
@@ -157,19 +558,24 @@ Result<Entry> LsmDatalet::get(std::string_view key) const {
 Result<std::vector<KV>> LsmDatalet::scan(std::string_view start,
                                          std::string_view end,
                                          uint32_t limit) const {
-  // Merge-view scan: collect candidate versions, newest source wins.
-  // Sources ordered newest-first: memtable, then runs by generation.
-  std::map<std::string, const Item*> view;   // key -> winning run item
-  std::map<std::string, const MemEntry*> mem_view;
+  Lock lk(mu_);
+  return scan_locked(start, end, limit);
+}
 
-  auto in_range = [&](const std::string& k) {
+Result<std::vector<KV>> LsmDatalet::scan_locked(std::string_view start,
+                                                std::string_view end,
+                                                uint32_t limit) const {
+  // Merge-view scan: newest source wins. The memtable is inserted first,
+  // then runs newest-generation-first; emplace keeps the first (newest)
+  // version of each key.
+  std::map<std::string, Item> view;
+  auto in_range = [&](std::string_view k) {
     return k >= start && (end.empty() || k < end);
   };
 
-  for (auto it = memtable_.begin(); it != memtable_.end(); ++it) {
-    if (it->first < start) continue;
-    if (!end.empty() && it->first >= end) continue;
-    mem_view.emplace(it->first, &it->second);
+  for (const auto& [k, e] : memtable_) {
+    if (!in_range(k)) continue;
+    view.emplace(k, Item{k, e.value, e.seq, e.tombstone});
   }
 
   std::vector<const Run*> runs_newest_first;
@@ -179,49 +585,43 @@ Result<std::vector<KV>> LsmDatalet::scan(std::string_view start,
   std::sort(runs_newest_first.begin(), runs_newest_first.end(),
             [](const Run* a, const Run* b) { return a->generation > b->generation; });
   for (const Run* run : runs_newest_first) {
-    auto it = std::lower_bound(
-        run->items.begin(), run->items.end(), start,
-        [](const Item& a, std::string_view k) { return a.key < k; });
-    for (; it != run->items.end(); ++it) {
-      if (!in_range(it->key)) break;
-      if (mem_view.count(it->key) > 0) continue;  // memtable shadows runs
-      view.emplace(it->key, &*it);                // first (newest) wins
+    size_t i;
+    if (run->table != nullptr) {
+      i = run->table->lower_bound(start);
+    } else {
+      i = size_t(std::lower_bound(
+                     run->items.begin(), run->items.end(), start,
+                     [](const Item& a, std::string_view k) { return a.key < k; }) -
+                 run->items.begin());
+    }
+    for (; i < run->count(); ++i) {
+      const std::string_view k = run->key_at(i);
+      if (!in_range(k)) break;
+      if (view.count(std::string(k)) > 0) continue;  // newer source shadows
+      view.emplace(std::string(k), run->item_at(i));
     }
   }
 
-  // Interleave the two sorted views.
   std::vector<KV> out;
   const uint32_t cap = limit == 0 ? UINT32_MAX : limit;
-  auto mi = mem_view.begin();
-  auto ri = view.begin();
-  while (out.size() < cap && (mi != mem_view.end() || ri != view.end())) {
-    const bool take_mem =
-        ri == view.end() || (mi != mem_view.end() && mi->first <= ri->first);
-    if (take_mem) {
-      if (!mi->second->tombstone) {
-        out.push_back(KV{mi->first, mi->second->value, mi->second->seq});
-      }
-      ++mi;
-    } else {
-      if (!ri->second->tombstone) {
-        out.push_back(KV{ri->first, ri->second->value, ri->second->seq});
-      }
-      ++ri;
-    }
+  for (const auto& [k, item] : view) {
+    if (out.size() >= cap) break;
+    if (item.tombstone) continue;
+    out.push_back(KV{k, item.value, item.seq});
   }
   return out;
 }
 
 size_t LsmDatalet::size() const {
-  size_t n = 0;
-  auto all = scan("", "", 0);
-  if (all.ok()) n = all.value().size();
-  return n;
+  Lock lk(mu_);
+  auto all = scan_locked("", "", 0);
+  return all.ok() ? all.value().size() : 0;
 }
 
 void LsmDatalet::for_each(
     const std::function<void(std::string_view, const Entry&)>& fn) const {
-  auto all = scan("", "", 0);
+  Lock lk(mu_);
+  auto all = scan_locked("", "", 0);
   if (!all.ok()) return;
   for (const auto& kv : all.value()) {
     fn(kv.key, Entry{kv.value, kv.seq});
@@ -229,16 +629,76 @@ void LsmDatalet::for_each(
 }
 
 void LsmDatalet::clear() {
-  memtable_.clear();
-  levels_.clear();
+  Lock lk(mu_);
+  reset_state_locked();
   bytes_written_ = 0;
   bytes_ingested_ = 0;
+  if (env_ != nullptr) {
+    auto names = env_->list_dir(cfg_.dir);
+    if (names.ok()) {
+      for (const std::string& name : names.value()) {
+        if (name != kWalFile) env_->remove_file(sst_path(name));
+      }
+    }
+    if (wal_ != nullptr) wal_->reset();
+  }
+}
+
+Status LsmDatalet::crash_restart() {
+  if (env_ == nullptr) return Status::Ok();  // volatile: a process restart
+  Lock lk(mu_);
+  // Let an in-flight background merge land (or orphan) before the reboot.
+  compact_cv_.wait(lk, [&] { return !compactor_busy_; });
+  storage::CrashOpts copts;
+  copts.torn_writes = cfg_.torn_writes;
+  env_->crash(cfg_.dir, cfg_.crash_seed ^ (++incarnation_ * 0x9e3779b9ULL),
+              copts);
+  return recover_locked();
+}
+
+void LsmDatalet::set_op_token(uint64_t token) {
+  Lock lk(mu_);
+  op_token_ = token;
+}
+
+uint64_t LsmDatalet::durable_seq() const {
+  Lock lk(mu_);
+  return env_ == nullptr ? 0 : durable_seq_;
+}
+
+bool LsmDatalet::durable() const {
+  return env_ != nullptr && wal_ != nullptr &&
+         wal_->opts().policy == storage::FsyncPolicy::kAlways;
+}
+
+std::vector<storage::TokenPin> LsmDatalet::token_pins() const {
+  Lock lk(mu_);
+  std::vector<storage::TokenPin> out;
+  out.reserve(pin_order_.size());
+  for (const uint64_t t : pin_order_) {
+    auto it = pins_.find(t);
+    if (it != pins_.end()) out.push_back(it->second);
+  }
+  return out;
+}
+
+void LsmDatalet::attach_metrics(obs::MetricsRegistry& m) {
+  Lock lk(mu_);
+  m_flushes_ = &m.counter("lsm.flushes");
+  m_compactions_ = &m.counter("lsm.compactions");
+  m_compaction_bytes_ = &m.counter("lsm.compaction_bytes");
 }
 
 size_t LsmDatalet::num_runs() const {
+  Lock lk(mu_);
   size_t n = 0;
   for (const auto& level : levels_) n += level.size();
   return n;
+}
+
+size_t LsmDatalet::num_levels() const {
+  Lock lk(mu_);
+  return levels_.size();
 }
 
 }  // namespace bespokv

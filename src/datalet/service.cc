@@ -22,6 +22,10 @@ std::string table_key(const Message& req) {
 
 Message DataletHandle::apply(Datalet& d, const Message& req) {
   Message reply = Message::reply(Code::kOk);
+  // Hand the client's retry token to the engine before a mutation: durable
+  // engines log it with the record so a restarted node can refuse to
+  // re-execute an already-acked retry (the pin survives in WAL/checkpoint).
+  if (req.op == Op::kPut || req.op == Op::kDel) d.set_op_token(req.token);
   switch (req.op) {
     case Op::kPut: {
       Status s = (req.flags & kFlagNoPropagate) != 0
@@ -68,8 +72,13 @@ Message DataletHandle::apply(Datalet& d, const Message& req) {
       break;
     }
     case Op::kSnapshotReq: {
-      // Full-state transfer for recovery; seq carries per-entry versions.
-      d.for_each([&reply](std::string_view key, const Entry& e) {
+      // State transfer for recovery; seq carries per-entry versions. The
+      // requester's req.seq is its durable floor: a durably-recovered node
+      // only needs the suffix written after its last fsynced record (0 asks
+      // for the full snapshot).
+      const uint64_t floor = req.seq;
+      d.for_each([&reply, floor](std::string_view key, const Entry& e) {
+        if (floor != 0 && e.seq <= floor) return;
         reply.kvs.push_back(KV{std::string(key), e.value, e.seq});
       });
       break;
@@ -102,6 +111,21 @@ Message DataletHandle::apply(Datalet& d, const Message& req) {
       break;
   }
   return reply;
+}
+
+void DataletService::start(Runtime& rt) {
+  Service::start(rt);
+  if (datalet_ == nullptr) return;
+  datalet_->attach_metrics(rt.obs().metrics());
+  if (started_) {
+    // Fabric restart after a node fault = the machine rebooted. The engine
+    // loses everything its durability mode did not fsync.
+    Status s = datalet_->crash_restart();
+    if (!s.ok()) {
+      LOG_WARN << "datalet crash-recovery: " << s.to_string();
+    }
+  }
+  started_ = true;
 }
 
 void DataletService::handle(const Addr& from, Message req, Replier reply) {

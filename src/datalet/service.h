@@ -19,6 +19,10 @@ class DataletService : public Service {
   explicit DataletService(std::shared_ptr<Datalet> datalet)
       : datalet_(std::move(datalet)) {}
 
+  // First start attaches engine metrics; a re-start (Fabric::restart after a
+  // node fault) models a power cut — the engine crash_restarts and recovers
+  // whatever its durability mode preserved.
+  void start(Runtime& rt) override;
   void handle(const Addr& from, Message req, Replier reply) override;
 
   Datalet* datalet() { return datalet_.get(); }
@@ -27,6 +31,7 @@ class DataletService : public Service {
 
  private:
   std::shared_ptr<Datalet> datalet_;
+  bool started_ = false;
   // Epoch fence for the remote-mapping apply path: ratcheted from the
   // highest epoch stamped on any request we have served, so once a
   // post-failover controlet has written here, a deposed controlet's

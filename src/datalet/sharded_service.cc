@@ -2,6 +2,7 @@
 
 #include "src/common/fencing.h"
 #include "src/common/hash.h"
+#include "src/common/logging.h"
 #include "src/datalet/service.h"
 
 namespace bespokv {
@@ -31,6 +32,31 @@ void ShardedDataletService::start(Runtime& rt) {
     shards_[i].ops = &m.counter(p + "ops");
     shards_[i].fence_rejects = &m.counter(p + "fence_rejects");
     shards_[i].dedup_hits = &m.counter(p + "dedup_hits");
+    shards_[i].engine->attach_metrics(m);
+  }
+  if (started_) {
+    // Fabric restart after a node fault = the machine rebooted: every shard
+    // engine crosses a power cut and recovers its durable state.
+    for (auto& s : shards_) {
+      Status st = s.engine->crash_restart();
+      if (!st.ok()) LOG_WARN << "shard crash-recovery: " << st.to_string();
+    }
+  }
+  started_ = true;
+  // Re-seed the idempotency windows from the engines' persisted token pins:
+  // a retried PUT whose original ack predates the crash must be served the
+  // recorded outcome, not re-executed.
+  for (auto& s : shards_) {
+    s.dedup.clear();
+    s.dedup_order.clear();
+    for (const storage::TokenPin& pin : s.engine->token_pins()) {
+      if (s.dedup_order.size() >= kDedupWindow) break;
+      Message rep = Message::reply(Code(pin.code));
+      rep.seq = pin.seq;
+      if (s.dedup.emplace(pin.token, std::move(rep)).second) {
+        s.dedup_order.push_back(pin.token);
+      }
+    }
   }
 }
 

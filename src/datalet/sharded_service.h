@@ -62,6 +62,7 @@ class ShardedDataletService : public Service {
   };
 
   std::vector<Shard> shards_;
+  bool started_ = false;
 };
 
 }  // namespace bespokv

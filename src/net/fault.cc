@@ -80,6 +80,22 @@ Json FaultPlan::to_json() const {
     for (const auto& p : partitions) parr.push(partition_to_json(p));
     j.set("partitions", std::move(parr));
   }
+  if (!crash_all.empty()) {
+    Json carr = Json::array();
+    for (const auto& c : crash_all) {
+      Json cj = Json::object();
+      cj.set("match", Json::string(c.match));
+      cj.set("at_us", Json::number(double(c.at_us)));
+      if (c.restart_after_us > 0) {
+        cj.set("restart_after_us", Json::number(double(c.restart_after_us)));
+      }
+      if (c.stagger_us > 0) {
+        cj.set("stagger_us", Json::number(double(c.stagger_us)));
+      }
+      carr.push(std::move(cj));
+    }
+    j.set("crash_all", std::move(carr));
+  }
   return j;
 }
 
@@ -139,7 +155,33 @@ Result<FaultPlan> FaultPlan::from_json(const Json& j) {
       p.partitions.push_back(std::move(pf));
     }
   }
+  {
+    for (const Json& cj : j.get("crash_all").elements()) {
+      CrashAllFault c;
+      c.match = str_or(cj, "match", "*");
+      c.at_us = uint64_t(num_or(cj, "at_us", 0));
+      c.restart_after_us = uint64_t(num_or(cj, "restart_after_us", 0));
+      c.stagger_us = uint64_t(num_or(cj, "stagger_us", 0));
+      p.crash_all.push_back(std::move(c));
+    }
+  }
   return p;
+}
+
+std::vector<NodeFault> CrashAllFault::materialized(
+    const std::vector<std::string>& nodes) const {
+  std::vector<NodeFault> out;
+  for (const std::string& node : nodes) {
+    if (!fault_addr_match(match, node)) continue;
+    NodeFault n;
+    n.node = node;
+    n.crash_at_us = at_us + out.size() * stagger_us;
+    if (restart_after_us > 0) {
+      n.restart_at_us = n.crash_at_us + restart_after_us;
+    }
+    out.push_back(std::move(n));
+  }
+  return out;
 }
 
 Result<FaultPlan> FaultPlan::decode(std::string_view text) {

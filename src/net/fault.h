@@ -57,6 +57,22 @@ struct NodeFault {
   uint64_t restart_at_us = 0;  // 0 = stays down
 };
 
+// Whole-cluster power loss: every node whose address matches `match` (same
+// pattern syntax as LinkFault src/dst) crashes at `at_us`, each staggered by
+// `stagger_us` from the previous one in materialization order (a real rack
+// outage never cuts every PSU in the same microsecond), and restarts
+// `restart_after_us` after its own crash instant. The pattern form keeps the
+// plan portable across cluster sizes; materialized() expands it against the
+// concrete node list before scheduling.
+struct CrashAllFault {
+  std::string match = "*";
+  uint64_t at_us = 0;
+  uint64_t restart_after_us = 0;  // 0 = the whole cluster stays down
+  uint64_t stagger_us = 0;
+  std::vector<NodeFault> materialized(
+      const std::vector<std::string>& nodes) const;
+};
+
 // A network partition: the node sets matching `a` and `b` lose connectivity
 // during [after_us, until_us) and heal when the window closes (until_us = 0
 // never heals). `symmetric` cuts both directions; an asymmetric entry cuts
@@ -102,6 +118,7 @@ struct FaultPlan {
   std::vector<LinkFault> links;
   std::vector<NodeFault> nodes;
   std::vector<PartitionFault> partitions;
+  std::vector<CrashAllFault> crash_all;
 
   Json to_json() const;
   static Result<FaultPlan> from_json(const Json& j);

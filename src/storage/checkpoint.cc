@@ -1,0 +1,83 @@
+#include "src/storage/checkpoint.h"
+
+#include "src/common/hash.h"
+#include "src/storage/wal.h"  // little-endian put/get helpers
+
+namespace bespokv::storage {
+
+namespace {
+constexpr uint32_t kMagic = 0x6b63564bu;  // "KVck"
+}  // namespace
+
+Status write_checkpoint(Env& env, const std::string& path,
+                        const CheckpointData& data) {
+  std::string out;
+  put_u32(out, kMagic);
+  put_u64(out, data.durable_seq);
+  put_u64(out, uint64_t(data.entries.size()));
+  put_u64(out, uint64_t(data.pins.size()));
+  for (const CheckpointEntry& e : data.entries) {
+    put_u32(out, uint32_t(e.key.size()));
+    put_u32(out, uint32_t(e.value.size()));
+    put_u64(out, e.seq);
+    out.append(e.key);
+    out.append(e.value);
+  }
+  for (const TokenPin& p : data.pins) {
+    put_u64(out, p.token);
+    put_u64(out, p.seq);
+    out.push_back(char(p.code));
+  }
+  put_u32(out, crc32c(std::string_view(out)));
+  return env.write_file_durable(path, out);
+}
+
+Result<CheckpointData> read_checkpoint(Env& env, const std::string& path) {
+  auto image = env.read_file(path);
+  if (!image.ok()) return image.status();
+  const std::string& in = image.value();
+  size_t off = 0;
+  auto need = [&](size_t n) { return in.size() - off >= n; };
+  if (!need(28) || get_u32(in.data()) != kMagic) {
+    return Status::Corruption("checkpoint bad header: " + path);
+  }
+  CheckpointData data;
+  data.durable_seq = get_u64(in.data() + 4);
+  const uint64_t nentries = get_u64(in.data() + 12);
+  const uint64_t npins = get_u64(in.data() + 20);
+  off = 28;
+  data.entries.reserve(size_t(nentries));
+  for (uint64_t i = 0; i < nentries; ++i) {
+    if (!need(16)) return Status::Corruption("checkpoint truncated: " + path);
+    const uint32_t klen = get_u32(in.data() + off);
+    const uint32_t vlen = get_u32(in.data() + off + 4);
+    const uint64_t seq = get_u64(in.data() + off + 8);
+    off += 16;
+    if (!need(uint64_t(klen) + vlen)) {
+      return Status::Corruption("checkpoint truncated: " + path);
+    }
+    CheckpointEntry e;
+    e.key = in.substr(off, klen);
+    e.value = in.substr(off + klen, vlen);
+    e.seq = seq;
+    off += uint64_t(klen) + vlen;
+    data.entries.push_back(std::move(e));
+  }
+  data.pins.reserve(size_t(npins));
+  for (uint64_t i = 0; i < npins; ++i) {
+    if (!need(17)) return Status::Corruption("checkpoint truncated: " + path);
+    TokenPin p;
+    p.token = get_u64(in.data() + off);
+    p.seq = get_u64(in.data() + off + 8);
+    p.code = uint8_t(in[off + 16]);
+    off += 17;
+    data.pins.push_back(p);
+  }
+  if (!need(4)) return Status::Corruption("checkpoint truncated: " + path);
+  if (crc32c(std::string_view(in.data(), off)) != get_u32(in.data() + off)) {
+    return Status::Corruption("checkpoint crc mismatch: " + path);
+  }
+  return data;
+}
+
+}  // namespace bespokv::storage

@@ -1,0 +1,43 @@
+// Checkpoint files: a point-in-time snapshot of an engine's entries plus its
+// idempotency-token pins and the durable seq floor, published atomically
+// (tmp-write + sync + rename) so a crash never leaves a half checkpoint.
+// Once a checkpoint lands, the WAL it supersedes is truncated; recovery is
+// "load checkpoint, replay WAL suffix in log order".
+//
+// Layout (little-endian):
+//   u32 magic | u64 durable_seq | u64 nentries | u64 npins
+//   entries:  (u32 klen | u32 vlen | u64 seq | key | value)*
+//   pins:     (u64 token | u64 seq | u8 code)*
+//   u32 crc          (CRC32C over everything before it)
+// Trailing bytes past the CRC are ignored: a power cut may append garbage to
+// files, and a checkpoint must not be poisoned by it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/env.h"
+#include "src/storage/pin.h"
+
+namespace bespokv::storage {
+
+struct CheckpointEntry {
+  std::string key;
+  std::string value;
+  uint64_t seq = 0;
+};
+
+struct CheckpointData {
+  uint64_t durable_seq = 0;
+  std::vector<CheckpointEntry> entries;
+  std::vector<TokenPin> pins;  // oldest first
+};
+
+Status write_checkpoint(Env& env, const std::string& path,
+                        const CheckpointData& data);
+Result<CheckpointData> read_checkpoint(Env& env, const std::string& path);
+
+}  // namespace bespokv::storage

@@ -1,0 +1,369 @@
+#include "src/storage/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/rng.h"
+
+namespace bespokv::storage {
+
+namespace {
+
+Status errno_status(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+std::string parent_dir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+Status Env::write_file_durable(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  if (exists(tmp)) BKV_RETURN_IF_ERROR(remove_file(tmp));
+  auto f = open_append(tmp);
+  if (!f.ok()) return f.status();
+  BKV_RETURN_IF_ERROR(f.value()->append(data));
+  BKV_RETURN_IF_ERROR(f.value()->sync());
+  return rename_file(tmp, path);
+}
+
+// ---------------------------------------------------------------- PosixEnv
+
+namespace {
+
+class PosixAppendFile : public AppendFile {
+ public:
+  PosixAppendFile(int fd, uint64_t size) : fd_(fd), size_(size) {}
+  ~PosixAppendFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Status append(std::string_view data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return errno_status("write");
+      }
+      p += n;
+      left -= size_t(n);
+    }
+    size_ += data.size();
+    return Status::Ok();
+  }
+  Status sync() override {
+    if (::fdatasync(fd_) != 0) return errno_status("fdatasync");
+    return Status::Ok();
+  }
+  uint64_t size() const override { return size_; }
+
+ private:
+  int fd_;
+  uint64_t size_;
+};
+
+class PosixFileView : public FileView {
+ public:
+  PosixFileView(void* base, size_t len) : base_(base), len_(len) {}
+  ~PosixFileView() override {
+    if (base_ != nullptr && len_ > 0) ::munmap(base_, len_);
+  }
+  std::string_view data() const override {
+    return {static_cast<const char*>(base_), len_};
+  }
+
+ private:
+  void* base_;
+  size_t len_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Status mkdirs(const std::string& dir) override {
+    std::string cur;
+    size_t i = 0;
+    while (i <= dir.size()) {
+      if (i == dir.size() || dir[i] == '/') {
+        cur = dir.substr(0, i == dir.size() ? i : i + 1);
+        if (!cur.empty() && cur != "/" &&
+            ::mkdir(cur.c_str(), 0755) != 0 && errno != EEXIST) {
+          return errno_status("mkdir " + cur);
+        }
+      }
+      ++i;
+    }
+    return Status::Ok();
+  }
+
+  bool exists(const std::string& path) const override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Result<std::vector<std::string>> list_dir(const std::string& dir) const override {
+    std::vector<std::string> out;
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) {
+      if (errno == ENOENT) return out;
+      return errno_status("opendir " + dir);
+    }
+    while (dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name != "." && name != "..") out.push_back(name);
+    }
+    ::closedir(d);
+    return out;
+  }
+
+  Status remove_file(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return errno_status("unlink " + path);
+    }
+    return Status::Ok();
+  }
+
+  Status rename_file(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return errno_status("rename " + from);
+    }
+    // The rename itself must survive a crash: fsync the parent directory.
+    const int dfd = ::open(parent_dir(to).c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+      ::fsync(dfd);
+      ::close(dfd);
+    }
+    return Status::Ok();
+  }
+
+  Status truncate_file(const std::string& path, uint64_t len) override {
+    if (::truncate(path.c_str(), off_t(len)) != 0) {
+      return errno_status("truncate " + path);
+    }
+    return Status::Ok();
+  }
+
+  Result<std::string> read_file(const std::string& path) const override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) return Status::NotFound(path);
+      return errno_status("open " + path);
+    }
+    std::string out;
+    char buf[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        return errno_status("read " + path);
+      }
+      if (n == 0) break;
+      out.append(buf, size_t(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  Result<std::shared_ptr<FileView>> map_file(const std::string& path) const override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) return Status::NotFound(path);
+      return errno_status("open " + path);
+    }
+    struct stat st {};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return errno_status("fstat " + path);
+    }
+    if (st.st_size == 0) {
+      ::close(fd);
+      return std::shared_ptr<FileView>(new PosixFileView(nullptr, 0));
+    }
+    void* base = ::mmap(nullptr, size_t(st.st_size), PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (base == MAP_FAILED) return errno_status("mmap " + path);
+    return std::shared_ptr<FileView>(new PosixFileView(base, size_t(st.st_size)));
+  }
+
+  Result<std::unique_ptr<AppendFile>> open_append(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+    if (fd < 0) return errno_status("open " + path);
+    struct stat st {};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return errno_status("fstat " + path);
+    }
+    return std::unique_ptr<AppendFile>(
+        new PosixAppendFile(fd, uint64_t(st.st_size)));
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<Env> posix_env() {
+  static std::shared_ptr<Env> env = std::make_shared<PosixEnv>();
+  return env;
+}
+
+// ------------------------------------------------------------------ MemEnv
+
+namespace {
+
+class MemFileView : public FileView {
+ public:
+  explicit MemFileView(std::string snapshot) : snapshot_(std::move(snapshot)) {}
+  std::string_view data() const override { return snapshot_; }
+
+ private:
+  std::string snapshot_;
+};
+
+}  // namespace
+
+class MemAppendFile : public AppendFile {
+ public:
+  MemAppendFile(MemEnv* env, std::string path) : env_(env), path_(std::move(path)) {}
+  Status append(std::string_view data) override {
+    std::lock_guard<std::mutex> g(env_->mu_);
+    env_->files_[path_].data.append(data);
+    return Status::Ok();
+  }
+  Status sync() override {
+    std::lock_guard<std::mutex> g(env_->mu_);
+    auto& f = env_->files_[path_];
+    f.synced = f.data.size();
+    return Status::Ok();
+  }
+  uint64_t size() const override {
+    std::lock_guard<std::mutex> g(env_->mu_);
+    return env_->files_[path_].data.size();
+  }
+
+ private:
+  MemEnv* env_;
+  std::string path_;
+};
+
+Status MemEnv::mkdirs(const std::string&) { return Status::Ok(); }
+
+bool MemEnv::exists(const std::string& path) const {
+  std::lock_guard<std::mutex> g(mu_);
+  return files_.count(path) > 0;
+}
+
+Result<std::vector<std::string>> MemEnv::list_dir(const std::string& dir) const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<std::string> out;
+  const std::string prefix = dir.empty() || dir.back() == '/' ? dir : dir + "/";
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    const std::string rest = it->first.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) out.push_back(rest);
+  }
+  return out;
+}
+
+Status MemEnv::remove_file(const std::string& path) {
+  std::lock_guard<std::mutex> g(mu_);
+  files_.erase(path);
+  return Status::Ok();
+}
+
+Status MemEnv::rename_file(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound(from);
+  MemFile f = std::move(it->second);
+  // The rename is a durability barrier, like rename+dirsync on POSIX.
+  f.synced = f.data.size();
+  files_.erase(it);
+  files_[to] = std::move(f);
+  return Status::Ok();
+}
+
+Status MemEnv::truncate_file(const std::string& path, uint64_t len) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  if (len < it->second.data.size()) it->second.data.resize(len);
+  it->second.synced = std::min<uint64_t>(it->second.synced, len);
+  return Status::Ok();
+}
+
+Result<std::string> MemEnv::read_file(const std::string& path) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  return it->second.data;
+}
+
+Result<std::shared_ptr<FileView>> MemEnv::map_file(const std::string& path) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  return std::shared_ptr<FileView>(new MemFileView(it->second.data));
+}
+
+Result<std::unique_ptr<AppendFile>> MemEnv::open_append(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    files_.try_emplace(path);  // creation is durable once something syncs
+  }
+  return std::unique_ptr<AppendFile>(new MemAppendFile(this, path));
+}
+
+void MemEnv::crash(const std::string& dir, uint64_t seed, const CrashOpts& opts) {
+  std::lock_guard<std::mutex> g(mu_);
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL);
+  const std::string prefix = dir.empty() || dir.back() == '/' ? dir : dir + "/";
+  for (auto& [path, f] : files_) {
+    if (path.compare(0, prefix.size(), prefix) != 0) continue;
+    const uint64_t tail = f.data.size() - f.synced;
+    if (tail > 0) {
+      // Power cut mid-write: the synced prefix survives; of the unsynced
+      // tail, a random prefix may have reached the platter (a torn write).
+      const uint64_t keep = opts.torn_writes ? rng.next_u64(tail + 1) : 0;
+      f.data.resize(f.synced + keep);
+    }
+    const bool is_wal =
+        !opts.wal_suffix.empty() && path.size() >= opts.wal_suffix.size() &&
+        path.compare(path.size() - opts.wal_suffix.size(),
+                     opts.wal_suffix.size(), opts.wal_suffix) == 0;
+    if (opts.torn_writes && is_wal && opts.max_garbage > 0 &&
+        rng.next_bool(0.5)) {
+      // Torn in-flight append: the outage caught a WAL write half-issued, so
+      // the tail holds garbage that replay must CRC-reject and truncate.
+      const uint64_t n = rng.next_in(1, opts.max_garbage);
+      for (uint64_t i = 0; i < n; ++i) {
+        f.data.push_back(char(rng.next_u64(256)));
+      }
+    }
+    // Whatever survived the cut *is* the on-disk state now.
+    f.synced = f.data.size();
+  }
+}
+
+uint64_t MemEnv::synced_bytes(const std::string& path) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = files_.find(path);
+  return it == files_.end() ? 0 : it->second.synced;
+}
+
+uint64_t MemEnv::written_bytes(const std::string& path) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = files_.find(path);
+  return it == files_.end() ? 0 : it->second.data.size();
+}
+
+}  // namespace bespokv::storage

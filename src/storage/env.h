@@ -1,0 +1,126 @@
+// Storage environment: the narrow filesystem surface the durability layer
+// (WAL, SSTables, checkpoints) is written against.
+//
+// Two backends:
+//  - PosixEnv (posix_env()): real files; fdatasync for durability barriers,
+//    rename+parent-fsync for atomic replacement, mmap for read-only views.
+//  - MemEnv: an in-memory filesystem with an explicit power-loss model. Every
+//    file tracks its synced prefix separately from its written size;
+//    MemEnv::crash() discards the unsynced tail the way a power cut would —
+//    keeping a seeded-random prefix of it (a torn write) and optionally
+//    appending garbage to WAL files (a torn in-flight append caught by the
+//    outage). The deterministic sim runs whole clusters against one MemEnv,
+//    so the verify harness can crash every node and prove recovery correct.
+//
+// Durability contract: bytes are guaranteed to survive crash() only after
+// AppendFile::sync() (or write_file_durable / rename_file, which imply a
+// barrier). This mirrors POSIX fdatasync semantics exactly, so code proven
+// correct against MemEnv carries over to real disks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace bespokv::storage {
+
+// Power-loss knobs for MemEnv::crash().
+struct CrashOpts {
+  // Keep a random prefix of each file's unsynced tail instead of dropping it
+  // whole, and append random garbage to WAL files (suffix match below): both
+  // produce the torn/corrupt tails that CRC framing must truncate on replay.
+  bool torn_writes = true;
+  uint32_t max_garbage = 24;          // torn-append garbage cap, bytes
+  std::string wal_suffix = ".log";    // files eligible for garbage appends
+};
+
+// An append-only write handle. Not thread-safe by itself; callers serialize
+// (the Wal does, under its own mutex).
+class AppendFile {
+ public:
+  virtual ~AppendFile() = default;
+  virtual Status append(std::string_view data) = 0;
+  virtual Status sync() = 0;  // durability barrier (fdatasync)
+  virtual uint64_t size() const = 0;
+};
+
+// A read-only view of a whole file (mmap on PosixEnv). Keeps the underlying
+// bytes alive for the view's lifetime; concurrent appends to the same path
+// are not reflected (SSTables are immutable once written, so this never
+// matters in practice).
+class FileView {
+ public:
+  virtual ~FileView() = default;
+  virtual std::string_view data() const = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual Status mkdirs(const std::string& dir) = 0;
+  virtual bool exists(const std::string& path) const = 0;
+  // Names (not paths) of regular files directly under `dir`; missing dir is
+  // an empty list, not an error.
+  virtual Result<std::vector<std::string>> list_dir(const std::string& dir) const = 0;
+  virtual Status remove_file(const std::string& path) = 0;
+  // Atomic durable replace: `to` either keeps its old content or has all of
+  // `from`'s — never a mix, even across a crash.
+  virtual Status rename_file(const std::string& from, const std::string& to) = 0;
+  virtual Status truncate_file(const std::string& path, uint64_t len) = 0;
+  virtual Result<std::string> read_file(const std::string& path) const = 0;
+  virtual Result<std::shared_ptr<FileView>> map_file(const std::string& path) const = 0;
+  virtual Result<std::unique_ptr<AppendFile>> open_append(const std::string& path) = 0;
+
+  // tmp-write + sync + atomic rename; the standard checkpoint/manifest
+  // publication step. Default implementation composes the primitives above.
+  virtual Status write_file_durable(const std::string& path, std::string_view data);
+
+  // Power-loss hook: drop unsynced bytes of every file under `dir` per
+  // `opts`. A no-op on real filesystems (a crashed process loses nothing it
+  // already wrote; modeling machine-level power loss there is the fault
+  // injector's job, not the Env's).
+  virtual void crash(const std::string& dir, uint64_t seed, const CrashOpts& opts) {
+    (void)dir, (void)seed, (void)opts;
+  }
+};
+
+// Process-wide PosixEnv singleton.
+std::shared_ptr<Env> posix_env();
+
+class MemEnv : public Env {
+ public:
+  Status mkdirs(const std::string& dir) override;
+  bool exists(const std::string& path) const override;
+  Result<std::vector<std::string>> list_dir(const std::string& dir) const override;
+  Status remove_file(const std::string& path) override;
+  Status rename_file(const std::string& from, const std::string& to) override;
+  Status truncate_file(const std::string& path, uint64_t len) override;
+  Result<std::string> read_file(const std::string& path) const override;
+  Result<std::shared_ptr<FileView>> map_file(const std::string& path) const override;
+  Result<std::unique_ptr<AppendFile>> open_append(const std::string& path) override;
+  void crash(const std::string& dir, uint64_t seed, const CrashOpts& opts) override;
+
+  // Test introspection.
+  uint64_t synced_bytes(const std::string& path) const;
+  uint64_t written_bytes(const std::string& path) const;
+
+ private:
+  friend class MemAppendFile;
+  struct MemFile {
+    std::string data;
+    uint64_t synced = 0;  // crash() keeps only [0, synced) for sure
+  };
+  // Guards files_; MemEnv is shared across every node of a simulated cluster
+  // and across appender threads in storage tests.
+  mutable std::mutex mu_;
+  std::map<std::string, MemFile> files_;
+};
+
+}  // namespace bespokv::storage

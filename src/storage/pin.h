@@ -1,0 +1,18 @@
+// A durable idempotency-token pin: token -> (applied version, reply code).
+// Engines persist these alongside the data (WAL records and checkpoints) so
+// a node restarted from disk still refuses to re-execute a retried mutation
+// it already applied — the in-memory dedup windows (controlet and sharded
+// service) are reseeded from them on startup.
+#pragma once
+
+#include <cstdint>
+
+namespace bespokv::storage {
+
+struct TokenPin {
+  uint64_t token = 0;
+  uint64_t seq = 0;   // version the mutation was applied at
+  uint8_t code = 0;   // Code of the original reply (kOk unless recorded)
+};
+
+}  // namespace bespokv::storage

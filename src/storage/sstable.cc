@@ -1,0 +1,195 @@
+#include "src/storage/sstable.h"
+
+#include <algorithm>
+
+#include "src/common/hash.h"
+#include "src/storage/wal.h"  // little-endian put/get helpers
+
+namespace bespokv::storage {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x7462564bu;    // "KVbt"
+constexpr size_t kEntryHeader = 17;         // klen + vlen + seq + flags
+constexpr size_t kFooterBytes = 32;
+constexpr uint8_t kFlagTombstone = 0x1;
+
+}  // namespace
+
+SSTableWriter::SSTableWriter(std::shared_ptr<Env> env, std::string path)
+    : env_(std::move(env)), path_(std::move(path)) {
+  auto f = env_->open_append(path_);
+  if (!f.ok()) {
+    open_status_ = f.status();
+    return;
+  }
+  file_ = std::move(f.value());
+  open_status_ = Status::Ok();
+}
+
+Status SSTableWriter::add(std::string_view key, std::string_view value,
+                          uint64_t seq, bool tombstone) {
+  BKV_RETURN_IF_ERROR(open_status_);
+  if (finished_) return Status::Internal("sstable already finished");
+  if (!keys_.empty() && key <= keys_.back()) {
+    return Status::Invalid("sstable keys must be strictly ascending");
+  }
+  std::string rec;
+  rec.reserve(kEntryHeader + key.size() + value.size());
+  put_u32(rec, uint32_t(key.size()));
+  put_u32(rec, uint32_t(value.size()));
+  put_u64(rec, seq);
+  rec.push_back(char(tombstone ? kFlagTombstone : 0));
+  rec.append(key);
+  rec.append(value);
+  BKV_RETURN_IF_ERROR(file_->append(rec));
+  offsets_.push_back(file_bytes_);
+  keys_.emplace_back(key);
+  file_bytes_ += rec.size();
+  return Status::Ok();
+}
+
+Status SSTableWriter::finish() {
+  BKV_RETURN_IF_ERROR(open_status_);
+  if (finished_) return Status::Internal("sstable already finished");
+  finished_ = true;
+
+  BloomFilter bloom(keys_.size());
+  for (const std::string& k : keys_) bloom.add(k);
+
+  std::string tail;
+  const uint64_t bloom_off = file_bytes_;
+  put_u64(tail, uint64_t(bloom.bit_count()));
+  put_u32(tail, uint32_t(bloom.words().size()));
+  for (const uint64_t w : bloom.words()) put_u64(tail, w);
+  const uint64_t index_off = file_bytes_ + tail.size();
+  for (const uint64_t off : offsets_) put_u64(tail, off);
+
+  std::string footer;
+  put_u64(footer, bloom_off);
+  put_u64(footer, index_off);
+  put_u64(footer, uint64_t(offsets_.size()));
+  std::string crc_input = tail;
+  crc_input.append(footer);
+  put_u32(footer, crc32c(crc_input));
+  put_u32(footer, kMagic);
+  tail.append(footer);
+
+  BKV_RETURN_IF_ERROR(file_->append(tail));
+  file_bytes_ += tail.size();
+  return file_->sync();
+}
+
+SSTableReader::SSTableReader(std::shared_ptr<FileView> view,
+                             std::vector<uint64_t> offsets, BloomFilter bloom)
+    : view_(std::move(view)),
+      offsets_(std::move(offsets)),
+      bloom_(std::move(bloom)) {
+  if (!offsets_.empty()) {
+    min_key_ = key(0);
+    max_key_ = key(offsets_.size() - 1);
+  }
+}
+
+Result<std::shared_ptr<SSTableReader>> SSTableReader::open(
+    std::shared_ptr<Env> env, const std::string& path) {
+  auto v = env->map_file(path);
+  if (!v.ok()) return v.status();
+  std::shared_ptr<FileView> view = v.value();
+  const std::string_view data = view->data();
+  if (data.size() < kFooterBytes) {
+    return Status::Corruption("sstable too short: " + path);
+  }
+  const char* foot = data.data() + data.size() - kFooterBytes;
+  if (get_u32(foot + 28) != kMagic) {
+    return Status::Corruption("sstable bad magic: " + path);
+  }
+  const uint64_t bloom_off = get_u64(foot);
+  const uint64_t index_off = get_u64(foot + 8);
+  const uint64_t count = get_u64(foot + 16);
+  const uint32_t crc = get_u32(foot + 24);
+  if (bloom_off > index_off || index_off > data.size() - kFooterBytes ||
+      (data.size() - kFooterBytes - index_off) / 8 < count) {
+    return Status::Corruption("sstable bad footer: " + path);
+  }
+  std::string crc_input(data.substr(bloom_off, data.size() - kFooterBytes - bloom_off));
+  crc_input.append(foot, 24);
+  if (crc32c(crc_input) != crc) {
+    return Status::Corruption("sstable crc mismatch: " + path);
+  }
+
+  if (index_off - bloom_off < 12) {
+    return Status::Corruption("sstable bad bloom block: " + path);
+  }
+  const uint64_t bits = get_u64(data.data() + bloom_off);
+  const uint32_t nwords = get_u32(data.data() + bloom_off + 8);
+  if (index_off - bloom_off - 12 < uint64_t(nwords) * 8) {
+    return Status::Corruption("sstable bad bloom block: " + path);
+  }
+  std::vector<uint64_t> words(nwords);
+  for (uint32_t i = 0; i < nwords; ++i) {
+    words[i] = get_u64(data.data() + bloom_off + 12 + uint64_t(i) * 8);
+  }
+
+  std::vector<uint64_t> offsets(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    offsets[i] = get_u64(data.data() + index_off + i * 8);
+    if (offsets[i] + kEntryHeader > bloom_off) {
+      return Status::Corruption("sstable bad entry offset: " + path);
+    }
+    const uint32_t klen = get_u32(data.data() + offsets[i]);
+    const uint32_t vlen = get_u32(data.data() + offsets[i] + 4);
+    if (offsets[i] + kEntryHeader + uint64_t(klen) + vlen > bloom_off) {
+      return Status::Corruption("sstable entry overruns data block: " + path);
+    }
+  }
+
+  return std::shared_ptr<SSTableReader>(new SSTableReader(
+      std::move(view), std::move(offsets),
+      BloomFilter(size_t(bits), std::move(words))));
+}
+
+SSTableEntry SSTableReader::entry(size_t i) const {
+  const std::string_view data = view_->data();
+  const char* p = data.data() + offsets_[i];
+  const uint32_t klen = get_u32(p);
+  const uint32_t vlen = get_u32(p + 4);
+  SSTableEntry e;
+  e.seq = get_u64(p + 8);
+  e.tombstone = (uint8_t(p[16]) & kFlagTombstone) != 0;
+  e.key = data.substr(offsets_[i] + kEntryHeader, klen);
+  e.value = data.substr(offsets_[i] + kEntryHeader + klen, vlen);
+  return e;
+}
+
+std::string_view SSTableReader::key(size_t i) const {
+  const std::string_view data = view_->data();
+  const uint32_t klen = get_u32(data.data() + offsets_[i]);
+  return data.substr(offsets_[i] + kEntryHeader, klen);
+}
+
+bool SSTableReader::may_contain(std::string_view k) const {
+  if (offsets_.empty() || k < min_key_ || k > max_key_) return false;
+  return bloom_.may_contain(k);
+}
+
+size_t SSTableReader::lower_bound(std::string_view k) const {
+  size_t lo = 0, hi = offsets_.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (key(mid) < k) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::optional<SSTableEntry> SSTableReader::find(std::string_view k) const {
+  const size_t i = lower_bound(k);
+  if (i >= offsets_.size() || key(i) != k) return std::nullopt;
+  return entry(i);
+}
+
+}  // namespace bespokv::storage

@@ -1,0 +1,95 @@
+// On-disk SSTable: one immutable sorted run of a tLSM level.
+//
+// File layout (little-endian):
+//   entries:  (u32 klen | u32 vlen | u64 seq | u8 flags | key | value)*
+//   bloom:    u64 bits | u32 nwords | u64 words[nwords]
+//   index:    u64 offsets[count]            (entry byte offsets, key-sorted)
+//   footer:   u64 bloom_off | u64 index_off | u64 count | u32 crc | u32 magic
+//
+// The footer CRC32C covers the bloom and index blocks plus the footer's own
+// offset/count words, so a truncated or corrupted table fails open() instead
+// of serving wrong data. Key bounds come for free from the sorted index
+// (first/last entry). Readers hold an mmap'd FileView; keys and values are
+// served as views into the mapping — the only copies happen when a lookup
+// materializes an Entry.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/datalet/bloom.h"
+#include "src/storage/env.h"
+
+namespace bespokv::storage {
+
+struct SSTableEntry {
+  std::string_view key;
+  std::string_view value;
+  uint64_t seq = 0;
+  bool tombstone = false;
+};
+
+// Streams one sorted run to disk. add() must be called in strictly ascending
+// key order; finish() writes bloom/index/footer and issues the durability
+// barrier. The file only becomes part of the tree when the manifest that
+// names it is durably published, so a crash mid-write just leaves an orphan.
+class SSTableWriter {
+ public:
+  SSTableWriter(std::shared_ptr<Env> env, std::string path);
+
+  Status add(std::string_view key, std::string_view value, uint64_t seq,
+             bool tombstone);
+  Status finish();
+
+  uint64_t count() const { return offsets_.size(); }
+  uint64_t file_bytes() const { return file_bytes_; }
+
+ private:
+  std::shared_ptr<Env> env_;
+  std::string path_;
+  std::unique_ptr<AppendFile> file_;
+  Status open_status_;
+  std::vector<uint64_t> offsets_;
+  std::vector<std::string> keys_;  // for the bloom block at finish()
+  uint64_t file_bytes_ = 0;
+  bool finished_ = false;
+};
+
+class SSTableReader {
+ public:
+  static Result<std::shared_ptr<SSTableReader>> open(std::shared_ptr<Env> env,
+                                                     const std::string& path);
+
+  size_t count() const { return offsets_.size(); }
+  SSTableEntry entry(size_t i) const;
+  std::string_view key(size_t i) const;
+
+  std::string_view min_key() const { return min_key_; }
+  std::string_view max_key() const { return max_key_; }
+
+  // Bounds + bloom pruning; false means "definitely absent".
+  bool may_contain(std::string_view key) const;
+  // Index of the first entry with key >= `key` (count() if none).
+  size_t lower_bound(std::string_view key) const;
+  // Exact lookup (already pruned by may_contain or not — both fine).
+  std::optional<SSTableEntry> find(std::string_view key) const;
+
+  uint64_t file_bytes() const { return view_->data().size(); }
+
+ private:
+  SSTableReader(std::shared_ptr<FileView> view, std::vector<uint64_t> offsets,
+                BloomFilter bloom);
+
+  std::shared_ptr<FileView> view_;
+  std::vector<uint64_t> offsets_;
+  BloomFilter bloom_;
+  std::string_view min_key_;
+  std::string_view max_key_;
+};
+
+}  // namespace bespokv::storage

@@ -1,0 +1,195 @@
+#include "src/storage/wal.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/common/hash.h"
+
+namespace bespokv::storage {
+
+void append_frame(std::string& out, uint8_t type, uint64_t seq,
+                  std::string_view payload) {
+  std::string body;
+  body.reserve(kFrameMetaBytes + payload.size());
+  body.push_back(char(type));
+  put_u64(body, seq);
+  body.append(payload);
+  put_u32(out, crc32c(body));
+  put_u32(out, uint32_t(body.size()));
+  out.append(body);
+}
+
+size_t scan_frames(std::string_view image,
+                   const std::function<void(const FrameView&)>& fn) {
+  size_t off = 0;
+  while (image.size() - off >= kFrameHeaderBytes) {
+    const uint32_t crc = get_u32(image.data() + off);
+    const uint32_t len = get_u32(image.data() + off + 4);
+    if (len < kFrameMetaBytes || len > kMaxFrameBody) break;
+    if (image.size() - off - kFrameHeaderBytes < len) break;  // torn tail
+    const std::string_view body = image.substr(off + kFrameHeaderBytes, len);
+    if (crc32c(body) != crc) break;  // corrupt: distrust everything after
+    if (fn) {
+      FrameView f;
+      f.offset = off;
+      f.type = uint8_t(body[0]);
+      f.seq = get_u64(body.data() + 1);
+      f.payload = body.substr(kFrameMetaBytes);
+      fn(f);
+    }
+    off += kFrameHeaderBytes + len;
+  }
+  return off;
+}
+
+Result<FsyncPolicy> parse_fsync_policy(const std::string& s) {
+  if (s == "always" || s.empty()) return FsyncPolicy::kAlways;
+  if (s == "groupcommit") return FsyncPolicy::kGroupCommit;
+  if (s == "os") return FsyncPolicy::kOs;
+  return Status::Invalid("unknown fsync policy: " + s);
+}
+
+const char* fsync_policy_name(FsyncPolicy p) {
+  switch (p) {
+    case FsyncPolicy::kAlways:
+      return "always";
+    case FsyncPolicy::kGroupCommit:
+      return "groupcommit";
+    case FsyncPolicy::kOs:
+      return "os";
+  }
+  return "always";
+}
+
+Wal::Wal(std::shared_ptr<Env> env, std::string path, WalOpts opts)
+    : env_(std::move(env)), path_(std::move(path)), opts_(opts) {}
+
+Status Wal::replay_and_open(const std::function<void(const FrameView&)>& fn) {
+  std::unique_lock<std::mutex> lk(mu_);
+  file_.reset();
+  uint64_t valid = 0;
+  if (env_->exists(path_)) {
+    auto image = env_->read_file(path_);
+    if (!image.ok()) return image.status();
+    uint64_t records = 0;
+    valid = scan_frames(image.value(), [&](const FrameView& f) {
+      ++records;
+      if (fn) fn(f);
+    });
+    stats_.replayed_records += records;
+    if (valid < image.value().size()) {
+      stats_.torn_bytes += image.value().size() - valid;
+      BKV_RETURN_IF_ERROR(env_->truncate_file(path_, valid));
+    }
+  }
+  auto f = env_->open_append(path_);
+  if (!f.ok()) return f.status();
+  file_ = std::move(f.value());
+  appended_ = synced_ = valid;
+  unsynced_appends_ = 0;
+  return Status::Ok();
+}
+
+Result<uint64_t> Wal::append(uint8_t type, uint64_t seq,
+                             std::string_view payload) {
+  std::string rec;
+  rec.reserve(kFrameOverhead + payload.size());
+  append_frame(rec, type, seq, payload);
+
+  std::unique_lock<std::mutex> lk(mu_);
+  if (file_ == nullptr) return Status::Internal("wal not opened");
+  BKV_RETURN_IF_ERROR(file_->append(rec));
+  appended_ += rec.size();
+  ++stats_.appends;
+  stats_.appended_bytes += rec.size();
+  const uint64_t lsn = appended_;
+
+  switch (opts_.policy) {
+    case FsyncPolicy::kAlways:
+      BKV_RETURN_IF_ERROR(sync_locked(lk));
+      break;
+    case FsyncPolicy::kGroupCommit:
+      if (!opts_.blocking && ++unsynced_appends_ >= opts_.group_batch) {
+        BKV_RETURN_IF_ERROR(sync_locked(lk));
+      }
+      break;
+    case FsyncPolicy::kOs:
+      break;
+  }
+  return lsn;
+}
+
+Status Wal::wait_durable(uint64_t lsn) {
+  if (opts_.policy == FsyncPolicy::kOs) return Status::Ok();
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    // lsn > appended_ means a reset (checkpoint) swallowed the record — its
+    // effects are durable in the checkpoint, which is strictly better.
+    if (synced_ >= lsn || lsn > appended_) return Status::Ok();
+    if (!leader_active_) {
+      leader_active_ = true;
+      if (opts_.policy == FsyncPolicy::kGroupCommit &&
+          opts_.group_interval_us > 0) {
+        // Gather window: let concurrent appenders join this commit group.
+        // Spurious wakeups only shorten the nap — harmless.
+        cv_.wait_for(lk, std::chrono::microseconds(opts_.group_interval_us));
+      }
+      const Status s = sync_locked(lk);
+      leader_active_ = false;
+      cv_.notify_all();
+      if (!s.ok()) return s;
+    } else {
+      cv_.wait(lk, [&] {
+        return synced_ >= lsn || lsn > appended_ || !leader_active_;
+      });
+    }
+  }
+}
+
+Status Wal::sync_locked(std::unique_lock<std::mutex>& lk) {
+  const uint64_t target = appended_;
+  if (synced_ >= target) return Status::Ok();
+  AppendFile* f = file_.get();
+  // Sync outside the log lock so appenders keep batching behind it. Writes
+  // racing the fdatasync are fine: they either make this barrier (bonus
+  // durability) or the next one.
+  lk.unlock();
+  const Status s = f->sync();
+  lk.lock();
+  if (s.ok()) {
+    synced_ = std::max(synced_, target);
+    ++stats_.syncs;
+    unsynced_appends_ = 0;
+  }
+  return s;
+}
+
+Status Wal::sync() {
+  std::unique_lock<std::mutex> lk(mu_);
+  return sync_locked(lk);
+}
+
+Status Wal::reset() {
+  std::unique_lock<std::mutex> lk(mu_);
+  file_.reset();
+  BKV_RETURN_IF_ERROR(env_->truncate_file(path_, 0));
+  auto f = env_->open_append(path_);
+  if (!f.ok()) return f.status();
+  file_ = std::move(f.value());
+  appended_ = synced_ = 0;
+  unsynced_appends_ = 0;
+  cv_.notify_all();  // release waiters whose records a checkpoint absorbed
+  return Status::Ok();
+}
+
+uint64_t Wal::size_bytes() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return appended_;
+}
+
+WalStats Wal::stats() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return stats_;
+}
+
+}  // namespace bespokv::storage

@@ -1,0 +1,140 @@
+// Write-ahead log with CRC32C-framed records, configurable fsync policy and
+// group commit.
+//
+// Frame layout (little-endian):
+//   u32 crc | u32 len | body
+//   body = u8 type | u64 seq | payload          (len = body length)
+// The CRC covers the whole body, so a torn or garbage tail — a partial final
+// append, or random bytes a power cut left behind — fails the check and
+// replay truncates the log back to the last whole record. Everything before
+// the first bad frame is kept; nothing after it is trusted (a hole would
+// otherwise let a later, possibly-unacked record resurface).
+//
+// Fsync policies (the Redis appendfsync trichotomy):
+//   kAlways      — fdatasync inline on every append; an Ok append is durable.
+//   kGroupCommit — appenders batch behind one fdatasync. In blocking mode the
+//                  first wait_durable() caller becomes the commit leader: it
+//                  naps group_interval_us so more appenders pile in, issues
+//                  one sync for the whole batch and wakes everyone. In
+//                  non-blocking mode (single-threaded sim event loops can't
+//                  block) the log syncs every group_batch appends instead,
+//                  which leaves a bounded ack-loss window the verify harness
+//                  never relies on.
+//   kOs          — never sync; the OS flushes when it pleases (cache mode).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "src/storage/env.h"
+
+namespace bespokv::storage {
+
+// -- shared little-endian frame helpers (the tLog store reuses these) --
+
+inline void put_u32(std::string& out, uint32_t v) {
+  out.push_back(char(v)), out.push_back(char(v >> 8));
+  out.push_back(char(v >> 16)), out.push_back(char(v >> 24));
+}
+inline void put_u64(std::string& out, uint64_t v) {
+  put_u32(out, uint32_t(v));
+  put_u32(out, uint32_t(v >> 32));
+}
+inline uint32_t get_u32(const char* p) {
+  return uint32_t(uint8_t(p[0])) | uint32_t(uint8_t(p[1])) << 8 |
+         uint32_t(uint8_t(p[2])) << 16 | uint32_t(uint8_t(p[3])) << 24;
+}
+inline uint64_t get_u64(const char* p) {
+  return uint64_t(get_u32(p)) | uint64_t(get_u32(p + 4)) << 32;
+}
+
+constexpr size_t kFrameHeaderBytes = 8;  // crc + len
+constexpr size_t kFrameMetaBytes = 9;    // type + seq
+constexpr size_t kFrameOverhead = kFrameHeaderBytes + kFrameMetaBytes;
+constexpr size_t kMaxFrameBody = 1u << 28;  // sanity cap on parsed lengths
+
+void append_frame(std::string& out, uint8_t type, uint64_t seq,
+                  std::string_view payload);
+
+struct FrameView {
+  uint64_t offset = 0;  // byte offset of the frame (crc word) in the log
+  uint8_t type = 0;
+  uint64_t seq = 0;
+  std::string_view payload;
+};
+
+// Walks whole, CRC-valid frames and returns the byte length of that valid
+// prefix. A return < image.size() means the tail is torn or corrupt.
+size_t scan_frames(std::string_view image,
+                   const std::function<void(const FrameView&)>& fn);
+
+enum class FsyncPolicy : uint8_t { kAlways, kGroupCommit, kOs };
+
+Result<FsyncPolicy> parse_fsync_policy(const std::string& s);
+const char* fsync_policy_name(FsyncPolicy p);
+
+struct WalOpts {
+  FsyncPolicy policy = FsyncPolicy::kAlways;
+  uint64_t group_interval_us = 100;  // blocking leader's gather window
+  uint32_t group_batch = 8;          // non-blocking: sync every N appends
+  bool blocking = false;             // appenders may block in wait_durable()
+};
+
+struct WalStats {
+  uint64_t appends = 0;
+  uint64_t syncs = 0;
+  uint64_t appended_bytes = 0;
+  uint64_t replayed_records = 0;
+  uint64_t torn_bytes = 0;  // truncated from the tail across all replays
+};
+
+class Wal {
+ public:
+  Wal(std::shared_ptr<Env> env, std::string path, WalOpts opts);
+
+  // Replays any existing log through `fn` (frames in append order), truncates
+  // a torn tail in place, and opens the append handle at the end. Must be
+  // called (possibly with a null fn) before append().
+  Status replay_and_open(const std::function<void(const FrameView&)>& fn);
+
+  // Appends one record and applies the fsync policy. Returns the record's
+  // LSN — the log offset one past it; wait_durable(lsn) blocks until a sync
+  // covers it. Under kAlways the record is durable on return.
+  Result<uint64_t> append(uint8_t type, uint64_t seq, std::string_view payload);
+
+  // Blocking-mode group commit: returns once a sync covers `lsn` (or the log
+  // was reset underneath, which means a checkpoint made the record durable
+  // by other means).
+  Status wait_durable(uint64_t lsn);
+
+  Status sync();   // force a barrier regardless of policy
+  Status reset();  // truncate to empty (after a checkpoint supersedes it)
+
+  uint64_t size_bytes() const;
+  WalStats stats() const;
+  const std::string& path() const { return path_; }
+  const WalOpts& opts() const { return opts_; }
+
+ private:
+  Status sync_locked(std::unique_lock<std::mutex>& lk);
+
+  std::shared_ptr<Env> env_;
+  std::string path_;
+  WalOpts opts_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unique_ptr<AppendFile> file_;
+  uint64_t appended_ = 0;  // bytes appended this incarnation's log
+  uint64_t synced_ = 0;    // bytes covered by a durability barrier
+  uint32_t unsynced_appends_ = 0;
+  bool leader_active_ = false;
+  WalStats stats_;
+};
+
+}  // namespace bespokv::storage

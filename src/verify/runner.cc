@@ -11,6 +11,7 @@
 #include "src/common/rng.h"
 #include "src/net/fault.h"
 #include "src/net/sim_fabric.h"
+#include "src/storage/env.h"
 #include "src/workload/workload.h"
 
 namespace bespokv::verify {
@@ -191,6 +192,11 @@ uint64_t fault_window_end(const FaultPlan& p) {
   for (const auto& pf : p.partitions) {
     end = std::max(end, pf.until_us != 0 ? pf.until_us : pf.after_us);
   }
+  // crash_all entries should already be materialized into `nodes` by the
+  // time this runs; this bound covers an unexpanded plan conservatively.
+  for (const auto& c : p.crash_all) {
+    end = std::max(end, c.at_us + 16 * c.stagger_us + c.restart_after_us);
+  }
   return end;
 }
 
@@ -241,13 +247,41 @@ RunResult run_scenario(const Scenario& sc) {
   copts.sim_node.cores = sc.cores;
   copts.coordinator.hb_period_us = 100'000;
   copts.controlet.hb_period_us = 50'000;
+  // Durable scenarios: one shared power-loss Env plays every node's disk
+  // (Cluster gives each replica its own subtree). crash_restart() on a node
+  // fault then recovers from checkpoint + WAL instead of keeping state.
+  if (sc.durability.enabled) {
+    copts.datalet_cfg.env = std::make_shared<storage::MemEnv>();
+    copts.datalet_cfg.durable_dir = "/wal";
+    copts.datalet_cfg.fsync = sc.durability.fsync;
+    copts.datalet_cfg.wal_disable = sc.durability.wal_disable;
+    copts.datalet_cfg.torn_writes = sc.durability.torn_writes;
+    copts.datalet_cfg.checkpoint_bytes = sc.durability.checkpoint_bytes;
+    copts.datalet_cfg.crash_seed = sc.seed;
+  }
   Cluster cluster(sim, copts);
   cluster.start();
   sim.run_for(200'000);
 
-  sim.set_fault_injector(std::make_shared<FaultInjector>(sc.faults));
+  // Whole-cluster power loss: materialize crash_all patterns against the
+  // data-plane controlet addresses (the coordinator/DLM/shared-log rack is a
+  // separate failure domain) into ordinary NodeFault entries.
+  FaultPlan plan = sc.faults;
+  if (!plan.crash_all.empty()) {
+    std::vector<std::string> data_nodes;
+    for (int s = 0; s < sc.shards; ++s) {
+      for (int r = 0; r < sc.replicas; ++r) {
+        data_nodes.push_back(cluster.controlet_addr(s, r));
+      }
+    }
+    for (const auto& c : plan.crash_all) {
+      for (const auto& nf : c.materialized(data_nodes)) plan.nodes.push_back(nf);
+    }
+    plan.crash_all.clear();
+  }
+
+  sim.set_fault_injector(std::make_shared<FaultInjector>(plan));
   Runtime* admin = cluster.admin();
-  const FaultPlan plan = sc.faults;
   admin->post([admin, &sim, plan] { schedule_node_faults(*admin, sim, plan); });
 
   auto rec = std::make_shared<Recorder>();
@@ -302,8 +336,7 @@ RunResult run_scenario(const Scenario& sc) {
   // Quiesce: past the last fault window, plus the scenario's settle slack,
   // so convergence checks see a stable cluster.
   const uint64_t settle_until =
-      std::max(sim.now_us(), start_us + fault_window_end(sc.faults)) +
-      sc.settle_us;
+      std::max(sim.now_us(), start_us + fault_window_end(plan)) + sc.settle_us;
   while (sim.now_us() < settle_until) sim.run_for(50'000);
 
   for (int s = 0; s < sc.shards; ++s) {
@@ -337,8 +370,11 @@ RunResult run_scenario(const Scenario& sc) {
   // does a failover forced by a cluster-interior partition — monotonic
   // sessions are only a promise for untransitioned, unpartitioned EC runs.
   // (Client islands are fine: the pinned replica never changes.)
+  // A whole-cluster power loss also reshuffles pins (sessions reconnect while
+  // replicas are still catching up), so crash_all runs skip the session check.
   cko.monotonic_sessions = fin == Consistency::kEventual &&
-                           sc.transitions.empty() && !cuts_cluster(sc.faults);
+                           sc.transitions.empty() && !cuts_cluster(sc.faults) &&
+                           sc.faults.crash_all.empty();
   out.report = check_history(out.history, cko);
 
   // Convergence: meaningful once writes stopped and propagation drained.

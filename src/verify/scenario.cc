@@ -45,6 +45,15 @@ Json Scenario::to_json() const {
     tarr.push(std::move(tj));
   }
   j.set("transitions", std::move(tarr));
+  if (durability.enabled) {
+    Json d = Json::object();
+    d.set("enabled", Json::boolean(true));
+    d.set("fsync", Json::string(durability.fsync));
+    if (durability.wal_disable) d.set("wal_disable", Json::boolean(true));
+    d.set("torn_writes", Json::boolean(durability.torn_writes));
+    d.set("checkpoint_bytes", Json::number(double(durability.checkpoint_bytes)));
+    j.set("durability", std::move(d));
+  }
   j.set("bug", Json::string(bug_name(bug)));
   if (bug_rate > 0) j.set("bug_rate", Json::number(bug_rate));
   if (disable_fencing) j.set("disable_fencing", Json::boolean(true));
@@ -94,6 +103,15 @@ Result<Scenario> Scenario::from_json(const Json& j) {
     if (!tc.ok()) return tc.status();
     t.to_c = tc.value();
     s.transitions.push_back(t);
+  }
+  if (j.get("durability").is_object()) {
+    const Json& d = j.get("durability");
+    s.durability.enabled = d.get("enabled").as_bool(false);
+    s.durability.fsync = d.get("fsync").as_string("always");
+    s.durability.wal_disable = d.get("wal_disable").as_bool(false);
+    s.durability.torn_writes = d.get("torn_writes").as_bool(true);
+    s.durability.checkpoint_bytes = uint64_t(
+        d.get("checkpoint_bytes").as_number(double(s.durability.checkpoint_bytes)));
   }
   auto b = parse_bug(j.get("bug").as_string("none"));
   if (!b.ok()) return b.status();
@@ -265,6 +283,51 @@ Scenario Scenario::split_brain(uint64_t seed) {
   p.after_us = 150'000;
   p.until_us = 1'400'000;
   s.faults.partitions.push_back(p);
+  return s;
+}
+
+Scenario Scenario::crash_all(uint64_t seed, Topology t, Consistency c,
+                             bool wal_enabled) {
+  Rng rng(seed * 0xd1342543de82ef95ULL + 0x6b63564bULL);
+  Scenario s;
+  s.seed = seed;
+  s.topology = t;
+  s.consistency = c;
+  s.shards = 1;
+  s.replicas = 3;
+  s.clients = 4;
+  // Enough ops that plenty are acked before the outage and plenty land after
+  // the restart: the workload must outlive crash end (≤450ms) + outage
+  // (250ms) + catch-up, or a blind negative control would "pass" simply
+  // because nobody read the hole. 300 ops × ≥2.5ms ≥ 750ms guarantees
+  // post-recovery reads on every seed.
+  s.ops_per_client = 300 + int(rng.next_u64(111));  // 300..410
+  s.gap_us = 2'500 + rng.next_u64(1'001);           // 2.5..3.5ms
+  s.workload.num_keys = 8;  // hot keys: a lost write is overwritten-or-read fast
+  s.workload.key_size = 8;
+  s.workload.value_size = 16;
+  s.workload.get_ratio = 0.4;
+  s.workload.scan_ratio = 0.0;
+  s.workload.del_ratio = 0.0;
+  s.workload.zipfian = true;
+  s.workload.seed = seed;
+
+  s.durability.enabled = true;
+  s.durability.fsync = "always";
+  s.durability.wal_disable = !wal_enabled;
+  s.durability.torn_writes = true;
+  s.durability.checkpoint_bytes = 16'384;
+
+  // The power cut: every data-plane node (the runner materializes "*"
+  // against the controlet list only — coordinator/DLM/shared-log survive,
+  // like a separate management rack) goes down mid-workload within a few ms
+  // and comes back 250ms later, inside the ~350ms eviction deadline.
+  CrashAllFault cut;
+  cut.match = "*";
+  cut.at_us = 250'000 + rng.next_u64(200'001);  // 250..450ms
+  cut.restart_after_us = 250'000;
+  cut.stagger_us = rng.next_u64(5'001);  // 0..5ms between PSUs
+  s.faults.crash_all.push_back(cut);
   return s;
 }
 

@@ -35,6 +35,20 @@ struct TransitionStep {
   Consistency to_c = Consistency::kStrong;
 };
 
+// Storage durability knobs for a scenario. When enabled, the runner gives
+// every replica's engine a per-node directory in one shared in-memory
+// power-loss Env (storage::MemEnv): WAL + checkpoints/SSTables, with
+// crash_restart() modeling the power cut (torn tail writes included). The
+// negative control (wal_disable) keeps the directories but drops the WAL —
+// a full-cluster crash then provably loses acked writes.
+struct DurabilitySpec {
+  bool enabled = false;
+  std::string fsync = "always";  // always | groupcommit | os
+  bool wal_disable = false;
+  bool torn_writes = true;
+  uint64_t checkpoint_bytes = 16'384;  // small: exercise checkpoint+WAL mix
+};
+
 struct Scenario {
   uint64_t seed = 1;
   Topology topology = Topology::kMasterSlave;
@@ -59,6 +73,7 @@ struct Scenario {
 
   FaultPlan faults;
   std::vector<TransitionStep> transitions;
+  DurabilitySpec durability;
 
   BugKind bug = BugKind::kNone;
   double bug_rate = 0.0;
@@ -108,6 +123,16 @@ struct Scenario {
   // violation (acked-write loss via the deposed master's stale-epoch chain
   // writes shadowing the promoted head's) — proving the oracle sees the bug.
   static Scenario split_brain(uint64_t seed);
+
+  // The ISSUE 7 acceptance scenario: durable engines, a clean network, and a
+  // whole-cluster power loss mid-workload (every data-plane node crashes
+  // within a few ms, restarts 250ms later — inside the eviction deadline, so
+  // the membership survives and recovery is pure local replay + peer
+  // suffix catch-up). With the WAL on, no acked write may be lost; with
+  // wal_enabled=false the same run must LOSE acked writes — proving the
+  // checker sees what the WAL prevents.
+  static Scenario crash_all(uint64_t seed, Topology t, Consistency c,
+                            bool wal_enabled);
 };
 
 }  // namespace bespokv::verify

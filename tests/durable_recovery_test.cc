@@ -1,0 +1,272 @@
+// Crash-recovery tests for durable engines built via make_datalet with a
+// durable_dir on a MemEnv: acked state survives power cuts (torn tails
+// included), checkpoints + WAL replay compose, idempotency pins come back,
+// and the wal_disable negative knob provably loses data. tLSM's native disk
+// mode gets the same treatment plus manifest/orphan-sweep coverage.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/datalet/datalet.h"
+#include "src/storage/durable.h"
+#include "src/storage/env.h"
+
+namespace bespokv {
+namespace {
+
+using storage::MemEnv;
+
+DataletConfig durable_cfg(std::shared_ptr<MemEnv> env, const std::string& dir) {
+  DataletConfig cfg;
+  cfg.durable_dir = dir;
+  cfg.dir = dir;  // tLSM disk mode roots its runs here too
+  cfg.env = std::move(env);
+  cfg.fsync = "always";
+  cfg.torn_writes = true;
+  cfg.crash_seed = 42;
+  // Small enough that multi-batch tests exercise flush/checkpoint paths.
+  cfg.memtable_limit = 32;
+  cfg.max_runs_per_level = 2;
+  return cfg;
+}
+
+// Engines whose durable mode must survive a power cut. tLog has its own
+// replay test (logstore); tRedis/tSSDB share tHT's hash engine.
+const char* kKinds[] = {"tHT", "tMT", "tLSM"};
+
+class DurableRecoveryTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DurableRecoveryTest, AckedWritesSurviveCrashRestart) {
+  auto env = std::make_shared<MemEnv>();
+  auto d = make_datalet(GetParam(), durable_cfg(env, "/node"));
+  ASSERT_TRUE(d);
+  EXPECT_TRUE(d->durable());
+
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "k" + std::to_string(i % 25);
+    ASSERT_TRUE(d->put(key, "v" + std::to_string(i), uint64_t(i + 1)).ok());
+  }
+  ASSERT_TRUE(d->del("k3", 101).ok());
+  ASSERT_TRUE(d->crash_restart().ok());
+
+  EXPECT_EQ(d->size(), 24u);
+  auto hit = d->get("k24");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit.value().value, "v99");
+  EXPECT_EQ(hit.value().seq, 100u);
+  EXPECT_FALSE(d->get("k3").ok());
+  EXPECT_GE(d->durable_seq(), 101u);
+}
+
+TEST_P(DurableRecoveryTest, RepeatedCrashCyclesStayConsistent) {
+  auto env = std::make_shared<MemEnv>();
+  auto d = make_datalet(GetParam(), durable_cfg(env, "/node"));
+  uint64_t seq = 0;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (int i = 0; i < 40; ++i) {
+      const std::string key = "c" + std::to_string(i % 10);
+      ASSERT_TRUE(d->put(key, "cyc" + std::to_string(cycle), ++seq).ok());
+    }
+    ASSERT_TRUE(d->crash_restart().ok()) << "cycle " << cycle;
+    auto hit = d->get("c9");
+    ASSERT_TRUE(hit.ok()) << "cycle " << cycle;
+    EXPECT_EQ(hit.value().value, "cyc" + std::to_string(cycle));
+  }
+  EXPECT_EQ(d->size(), 10u);
+}
+
+TEST_P(DurableRecoveryTest, CheckpointPlusWalSuffixCompose) {
+  auto env = std::make_shared<MemEnv>();
+  DataletConfig cfg = durable_cfg(env, "/node");
+  // Tiny threshold: auto-checkpoint after every few appends, so recovery
+  // must merge a checkpoint image with a WAL suffix, not just replay a log.
+  cfg.checkpoint_bytes = 256;
+  auto d = make_datalet(GetParam(), cfg);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(
+        d->put("k" + std::to_string(i), std::string(20, 'x'), i + 1).ok());
+  }
+  ASSERT_TRUE(d->crash_restart().ok());
+  EXPECT_EQ(d->size(), 60u);
+  for (int i = 0; i < 60; ++i) {
+    EXPECT_TRUE(d->get("k" + std::to_string(i)).ok()) << i;
+  }
+}
+
+TEST_P(DurableRecoveryTest, TokenPinsComeBackAfterCrash) {
+  auto env = std::make_shared<MemEnv>();
+  auto d = make_datalet(GetParam(), durable_cfg(env, "/node"));
+  d->set_op_token(501);
+  ASSERT_TRUE(d->put("a", "1", 10).ok());
+  d->set_op_token(502);
+  ASSERT_TRUE(d->del("a", 11).ok());
+  ASSERT_TRUE(d->put("b", "2", 12).ok());  // no token: not pinned
+  ASSERT_TRUE(d->crash_restart().ok());
+
+  auto pins = d->token_pins();
+  ASSERT_EQ(pins.size(), 2u);
+  EXPECT_EQ(pins[0].token, 501u);
+  EXPECT_EQ(pins[0].seq, 10u);
+  EXPECT_EQ(pins[1].token, 502u);
+  EXPECT_EQ(pins[1].seq, 11u);
+}
+
+TEST_P(DurableRecoveryTest, WalDisableLosesEverythingOnCrash) {
+  auto env = std::make_shared<MemEnv>();
+  DataletConfig cfg = durable_cfg(env, "/node");
+  cfg.wal_disable = true;
+  auto d = make_datalet(GetParam(), cfg);
+  EXPECT_FALSE(d->durable());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(d->put("k" + std::to_string(i), "v", i + 1).ok());
+  }
+  ASSERT_TRUE(d->crash_restart().ok());
+  EXPECT_EQ(d->size(), 0u);  // the provable loss the negative gate relies on
+  EXPECT_FALSE(d->get("k0").ok());
+}
+
+TEST_P(DurableRecoveryTest, TornTailsAreDeterministicPerSeed) {
+  auto run = [&](uint64_t seed) {
+    auto env = std::make_shared<MemEnv>();
+    DataletConfig cfg = durable_cfg(env, "/node");
+    cfg.crash_seed = seed;
+    auto d = make_datalet(GetParam(), cfg);
+    for (int i = 0; i < 30; ++i) {
+      EXPECT_TRUE(d->put("k" + std::to_string(i), "v", i + 1).ok());
+    }
+    EXPECT_TRUE(d->crash_restart().ok());
+    std::vector<std::string> keys;
+    d->for_each([&](std::string_view k, const Entry&) {
+      keys.emplace_back(k);
+    });
+    return keys;
+  };
+  EXPECT_EQ(run(7), run(7));
+  // fsync=always means every acked write survives regardless of seed.
+  EXPECT_EQ(run(8).size(), 30u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, DurableRecoveryTest,
+                         ::testing::ValuesIn(kKinds));
+
+// ---------------------------- tLSM disk mode --------------------------------
+
+TEST(LsmDiskRecovery, SurvivesCrashAcrossFlushedRunsAndWalTail) {
+  auto env = std::make_shared<MemEnv>();
+  DataletConfig cfg;
+  cfg.dir = "/lsm";
+  cfg.durable_dir = "/lsm";
+  cfg.env = env;
+  cfg.memtable_limit = 16;  // force several flushes + compactions
+  cfg.max_runs_per_level = 2;
+  auto d = make_datalet("tLSM", cfg);
+  for (int i = 0; i < 200; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%04d", i % 50);
+    ASSERT_TRUE(d->put(key, "v" + std::to_string(i), i + 1).ok());
+  }
+  ASSERT_TRUE(d->del("k0007", 201).ok());
+  ASSERT_TRUE(d->crash_restart().ok());
+
+  EXPECT_EQ(d->size(), 49u);
+  auto hit = d->get("k0049");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit.value().value, "v199");
+  EXPECT_FALSE(d->get("k0007").ok());
+
+  // Ordered iteration across recovered runs + replayed memtable.
+  auto scanned = d->scan("k0000", "", 1000);
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_EQ(scanned.value().size(), 49u);
+  for (size_t i = 1; i < scanned.value().size(); ++i) {
+    EXPECT_LT(scanned.value()[i - 1].key, scanned.value()[i].key);
+  }
+}
+
+TEST(LsmDiskRecovery, OrphanRunsFromUnpublishedFlushesAreSwept) {
+  auto env = std::make_shared<MemEnv>();
+  DataletConfig cfg;
+  cfg.dir = "/lsm";
+  cfg.durable_dir = "/lsm";
+  cfg.env = env;
+  cfg.memtable_limit = 8;
+  auto d = make_datalet("tLSM", cfg);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(d->put("k" + std::to_string(i), "v", i + 1).ok());
+  }
+  // Drop an orphan: a run file no manifest names (as if power died between
+  // writing the table and publishing the manifest that references it).
+  ASSERT_TRUE(
+      env->write_file_durable("/lsm/sst-99999-orphan.tbl", "not a table").ok());
+  ASSERT_TRUE(env->write_file_durable("/lsm/sst-5.tbl.tmp", "half").ok());
+  ASSERT_TRUE(d->crash_restart().ok());
+  EXPECT_EQ(d->size(), 40u);
+  EXPECT_FALSE(env->exists("/lsm/sst-99999-orphan.tbl"));
+  EXPECT_FALSE(env->exists("/lsm/sst-5.tbl.tmp"));
+}
+
+TEST(LsmDiskRecovery, MemoryModeCrashRestartIsAProcessRestart) {
+  // Without a durable_dir the engine is volatile: crash_restart is the
+  // documented no-op (process restart, not power cut) and keeps state.
+  DataletConfig cfg;
+  cfg.memtable_limit = 16;
+  auto d = make_datalet("tLSM", cfg);
+  ASSERT_TRUE(d->put("a", "1", 1).ok());
+  EXPECT_FALSE(d->durable());
+  ASSERT_TRUE(d->crash_restart().ok());
+  EXPECT_TRUE(d->get("a").ok());
+}
+
+// ------------------------- DurableDatalet specifics -------------------------
+
+TEST(DurableDatalet, ManualCheckpointTruncatesWal) {
+  auto env = std::make_shared<MemEnv>();
+  storage::DurabilityOpts opts;
+  opts.env = env;
+  opts.dir = "/n";
+  opts.checkpoint_bytes = 0;  // manual only
+  auto dd = std::make_unique<storage::DurableDatalet>(make_datalet("tHT"),
+                                                      opts);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(dd->put("k" + std::to_string(i), "v", i + 1).ok());
+  }
+  EXPECT_GT(dd->wal_bytes(), 0u);
+  ASSERT_TRUE(dd->checkpoint().ok());
+  EXPECT_EQ(dd->wal_bytes(), 0u);
+  ASSERT_TRUE(dd->crash_restart().ok());
+  EXPECT_EQ(dd->size(), 10u);
+  EXPECT_GE(dd->last_recovery().checkpoint_entries, 10u);
+  EXPECT_TRUE(dd->last_recovery().had_checkpoint);
+}
+
+TEST(DurableDatalet, PutIfNewerRespectsLwwThroughRecovery) {
+  auto env = std::make_shared<MemEnv>();
+  storage::DurabilityOpts opts;
+  opts.env = env;
+  opts.dir = "/n";
+  auto dd = std::make_unique<storage::DurableDatalet>(make_datalet("tHT"),
+                                                      opts);
+  ASSERT_TRUE(dd->put_if_newer("k", "new", 9).ok());
+  ASSERT_TRUE(dd->put_if_newer("k", "old", 4).ok());  // LWW: no effect
+  ASSERT_TRUE(dd->crash_restart().ok());
+  auto hit = dd->get("k");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit.value().value, "new");
+  EXPECT_EQ(hit.value().seq, 9u);
+}
+
+TEST(DurableDatalet, FreshDirRecoversToEmpty) {
+  auto env = std::make_shared<MemEnv>();
+  storage::DurabilityOpts opts;
+  opts.env = env;
+  opts.dir = "/fresh";
+  storage::DurableDatalet dd(make_datalet("tHT"), opts);
+  EXPECT_EQ(dd.size(), 0u);
+  EXPECT_EQ(dd.durable_seq(), 0u);
+  EXPECT_FALSE(dd.last_recovery().had_checkpoint);
+}
+
+}  // namespace
+}  // namespace bespokv

@@ -1,0 +1,347 @@
+// Unit tests for the durable-storage subsystem (src/storage): WAL framing and
+// torn-tail recovery, the group-commit fsync policies, the MemEnv power-loss
+// model (synced-prefix survival, torn tails, garbage confined to log files),
+// SSTable write/read/corruption behavior, and the checkpoint codec.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/storage/checkpoint.h"
+#include "src/storage/durable.h"
+#include "src/storage/env.h"
+#include "src/storage/sstable.h"
+#include "src/storage/wal.h"
+
+namespace bespokv::storage {
+namespace {
+
+// ------------------------------- WAL framing --------------------------------
+
+TEST(WalFraming, FramesRoundTripThroughScan) {
+  std::string buf;
+  append_frame(buf, 1, 10, "alpha");
+  append_frame(buf, 2, 11, "");
+  append_frame(buf, 1, 12, std::string(300, 'x'));
+
+  std::vector<FrameView> seen;
+  const size_t valid = scan_frames(buf, [&](const FrameView& f) {
+    seen.push_back(f);
+  });
+  EXPECT_EQ(valid, buf.size());
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0].type, 1);
+  EXPECT_EQ(seen[0].seq, 10u);
+  EXPECT_EQ(seen[0].payload, "alpha");
+  EXPECT_EQ(seen[1].payload, "");
+  EXPECT_EQ(seen[2].payload.size(), 300u);
+}
+
+TEST(WalFraming, TornTailIsCutAtLastValidFrame) {
+  std::string buf;
+  append_frame(buf, 1, 1, "first");
+  append_frame(buf, 1, 2, "second");
+  const size_t intact = buf.size();
+  append_frame(buf, 1, 3, "third");
+  buf.resize(buf.size() - 3);  // the crash ate the frame's tail
+
+  int count = 0;
+  const size_t valid = scan_frames(buf, [&](const FrameView&) { ++count; });
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(valid, intact);
+}
+
+TEST(WalFraming, CorruptedCrcStopsTheScanAtThePriorFrame) {
+  std::string buf;
+  append_frame(buf, 1, 1, "keep");
+  const size_t intact = buf.size();
+  append_frame(buf, 1, 2, "flip-a-bit");
+  buf[intact + kFrameHeaderBytes + 3] ^= 0x40;  // corrupt the body
+
+  int count = 0;
+  const size_t valid = scan_frames(buf, [&](const FrameView&) { ++count; });
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(valid, intact);
+}
+
+TEST(WalFraming, GarbageAppendedPastTheTailIsIgnored) {
+  std::string buf;
+  append_frame(buf, 1, 1, "real");
+  const size_t intact = buf.size();
+  buf += "\xde\xad\xbe\xef garbage bytes from the torn sector";
+  int count = 0;
+  EXPECT_EQ(scan_frames(buf, [&](const FrameView&) { ++count; }), intact);
+  EXPECT_EQ(count, 1);
+}
+
+// ------------------------------- Wal object ---------------------------------
+
+TEST(Wal, AppendReplayRoundTrip) {
+  auto env = std::make_shared<MemEnv>();
+  WalOpts w;
+  w.policy = FsyncPolicy::kAlways;
+  {
+    Wal wal(env, "/d/wal.log", w);
+    ASSERT_TRUE(wal.replay_and_open([](const FrameView&) {}).ok());
+    ASSERT_TRUE(wal.append(1, 5, "one").ok());
+    ASSERT_TRUE(wal.append(2, 6, "two").ok());
+  }
+  Wal again(env, "/d/wal.log", w);
+  std::vector<uint64_t> seqs;
+  ASSERT_TRUE(again
+                  .replay_and_open([&](const FrameView& f) {
+                    seqs.push_back(f.seq);
+                  })
+                  .ok());
+  EXPECT_EQ(seqs, (std::vector<uint64_t>{5, 6}));
+}
+
+TEST(Wal, ResetTruncatesAndAbsorbsOldLsns) {
+  auto env = std::make_shared<MemEnv>();
+  WalOpts w;
+  w.policy = FsyncPolicy::kAlways;
+  Wal wal(env, "/d/wal.log", w);
+  ASSERT_TRUE(wal.replay_and_open([](const FrameView&) {}).ok());
+  auto lsn = wal.append(1, 1, "pre-checkpoint");
+  ASSERT_TRUE(lsn.ok());
+  ASSERT_TRUE(wal.reset().ok());
+  EXPECT_EQ(wal.size_bytes(), 0u);
+  // The record's effects now live in a checkpoint; waiting on its LSN must
+  // report durable rather than blocking forever.
+  EXPECT_TRUE(wal.wait_durable(lsn.value()).ok());
+}
+
+TEST(Wal, GroupCommitBatchesSyncs) {
+  auto env = std::make_shared<MemEnv>();
+  WalOpts w;
+  w.policy = FsyncPolicy::kGroupCommit;
+  w.group_batch = 4;
+  w.blocking = false;  // sim-style: sync every group_batch appends
+  Wal wal(env, "/d/wal.log", w);
+  ASSERT_TRUE(wal.replay_and_open([](const FrameView&) {}).ok());
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(wal.append(1, uint64_t(i), "payload").ok());
+  }
+  const WalStats st = wal.stats();
+  EXPECT_EQ(st.appends, 16u);
+  EXPECT_LE(st.syncs, 4u);  // one fdatasync per batch, not per append
+  EXPECT_GE(st.syncs, 1u);
+}
+
+TEST(Wal, OsPolicyNeverSyncs) {
+  auto env = std::make_shared<MemEnv>();
+  WalOpts w;
+  w.policy = FsyncPolicy::kOs;
+  Wal wal(env, "/d/wal.log", w);
+  ASSERT_TRUE(wal.replay_and_open([](const FrameView&) {}).ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(wal.append(1, uint64_t(i), "p").ok());
+  }
+  EXPECT_EQ(wal.stats().syncs, 0u);
+}
+
+TEST(FsyncPolicyNames, ParseAndPrintRoundTrip) {
+  for (const char* name : {"always", "groupcommit", "os"}) {
+    auto p = parse_fsync_policy(name);
+    ASSERT_TRUE(p.ok()) << name;
+    EXPECT_STREQ(fsync_policy_name(p.value()), name);
+  }
+  EXPECT_FALSE(parse_fsync_policy("lazy").ok());
+}
+
+// --------------------------- MemEnv power loss ------------------------------
+
+TEST(MemEnvCrash, SyncedPrefixSurvivesUnsyncedTailMayNot) {
+  MemEnv env;
+  ASSERT_TRUE(env.mkdirs("/n").ok());
+  auto f = env.open_append("/n/wal.log");
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f.value()->append("synced-part").ok());
+  ASSERT_TRUE(f.value()->sync().ok());
+  ASSERT_TRUE(f.value()->append("unsynced-tail").ok());
+
+  CrashOpts c;
+  c.torn_writes = true;
+  env.crash("/n", /*seed=*/7, c);
+
+  auto data = env.read_file("/n/wal.log");
+  ASSERT_TRUE(data.ok());
+  // The synced prefix is intact; at most a prefix of the unsynced tail (plus
+  // possibly garbage, which only ever lands on *.log files) follows it.
+  ASSERT_GE(data.value().size(), std::string("synced-part").size());
+  EXPECT_EQ(data.value().substr(0, 11), "synced-part");
+}
+
+TEST(MemEnvCrash, NonLogFilesNeverGetGarbage) {
+  // Footer-at-end formats (SSTables, checkpoints) are written with
+  // write_file_durable and must come back byte-identical or not at all.
+  for (uint64_t seed = 1; seed <= 32; ++seed) {
+    MemEnv env;
+    ASSERT_TRUE(env.mkdirs("/n").ok());
+    ASSERT_TRUE(env.write_file_durable("/n/sst-1.tbl", "immutable-bytes").ok());
+    env.crash("/n", seed, CrashOpts{});
+    auto data = env.read_file("/n/sst-1.tbl");
+    ASSERT_TRUE(data.ok()) << seed;
+    EXPECT_EQ(data.value(), "immutable-bytes") << seed;
+  }
+}
+
+TEST(MemEnvCrash, DeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    MemEnv env;
+    env.mkdirs("/n");
+    auto f = env.open_append("/n/wal.log");
+    f.value()->append("AAAA");
+    f.value()->sync();
+    f.value()->append("BBBBBBBBBBBB");
+    env.crash("/n", seed, CrashOpts{});
+    return env.read_file("/n/wal.log").value();
+  };
+  EXPECT_EQ(run(11), run(11));
+  // Different seeds usually differ (torn length / garbage draw); allow
+  // equality but require the synced prefix everywhere.
+  EXPECT_EQ(run(12).substr(0, 4), "AAAA");
+}
+
+TEST(MemEnvFiles, RenameIsAtomicAndDurable) {
+  MemEnv env;
+  ASSERT_TRUE(env.mkdirs("/n").ok());
+  ASSERT_TRUE(env.write_file_durable("/n/CHECKPOINT.tmp", "v2").ok());
+  ASSERT_TRUE(env.rename_file("/n/CHECKPOINT.tmp", "/n/CHECKPOINT").ok());
+  env.crash("/n", 3, CrashOpts{});
+  auto data = env.read_file("/n/CHECKPOINT");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), "v2");
+  EXPECT_FALSE(env.exists("/n/CHECKPOINT.tmp"));
+}
+
+// -------------------------------- SSTable -----------------------------------
+
+TEST(SSTable, WriteReadRoundTripWithTombstones) {
+  auto env = std::make_shared<MemEnv>();
+  ASSERT_TRUE(env->mkdirs("/t").ok());
+  SSTableWriter w(env, "/t/sst-1.tbl");
+  for (int i = 0; i < 500; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%05d", i);
+    ASSERT_TRUE(
+        w.add(key, "v" + std::to_string(i), uint64_t(i + 1), i % 7 == 0).ok());
+  }
+  ASSERT_TRUE(w.finish().ok());
+
+  auto t = SSTableReader::open(env, "/t/sst-1.tbl");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value()->count(), 500u);
+  EXPECT_EQ(t.value()->min_key(), "k00000");
+  EXPECT_EQ(t.value()->max_key(), "k00499");
+
+  auto hit = t.value()->find("k00123");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->value, "v123");
+  EXPECT_EQ(hit->seq, 124u);
+  EXPECT_FALSE(hit->tombstone);
+  auto tomb = t.value()->find("k00007");
+  ASSERT_TRUE(tomb.has_value());
+  EXPECT_TRUE(tomb->tombstone);
+  EXPECT_FALSE(t.value()->find("k99999").has_value());
+}
+
+TEST(SSTable, BloomFilterHasNoFalseNegatives) {
+  auto env = std::make_shared<MemEnv>();
+  ASSERT_TRUE(env->mkdirs("/t").ok());
+  SSTableWriter w(env, "/t/sst-2.tbl");
+  for (int i = 0; i < 300; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "m%05d", i);
+    ASSERT_TRUE(w.add(key, "v", 1, false).ok());
+  }
+  ASSERT_TRUE(w.finish().ok());
+  auto t = SSTableReader::open(env, "/t/sst-2.tbl");
+  ASSERT_TRUE(t.ok());
+  for (int i = 0; i < 300; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "m%05d", i);
+    EXPECT_TRUE(t.value()->may_contain(key)) << key;
+  }
+}
+
+TEST(SSTable, RejectsOutOfOrderKeysAndCorruptFiles) {
+  auto env = std::make_shared<MemEnv>();
+  ASSERT_TRUE(env->mkdirs("/t").ok());
+  SSTableWriter w(env, "/t/sst-3.tbl");
+  ASSERT_TRUE(w.add("bbb", "v", 1, false).ok());
+  EXPECT_FALSE(w.add("aaa", "v", 2, false).ok());  // not ascending
+  EXPECT_FALSE(w.add("bbb", "v", 3, false).ok());  // not strictly ascending
+  ASSERT_TRUE(w.finish().ok());
+
+  // Truncation (lost footer) and bit flips must both fail open(), not crash.
+  auto bytes = env->read_file("/t/sst-3.tbl").value();
+  env->write_file_durable("/t/short.tbl", bytes.substr(0, bytes.size() - 9));
+  EXPECT_FALSE(SSTableReader::open(env, "/t/short.tbl").ok());
+  bytes[bytes.size() / 2] ^= 0x01;
+  env->write_file_durable("/t/flipped.tbl", bytes);
+  EXPECT_FALSE(SSTableReader::open(env, "/t/flipped.tbl").ok());
+  EXPECT_FALSE(SSTableReader::open(env, "/t/missing.tbl").ok());
+}
+
+// ------------------------------- checkpoint ---------------------------------
+
+TEST(Checkpoint, RoundTripsEntriesAndPins) {
+  MemEnv env;
+  ASSERT_TRUE(env.mkdirs("/c").ok());
+  CheckpointData data;
+  data.durable_seq = 42;
+  data.entries.push_back(CheckpointEntry{"alpha", "1", 40});
+  data.entries.push_back(CheckpointEntry{"beta", std::string(1000, 'b'), 42});
+  data.pins.push_back(TokenPin{777, 42, uint8_t(Code::kOk)});
+  ASSERT_TRUE(write_checkpoint(env, "/c/CHECKPOINT", data).ok());
+
+  auto back = read_checkpoint(env, "/c/CHECKPOINT");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().durable_seq, 42u);
+  ASSERT_EQ(back.value().entries.size(), 2u);
+  EXPECT_EQ(back.value().entries[1].value.size(), 1000u);
+  ASSERT_EQ(back.value().pins.size(), 1u);
+  EXPECT_EQ(back.value().pins[0].token, 777u);
+}
+
+TEST(Checkpoint, DetectsTruncationAndCorruption) {
+  MemEnv env;
+  ASSERT_TRUE(env.mkdirs("/c").ok());
+  CheckpointData data;
+  data.durable_seq = 7;
+  data.entries.push_back(CheckpointEntry{"k", "v", 7});
+  ASSERT_TRUE(write_checkpoint(env, "/c/CHECKPOINT", data).ok());
+  auto bytes = env.read_file("/c/CHECKPOINT").value();
+
+  env.write_file_durable("/c/short", bytes.substr(0, bytes.size() - 2));
+  EXPECT_EQ(read_checkpoint(env, "/c/short").status().code(),
+            Code::kCorruption);
+  std::string flipped = bytes;
+  flipped[8] ^= 0x10;
+  env.write_file_durable("/c/flipped", flipped);
+  EXPECT_EQ(read_checkpoint(env, "/c/flipped").status().code(),
+            Code::kCorruption);
+  // Trailing garbage past the CRC'd image is ignored (crash semantics never
+  // append to non-log files, but be liberal in what we accept).
+  env.write_file_durable("/c/padded", bytes + "JUNK");
+  EXPECT_TRUE(read_checkpoint(env, "/c/padded").ok());
+}
+
+// ------------------------------ kv records ----------------------------------
+
+TEST(KvRecords, EncodeDecodeRoundTrip) {
+  std::string payload;
+  const std::string key("key\0with\0nuls", 13);  // binary-safe
+  encode_kv_record(payload, 9001, key, "value");
+  auto rec = decode_kv_record(payload);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value().token, 9001u);
+  EXPECT_EQ(rec.value().key, key);
+  EXPECT_EQ(rec.value().value, "value");
+  EXPECT_FALSE(decode_kv_record(payload.substr(0, 5)).ok());
+}
+
+}  // namespace
+}  // namespace bespokv::storage

@@ -3,12 +3,20 @@
 //   verify_driver --config=ms_sc|ms_ec|aa_sc|aa_ec --seed=N [--out=DIR]
 //                 [--scenario=FILE] [--bug=stale-read-cache --bug-rate=R]
 //                 [--no-shrink] [--partitions] [--split-brain] [--no-fencing]
+//                 [--crash-all] [--no-wal]
 //
 // --partitions draws one windowed network partition into the random scenario
 // (the nightly partition-enabled sweep). --split-brain runs the scripted
 // acceptance scenario: an asymmetric partition cuts the master off from the
 // coordinator while clients and chain peers still reach it; it must pass
 // with fencing on and produce a violation with --no-fencing.
+//
+// --crash-all runs the ISSUE 7 durability acceptance scenario: every replica
+// gets a WAL-backed engine on a shared power-loss Env, and the whole data
+// plane crashes mid-workload (torn tail writes included), restarting 250ms
+// later. It must show zero acked-write loss. --no-wal is the paired negative
+// control (forces ms_sc): the same power loss with the WAL disabled must
+// LOSE acked writes — if it passes, the checker is blind and the sweep exits 1.
 //
 // Generates a random Scenario from the seed (workload + fault plan + live
 // transitions, see src/verify/scenario.h), runs it on the deterministic sim
@@ -25,11 +33,13 @@
 //
 // Exit codes: 0 = pass, 1 = violation, 2 = usage / harness error.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "src/common/logging.h"
 #include "src/verify/runner.h"
 #include "src/verify/shrinker.h"
 
@@ -48,6 +58,8 @@ struct Args {
   bool partitions = false;   // draw a network partition into the scenario
   bool split_brain = false;  // run the scripted ISSUE 5 acceptance scenario
   bool no_fencing = false;   // negative test: disable lease/epoch fencing
+  bool crash_all = false;    // run the ISSUE 7 whole-cluster power-loss preset
+  bool no_wal = false;       // negative control: WAL off, loss expected
 };
 
 bool parse_args(int argc, char** argv, Args* a) {
@@ -79,6 +91,11 @@ bool parse_args(int argc, char** argv, Args* a) {
       a->split_brain = true;
     } else if (arg == "--no-fencing") {
       a->no_fencing = true;
+    } else if (arg == "--crash-all") {
+      a->crash_all = true;
+    } else if (arg == "--no-wal") {
+      a->crash_all = true;  // the negative control is a crash_all variant
+      a->no_wal = true;
     } else {
       std::fprintf(stderr, "unknown arg: %s\n", arg.c_str());
       return false;
@@ -115,13 +132,26 @@ void write_file(const std::string& path, const std::string& body) {
 
 int main(int argc, char** argv) {
   using namespace bespokv::verify;
+  // BKV_LOG=debug|info|warn|error|off (default warn) — fault/recovery
+  // timelines are logged at info, which CI triage turns on per-rerun.
+  if (const char* lvl = std::getenv("BKV_LOG")) {
+    using bespokv::LogLevel;
+    const std::string s = lvl;
+    bespokv::Logger::instance().set_level(
+        s == "debug"  ? LogLevel::kDebug
+        : s == "info" ? LogLevel::kInfo
+        : s == "off"  ? LogLevel::kOff
+        : s == "error" ? LogLevel::kError
+                       : LogLevel::kWarn);
+  }
   Args args;
   if (!parse_args(argc, argv, &args)) {
     std::fprintf(stderr,
                  "usage: verify_driver --config=ms_sc|ms_ec|aa_sc|aa_ec "
                  "--seed=N [--out=DIR] [--scenario=FILE] "
                  "[--bug=stale-read-cache --bug-rate=R] [--no-shrink] "
-                 "[--partitions] [--split-brain] [--no-fencing] [--cores=N]\n");
+                 "[--partitions] [--split-brain] [--no-fencing] "
+                 "[--crash-all] [--no-wal] [--cores=N]\n");
     return 2;
   }
 
@@ -137,6 +167,12 @@ int main(int argc, char** argv) {
   } else if (args.split_brain) {
     sc = Scenario::split_brain(args.seed);
     args.config = "ms_sc";  // the preset is MS+SC by construction
+  } else if (args.crash_all) {
+    if (args.no_wal) args.config = "ms_sc";  // loss shows as a lin violation
+    bespokv::Topology t;
+    bespokv::Consistency c;
+    config_of(args.config, &t, &c);
+    sc = Scenario::crash_all(args.seed, t, c, /*wal_enabled=*/!args.no_wal);
   } else {
     bespokv::Topology t;
     bespokv::Consistency c;
@@ -155,11 +191,15 @@ int main(int argc, char** argv) {
   if (args.cores > 0) sc.cores = args.cores;
   std::fprintf(stderr,
                "verify_driver: config=%s seed=%llu clients=%d ops=%d "
-               "cores=%d transitions=%zu partitions=%zu bug=%s%s\n",
+               "cores=%d transitions=%zu partitions=%zu bug=%s%s%s\n",
                args.config.c_str(),
                static_cast<unsigned long long>(sc.seed), sc.clients,
                sc.ops_per_client, sc.cores, sc.transitions.size(),
                sc.faults.partitions.size(), bug_name(sc.bug),
+               sc.faults.crash_all.empty()
+                   ? ""
+                   : (sc.durability.wal_disable ? " CRASH-ALL WAL-DISABLED"
+                                                : " CRASH-ALL"),
                sc.disable_fencing ? " FENCING-DISABLED" : "");
 
   RunResult r = run_scenario(sc);
@@ -167,6 +207,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "verify_driver: harness error: %s\n",
                  r.error.c_str());
     return 2;
+  }
+  if (args.no_wal) {
+    // Negative control: the run must LOSE acked writes. A pass here means
+    // the checker cannot see what the WAL is protecting against.
+    if (r.violation()) {
+      std::fprintf(stderr,
+                   "verify_driver: PASS (negative control lost acked writes "
+                   "as expected: %s)\n",
+                   r.report.to_string().c_str());
+      return 0;
+    }
+    std::fprintf(stderr,
+                 "verify_driver: FAIL — WAL disabled yet no acked-write loss "
+                 "detected; the durability gate is not observing anything\n");
+    return 1;
   }
   if (!r.violation()) {
     std::fprintf(stderr, "verify_driver: PASS (%zu ops, %llu states)\n",
@@ -192,6 +247,7 @@ int main(int argc, char** argv) {
   }
   const std::string tag = args.config +
                           (sc.faults.partitions.empty() ? "" : "-part") +
+                          (sc.faults.crash_all.empty() ? "" : "-crash") +
                           "-seed" + std::to_string(sc.seed);
   write_file(args.out + "/scenario-" + tag + ".json", sc.encode());
   // The compiled fault schedule on its own (partition windows included), so

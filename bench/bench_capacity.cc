@@ -1,0 +1,275 @@
+// Capacity model (ISSUE 8 tentpole): open-loop load sweep per consistency
+// config, with and without admission control.
+//
+// A closed-loop driver cannot show overload: its clients wait, so offered
+// load self-throttles to whatever the service point sustains. Here the
+// OpenLoopDriver schedules arrivals from a Poisson process — the aggregate
+// behaviour of a large independent client population (we model 1M logical
+// clients; the per-client rate times the population gives the offered λ) —
+// and latency is charged from the *scheduled* arrival, so queueing delay is
+// visible and there is no coordinated omission to correct.
+//
+// For each of three consistency configs (ms_sc chain replication, ms_ec
+// async master-slave, aa_ec active-active) the sweep raises λ through the
+// saturation knee twice: shedding OFF (admission.max_inflight = 0) and
+// shedding ON (bounded per-shard admission queue + deadline-aware drop).
+// Past the knee, shedding-off lets the backlog and p99 diverge (queue
+// collapse); shedding-on sheds the excess as kOverloaded and keeps the p99
+// of *completed* requests bounded. The headline gate checks exactly that.
+//
+// The knee we publish is the highest swept λ the config still serves with
+// goodput >= 90% of offered and p99 under the collapse bound.
+//
+// Usage: bench_capacity [--json] [--csv FILE] [--quick] [--config NAME]
+//   --json writes BENCH_capacity.json (the committed baseline);
+//   --csv appends per-config knee rows for the nightly capacity-sweep CI job;
+//   --config restricts the sweep to one of ms_sc / ms_ec / aa_ec.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/json.h"
+#include "src/net/sim_fabric.h"
+#include "src/workload/open_loop.h"
+
+namespace bespokv::bench {
+namespace {
+
+// p99 above this marks the queue-collapsed regime (well past any sane SLO
+// for a fabric whose unloaded RTT is ~hundreds of µs).
+constexpr uint64_t kCollapseP99Us = 200'000;
+constexpr uint64_t kModeledClients = 1'000'000;
+
+struct ConfigDef {
+  const char* name;
+  Topology topology;
+  Consistency consistency;
+};
+
+struct SweepPoint {
+  double rate = 0;  // offered λ (arrivals/sec)
+  double offered_qps = 0;
+  double goodput_qps = 0;
+  uint64_t p50_us = 0;
+  uint64_t p99_us = 0;
+  uint64_t shed = 0;
+  uint64_t errors = 0;
+  uint64_t client_dropped = 0;
+  uint64_t outstanding_end = 0;  // backlog still queued when the window closed
+};
+
+struct SweepResult {
+  std::string config;
+  bool shedding = false;
+  std::vector<SweepPoint> points;
+  double knee_qps = 0;  // highest λ served at >=90% goodput, bounded p99
+};
+
+SweepPoint run_point(const ConfigDef& cfg, bool shedding, double rate,
+                     uint64_t measure_us, char mix) {
+  SimFabricOpts fopts;
+  fopts.link_latency_us = 20;
+  fopts.seed = 42;
+  SimFabric sim(fopts);
+
+  ClusterOptions copts;
+  copts.topology = cfg.topology;
+  copts.consistency = cfg.consistency;
+  copts.num_shards = 2;
+  copts.num_replicas = 3;
+  copts.sim_node.base_service_us = 100;  // ~10k serialized ops/s per node
+  copts.sim_node.per_kb_service_us = 4.0;
+  if (shedding) {
+    copts.controlet.admission.max_inflight = 64;
+    copts.controlet.admission.deadline_us = 20'000;
+  }
+  Cluster cluster(sim, copts);
+  cluster.start();
+  sim.run_for(300'000);
+
+  OpenLoopOptions oopts;
+  oopts.num_client_nodes = 16;
+  oopts.workload = WorkloadSpec::ycsb(mix).value();
+  oopts.workload.num_keys = 10'000;  // preload cost; popularity still zipfian
+  oopts.arrival.kind = ArrivalSpec::Kind::kPoisson;
+  oopts.arrival.rate_per_sec = rate;
+  oopts.arrival.seed = 7;
+  oopts.rpc_timeout_us = 2'000'000;
+  oopts.max_outstanding = 20'000;  // generator safety valve past collapse
+  OpenLoopDriver driver(sim, cluster, oopts);
+  driver.preload();
+  driver.start();
+  sim.run_for(measure_us / 2);  // warmup
+  driver.reset_window();
+  sim.run_for(measure_us);
+  OpenLoopResult r = driver.collect();
+  driver.stop();
+  sim.run_for(200'000);  // drain stragglers (not measured)
+
+  SweepPoint p;
+  p.rate = rate;
+  p.offered_qps = r.offered_qps;
+  p.goodput_qps = r.goodput_qps;
+  p.p50_us = r.latency_us.percentile(0.50);
+  p.p99_us = r.latency_us.percentile(0.99);
+  p.shed = r.shed;
+  p.errors = r.errors;
+  p.client_dropped = r.client_dropped;
+  p.outstanding_end = r.outstanding;
+  return p;
+}
+
+SweepResult run_sweep(const ConfigDef& cfg, bool shedding,
+                      const std::vector<double>& rates, uint64_t measure_us,
+                      char mix) {
+  SweepResult s;
+  s.config = cfg.name;
+  s.shedding = shedding;
+  for (double rate : rates) {
+    SweepPoint p = run_point(cfg, shedding, rate, measure_us, mix);
+    std::fprintf(stderr,
+                 "%-6s shed=%-3s λ=%7.0f/s  goodput=%7.0f/s  p50=%6lluus  "
+                 "p99=%8lluus  shed=%-6llu backlog=%llu\n",
+                 cfg.name, shedding ? "on" : "off", p.rate, p.goodput_qps,
+                 (unsigned long long)p.p50_us, (unsigned long long)p.p99_us,
+                 (unsigned long long)p.shed,
+                 (unsigned long long)p.outstanding_end);
+    if (p.goodput_qps >= 0.90 * p.offered_qps && p.p99_us < kCollapseP99Us) {
+      s.knee_qps = std::max(s.knee_qps, p.rate);
+    }
+    s.points.push_back(p);
+  }
+  return s;
+}
+
+Json point_json(const SweepPoint& p) {
+  Json j = Json::object();
+  j.set("rate_per_sec", Json::number(p.rate));
+  j.set("offered_qps", Json::number(p.offered_qps));
+  j.set("goodput_qps", Json::number(p.goodput_qps));
+  j.set("p50_us", Json::number(double(p.p50_us)));
+  j.set("p99_us", Json::number(double(p.p99_us)));
+  j.set("shed", Json::number(double(p.shed)));
+  j.set("errors", Json::number(double(p.errors)));
+  j.set("client_dropped", Json::number(double(p.client_dropped)));
+  j.set("backlog_end", Json::number(double(p.outstanding_end)));
+  return j;
+}
+
+}  // namespace
+}  // namespace bespokv::bench
+
+int main(int argc, char** argv) {
+  using namespace bespokv;
+  using namespace bespokv::bench;
+  bool json = false;
+  bool quick = false;
+  char mix = 'B';
+  std::string csv_path;
+  std::string only_config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--mix") == 0 && i + 1 < argc) {
+      mix = static_cast<char>(std::toupper(argv[++i][0]));
+    } else if (std::strcmp(argv[i], "--config") == 0 && i + 1 < argc) {
+      only_config = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_capacity [--json] [--csv FILE] [--mix A..F] "
+                   "[--quick] [--config ms_sc|ms_ec|aa_ec]\n");
+      return 2;
+    }
+  }
+
+  const ConfigDef configs[] = {
+      {"ms_sc", Topology::kMasterSlave, Consistency::kStrong},
+      {"ms_ec", Topology::kMasterSlave, Consistency::kEventual},
+      {"aa_ec", Topology::kActiveActive, Consistency::kEventual},
+  };
+  // Sweep through the knee of a 2-shard/3-replica cluster whose nodes
+  // serialize at ~10k ops/s: strong MS reads concentrate on the two masters
+  // (knee around 20k), eventual configs spread reads over all six replicas
+  // (knee around 50-60k). λ is the aggregate of the modeled million-client
+  // population (e.g. 64k/s = 1M clients at 0.064 ops/s each).
+  const std::vector<double> rates =
+      quick ? std::vector<double>{8'000, 32'000, 96'000}
+            : std::vector<double>{8'000, 16'000, 32'000, 48'000, 64'000,
+                                  96'000};
+  const uint64_t measure_us = quick ? 1'000'000 : 2'000'000;
+
+  std::vector<SweepResult> sweeps;
+  for (const ConfigDef& cfg : configs) {
+    if (!only_config.empty() && only_config != cfg.name) continue;
+    for (bool shedding : {false, true}) {
+      sweeps.push_back(run_sweep(cfg, shedding, rates, measure_us, mix));
+    }
+  }
+
+  // Gate: at the top swept rate, shedding must bound p99 where the unshed
+  // run has collapsed (diverging p99 or a standing backlog).
+  bool gate = true;
+  std::fprintf(stderr, "\n# config  knee(off)   knee(on)   p99@max(off)  p99@max(on)\n");
+  for (size_t i = 0; i + 1 < sweeps.size(); i += 2) {
+    const SweepResult& off = sweeps[i];
+    const SweepResult& on = sweeps[i + 1];
+    const SweepPoint& off_max = off.points.back();
+    const SweepPoint& on_max = on.points.back();
+    const bool off_collapsed = off_max.p99_us >= kCollapseP99Us ||
+                               off_max.outstanding_end > 1'000;
+    const bool on_bounded = on_max.p99_us < kCollapseP99Us;
+    if (!(off_collapsed && on_bounded)) gate = false;
+    std::fprintf(stderr, "%-8s %9.0f %10.0f %12llu %12llu  %s\n",
+                 off.config.c_str(), off.knee_qps, on.knee_qps,
+                 (unsigned long long)off_max.p99_us,
+                 (unsigned long long)on_max.p99_us,
+                 off_collapsed && on_bounded ? "PASS" : "FAIL");
+  }
+  std::fprintf(stderr, "# gate_shedding_bounds_p99: %s\n",
+               gate ? "PASS" : "FAIL");
+
+  if (json) {
+    Json j = Json::object();
+    j.set("bench", Json::string("capacity"));
+    j.set("mix", Json::string(std::string("ycsb_") + char(std::tolower(mix))));
+    j.set("modeled_clients", Json::number(double(kModeledClients)));
+    j.set("collapse_p99_us", Json::number(double(kCollapseP99Us)));
+    j.set("gate_shedding_bounds_p99", Json::boolean(gate));
+    Json arr = Json::array();
+    for (const SweepResult& s : sweeps) {
+      Json sj = Json::object();
+      sj.set("config", Json::string(s.config));
+      sj.set("shedding", Json::boolean(s.shedding));
+      sj.set("knee_qps", Json::number(s.knee_qps));
+      Json pts = Json::array();
+      for (const SweepPoint& p : s.points) pts.push(point_json(p));
+      sj.set("points", std::move(pts));
+      arr.push(std::move(sj));
+    }
+    j.set("sweeps", std::move(arr));
+    std::ofstream out("BENCH_capacity.json");
+    out << j.dump(2) << "\n";
+    std::fprintf(stderr, "bench_capacity: wrote BENCH_capacity.json\n");
+  }
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path, std::ios::app);
+    out << "mix,config,shedding,knee_qps,p99_at_max_us,shed_at_max\n";
+    for (const SweepResult& s : sweeps) {
+      const SweepPoint& last = s.points.back();
+      out << "ycsb_" << char(std::tolower(mix)) << ',' << s.config << ','
+          << (s.shedding ? "on" : "off") << ',' << s.knee_qps << ','
+          << last.p99_us << ',' << last.shed << "\n";
+    }
+    std::fprintf(stderr, "bench_capacity: appended knee rows to %s\n",
+                 csv_path.c_str());
+  }
+  return gate ? 0 : 1;
+}

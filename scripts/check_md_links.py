@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Fail on dead intra-repo links in the repo's markdown files.
+
+Checks every [text](target) and bare reference in *.md whose target is a
+relative path (optionally with a #fragment). External links (http/https/
+mailto) and pure #fragment self-links are ignored; path targets are resolved
+against the file's directory and must exist in the working tree. Exit 1 with
+a per-link report if any target is missing.
+"""
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+SKIP_DIRS = {".git", "build", ".github"}  # .github: workflow docs link to runs
+# Retrieval artifacts quoting other repos' docs verbatim — their relative
+# links point into trees we do not vendor.
+SKIP_FILES = {"SNIPPETS.md", "PAPERS.md"}
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md") and name not in SKIP_FILES:
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            for target in LINK_RE.findall(line):
+                if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                    continue
+                target_path = target.split("#", 1)[0]
+                if not target_path:
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), target_path))
+                if not os.path.exists(resolved):
+                    rel = os.path.relpath(path, root)
+                    errors.append(f"{rel}:{lineno}: dead link -> {target}")
+    return errors
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    all_errors = []
+    count = 0
+    for path in sorted(md_files(root)):
+        count += 1
+        all_errors.extend(check_file(path, root))
+    for err in all_errors:
+        print(err)
+    print(f"checked {count} markdown files, {len(all_errors)} dead links")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

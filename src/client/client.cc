@@ -189,7 +189,9 @@ void KvClient::issue(Message req, bool is_read, int attempts_left, DoneCb done) 
       st->hedge_timer = 0;
     }
     const bool transport_failed = !s.ok();
-    const bool retryable = transport_failed || rep.code == Code::kNotLeader ||
+    const bool overloaded = !transport_failed && rep.code == Code::kOverloaded;
+    const bool retryable = transport_failed || overloaded ||
+                           rep.code == Code::kNotLeader ||
                            rep.code == Code::kUnavailable ||
                            rep.code == Code::kTimeout;
     if (!retryable) {
@@ -230,7 +232,20 @@ void KvClient::issue(Message req, bool is_read, int attempts_left, DoneCb done) 
       c_retry_->inc();
       record_retry_span(req, attempt_start);
       const int attempt_no = std::max(0, cfg_.retries - attempts_left);
-      const uint64_t delay = backoff_us(attempt_no);
+      uint64_t delay = backoff_us(attempt_no);
+      if (overloaded) {
+        // Admission control shed the request: routing is fine, the shard is
+        // just saturated. Honor the server's retry-after hint (reply `seq`,
+        // microseconds), keep the jittered backoff as a floor, and skip the
+        // map refresh — hammering the coordinator during overload would turn
+        // shedding into a retry storm of its own.
+        delay = std::max(delay, rep.seq);
+        rt_->set_timer(delay, [this, req = std::move(req), is_read,
+                               attempts_left, done = std::move(done)]() mutable {
+          issue(std::move(req), is_read, attempts_left - 1, std::move(done));
+        });
+        return;
+      }
       refresh_map([this, req = std::move(req), is_read, attempts_left, delay,
                    done = std::move(done)](Status) mutable {
         rt_->set_timer(delay, [this, req = std::move(req), is_read,
@@ -263,7 +278,8 @@ void KvClient::issue(Message req, bool is_read, int attempts_left, DoneCb done) 
                 const bool conclusive =
                     s.ok() && rep.code != Code::kNotLeader &&
                     rep.code != Code::kUnavailable &&
-                    rep.code != Code::kTimeout;
+                    rep.code != Code::kTimeout &&
+                    rep.code != Code::kOverloaded;
                 // A failed copy defers to the other in-flight copy (if any);
                 // the last one standing settles the attempt either way.
                 if (conclusive || st->outstanding == 0) {
@@ -371,7 +387,13 @@ void KvClient::delete_table(const std::string& table, StatusCb done) {
 void KvClient::put(const std::string& key, const std::string& value,
                    StatusCb done, const std::string& table,
                    ConsistencyLevel level) {
-  Message req = Message::put(key, value, table);
+  put_ttl(key, value, /*ttl_ms=*/0, std::move(done), table, level);
+}
+
+void KvClient::put_ttl(const std::string& key, const std::string& value,
+                       uint32_t ttl_ms, StatusCb done,
+                       const std::string& table, ConsistencyLevel level) {
+  Message req = Message::put_ttl(key, value, ttl_ms, table);
   req.consistency = level;
   req.token = next_token();
   issue(std::move(req), /*is_read=*/false, cfg_.retries,
@@ -557,6 +579,16 @@ Result<Message> SyncKv::issue(Message req, bool is_read) {
                           : map_.write_target(routing_key, salt_);
     if (!target.ok()) return target.status();
     auto rep = call_(target.value(), req);
+    if (rep.ok() && rep.value().code == Code::kOverloaded) {
+      // Shed by admission control: back off per the server's retry-after
+      // hint (reply `seq`, µs) without a map refresh — routing is fine.
+      last = std::move(rep);
+      if (backoff_us_ > 0 || last.value().seq > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            std::max(backoff_us_, last.value().seq)));
+      }
+      continue;
+    }
     const bool routing_problem =
         !rep.ok() || rep.value().code == Code::kNotLeader ||
         rep.value().code == Code::kUnavailable ||
@@ -572,7 +604,13 @@ Result<Message> SyncKv::issue(Message req, bool is_read) {
 
 Status SyncKv::put(const std::string& key, const std::string& value,
                    const std::string& table, ConsistencyLevel level) {
-  Message req = Message::put(key, value, table);
+  return put_ttl(key, value, /*ttl_ms=*/0, table, level);
+}
+
+Status SyncKv::put_ttl(const std::string& key, const std::string& value,
+                       uint32_t ttl_ms, const std::string& table,
+                       ConsistencyLevel level) {
+  Message req = Message::put_ttl(key, value, ttl_ms, table);
   req.consistency = level;
   req.token = next_token();
   auto rep = issue(std::move(req), false);

@@ -90,6 +90,11 @@ class KvClient {
   void put(const std::string& key, const std::string& value, StatusCb done,
            const std::string& table = "",
            ConsistencyLevel level = ConsistencyLevel::kDefault);
+  // PUT with a relative time-to-live (cache-tier mode, DESIGN.md). The
+  // master controlet stamps an absolute expiry at admission; 0 = no TTL.
+  void put_ttl(const std::string& key, const std::string& value,
+               uint32_t ttl_ms, StatusCb done, const std::string& table = "",
+               ConsistencyLevel level = ConsistencyLevel::kDefault);
   void get(const std::string& key, ValueCb done, const std::string& table = "",
            ConsistencyLevel level = ConsistencyLevel::kDefault);
   void del(const std::string& key, StatusCb done,
@@ -166,6 +171,9 @@ class SyncKv {
   Status put(const std::string& key, const std::string& value,
              const std::string& table = "",
              ConsistencyLevel level = ConsistencyLevel::kDefault);
+  Status put_ttl(const std::string& key, const std::string& value,
+                 uint32_t ttl_ms, const std::string& table = "",
+                 ConsistencyLevel level = ConsistencyLevel::kDefault);
   Result<std::string> get(const std::string& key,
                           const std::string& table = "",
                           ConsistencyLevel level = ConsistencyLevel::kDefault);

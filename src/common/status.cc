@@ -16,6 +16,7 @@ const char* code_name(Code c) {
     case Code::kNotLeader: return "NOT_LEADER";
     case Code::kOutOfRange: return "OUT_OF_RANGE";
     case Code::kMaybeApplied: return "MAYBE_APPLIED";
+    case Code::kOverloaded: return "OVERLOADED";
   }
   return "UNKNOWN";
 }

@@ -24,6 +24,8 @@ enum class Code : uint8_t {
   kOutOfRange,    // shared-log trim horizon or scan bound violation
   kMaybeApplied,  // write timed out after exhausting retries: it may or may
                   // not have taken effect (see client.h for the contract)
+  kOverloaded,    // admission control shed the request before execution; the
+                  // reply's `seq` carries a retry-after hint in microseconds
 };
 
 const char* code_name(Code c);
@@ -46,6 +48,7 @@ class Status {
   static Status NotLeader(std::string m = "") { return Status(Code::kNotLeader, std::move(m)); }
   static Status OutOfRange(std::string m = "") { return Status(Code::kOutOfRange, std::move(m)); }
   static Status MaybeApplied(std::string m = "") { return Status(Code::kMaybeApplied, std::move(m)); }
+  static Status Overloaded(std::string m = "") { return Status(Code::kOverloaded, std::move(m)); }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }

@@ -109,7 +109,7 @@ void AaScControlet::do_read(EventContext ctx) {
   // Per-request eventual reads skip the lock entirely (§IV-C).
   if (ctx.req.consistency == ConsistencyLevel::kEventual ||
       !dlm_.has_value()) {
-    ctx.reply(apply_local(ctx.req));
+    ctx.reply(apply_local_read(ctx.req));
     return;
   }
   const std::string key = prefixed_key(ctx.req);
@@ -129,7 +129,7 @@ void AaScControlet::do_read(EventContext ctx) {
     }
     ++lock_grants_;
     obs::record_stage(*rt_, tctx, "dlm.lock", lock_t0);
-    Message rep = apply_local(req);
+    Message rep = apply_local_read(req);
     dlm_->unlock(key);
     reply(std::move(rep));
   }, map_.epoch, cfg_.shard);

@@ -1,0 +1,66 @@
+#include "src/controlet/admission.h"
+
+#include <algorithm>
+
+namespace bespokv {
+
+void AdmissionController::attach_metrics(obs::MetricsRegistry& m) {
+  c_admitted_ = &m.counter("admit.admitted");
+  c_shed_ = &m.counter("admit.shed");
+  c_deadline_shed_ = &m.counter("admit.deadline_shed");
+  c_deadline_miss_ = &m.counter("admit.deadline_miss");
+  g_depth_ = &m.gauge("admit.queue_depth");
+}
+
+bool AdmissionController::should_shed(uint64_t backlog_us,
+                                      uint64_t* retry_after_us) {
+  if (!enabled()) return false;
+  const double predicted_wait_us =
+      static_cast<double>(backlog_us) +
+      static_cast<double>(inflight_) * ema_latency_us_;
+  const bool queue_full = inflight_ >= cfg_.max_inflight;
+  const bool past_deadline =
+      cfg_.deadline_us > 0 &&
+      predicted_wait_us > static_cast<double>(cfg_.deadline_us);
+  if (!queue_full && !past_deadline) return false;
+  if (c_shed_ != nullptr) {
+    c_shed_->inc();
+    if (past_deadline && !queue_full) c_deadline_shed_->inc();
+  }
+  if (retry_after_us != nullptr) {
+    // Size the hint to the backlog: roughly how long until the current
+    // inflight set drains, floored at one EMA service time. The client
+    // jitters on top, so synchronized shed victims do not re-stampede.
+    const double drain_us = std::max(predicted_wait_us, ema_latency_us_);
+    *retry_after_us = static_cast<uint64_t>(std::min(drain_us, 1e7));
+  }
+  return true;
+}
+
+bool AdmissionController::admit(uint64_t backlog_us, uint64_t* retry_after_us) {
+  if (should_shed(backlog_us, retry_after_us)) return false;
+  if (!enabled()) return true;
+  ++inflight_;
+  if (c_admitted_ != nullptr) {
+    c_admitted_->inc();
+    g_depth_->set(static_cast<int64_t>(inflight_));
+  }
+  return true;
+}
+
+void AdmissionController::complete(uint64_t now_us, uint64_t admitted_at_us) {
+  if (inflight_ > 0) --inflight_;
+  const uint64_t lat = now_us >= admitted_at_us ? now_us - admitted_at_us : 0;
+  ema_latency_us_ = ema_latency_us_ == 0
+                        ? static_cast<double>(lat)
+                        : (1 - cfg_.ema_alpha) * ema_latency_us_ +
+                              cfg_.ema_alpha * static_cast<double>(lat);
+  if (c_deadline_miss_ != nullptr) {
+    if (cfg_.deadline_us > 0 && lat > cfg_.deadline_us) {
+      c_deadline_miss_->inc();
+    }
+    g_depth_->set(static_cast<int64_t>(inflight_));
+  }
+}
+
+}  // namespace bespokv

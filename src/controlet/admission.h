@@ -1,0 +1,81 @@
+// Admission control and load shedding (DESIGN.md "Admission control &
+// overload"). Open-loop traffic has no built-in brake: when arrivals exceed
+// a controlet's service capacity, the inflight set — client ops admitted but
+// not yet replied — grows without bound, every queued op ages past any useful
+// deadline, and retries pile on top (queue collapse). The controller bounds
+// the inflight set and sheds the excess *early*, at request entry, where a
+// rejection costs one reply instead of a full replication fan-out:
+//
+//   * Queue bound: more than `max_inflight` admitted-but-unfinished ops
+//     => shed.
+//   * Deadline-aware drop: the predicted wait for a new arrival
+//     (ingress-queue backlog + inflight x EMA service latency) already
+//     exceeds `deadline_us` => shed now rather than serve a guaranteed-late
+//     reply. The backlog term comes from Runtime::queue_backlog_us(), so
+//     queueing that happens before the handler even runs (reactor/ingress
+//     queue) still triggers shedding.
+//
+// A shed request is answered kOverloaded with a retry-after hint (reply
+// `seq`, µs) sized to the current backlog; the client library honors it as a
+// backoff floor and skips the map refresh (routing is fine — see client.cc).
+//
+// Metrics (src/obs): admit.admitted / admit.shed / admit.deadline_shed
+// counters, admit.deadline_miss (served but late), and the admit.queue_depth
+// gauge sampled at every admit/complete.
+#pragma once
+
+#include <cstdint>
+
+#include "src/obs/metrics.h"
+
+namespace bespokv {
+
+struct AdmissionConfig {
+  // Maximum admitted-but-unfinished client ops (0 disables admission control).
+  uint32_t max_inflight = 0;
+  // Predicted-wait bound: shed when inflight * EMA latency exceeds this
+  // (0 = queue bound only). Also the lateness threshold for deadline_miss.
+  uint64_t deadline_us = 0;
+  // EMA smoothing for the per-op service latency estimate.
+  double ema_alpha = 0.1;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig cfg = {}) : cfg_(cfg) {}
+
+  bool enabled() const { return cfg_.max_inflight > 0; }
+
+  // Registers the admit.* instruments; call once the node has a registry.
+  void attach_metrics(obs::MetricsRegistry& m);
+
+  // Shed decision only — no inflight accounting. Used by the ingress fast
+  // path (Service::admit_ingress), where a true return means "answer
+  // kOverloaded now, *retry_after_us carries the backpressure hint".
+  // `backlog_us` is the node's ingress-queue wait estimate.
+  bool should_shed(uint64_t backlog_us, uint64_t* retry_after_us);
+
+  // Admission decision for one client request. True = admitted (the caller
+  // must invoke complete() exactly once when the reply fires); false = shed,
+  // with *retry_after_us the backpressure hint for the client.
+  bool admit(uint64_t backlog_us, uint64_t* retry_after_us);
+
+  // Completion of an op admitted at `admitted_at_us`; `now_us` feeds the
+  // latency EMA and the deadline-miss counter.
+  void complete(uint64_t now_us, uint64_t admitted_at_us);
+
+  uint64_t inflight() const { return inflight_; }
+  double ema_latency_us() const { return ema_latency_us_; }
+
+ private:
+  AdmissionConfig cfg_;
+  uint64_t inflight_ = 0;
+  double ema_latency_us_ = 0;
+  obs::Counter* c_admitted_ = nullptr;
+  obs::Counter* c_shed_ = nullptr;
+  obs::Counter* c_deadline_shed_ = nullptr;
+  obs::Counter* c_deadline_miss_ = nullptr;
+  obs::Gauge* g_depth_ = nullptr;
+};
+
+}  // namespace bespokv

@@ -2,12 +2,14 @@
 
 #include "src/common/fencing.h"
 #include "src/common/logging.h"
+#include "src/datalet/ttl.h"
 
 namespace bespokv {
 
 const std::vector<ReplicaInfo> ControletBase::kNoReplicas;
 
-ControletBase::ControletBase(ControletConfig cfg) : cfg_(std::move(cfg)) {}
+ControletBase::ControletBase(ControletConfig cfg)
+    : cfg_(std::move(cfg)), admission_(cfg_.admission) {}
 
 void ControletBase::start(Runtime& rt) {
   Service::start(rt);
@@ -18,6 +20,16 @@ void ControletBase::start(Runtime& rt) {
   c_catchups_ = &metrics().counter("recover.catchup");
   c_lease_fenced_ = &metrics().counter("controlet.lease_fenced");
   c_epoch_fenced_ = &metrics().counter("controlet.epoch_fenced");
+  c_expired_ = &metrics().counter("evict.expired");
+  admission_.attach_metrics(metrics());
+  if (cfg_.datalet != nullptr) {
+    // Cache-tier wrappers expire lazily against the fabric clock.
+    cfg_.datalet->set_clock([this] { return rt_->now_us(); });
+  }
+  if (cfg_.ttl_sweep_period_us > 0 && ttl_timer_ == 0) {
+    ttl_timer_ =
+        rt_->set_periodic(cfg_.ttl_sweep_period_us, [this] { sweep_expired(); });
+  }
   if (started_once_) {
     // Crash-restart on the same address: refuse client traffic until we have
     // resynced from the shard (stale reads and lost chain writes otherwise).
@@ -148,7 +160,8 @@ void ControletBase::stop() {
   if (rt_ == nullptr) return;
   if (hb_timer_ != 0) rt_->cancel_timer(hb_timer_);
   if (drain_timer_ != 0) rt_->cancel_timer(drain_timer_);
-  hb_timer_ = drain_timer_ = 0;
+  if (ttl_timer_ != 0) rt_->cancel_timer(ttl_timer_);
+  hb_timer_ = drain_timer_ = ttl_timer_ = 0;
 }
 
 const std::vector<ReplicaInfo>& ControletBase::replicas() const {
@@ -467,8 +480,111 @@ bool ControletBase::maybe_dedup(const Message& req, Replier& reply) {
   return false;
 }
 
+bool ControletBase::admit_ingress(const Message& req, uint64_t backlog_us,
+                                  uint64_t* retry_after_us) {
+  if (!admission_.enabled()) return true;
+  switch (req.op) {
+    case Op::kPut:
+    case Op::kDel:
+    case Op::kGet:
+    case Op::kScan:
+      break;  // client data ops are sheddable
+    default:
+      return true;  // replication/control traffic must flow under overload
+  }
+  return !admission_.should_shed(backlog_us, retry_after_us);
+}
+
+bool ControletBase::admit(Replier& reply) {
+  if (!admission_.enabled()) return true;
+  uint64_t hint = 0;
+  // Backlog 0, not rt_->queue_backlog_us(): the ingress gate
+  // (admit_ingress) already vetted this op against the queue backlog at
+  // arrival, and by handler time the op has *traversed* that queue — its
+  // wait is sunk cost, and the queue behind it is younger ops' problem.
+  // Re-charging the refilled backlog here would shed nearly every op that
+  // was admitted at a busy-but-acceptable instant, after its service cost
+  // was already paid. This gate bounds the inflight set and the EMA-
+  // predicted remaining wait only.
+  if (!admission_.admit(0, &hint)) {
+    // Shed at entry: one cheap reply instead of a replication fan-out. The
+    // retry-after hint rides in `seq`; the client backs off at least that
+    // long and skips the map refresh (client.cc).
+    Message rep = Message::reply(Code::kOverloaded, "admission shed");
+    rep.seq = hint;
+    reply(std::move(rep));
+    return false;
+  }
+  const uint64_t t0 = rt_->now_us();
+  Replier inner = std::move(reply);
+  reply = [this, t0, inner = std::move(inner)](Message rep) {
+    admission_.complete(rt_->now_us(), t0);
+    inner(std::move(rep));
+  };
+  return true;
+}
+
+void ControletBase::filter_expired_reply(const Message& req, Message& rep) {
+  const uint64_t now = rt_->now_us();
+  if (req.op == Op::kGet && rep.code == Code::kOk) {
+    if (ttl::expired(rep.value, now)) {
+      // Lazily reclaim: each replica deletes on its own clock, and because
+      // the expiry instant is absolute and replicated inside the value, all
+      // replicas agree on when the key stops existing.
+      std::string pk = req.table;
+      if (!pk.empty()) pk.push_back('\x1f');
+      pk += req.key;
+      cfg_.datalet->del(pk, rep.seq);
+      c_expired_->inc();
+      rep = Message::reply(Code::kNotFound, "expired");
+    } else if (ttl::is_enveloped(rep.value)) {
+      rep.value = std::string(ttl::payload(rep.value));
+    }
+    return;
+  }
+  if (req.op == Op::kScan && rep.code == Code::kOk && !rep.kvs.empty()) {
+    std::string prefix = req.table;
+    if (!prefix.empty()) prefix.push_back('\x1f');
+    size_t out = 0;
+    for (size_t i = 0; i < rep.kvs.size(); ++i) {
+      KV& kv = rep.kvs[i];
+      if (ttl::expired(kv.value, now)) {
+        cfg_.datalet->del(prefix + kv.key, kv.seq);
+        c_expired_->inc();
+        continue;
+      }
+      if (ttl::is_enveloped(kv.value)) {
+        kv.value = std::string(ttl::payload(kv.value));
+      }
+      if (out != i) rep.kvs[out] = std::move(kv);
+      ++out;
+    }
+    rep.kvs.resize(out);
+  }
+}
+
+Message ControletBase::apply_local_read(const Message& req) {
+  Message rep = apply_local(req);
+  filter_expired_reply(req, rep);
+  return rep;
+}
+
+void ControletBase::sweep_expired() {
+  if (cfg_.datalet == nullptr) return;
+  const uint64_t now = rt_->now_us();
+  // Collect first: engines may not tolerate deletion mid-iteration.
+  std::vector<std::pair<std::string, uint64_t>> doomed;
+  cfg_.datalet->for_each([&](std::string_view key, const Entry& e) {
+    if (ttl::expired(e.value, now)) doomed.emplace_back(std::string(key), e.seq);
+  });
+  for (const auto& [key, seq] : doomed) {
+    cfg_.datalet->del(key, seq);
+    c_expired_->inc();
+  }
+}
+
 void ControletBase::do_read(EventContext ctx) {
-  ctx.reply(apply_local(ctx.req));
+  ctx.reply(apply_local_read(ctx.req));
 }
 
 void ControletBase::handle_internal(const Addr&, Message, Replier reply) {
@@ -502,6 +618,14 @@ void ControletBase::handle(const Addr& from, Message req, Replier reply) {
         return;
       }
       if (maybe_p2p_forward(from, req, reply, /*is_read=*/false)) return;
+      if (!admit(reply)) return;
+      if (req.op == Op::kPut && req.ttl_ms > 0) {
+        // Stamp the absolute expiry at admission; downstream replication and
+        // durability carry the envelope as opaque bytes (ttl.h).
+        req.value = ttl::encode(
+            req.value, rt_->now_us() + uint64_t(req.ttl_ms) * 1000);
+        req.ttl_ms = 0;
+      }
       if (in_shard_ && write_fenced()) {
         // Lease lapsed: we may already have been deposed without hearing it
         // (partitioned from the coordinator). Self-fence — kNotLeader sends
@@ -533,6 +657,7 @@ void ControletBase::handle(const Addr& from, Message req, Replier reply) {
           maybe_p2p_forward(from, req, reply, /*is_read=*/true)) {
         return;
       }
+      if (!admit(reply)) return;
       if (in_shard_ && read_fenced(req)) {
         // A strong read served past the lease could be stale: the chain may
         // already have been repaired around us.

@@ -16,6 +16,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/controlet/admission.h"
 #include "src/controlet/events.h"
 #include "src/coordinator/cluster_meta.h"
 #include "src/datalet/service.h"
@@ -40,6 +41,14 @@ struct ControletConfig {
   uint64_t log_fetch_period_us = 2'000;    // AA+EC shared-log poll cadence
   uint64_t drain_poll_us = 2'000;          // transition drain poll cadence
   uint64_t rpc_timeout_us = 500'000;       // intra-cluster RPC deadline
+  // Admission control / load shedding for client data ops (admission.h).
+  // max_inflight == 0 leaves the gate off; internal replication traffic is
+  // never shed.
+  AdmissionConfig admission;
+  // Cache-tier background TTL sweep cadence: each tick deletes locally
+  // expired envelopes (ttl.h) from the datalet. 0 disables; lazy expiry at
+  // the read paths stays on regardless.
+  uint64_t ttl_sweep_period_us = 0;
 };
 
 class ControletBase : public Service {
@@ -49,6 +58,11 @@ class ControletBase : public Service {
   void start(Runtime& rt) override;
   void stop() override;
   void handle(const Addr& from, Message req, Replier reply) override;
+  // Reactor-level load shedding (see Runtime/Service::admit_ingress): sheds
+  // client data ops when the admission controller predicts a blown deadline;
+  // replication and control traffic is never shed.
+  bool admit_ingress(const Message& req, uint64_t backlog_us,
+                     uint64_t* retry_after_us) override;
 
   // Introspection for tests.
   const ShardMap& shard_map() const { return map_; }
@@ -131,6 +145,13 @@ class ControletBase : public Service {
     return DataletHandle::apply(*cfg_.datalet, req);
   }
 
+  // Read-path variant with TTL filtering (cache-tier mode): an expired
+  // envelope answers kNotFound (and is lazily deleted); a live one is
+  // stripped to its payload. All do_read implementations must serve client
+  // GET/SCAN through this, never raw apply_local — an envelope must not
+  // escape to a client.
+  Message apply_local_read(const Message& req);
+
   // Applies a replicated entry with LWW semantics.
   void apply_replicated(const KV& kv, bool is_del);
 
@@ -192,6 +213,13 @@ class ControletBase : public Service {
   // rejoins as a standby when evicted) and runs catchup_from.
   void begin_catchup();
   void finish_catchup();
+  // Admission gate for one client data op: true = admitted, with `reply`
+  // wrapped to record completion; false = shed (kOverloaded already sent).
+  bool admit(Replier& reply);
+  // Deletes every locally expired envelope (background sweep timer).
+  void sweep_expired();
+  // TTL filter behind apply_local_read.
+  void filter_expired_reply(const Message& req, Message& rep);
   // Idempotency-token dedup (client.h). Returns true if the request was
   // consumed (replayed token: cached reply served or waiter queued);
   // otherwise wraps `reply` to record the outcome for future replays.
@@ -205,6 +233,9 @@ class ControletBase : public Service {
   obs::Counter* c_catchups_ = nullptr;
   obs::Counter* c_lease_fenced_ = nullptr;
   obs::Counter* c_epoch_fenced_ = nullptr;
+  obs::Counter* c_expired_ = nullptr;
+
+  AdmissionController admission_;
 
   // Dedup window: token -> outcome (or in-flight waiters). FIFO-evicted at
   // kDedupWindow completed entries; wiped on restart (per-incarnation — a
@@ -237,6 +268,7 @@ class ControletBase : public Service {
   bool drain_reported_ = false;
   uint64_t hb_timer_ = 0;
   uint64_t drain_timer_ = 0;
+  uint64_t ttl_timer_ = 0;
   static const std::vector<ReplicaInfo> kNoReplicas;
 };
 

@@ -128,7 +128,7 @@ void MsScControlet::do_read(EventContext ctx) {
     ctx.reply(Message::reply(Code::kNotLeader));
     return;
   }
-  ctx.reply(apply_local(ctx.req));
+  ctx.reply(apply_local_read(ctx.req));
 }
 
 void MsScControlet::handle_internal(const Addr& from, Message req,

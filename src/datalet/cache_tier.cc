@@ -1,0 +1,181 @@
+#include "src/datalet/cache_tier.h"
+
+#include "src/datalet/ttl.h"
+
+namespace bespokv {
+
+CacheTierDatalet::CacheTierDatalet(std::unique_ptr<Datalet> inner,
+                                   uint64_t memory_bytes, Policy policy)
+    : inner_(std::move(inner)), budget_bytes_(memory_bytes), policy_(policy) {
+  rebuild_index();
+}
+
+void CacheTierDatalet::attach_metrics(obs::MetricsRegistry& m) {
+  inner_->attach_metrics(m);
+  c_evicted_ = &m.counter("evict.evicted");
+  c_expired_ = &m.counter("evict.expired");
+  c_evicted_bytes_ = &m.counter("evict.bytes");
+  g_resident_ = &m.gauge("evict.resident_bytes");
+  g_resident_->set(static_cast<int64_t>(resident_bytes_));
+}
+
+void CacheTierDatalet::touch(std::string_view key, uint64_t new_bytes,
+                             bool bump_freq) {
+  auto it = index_.find(std::string(key));
+  if (it == index_.end()) {
+    auto [nit, _] = index_.emplace(std::string(key), Meta{});
+    it = nit;
+    it->second.freq = 0;
+    auto& lst = buckets_[0];
+    lst.push_back(nit->first);
+    it->second.pos = std::prev(lst.end());
+  } else {
+    // Unlink from the current bucket; relink at the back of the target one.
+    auto& cur = buckets_[it->second.freq];
+    std::string k = std::move(*it->second.pos);
+    cur.erase(it->second.pos);
+    if (cur.empty()) buckets_.erase(it->second.freq);
+    resident_bytes_ -= it->second.bytes;
+    if (bump_freq && policy_ == Policy::kLfu) ++it->second.freq;
+    auto& lst = buckets_[it->second.freq];
+    lst.push_back(std::move(k));
+    it->second.pos = std::prev(lst.end());
+  }
+  it->second.bytes = new_bytes;
+  resident_bytes_ += new_bytes;
+  if (g_resident_ != nullptr) {
+    g_resident_->set(static_cast<int64_t>(resident_bytes_));
+  }
+}
+
+void CacheTierDatalet::forget(std::string_view key) {
+  auto it = index_.find(std::string(key));
+  if (it == index_.end()) return;
+  auto& lst = buckets_[it->second.freq];
+  lst.erase(it->second.pos);
+  if (lst.empty()) buckets_.erase(it->second.freq);
+  resident_bytes_ -= it->second.bytes;
+  index_.erase(it);
+  if (g_resident_ != nullptr) {
+    g_resident_->set(static_cast<int64_t>(resident_bytes_));
+  }
+}
+
+void CacheTierDatalet::evict_until_within_budget() {
+  while (resident_bytes_ > budget_bytes_ && !buckets_.empty()) {
+    const std::string victim = buckets_.begin()->second.front();
+    const auto it = index_.find(victim);
+    const uint64_t freed = it != index_.end() ? it->second.bytes : 0;
+    forget(victim);
+    // Eviction is a plain deletion to the inner engine (seq 0: unconditional
+    // local reclaim; replication never carries evictions — each replica
+    // evicts under its own budget).
+    inner_->del(victim, 0);
+    ++evictions_;
+    if (c_evicted_ != nullptr) {
+      c_evicted_->inc();
+      c_evicted_bytes_->inc(freed);
+    }
+  }
+}
+
+bool CacheTierDatalet::expire_if_dead(std::string_view key,
+                                      const Entry& e) const {
+  if (!now_us_ || !ttl::expired(e.value, now_us_())) return false;
+  auto* self = const_cast<CacheTierDatalet*>(this);
+  self->forget(key);
+  self->inner_->del(key, e.seq);
+  if (c_expired_ != nullptr) c_expired_->inc();
+  return true;
+}
+
+Status CacheTierDatalet::put(std::string_view key, std::string_view value,
+                             uint64_t seq) {
+  Status s = inner_->put(key, value, seq);
+  if (!s.ok()) return s;
+  touch(key, entry_bytes(key, value), /*bump_freq=*/true);
+  evict_until_within_budget();
+  return s;
+}
+
+Status CacheTierDatalet::put_if_newer(std::string_view key,
+                                      std::string_view value, uint64_t seq) {
+  Status s = inner_->put_if_newer(key, value, seq);
+  if (!s.ok()) return s;
+  // LWW may have kept the stored value; index whatever actually resides.
+  auto cur = inner_->get(key);
+  if (cur.ok()) {
+    touch(key, entry_bytes(key, cur.value().value), /*bump_freq=*/false);
+    evict_until_within_budget();
+  }
+  return s;
+}
+
+Result<Entry> CacheTierDatalet::get(std::string_view key) const {
+  auto r = inner_->get(key);
+  if (!r.ok()) return r;
+  if (expire_if_dead(key, r.value())) return Status::NotFound("expired");
+  // A hit refreshes recency/frequency (the point of the policy index).
+  const_cast<CacheTierDatalet*>(this)->touch(
+      key, entry_bytes(key, r.value().value), /*bump_freq=*/true);
+  return r;
+}
+
+Status CacheTierDatalet::del(std::string_view key, uint64_t seq) {
+  forget(key);
+  return inner_->del(key, seq);
+}
+
+Result<std::vector<KV>> CacheTierDatalet::scan(std::string_view start,
+                                               std::string_view end,
+                                               uint32_t limit) const {
+  auto r = inner_->scan(start, end, limit);
+  if (!r.ok() || !now_us_) return r;
+  // Drop entries that are past their expiry; envelopes themselves stay
+  // intact (the serving layer strips them for clients).
+  const uint64_t now = now_us_();
+  std::vector<KV> alive;
+  alive.reserve(r.value().size());
+  for (auto& kv : r.value()) {
+    if (ttl::expired(kv.value, now)) {
+      auto* self = const_cast<CacheTierDatalet*>(this);
+      self->forget(kv.key);
+      self->inner_->del(kv.key, kv.seq);
+      if (c_expired_ != nullptr) c_expired_->inc();
+      continue;
+    }
+    alive.push_back(std::move(kv));
+  }
+  return alive;
+}
+
+void CacheTierDatalet::clear() {
+  inner_->clear();
+  buckets_.clear();
+  index_.clear();
+  resident_bytes_ = 0;
+  if (g_resident_ != nullptr) g_resident_->set(0);
+}
+
+Status CacheTierDatalet::crash_restart() {
+  Status s = inner_->crash_restart();
+  rebuild_index();
+  return s;
+}
+
+void CacheTierDatalet::rebuild_index() {
+  buckets_.clear();
+  index_.clear();
+  resident_bytes_ = 0;
+  inner_->for_each([this](std::string_view key, const Entry& e) {
+    touch(key, entry_bytes(key, e.value), /*bump_freq=*/false);
+  });
+  if (g_resident_ != nullptr) {
+    g_resident_->set(static_cast<int64_t>(resident_bytes_));
+  }
+  // A freshly rebuilt index may already exceed the budget (e.g. recovery
+  // replayed more than fits): trim immediately.
+  evict_until_within_budget();
+}
+
+}  // namespace bespokv

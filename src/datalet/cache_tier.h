@@ -1,0 +1,112 @@
+// CacheTierDatalet: memory-budgeted eviction wrapper for cache-tier
+// deployments (DESIGN.md "Cache-tier mode"). Wraps any engine — including a
+// DurableDatalet-wrapped one — and keeps an exact recency/frequency index
+// over the resident keys:
+//
+//   * LRU: one recency list; a touched key moves to the back, the victim is
+//     the front (least recently used).
+//   * LFU: O(1)-style frequency buckets (freq -> FIFO list); a touched key
+//     moves up one bucket, the victim is the oldest key in the lowest
+//     occupied bucket (LRU tie-break within a frequency class).
+//
+// Writes that push resident bytes past `cache_memory_bytes` evict victims
+// through the inner engine's del(), so eviction is indistinguishable from
+// deletion to replication, durability, and recovery. When a clock is
+// injected (set_clock — the hosting controlet/service does this at start),
+// get()/scan() also expire TTL envelopes (ttl.h) lazily at the engine level.
+//
+// Metrics: evict.evicted / evict.expired / evict.bytes counters and the
+// evict.resident_bytes gauge.
+#pragma once
+
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/datalet/datalet.h"
+#include "src/obs/metrics.h"
+
+namespace bespokv {
+
+class CacheTierDatalet : public Datalet {
+ public:
+  enum class Policy : uint8_t { kLru, kLfu };
+
+  CacheTierDatalet(std::unique_ptr<Datalet> inner, uint64_t memory_bytes,
+                   Policy policy);
+
+  const char* kind() const override { return inner_->kind(); }
+
+  Status put(std::string_view key, std::string_view value,
+             uint64_t seq = 0) override;
+  Result<Entry> get(std::string_view key) const override;
+  Status del(std::string_view key, uint64_t seq = 0) override;
+  Status put_if_newer(std::string_view key, std::string_view value,
+                      uint64_t seq) override;
+  Result<std::vector<KV>> scan(std::string_view start, std::string_view end,
+                               uint32_t limit) const override;
+  bool supports_scan() const override { return inner_->supports_scan(); }
+  size_t size() const override { return inner_->size(); }
+  void for_each(const std::function<void(std::string_view, const Entry&)>& fn)
+      const override {
+    inner_->for_each(fn);  // snapshots keep envelopes; no filtering here
+  }
+  void clear() override;
+
+  Status crash_restart() override;
+  void set_op_token(uint64_t token) override { inner_->set_op_token(token); }
+  uint64_t durable_seq() const override { return inner_->durable_seq(); }
+  bool durable() const override { return inner_->durable(); }
+  std::vector<storage::TokenPin> token_pins() const override {
+    return inner_->token_pins();
+  }
+  void attach_metrics(obs::MetricsRegistry& m) override;
+  void set_clock(std::function<uint64_t()> now_us) override {
+    now_us_ = std::move(now_us);
+  }
+
+  // Introspection for tests.
+  uint64_t resident_bytes() const { return resident_bytes_; }
+  uint64_t evictions() const { return evictions_; }
+  Datalet* inner() { return inner_.get(); }
+
+ private:
+  struct Meta {
+    uint64_t bytes = 0;
+    uint64_t freq = 0;  // LFU bucket (LRU keeps everything in bucket 0)
+    std::list<std::string>::iterator pos;
+  };
+
+  static uint64_t entry_bytes(std::string_view key, std::string_view value) {
+    return key.size() + value.size();
+  }
+  // Inserts/updates the index entry and moves it to the back of its bucket.
+  void touch(std::string_view key, uint64_t new_bytes, bool bump_freq);
+  void forget(std::string_view key);
+  void evict_until_within_budget();
+  // Lazy TTL expiry for the read paths (needs the injected clock).
+  bool expire_if_dead(std::string_view key, const Entry& e) const;
+  void rebuild_index();
+
+  std::unique_ptr<Datalet> inner_;
+  uint64_t budget_bytes_;
+  Policy policy_;
+  std::function<uint64_t()> now_us_;
+
+  // freq -> FIFO of keys in that frequency class (front = oldest). Ordered
+  // map: victims come from begin(); the class count stays tiny in practice.
+  std::map<uint64_t, std::list<std::string>> buckets_;
+  std::unordered_map<std::string, Meta> index_;
+  uint64_t resident_bytes_ = 0;
+  uint64_t evictions_ = 0;
+
+  obs::Counter* c_evicted_ = nullptr;
+  obs::Counter* c_expired_ = nullptr;
+  obs::Counter* c_evicted_bytes_ = nullptr;
+  obs::Gauge* g_resident_ = nullptr;
+};
+
+}  // namespace bespokv

@@ -98,6 +98,14 @@ class Datalet {
   virtual std::vector<storage::TokenPin> token_pins() const { return {}; }
   // Register engine counters (flushes, compactions, WAL syncs, ...).
   virtual void attach_metrics(obs::MetricsRegistry& m) { (void)m; }
+
+  // --- cache-tier hook ---
+
+  // Absolute-time source (µs on the fabric clock) for TTL-aware wrappers:
+  // the hosting controlet/service injects its Runtime clock at start so the
+  // CacheTierDatalet can expire envelopes lazily. Default: no clock, no
+  // engine-level expiry (controlet read paths still filter).
+  virtual void set_clock(std::function<uint64_t()> now_us) { (void)now_us; }
 };
 
 struct DataletConfig {
@@ -137,6 +145,12 @@ struct DataletConfig {
   // tLSM: merge on a background thread (real-thread fabrics only; the
   // deterministic sim keeps compaction inline).
   bool lsm_background_compaction = false;
+
+  // --- cache tier (TTL / eviction; src/datalet/cache_tier.h) ---
+  // >0 wraps the engine in a CacheTierDatalet: once resident key+value bytes
+  // exceed this budget, entries are evicted under cache_policy. 0 = off.
+  uint64_t cache_memory_bytes = 0;
+  std::string cache_policy = "lru";  // lru | lfu
 };
 
 // Factory for the built-in engines: "tHT", "tLog", "tMT", "tLSM", and the

@@ -1,6 +1,7 @@
 #include <memory>
 
 #include "src/datalet/btree.h"
+#include "src/datalet/cache_tier.h"
 #include "src/datalet/ht.h"
 #include "src/datalet/logstore.h"
 #include "src/datalet/lsm.h"
@@ -43,7 +44,7 @@ std::unique_ptr<Datalet> make_datalet(const std::string& kind,
   } else if (kind == "tMT") {
     d = std::make_unique<BTreeDatalet>();
   } else if (kind == "tLSM") {
-    return std::make_unique<LsmDatalet>(cfg);
+    d = std::make_unique<LsmDatalet>(cfg);
   } else if (kind == "tRedis") {
     d = std::make_unique<PortedHashDatalet>(cfg, "tRedis");
   } else if (kind == "tSSDB") {
@@ -51,9 +52,18 @@ std::unique_ptr<Datalet> make_datalet(const std::string& kind,
   } else {
     return nullptr;
   }
-  if (durable) {
+  if (durable && kind != "tLSM") {
     d = std::make_unique<storage::DurableDatalet>(
         std::move(d), storage::DurabilityOpts::from_config(cfg));
+  }
+  // Cache-tier mode wraps outermost: eviction flows through the durable
+  // wrapper as ordinary deletes, so the WAL/checkpoint state matches the
+  // budgeted resident set.
+  if (cfg.cache_memory_bytes > 0) {
+    d = std::make_unique<CacheTierDatalet>(
+        std::move(d), cfg.cache_memory_bytes,
+        cfg.cache_policy == "lfu" ? CacheTierDatalet::Policy::kLfu
+                                  : CacheTierDatalet::Policy::kLru);
   }
   return d;
 }

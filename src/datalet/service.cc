@@ -2,6 +2,7 @@
 
 #include "src/common/fencing.h"
 #include "src/common/logging.h"
+#include "src/datalet/ttl.h"
 #include "src/obs/admin.h"
 
 namespace bespokv {
@@ -117,6 +118,7 @@ void DataletService::start(Runtime& rt) {
   Service::start(rt);
   if (datalet_ == nullptr) return;
   datalet_->attach_metrics(rt.obs().metrics());
+  datalet_->set_clock([this] { return rt_->now_us(); });
   if (started_) {
     // Fabric restart after a node fault = the machine rebooted. The engine
     // loses everything its durability mode did not fsync.
@@ -154,6 +156,31 @@ void DataletService::handle(const Addr& from, Message req, Replier reply) {
   const TraceContext tctx = rt_->obs().tracer().current();
   const uint64_t t0 = rt_->now_us();
   Message rep = DataletHandle::apply(*datalet_, req);
+  // Cache-tier TTL: this service owns a clock, so remote reads get the same
+  // lazy-expiry semantics as controlet-local ones (ttl.h). Snapshot pulls
+  // (kSnapshotReq) intentionally keep envelopes — replicas need the stamps.
+  if (req.op == Op::kGet && rep.code == Code::kOk) {
+    if (ttl::expired(rep.value, t0)) {
+      datalet_->del(req.table.empty() ? req.key
+                                      : req.table + '\x1f' + req.key,
+                    rep.seq);
+      rep = Message::reply(Code::kNotFound, "expired");
+    } else if (ttl::is_enveloped(rep.value)) {
+      rep.value = std::string(ttl::payload(rep.value));
+    }
+  } else if (req.op == Op::kScan && rep.code == Code::kOk) {
+    size_t out = 0;
+    for (size_t i = 0; i < rep.kvs.size(); ++i) {
+      KV& kv = rep.kvs[i];
+      if (ttl::expired(kv.value, t0)) continue;
+      if (ttl::is_enveloped(kv.value)) {
+        kv.value = std::string(ttl::payload(kv.value));
+      }
+      if (out != i) rep.kvs[out] = std::move(kv);
+      ++out;
+    }
+    rep.kvs.resize(out);
+  }
   ops_->inc();
   apply_us_->record(rt_->now_us() - t0);
   obs::record_stage(*rt_, tctx, "datalet.apply", t0);

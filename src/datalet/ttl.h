@@ -1,0 +1,69 @@
+// TTL value envelope (cache-tier mode, DESIGN.md "Cache-tier mode").
+//
+// A PUT carrying `ttl_ms` is rewritten by the admitting master controlet into
+// an *enveloped* value: a 4-byte magic, the absolute expiry instant
+// (microseconds on the fabric clock, 8 bytes LE), then the original payload.
+// Everything downstream — chain replication, async propagation, the shared
+// log, WAL records, checkpoints, SSTables, recovery snapshots, LWW
+// application — carries the envelope as opaque bytes, so expiry metadata
+// persists through every replication and durability path for free, and all
+// replicas agree on the exact expiry instant (the fabric clock is shared in
+// the DES, NTP-synced in real deployments).
+//
+// Expiry is *lazy*: read paths that own a clock (controlet reads, the remote
+// DataletService, the cache-tier wrapper) filter expired envelopes and strip
+// live ones; a background sweep timer reclaims cold expired entries. The
+// magic prefix is chosen from bytes that never begin the repo's text
+// payloads; a raw client value starting with these 4 bytes would be
+// misread as an envelope — cache-tier deployments own their value format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bespokv {
+namespace ttl {
+
+inline constexpr char kMagic[4] = {'\x1b', '\xf7', 'T', 'L'};
+inline constexpr size_t kHeaderBytes = 12;  // magic + u64 expiry
+
+inline bool is_enveloped(std::string_view v) {
+  return v.size() >= kHeaderBytes && v[0] == kMagic[0] && v[1] == kMagic[1] &&
+         v[2] == kMagic[2] && v[3] == kMagic[3];
+}
+
+// Wraps `payload` with an absolute expiry stamp (µs on the fabric clock).
+inline std::string encode(std::string_view payload, uint64_t expire_at_us) {
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  out.append(kMagic, 4);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((expire_at_us >> (8 * i)) & 0xff));
+  }
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+// Expiry instant, or 0 when the value is not enveloped (never expires).
+inline uint64_t expire_at(std::string_view v) {
+  if (!is_enveloped(v)) return 0;
+  uint64_t e = 0;
+  for (int i = 0; i < 8; ++i) {
+    e |= static_cast<uint64_t>(static_cast<uint8_t>(v[4 + i])) << (8 * i);
+  }
+  return e;
+}
+
+inline bool expired(std::string_view v, uint64_t now_us) {
+  const uint64_t e = expire_at(v);
+  return e != 0 && now_us >= e;
+}
+
+// The client-visible payload: strips the envelope when present.
+inline std::string_view payload(std::string_view v) {
+  return is_enveloped(v) ? v.substr(kHeaderBytes) : v;
+}
+
+}  // namespace ttl
+}  // namespace bespokv

@@ -67,6 +67,14 @@ class Runtime {
   // Deterministic per-node random source.
   virtual Rng& rng() = 0;
 
+  // How long a request arriving *now* would wait before this node's executor
+  // picks it up (its ingress/reactor queue), in microseconds. A real server
+  // reads this off its accept/reactor queue depth; the DES computes it from
+  // the node's busy time. Admission control (controlet/admission.h) folds it
+  // into the predicted wait so load shedding sees queueing that happens
+  // before handlers run. 0 = idle or unknown.
+  virtual uint64_t queue_backlog_us() { return 0; }
+
   // The node's observability bundle (metrics registry + tracer), shared by
   // every component running on this node and by the fabric's own counters.
   // Created on first use; safe from any thread.
@@ -93,6 +101,19 @@ class Service {
   // Handles one incoming request. Must eventually invoke `reply` exactly once
   // (for kSend-style one-way messages the fabric supplies a no-op replier).
   virtual void handle(const Addr& from, Message req, Replier reply) = 0;
+
+  // Load-shedding fast path. Capacity-modeling fabrics (the DES) consult
+  // this when a request *arrives*, before it occupies a service slot:
+  // returning false makes the fabric answer kOverloaded immediately — at the
+  // cheap rejection cost, bypassing the work queue — with *retry_after_us
+  // carried in the reply's seq. This is where real admission control lives
+  // (the reactor thread rejecting before dispatch); the in-handler check in
+  // ControletBase::admit covers fabrics that do not call it. `backlog_us` is
+  // the node's current ingress-queue wait. Default: admit everything.
+  virtual bool admit_ingress(const Message& /*req*/, uint64_t /*backlog_us*/,
+                             uint64_t* /*retry_after_us*/) {
+    return true;
+  }
 
   // ---- Sharded execution (thread-per-core fabrics) ----
   // A service whose state partitions into independent single-writer shards

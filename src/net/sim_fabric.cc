@@ -41,6 +41,7 @@ class SimFabric::SimRuntime : public Runtime {
   void call(const Addr& dst, Message req, RpcCallback cb, uint64_t timeout_us) override;
   void send(const Addr& dst, Message msg) override;
   Rng& rng() override { return rng_; }
+  uint64_t queue_backlog_us() override;
 
  private:
   friend class SimFabric;
@@ -67,6 +68,18 @@ struct SimFabric::Node {
   // One single-server queue per core (see SimNodeOpts::cores).
   std::vector<uint64_t> busy;
 };
+
+uint64_t SimFabric::SimRuntime::queue_backlog_us() {
+  // The explicit capacity model makes the ingress queue directly readable:
+  // work already accepted by a core finishes at busy[core]; anything arriving
+  // now waits at least that long. Report the worst core.
+  const uint64_t now = fab_->queue_.now_us();
+  uint64_t backlog = 0;
+  for (uint64_t b : node_->busy) {
+    if (b > now) backlog = std::max(backlog, b - now);
+  }
+  return backlog;
+}
 
 SimFabric::SimFabric(SimFabricOpts opts) : opts_(opts) {}
 
@@ -177,9 +190,10 @@ void SimFabric::dispatch_to_service(Node& n, const Addr& from, Message msg,
 }
 
 void SimFabric::transmit(Node& src, int src_core, const Addr& dst_addr,
-                         std::function<void(Node&)> deliver) {
+                         std::function<void(Node&)> deliver,
+                         bool charge_sender) {
   // Sender-side transport cost consumes sender capacity on the sending core.
-  if (!src.opts.is_client) {
+  if (charge_sender && !src.opts.is_client) {
     const uint64_t t = queue_.now_us();
     uint64_t& busy = src.busy[static_cast<size_t>(src_core) % src.busy.size()];
     busy = std::max(busy, t) + opts_.transport.per_msg_us;
@@ -273,16 +287,30 @@ void SimFabric::SimRuntime::call(const Addr& dst, Message req, RpcCallback cb,
     // core that owns the message's shard.
     const uint64_t t = fab->queue_.now_us();
     uint64_t done = t;
+    bool shed = false;
+    uint64_t shed_hint = 0;
     const int core = fab->core_of(dst_node, req);
     if (!dst_node.opts.is_client) {
       uint64_t& busy = dst_node.busy[static_cast<size_t>(core)];
-      const uint64_t start = std::max(t, busy);
-      fab->record_queue_wait(dst_node, req, t, start, core);
-      done = start + fab->opts_.transport.per_msg_us +
-             fab->proc_cost(dst_node, req);
-      busy = done;
+      const uint64_t backlog = busy > t ? busy - t : 0;
+      if (!dst_node.svc->admit_ingress(req, backlog, &shed_hint)) {
+        // Admission shed at the reactor: the request never enters the worker
+        // queue and the rejection does not consume worker capacity — real
+        // reactors reject orders of magnitude faster than workers serve, so
+        // a shed storm must not be able to saturate the serve path. The
+        // rejection still takes shed_service_us of wall clock to answer.
+        shed = true;
+        done = t + fab->opts_.transport.per_msg_us +
+               dst_node.opts.shed_service_us;
+      } else {
+        const uint64_t start = std::max(t, busy);
+        fab->record_queue_wait(dst_node, req, t, start, core);
+        done = start + fab->opts_.transport.per_msg_us +
+               fab->proc_cost(dst_node, req);
+        busy = done;
+      }
     }
-    fab->queue_.schedule_at(done, [fab, rpc_id, from, core,
+    fab->queue_.schedule_at(done, [fab, rpc_id, from, core, shed, shed_hint,
                                    req = std::move(req),
                                    dst_addr = dst_node.addr]() mutable {
       Node* dn = fab->find(dst_addr);
@@ -296,6 +324,10 @@ void SimFabric::SimRuntime::call(const Addr& dst, Message req, RpcCallback cb,
         auto it = fab->pending_.find(rpc_id);
         if (it == fab->pending_.end()) return;  // already timed out
         const Addr requester = it->second->requester;
+        // kOverloaded rejections were already priced (shed_service_us) at
+        // ingress; charging the normal reply-send cost on top would let a
+        // shed storm saturate the responder all over again.
+        const bool charge_sender = resp.code != Code::kOverloaded;
         fab->transmit(*responder, core, requester,
                       [fab, rpc_id, resp = std::move(resp)](Node& rq) mutable {
           auto pit = fab->pending_.find(rpc_id);
@@ -311,8 +343,14 @@ void SimFabric::SimRuntime::call(const Addr& dst, Message req, RpcCallback cb,
             busy = std::max(busy, t2) + fab->opts_.transport.per_msg_us;
           }
           cb(Status::Ok(), std::move(resp));
-        });
+        }, charge_sender);
       };
+      if (shed) {
+        Message rep = Message::reply(Code::kOverloaded, "admission shed");
+        rep.seq = shed_hint;  // retry-after hint, µs (client.cc backoff floor)
+        reply(std::move(rep));
+        return;
+      }
       obs::set_reactor_tag(static_cast<uint32_t>(core));
       if (obs::handle_admin(*dn->rt, req, reply)) {
         obs::set_reactor_tag(0);

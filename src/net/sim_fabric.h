@@ -47,6 +47,11 @@ struct SimNodeOpts {
   bool is_client = false;
   // Optional override: full control over per-message processing cost.
   std::function<uint64_t(const Message&)> service_cost_fn;
+  // Requests shed by Service::admit_ingress cost this much instead of the
+  // full service cost (a parse + one cheap reply, no execution) and bypass
+  // the work queue, so admission control can reject at a much higher rate
+  // than the node can serve — the property real load shedders rely on.
+  uint64_t shed_service_us = 5;
   // Per-core service model, mirroring TcpFabric's reactor count: the node
   // becomes `cores` independent single-server queues. Messages for a sharded
   // service (Service::shards() > 1) occupy the core owning their shard
@@ -117,9 +122,11 @@ class SimFabric : public Fabric {
 
   // Sender-side bookkeeping + schedules delivery; returns false if the
   // destination is unreachable (caller decides whether a timeout handles it).
-  // `src_core` is the sender core charged the transport cost.
+  // `src_core` is the sender core charged the transport cost; pass
+  // charge_sender=false when the send cost is already accounted for
+  // (kOverloaded rejections, priced entirely by shed_service_us at ingress).
   void transmit(Node& src, int src_core, const Addr& dst_addr,
-                std::function<void(Node&)> deliver);
+                std::function<void(Node&)> deliver, bool charge_sender = true);
 
   SimFabricOpts opts_;
   sim::EventQueue queue_;

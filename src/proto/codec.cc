@@ -89,6 +89,7 @@ void encode_message(const Message& m, std::string* out) {
   e.put_varint(m.epoch);
   e.put_varint(m.shard);
   e.put_varint(m.limit);
+  e.put_varint(m.ttl_ms);
   e.put_varint(m.kvs.size());
   for (const auto& kv : m.kvs) {
     e.put_bytes(kv.key);
@@ -147,6 +148,9 @@ Result<Message> decode_message(std::string_view buf, size_t* consumed) {
   auto limit = d.varint();
   if (!limit.ok()) return limit.status();
   m.limit = static_cast<uint32_t>(limit.value());
+  auto ttl = d.varint();
+  if (!ttl.ok()) return ttl.status();
+  m.ttl_ms = static_cast<uint32_t>(ttl.value());
 
   auto nkvs = d.varint();
   if (!nkvs.ok()) return nkvs.status();

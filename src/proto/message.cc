@@ -48,7 +48,8 @@ bool Message::operator==(const Message& o) const {
   return op == o.op && code == o.code && flags == o.flags &&
          consistency == o.consistency && table == o.table && key == o.key &&
          value == o.value && seq == o.seq && epoch == o.epoch &&
-         shard == o.shard && limit == o.limit && kvs == o.kvs && strs == o.strs;
+         shard == o.shard && limit == o.limit && ttl_ms == o.ttl_ms &&
+         kvs == o.kvs && strs == o.strs;
 }
 
 Message Message::put(std::string key, std::string value, std::string table) {
@@ -57,6 +58,13 @@ Message Message::put(std::string key, std::string value, std::string table) {
   m.key = std::move(key);
   m.value = std::move(value);
   m.table = std::move(table);
+  return m;
+}
+
+Message Message::put_ttl(std::string key, std::string value, uint32_t ttl_ms,
+                         std::string table) {
+  Message m = put(std::move(key), std::move(value), std::move(table));
+  m.ttl_ms = ttl_ms;
   return m;
 }
 

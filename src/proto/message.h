@@ -104,6 +104,7 @@ struct Message {
   uint64_t epoch = 0;             // shard-map epoch for fencing stale traffic
   uint32_t shard = 0;             // shard id
   uint32_t limit = 0;             // scan / log-read batch bound
+  uint32_t ttl_ms = 0;            // kPut: relative time-to-live (0 = no TTL)
 
   std::vector<KV> kvs;            // scan results, propagation batches, chunks
   std::vector<std::string> strs;  // membership lists, chain orders, etc.
@@ -125,6 +126,8 @@ struct Message {
 
   // Convenience constructors for the hot paths.
   static Message put(std::string key, std::string value, std::string table = "");
+  static Message put_ttl(std::string key, std::string value, uint32_t ttl_ms,
+                         std::string table = "");
   static Message get(std::string key, std::string table = "");
   static Message del(std::string key, std::string table = "");
   static Message scan(std::string start, std::string end, uint32_t limit,

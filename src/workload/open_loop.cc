@@ -1,0 +1,221 @@
+#include "src/workload/open_loop.h"
+
+#include "src/common/logging.h"
+
+namespace bespokv {
+
+struct OpenLoopDriver::ClientState {
+  Addr addr;
+  Runtime* rt = nullptr;
+  std::unique_ptr<KvClient> kv;
+  bool connected = false;
+};
+
+OpenLoopDriver::OpenLoopDriver(SimFabric& sim, Cluster& cluster,
+                               OpenLoopOptions opts)
+    : sim_(sim), cluster_(cluster), opts_(opts) {
+  gen_ = std::make_unique<WorkloadGenerator>(opts_.workload, /*stream_id=*/1);
+  arrivals_ = std::make_unique<ArrivalProcess>(opts_.arrival);
+  for (int i = 0; i < opts_.num_client_nodes; ++i) {
+    auto c = std::make_unique<ClientState>();
+    c->addr = cluster_.options().name + "/olclient" + std::to_string(i);
+    SimNodeOpts copts;
+    copts.is_client = true;
+    c->rt = sim_.add_node(c->addr,
+                          std::make_shared<LambdaService>(
+                              [](Runtime&, const Addr&, Message, Replier reply) {
+                                reply(Message::reply(Code::kInvalid));
+                              }),
+                          copts);
+    ClientConfig ccfg;
+    ccfg.coordinator = cluster_.coordinator_addr();
+    ccfg.rpc_timeout_us = opts_.rpc_timeout_us;
+    c->kv = std::make_unique<KvClient>(c->rt, ccfg);
+    clients_.push_back(std::move(c));
+  }
+}
+
+OpenLoopDriver::~OpenLoopDriver() { running_ = false; }
+
+void OpenLoopDriver::preload() {
+  const ShardMap& map = cluster_.coordinator_service()->shard_map();
+  WorkloadGenerator gen(opts_.workload);
+  const std::string prefix = opts_.table.empty() ? "" : opts_.table + "\x1f";
+  for (uint64_t i = 0; i < opts_.workload.num_keys; ++i) {
+    const std::string key = prefix + gen.key_at(i);
+    const std::string value = gen.value_for(i);
+    auto sid = map.shard_for(key);
+    if (!sid.ok()) continue;
+    const int shard = static_cast<int>(sid.value());
+    for (int r = 0; r < cluster_.options().num_replicas; ++r) {
+      cluster_.datalet(shard, r)->put(key, value, /*seq=*/1);
+    }
+  }
+}
+
+void OpenLoopDriver::start() {
+  running_ = true;
+  window_start_us_ = sim_.now_us();
+  pending_connects_ = static_cast<int>(clients_.size());
+  for (auto& c : clients_) {
+    ClientState* cs = c.get();
+    cs->rt->post([this, cs] {
+      cs->kv->connect([this, cs](Status s) {
+        if (s.ok()) {
+          cs->connected = true;
+        } else {
+          LOG_WARN << cs->addr << ": connect failed: " << s.to_string();
+        }
+        // The arrival clock starts once the whole pool is ready — connection
+        // setup must not eat into the measured window.
+        if (--pending_connects_ == 0 && running_) schedule_next();
+      });
+    });
+  }
+}
+
+void OpenLoopDriver::stop() { running_ = false; }
+
+void OpenLoopDriver::reset_window() {
+  offered_ = completed_ = errors_ = shed_ = client_dropped_ = 0;
+  lat_.reset();
+  get_lat_.reset();
+  put_lat_.reset();
+  timeline_.clear();
+  window_start_us_ = sim_.now_us();
+}
+
+void OpenLoopDriver::schedule_next() {
+  if (!running_) return;
+  // One global arrival stream, dealt round-robin over the client pool. The
+  // timer lives on node 0's runtime; the DES is single-threaded, so issuing
+  // on a sibling node from here is safe.
+  const uint64_t gap = arrivals_->next_gap_us();
+  Runtime* rt = clients_.front()->rt;
+  rt->set_timer(gap, [this] {
+    if (!running_) return;
+    ++offered_;
+    ClientState& c = *clients_[next_client_++ % clients_.size()];
+    const uint64_t scheduled_at = c.rt->now_us();
+    if (!c.connected) {
+      ++errors_;
+    } else if (opts_.max_outstanding > 0 &&
+               outstanding_ >= opts_.max_outstanding) {
+      ++client_dropped_;
+    } else {
+      ++outstanding_;
+      issue(c, scheduled_at);
+    }
+    schedule_next();
+  });
+}
+
+void OpenLoopDriver::on_done(ClientState& c, OpType type, uint64_t scheduled_at,
+                             Status s) {
+  --outstanding_;
+  const uint64_t now = c.rt->now_us();
+  const uint64_t lat = now - scheduled_at;
+  if (s.ok() || s.code() == Code::kNotFound) {
+    ++completed_;
+    lat_.record(lat);
+    (type == OpType::kPut || type == OpType::kDel || type == OpType::kRmw
+         ? put_lat_
+         : get_lat_)
+        .record(lat);
+    if (opts_.timeline_bucket_us > 0 && now >= window_start_us_) {
+      const size_t bucket = static_cast<size_t>((now - window_start_us_) /
+                                                opts_.timeline_bucket_us);
+      if (timeline_.size() <= bucket) timeline_.resize(bucket + 1, 0);
+      ++timeline_[bucket];
+    }
+  } else if (s.code() == Code::kOverloaded) {
+    ++shed_;
+  } else {
+    ++errors_;
+  }
+}
+
+void OpenLoopDriver::issue(ClientState& c, uint64_t scheduled_at) {
+  WorkloadOp op = gen_->next();
+  ClientState* cs = &c;
+  switch (op.type) {
+    case OpType::kPut:
+      cs->kv->put_ttl(op.key, op.value, op.ttl_ms,
+                      [this, cs, scheduled_at](Status s) {
+                        on_done(*cs, OpType::kPut, scheduled_at, s);
+                      },
+                      opts_.table);
+      break;
+    case OpType::kRmw: {
+      std::string key = op.key, value = op.value;
+      const uint32_t ttl = op.ttl_ms;
+      cs->kv->get(key,
+                  [this, cs, scheduled_at, key, value,
+                   ttl](Result<std::string> r) {
+                    if (!r.ok() && r.status().code() == Code::kOverloaded) {
+                      // Shed on the read half: the whole RMW counts as shed.
+                      on_done(*cs, OpType::kRmw, scheduled_at, r.status());
+                      return;
+                    }
+                    cs->kv->put_ttl(key, value, ttl,
+                                    [this, cs, scheduled_at](Status s) {
+                                      on_done(*cs, OpType::kRmw, scheduled_at,
+                                              s);
+                                    },
+                                    opts_.table);
+                  },
+                  opts_.table);
+      break;
+    }
+    case OpType::kDel:
+      cs->kv->del(op.key,
+                  [this, cs, scheduled_at](Status s) {
+                    on_done(*cs, OpType::kDel, scheduled_at, s);
+                  },
+                  opts_.table);
+      break;
+    case OpType::kScan:
+      cs->kv->scan(op.key, op.scan_end, op.scan_limit,
+                   [this, cs, scheduled_at](Result<std::vector<KV>> r) {
+                     on_done(*cs, OpType::kScan, scheduled_at, r.status());
+                   },
+                   opts_.table);
+      break;
+    case OpType::kGet: {
+      ConsistencyLevel level = ConsistencyLevel::kDefault;
+      if (opts_.strong_get_fraction >= 0.0) {
+        level = rng_.next_bool(opts_.strong_get_fraction)
+                    ? ConsistencyLevel::kStrong
+                    : ConsistencyLevel::kEventual;
+      }
+      cs->kv->get(op.key,
+                  [this, cs, scheduled_at](Result<std::string> r) {
+                    on_done(*cs, OpType::kGet, scheduled_at, r.status());
+                  },
+                  opts_.table, level);
+      break;
+    }
+  }
+}
+
+OpenLoopResult OpenLoopDriver::collect() const {
+  OpenLoopResult r;
+  r.offered = offered_;
+  r.completed = completed_;
+  r.errors = errors_;
+  r.shed = shed_;
+  r.client_dropped = client_dropped_;
+  r.outstanding = outstanding_;
+  r.window_us = sim_.now_us() - window_start_us_;
+  const double w = static_cast<double>(r.window_us);
+  r.offered_qps = r.window_us == 0 ? 0 : static_cast<double>(offered_) * 1e6 / w;
+  r.goodput_qps =
+      r.window_us == 0 ? 0 : static_cast<double>(completed_) * 1e6 / w;
+  r.latency_us = lat_;
+  r.get_latency_us = get_lat_;
+  r.put_latency_us = put_lat_;
+  r.timeline = timeline_;
+  return r;
+}
+
+}  // namespace bespokv

@@ -1,0 +1,111 @@
+// OpenLoopDriver: open-loop load generation for the DES fabric. Unlike the
+// closed-loop SimWorkloadDriver (one outstanding request per client), the
+// open-loop driver schedules request *arrivals* from an ArrivalProcess
+// (Poisson or bursty MMPP) independently of completions — the way a
+// population of millions of independent clients behaves in aggregate. When
+// the service point saturates, arrivals keep coming, the backlog grows, and
+// latency diverges: exactly the queue-collapse regime a closed loop can
+// never show (its clients self-throttle by waiting).
+//
+// Latency is measured from the *scheduled* arrival time, so there is no
+// coordinated omission to correct: a request delayed behind a backlog is
+// charged for the wait by construction.
+//
+// Shed requests (Code::kOverloaded after the client's retry budget) are
+// counted separately from other errors so capacity benchmarks can report
+// goodput vs shed rate per offered load.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/client/client.h"
+#include "src/cluster/cluster.h"
+#include "src/common/histogram.h"
+#include "src/net/sim_fabric.h"
+#include "src/workload/workload.h"
+
+namespace bespokv {
+
+struct OpenLoopOptions {
+  // Fabric client nodes arrivals are spread across (round-robin). Each node
+  // may carry many requests in flight; this is about traffic locality, not
+  // concurrency limits.
+  int num_client_nodes = 8;
+  WorkloadSpec workload;
+  ArrivalSpec arrival;
+  std::string table;
+  double strong_get_fraction = -1.0;
+  uint64_t rpc_timeout_us = 1'000'000;
+  // Safety valve for the generator itself: with shedding off and the system
+  // past saturation, outstanding requests grow without bound. Arrivals past
+  // this cap are counted as client_dropped instead of issued (0 = unbounded).
+  uint64_t max_outstanding = 200'000;
+  // Timeline bucketing for QPS-vs-time plots; 0 disables.
+  uint64_t timeline_bucket_us = 0;
+};
+
+struct OpenLoopResult {
+  uint64_t offered = 0;        // arrivals scheduled in the window
+  uint64_t completed = 0;      // ok (+ kNotFound) completions
+  uint64_t errors = 0;         // non-shed failures
+  uint64_t shed = 0;           // kOverloaded after client retries
+  uint64_t client_dropped = 0; // arrivals over max_outstanding, never issued
+  uint64_t outstanding = 0;    // still in flight at collect() time
+  uint64_t window_us = 0;
+  double offered_qps = 0;
+  double goodput_qps = 0;
+  // Scheduled-arrival -> completion; open-loop, so CO-correct as recorded.
+  Histogram latency_us;
+  Histogram get_latency_us;
+  Histogram put_latency_us;
+  std::vector<uint64_t> timeline;  // completions per bucket since reset
+};
+
+class OpenLoopDriver {
+ public:
+  OpenLoopDriver(SimFabric& sim, Cluster& cluster, OpenLoopOptions opts);
+  ~OpenLoopDriver();
+
+  // Bulk-loads the working set into every replica (same as the closed loop).
+  void preload();
+
+  // Connects the client pool and begins the arrival process. Drive time with
+  // sim.run_for(...) afterwards.
+  void start();
+  // Stops scheduling new arrivals (in-flight requests complete).
+  void stop();
+
+  void reset_window();
+  OpenLoopResult collect() const;
+
+ private:
+  struct ClientState;
+  void schedule_next();
+  void issue(ClientState& c, uint64_t scheduled_at);
+  void on_done(ClientState& c, OpType type, uint64_t scheduled_at, Status s);
+
+  SimFabric& sim_;
+  Cluster& cluster_;
+  OpenLoopOptions opts_;
+  std::vector<std::unique_ptr<ClientState>> clients_;
+  std::unique_ptr<WorkloadGenerator> gen_;
+  std::unique_ptr<ArrivalProcess> arrivals_;
+  Rng rng_{0xA1157ULL};
+
+  bool running_ = false;
+  int pending_connects_ = 0;
+  uint64_t next_client_ = 0;
+  uint64_t outstanding_ = 0;
+  uint64_t window_start_us_ = 0;
+
+  uint64_t offered_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t errors_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t client_dropped_ = 0;
+  Histogram lat_, get_lat_, put_lat_;
+  std::vector<uint64_t> timeline_;
+};
+
+}  // namespace bespokv

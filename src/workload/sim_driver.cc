@@ -82,6 +82,7 @@ void SimWorkloadDriver::reset_window() {
   lat_.reset();
   get_lat_.reset();
   put_lat_.reset();
+  co_lat_.reset();
   timeline_.clear();
   window_start_us_ = sim_.now_us();
 }
@@ -93,8 +94,18 @@ void SimWorkloadDriver::on_done(ClientState& c, OpType type,
   if (s.ok() || s.code() == Code::kNotFound) {
     ++ops_;
     lat_.record(lat);
-    (type == OpType::kPut || type == OpType::kDel ? put_lat_ : get_lat_)
+    (type == OpType::kPut || type == OpType::kDel || type == OpType::kRmw
+         ? put_lat_
+         : get_lat_)
         .record(lat);
+    co_lat_.record(lat);
+    if (opts_.co_interval_us > 0) {
+      // Back-fill the samples this client *would* have issued while stalled.
+      for (uint64_t l = lat; l > opts_.co_interval_us;) {
+        l -= opts_.co_interval_us;
+        co_lat_.record(l);
+      }
+    }
   } else {
     ++errors_;
   }
@@ -113,12 +124,27 @@ void SimWorkloadDriver::issue_next(ClientState& c) {
   ClientState* cs = &c;
   switch (op.type) {
     case OpType::kPut:
-      cs->kv->put(op.key, op.value,
-                  [this, cs, issued_at](Status s) {
-                    on_done(*cs, OpType::kPut, issued_at, s);
+      cs->kv->put_ttl(op.key, op.value, op.ttl_ms,
+                      [this, cs, issued_at](Status s) {
+                        on_done(*cs, OpType::kPut, issued_at, s);
+                      },
+                      opts_.table);
+      break;
+    case OpType::kRmw: {
+      // YCSB F: read-modify-write measured as a single operation.
+      std::string key = op.key, value = op.value;
+      const uint32_t ttl = op.ttl_ms;
+      cs->kv->get(key,
+                  [this, cs, issued_at, key, value, ttl](Result<std::string>) {
+                    cs->kv->put_ttl(key, value, ttl,
+                                    [this, cs, issued_at](Status s) {
+                                      on_done(*cs, OpType::kRmw, issued_at, s);
+                                    },
+                                    opts_.table);
                   },
                   opts_.table);
       break;
+    }
     case OpType::kDel:
       cs->kv->del(op.key,
                   [this, cs, issued_at](Status s) {
@@ -161,6 +187,7 @@ DriverResult SimWorkloadDriver::collect() const {
   r.latency_us = lat_;
   r.get_latency_us = get_lat_;
   r.put_latency_us = put_lat_;
+  r.corrected_latency_us = co_lat_;
   r.timeline = timeline_;
   return r;
 }

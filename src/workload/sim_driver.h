@@ -30,6 +30,13 @@ struct DriverOptions {
   // Timeline bucketing for QPS-vs-time plots; 0 disables.
   uint64_t timeline_bucket_us = 0;
   uint64_t rpc_timeout_us = 1'000'000;
+  // Coordinated-omission correction (satellite of the open-loop suite): the
+  // intended per-client issue interval. A closed loop that stalls for S >> I
+  // µs should have issued S/I more requests, each of which would have seen
+  // the stall; corrected_latency_us back-fills those synthetic samples
+  // (lat - I, lat - 2I, ...) the way HdrHistogram's recordValueWithExpected-
+  // Interval does. 0 disables correction (corrected == raw).
+  uint64_t co_interval_us = 0;
 };
 
 struct DriverResult {
@@ -40,6 +47,9 @@ struct DriverResult {
   Histogram latency_us;
   Histogram get_latency_us;
   Histogram put_latency_us;
+  // latency_us plus synthetic catch-up samples (see co_interval_us); equals
+  // latency_us when correction is disabled.
+  Histogram corrected_latency_us;
   std::vector<uint64_t> timeline;  // completed ops per bucket since reset
 };
 
@@ -76,7 +86,7 @@ class SimWorkloadDriver {
   // Shared counters (the DES is single-threaded; plain fields suffice).
   uint64_t ops_ = 0;
   uint64_t errors_ = 0;
-  Histogram lat_, get_lat_, put_lat_;
+  Histogram lat_, get_lat_, put_lat_, co_lat_;
   std::vector<uint64_t> timeline_;
 };
 

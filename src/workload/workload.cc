@@ -1,20 +1,49 @@
 #include "src/workload/workload.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace bespokv {
+
+const char* key_dist_name(KeyDist d) {
+  switch (d) {
+    case KeyDist::kUniform: return "uniform";
+    case KeyDist::kZipfian: return "zipfian";
+    case KeyDist::kLatest: return "latest";
+    case KeyDist::kHotset: return "hotset";
+  }
+  return "unknown";
+}
+
+namespace {
+Result<KeyDist> key_dist_from_name(const std::string& s) {
+  if (s == "uniform") return KeyDist::kUniform;
+  if (s == "zipfian") return KeyDist::kZipfian;
+  if (s == "latest") return KeyDist::kLatest;
+  if (s == "hotset") return KeyDist::kHotset;
+  return Status::Invalid("workload: unknown key_dist '" + s + "'");
+}
+}  // namespace
 
 Json WorkloadSpec::to_json() const {
   Json j = Json::object();
   j.set("num_keys", Json::number(double(num_keys)));
   j.set("key_size", Json::number(double(key_size)));
   j.set("value_size", Json::number(double(value_size)));
+  j.set("value_size_max", Json::number(double(value_size_max)));
   j.set("get_ratio", Json::number(get_ratio));
   j.set("scan_ratio", Json::number(scan_ratio));
   j.set("del_ratio", Json::number(del_ratio));
-  j.set("zipfian", Json::boolean(zipfian));
+  j.set("rmw_ratio", Json::number(rmw_ratio));
+  j.set("insert_ratio", Json::number(insert_ratio));
+  j.set("zipfian", Json::boolean(key_dist == KeyDist::kZipfian));
+  j.set("key_dist", Json::string(key_dist_name(key_dist)));
   j.set("zipf_theta", Json::number(zipf_theta));
+  j.set("hot_op_fraction", Json::number(hot_op_fraction));
+  j.set("hot_key_fraction", Json::number(hot_key_fraction));
   j.set("scan_span", Json::number(scan_span));
+  j.set("ttl_ms", Json::number(double(ttl_ms)));
   j.set("seed", Json::number(double(seed)));
   return j;
 }
@@ -24,25 +53,116 @@ Result<WorkloadSpec> WorkloadSpec::from_json(const Json& j) {
   s.num_keys = uint64_t(j.get("num_keys").as_number(double(s.num_keys)));
   s.key_size = size_t(j.get("key_size").as_number(double(s.key_size)));
   s.value_size = size_t(j.get("value_size").as_number(double(s.value_size)));
+  s.value_size_max =
+      size_t(j.get("value_size_max").as_number(double(s.value_size_max)));
   s.get_ratio = j.get("get_ratio").as_number(s.get_ratio);
   s.scan_ratio = j.get("scan_ratio").as_number(s.scan_ratio);
   s.del_ratio = j.get("del_ratio").as_number(s.del_ratio);
+  s.rmw_ratio = j.get("rmw_ratio").as_number(s.rmw_ratio);
+  s.insert_ratio = j.get("insert_ratio").as_number(s.insert_ratio);
+  // Legacy artifacts carry only the bool; key_dist (when present) wins.
   s.zipfian = j.get("zipfian").as_bool(s.zipfian);
+  s.key_dist = s.zipfian ? KeyDist::kZipfian : KeyDist::kUniform;
+  if (j.get("key_dist").is_string()) {
+    auto d = key_dist_from_name(j.get("key_dist").as_string(""));
+    if (!d.ok()) return d.status();
+    s.key_dist = d.value();
+    s.zipfian = s.key_dist == KeyDist::kZipfian;
+  }
   s.zipf_theta = j.get("zipf_theta").as_number(s.zipf_theta);
+  s.hot_op_fraction = j.get("hot_op_fraction").as_number(s.hot_op_fraction);
+  s.hot_key_fraction = j.get("hot_key_fraction").as_number(s.hot_key_fraction);
   s.scan_span = uint32_t(j.get("scan_span").as_number(s.scan_span));
+  s.ttl_ms = uint32_t(j.get("ttl_ms").as_number(double(s.ttl_ms)));
   s.seed = uint64_t(j.get("seed").as_number(double(s.seed)));
   if (s.num_keys == 0) return Status::Invalid("workload: num_keys must be > 0");
   if (s.get_ratio < 0 || s.scan_ratio < 0 || s.del_ratio < 0 ||
-      s.get_ratio + s.scan_ratio + s.del_ratio > 1.0 + 1e-9) {
+      s.rmw_ratio < 0 || s.insert_ratio < 0 ||
+      s.get_ratio + s.scan_ratio + s.del_ratio + s.rmw_ratio + s.insert_ratio >
+          1.0 + 1e-9) {
     return Status::Invalid("workload: op ratios must be >= 0 and sum <= 1");
   }
+  if (s.value_size_max != 0 && s.value_size_max < s.value_size) {
+    return Status::Invalid("workload: value_size_max < value_size");
+  }
+  if (s.hot_op_fraction < 0 || s.hot_op_fraction > 1 ||
+      s.hot_key_fraction <= 0 || s.hot_key_fraction > 1) {
+    return Status::Invalid("workload: hot-set fractions out of range");
+  }
   return s;
+}
+
+// --- YCSB core suite (A–F). All use the repo-standard 16B/32B records; the
+// canonical mixes are from the YCSB core-workload definitions.
+
+WorkloadSpec WorkloadSpec::ycsb_a() {
+  WorkloadSpec s;
+  s.get_ratio = 0.50;  // 50% read / 50% update
+  s.zipfian = true;
+  s.key_dist = KeyDist::kZipfian;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::ycsb_b() {
+  WorkloadSpec s;
+  s.get_ratio = 0.95;  // 95% read / 5% update
+  s.zipfian = true;
+  s.key_dist = KeyDist::kZipfian;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::ycsb_c() {
+  WorkloadSpec s;
+  s.get_ratio = 1.0;  // read-only
+  s.zipfian = true;
+  s.key_dist = KeyDist::kZipfian;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::ycsb_d() {
+  WorkloadSpec s;
+  s.get_ratio = 0.95;    // read-latest
+  s.insert_ratio = 0.05;
+  s.key_dist = KeyDist::kLatest;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::ycsb_e() {
+  WorkloadSpec s;
+  s.get_ratio = 0.0;
+  s.scan_ratio = 0.95;  // short ranges
+  s.insert_ratio = 0.05;
+  s.zipfian = true;
+  s.key_dist = KeyDist::kZipfian;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::ycsb_f() {
+  WorkloadSpec s;
+  s.get_ratio = 0.50;  // 50% read / 50% read-modify-write
+  s.rmw_ratio = 0.50;
+  s.zipfian = true;
+  s.key_dist = KeyDist::kZipfian;
+  return s;
+}
+
+Result<WorkloadSpec> WorkloadSpec::ycsb(char mix) {
+  switch (mix) {
+    case 'A': case 'a': return ycsb_a();
+    case 'B': case 'b': return ycsb_b();
+    case 'C': case 'c': return ycsb_c();
+    case 'D': case 'd': return ycsb_d();
+    case 'E': case 'e': return ycsb_e();
+    case 'F': case 'f': return ycsb_f();
+  }
+  return Status::Invalid(std::string("workload: no YCSB mix '") + mix + "'");
 }
 
 WorkloadSpec WorkloadSpec::ycsb_read_mostly(bool zipf) {
   WorkloadSpec s;
   s.get_ratio = 0.95;
   s.zipfian = zipf;
+  s.key_dist = zipf ? KeyDist::kZipfian : KeyDist::kUniform;
   return s;
 }
 
@@ -50,6 +170,7 @@ WorkloadSpec WorkloadSpec::ycsb_update_heavy(bool zipf) {
   WorkloadSpec s;
   s.get_ratio = 0.50;
   s.zipfian = zipf;
+  s.key_dist = zipf ? KeyDist::kZipfian : KeyDist::kUniform;
   return s;
 }
 
@@ -58,6 +179,7 @@ WorkloadSpec WorkloadSpec::ycsb_scan_heavy(bool zipf) {
   s.get_ratio = 0.0;
   s.scan_ratio = 0.95;
   s.zipfian = zipf;
+  s.key_dist = zipf ? KeyDist::kZipfian : KeyDist::kUniform;
   return s;
 }
 
@@ -67,6 +189,7 @@ WorkloadSpec WorkloadSpec::hpc_job_launch() {
   s.num_keys = 100'000;
   s.get_ratio = 0.50;
   s.zipfian = true;  // rank/step keys are heavily reused
+  s.key_dist = KeyDist::kZipfian;
   return s;
 }
 
@@ -109,9 +232,28 @@ WorkloadSpec WorkloadSpec::dl_ingest(size_t image_bytes) {
   return s;
 }
 
+WorkloadSpec WorkloadSpec::cache_tier(uint32_t ttl_ms) {
+  // Memcached-style session cache: hot-set skew, every write TTL'd, mixed
+  // payload sizes so eviction pressure is uneven.
+  WorkloadSpec s;
+  s.num_keys = 100'000;
+  s.get_ratio = 0.50;
+  s.key_dist = KeyDist::kHotset;
+  s.value_size = 32;
+  s.value_size_max = 256;
+  s.ttl_ms = ttl_ms;
+  return s;
+}
+
 WorkloadGenerator::WorkloadGenerator(WorkloadSpec spec, uint64_t stream_id)
-    : spec_(spec), rng_(spec.seed * 0x9e3779b9ULL + stream_id + 1) {
-  if (spec_.zipfian) {
+    : spec_(spec),
+      rng_(spec.seed * 0x9e3779b9ULL + stream_id + 1),
+      population_(spec.num_keys) {
+  if (spec_.zipfian && spec_.key_dist == KeyDist::kUniform) {
+    spec_.key_dist = KeyDist::kZipfian;  // legacy bool set directly
+  }
+  if (spec_.key_dist == KeyDist::kZipfian ||
+      spec_.key_dist == KeyDist::kLatest) {
     zipf_ = std::make_unique<ZipfianGenerator>(spec_.num_keys, spec_.zipf_theta,
                                                spec_.seed + stream_id * 131);
   }
@@ -126,7 +268,7 @@ std::string WorkloadGenerator::key_at(uint64_t index) const {
 }
 
 std::string WorkloadGenerator::value_for(uint64_t index) {
-  std::string v(spec_.value_size, 'x');
+  std::string v(next_value_size(), 'x');
   // Stamp a recognizable header so correctness checks can verify values.
   const int n = std::snprintf(v.data(), v.size(), "v%llu|",
                               static_cast<unsigned long long>(index));
@@ -134,28 +276,162 @@ std::string WorkloadGenerator::value_for(uint64_t index) {
   return v;
 }
 
+size_t WorkloadGenerator::next_value_size() {
+  if (spec_.value_size_max <= spec_.value_size) return spec_.value_size;
+  return spec_.value_size +
+         rng_.next_u64(spec_.value_size_max - spec_.value_size + 1);
+}
+
 uint64_t WorkloadGenerator::next_index() {
-  return zipf_ != nullptr ? zipf_->next() : rng_.next_u64(spec_.num_keys);
+  switch (spec_.key_dist) {
+    case KeyDist::kUniform:
+      return rng_.next_u64(population_);
+    case KeyDist::kZipfian:
+      return zipf_->next();
+    case KeyDist::kLatest: {
+      // YCSB D: popularity decays with age — zipfian over recency rank, so
+      // rank 0 is the most recently inserted key.
+      const uint64_t rank = zipf_->next_rank();
+      return rank >= population_ ? 0 : population_ - 1 - rank;
+    }
+    case KeyDist::kHotset: {
+      uint64_t hot = std::max<uint64_t>(
+          1, uint64_t(double(population_) * spec_.hot_key_fraction));
+      if (rng_.next_bool(spec_.hot_op_fraction)) return rng_.next_u64(hot);
+      if (hot >= population_) return rng_.next_u64(population_);
+      return hot + rng_.next_u64(population_ - hot);
+    }
+  }
+  return rng_.next_u64(population_);
 }
 
 WorkloadOp WorkloadGenerator::next() {
   WorkloadOp op;
   const double p = rng_.next_double();
-  const uint64_t idx = next_index();
-  op.key = key_at(idx);
-  if (p < spec_.get_ratio) {
+  double c = spec_.get_ratio;
+  if (p < c) {
     op.type = OpType::kGet;
-  } else if (p < spec_.get_ratio + spec_.scan_ratio) {
-    op.type = OpType::kScan;
-    op.scan_end = key_at(std::min(idx + spec_.scan_span, spec_.num_keys));
-    op.scan_limit = spec_.scan_span;
-  } else if (p < spec_.get_ratio + spec_.scan_ratio + spec_.del_ratio) {
-    op.type = OpType::kDel;
-  } else {
-    op.type = OpType::kPut;
-    op.value = value_for(idx);
+    op.key = key_at(next_index());
+    return op;
   }
+  c += spec_.scan_ratio;
+  if (p < c) {
+    const uint64_t idx = next_index();
+    op.type = OpType::kScan;
+    op.key = key_at(idx);
+    op.scan_end = key_at(std::min(idx + spec_.scan_span, population_));
+    op.scan_limit = spec_.scan_span;
+    return op;
+  }
+  c += spec_.del_ratio;
+  if (p < c) {
+    op.type = OpType::kDel;
+    op.key = key_at(next_index());
+    return op;
+  }
+  c += spec_.rmw_ratio;
+  if (p < c) {
+    const uint64_t idx = next_index();
+    op.type = OpType::kRmw;
+    op.key = key_at(idx);
+    op.value = value_for(idx);
+    op.ttl_ms = spec_.ttl_ms;
+    return op;
+  }
+  c += spec_.insert_ratio;
+  uint64_t idx;
+  if (p < c) {
+    idx = population_++;  // brand-new key extends the keyspace
+  } else {
+    idx = next_index();
+  }
+  op.type = OpType::kPut;
+  op.key = key_at(idx);
+  op.value = value_for(idx);
+  op.ttl_ms = spec_.ttl_ms;
   return op;
+}
+
+// --- Arrival processes -----------------------------------------------------
+
+double ArrivalSpec::mean_rate_per_sec() const {
+  if (kind == Kind::kPoisson) return rate_per_sec;
+  const double calm = calm_dwell_ms, burst = burst_dwell_ms;
+  if (calm + burst <= 0) return rate_per_sec;
+  return (rate_per_sec * calm + rate_per_sec * burst_multiplier * burst) /
+         (calm + burst);
+}
+
+Json ArrivalSpec::to_json() const {
+  Json j = Json::object();
+  j.set("kind", Json::string(kind == Kind::kPoisson ? "poisson" : "mmpp"));
+  j.set("rate_per_sec", Json::number(rate_per_sec));
+  j.set("burst_multiplier", Json::number(burst_multiplier));
+  j.set("calm_dwell_ms", Json::number(calm_dwell_ms));
+  j.set("burst_dwell_ms", Json::number(burst_dwell_ms));
+  j.set("seed", Json::number(double(seed)));
+  return j;
+}
+
+Result<ArrivalSpec> ArrivalSpec::from_json(const Json& j) {
+  ArrivalSpec s;
+  const std::string kind = j.get("kind").as_string("poisson");
+  if (kind == "poisson") {
+    s.kind = Kind::kPoisson;
+  } else if (kind == "mmpp") {
+    s.kind = Kind::kMmpp;
+  } else {
+    return Status::Invalid("arrival: unknown kind '" + kind + "'");
+  }
+  s.rate_per_sec = j.get("rate_per_sec").as_number(s.rate_per_sec);
+  s.burst_multiplier = j.get("burst_multiplier").as_number(s.burst_multiplier);
+  s.calm_dwell_ms = j.get("calm_dwell_ms").as_number(s.calm_dwell_ms);
+  s.burst_dwell_ms = j.get("burst_dwell_ms").as_number(s.burst_dwell_ms);
+  s.seed = uint64_t(j.get("seed").as_number(double(s.seed)));
+  if (s.rate_per_sec <= 0) return Status::Invalid("arrival: rate must be > 0");
+  if (s.burst_multiplier < 1) {
+    return Status::Invalid("arrival: burst_multiplier must be >= 1");
+  }
+  return s;
+}
+
+ArrivalProcess::ArrivalProcess(ArrivalSpec spec)
+    : spec_(spec), rng_(spec.seed * 0x2545F4914F6CDD1DULL + 17) {
+  if (spec_.kind == ArrivalSpec::Kind::kMmpp) {
+    state_left_us_ = exp_us(1000.0 / std::max(1e-9, spec_.calm_dwell_ms));
+  }
+}
+
+double ArrivalProcess::exp_us(double rate_per_sec) {
+  // Exponential with mean 1e6/rate microseconds; clamp u away from 0.
+  const double u = std::max(rng_.next_double(), 1e-12);
+  return -std::log(u) * 1e6 / rate_per_sec;
+}
+
+uint64_t ArrivalProcess::next_gap_us() {
+  if (spec_.kind == ArrivalSpec::Kind::kPoisson) {
+    return static_cast<uint64_t>(std::llround(exp_us(spec_.rate_per_sec)));
+  }
+  // MMPP: walk the state machine until the sampled gap lands inside the
+  // current state's remaining sojourn (gaps never straddle a rate change —
+  // a standard and adequate approximation for a DES driver).
+  double gap = 0;
+  for (;;) {
+    const double rate = in_burst_
+                            ? spec_.rate_per_sec * spec_.burst_multiplier
+                            : spec_.rate_per_sec;
+    const double g = exp_us(rate);
+    if (g <= state_left_us_) {
+      state_left_us_ -= g;
+      gap += g;
+      return static_cast<uint64_t>(std::llround(gap));
+    }
+    gap += state_left_us_;
+    in_burst_ = !in_burst_;
+    const double dwell_ms =
+        in_burst_ ? spec_.burst_dwell_ms : spec_.calm_dwell_ms;
+    state_left_us_ = exp_us(1000.0 / std::max(1e-9, dwell_ms));
+  }
 }
 
 }  // namespace bespokv

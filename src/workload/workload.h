@@ -1,10 +1,16 @@
 // Workload generators (§VIII-A):
 //  * YCSB-style: 10M-tuple keyspace, 16B keys / 32B values, uniform or
 //    Zipf(0.99) popularity, GET ratios 95%/50%, and the 95%-SCAN variant.
+//    The full YCSB core suite A–F is available as presets: update-heavy (A),
+//    read-mostly (B), read-only (C), read-latest (D), scan-heavy (E), and
+//    read-modify-write (F), including the latest/hot-set key distributions.
 //  * HPC traces: job-launch and I/O-forwarding mixes (§VIII-A: I/O forwarding
 //    is Get:Put 62:38, job launch has 12% fewer reads => 50:50), Lustre
 //    monitoring (put-dominated time series, §VI-A), analytics (read-heavy
 //    uniform), and DL training ingest (large-value read-mostly, §VI-B).
+//  * Open-loop arrival processes: Poisson and bursty two-state MMPP
+//    inter-arrival samplers that decouple offered load from completions, so
+//    overload pathologies are not hidden by closed-loop self-throttling.
 #pragma once
 
 #include <cstdint>
@@ -16,26 +22,44 @@
 
 namespace bespokv {
 
-enum class OpType : uint8_t { kPut, kGet, kDel, kScan };
+enum class OpType : uint8_t { kPut, kGet, kDel, kScan, kRmw };
+
+// Key popularity model. kZipfian scrambles ranks across the key space
+// (standard YCSB behaviour); kLatest skews toward recently inserted keys
+// (YCSB D); kHotset sends `hot_op_fraction` of ops to the first
+// `hot_key_fraction` of the key space (YCSB hotspot distribution).
+enum class KeyDist : uint8_t { kUniform, kZipfian, kLatest, kHotset };
+
+const char* key_dist_name(KeyDist d);
 
 struct WorkloadOp {
   OpType type;
   std::string key;
-  std::string value;      // puts only
+  std::string value;      // puts / rmw only
   std::string scan_end;   // scans only
   uint32_t scan_limit = 0;
+  uint32_t ttl_ms = 0;    // puts: relative expiry carried on the PUT (0 = none)
 };
 
 struct WorkloadSpec {
   uint64_t num_keys = 1'000'000;
   size_t key_size = 16;
   size_t value_size = 32;
-  double get_ratio = 0.95;   // remainder split between put and scan
+  // >= value_size: payload sizes drawn uniformly from
+  // [value_size, value_size_max] per PUT (0 = fixed value_size).
+  size_t value_size_max = 0;
+  double get_ratio = 0.95;    // remainder after all ratios is PUT (update)
   double scan_ratio = 0.0;
   double del_ratio = 0.0;
-  bool zipfian = false;      // false = uniform
+  double rmw_ratio = 0.0;     // read-modify-write, measured as one op (YCSB F)
+  double insert_ratio = 0.0;  // PUT of a brand-new key, growing the keyspace
+  bool zipfian = false;       // legacy alias for key_dist == kZipfian
+  KeyDist key_dist = KeyDist::kUniform;
   double zipf_theta = 0.99;
+  double hot_op_fraction = 0.9;    // kHotset: fraction of ops on the hot set
+  double hot_key_fraction = 0.1;   // kHotset: fraction of keys that are hot
   uint32_t scan_span = 100;  // keys per scan
+  uint32_t ttl_ms = 0;       // stamp every PUT with this TTL (cache-tier mode)
   uint64_t seed = 1;
 
   // JSON round-trip, used by the verification harness to make a scenario's
@@ -44,6 +68,13 @@ struct WorkloadSpec {
   static Result<WorkloadSpec> from_json(const Json& j);
 
   // Named presets.
+  static WorkloadSpec ycsb_a();                        // 50R/50U zipf
+  static WorkloadSpec ycsb_b();                        // 95R/5U zipf
+  static WorkloadSpec ycsb_c();                        // 100R zipf
+  static WorkloadSpec ycsb_d();                        // 95R latest / 5 insert
+  static WorkloadSpec ycsb_e();                        // 95 scan / 5 insert
+  static WorkloadSpec ycsb_f();                        // 50R/50RMW zipf
+  static Result<WorkloadSpec> ycsb(char mix);          // 'A'..'F'
   static WorkloadSpec ycsb_read_mostly(bool zipf);     // 95% GET
   static WorkloadSpec ycsb_update_heavy(bool zipf);    // 50% GET
   static WorkloadSpec ycsb_scan_heavy(bool zipf);      // 95% SCAN, 5% PUT
@@ -52,6 +83,7 @@ struct WorkloadSpec {
   static WorkloadSpec hpc_monitoring();                // 95% PUT time series
   static WorkloadSpec hpc_analytics();                 // 100% GET uniform
   static WorkloadSpec dl_ingest(size_t image_bytes);   // large-value reads
+  static WorkloadSpec cache_tier(uint32_t ttl_ms);     // TTL'd 50/50 hotset
 };
 
 class WorkloadGenerator {
@@ -64,13 +96,56 @@ class WorkloadGenerator {
   std::string key_at(uint64_t index) const;
   std::string value_for(uint64_t index);
   const WorkloadSpec& spec() const { return spec_; }
+  // Current keyspace size (num_keys plus inserts made by this generator).
+  uint64_t population() const { return population_; }
 
  private:
   uint64_t next_index();
+  size_t next_value_size();
 
   WorkloadSpec spec_;
   Rng rng_;
   std::unique_ptr<ZipfianGenerator> zipf_;
+  uint64_t population_;
+};
+
+// Open-loop arrival process: request *start* times come from the process, not
+// from completions, so queueing delay shows up as latency instead of reduced
+// offered load (the closed-loop coordinated-omission blind spot).
+struct ArrivalSpec {
+  enum class Kind : uint8_t { kPoisson, kMmpp };
+  Kind kind = Kind::kPoisson;
+  double rate_per_sec = 1000.0;   // Poisson rate; MMPP calm-state rate
+  // Two-state MMPP: exponential sojourns alternate between a calm state at
+  // rate_per_sec and a burst state at rate_per_sec * burst_multiplier.
+  double burst_multiplier = 8.0;
+  double calm_dwell_ms = 500.0;   // mean sojourn in the calm state
+  double burst_dwell_ms = 50.0;   // mean sojourn in the burst state
+  uint64_t seed = 1;
+
+  // Long-run mean arrival rate (Poisson: rate_per_sec; MMPP: dwell-weighted).
+  double mean_rate_per_sec() const;
+
+  Json to_json() const;
+  static Result<ArrivalSpec> from_json(const Json& j);
+};
+
+class ArrivalProcess {
+ public:
+  explicit ArrivalProcess(ArrivalSpec spec);
+
+  // Microseconds from the previous arrival to the next one.
+  uint64_t next_gap_us();
+  const ArrivalSpec& spec() const { return spec_; }
+  bool in_burst() const { return in_burst_; }
+
+ private:
+  double exp_us(double rate_per_sec);
+
+  ArrivalSpec spec_;
+  Rng rng_;
+  bool in_burst_ = false;
+  double state_left_us_ = 0;  // time remaining in the current MMPP state
 };
 
 }  // namespace bespokv

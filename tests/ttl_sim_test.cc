@@ -1,0 +1,182 @@
+// Cluster-level TTL semantics (ISSUE 8 satellite: "cache-tier mode is only
+// trustworthy if expiry survives the machinery"): a PUT with ttl_ms expires
+// at the stamped fabric-clock instant on every engine, the envelope rides
+// replication and WAL/checkpoint durability unchanged, a promoted master
+// agrees on expiry, the background sweep reclaims cold entries, and retry
+// dedup cannot resurrect an expired key.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/storage/env.h"
+#include "tests/sim_test_util.h"
+
+namespace bespokv {
+namespace {
+
+using testing::SimEnv;
+using testing::small_cluster;
+
+ClusterOptions ttl_cluster(const std::string& kind,
+                           Topology t = Topology::kMasterSlave,
+                           Consistency c = Consistency::kStrong) {
+  ClusterOptions o = small_cluster(t, c, /*shards=*/1, /*replicas=*/3);
+  o.datalet_kind = kind;
+  return o;
+}
+
+class TtlEngineTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TtlEngineTest, ExpiresAtStampedInstant) {
+  SimEnv env(ttl_cluster(GetParam()));
+  SyncKv kv = env.client();
+  ASSERT_TRUE(kv.put_ttl("session", "alive", 300).ok());
+  ASSERT_TRUE(kv.put("pinned", "forever").ok());
+
+  // Before expiry the client sees the raw payload — no envelope bytes leak.
+  auto r = kv.get("session");
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(r.value(), "alive");
+
+  env.settle(400'000);  // cross the 300ms expiry on the fabric clock
+  EXPECT_EQ(kv.get("session").status().code(), Code::kNotFound);
+  // Expiry is per-key: untouched and un-TTL'd data is unaffected.
+  EXPECT_EQ(kv.get("pinned").value(), "forever");
+  // A dead key can be rewritten (fresh TTL restarts the clock).
+  ASSERT_TRUE(kv.put_ttl("session", "again", 300).ok());
+  EXPECT_EQ(kv.get("session").value(), "again");
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, TtlEngineTest,
+                         ::testing::Values("tHT", "tMT", "tLSM"));
+
+TEST(Ttl, ZeroTtlNeverExpires) {
+  SimEnv env(ttl_cluster("tHT"));
+  SyncKv kv = env.client();
+  ASSERT_TRUE(kv.put_ttl("k", "v", 0).ok());  // 0 = plain PUT
+  env.settle(2'000'000);
+  EXPECT_EQ(kv.get("k").value(), "v");
+}
+
+TEST(Ttl, ScanFiltersExpiredRows) {
+  ClusterOptions o = ttl_cluster("tMT");  // ordered engine for scans
+  SimEnv env(o);
+  SyncKv kv = env.client();
+  ASSERT_TRUE(kv.put_ttl("row1", "a", 200).ok());
+  ASSERT_TRUE(kv.put("row2", "b").ok());
+  ASSERT_TRUE(kv.put_ttl("row3", "c", 5'000).ok());
+  env.settle(400'000);  // row1 dead, row3 still live
+
+  auto rows = kv.scan("row", "row~", 10);
+  ASSERT_TRUE(rows.ok()) << rows.status().to_string();
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[0].key, "row2");
+  EXPECT_EQ(rows.value()[1].key, "row3");
+  EXPECT_EQ(rows.value()[1].value, "c");  // envelope stripped in scan rows
+}
+
+TEST(Ttl, SurvivesWalRecoveryWithExpiryIntact) {
+  // Durable engines persist the envelope through WAL + checkpoint: after a
+  // power cut and replay, a live key is still live (with its original
+  // absolute expiry — not re-based at recovery) and expires on schedule.
+  ClusterOptions o = ttl_cluster("tHT");
+  o.datalet_cfg.env = std::make_shared<storage::MemEnv>();
+  o.datalet_cfg.durable_dir = "/ttl";
+  o.datalet_cfg.fsync = "always";
+  SimEnv env(o);
+  SyncKv kv = env.client();
+  ASSERT_TRUE(kv.put_ttl("lease", "holder-a", 3'000).ok());
+  ASSERT_TRUE(kv.put("config", "stable").ok());
+
+  // Power-cut the whole shard chain, then bring every replica back: state
+  // must come from checkpoint + WAL replay, not surviving peers.
+  for (int r = 0; r < 3; ++r) env.cluster.kill_controlet(0, r);
+  for (int r = 0; r < 3; ++r) {
+    ASSERT_TRUE(env.cluster.restart_controlet(0, r));
+  }
+  env.settle(1'500'000);  // recovery + map settle (~1.5s of the 3s TTL)
+
+  auto r = kv.get("lease");
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(r.value(), "holder-a");
+  EXPECT_EQ(kv.get("config").value(), "stable");
+
+  env.settle(2'000'000);  // now past the original 3s expiry instant
+  EXPECT_EQ(kv.get("lease").status().code(), Code::kNotFound);
+  EXPECT_EQ(kv.get("config").value(), "stable");
+}
+
+TEST(Ttl, PromotedMasterAgreesOnExpiry) {
+  // The expiry instant is absolute and replicated inside the value, so a
+  // slave promoted after the master dies reaches the same verdict.
+  ClusterOptions o = ttl_cluster("tHT");
+  o.num_standby = 1;
+  o.coordinator.hb_period_us = 100'000;
+  o.coordinator.hb_miss_limit = 3;
+  o.controlet.hb_period_us = 50'000;
+  SimEnv env(o);
+  SyncKv kv = env.client();
+  ASSERT_TRUE(kv.put_ttl("short", "gone-soon", 400).ok());
+  ASSERT_TRUE(kv.put_ttl("long", "stays", 60'000).ok());
+
+  env.cluster.kill_controlet(0, 0);  // kill the master/head
+  env.settle(1'500'000);             // detection + promotion (past 400ms TTL)
+
+  EXPECT_GE(env.cluster.coordinator_service()->failovers(), 1u);
+  EXPECT_EQ(kv.get("short").status().code(), Code::kNotFound);
+  auto r = kv.get("long");
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(r.value(), "stays");
+}
+
+TEST(Ttl, BackgroundSweepReclaimsColdKeys) {
+  // Lazy expiry only fires on touched keys; the periodic sweep must reclaim
+  // entries nobody reads. Observe reclamation through the engine itself.
+  ClusterOptions o = ttl_cluster("tHT");
+  o.controlet.ttl_sweep_period_us = 200'000;
+  SimEnv env(o);
+  SyncKv kv = env.client();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        kv.put_ttl("cold" + std::to_string(i), "v", 300).ok());
+  }
+  ASSERT_TRUE(kv.put("warm", "v").ok());
+  env.settle(900'000);  // several sweep periods past expiry
+
+  // Nobody ever read cold*, yet the master's engine dropped them all.
+  size_t master_size = env.cluster.datalet(0, 0)->size();
+  EXPECT_EQ(master_size, 1u);
+  EXPECT_EQ(kv.get("warm").value(), "v");
+}
+
+TEST(Ttl, RetryDedupDoesNotResurrectExpiredKey) {
+  // A duplicate of an acked PUT-with-TTL (same idempotency token) arriving
+  // after the key expired must be answered from the dedup window, not
+  // re-applied — replaying it would resurrect the dead key with a
+  // re-based expiry.
+  SimEnv env(ttl_cluster("tHT"));
+  SyncKv kv = env.client();
+  ASSERT_TRUE(kv.put_ttl("once", "v", 300).ok());
+
+  // Hand-craft the duplicate exactly as the client would retry it: same
+  // token, same ttl_ms, sent straight to the master controlet.
+  Message dup = Message::put_ttl("once", "v", 300);
+  dup.token = 424242;
+  Message first = dup;
+  auto r1 = env.call(env.cluster.controlet_addr(0, 0), std::move(first));
+  ASSERT_TRUE(r1.ok());
+  ASSERT_EQ(r1.value().code, Code::kOk);
+
+  env.settle(500'000);  // the key expires
+  EXPECT_EQ(kv.get("once").status().code(), Code::kNotFound);
+
+  auto r2 = env.call(env.cluster.controlet_addr(0, 0), std::move(dup));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().code, Code::kOk);  // replayed ack from the window
+  // The duplicate did not bring the key back from the dead.
+  EXPECT_EQ(kv.get("once").status().code(), Code::kNotFound);
+}
+
+}  // namespace
+}  // namespace bespokv

@@ -1,0 +1,200 @@
+// Workload-suite tests (ISSUE 8): the YCSB A–F presets, the new key/value
+// distributions (latest, hotset, variable payload sizes), TTL stamping,
+// open-loop arrival processes (Poisson / two-state MMPP), the spec JSON
+// round-trips, and the ttl_ms field in the wire codec.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/proto/codec.h"
+#include "src/proto/message.h"
+#include "src/workload/workload.h"
+
+namespace bespokv {
+namespace {
+
+std::map<OpType, int> op_counts(WorkloadGenerator& gen, int n) {
+  std::map<OpType, int> counts;
+  for (int i = 0; i < n; ++i) counts[gen.next().type]++;
+  return counts;
+}
+
+TEST(YcsbPresets, MixRatios) {
+  // Canonical core-workload mixes; generators must realize them closely.
+  struct Case {
+    char mix;
+    OpType dominant;
+    double expect;
+  };
+  for (const Case& c : {Case{'A', OpType::kGet, 0.50},
+                        Case{'B', OpType::kGet, 0.95},
+                        Case{'C', OpType::kGet, 1.00},
+                        Case{'E', OpType::kScan, 0.95},
+                        Case{'F', OpType::kRmw, 0.50}}) {
+    auto spec = WorkloadSpec::ycsb(c.mix);
+    ASSERT_TRUE(spec.ok());
+    WorkloadGenerator gen(spec.value(), 0);
+    auto counts = op_counts(gen, 20'000);
+    EXPECT_NEAR(counts[c.dominant] / 20'000.0, c.expect, 0.02)
+        << "mix " << c.mix;
+  }
+  EXPECT_FALSE(WorkloadSpec::ycsb('Z').ok());
+}
+
+TEST(YcsbPresets, DGrowsKeyspaceAndReadsLatest) {
+  auto spec = WorkloadSpec::ycsb('D');
+  ASSERT_TRUE(spec.ok());
+  WorkloadSpec s = spec.value();
+  s.num_keys = 1'000;
+  WorkloadGenerator gen(s, 0);
+  const uint64_t before = gen.population();
+  int reads_in_newest_decile = 0, reads = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    WorkloadOp op = gen.next();
+    if (op.type != OpType::kGet) continue;
+    ++reads;
+    // key_at zero-pads indices, so lexical order is numeric order: a read
+    // of the newest 10% of keys sorts above key_at(90% of population).
+    if (op.key >= gen.key_at(gen.population() * 9 / 10)) {
+      ++reads_in_newest_decile;
+    }
+  }
+  EXPECT_GT(gen.population(), before);  // 5% inserts grew the keyspace
+  // Read-latest skew: far more than the uniform 10% of reads land on the
+  // newest decile.
+  EXPECT_GT(reads_in_newest_decile, reads / 4);
+}
+
+TEST(KeyDistributions, HotsetConcentratesOnHotKeys) {
+  WorkloadSpec s;
+  s.num_keys = 10'000;
+  s.get_ratio = 1.0;
+  s.key_dist = KeyDist::kHotset;
+  s.hot_op_fraction = 0.9;
+  s.hot_key_fraction = 0.1;
+  WorkloadGenerator gen(s, 0);
+  const std::string hot_end = gen.key_at(1'000);
+  int hot = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    if (gen.next().key < hot_end) ++hot;
+  }
+  EXPECT_NEAR(hot / double(n), 0.9, 0.03);
+}
+
+TEST(ValueSizes, DrawnFromConfiguredRange) {
+  WorkloadSpec s;
+  s.get_ratio = 0.0;  // all updates
+  s.value_size = 32;
+  s.value_size_max = 256;
+  WorkloadGenerator gen(s, 0);
+  size_t lo = SIZE_MAX, hi = 0;
+  for (int i = 0; i < 2'000; ++i) {
+    WorkloadOp op = gen.next();
+    ASSERT_EQ(op.type, OpType::kPut);
+    lo = std::min(lo, op.value.size());
+    hi = std::max(hi, op.value.size());
+  }
+  EXPECT_GE(lo, 32u);
+  EXPECT_LE(hi, 256u);
+  EXPECT_GT(hi - lo, 100u);  // actually spread, not pinned to one size
+}
+
+TEST(CacheTierPreset, StampsTtlOnEveryPut) {
+  WorkloadGenerator gen(WorkloadSpec::cache_tier(250), 0);
+  int puts = 0;
+  for (int i = 0; i < 2'000; ++i) {
+    WorkloadOp op = gen.next();
+    if (op.type != OpType::kPut) continue;
+    ++puts;
+    EXPECT_EQ(op.ttl_ms, 250u);
+  }
+  EXPECT_GT(puts, 0);
+}
+
+TEST(Arrivals, PoissonMeanGapMatchesRate) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalSpec::Kind::kPoisson;
+  spec.rate_per_sec = 5'000;
+  ArrivalProcess p(spec);
+  double sum = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += double(p.next_gap_us());
+  const double mean_us = sum / n;
+  EXPECT_NEAR(mean_us, 200.0, 10.0);  // 1e6 / 5000
+  EXPECT_NEAR(spec.mean_rate_per_sec(), 5'000.0, 1e-9);
+}
+
+TEST(Arrivals, MmppAlternatesAndRaisesMeanRate) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalSpec::Kind::kMmpp;
+  spec.rate_per_sec = 1'000;
+  spec.burst_multiplier = 10.0;
+  spec.calm_dwell_ms = 10.0;
+  spec.burst_dwell_ms = 10.0;
+  // Equal dwells: mean rate is the average of calm and burst rates.
+  EXPECT_NEAR(spec.mean_rate_per_sec(), 5'500.0, 1.0);
+  ArrivalProcess p(spec);
+  bool saw_burst = false, saw_calm = false;
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    sum += double(p.next_gap_us());
+    (p.in_burst() ? saw_burst : saw_calm) = true;
+  }
+  EXPECT_TRUE(saw_burst);
+  EXPECT_TRUE(saw_calm);
+  // Realized mean rate within 10% of the dwell-weighted analytic value.
+  const double realized = n / (sum / 1e6);
+  EXPECT_NEAR(realized, 5'500.0, 550.0);
+}
+
+TEST(SpecJson, WorkloadRoundTripKeepsNewFields) {
+  WorkloadSpec s = WorkloadSpec::cache_tier(500);
+  s.rmw_ratio = 0.25;
+  s.insert_ratio = 0.05;
+  s.key_dist = KeyDist::kLatest;
+  auto back = WorkloadSpec::from_json(s.to_json());
+  ASSERT_TRUE(back.ok());
+  const WorkloadSpec& b = back.value();
+  EXPECT_EQ(b.ttl_ms, 500u);
+  EXPECT_EQ(b.value_size_max, s.value_size_max);
+  EXPECT_DOUBLE_EQ(b.rmw_ratio, 0.25);
+  EXPECT_DOUBLE_EQ(b.insert_ratio, 0.05);
+  EXPECT_EQ(b.key_dist, KeyDist::kLatest);
+  EXPECT_DOUBLE_EQ(b.hot_op_fraction, s.hot_op_fraction);
+}
+
+TEST(SpecJson, ArrivalRoundTrip) {
+  ArrivalSpec s;
+  s.kind = ArrivalSpec::Kind::kMmpp;
+  s.rate_per_sec = 12'000;
+  s.burst_multiplier = 4.0;
+  s.calm_dwell_ms = 300;
+  s.burst_dwell_ms = 25;
+  s.seed = 99;
+  auto back = ArrivalSpec::from_json(s.to_json());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().kind, ArrivalSpec::Kind::kMmpp);
+  EXPECT_DOUBLE_EQ(back.value().rate_per_sec, 12'000.0);
+  EXPECT_DOUBLE_EQ(back.value().burst_multiplier, 4.0);
+  EXPECT_EQ(back.value().seed, 99u);
+}
+
+TEST(Codec, TtlMsRoundTrips) {
+  Message m = Message::put_ttl("k", "v", 1'500, "sessions");
+  EXPECT_EQ(m.ttl_ms, 1'500u);
+  std::string wire;
+  encode_message(m, &wire);
+  size_t consumed = 0;
+  auto back = decode_message(wire, &consumed);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(back.value().ttl_ms, 1'500u);
+  EXPECT_EQ(back.value().key, "k");
+  EXPECT_EQ(back.value().table, "sessions");
+}
+
+}  // namespace
+}  // namespace bespokv

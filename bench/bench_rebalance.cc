@@ -1,0 +1,180 @@
+// Elastic rebalance bench (ISSUE 10): a hot key prefix concentrates ~90% of
+// the offered load on one range shard; a live split migrates half the hot set
+// to the right-adjacent shard and tail latency must come back down.
+//
+// Three measured windows, all on the same hotset workload:
+//
+//   baseline   separate rig whose initial layout already splits the hot set
+//              in half (the layout migration will produce) — the "pre-hot-
+//              spot" reference the acceptance gate compares against;
+//   hot        main rig with the whole hot set on shard 0 — degraded p99;
+//   during     main rig while the dual-write copy window is open;
+//   recovered  main rig after cutover + drain — must land within 2x of
+//              baseline p99.
+//
+// Latency is coordinated-omission-corrected (each closed-loop client intends
+// one op per co_interval_us), so queueing stalls at the hot master are not
+// hidden by the closed loop.
+//
+// Usage: bench_rebalance [--json] [--quick]
+//   --json writes BENCH_rebalance.json (the committed baseline);
+//   --quick shrinks the windows for smoke runs.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/common/json.h"
+
+namespace bespokv::bench {
+namespace {
+
+// 2000 zero-padded keys k0000000..k0001999; the hotset distribution sends
+// hot_op_fraction of ops to the lowest hot_key_fraction indices, so the hot
+// set is the contiguous prefix [k0000000, k0000200).
+constexpr uint64_t kNumKeys = 2000;
+constexpr char kHotMid[] = "k0000100";    // splits the hot set in half
+constexpr char kColdSplit[] = "k0001000"; // initial shard boundary
+
+WorkloadSpec hot_workload() {
+  WorkloadSpec w;
+  w.num_keys = kNumKeys;
+  w.key_size = 8;
+  w.value_size = 64;
+  w.get_ratio = 0.5;
+  w.key_dist = KeyDist::kHotset;
+  w.hot_op_fraction = 0.9;
+  w.hot_key_fraction = 0.1;
+  return w;
+}
+
+BenchConfig base_config(bool quick) {
+  BenchConfig cfg;
+  cfg.topology = Topology::kMasterSlave;
+  cfg.consistency = Consistency::kEventual;
+  cfg.nodes = 6;
+  cfg.replicas = 3;  // 2 shards x 3 replicas
+  cfg.partitioner = "range";
+  cfg.workload = hot_workload();
+  cfg.clients_per_node = 4;
+  cfg.co_interval_us = 2'000;  // each client intends 500 ops/s
+  cfg.warmup_us = quick ? 150'000 : 400'000;
+  cfg.measure_us = quick ? 300'000 : 1'500'000;
+  return cfg;
+}
+
+struct Window {
+  double qps = 0;
+  uint64_t p50 = 0, p99 = 0;
+};
+
+Window window_of(const DriverResult& r) {
+  Window w;
+  w.qps = r.qps;
+  w.p50 = r.corrected_latency_us.percentile(0.50);
+  w.p99 = r.corrected_latency_us.percentile(0.99);
+  return w;
+}
+
+Json window_json(const Window& w) {
+  Json j = Json::object();
+  j.set("qps", Json::number(w.qps));
+  j.set("p50_us", Json::number(double(w.p50)));
+  j.set("p99_us", Json::number(double(w.p99)));
+  return j;
+}
+
+}  // namespace
+}  // namespace bespokv::bench
+
+int main(int argc, char** argv) {
+  using namespace bespokv;
+  using namespace bespokv::bench;
+
+  bool json = false, quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  print_header("rebalance", "live shard split sheds a hot-spot (ISSUE 10)");
+
+  // Baseline: the balanced layout the migration will produce — shard 0 owns
+  // half the hot set, shard 1 the other half plus the cold tail.
+  BenchConfig bcfg = base_config(quick);
+  bcfg.range_splits = {kHotMid};
+  const Window baseline = window_of(run_bench(bcfg));
+  print_row("baseline (balanced layout):  %7.1f qps  p50=%5llu us  p99=%6llu us",
+            baseline.qps, (unsigned long long)baseline.p50,
+            (unsigned long long)baseline.p99);
+
+  // Main rig: the whole hot set on shard 0.
+  BenchConfig cfg = base_config(quick);
+  cfg.range_splits = {kColdSplit};
+  BenchRig rig = make_rig(cfg);
+  rig.warm(cfg);
+
+  rig.sim->run_for(cfg.measure_us);
+  const Window hot = window_of(rig.driver->collect());
+  print_row("hot shard (pre-migration):   %7.1f qps  p50=%5llu us  p99=%6llu us",
+            hot.qps, (unsigned long long)hot.p50, (unsigned long long)hot.p99);
+
+  // Live split: move [kHotMid, kColdSplit) from shard 0 into shard 1.
+  rig.driver->reset_window();
+  Status accept = Status::Ok();
+  rig.cluster->start_migration(0, kHotMid, 1,
+                               [&accept](Status s) { accept = s; });
+  uint64_t mig_us = 0;
+  while (rig.cluster->coordinator_service()->migration_active() ||
+         rig.cluster->coordinator_service()->migrations() == 0) {
+    rig.sim->run_for(5'000);
+    mig_us += 5'000;
+    if (mig_us > 20'000'000) break;  // stuck; fall through and report
+  }
+  const bool migrated =
+      accept.ok() && rig.cluster->coordinator_service()->migrations() == 1 &&
+      rig.cluster->coordinator_service()->migrations_aborted() == 0;
+  const Window during = window_of(rig.driver->collect());
+  print_row("during migration (%6.1f ms): %7.1f qps  p50=%5llu us  p99=%6llu us",
+            mig_us / 1000.0, during.qps, (unsigned long long)during.p50,
+            (unsigned long long)during.p99);
+
+  // Let clients refresh their maps off the cutover, then measure recovery.
+  // The settle must cover a full client map-refresh period plus the retry
+  // backlog draining, so the recovered window measures the steady state and
+  // not the rerouting transient; quick mode shrinks the windows but not this.
+  rig.sim->run_for(400'000);
+  rig.driver->reset_window();
+  rig.sim->run_for(cfg.measure_us);
+  const Window recovered = window_of(rig.driver->collect());
+  rig.driver->stop();
+  print_row("recovered (post-cutover):    %7.1f qps  p50=%5llu us  p99=%6llu us",
+            recovered.qps, (unsigned long long)recovered.p50,
+            (unsigned long long)recovered.p99);
+
+  const double ratio =
+      baseline.p99 > 0 ? double(recovered.p99) / double(baseline.p99) : 0.0;
+  const bool pass = migrated && baseline.p99 > 0 && ratio <= 2.0;
+  print_row("migration %s in %.1f ms; recovered p99 = %.2fx baseline (gate <= 2x): %s",
+            migrated ? "completed" : "DID NOT COMPLETE", mig_us / 1000.0, ratio,
+            pass ? "PASS" : "FAIL");
+
+  if (json) {
+    Json j = Json::object();
+    j.set("bench", Json::string("rebalance"));
+    j.set("workload", Json::string("hotset 90/10 over 2000 keys, 50% get"));
+    j.set("baseline", window_json(baseline));
+    j.set("hot", window_json(hot));
+    j.set("during", window_json(during));
+    j.set("recovered", window_json(recovered));
+    j.set("migration_ms", Json::number(mig_us / 1000.0));
+    j.set("migration_completed", Json::boolean(migrated));
+    j.set("p99_ratio_vs_baseline", Json::number(ratio));
+    j.set("pass", Json::boolean(pass));
+    std::ofstream out("BENCH_rebalance.json");
+    out << j.dump(2) << "\n";
+    std::fprintf(stderr, "bench_rebalance: wrote BENCH_rebalance.json\n");
+  }
+  return pass ? 0 : 1;
+}

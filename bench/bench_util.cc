@@ -20,6 +20,8 @@ BenchRig make_rig(const BenchConfig& cfg) {
   copts.datalet_kind = cfg.datalet;
   copts.replica_datalet_kinds = cfg.replica_datalets;
   copts.num_standby = cfg.num_standby;
+  copts.partitioner = cfg.partitioner;
+  copts.range_splits = cfg.range_splits;
   copts.sim_node.base_service_us = cfg.node_service_us;
   copts.sim_node.per_kb_service_us = 4.0;
   // Benchmarks run failure detection fast enough to watch recovery inside a
@@ -38,6 +40,7 @@ BenchRig make_rig(const BenchConfig& cfg) {
   dopts.workload = cfg.workload;
   dopts.strong_get_fraction = cfg.strong_get_fraction;
   dopts.timeline_bucket_us = cfg.timeline_bucket_us;
+  dopts.co_interval_us = cfg.co_interval_us;
   rig.driver = std::make_unique<SimWorkloadDriver>(*rig.sim, *rig.cluster, dopts);
   rig.driver->preload();
   return rig;

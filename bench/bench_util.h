@@ -45,6 +45,14 @@ struct BenchConfig {
   uint64_t node_service_us = 45;   // calibrated per-op CPU cost
   int num_standby = 0;
   uint64_t seed = 42;
+  // Keyspace layout: "hash" (default) or "range" with num_shards-1 sorted
+  // split points — the rebalance bench needs range placement so a hot key
+  // prefix lands on one shard and a live split can shed it.
+  std::string partitioner = "hash";
+  std::vector<std::string> range_splits;
+  // Coordinated-omission correction interval for the driver (see
+  // DriverOptions::co_interval_us); 0 disables.
+  uint64_t co_interval_us = 0;
 };
 
 // A fully-assembled deployment the benches can keep manipulating (failure

@@ -87,6 +87,10 @@ void KvClient::refresh_map(StatusCb done) {
   refreshing_ = true;
   Message req;
   req.op = Op::kGetShardMap;
+  // Report our epoch: a coordinator that can bridge the gap appends the
+  // delta chain in strs[2..] (TurboKV-style versioned routing) and we patch
+  // forward instead of re-parsing the full map.
+  req.seq = map_.epoch;
   rt_->call(cfg_.coordinator, std::move(req),
             [this, done = std::move(done)](Status s, Message rep) {
               refreshing_ = false;
@@ -94,18 +98,58 @@ void KvClient::refresh_map(StatusCb done) {
                 if (done) done(s.ok() ? Status(rep.code) : s);
                 return;
               }
-              auto m = ShardMap::decode(rep.value);
-              if (!m.ok()) {
-                if (done) done(m.status());
-                return;
+              bool patched = false;
+              if (rep.strs.size() > 2 && !map_.shards.empty()) {
+                ShardMap cur = map_;
+                patched = true;
+                for (size_t i = 2; i < rep.strs.size(); ++i) {
+                  auto d = ShardMapDelta::decode(rep.strs[i]);
+                  if (!d.ok()) {
+                    patched = false;
+                    break;
+                  }
+                  auto next = apply_delta(cur, d.value());
+                  if (!next.ok()) {
+                    patched = false;
+                    break;
+                  }
+                  cur = std::move(next).value();
+                }
+                if (patched && cur.epoch >= map_.epoch) {
+                  map_ = std::move(cur);
+                  ++refreshes_;
+                  ++delta_refreshes_;
+                }
               }
-              if (m.value().epoch >= map_.epoch) {
-                map_ = std::move(m).value();
-                ++refreshes_;
+              if (!patched) {
+                auto m = ShardMap::decode(rep.value);
+                if (!m.ok()) {
+                  if (done) done(m.status());
+                  return;
+                }
+                if (m.value().epoch >= map_.epoch) {
+                  map_ = std::move(m).value();
+                  ++refreshes_;
+                }
               }
               if (done) done(Status::Ok());
             },
             cfg_.rpc_timeout_us);
+}
+
+bool KvClient::try_apply_delta(const Message& rep) {
+  // kWrongShard piggybacks the server's latest map delta in `value`. If it
+  // composes onto our exact epoch, adopt it locally and skip the coordinator
+  // round trip entirely.
+  if (rep.value.empty() || map_.shards.empty()) return false;
+  auto d = ShardMapDelta::decode(rep.value);
+  if (!d.ok()) return false;
+  auto next = apply_delta(map_, d.value());
+  if (!next.ok() || next.value().epoch < map_.epoch) return false;
+  map_ = std::move(next).value();
+  ++refreshes_;
+  ++delta_refreshes_;
+  return true;
 }
 
 Result<Addr> KvClient::route(const Message& req, bool is_read) const {
@@ -180,6 +224,7 @@ void KvClient::issue(Message req, bool is_read, int attempts_left, DoneCb done) 
 
   auto settle = std::make_shared<std::function<void(Status, Message, bool)>>();
   *settle = [this, req, is_read, is_write, attempts_left, attempt_start, st,
+             attempt_target = target.value(),
              done = std::move(done)](Status s, Message rep,
                                      bool hedged) mutable {
     if (st->completed) return;
@@ -190,7 +235,9 @@ void KvClient::issue(Message req, bool is_read, int attempts_left, DoneCb done) 
     }
     const bool transport_failed = !s.ok();
     const bool overloaded = !transport_failed && rep.code == Code::kOverloaded;
-    const bool retryable = transport_failed || overloaded ||
+    const bool wrong_shard =
+        !transport_failed && rep.code == Code::kWrongShard;
+    const bool retryable = transport_failed || overloaded || wrong_shard ||
                            rep.code == Code::kNotLeader ||
                            rep.code == Code::kUnavailable ||
                            rep.code == Code::kTimeout;
@@ -239,7 +286,41 @@ void KvClient::issue(Message req, bool is_read, int attempts_left, DoneCb done) 
         // microseconds), keep the jittered backoff as a floor, and skip the
         // map refresh — hammering the coordinator during overload would turn
         // shedding into a retry storm of its own.
+        //
+        // Exception: the shed reply carries the shard's epoch, and a newer
+        // epoch than ours means the map changed under us — a migration may
+        // have moved this very key off the saturated shard. Refresh first,
+        // and only honor the stale shard's retry-after hint if the key still
+        // routes to the same server; a moved key retries on plain backoff.
+        if (rep.epoch > map_.epoch) {
+          const uint64_t hint = rep.seq;
+          refresh_map([this, req = std::move(req), is_read, attempts_left,
+                       delay, hint, attempt_target,
+                       done = std::move(done)](Status) mutable {
+            uint64_t d = delay;
+            auto nt = route(req, is_read);
+            if (!nt.ok() || nt.value() == attempt_target) {
+              d = std::max(d, hint);
+            }
+            rt_->set_timer(d, [this, req = std::move(req), is_read,
+                               attempts_left,
+                               done = std::move(done)]() mutable {
+              issue(std::move(req), is_read, attempts_left - 1,
+                    std::move(done));
+            });
+          });
+          return;
+        }
         delay = std::max(delay, rep.seq);
+        rt_->set_timer(delay, [this, req = std::move(req), is_read,
+                               attempts_left, done = std::move(done)]() mutable {
+          issue(std::move(req), is_read, attempts_left - 1, std::move(done));
+        });
+        return;
+      }
+      if (wrong_shard && try_apply_delta(rep)) {
+        // The rejection carried the map delta that moved this key; patched
+        // locally, so skip the coordinator round trip and re-route at once.
         rt_->set_timer(delay, [this, req = std::move(req), is_read,
                                attempts_left, done = std::move(done)]() mutable {
           issue(std::move(req), is_read, attempts_left - 1, std::move(done));
@@ -279,7 +360,8 @@ void KvClient::issue(Message req, bool is_read, int attempts_left, DoneCb done) 
                     s.ok() && rep.code != Code::kNotLeader &&
                     rep.code != Code::kUnavailable &&
                     rep.code != Code::kTimeout &&
-                    rep.code != Code::kOverloaded;
+                    rep.code != Code::kOverloaded &&
+                    rep.code != Code::kWrongShard;
                 // A failed copy defers to the other in-flight copy (if any);
                 // the last one standing settles the attempt either way.
                 if (conclusive || st->outstanding == 0) {
@@ -582,22 +664,46 @@ Result<Message> SyncKv::issue(Message req, bool is_read) {
     if (rep.ok() && rep.value().code == Code::kOverloaded) {
       // Shed by admission control: back off per the server's retry-after
       // hint (reply `seq`, µs) without a map refresh — routing is fine.
+      // Unless the shed reply's epoch outruns our map: a migration may have
+      // moved this key off the saturated shard, so refresh first and drop
+      // the stale shard's hint whenever the key routes somewhere new.
       last = std::move(rep);
-      if (backoff_us_ > 0 || last.value().seq > 0) {
-        std::this_thread::sleep_for(std::chrono::microseconds(
-            std::max(backoff_us_, last.value().seq)));
+      uint64_t hint = last.value().seq;
+      if (last.value().epoch > map_.epoch && refresh().ok()) {
+        auto nt = is_read ? map_.read_target(routing_key, salt_, strong)
+                          : map_.write_target(routing_key, salt_);
+        if (nt.ok() && nt.value() != target.value()) hint = 0;
+      }
+      if (backoff_us_ > 0 || hint > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(std::max(backoff_us_, hint)));
       }
       continue;
     }
     const bool routing_problem =
         !rep.ok() || rep.value().code == Code::kNotLeader ||
         rep.value().code == Code::kUnavailable ||
-        rep.value().code == Code::kTimeout;
+        rep.value().code == Code::kTimeout ||
+        rep.value().code == Code::kWrongShard;
     // The request keeps its idempotency token across attempts: a write
     // whose ack was lost is deduplicated server-side, not applied twice.
     if (!routing_problem) return rep;
     last = std::move(rep);
-    (void)refresh();
+    // kWrongShard piggybacks the map delta that moved the key; patching it
+    // locally saves the coordinator round trip under retry storms.
+    bool patched = false;
+    if (last.ok() && last.value().code == Code::kWrongShard &&
+        !last.value().value.empty() && !map_.shards.empty()) {
+      auto d = ShardMapDelta::decode(last.value().value);
+      if (d.ok()) {
+        auto next = apply_delta(map_, d.value());
+        if (next.ok() && next.value().epoch >= map_.epoch) {
+          map_ = std::move(next).value();
+          patched = true;
+        }
+      }
+    }
+    if (!patched) (void)refresh();
   }
   return last;
 }

@@ -121,9 +121,14 @@ class KvClient {
   const ShardMap& shard_map() const { return map_; }
   bool ready() const { return ready_; }
   uint64_t map_refreshes() const { return refreshes_; }
+  // Refreshes satisfied by patching deltas (kWrongShard piggyback or the
+  // coordinator's delta chain) instead of re-parsing the full map.
+  uint64_t delta_refreshes() const { return delta_refreshes_; }
 
  private:
   void refresh_map(StatusCb done);
+  // Adopts the map delta piggybacked on a kWrongShard reply; true on success.
+  bool try_apply_delta(const Message& rep);
   void connect_attempt(uint64_t started_us, int attempt, StatusCb ready);
   void on_connected();
   void issue(Message req, bool is_read, int attempts_left, DoneCb done);
@@ -150,6 +155,7 @@ class KvClient {
   uint64_t session_salt_ = 0;  // fixed per-client salt for sticky reads
   uint64_t refresh_timer_ = 0;
   uint64_t refreshes_ = 0;
+  uint64_t delta_refreshes_ = 0;
   uint64_t token_base_ = 0;  // random per-client prefix for idempotency tokens
   uint64_t token_seq_ = 0;
   obs::Counter* c_retry_ = nullptr;

@@ -31,6 +31,14 @@ Result<ClusterOptions> ClusterOptions::from_json(const Json& j) {
   for (const auto& e : j.get("range_splits").elements()) {
     o.range_splits.push_back(e.as_string());
   }
+  if (o.partitioner == "range") {
+    // Reject a misordered/duplicate split list here rather than let it build
+    // a map that silently misroutes (shard bounds come straight from it).
+    BKV_RETURN_IF_ERROR(validate_range_splits(o.range_splits));
+    if (static_cast<int>(o.range_splits.size()) != o.num_shards - 1) {
+      return Status::Invalid("range_splits: need num_shards - 1 split points");
+    }
+  }
   return o;
 }
 
@@ -83,6 +91,21 @@ Runtime* Cluster::add_server_node(const Addr& addr,
 void Cluster::start() {
   if (started_) return;
   started_ = true;
+
+  if (opts_.partitioner == "range") {
+    // Programmatic configs bypass from_json's validation; a bad split list
+    // here would index out of range or silently misroute, so degrade loudly.
+    Status vs = validate_range_splits(opts_.range_splits);
+    if (vs.ok() &&
+        static_cast<int>(opts_.range_splits.size()) != opts_.num_shards - 1) {
+      vs = Status::Invalid("range_splits: need num_shards - 1 split points");
+    }
+    if (!vs.ok()) {
+      LOG_ERROR << "cluster: " << vs.to_string()
+                << "; falling back to hash partitioning";
+      opts_.partitioner = "hash";
+    }
+  }
 
   coord_addr_ = make_addr("coord");
   dlm_addr_ = make_addr("dlm");
@@ -271,6 +294,36 @@ void Cluster::start_transition(Topology topology, Consistency consistency,
   req.value = j.dump();
   req.strs = std::move(mapping);
   admin_rt_->post([this, req = std::move(req), done = std::move(done)]() mutable {
+    admin_rt_->call(coord_addr_, std::move(req),
+                    [done = std::move(done)](Status s, Message rep) {
+                      if (!done) return;
+                      if (!s.ok()) {
+                        done(s);
+                      } else {
+                        done(Status(rep.code));
+                      }
+                    },
+                    2'000'000);
+  });
+}
+
+void Cluster::start_migration(uint32_t from, const std::string& split_at,
+                              int64_t dest, std::function<void(Status)> done) {
+  Json j = Json::object();
+  j.set("from", Json::number(from));
+  j.set("split_at", Json::string(split_at));
+  if (dest >= 0) {
+    j.set("dest", Json::number(static_cast<double>(dest)));
+  } else {
+    Json reps = Json::array();
+    for (const auto& p : standbys_) reps.push(Json::string(p.addr));
+    j.set("new_replicas", std::move(reps));
+  }
+  Message req;
+  req.op = Op::kMigrateShard;
+  req.value = j.dump();
+  admin_rt_->post([this, req = std::move(req),
+                   done = std::move(done)]() mutable {
     admin_rt_->call(coord_addr_, std::move(req),
                     [done = std::move(done)](Status s, Message rep) {
                       if (!done) return;

@@ -83,6 +83,15 @@ class Cluster {
   void start_transition(Topology topology, Consistency consistency,
                         std::function<void(Status)> done);
 
+  // Asks the coordinator to migrate the tail [split_at, upper) of `from`'s
+  // range (requires the range partitioner) into `dest` — the right-adjacent
+  // shard — or, with dest < 0, into a brand-new shard staffed from this
+  // cluster's registered standbys. `done` fires when the coordinator accepts
+  // (or rejects) the request; completion is visible via
+  // coordinator_service()->migration_active() turning false.
+  void start_migration(uint32_t from, const std::string& split_at,
+                       int64_t dest, std::function<void(Status)> done);
+
   const ClusterOptions& options() const { return opts_; }
 
  private:

@@ -17,6 +17,7 @@ const char* code_name(Code c) {
     case Code::kOutOfRange: return "OUT_OF_RANGE";
     case Code::kMaybeApplied: return "MAYBE_APPLIED";
     case Code::kOverloaded: return "OVERLOADED";
+    case Code::kWrongShard: return "WRONG_SHARD";
   }
   return "UNKNOWN";
 }

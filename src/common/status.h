@@ -26,6 +26,9 @@ enum class Code : uint8_t {
                   // not have taken effect (see client.h for the contract)
   kOverloaded,    // admission control shed the request before execution; the
                   // reply's `seq` carries a retry-after hint in microseconds
+  kWrongShard,    // key no longer routed to this shard (range moved by a
+                  // migration); reply `epoch` hints the map version and
+                  // `value` may piggyback an encoded ShardMapDelta
 };
 
 const char* code_name(Code c);
@@ -49,6 +52,7 @@ class Status {
   static Status OutOfRange(std::string m = "") { return Status(Code::kOutOfRange, std::move(m)); }
   static Status MaybeApplied(std::string m = "") { return Status(Code::kMaybeApplied, std::move(m)); }
   static Status Overloaded(std::string m = "") { return Status(Code::kOverloaded, std::move(m)); }
+  static Status WrongShard(std::string m = "") { return Status(Code::kWrongShard, std::move(m)); }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }

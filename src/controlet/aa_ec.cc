@@ -77,7 +77,10 @@ void AaEcControlet::do_write(EventContext ctx) {
         obs::record_stage(*rt_, tctx, "sharedlog.append", app_t0);
         apply_replicated(KV{key, value, version_of(seq)}, is_del);
         Message rep = Message::reply(Code::kOk);
-        rep.seq = seq;
+        // Epoch-rebased version, not the raw log seq: the migration
+        // dual-write path forwards rep.seq as the write's LWW slot, so it
+        // must live in the same version space every replica applies.
+        rep.seq = version_of(seq);
         reply(std::move(rep));
       },
       map_.epoch);
@@ -164,6 +167,25 @@ void AaEcControlet::catchup_drain(uint64_t target,
           catchup_drain(target, std::move(done));
         });
       });
+}
+
+void AaEcControlet::prepare_migration_copy(std::function<void(bool)> done) {
+  // Acked writes live in the shared log, possibly ahead of the local poll
+  // cursor. Drain to the current tail before the copier snapshots the local
+  // image, or the dest provably misses acked data. Writes appended *after*
+  // this point are covered by the dual-write forward, not the copy.
+  if (!sharedlog_.has_value()) {
+    done(false);
+    return;
+  }
+  sharedlog_->tail([this, done = std::move(done)](Status s,
+                                                  uint64_t tail) mutable {
+    if (!s.ok()) {
+      done(false);
+      return;
+    }
+    catchup_drain(tail, std::move(done));
+  });
 }
 
 void AaEcControlet::on_transition_new_side() {

@@ -26,6 +26,9 @@ class AaEcControlet : public ControletBase {
   // instead of snapshotting a peer — the log is the authoritative order.
   void catchup_from(const Addr& source,
                     std::function<void(bool)> done) override;
+  // Migration copier prologue: drain the shared log to the current tail so
+  // the local image includes every acked write before it is snapshotted.
+  void prepare_migration_copy(std::function<void(bool)> done) override;
   // Everything below fetch_from_ has been applied locally; with a durable
   // engine (fsync per apply) that prefix also survives power loss, so it is
   // safe for the coordinator to trim once every replica reports it.

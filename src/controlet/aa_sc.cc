@@ -66,10 +66,14 @@ void AaScControlet::do_write(EventContext ctx) {
     const auto& reps = replicas();
     auto remaining = std::make_shared<size_t>(0);
     auto failed = std::make_shared<bool>(false);
-    auto finish = [this, key, reply, failed] {
+    auto finish = [this, key, reply, failed, version = kv.seq] {
       dlm_->unlock(key);
       --inflight_;
-      reply(Message::reply(*failed ? Code::kUnavailable : Code::kOk));
+      Message rep = Message::reply(*failed ? Code::kUnavailable : Code::kOk);
+      // The applied version rides back on the ack for the migration
+      // dual-write path (it keeps the write's LWW slot at the dest).
+      if (!*failed) rep.seq = version;
+      reply(std::move(rep));
     };
     for (const auto& r : reps) {
       if (r.controlet == rt_->self()) continue;

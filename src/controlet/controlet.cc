@@ -1,5 +1,8 @@
 #include "src/controlet/controlet.h"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "src/common/fencing.h"
 #include "src/common/logging.h"
 #include "src/datalet/ttl.h"
@@ -41,6 +44,11 @@ void ControletBase::start(Runtime& rt) {
     drain_reported_ = false;
     dedup_.clear();
     dedup_order_.clear();
+    // An open dual-write window dies with the incarnation: the coordinator
+    // either aborts the migration when it notices us gone or re-sends
+    // kMigrateStart on its own restart-resume path.
+    mig_ = MigrationOut{};
+    map_fetch_inflight_ = false;  // the old incarnation's call died with it
     if (cfg_.datalet != nullptr) {
       // The restart models a machine reboot: the engine crosses a power cut
       // and recovers whatever its durability mode preserved (volatile
@@ -81,6 +89,17 @@ void ControletBase::send_heartbeat() {
   // Durable floor piggybacked on the beat: the coordinator min-aggregates it
   // across a shard's replicas to truncate the shared log (AA+EC).
   hb.seq = durable_watermark();
+  // Load report for the hot-shard detector: ops served since the last beat
+  // plus the median sampled key (the natural split point for a range shard).
+  hb.shard = cfg_.shard;
+  hb.limit = static_cast<uint32_t>(
+      std::min<uint64_t>(ops_since_hb_, UINT32_MAX));
+  if (!key_sample_.empty()) {
+    std::sort(key_sample_.begin(), key_sample_.end());
+    hb.value = key_sample_[key_sample_.size() / 2];
+  }
+  ops_since_hb_ = 0;
+  key_sample_.clear();
   const uint64_t sent = rt_->now_us();
   rt_->call(cfg_.coordinator, std::move(hb),
             [this, sent](Status s, Message rep) {
@@ -98,6 +117,12 @@ void ControletBase::send_heartbeat() {
               // deadline is provably the earlier one: we self-fence strictly
               // before the coordinator may promote a successor.
               lease_until_ = std::max(lease_until_, sent + rep.seq);
+              // The beat reply carries the live map epoch. Being behind means
+              // we missed a reconfigure push (e.g. one-way partition healed):
+              // pull the map instead of serving a stale layout until deposed.
+              if (rep.epoch > map_.epoch && !retired_ && !catching_up_) {
+                fetch_initial_map();
+              }
             },
             cfg_.rpc_timeout_us);
 }
@@ -161,7 +186,8 @@ void ControletBase::stop() {
   if (hb_timer_ != 0) rt_->cancel_timer(hb_timer_);
   if (drain_timer_ != 0) rt_->cancel_timer(drain_timer_);
   if (ttl_timer_ != 0) rt_->cancel_timer(ttl_timer_);
-  hb_timer_ = drain_timer_ = ttl_timer_ = 0;
+  if (mig_timer_ != 0) rt_->cancel_timer(mig_timer_);
+  hb_timer_ = drain_timer_ = ttl_timer_ = mig_timer_ = 0;
 }
 
 const std::vector<ReplicaInfo>& ControletBase::replicas() const {
@@ -178,10 +204,13 @@ uint64_t ControletBase::next_version() {
 }
 
 void ControletBase::fetch_initial_map() {
+  if (map_fetch_inflight_) return;  // heartbeat-driven refetches coalesce
+  map_fetch_inflight_ = true;
   Message req;
   req.op = Op::kGetShardMap;
   rt_->call(cfg_.coordinator, std::move(req),
             [this](Status s, Message rep) {
+              map_fetch_inflight_ = false;
               if (!s.ok() || rep.code != Code::kOk) {
                 // Coordinator not up yet; retry shortly.
                 rt_->set_timer(50'000, [this] { fetch_initial_map(); });
@@ -261,6 +290,12 @@ void ControletBase::finish_catchup() {
 void ControletBase::apply_map(const ShardMap& m,
                               const std::vector<std::string>& aux) {
   if (m.epoch < epoch_seen_) return;  // stale push
+  // Keep the delta from the map we are leaving: kWrongShard replies piggyback
+  // it so a one-epoch-behind client patches its map without a coordinator
+  // round trip.
+  if (m.epoch > map_.epoch && !map_.shards.empty()) {
+    last_delta_enc_ = diff_maps(map_, m).encode();
+  }
   epoch_seen_ = m.epoch;
   map_ = m;
   if (aux.size() >= 1 && !aux[0].empty()) {
@@ -278,6 +313,15 @@ void ControletBase::apply_map(const ShardMap& m,
       in_shard_ = true;
       my_index_ = i;
       break;
+    }
+  }
+  // A map showing our upper bound at (or inside) the moved range means the
+  // cutover landed: close the dual-write window even if the kMigrateFinish
+  // push races behind this reconfigure.
+  if (mig_.active) {
+    const ShardInfo* me = map_.shard(cfg_.shard);
+    if (me != nullptr && !me->upper.empty() && me->upper <= mig_.lo) {
+      mig_ = MigrationOut{};
     }
   }
   on_reconfigured();
@@ -467,7 +511,8 @@ bool ControletBase::maybe_dedup(const Message& req, Replier& reply) {
       // layout.
       const bool cacheable = rep.code != Code::kNotLeader &&
                              rep.code != Code::kUnavailable &&
-                             rep.code != Code::kTimeout;
+                             rep.code != Code::kTimeout &&
+                             rep.code != Code::kWrongShard;
       dit->second.in_flight = false;
       if (cacheable) {
         dit->second.done = true;
@@ -512,6 +557,10 @@ bool ControletBase::admit(Replier& reply) {
     // long and skips the map refresh (client.cc).
     Message rep = Message::reply(Code::kOverloaded, "admission shed");
     rep.seq = hint;
+    // Map epoch rides along: a client whose map is older than ours may be
+    // hammering a shard that a migration already shrank — it should refresh
+    // and re-route instead of honoring the backoff hint (client.cc).
+    rep.epoch = map_.epoch;
     reply(std::move(rep));
     return false;
   }
@@ -618,6 +667,10 @@ void ControletBase::handle(const Addr& from, Message req, Replier reply) {
         return;
       }
       if (maybe_p2p_forward(from, req, reply, /*is_read=*/false)) return;
+      std::string rkey = req.table;
+      if (!rkey.empty()) rkey.push_back('\x1f');
+      rkey += req.key;
+      if (reject_wrong_shard(rkey, reply)) return;
       if (!admit(reply)) return;
       if (req.op == Op::kPut && req.ttl_ms > 0) {
         // Stamp the absolute expiry at admission; downstream replication and
@@ -635,6 +688,10 @@ void ControletBase::handle(const Addr& from, Message req, Replier reply) {
         return;
       }
       if (req.token != 0 && maybe_dedup(req, reply)) return;
+      // Inside the open dual-write window, an acked mutation of the moving
+      // range must land at the dest before the client sees kOk.
+      arm_dual_write(req, rkey, reply);
+      note_data_op(rkey);
       c_writes_->inc();
       EventContext ctx{from, std::move(req), std::move(reply)};
       if (!bus_.emit(ctx.req.op == Op::kPut ? "PUT" : "DEL", ctx)) {
@@ -656,6 +713,13 @@ void ControletBase::handle(const Addr& from, Message req, Replier reply) {
       if (req.op == Op::kGet &&
           maybe_p2p_forward(from, req, reply, /*is_read=*/true)) {
         return;
+      }
+      if (req.op == Op::kGet) {
+        std::string rkey = req.table;
+        if (!rkey.empty()) rkey.push_back('\x1f');
+        rkey += req.key;
+        if (reject_wrong_shard(rkey, reply)) return;
+        note_data_op(rkey);
       }
       if (!admit(reply)) return;
       if (in_shard_ && read_fenced(req)) {
@@ -744,6 +808,29 @@ void ControletBase::handle(const Addr& from, Message req, Replier reply) {
       return;
     }
 
+    case Op::kMigrateStart:
+      handle_migrate_start(req, reply);
+      return;
+
+    case Op::kMigrateChunk:
+    case Op::kMigratePut:
+      handle_migrate_ingest(req, reply);
+      return;
+
+    case Op::kMigrateFinish:
+      handle_migrate_finish(req, reply);
+      return;
+
+    case Op::kMigrateAbort:
+      // A fresh window (larger epoch) must not be torn down by a stale abort
+      // from a previously failed attempt.
+      if (mig_.active && req.epoch >= mig_.epoch) {
+        LOG_INFO << rt_->self() << ": migration aborted by coordinator";
+        mig_ = MigrationOut{};
+      }
+      reply(Message::reply(Code::kOk));
+      return;
+
     case Op::kHeartbeat:
       reply(Message::reply(Code::kOk));
       return;
@@ -751,6 +838,345 @@ void ControletBase::handle(const Addr& from, Message req, Replier reply) {
     default:
       handle_internal(from, std::move(req), std::move(reply));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Elastic migration: old-owner dual-write window, background copier, and the
+// dest-side ingest path.
+
+bool ControletBase::reject_wrong_shard(const std::string& rkey,
+                                       const Replier& reply) {
+  // Range maps only: a hash map never moves individual ranges, and bouncing
+  // hash traffic here would break the P2P overlay's any-node contract.
+  if (!in_shard_ || map_.partitioner != "range") return false;
+  auto sid = map_.shard_for(rkey);
+  if (!sid.ok() || sid.value() == cfg_.shard) return false;
+  ++wrong_shard_rejects_;
+  Message rep = Message::reply(Code::kWrongShard, last_delta_enc_);
+  rep.epoch = map_.epoch;
+  reply(std::move(rep));
+  return true;
+}
+
+std::vector<Addr> ControletBase::migration_dest() const {
+  // Prefer the live map's view of the dest shard (it tracks dest failovers
+  // for the boundary-move case); a brand-new shard is not in the map until
+  // cutover, so fall back to the static list from kMigrateStart.
+  if (const ShardInfo* s = map_.shard(mig_.dest_shard)) {
+    std::vector<Addr> out;
+    for (const auto& r : s->replicas) out.push_back(r.controlet);
+    if (!out.empty()) return out;
+  }
+  return mig_.dest;
+}
+
+void ControletBase::note_data_op(const std::string& rkey) {
+  ++ops_since_hb_;
+  if (map_.partitioner == "range" && key_sample_.size() < 256) {
+    key_sample_.push_back(rkey);
+  }
+}
+
+void ControletBase::arm_dual_write(const Message& req, const std::string& rkey,
+                                   Replier& reply) {
+  if (!mig_.active) return;
+  if (rkey < mig_.lo || (!mig_.hi.empty() && rkey >= mig_.hi)) return;
+  const bool is_del = req.op == Op::kDel;
+  Replier inner = std::move(reply);
+  reply = [this, rkey, value = req.value, token = req.token, is_del,
+           inner = std::move(inner)](Message rep) {
+    if (rep.code != Code::kOk) {
+      inner(std::move(rep));
+      return;
+    }
+    if (!mig_.active) {
+      // The window closed while this write was in flight down the chain.
+      // Closed by an abort we still own the range and the chain apply is
+      // durable: ack as usual. Closed by the cutover the write landed only
+      // on the deposed chain, whose copy of the range is dropped at
+      // kMigrateFinish — acking here would lose an acked write. Bounce
+      // kWrongShard (with the map delta) so the retry re-executes at the
+      // new owner under a fresh post-cutover version.
+      auto sid = map_.shard_for(rkey);
+      if (map_.partitioner != "range" || !sid.ok() ||
+          sid.value() == cfg_.shard) {
+        inner(std::move(rep));
+        return;
+      }
+      Message wrong = Message::reply(Code::kWrongShard, last_delta_enc_);
+      wrong.epoch = map_.epoch;
+      inner(std::move(wrong));
+      return;
+    }
+    const std::vector<Addr> dests = migration_dest();
+    if (dests.empty()) {
+      inner(std::move(rep));
+      return;
+    }
+    Message fwd;
+    fwd.op = Op::kMigratePut;
+    fwd.key = rkey;           // already table-prefixed: dest applies raw
+    fwd.value = value;        // TTL envelope rides opaquely
+    fwd.seq = rep.seq;        // the applied version keeps its LWW slot
+    fwd.epoch = mig_.epoch;
+    fwd.token = token;
+    if (is_del) fwd.flags |= kFlagDelete;
+    struct Fanout {
+      size_t pending;
+      bool conflict = false;
+      bool failed = false;
+      Message ok_rep;
+      Replier inner;
+    };
+    auto st = std::make_shared<Fanout>();
+    st->pending = dests.size();
+    st->ok_rep = std::move(rep);
+    st->inner = std::move(inner);
+    for (const Addr& d : dests) {
+      rt_->call(d, fwd,
+                [this, st](Status s, Message frep) {
+                  if (!s.ok() || frep.code != Code::kOk) {
+                    if (s.ok() && frep.code == Code::kConflict) {
+                      st->conflict = true;
+                    }
+                    st->failed = true;
+                  }
+                  if (--st->pending != 0) return;
+                  if (!st->failed) {
+                    st->inner(std::move(st->ok_rep));
+                  } else if (st->conflict) {
+                    // The dest fenced our window epoch: the cutover landed
+                    // and we are no longer the owner. The write applied
+                    // locally but was never acked; the dest's own (higher-
+                    // epoch) state wins under LWW and the client re-routes.
+                    Message wrong =
+                        Message::reply(Code::kWrongShard, last_delta_enc_);
+                    wrong.epoch = map_.epoch;
+                    st->inner(std::move(wrong));
+                  } else {
+                    // Unacked: the retry re-executes with the pinned version.
+                    st->inner(Message::reply(Code::kUnavailable,
+                                             "dual-write failed"));
+                  }
+                },
+                cfg_.rpc_timeout_us);
+    }
+  };
+}
+
+void ControletBase::handle_migrate_start(const Message& req,
+                                         const Replier& reply) {
+  if (req.strs.empty() || req.key.empty()) {
+    reply(Message::reply(Code::kInvalid));
+    return;
+  }
+  auto m = ShardMap::decode(req.strs[0]);
+  if (!m.ok()) {
+    reply(Message::reply(Code::kInvalid));
+    return;
+  }
+  // The window epoch rides inside the message instead of a separate map push
+  // so no replica can observe the dual-write order before the epoch that
+  // fences it. Empty aux keeps the existing DLM/shared-log bindings.
+  apply_map(m.value(), {});
+  mig_ = MigrationOut{};
+  mig_.active = true;
+  mig_.lo = req.key;
+  mig_.hi = req.value;
+  mig_.dest_shard = req.shard;
+  mig_.epoch = req.epoch;
+  mig_.cursor = req.key;
+  for (size_t i = 1; i < req.strs.size(); ++i) mig_.dest.push_back(req.strs[i]);
+  mig_.copier = (req.flags & kFlagCopier) != 0;
+  if (mig_.copier) {
+    prepare_migration_copy([this, epoch = mig_.epoch](bool ok) {
+      if (!mig_.active || mig_.epoch != epoch) return;  // window closed
+      if (!ok) {
+        // Local image cannot be proven complete (e.g. shared-log drain
+        // failed): never report ready; the coordinator times out and aborts.
+        LOG_WARN << rt_->self() << ": migration copy prepare failed";
+        return;
+      }
+      if (mig_timer_ == 0) {
+        mig_timer_ = rt_->set_periodic(cfg_.migrate_copy_period_us,
+                                       [this] { migrate_copy_tick(); });
+      }
+    });
+  }
+  LOG_INFO << rt_->self() << ": dual-write window open for [" << mig_.lo
+           << ", " << (mig_.hi.empty() ? "+inf" : mig_.hi) << ") -> shard "
+           << mig_.dest_shard << (mig_.copier ? " (copier)" : "");
+  reply(Message::reply(Code::kOk));
+}
+
+void ControletBase::handle_migrate_ingest(const Message& req,
+                                          const Replier& reply) {
+  // Dest side. The epoch fence is what makes the handoff safe: a chunk or
+  // forwarded write minted under a pre-cutover window epoch dies here with
+  // kConflict once the cutover bumped our map past it.
+  if (reject_stale_epoch(req, reply)) return;
+  if (cfg_.datalet == nullptr) {
+    reply(Message::reply(Code::kUnavailable));
+    return;
+  }
+  if (req.op == Op::kMigratePut) {
+    if (req.token != 0) pin_token_version(req.token, req.seq);
+    apply_replicated(KV{req.key, req.value, req.seq},
+                     (req.flags & kFlagDelete) != 0);
+  } else {
+    // First chunk carries the old owner's dedup pins as "token:seq" strings
+    // so client retries that land here after cutover keep their LWW slots.
+    for (const std::string& p : req.strs) {
+      const size_t colon = p.find(':');
+      if (colon == std::string::npos) continue;
+      const uint64_t tok = std::strtoull(p.substr(0, colon).c_str(), nullptr, 10);
+      const uint64_t seq = std::strtoull(p.substr(colon + 1).c_str(), nullptr, 10);
+      pin_token_version(tok, seq);
+    }
+    for (const KV& kv : req.kvs) apply_replicated(kv, false);
+  }
+  reply(Message::reply(Code::kOk));
+}
+
+void ControletBase::migrate_copy_tick() {
+  if (!mig_.active || !mig_.copier) {
+    if (mig_timer_ != 0) rt_->cancel_timer(mig_timer_);
+    mig_timer_ = 0;
+    return;
+  }
+  if (mig_.chunk_inflight) return;
+  if (mig_.copy_done) {
+    // Re-send until the cutover (or an abort) closes the window: the ready
+    // may have raced a coordinator crash. The coordinator's phase check
+    // makes duplicates harmless.
+    send_migrate_ready();
+    return;
+  }
+  // Next batch: the smallest still-uncopied keys of the moving range. The
+  // full scan per tick is O(n) but runs at sim/bench scale; a production
+  // engine would expose an ordered cursor instead.
+  std::vector<KV> elig;
+  cfg_.datalet->for_each([&](std::string_view key, const Entry& e) {
+    if (key < mig_.cursor) return;
+    if (!mig_.hi.empty() && key >= mig_.hi) return;
+    elig.push_back(KV{std::string(key), e.value, e.seq});
+  });
+  if (elig.empty()) {
+    if (!mig_.redrained) {
+      // Close the start-of-window race: drain the backend once more (a no-op
+      // for MS, a shared-log catch-up for AA+EC) and rescan from the bottom.
+      // Chunks are idempotent (LWW at the dest), so the rescan is safe.
+      mig_.redrained = true;
+      mig_.chunk_inflight = true;
+      prepare_migration_copy([this, epoch = mig_.epoch](bool ok) {
+        if (!mig_.active || mig_.epoch != epoch) return;
+        mig_.chunk_inflight = false;
+        if (!ok) {
+          mig_.redrained = false;  // retry; the coordinator timeout backstops
+          return;
+        }
+        mig_.cursor = mig_.lo;
+      });
+      return;
+    }
+    mig_.copy_done = true;
+    send_migrate_ready();
+    return;
+  }
+  std::sort(elig.begin(), elig.end(),
+            [](const KV& a, const KV& b) { return a.key < b.key; });
+  if (elig.size() > cfg_.migrate_batch) elig.resize(cfg_.migrate_batch);
+
+  Message chunk;
+  chunk.op = Op::kMigrateChunk;
+  chunk.shard = mig_.dest_shard;
+  chunk.epoch = mig_.epoch;
+  chunk.kvs = elig;
+  if (!mig_.pins_sent) {
+    for (const auto& [tok, entry] : dedup_) {
+      if (entry.seq != 0) {
+        chunk.strs.push_back(std::to_string(tok) + ":" +
+                             std::to_string(entry.seq));
+      }
+    }
+  }
+  const std::vector<Addr> dests = migration_dest();
+  if (dests.empty()) return;
+  struct Fanout {
+    size_t pending;
+    bool failed = false;
+    bool conflict = false;
+  };
+  auto st = std::make_shared<Fanout>();
+  st->pending = dests.size();
+  mig_.chunk_inflight = true;
+  const std::string last_key = elig.back().key;
+  const size_t n = elig.size();
+  for (const Addr& d : dests) {
+    rt_->call(d, chunk,
+              [this, st, last_key, n, epoch = mig_.epoch](Status s,
+                                                          Message rep) {
+                if (!s.ok() || rep.code != Code::kOk) {
+                  st->failed = true;
+                  if (s.ok() && rep.code == Code::kConflict) {
+                    st->conflict = true;
+                  }
+                }
+                if (--st->pending != 0) return;
+                if (!mig_.active || mig_.epoch != epoch) return;
+                mig_.chunk_inflight = false;
+                if (st->conflict) {
+                  // Fenced: the cutover already landed (or a newer window
+                  // opened). Stop copying; kMigrateFinish will clean up.
+                  mig_.copier = false;
+                  return;
+                }
+                if (st->failed) return;  // retry the same batch next tick
+                mig_copied_ += n;
+                mig_.pins_sent = true;
+                mig_.cursor = last_key + '\0';  // smallest key > last_key
+              },
+              cfg_.rpc_timeout_us);
+  }
+}
+
+void ControletBase::send_migrate_ready() {
+  Message m;
+  m.op = Op::kMigrateReady;
+  m.key = rt_->self();
+  m.shard = cfg_.shard;
+  m.epoch = mig_.epoch;
+  rt_->send(cfg_.coordinator, std::move(m));
+}
+
+void ControletBase::handle_migrate_finish(const Message& req,
+                                          const Replier& reply) {
+  // The post-cutover map rides along so even a replica that missed the
+  // reconfigure learns the new layout atomically with the drop order.
+  if (!req.strs.empty()) {
+    auto m = ShardMap::decode(req.strs[0]);
+    if (m.ok()) apply_map(m.value(), {});
+  }
+  mig_ = MigrationOut{};
+  if (cfg_.datalet != nullptr) {
+    // GC the moved range: every key in [lo, hi) the fresh map no longer
+    // routes here. The routing re-check makes a duplicated finish safe.
+    std::vector<std::pair<std::string, uint64_t>> doomed;
+    cfg_.datalet->for_each([&](std::string_view key, const Entry& e) {
+      if (key < req.key) return;
+      if (!req.value.empty() && key >= req.value) return;
+      std::string k(key);
+      auto sid = map_.shard_for(k);
+      if (sid.ok() && sid.value() == cfg_.shard) return;  // still ours
+      doomed.emplace_back(std::move(k), e.seq);
+    });
+    for (const auto& [k, seq] : doomed) cfg_.datalet->del(k, seq);
+    if (!doomed.empty()) {
+      LOG_INFO << rt_->self() << ": dropped " << doomed.size()
+               << " migrated keys";
+    }
+  }
+  reply(Message::reply(Code::kOk));
 }
 
 }  // namespace bespokv

@@ -49,6 +49,10 @@ struct ControletConfig {
   // expired envelopes (ttl.h) from the datalet. 0 disables; lazy expiry at
   // the read paths stays on regardless.
   uint64_t ttl_sweep_period_us = 0;
+  // Elastic migration: background copier tick cadence and max keys shipped
+  // per kMigrateChunk while the dual-write window is open.
+  uint64_t migrate_copy_period_us = 2'000;
+  uint32_t migrate_batch = 64;
 };
 
 class ControletBase : public Service {
@@ -75,6 +79,10 @@ class ControletBase : public Service {
   uint64_t lease_until() const { return lease_until_; }
   uint64_t fence_rejects() const { return fence_rejects_; }
   bool lease_valid() const;
+  // Live migration introspection: dual-write window open / keys copied out.
+  bool migrating() const { return mig_.active; }
+  uint64_t migrate_copied() const { return mig_copied_; }
+  uint64_t wrong_shard_rejects() const { return wrong_shard_rejects_; }
 
  protected:
   // ---- hooks for the concrete controlets -----------------------------------
@@ -105,6 +113,15 @@ class ControletBase : public Service {
   // heartbeats; the coordinator min-aggregates it across replicas to drive
   // shared-log truncation). 0 = nothing durable / not applicable.
   virtual uint64_t durable_watermark() const { return 0; }
+  // Migration copier: called once before the background copy starts so the
+  // controlet can force its local image up to date with everything it has
+  // acked. Matters under AA+EC, where acked writes live in the shared log
+  // ahead of the local poll cursor — the snapshot stream must include them
+  // or the dest provably misses acked data. Base: local state is already
+  // complete (writes apply locally before the ack under MS/AA+SC).
+  virtual void prepare_migration_copy(std::function<void(bool)> done) {
+    done(true);
+  }
 
   // ---- services for the concrete controlets --------------------------------
 
@@ -225,6 +242,48 @@ class ControletBase : public Service {
   // otherwise wraps `reply` to record the outcome for future replays.
   bool maybe_dedup(const Message& req, Replier& reply);
 
+  // ---- elastic migration (live range split/rebalance) ----------------------
+
+  // Outbound dual-write window on the old owner: opened by kMigrateStart,
+  // closed by kMigrateFinish (cutover) / kMigrateAbort / a map showing the
+  // range gone. The head/master additionally runs the background copier.
+  struct MigrationOut {
+    bool active = false;
+    std::string lo;               // moved range [lo, hi); hi "" = +inf
+    std::string hi;
+    uint32_t dest_shard = 0;
+    std::vector<Addr> dest;       // dest controlets from kMigrateStart
+    uint64_t epoch = 0;           // dual-write window epoch (fences chunks)
+    bool copier = false;
+    bool copy_done = false;
+    bool chunk_inflight = false;
+    bool pins_sent = false;       // dedup pins ride the first chunk
+    // After the first full scan the copier re-drains its backend (shared-log
+    // catch-up under AA+EC) and rescans once: a write acked by a peer replica
+    // in the instant before that peer's dual-write window opened may have been
+    // log-sequenced past the initial drain point, so it is only visible here.
+    bool redrained = false;
+    std::string cursor;           // next key the copier ships
+  };
+
+  // True when the request was consumed with a kWrongShard reply: the key is
+  // range-routed to another shard (a migration moved it). The reply carries
+  // the current epoch and the latest map delta so the client can patch its
+  // map without a coordinator round trip.
+  bool reject_wrong_shard(const std::string& rkey, const Replier& reply);
+  // Wraps `reply` so an acked write inside the open window is forwarded to
+  // every dest replica before the client sees kOk (dual-write).
+  void arm_dual_write(const Message& req, const std::string& rkey,
+                      Replier& reply);
+  void handle_migrate_start(const Message& req, const Replier& reply);
+  void handle_migrate_ingest(const Message& req, const Replier& reply);
+  void handle_migrate_finish(const Message& req, const Replier& reply);
+  void migrate_copy_tick();
+  void send_migrate_ready();
+  std::vector<Addr> migration_dest() const;
+  // Samples a served key + counts the op for the heartbeat load report.
+  void note_data_op(const std::string& rkey);
+
   // Request counters ("controlet.*"), cached from the registry in start().
   obs::Counter* c_writes_ = nullptr;
   obs::Counter* c_reads_ = nullptr;
@@ -255,10 +314,21 @@ class ControletBase : public Service {
   std::unordered_map<uint64_t, DedupEntry> dedup_;
   std::deque<uint64_t> dedup_order_;
 
+  MigrationOut mig_;
+  uint64_t mig_timer_ = 0;
+  uint64_t mig_copied_ = 0;            // keys shipped via kMigrateChunk
+  uint64_t wrong_shard_rejects_ = 0;
+  std::string last_delta_enc_;         // newest map delta, for kWrongShard
+  // Heartbeat load report: ops since the last beat and a key sample whose
+  // median seeds the coordinator's hot-shard auto-split.
+  uint64_t ops_since_hb_ = 0;
+  std::vector<std::string> key_sample_;
+
   bool in_shard_ = false;
   bool retired_ = false;
   bool started_once_ = false;
   bool catching_up_ = false;
+  bool map_fetch_inflight_ = false;  // coalesces kGetShardMap pulls
   bool rejoining_ = false;       // deposed; standby re-registration in flight
   size_t my_index_ = 0;
   uint64_t version_ = 0;

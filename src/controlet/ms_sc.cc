@@ -48,13 +48,18 @@ void MsScControlet::do_write(EventContext ctx) {
 
   ++inflight_;
   auto reply = ctx.reply;
-  apply_and_forward(std::move(w), [this, reply](Code code) {
+  const uint64_t version = w.seq;
+  apply_and_forward(std::move(w), [this, reply, version](Code code) {
     --inflight_;
     // kConflict from down-chain means *we* were fenced as a deposed head.
     // Clients speak kNotLeader (refresh map, find the real head) — the raw
     // conflict never leaves the cluster.
     if (code == Code::kConflict) code = Code::kNotLeader;
-    reply(Message::reply(code));
+    Message rep = Message::reply(code);
+    // The applied version rides back on the ack: the migration dual-write
+    // path forwards it so the write keeps its LWW slot at the dest.
+    if (code == Code::kOk) rep.seq = version;
+    reply(std::move(rep));
   });
 }
 

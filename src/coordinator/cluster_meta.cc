@@ -1,8 +1,21 @@
 #include "src/coordinator/cluster_meta.h"
 
+#include <algorithm>
+
 #include "src/common/hash.h"
 
 namespace bespokv {
+
+bool ShardInfo::operator==(const ShardInfo& o) const {
+  if (id != o.id || lower != o.lower || upper != o.upper ||
+      replicas.size() != o.replicas.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < replicas.size(); ++i) {
+    if (replicas[i].controlet != o.replicas[i].controlet) return false;
+  }
+  return true;
+}
 
 const char* topology_name(Topology t) {
   return t == Topology::kMasterSlave ? "ms" : "aa";
@@ -76,6 +89,184 @@ Result<ShardMap> ShardMap::decode(const std::string& text) {
   auto j = Json::parse(text);
   if (!j.ok()) return j.status();
   return from_json(j.value());
+}
+
+namespace {
+
+Json shard_to_json(const ShardInfo& s) {
+  Json js = Json::object();
+  js.set("id", Json::number(s.id));
+  js.set("lower", Json::string(s.lower));
+  js.set("upper", Json::string(s.upper));
+  Json reps = Json::array();
+  for (const auto& r : s.replicas) reps.push(Json::string(r.controlet));
+  js.set("replicas", std::move(reps));
+  return js;
+}
+
+ShardInfo shard_from_json(const Json& js) {
+  ShardInfo s;
+  s.id = static_cast<uint32_t>(js.get("id").as_int());
+  s.lower = js.get("lower").as_string("");
+  s.upper = js.get("upper").as_string("");
+  for (const auto& r : js.get("replicas").elements()) {
+    s.replicas.push_back(ReplicaInfo{r.as_string()});
+  }
+  return s;
+}
+
+}  // namespace
+
+Json ShardMapDelta::to_json() const {
+  Json j = Json::object();
+  j.set("from_epoch", Json::number(static_cast<double>(from_epoch)));
+  j.set("to_epoch", Json::number(static_cast<double>(to_epoch)));
+  j.set("topology", Json::string(topology));
+  j.set("consistency", Json::string(consistency));
+  j.set("partitioner", Json::string(partitioner));
+  Json ch = Json::array();
+  for (const auto& s : changed) ch.push(shard_to_json(s));
+  j.set("changed", std::move(ch));
+  Json rm = Json::array();
+  for (uint32_t id : removed) rm.push(Json::number(id));
+  j.set("removed", std::move(rm));
+  return j;
+}
+
+Result<ShardMapDelta> ShardMapDelta::from_json(const Json& j) {
+  if (!j.is_object()) return Status::Invalid("delta is not an object");
+  ShardMapDelta d;
+  d.from_epoch = static_cast<uint64_t>(j.get("from_epoch").as_int(0));
+  d.to_epoch = static_cast<uint64_t>(j.get("to_epoch").as_int(0));
+  d.topology = j.get("topology").as_string("");
+  d.consistency = j.get("consistency").as_string("");
+  d.partitioner = j.get("partitioner").as_string("");
+  for (const auto& js : j.get("changed").elements()) {
+    d.changed.push_back(shard_from_json(js));
+  }
+  for (const auto& je : j.get("removed").elements()) {
+    d.removed.push_back(static_cast<uint32_t>(je.as_int()));
+  }
+  return d;
+}
+
+Result<ShardMapDelta> ShardMapDelta::decode(const std::string& text) {
+  auto j = Json::parse(text);
+  if (!j.ok()) return j.status();
+  return from_json(j.value());
+}
+
+ShardMapDelta diff_maps(const ShardMap& from, const ShardMap& to) {
+  ShardMapDelta d;
+  d.from_epoch = from.epoch;
+  d.to_epoch = to.epoch;
+  d.topology = topology_name(to.topology);
+  d.consistency = consistency_name(to.consistency);
+  d.partitioner = to.partitioner;
+  for (const auto& s : to.shards) {
+    const ShardInfo* old = from.shard(s.id);
+    if (old == nullptr || !(*old == s)) d.changed.push_back(s);
+  }
+  for (const auto& s : from.shards) {
+    if (to.shard(s.id) == nullptr) d.removed.push_back(s.id);
+  }
+  return d;
+}
+
+Result<ShardMap> apply_delta(const ShardMap& base, const ShardMapDelta& d) {
+  if (d.from_epoch != base.epoch) {
+    return Status::Invalid("delta cut against epoch " +
+                           std::to_string(d.from_epoch) + ", map at " +
+                           std::to_string(base.epoch));
+  }
+  ShardMap m = base;
+  m.epoch = d.to_epoch;
+  if (!d.topology.empty()) {
+    auto topo = parse_topology(d.topology);
+    if (!topo.ok()) return topo.status();
+    m.topology = topo.value();
+  }
+  if (!d.consistency.empty()) {
+    auto cons = parse_consistency(d.consistency);
+    if (!cons.ok()) return cons.status();
+    m.consistency = cons.value();
+  }
+  if (!d.partitioner.empty()) m.partitioner = d.partitioner;
+  for (uint32_t id : d.removed) {
+    m.shards.erase(std::remove_if(m.shards.begin(), m.shards.end(),
+                                  [&](const ShardInfo& s) { return s.id == id; }),
+                   m.shards.end());
+  }
+  for (const auto& s : d.changed) {
+    bool found = false;
+    for (auto& existing : m.shards) {
+      if (existing.id == s.id) {
+        existing = s;
+        found = true;
+        break;
+      }
+    }
+    if (!found) m.shards.push_back(s);
+  }
+  std::sort(m.shards.begin(), m.shards.end(),
+            [](const ShardInfo& a, const ShardInfo& b) { return a.id < b.id; });
+  return m;
+}
+
+Status validate_range_splits(const std::vector<std::string>& splits) {
+  for (size_t i = 0; i < splits.size(); ++i) {
+    if (splits[i].empty()) {
+      return Status::Invalid("range_splits[" + std::to_string(i) +
+                             "] is empty: \"\" is the wildcard bound, not a "
+                             "split point");
+    }
+    if (i > 0 && splits[i] <= splits[i - 1]) {
+      return Status::Invalid(
+          "range_splits must be strictly increasing: \"" + splits[i] +
+          "\" at index " + std::to_string(i) + " does not sort after \"" +
+          splits[i - 1] + "\"");
+    }
+  }
+  return Status::Ok();
+}
+
+Status validate_range_layout(const ShardMap& m) {
+  if (m.partitioner != "range") return Status::Ok();
+  if (m.shards.empty()) return Status::Invalid("range map has no shards");
+  std::vector<const ShardInfo*> sorted;
+  sorted.reserve(m.shards.size());
+  for (const auto& s : m.shards) sorted.push_back(&s);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ShardInfo* a, const ShardInfo* b) {
+              if (a->lower.empty() != b->lower.empty()) return a->lower.empty();
+              return a->lower < b->lower;
+            });
+  if (!sorted.front()->lower.empty()) {
+    return Status::Invalid("first range shard must start at the wildcard "
+                           "lower bound");
+  }
+  if (!sorted.back()->upper.empty()) {
+    return Status::Invalid("last range shard must end at the wildcard "
+                           "upper bound");
+  }
+  for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+    if (sorted[i]->upper.empty()) {
+      return Status::Invalid("shard " + std::to_string(sorted[i]->id) +
+                             " has a wildcard upper bound but is not last");
+    }
+    if (sorted[i]->upper != sorted[i + 1]->lower) {
+      return Status::Invalid(
+          "range gap/overlap between shard " + std::to_string(sorted[i]->id) +
+          " (upper \"" + sorted[i]->upper + "\") and shard " +
+          std::to_string(sorted[i + 1]->id) + " (lower \"" +
+          sorted[i + 1]->lower + "\")");
+    }
+    if (!sorted[i]->lower.empty() && sorted[i]->upper <= sorted[i]->lower) {
+      return Status::Invalid("shard " + std::to_string(sorted[i]->id) +
+                             " has an empty or inverted range");
+    }
+  }
+  return Status::Ok();
 }
 
 namespace {

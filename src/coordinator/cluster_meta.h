@@ -40,6 +40,8 @@ struct ShardInfo {
   // shard 0, "" upper on the last shard). Unused for hash partitioning.
   std::string lower;
   std::string upper;
+
+  bool operator==(const ShardInfo& o) const;
 };
 
 struct ShardMap {
@@ -67,5 +69,44 @@ struct ShardMap {
   // committed write (tail under MS+SC, master under MS+EC, any under AA).
   Addr scan_target(const ShardInfo& s, uint64_t salt) const;
 };
+
+// Delta between two shard-map versions (TurboKV-style versioned routing):
+// a client at `from_epoch` applies `changed`/`removed` to reach `to_epoch`
+// without re-fetching the full map. Piggybacked on kWrongShard replies and
+// on kGetShardMap when the requester reports its current epoch in `seq`.
+struct ShardMapDelta {
+  uint64_t from_epoch = 0;
+  uint64_t to_epoch = 0;
+  // The `to` map's global knobs ride along so a delta is self-contained even
+  // across a §V transition (topology/consistency changes).
+  std::string topology;
+  std::string consistency;
+  std::string partitioner;
+  std::vector<ShardInfo> changed;  // added or re-shaped shards, full records
+  std::vector<uint32_t> removed;   // shard ids the new map dropped
+
+  bool empty() const { return changed.empty() && removed.empty(); }
+  Json to_json() const;
+  static Result<ShardMapDelta> from_json(const Json& j);
+  std::string encode() const { return to_json().dump(); }
+  static Result<ShardMapDelta> decode(const std::string& text);
+};
+
+// Delta turning `from` into `to` (from.epoch/to.epoch stamp the versions).
+ShardMapDelta diff_maps(const ShardMap& from, const ShardMap& to);
+
+// Applies `d` to `base`. Fails with kInvalid when d.from_epoch != base.epoch:
+// deltas only compose on the exact version they were cut against.
+Result<ShardMap> apply_delta(const ShardMap& base, const ShardMapDelta& d);
+
+// Interior split points for carving the keyspace into ranges must be strictly
+// increasing and non-empty ("" is the wildcard bound, never a split). Guards
+// ClusterOptions::range_splits before a misordered list silently misroutes.
+Status validate_range_splits(const std::vector<std::string>& splits);
+
+// Full-layout check for a range-partitioned map: shards must tile the
+// keyspace contiguously — first lower and last upper are wildcards, every
+// other boundary shared by exactly two neighbours, no overlap or gap.
+Status validate_range_layout(const ShardMap& m);
 
 }  // namespace bespokv

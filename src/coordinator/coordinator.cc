@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/storage/env.h"
 
 namespace bespokv {
 
@@ -23,6 +24,14 @@ uint64_t CoordinatorService::skew_us() const {
 void CoordinatorService::start(Runtime& rt) {
   Service::start(rt);
   sweep_timer_ = rt_->set_periodic(cfg_.hb_period_us, [this] { sweep(); });
+  // The shard map is modeled as ZooKeeper-durable (it survives in `map_`
+  // across restarts); the in-flight migration record is our own durable
+  // state. Drop any in-memory copy and reload from disk so the persisted
+  // record — not a lucky in-memory survivor — is what drives resumption.
+  if (cfg_.meta_env != nullptr) {
+    migration_.reset();
+    resume_migration();
+  }
 }
 
 void CoordinatorService::stop() {
@@ -41,9 +50,32 @@ Message CoordinatorService::map_reply() const {
 
 void CoordinatorService::handle(const Addr& from, Message req, Replier reply) {
   switch (req.op) {
-    case Op::kGetShardMap:
-      reply(map_reply());
+    case Op::kGetShardMap: {
+      Message rep = map_reply();
+      // Versioned-map catch-up: a requester that reports its current epoch in
+      // `seq` gets the contiguous delta chain appended in strs[2..] so it can
+      // patch forward instead of re-parsing the full map. A gap in the ring
+      // (requester too far behind) leaves strs at [dlm, sharedlog] and the
+      // full map in `value` remains the fallback.
+      if (req.seq > 0 && req.seq < map_.epoch) {
+        uint64_t want = req.seq;
+        std::vector<std::string> chain;
+        for (const auto& d : delta_log_) {
+          if (d.to_epoch <= want) continue;
+          if (d.from_epoch != want) {
+            chain.clear();
+            break;
+          }
+          chain.push_back(d.encode());
+          want = d.to_epoch;
+        }
+        if (want == map_.epoch) {
+          for (auto& c : chain) rep.strs.push_back(std::move(c));
+        }
+      }
+      reply(std::move(rep));
       return;
+    }
 
     case Op::kHeartbeat: {
       const Addr& node = req.key.empty() ? from : req.key;
@@ -66,6 +98,13 @@ void CoordinatorService::handle(const Addr& from, Message req, Replier reply) {
       if (req.seq > 0) {
         uint64_t& floor = durable_floor_[node];
         floor = std::max(floor, req.seq);
+      }
+      // Load report piggybacked on the beat (see check_hot_shards): `limit`
+      // carries ops served since the last beat, `value` the replica's median
+      // routed key (range maps only). Standbys report zero and are skipped.
+      if (req.limit > 0) {
+        shard_ops_[req.shard] += req.limit;
+        if (!req.value.empty()) shard_median_[req.shard] = req.value;
       }
       // Lease grant, measured by the holder from the heartbeat's *send*
       // instant. Pre-shrunk by the skew margin so the holder's deadline is
@@ -131,8 +170,10 @@ void CoordinatorService::handle(const Addr& from, Message req, Replier reply) {
         if (s.id == shard_id) {
           // Paper §IV-A: the recovered pair joins as the new tail (MS) /
           // as another active (AA).
+          const ShardMap before = map_;
           s.replicas.push_back(ReplicaInfo{standby});
           ++map_.epoch;
+          note_map_changed(before);
           push_reconfigure(s);
           LOG_INFO << "coordinator: " << standby << " joined shard "
                    << shard_id << " after recovery (epoch " << map_.epoch << ")";
@@ -146,7 +187,7 @@ void CoordinatorService::handle(const Addr& from, Message req, Replier reply) {
     case Op::kStartTransition: {
       // Admin request: value = {"topology": "...", "consistency": "..."},
       // strs = ["old1=new1", "old2=new2", ...].
-      if (transition_ != nullptr) {
+      if (transition_ != nullptr || migration_ != nullptr) {
         reply(Message::reply(Code::kConflict));
         return;
       }
@@ -231,13 +272,56 @@ void CoordinatorService::handle(const Addr& from, Message req, Replier reply) {
       return;
     }
 
+    case Op::kMigrateShard: {
+      // Admin request: value = {"from": id, "split_at": key} plus either
+      // {"dest": id} (boundary move into the right-adjacent shard) or
+      // {"new_replicas": [addr, ...]} (split into a brand-new shard built
+      // from registered standbys).
+      auto j = Json::parse(req.value);
+      if (!j.ok()) {
+        reply(Message::reply(Code::kInvalid, "bad migration request JSON"));
+        return;
+      }
+      const Json& v = j.value();
+      const uint32_t from_id =
+          static_cast<uint32_t>(v.get("from").as_int(0));
+      const std::string split = v.get("split_at").as_string("");
+      const int64_t dest_id = v.has("dest") ? v.get("dest").as_int(0) : -1;
+      std::vector<Addr> new_reps;
+      if (v.has("new_replicas")) {
+        for (const auto& e : v.get("new_replicas").elements()) {
+          new_reps.push_back(e.as_string(""));
+        }
+      }
+      Status s = start_migration(from_id, split, dest_id, new_reps);
+      reply(Message::reply(s.code(), s.message()));
+      return;
+    }
+
+    case Op::kMigrateReady: {
+      // Old master's copier reports the background copy drained. Epoch and
+      // shard must match the live migration — a stale retry from an already
+      // finished (or aborted and restarted) migration must not cut over the
+      // wrong range. Duplicate readies after the phase flip are no-ops.
+      if (migration_ != nullptr &&
+          migration_->phase == Migration::Phase::kCopy &&
+          req.shard == migration_->from &&
+          req.epoch == migration_->start_epoch) {
+        do_cutover();
+      }
+      reply(Message::reply(Code::kOk));
+      return;
+    }
+
     default:
       reply(Message::reply(Code::kInvalid));
   }
 }
 
 void CoordinatorService::finish_transition() {
+  const ShardMap before = map_;
   map_ = transition_->target;
+  note_map_changed(before);
   // Heartbeats: adopt the new controlets, retire tracking of old ones.
   for (const auto& [old_c, new_c] : transition_->successor_of) {
     last_seen_.erase(old_c);
@@ -260,6 +344,14 @@ void CoordinatorService::finish_transition() {
 
 void CoordinatorService::sweep() {
   const uint64_t now = rt_->now_us();
+  // A migration stuck in its copy phase (partitioned copier, dest replicas
+  // unreachable) is aborted: the map is untouched until cutover, so the old
+  // shard simply keeps ownership and closes its dual-write window.
+  if (migration_ != nullptr && migration_->phase == Migration::Phase::kCopy &&
+      now > migration_->deadline_us) {
+    abort_migration("copy-phase timeout");
+  }
+  check_hot_shards();
   // Depose-then-promote: the holder's grant expires lease - skew after the
   // beat's send instant, so by lease + skew after our receive instant it has
   // provably stopped serving regardless of clock skew within the margin.
@@ -305,15 +397,33 @@ void CoordinatorService::on_node_failure(const Addr& dead) {
   durable_floor_.erase(dead);
   standbys_.erase(std::remove(standbys_.begin(), standbys_.end(), dead),
                   standbys_.end());
+  // A copy-phase migration cannot survive losing a participant: the copier
+  // or a dual-write target is gone, so the snapshot stream can no longer be
+  // proven complete. Abort (always safe pre-cutover) before repairing the
+  // shard; the migration can be retried once the failover settles. During
+  // cutover nothing is aborted — that phase is idempotent metadata push and
+  // the failover below re-pushes the repaired map anyway.
+  if (migration_ != nullptr && migration_->phase == Migration::Phase::kCopy) {
+    bool participant =
+        std::find(migration_->dest_replicas.begin(),
+                  migration_->dest_replicas.end(),
+                  dead) != migration_->dest_replicas.end();
+    if (const ShardInfo* fs = map_.shard(migration_->from)) {
+      for (const auto& r : fs->replicas) participant |= r.controlet == dead;
+    }
+    if (participant) abort_migration("participant " + dead + " failed");
+  }
   for (auto& s : map_.shards) {
     auto it = std::find_if(s.replicas.begin(), s.replicas.end(),
                            [&](const ReplicaInfo& r) { return r.controlet == dead; });
     if (it == s.replicas.end()) continue;
 
     const bool was_head = it == s.replicas.begin();
+    const ShardMap before = map_;
     s.replicas.erase(it);
     ++map_.epoch;
     ++failovers_;
+    note_map_changed(before);
     LOG_INFO << "coordinator: " << dead << " failed; shard " << s.id
              << (was_head ? " head/master re-elected" : " chain repaired")
              << " (epoch " << map_.epoch << ")";
@@ -377,6 +487,442 @@ void CoordinatorService::begin_recovery(uint32_t shard_id) {
   m.strs.push_back(cfg_.sharedlog);
   m.strs.push_back(s->replicas.front().controlet);  // recovery source
   rt_->send(standby, std::move(m));
+}
+
+// ---------------------------------------------------------------------------
+// Elastic shard migration: epoch-fenced live range split/rebalance.
+
+Json CoordinatorService::Migration::to_json() const {
+  Json j = Json::object();
+  j.set("phase", Json::number(phase == Phase::kCopy ? 0 : 1));
+  j.set("from", Json::number(from));
+  j.set("dest", Json::number(dest));
+  j.set("new_dest", Json::number(new_dest ? 1 : 0));
+  j.set("lo", Json::string(lo));
+  j.set("hi", Json::string(hi));
+  Json reps = Json::array();
+  for (const auto& r : dest_replicas) reps.push(Json::string(r));
+  j.set("dest_replicas", std::move(reps));
+  j.set("start_epoch", Json::number(static_cast<double>(start_epoch)));
+  j.set("deadline_us", Json::number(static_cast<double>(deadline_us)));
+  return j;
+}
+
+Result<CoordinatorService::Migration> CoordinatorService::Migration::from_json(
+    const Json& j) {
+  Migration m;
+  m.phase = j.get("phase").as_int(0) == 0 ? Phase::kCopy : Phase::kCutover;
+  m.from = static_cast<uint32_t>(j.get("from").as_int(0));
+  m.dest = static_cast<uint32_t>(j.get("dest").as_int(0));
+  m.new_dest = j.get("new_dest").as_int(0) != 0;
+  m.lo = j.get("lo").as_string("");
+  m.hi = j.get("hi").as_string("");
+  for (const auto& e : j.get("dest_replicas").elements()) {
+    m.dest_replicas.push_back(e.as_string(""));
+  }
+  m.start_epoch = static_cast<uint64_t>(j.get("start_epoch").as_int(0));
+  m.deadline_us = static_cast<uint64_t>(j.get("deadline_us").as_int(0));
+  if (m.lo.empty() || m.dest_replicas.empty()) {
+    return Status::Invalid("corrupt migration record");
+  }
+  return m;
+}
+
+std::string CoordinatorService::migration_path() const {
+  return cfg_.meta_dir + "/migration.json";
+}
+
+void CoordinatorService::persist_migration() {
+  if (cfg_.meta_env == nullptr || migration_ == nullptr) return;
+  cfg_.meta_env->mkdirs(cfg_.meta_dir);
+  Status s = cfg_.meta_env->write_file_durable(migration_path(),
+                                               migration_->to_json().dump());
+  if (!s.ok()) {
+    LOG_WARN << "coordinator: failed to persist migration record: "
+             << s.to_string();
+  }
+}
+
+void CoordinatorService::clear_migration() {
+  if (cfg_.meta_env != nullptr && cfg_.meta_env->exists(migration_path())) {
+    cfg_.meta_env->remove_file(migration_path());
+  }
+  migration_.reset();
+}
+
+void CoordinatorService::resume_migration() {
+  if (cfg_.meta_env == nullptr || !cfg_.meta_env->exists(migration_path())) {
+    return;
+  }
+  auto text = cfg_.meta_env->read_file(migration_path());
+  if (!text.ok()) return;
+  auto j = Json::parse(text.value());
+  if (!j.ok()) {
+    LOG_WARN << "coordinator: dropping corrupt migration record";
+    cfg_.meta_env->remove_file(migration_path());
+    return;
+  }
+  auto m = Migration::from_json(j.value());
+  if (!m.ok()) {
+    LOG_WARN << "coordinator: dropping corrupt migration record";
+    cfg_.meta_env->remove_file(migration_path());
+    return;
+  }
+  migration_ = std::make_unique<Migration>(std::move(m).value());
+  if (migration_->phase == Migration::Phase::kCopy) {
+    // Mid-copy restart: re-open the dual-write window with a fresh deadline.
+    // Re-sending kMigrateStart resets the copier's cursor — re-copying keys
+    // is harmless (dest applies by version, LWW) and re-proves completeness.
+    migration_->deadline_us = rt_->now_us() + cfg_.migration_timeout_us;
+    persist_migration();
+    send_migrate_start();
+    LOG_INFO << "coordinator: resumed copy-phase migration of shard "
+             << migration_->from << " after restart";
+  } else {
+    // Mid-cutover restart: the phase is pure metadata push, so re-drive it
+    // verbatim. do_cutover() detects whether the map mutation already
+    // happened (from-shard upper equals the split) and skips the re-bump.
+    LOG_INFO << "coordinator: re-driving cutover for shard "
+             << migration_->from << " after restart";
+    do_cutover();
+  }
+}
+
+Status CoordinatorService::start_migration(
+    uint32_t from_id, const std::string& split_at, int64_t dest_id,
+    const std::vector<Addr>& new_replicas) {
+  if (transition_ != nullptr || migration_ != nullptr) {
+    return Status::Conflict("transition or migration already active");
+  }
+  if (map_.partitioner != "range") {
+    return Status::Invalid("migration requires range partitioning");
+  }
+  const ShardInfo* from_s = map_.shard(from_id);
+  if (from_s == nullptr || from_s->replicas.empty()) {
+    return Status::Invalid("unknown source shard");
+  }
+  // The moved range is the tail [split_at, from.upper): the split must fall
+  // strictly inside the source's range or the migration is a no-op / wraps.
+  if (split_at.empty() || split_at <= from_s->lower ||
+      (!from_s->upper.empty() && split_at >= from_s->upper)) {
+    return Status::Invalid("split_at outside source range");
+  }
+
+  Migration m;
+  m.from = from_id;
+  m.lo = split_at;
+  m.hi = from_s->upper;
+  if (dest_id >= 0) {
+    // Boundary move: dest must own the right-adjacent range so the post-
+    // cutover layout stays contiguous.
+    const ShardInfo* dest_s = map_.shard(static_cast<uint32_t>(dest_id));
+    if (dest_s == nullptr || dest_s->replicas.empty()) {
+      return Status::Invalid("unknown dest shard");
+    }
+    if (from_s->upper.empty() || dest_s->lower != from_s->upper) {
+      return Status::Invalid("dest is not the right-adjacent shard");
+    }
+    m.dest = dest_s->id;
+    for (const auto& r : dest_s->replicas) {
+      m.dest_replicas.push_back(r.controlet);
+    }
+  } else {
+    // Split into a new shard staffed from registered standbys.
+    if (new_replicas.empty()) {
+      return Status::Invalid("need dest or new_replicas");
+    }
+    for (const auto& a : new_replicas) {
+      if (std::find(standbys_.begin(), standbys_.end(), a) ==
+          standbys_.end()) {
+        return Status::Invalid("replica " + a + " is not a registered standby");
+      }
+    }
+    uint32_t max_id = 0;
+    for (const auto& s : map_.shards) max_id = std::max(max_id, s.id);
+    m.dest = max_id + 1;
+    m.new_dest = true;
+    m.dest_replicas = new_replicas;
+    for (const auto& a : new_replicas) {
+      standbys_.erase(std::remove(standbys_.begin(), standbys_.end(), a),
+                      standbys_.end());
+    }
+  }
+
+  // Bump the epoch for the dual-write window: every forwarded kMigratePut and
+  // every kMigrateChunk is stamped with it, so a replica still serving the
+  // pre-migration epoch can never poison the dest, and the cutover's second
+  // bump strictly dominates anything written during the window.
+  const ShardMap before = map_;
+  ++map_.epoch;
+  note_map_changed(before);  // same shape, new epoch: an empty delta
+  m.start_epoch = map_.epoch;
+  m.deadline_us = rt_->now_us() + cfg_.migration_timeout_us;
+  migration_ = std::make_unique<Migration>(std::move(m));
+  persist_migration();
+  send_migrate_start();
+  rt_->obs().metrics().counter("coord.migrations_started").inc();
+  LOG_INFO << "coordinator: migrating [" << migration_->lo << ", "
+           << (migration_->hi.empty() ? "+inf" : migration_->hi)
+           << ") from shard " << migration_->from << " to "
+           << (migration_->new_dest ? "new " : "") << "shard "
+           << migration_->dest << " (epoch " << map_.epoch << ")";
+  return Status::Ok();
+}
+
+void CoordinatorService::send_migrate_start() {
+  const ShardInfo* from_s = map_.shard(migration_->from);
+  if (from_s == nullptr) return;
+  // The fresh map rides inside the message (strs[0]) instead of a separate
+  // push so a replica cannot observe the dual-write order before the epoch
+  // that fences it. strs[1..] lists the dest replicas; the head/master runs
+  // the background copier.
+  const std::string enc = map_.encode();
+  for (size_t i = 0; i < from_s->replicas.size(); ++i) {
+    Message m;
+    m.op = Op::kMigrateStart;
+    m.shard = migration_->dest;
+    m.key = migration_->lo;
+    m.value = migration_->hi;
+    m.epoch = migration_->start_epoch;
+    if (i == 0) m.flags |= kFlagCopier;
+    m.strs.push_back(enc);
+    for (const auto& d : migration_->dest_replicas) m.strs.push_back(d);
+    rt_->send(from_s->replicas[i].controlet, std::move(m));
+  }
+}
+
+void CoordinatorService::do_cutover() {
+  Migration& mig = *migration_;
+  if (mig.phase != Migration::Phase::kCutover) {
+    mig.phase = Migration::Phase::kCutover;
+    persist_migration();
+  }
+  ShardInfo* from_s = nullptr;
+  for (auto& s : map_.shards) {
+    if (s.id == mig.from) from_s = &s;
+  }
+  if (from_s == nullptr) {
+    // The source shard vanished (failover erased its last replica). The
+    // range it owned is gone with it; nothing to cut over.
+    ++migrations_aborted_;
+    clear_migration();
+    return;
+  }
+  // Idempotence on re-drive: the map mutation happens exactly once (detected
+  // by the from-shard's upper bound already sitting at the split point).
+  if (from_s->upper != mig.lo) {
+    const ShardMap before = map_;
+    ++map_.epoch;
+    from_s->upper = mig.lo;
+    if (mig.new_dest) {
+      ShardInfo ns;
+      ns.id = mig.dest;
+      ns.lower = mig.lo;
+      ns.upper = mig.hi;
+      for (const auto& a : mig.dest_replicas) {
+        ns.replicas.push_back(ReplicaInfo{a});
+      }
+      map_.shards.push_back(std::move(ns));
+      std::sort(map_.shards.begin(), map_.shards.end(),
+                [](const ShardInfo& a, const ShardInfo& b) {
+                  return a.id < b.id;
+                });
+    } else {
+      for (auto& s : map_.shards) {
+        if (s.id == mig.dest) s.lower = mig.lo;
+      }
+    }
+    note_map_changed(before);
+    Status layout = validate_range_layout(map_);
+    if (!layout.ok()) {
+      LOG_ERROR << "coordinator: post-cutover layout invalid: "
+                << layout.to_string();
+    }
+  }
+
+  // Close before activate: the dest must not serve the moved range until
+  // every old-shard replica has adopted the cutover map (and so rejects the
+  // range with kWrongShard) — otherwise a strong read at a replica whose
+  // reconfigure push is still in flight could miss a write the dest already
+  // accepted. Fan the reconfigure as *calls* and activate the dest only once
+  // every old replica acked or its call timed out; the timeout equals the
+  // self-fence deadline (lease + skew), so a replica that never answered has
+  // provably stopped serving strong ops by the time the dest goes live.
+  const std::string close_enc = map_.encode();
+  auto pending = std::make_shared<size_t>(from_s->replicas.size());
+  const uint64_t cut_epoch = map_.epoch;
+  auto activate = [this, cut_epoch] {
+    // Re-check: a coordinator restart or a source-shard collapse may have
+    // cleared the record while the close fan-out was in flight.
+    if (migration_ != nullptr &&
+        migration_->phase == Migration::Phase::kCutover &&
+        migration_->start_epoch < cut_epoch) {
+      finalize_cutover();
+    }
+  };
+  if (*pending == 0) {
+    activate();
+    return;
+  }
+  for (const auto& r : from_s->replicas) {
+    Message m;
+    m.op = Op::kReconfigure;
+    m.shard = mig.from;
+    m.value = close_enc;
+    m.strs.push_back(cfg_.dlm);
+    m.strs.push_back(cfg_.sharedlog);
+    rt_->call(r.controlet, std::move(m),
+              [pending, activate](Status, Message) {
+                if (--*pending == 0) activate();
+              },
+              lease_us() + skew_us());
+  }
+}
+
+void CoordinatorService::finalize_cutover() {
+  Migration& mig = *migration_;
+  const ShardInfo* from_s = map_.shard(mig.from);
+  const std::string enc = map_.encode();
+  // New-dest replicas were standbys: adopt the shard via the recovery path
+  // with no snapshot source (their data arrived through the migration
+  // stream), then learn the layout like everyone else.
+  if (mig.new_dest) {
+    for (const auto& a : mig.dest_replicas) {
+      Message m;
+      m.op = Op::kReconfigure;
+      m.flags = kFlagRecovery;
+      m.shard = mig.dest;
+      m.value = enc;
+      m.strs.push_back(cfg_.dlm);
+      m.strs.push_back(cfg_.sharedlog);
+      rt_->send(a, std::move(m));
+    }
+  }
+  for (auto& s : map_.shards) {
+    if (s.id == mig.from || (s.id == mig.dest && !mig.new_dest)) {
+      push_reconfigure(s);
+    }
+  }
+  // Ratchet the shared sinks for both shards: a deposed or partitioned old
+  // owner still serving start_epoch dies at the DLM / shared log too.
+  push_fence(mig.from);
+  push_fence(mig.dest);
+  // Tell the old replicas to drop the moved range (closes the dual-write
+  // window and GCs the keys). The new map rides along so even a replica that
+  // missed the reconfigure learns the cutover atomically with the drop.
+  if (from_s != nullptr) {
+    for (const auto& r : from_s->replicas) {
+      Message m;
+      m.op = Op::kMigrateFinish;
+      m.shard = mig.from;
+      m.key = mig.lo;
+      m.value = mig.hi;
+      m.epoch = map_.epoch;
+      m.strs.push_back(enc);
+      rt_->send(r.controlet, std::move(m));
+    }
+  }
+  ++migrations_;
+  rt_->obs().metrics().counter("coord.migrations_done").inc();
+  LOG_INFO << "coordinator: cutover complete, shard " << mig.from
+           << " -> " << mig.dest << " at [" << mig.lo << ", "
+           << (mig.hi.empty() ? "+inf" : mig.hi) << ") (epoch "
+           << map_.epoch << ")";
+  clear_migration();
+}
+
+void CoordinatorService::abort_migration(const std::string& why) {
+  Migration& mig = *migration_;
+  LOG_WARN << "coordinator: aborting migration of shard " << mig.from << ": "
+           << why;
+  if (const ShardInfo* from_s = map_.shard(mig.from)) {
+    for (const auto& r : from_s->replicas) {
+      Message m;
+      m.op = Op::kMigrateAbort;
+      m.shard = mig.from;
+      m.epoch = mig.start_epoch;
+      rt_->send(r.controlet, std::move(m));
+    }
+  }
+  // Standbys drafted for a new dest go back into the pool (their datalets
+  // may hold stray copied keys; harmless — they re-snapshot on real use).
+  if (mig.new_dest) {
+    for (const auto& a : mig.dest_replicas) {
+      if (known_dead_.count(a) == 0 &&
+          std::find(standbys_.begin(), standbys_.end(), a) ==
+              standbys_.end()) {
+        standbys_.push_back(a);
+      }
+    }
+  }
+  ++migrations_aborted_;
+  rt_->obs().metrics().counter("coord.migrations_aborted").inc();
+  clear_migration();
+}
+
+void CoordinatorService::note_map_changed(const ShardMap& before) {
+  delta_log_.push_back(diff_maps(before, map_));
+  while (delta_log_.size() > 32) delta_log_.pop_front();
+}
+
+void CoordinatorService::check_hot_shards() {
+  // Per-sweep load accumulated from heartbeat piggybacks; always reset so a
+  // disabled detector doesn't grow the maps unboundedly.
+  std::map<uint32_t, uint64_t> ops;
+  ops.swap(shard_ops_);
+  if (cfg_.hot_shard_factor <= 0.0 || map_.partitioner != "range" ||
+      map_.shards.size() < 2 || transition_ != nullptr ||
+      migration_ != nullptr) {
+    return;
+  }
+  uint64_t total = 0;
+  for (const auto& [id, n] : ops) total += n;
+  if (total == 0) return;
+  const double mean = static_cast<double>(total) /
+                      static_cast<double>(map_.shards.size());
+  for (const auto& s : map_.shards) {
+    auto it = ops.find(s.id);
+    const uint64_t n = it == ops.end() ? 0 : it->second;
+    if (static_cast<double>(n) > cfg_.hot_shard_factor * mean) {
+      if (++hot_streak_[s.id] < cfg_.hot_shard_sweeps) continue;
+      hot_streak_.clear();
+      const auto med = shard_median_.find(s.id);
+      if (med == shard_median_.end()) return;
+      const std::string& split = med->second;
+      if (split.empty() || split <= s.lower ||
+          (!s.upper.empty() && split >= s.upper)) {
+        return;  // degenerate median (all load on one key); nothing to split
+      }
+      // Prefer shedding the hot tail into the right-adjacent neighbour; a
+      // last shard (wildcard upper) splits into a new shard when enough
+      // standbys are registered to staff it.
+      int64_t dest_id = -1;
+      std::vector<Addr> new_reps;
+      if (!s.upper.empty()) {
+        for (const auto& d : map_.shards) {
+          if (d.lower == s.upper && d.id != s.id) dest_id = d.id;
+        }
+      }
+      if (dest_id < 0) {
+        if (standbys_.size() < s.replicas.size()) {
+          LOG_WARN << "coordinator: shard " << s.id
+                   << " is hot but no dest and too few standbys";
+          return;
+        }
+        for (size_t i = 0; i < s.replicas.size(); ++i) {
+          new_reps.push_back(standbys_[i]);
+        }
+      }
+      LOG_INFO << "coordinator: shard " << s.id << " hot (" << n << " ops vs "
+               << mean << " mean); auto-migrating tail";
+      Status st = start_migration(s.id, split, dest_id, new_reps);
+      if (!st.ok()) {
+        LOG_WARN << "coordinator: auto-migration failed: " << st.to_string();
+      }
+      return;  // at most one migration per sweep
+    }
+    hot_streak_[s.id] = 0;
+  }
 }
 
 }  // namespace bespokv

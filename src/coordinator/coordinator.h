@@ -26,6 +26,10 @@
 
 namespace bespokv {
 
+namespace storage {
+class Env;
+}
+
 struct CoordinatorConfig {
   uint64_t hb_period_us = 1'000'000;  // expected controlet heartbeat period
   uint32_t hb_miss_limit = 3;         // misses before a node is declared dead
@@ -40,6 +44,23 @@ struct CoordinatorConfig {
   uint64_t clock_skew_us = 0;
   Addr dlm;                            // advertised to controlets/clients
   Addr sharedlog;
+
+  // Migration durability: when set, the in-flight migration record is
+  // persisted under meta_dir so a restarted coordinator resumes (copy phase)
+  // or idempotently re-drives (cutover phase) instead of stranding the old
+  // shard in its dual-write window. The shard map itself is modeled as
+  // ZooKeeper-durable (the paper's coordinator is built on ZK).
+  storage::Env* meta_env = nullptr;
+  std::string meta_dir = "coord";
+  // A migration whose copy phase exceeds this budget is aborted (the map is
+  // untouched until cutover, so abort is always safe).
+  uint64_t migration_timeout_us = 60'000'000;
+  // Hot-shard auto-split: when factor > 0 and a shard's per-sweep op count
+  // exceeds factor * cluster mean for `sweeps` consecutive sweeps, the
+  // coordinator migrates the hot tail of its range automatically. 0 = off
+  // (migrations happen only via the kMigrateShard admin op).
+  double hot_shard_factor = 0.0;
+  uint32_t hot_shard_sweeps = 3;
 };
 
 class CoordinatorService : public Service {
@@ -53,6 +74,9 @@ class CoordinatorService : public Service {
   const ShardMap& shard_map() const { return map_; }
   uint64_t failovers() const { return failovers_; }
   bool transition_active() const { return transition_ != nullptr; }
+  bool migration_active() const { return migration_ != nullptr; }
+  uint64_t migrations() const { return migrations_; }
+  uint64_t migrations_aborted() const { return migrations_aborted_; }
   // Peer failure reports discarded because our own lease evidence said the
   // suspect was still alive (satellite: delay-only faults must not evict).
   uint64_t false_suspects() const { return false_suspects_; }
@@ -71,6 +95,31 @@ class CoordinatorService : public Service {
     std::set<Addr> waiting_on;           // old controlets yet to drain
   };
 
+  // In-flight range migration (elastic split/rebalance). The moved range is
+  // always the tail [lo, hi) of `from`'s range; `dest` either already owns
+  // the right-adjacent range (boundary move) or is a brand-new shard built
+  // from registered standbys (`new_dest`). Two phases:
+  //   kCopy    — old replicas dual-write [lo, hi) to dest while the old
+  //              master's copier streams a snapshot; map bounds unchanged,
+  //              so abort is always safe.
+  //   kCutover — map bounds moved under a fresh epoch; the phase is pure
+  //              idempotent metadata push, re-driven verbatim on restart.
+  struct Migration {
+    enum class Phase : uint8_t { kCopy = 0, kCutover = 1 };
+    Phase phase = Phase::kCopy;
+    uint32_t from = 0;                  // shard losing the range
+    uint32_t dest = 0;                  // shard gaining it
+    bool new_dest = false;              // dest did not exist before cutover
+    std::string lo;                     // moved range [lo, hi)
+    std::string hi;
+    std::vector<Addr> dest_replicas;    // dest controlets (standbys if new)
+    uint64_t start_epoch = 0;           // epoch of the dual-write window
+    uint64_t deadline_us = 0;           // copy-phase abort deadline
+
+    Json to_json() const;
+    static Result<Migration> from_json(const Json& j);
+  };
+
   void sweep();
   void maybe_trim_log();
   void on_node_failure(const Addr& dead);
@@ -79,6 +128,25 @@ class CoordinatorService : public Service {
   void begin_recovery(uint32_t shard_id);
   void finish_transition();
   Message map_reply() const;
+
+  Status start_migration(uint32_t from_id, const std::string& split_at,
+                         int64_t dest_id,
+                         const std::vector<Addr>& new_replicas);
+  void send_migrate_start();
+  void do_cutover();
+  // Second half of the cutover: activates the dest and GCs the old replicas.
+  // Runs only after every old-shard replica acked the cutover map (or its
+  // close call aged past the self-fence deadline).
+  void finalize_cutover();
+  void abort_migration(const std::string& why);
+  void persist_migration();
+  void clear_migration();
+  void resume_migration();
+  // Records the map change `before` -> `map_` in the delta log (bounded ring;
+  // clients catch up via kGetShardMap's delta chain or kWrongShard replies).
+  void note_map_changed(const ShardMap& before);
+  void check_hot_shards();
+  std::string migration_path() const;
 
   CoordinatorConfig cfg_;
   ShardMap map_;
@@ -93,9 +161,22 @@ class CoordinatorService : public Service {
   std::deque<Addr> standbys_;            // registered standby controlets
   std::map<Addr, uint32_t> recovering_;  // standby -> shard being rebuilt
   std::unique_ptr<Transition> transition_;
+  std::unique_ptr<Migration> migration_;
+  // Recent map deltas, oldest first; each entry turns epoch N into N+1 for
+  // consecutive bumps. Bounded: clients further behind than the ring re-fetch
+  // the full map.
+  std::deque<ShardMapDelta> delta_log_;
+  // Hot-shard detection state: per-shard ops accumulated from heartbeat
+  // piggybacks since the last sweep, plus each shard's reported median key
+  // and a consecutive-hot-sweep counter.
+  std::map<uint32_t, uint64_t> shard_ops_;
+  std::map<uint32_t, std::string> shard_median_;
+  std::map<uint32_t, uint32_t> hot_streak_;
   uint64_t sweep_timer_ = 0;
   uint64_t failovers_ = 0;
   uint64_t false_suspects_ = 0;
+  uint64_t migrations_ = 0;
+  uint64_t migrations_aborted_ = 0;
 };
 
 }  // namespace bespokv

@@ -40,6 +40,13 @@ const char* op_name(Op op) {
     case Op::kSyncApply: return "SYNC_APPLY";
     case Op::kStats: return "STATS";
     case Op::kTraceDump: return "TRACE_DUMP";
+    case Op::kMigrateShard: return "MIGRATE_SHARD";
+    case Op::kMigrateStart: return "MIGRATE_START";
+    case Op::kMigrateChunk: return "MIGRATE_CHUNK";
+    case Op::kMigratePut: return "MIGRATE_PUT";
+    case Op::kMigrateReady: return "MIGRATE_READY";
+    case Op::kMigrateFinish: return "MIGRATE_FINISH";
+    case Op::kMigrateAbort: return "MIGRATE_ABORT";
   }
   return "UNKNOWN";
 }

@@ -72,6 +72,16 @@ enum class Op : uint16_t {
   // any node can be scraped. Appended last: Op values are wire-stable.
   kStats,         // returns metrics-registry snapshot JSON in `value`
   kTraceDump,     // seq = trace-id filter (0 = all); returns spans in `strs`
+
+  // Elastic shard migration (live range split/rebalance). Appended last:
+  // Op values are wire-stable.
+  kMigrateShard,  // admin -> coordinator: value = JSON migration request
+  kMigrateStart,  // coordinator -> old-shard replicas: open dual-write window
+  kMigrateChunk,  // old master -> dest replicas: background snapshot batch
+  kMigratePut,    // old owner -> dest replicas: dual-write forward of one op
+  kMigrateReady,  // old master -> coordinator: copy done, safe to cut over
+  kMigrateFinish, // coordinator -> old-shard replicas: drop the moved range
+  kMigrateAbort,  // coordinator -> old-shard replicas: cancel, keep ownership
 };
 
 const char* op_name(Op op);
@@ -143,5 +153,8 @@ inline constexpr uint32_t kFlagRecovery = 1u << 1;    // replay during recovery
 inline constexpr uint32_t kFlagTransition = 1u << 2;  // forwarded by old controlet
 inline constexpr uint32_t kFlagNoPropagate = 1u << 3; // apply locally only
 inline constexpr uint32_t kFlagDelete = 1u << 4;      // replicated op is a Del
+inline constexpr uint32_t kFlagCopier = 1u << 5;      // kMigrateStart: this
+                                                      // replica runs the
+                                                      // background copier
 
 }  // namespace bespokv

@@ -241,12 +241,30 @@ RunResult run_scenario(const Scenario& sc) {
   copts.num_shards = sc.shards;
   copts.num_replicas = sc.replicas;
   copts.datalet_kind = sc.datalet_kind;
+  copts.partitioner = sc.partitioner;
+  copts.range_splits = sc.range_splits;
   // Crash scenarios need a promotable spare, and failover detection fast
-  // enough that client retries ride it out.
-  copts.num_standby = sc.faults.nodes.empty() ? 0 : 1;
+  // enough that client retries ride it out. A migration into a brand-new
+  // shard additionally needs a full replica set of registered standbys.
+  bool migrates_to_new_shard = false;
+  for (const auto& m : sc.migrations) migrates_to_new_shard |= m.dest < 0;
+  copts.num_standby = std::max(sc.faults.nodes.empty() ? 0 : 1,
+                               migrates_to_new_shard ? sc.replicas : 0);
   copts.sim_node.cores = sc.cores;
   copts.coordinator.hb_period_us = 100'000;
   copts.controlet.hb_period_us = 50'000;
+  // Migration scenarios: give the coordinator a durable meta Env (so a
+  // crashed coordinator resumes the migration from its persisted record
+  // instead of stranding the dual-write window), and slow the copier down so
+  // the window is wide enough for the fault plan to land inside it.
+  std::shared_ptr<storage::MemEnv> coord_env;
+  if (!sc.migrations.empty()) {
+    coord_env = std::make_shared<storage::MemEnv>();
+    copts.coordinator.meta_env = coord_env.get();
+    copts.coordinator.migration_timeout_us = 30'000'000;
+    copts.controlet.migrate_copy_period_us = 25'000;
+    copts.controlet.migrate_batch = 2;
+  }
   // Durable scenarios: one shared power-loss Env plays every node's disk
   // (Cluster gives each replica its own subtree). crash_restart() on a node
   // fault then recovers from checkpoint + WAL instead of keeping state.
@@ -290,13 +308,16 @@ RunResult run_scenario(const Scenario& sc) {
   }
 
   // Drive loop: advance virtual time until every client drained and every
-  // scheduled transition completed. Transitions start from *outside* the
-  // event loop, exactly like an operator would issue them.
+  // scheduled transition and migration completed. Both start from *outside*
+  // the event loop, exactly like an operator would issue them.
   const uint64_t start_us = sim.now_us();
   const uint64_t deadline = start_us + 120'000'000;
   size_t ti = 0;
   bool in_transition = false;
   std::shared_ptr<Status> tr_status;
+  size_t mi = 0;
+  bool in_migration = false;
+  std::shared_ptr<Status> mig_status;
   while (true) {
     if (!in_transition && ti < sc.transitions.size() &&
         sim.now_us() - start_us >= sc.transitions[ti].at_us) {
@@ -319,18 +340,42 @@ RunResult run_scenario(const Scenario& sc) {
         ++ti;
       }
     }
+    if (!in_migration && mi < sc.migrations.size() &&
+        sim.now_us() - start_us >= sc.migrations[mi].at_us) {
+      auto st = std::make_shared<Status>(Status::Internal("pending"));
+      const MigrationStep& m = sc.migrations[mi];
+      cluster.start_migration(m.from, m.split_at, m.dest,
+                              [st](Status s) { *st = s; });
+      mig_status = st;
+      in_migration = true;
+    }
+    if (in_migration && mig_status->code() != Code::kInternal) {
+      if (!mig_status->ok()) {
+        out.error = "migration rejected: " + mig_status->to_string();
+        return out;
+      }
+      // Inactive after accept means the migration finished — or was aborted,
+      // which is a legal chaos outcome (the map is untouched pre-cutover, so
+      // an abort is invisible to the consistency contract the checkers hold).
+      if (!cluster.coordinator_service()->migration_active()) {
+        in_migration = false;
+        ++mi;
+      }
+    }
     if (rec->outstanding == 0 && !in_transition &&
-        ti >= sc.transitions.size()) {
+        ti >= sc.transitions.size() && !in_migration &&
+        mi >= sc.migrations.size()) {
       break;
     }
     if (sim.now_us() > deadline) {
-      out.error = in_transition ? "transition did not finish"
-                                : "clients did not drain";
+      out.error = in_transition   ? "transition did not finish"
+                  : in_migration ? "migration did not finish"
+                                 : "clients did not drain";
       break;
     }
     // Fine-grained slices while a transition is draining keep the completion
     // stamp tight; the split op count below depends on it.
-    sim.run_for(in_transition ? 2'000 : 10'000);
+    sim.run_for(in_transition || in_migration ? 2'000 : 10'000);
   }
 
   // Quiesce: past the last fault window, plus the scenario's settle slack,
@@ -372,9 +417,11 @@ RunResult run_scenario(const Scenario& sc) {
   // (Client islands are fine: the pinned replica never changes.)
   // A whole-cluster power loss also reshuffles pins (sessions reconnect while
   // replicas are still catching up), so crash_all runs skip the session check.
+  // A migration moves keys to a different replica set mid-run, re-pinning
+  // every session that touches the moved range — same exemption.
   cko.monotonic_sessions = fin == Consistency::kEventual &&
                            sc.transitions.empty() && !cuts_cluster(sc.faults) &&
-                           sc.faults.crash_all.empty();
+                           sc.faults.crash_all.empty() && sc.migrations.empty();
   out.report = check_history(out.history, cko);
 
   // Convergence: meaningful once writes stopped and propagation drained.

@@ -30,6 +30,12 @@ Json Scenario::to_json() const {
   j.set("shards", Json::number(shards));
   j.set("replicas", Json::number(replicas));
   j.set("datalet_kind", Json::string(datalet_kind));
+  if (partitioner != "hash") {
+    j.set("partitioner", Json::string(partitioner));
+    Json sp = Json::array();
+    for (const std::string& s : range_splits) sp.push(Json::string(s));
+    j.set("range_splits", std::move(sp));
+  }
   if (cores != 1) j.set("cores", Json::number(cores));
   j.set("clients", Json::number(clients));
   j.set("ops_per_client", Json::number(ops_per_client));
@@ -45,6 +51,18 @@ Json Scenario::to_json() const {
     tarr.push(std::move(tj));
   }
   j.set("transitions", std::move(tarr));
+  if (!migrations.empty()) {
+    Json marr = Json::array();
+    for (const MigrationStep& m : migrations) {
+      Json mj = Json::object();
+      mj.set("at_us", Json::number(double(m.at_us)));
+      mj.set("from", Json::number(double(m.from)));
+      mj.set("split_at", Json::string(m.split_at));
+      mj.set("dest", Json::number(double(m.dest)));
+      marr.push(std::move(mj));
+    }
+    j.set("migrations", std::move(marr));
+  }
   if (durability.enabled) {
     Json d = Json::object();
     d.set("enabled", Json::boolean(true));
@@ -75,6 +93,13 @@ Result<Scenario> Scenario::from_json(const Json& j) {
   s.shards = int(j.get("shards").as_number(s.shards));
   s.replicas = int(j.get("replicas").as_number(s.replicas));
   s.datalet_kind = j.get("datalet_kind").as_string(s.datalet_kind);
+  s.partitioner = j.get("partitioner").as_string(s.partitioner);
+  if (s.partitioner != "hash" && s.partitioner != "range") {
+    return Status::Invalid("scenario: unknown partitioner " + s.partitioner);
+  }
+  for (const Json& sp : j.get("range_splits").elements()) {
+    s.range_splits.push_back(sp.as_string(""));
+  }
   s.cores = int(j.get("cores").as_number(s.cores));
   s.clients = int(j.get("clients").as_number(s.clients));
   s.ops_per_client = int(j.get("ops_per_client").as_number(s.ops_per_client));
@@ -103,6 +128,20 @@ Result<Scenario> Scenario::from_json(const Json& j) {
     if (!tc.ok()) return tc.status();
     t.to_c = tc.value();
     s.transitions.push_back(t);
+  }
+  for (const Json& mj : j.get("migrations").elements()) {
+    MigrationStep m;
+    m.at_us = uint64_t(mj.get("at_us").as_number(0));
+    m.from = uint32_t(mj.get("from").as_number(0));
+    m.split_at = mj.get("split_at").as_string("");
+    m.dest = int64_t(mj.get("dest").as_number(-1));
+    if (m.split_at.empty()) {
+      return Status::Invalid("scenario: migration step needs split_at");
+    }
+    s.migrations.push_back(std::move(m));
+  }
+  if (!s.migrations.empty() && s.partitioner != "range") {
+    return Status::Invalid("scenario: migrations require the range partitioner");
   }
   if (j.get("durability").is_object()) {
     const Json& d = j.get("durability");
@@ -328,6 +367,148 @@ Scenario Scenario::crash_all(uint64_t seed, Topology t, Consistency c,
   cut.restart_after_us = 250'000;
   cut.stagger_us = rng.next_u64(5'001);  // 0..5ms between PSUs
   s.faults.crash_all.push_back(cut);
+  return s;
+}
+
+Scenario Scenario::migration(uint64_t seed, Topology t, Consistency c) {
+  Rng rng(seed * 0xd1342543de82ef95ULL + 0x7f4a7c15ULL);
+  Scenario s;
+  s.seed = seed;
+  s.topology = t;
+  s.consistency = c;
+  s.shards = 2;
+  s.replicas = 3;
+  s.partitioner = "range";
+  // 16 zero-padded workload keys split down the middle: shard 0 owns
+  // k0000000..k0000007, shard 1 owns the rest. The migration moves the tail
+  // [k0000004, k0000008) of shard 0 — half its keys — while writes flow.
+  s.range_splits = {"k0000008"};
+  s.clients = 4;
+  // The workload must outlive the migration (fires ≤200ms in, completes
+  // within ~150ms clean or ~500ms when the close call must age out) so
+  // plenty of ops land on both sides of the cutover on every seed.
+  s.ops_per_client = 320 + int(rng.next_u64(81));  // 320..400
+  s.gap_us = 2'500 + rng.next_u64(1'001);          // 2.5..3.5ms
+  s.workload.num_keys = 16;
+  s.workload.key_size = 8;
+  s.workload.value_size = 16;
+  s.workload.get_ratio = 0.4;
+  s.workload.scan_ratio = 0.0;
+  s.workload.del_ratio = rng.next_bool(0.3) ? 0.05 : 0.0;
+  s.workload.zipfian = rng.next_bool(0.5);
+  s.workload.seed = seed;
+
+  MigrationStep mig;
+  mig.at_us = 120'000 + rng.next_u64(80'001);  // 120..200ms into the run
+  mig.from = 0;
+  mig.split_at = "k0000004";
+  mig.dest = 1;  // boundary move into the right-adjacent shard
+
+  // The chaos draw. Every arm must finish with zero acked-write loss and
+  // (under SC) zero linearizability violations.
+  switch (rng.next_u64(4)) {
+    case 0: {
+      // Clean split into a brand-new shard staffed from standbys: exercises
+      // the kFlagCopier seeding, the empty-dest chunk stream, and the
+      // three-range map layout after cutover.
+      mig.dest = -1;
+      break;
+    }
+    case 1: {
+      // Coordinator crash mid-migration, restarting well inside the lease
+      // deadline so the data plane is not mass-evicted on wake. The durable
+      // migration record must resume the copy (or idempotently re-drive the
+      // cutover) — without it the old shard strands in its dual-write window.
+      NodeFault nf;
+      nf.node = "bkv/coord";
+      nf.crash_at_us = mig.at_us + 30'000 + rng.next_u64(60'001);
+      nf.restart_at_us = nf.crash_at_us + 150'000;
+      s.faults.nodes.push_back(nf);
+      break;
+    }
+    case 2: {
+      // One-way coordinator→master cut across the dual-write window: the
+      // master's heartbeats still arrive (no spurious abort) but grants,
+      // the close call, and kMigrateFinish are all lost. The master must
+      // self-fence on lease expiry, and the cutover must proceed once the
+      // close call ages past the self-fence deadline.
+      PartitionFault p;
+      p.a = {"bkv/coord"};
+      p.b = {"bkv/s0r0"};
+      p.symmetric = false;
+      p.after_us = mig.at_us + 20'000 + rng.next_u64(40'001);
+      p.until_us = p.after_us + 450'000 + rng.next_u64(150'001);
+      s.faults.partitions.push_back(p);
+      break;
+    }
+    default: {
+      // Old owner (the copier) crashes near the cutover: a copy-phase death
+      // must abort the migration cleanly (map untouched, window closed); a
+      // cutover-phase death must compose with the shard's failover repair.
+      NodeFault nf;
+      nf.node = "bkv/s0r0";
+      nf.crash_at_us = mig.at_us + 40'000 + rng.next_u64(80'001);
+      nf.restart_at_us = nf.crash_at_us + 1'500'000;
+      s.faults.nodes.push_back(nf);
+      break;
+    }
+  }
+  s.migrations.push_back(std::move(mig));
+  return s;
+}
+
+Scenario Scenario::migration_no_fencing(uint64_t seed) {
+  Rng rng(seed * 0xd1342543de82ef95ULL + 0x2545f491ULL);
+  Scenario s;
+  s.seed = seed;
+  s.topology = Topology::kMasterSlave;
+  s.consistency = Consistency::kStrong;
+  s.shards = 2;
+  s.replicas = 3;
+  s.partitioner = "range";
+  s.range_splits = {"k0000004"};
+  s.clients = 4;
+  // Uniform over 8 keys: the moved pair [k0000002, k0000004) carries 25% of
+  // the op mass, so the zombie chain and the new owner collide on every
+  // seed. Long enough (>= 1.2s of ops) that the staggered client map
+  // refreshes split the cohort — some clients writing natively at the new
+  // owner while others still read the moved range from the zombie tail.
+  s.ops_per_client = 600 + int(rng.next_u64(81));  // 600..680
+  s.gap_us = 2'000;
+  s.workload.num_keys = 8;
+  s.workload.key_size = 8;
+  s.workload.value_size = 16;
+  s.workload.get_ratio = 0.45;
+  s.workload.scan_ratio = 0.0;
+  s.workload.del_ratio = 0.0;
+  s.workload.zipfian = false;
+  s.workload.seed = seed;
+  s.disable_fencing = true;
+
+  MigrationStep mig;
+  mig.at_us = 130'000 + rng.next_u64(40'001);
+  mig.from = 0;
+  mig.split_at = "k0000002";
+  mig.dest = 1;
+  s.migrations.push_back(mig);
+
+  // The cut that fencing would defuse: one-way coordinator -> old shard.
+  // Lease renewals, the cutover close call, the E+2 map and kMigrateFinish
+  // never reach ANY old replica, while their heartbeats still arrive (no
+  // failover) and clients still reach them. Fenced, the replicas self-fence
+  // on lease expiry before the close ages out, so the zombie chain goes
+  // dark before the new owner serves. Unfenced, the whole old chain keeps
+  // serving the moved range on its stale map: clients whose staggered
+  // periodic refresh hasn't fired yet read [k0000002, k0000004) from the
+  // zombie tail and miss writes acked by the new owner — a stale read the
+  // linearizability checker flags on every seed.
+  PartitionFault p;
+  p.a = {"bkv/coord"};
+  p.b = {"bkv/s0r*"};
+  p.symmetric = false;
+  p.after_us = mig.at_us + 30'000;
+  p.until_us = 2'500'000;
+  s.faults.partitions.push_back(p);
   return s;
 }
 

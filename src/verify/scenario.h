@@ -35,6 +35,21 @@ struct TransitionStep {
   Consistency to_c = Consistency::kStrong;
 };
 
+// A live range migration launched mid-run: once virtual time passes `at_us`
+// the driver asks the coordinator to move the tail [split_at, upper) of
+// shard `from` into `dest` — the right-adjacent shard — or, with dest < 0,
+// into a brand-new shard staffed from standbys (the runner provisions
+// `replicas` standby pairs when any step asks for one). Requires the range
+// partitioner. The step fires while the workload is running, so the
+// dual-write window and the cutover race real client traffic and whatever
+// the fault plan throws at them.
+struct MigrationStep {
+  uint64_t at_us = 0;
+  uint32_t from = 0;
+  std::string split_at;
+  int64_t dest = -1;
+};
+
 // Storage durability knobs for a scenario. When enabled, the runner gives
 // every replica's engine a per-node directory in one shared in-memory
 // power-loss Env (storage::MemEnv): WAL + checkpoints/SSTables, with
@@ -58,6 +73,9 @@ struct Scenario {
   // tMT by default: the verification workload issues SCANs, which need an
   // ordered engine (tHT has no range support).
   std::string datalet_kind = "tMT";
+  // "hash" | "range"; migrations require "range" plus shards-1 split points.
+  std::string partitioner = "hash";
+  std::vector<std::string> range_splits;
 
   // Per-node service cores for the sim's multi-server queueing model
   // (SimNodeOpts::cores). Affects timing only — never drawn by random(), so
@@ -73,6 +91,7 @@ struct Scenario {
 
   FaultPlan faults;
   std::vector<TransitionStep> transitions;
+  std::vector<MigrationStep> migrations;
   DurabilitySpec durability;
 
   BugKind bug = BugKind::kNone;
@@ -133,6 +152,25 @@ struct Scenario {
   // checker sees what the WAL prevents.
   static Scenario crash_all(uint64_t seed, Topology t, Consistency c,
                             bool wal_enabled);
+
+  // The ISSUE 10 acceptance scenario family: a range-partitioned cluster
+  // splits a shard live, mid-workload, under a seeded chaos draw — clean
+  // split into a brand-new shard, coordinator crash+restart mid-migration
+  // (the durable record must resume it), a one-way coordinator→master cut
+  // during the dual-write window (the close call must time out at the
+  // self-fence deadline), or the old owner crashing near the cutover
+  // (copy-phase death must abort cleanly; cutover-phase death must compose
+  // with failover). Zero acked-write loss and zero linearizability
+  // violations are required on every draw.
+  static Scenario migration(uint64_t seed, Topology t, Consistency c);
+
+  // The paired negative control (MS+SC, fencing forced off): the same
+  // one-way coordinator→master cut across a live migration must LOSE acked
+  // writes — the deposed owner never learns the cutover map, keeps acking
+  // writes for the moved range, and its dual-written values carry the old
+  // epoch, so the new owner's native writes shadow them. If this passes,
+  // the checker cannot see what epoch fencing prevents.
+  static Scenario migration_no_fencing(uint64_t seed);
 };
 
 }  // namespace bespokv::verify

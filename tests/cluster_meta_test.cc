@@ -149,6 +149,145 @@ TEST(ClusterOptionsTest, FromJsonMatchesPaperConfig) {
   EXPECT_EQ(o.value().consistency, Consistency::kStrong);
 }
 
+TEST(ClusterOptionsTest, RejectsUnsortedOrDuplicateRangeSplits) {
+  auto mk = [](const std::string& splits) {
+    return Json::parse(R"({"topology":"ms","consistency_model":"strong",
+                           "partitioner":"range","num_shards":3,
+                           "range_splits":)" + splits + "}");
+  };
+  auto bad_order = ClusterOptions::from_json(mk(R"(["m","f"])").value());
+  EXPECT_FALSE(bad_order.ok());
+  auto dup = ClusterOptions::from_json(mk(R"(["m","m"])").value());
+  EXPECT_FALSE(dup.ok());
+  auto empty_point = ClusterOptions::from_json(mk(R"(["","m"])").value());
+  EXPECT_FALSE(empty_point.ok());
+  auto wrong_count = ClusterOptions::from_json(mk(R"(["m"])").value());
+  EXPECT_FALSE(wrong_count.ok());
+  auto good = ClusterOptions::from_json(mk(R"(["f","m"])").value());
+  ASSERT_TRUE(good.ok()) << good.status().to_string();
+  EXPECT_EQ(good.value().range_splits.size(), 2u);
+}
+
+TEST(ValidateRangeTest, SplitsAndLayout) {
+  EXPECT_TRUE(validate_range_splits({}).ok());
+  EXPECT_TRUE(validate_range_splits({"f", "m", "t"}).ok());
+  EXPECT_FALSE(validate_range_splits({"m", "f"}).ok());
+  EXPECT_FALSE(validate_range_splits({"f", "f"}).ok());
+  EXPECT_FALSE(validate_range_splits({""}).ok());
+
+  ShardMap m = demo_map(Topology::kMasterSlave, Consistency::kStrong, 3);
+  m.partitioner = "range";
+  m.shards[0].upper = "h";
+  m.shards[1].lower = "h";
+  m.shards[1].upper = "q";
+  m.shards[2].lower = "q";
+  EXPECT_TRUE(validate_range_layout(m).ok());
+  m.shards[1].lower = "j";  // hole between "h" and "j"
+  EXPECT_FALSE(validate_range_layout(m).ok());
+}
+
+// --------------------------- shard-map deltas -------------------------------
+
+bool maps_equal(const ShardMap& a, const ShardMap& b) {
+  if (a.epoch != b.epoch || a.topology != b.topology ||
+      a.consistency != b.consistency || a.partitioner != b.partitioner ||
+      a.shards.size() != b.shards.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.shards.size(); ++i) {
+    if (!(a.shards[i] == b.shards[i])) return false;
+  }
+  return true;
+}
+
+TEST(ShardMapDeltaTest, DiffApplyRoundTrip) {
+  ShardMap before = demo_map(Topology::kMasterSlave, Consistency::kStrong, 3);
+  before.partitioner = "range";
+  before.epoch = 7;
+  before.shards[0].upper = "h";
+  before.shards[1].lower = "h";
+  before.shards[1].upper = "q";
+  before.shards[2].lower = "q";
+
+  // A cutover-shaped mutation: shard 0 sheds ["f","h") into shard 1, whose
+  // replica set also changes.
+  ShardMap after = before;
+  after.epoch = 8;
+  after.shards[0].upper = "f";
+  after.shards[1].lower = "f";
+  after.shards[1].replicas[2].controlet = "standby0";
+
+  ShardMapDelta d = diff_maps(before, after);
+  EXPECT_EQ(d.from_epoch, 7u);
+  EXPECT_EQ(d.to_epoch, 8u);
+  EXPECT_EQ(d.changed.size(), 2u);  // only the re-shaped shards ride along
+  EXPECT_TRUE(d.removed.empty());
+
+  // JSON round trip preserves the delta exactly.
+  auto back = ShardMapDelta::decode(d.encode());
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(back.value().from_epoch, 7u);
+  EXPECT_EQ(back.value().changed.size(), 2u);
+
+  // Applying the decoded delta reproduces the target map.
+  auto patched = apply_delta(before, back.value());
+  ASSERT_TRUE(patched.ok()) << patched.status().to_string();
+  EXPECT_TRUE(maps_equal(patched.value(), after));
+}
+
+TEST(ShardMapDeltaTest, AddAndRemoveShards) {
+  ShardMap before = demo_map(Topology::kMasterSlave, Consistency::kStrong, 2);
+  before.partitioner = "range";
+  before.epoch = 3;
+  before.shards[0].upper = "m";
+  before.shards[1].lower = "m";
+
+  // A split into a brand-new shard...
+  ShardMap grown = before;
+  grown.epoch = 4;
+  grown.shards[0].upper = "f";
+  ShardInfo fresh;
+  fresh.id = 2;
+  fresh.lower = "f";
+  fresh.upper = "m";
+  fresh.replicas.push_back(ReplicaInfo{"sb0"});
+  grown.shards.push_back(fresh);
+  auto g = apply_delta(before, diff_maps(before, grown));
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(maps_equal(g.value(), grown));
+
+  // ...and the reverse records the dropped shard id.
+  ShardMapDelta shrink = diff_maps(grown, before);
+  EXPECT_EQ(shrink.removed, std::vector<uint32_t>{2});
+  auto s = apply_delta(grown, shrink);
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(maps_equal(s.value(), before));
+}
+
+TEST(ShardMapDeltaTest, ApplyRejectsEpochMismatch) {
+  ShardMap before = demo_map(Topology::kMasterSlave, Consistency::kStrong, 2);
+  before.epoch = 5;
+  ShardMap after = before;
+  after.epoch = 6;
+  after.shards[0].replicas[0].controlet = "promoted";
+  ShardMapDelta d = diff_maps(before, after);
+  ShardMap stale = before;
+  stale.epoch = 4;  // delta chains must be contiguous
+  EXPECT_FALSE(apply_delta(stale, d).ok());
+}
+
+TEST(ShardMapDeltaTest, EmptyDeltaIsAnEpochBump) {
+  ShardMap before = demo_map(Topology::kMasterSlave, Consistency::kStrong, 2);
+  before.epoch = 9;
+  ShardMap after = before;
+  after.epoch = 10;
+  ShardMapDelta d = diff_maps(before, after);
+  EXPECT_TRUE(d.empty());
+  auto r = apply_delta(before, d);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().epoch, 10u);
+}
+
 // ------------------------------ EventBus ------------------------------------
 
 TEST(EventBusTest, OnEmitDispatchesInOrder) {

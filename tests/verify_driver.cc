@@ -3,7 +3,8 @@
 //   verify_driver --config=ms_sc|ms_ec|aa_sc|aa_ec --seed=N [--out=DIR]
 //                 [--scenario=FILE] [--bug=stale-read-cache --bug-rate=R]
 //                 [--no-shrink] [--partitions] [--split-brain] [--no-fencing]
-//                 [--crash-all] [--no-wal]
+//                 [--crash-all] [--no-wal] [--migration]
+//                 [--migration-no-fencing]
 //
 // --partitions draws one windowed network partition into the random scenario
 // (the nightly partition-enabled sweep). --split-brain runs the scripted
@@ -17,6 +18,15 @@
 // later. It must show zero acked-write loss. --no-wal is the paired negative
 // control (forces ms_sc): the same power loss with the WAL disabled must
 // LOSE acked writes — if it passes, the checker is blind and the sweep exits 1.
+//
+// --migration runs the ISSUE 10 acceptance family: a range-partitioned
+// cluster splits a shard live mid-workload under a seeded chaos draw (clean
+// split to a new shard, coordinator crash+restart, a one-way
+// coordinator→master cut across the dual-write window, or the old owner
+// crashing near the cutover). Zero acked-write loss / zero linearizability
+// violations required. --migration-no-fencing is the paired negative control
+// (forces ms_sc): the same cut with fencing off must LOSE acked writes via
+// the deposed owner's stale-epoch acks — a pass means the oracle is blind.
 //
 // Generates a random Scenario from the seed (workload + fault plan + live
 // transitions, see src/verify/scenario.h), runs it on the deterministic sim
@@ -60,6 +70,8 @@ struct Args {
   bool no_fencing = false;   // negative test: disable lease/epoch fencing
   bool crash_all = false;    // run the ISSUE 7 whole-cluster power-loss preset
   bool no_wal = false;       // negative control: WAL off, loss expected
+  bool migration = false;    // run the ISSUE 10 migration-under-chaos preset
+  bool migration_no_fencing = false;  // negative control: loss expected
 };
 
 bool parse_args(int argc, char** argv, Args* a) {
@@ -96,6 +108,10 @@ bool parse_args(int argc, char** argv, Args* a) {
     } else if (arg == "--no-wal") {
       a->crash_all = true;  // the negative control is a crash_all variant
       a->no_wal = true;
+    } else if (arg == "--migration") {
+      a->migration = true;
+    } else if (arg == "--migration-no-fencing") {
+      a->migration_no_fencing = true;
     } else {
       std::fprintf(stderr, "unknown arg: %s\n", arg.c_str());
       return false;
@@ -167,6 +183,14 @@ int main(int argc, char** argv) {
   } else if (args.split_brain) {
     sc = Scenario::split_brain(args.seed);
     args.config = "ms_sc";  // the preset is MS+SC by construction
+  } else if (args.migration_no_fencing) {
+    sc = Scenario::migration_no_fencing(args.seed);
+    args.config = "ms_sc";  // loss shows as a lin violation
+  } else if (args.migration) {
+    bespokv::Topology t;
+    bespokv::Consistency c;
+    config_of(args.config, &t, &c);
+    sc = Scenario::migration(args.seed, t, c);
   } else if (args.crash_all) {
     if (args.no_wal) args.config = "ms_sc";  // loss shows as a lin violation
     bespokv::Topology t;
@@ -191,11 +215,13 @@ int main(int argc, char** argv) {
   if (args.cores > 0) sc.cores = args.cores;
   std::fprintf(stderr,
                "verify_driver: config=%s seed=%llu clients=%d ops=%d "
-               "cores=%d transitions=%zu partitions=%zu bug=%s%s%s\n",
+               "cores=%d transitions=%zu migrations=%zu partitions=%zu "
+               "bug=%s%s%s\n",
                args.config.c_str(),
                static_cast<unsigned long long>(sc.seed), sc.clients,
                sc.ops_per_client, sc.cores, sc.transitions.size(),
-               sc.faults.partitions.size(), bug_name(sc.bug),
+               sc.migrations.size(), sc.faults.partitions.size(),
+               bug_name(sc.bug),
                sc.faults.crash_all.empty()
                    ? ""
                    : (sc.durability.wal_disable ? " CRASH-ALL WAL-DISABLED"
@@ -208,9 +234,10 @@ int main(int argc, char** argv) {
                  r.error.c_str());
     return 2;
   }
-  if (args.no_wal) {
+  if (args.no_wal || args.migration_no_fencing) {
     // Negative control: the run must LOSE acked writes. A pass here means
-    // the checker cannot see what the WAL is protecting against.
+    // the checker cannot see what the WAL (or the migration's epoch fencing)
+    // is protecting against.
     if (r.violation()) {
       std::fprintf(stderr,
                    "verify_driver: PASS (negative control lost acked writes "
@@ -219,8 +246,13 @@ int main(int argc, char** argv) {
       return 0;
     }
     std::fprintf(stderr,
-                 "verify_driver: FAIL — WAL disabled yet no acked-write loss "
-                 "detected; the durability gate is not observing anything\n");
+                 args.no_wal
+                     ? "verify_driver: FAIL — WAL disabled yet no acked-write "
+                       "loss detected; the durability gate is not observing "
+                       "anything\n"
+                     : "verify_driver: FAIL — fencing disabled across a live "
+                       "migration yet no acked-write loss detected; the "
+                       "migration gate is not observing anything\n");
     return 1;
   }
   if (!r.violation()) {
@@ -248,6 +280,7 @@ int main(int argc, char** argv) {
   const std::string tag = args.config +
                           (sc.faults.partitions.empty() ? "" : "-part") +
                           (sc.faults.crash_all.empty() ? "" : "-crash") +
+                          (sc.migrations.empty() ? "" : "-mig") +
                           "-seed" + std::to_string(sc.seed);
   write_file(args.out + "/scenario-" + tag + ".json", sc.encode());
   // The compiled fault schedule on its own (partition windows included), so
